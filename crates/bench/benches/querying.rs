@@ -1,0 +1,131 @@
+//! E9–E11, E13: querying incomplete trees and the mediator.
+//!
+//! * E9 (Theorem 3.14): `q(T)` construction time in |T| and in |Σ| (the
+//!   exponential-in-Σ DNF step);
+//! * E10 (Corollary 3.15): full-answerability checks;
+//! * E11 (Theorem 3.19): completion generation;
+//! * E13 (Section 4): extended-query evaluation with branching
+//!   (the factorial matching space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iixml_bench::refined_catalog;
+use iixml_extensions::xquery::{Modality, XQueryBuilder};
+use iixml_gen::catalog_query_camera_pictures;
+use iixml_mediator::Mediator;
+use iixml_tree::{Alphabet, DataTree, Nid};
+use iixml_values::{Cond, Rat};
+
+fn bench_query_incomplete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9_query_incomplete");
+    g.sample_size(10);
+    for products in [5usize, 20, 80] {
+        let (mut cat, knowledge) = refined_catalog(products, 11);
+        let q = catalog_query_camera_pictures(&mut cat.alpha);
+        g.bench_with_input(
+            BenchmarkId::new("qT", products),
+            &(&knowledge, &q),
+            |b, (k, q)| b.iter(|| k.query(q)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_answerability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10_answerability");
+    g.sample_size(10);
+    for products in [5usize, 20, 80] {
+        let (mut cat, knowledge) = refined_catalog(products, 13);
+        let q = catalog_query_camera_pictures(&mut cat.alpha);
+        g.bench_with_input(
+            BenchmarkId::new("fully_answerable", products),
+            &(&knowledge, &q),
+            |b, (k, q)| b.iter(|| k.query(q).fully_answerable()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_mediator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E11_mediator");
+    g.sample_size(10);
+    for products in [5usize, 20, 80] {
+        let (mut cat, knowledge) = refined_catalog(products, 17);
+        let q = catalog_query_camera_pictures(&mut cat.alpha);
+        g.bench_with_input(
+            BenchmarkId::new("complete", products),
+            &(&knowledge, &q),
+            |b, (k, q)| {
+                b.iter(|| {
+                    let med = Mediator::new(k);
+                    med.complete(q).queries.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The Section 4 branching example: root with n `a(b=i)` children, query
+/// branching over all n values — the n! assignment space the paper uses
+/// to show q(T) explodes with branching.
+fn bench_branching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E13_branching_eval");
+    g.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let mut alpha = Alphabet::new();
+        let root = alpha.intern("root");
+        let a = alpha.intern("a");
+        let b_l = alpha.intern("b");
+        let mut t = DataTree::new(Nid(0), root, Rat::ZERO);
+        for i in 0..n {
+            let an = t
+                .add_child(t.root(), Nid(1 + 2 * i as u64), a, Rat::ZERO)
+                .unwrap();
+            t.add_child(an, Nid(2 + 2 * i as u64), b_l, Rat::from(i as i64 + 1))
+                .unwrap();
+        }
+        let mut bld = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let broot = bld.root();
+        for i in 0..n {
+            let an = bld.child(broot, "a", Cond::True, Modality::Plain);
+            bld.child(an, "b", Cond::eq(Rat::from(i as i64 + 1)), Modality::Plain);
+        }
+        let q = bld.build();
+        g.bench_with_input(BenchmarkId::new("valuations", n), &(&q, &t), |b, (q, t)| {
+            b.iter(|| q.valuations(t).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pebble(c: &mut Criterion) {
+    // E17 (Theorem 4.2 flavor): pebble-automaton acceptance on growing
+    // trees: the configuration space is states × nodes^k.
+    use iixml_extensions::pebble::{BinTree, PebbleAutomaton};
+    let mut g = c.benchmark_group("E17_pebble");
+    g.sample_size(10);
+    for products in [5usize, 20, 80] {
+        let cat = iixml_gen::catalog(products, 23);
+        let bt = BinTree::from_unranked(&cat.doc);
+        let picture = cat.alpha.get("picture").unwrap();
+        let a1 = PebbleAutomaton::exists_label(picture);
+        let a2 = PebbleAutomaton::two_distinct_labeled(picture);
+        g.bench_with_input(BenchmarkId::new("one_pebble", products), &(&a1, &bt), |b, (a, t)| {
+            b.iter(|| a.accepts(t))
+        });
+        g.bench_with_input(BenchmarkId::new("two_pebbles", products), &(&a2, &bt), |b, (a, t)| {
+            b.iter(|| a.accepts(t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_incomplete,
+    bench_answerability,
+    bench_mediator,
+    bench_branching,
+    bench_pebble
+);
+criterion_main!(benches);

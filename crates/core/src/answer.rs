@@ -1,0 +1,780 @@
+//! Querying incomplete trees (Section 3.3).
+//!
+//! Incomplete trees are a *strong representation system* for ps-queries:
+//! for any incomplete tree `T` and ps-query `q` there is an incomplete
+//! tree `q(T)` with `rep(q(T)) = q(rep(T))` (Theorem 3.14), computable in
+//! PTIME for fixed Σ (the construction's disjunctive-normal-form step is
+//! exponential in Σ only).
+//!
+//! Built on top of it:
+//! * possible / certain non-emptiness of the answer (Corollary 3.18);
+//! * possible / certain prefixes of the answer (Theorem 3.17);
+//! * full answerability — "can `q` be answered from the data already
+//!   fetched?", the answering-queries-using-views question
+//!   (Corollary 3.15).
+//!
+//! One modeling note: the *empty* answer is a possible result of a query
+//! but data trees are nonempty, so [`QueryOnIncomplete`] carries the
+//! nonempty-answer description plus an `empty_possible` flag (the paper's
+//! Example 2.2 encodes the same thing with an unsatisfiable root type
+//! `r1`).
+
+use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
+use crate::itree::IncompleteTree;
+use iixml_query::{PsQuery, QNodeRef};
+use iixml_tree::{DataTree, Label, Mult};
+use std::collections::HashMap;
+
+/// The position component of an answer-type symbol: paired with a query
+/// node, or inside a bar-extracted subtree.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum QPos {
+    At(QNodeRef),
+    Bar,
+}
+
+/// The description of `q(rep(T))`: an incomplete tree for the nonempty
+/// answers plus whether the empty answer can occur.
+#[derive(Clone, Debug)]
+pub struct QueryOnIncomplete {
+    /// Incomplete tree whose `rep` is the set of *nonempty* answers.
+    pub tree: IncompleteTree,
+    /// Does some represented input yield the empty answer?
+    pub empty_possible: bool,
+}
+
+/// The `Poss(m)` / `Cert(m)` sets of the Theorem 3.14 construction:
+/// per query node `m`, the type symbols on which the subquery `q_m`
+/// possibly / certainly produces output. Also used by the mediator's
+/// completion generation (Theorem 3.19).
+#[derive(Clone, Debug)]
+pub struct MatchSets {
+    /// `poss[&m][s.ix()]`: some tree of `rep(T_s)` matches `q_m`.
+    pub poss: HashMap<QNodeRef, Vec<bool>>,
+    /// `cert[&m][s.ix()]`: every tree of `rep(T_s)` matches `q_m`.
+    pub cert: HashMap<QNodeRef, Vec<bool>>,
+}
+
+/// Computes [`MatchSets`] bottom-up over the query pattern, masking out
+/// unproductive symbols (a symbol with empty `rep` possibly-matches
+/// nothing).
+pub fn match_sets(it: &IncompleteTree, q: &PsQuery) -> MatchSets {
+    let ty = it.ty();
+    let prod = ty.productive();
+    let underlying = |s: Sym| -> Option<Label> {
+        match ty.info(s).target {
+            SymTarget::Lab(l) => Some(l),
+            SymTarget::Node(n) => it.node_info(n).map(|i| i.label),
+        }
+    };
+    let mut sets = MatchSets {
+        poss: HashMap::new(),
+        cert: HashMap::new(),
+    };
+    let mut order = q.preorder();
+    order.reverse(); // children before parents
+    for m in order {
+        let kids = q.children(m).to_vec();
+        let mut poss = vec![false; ty.sym_count()];
+        let mut cert = vec![false; ty.sym_count()];
+        for s in ty.syms() {
+            if !prod[s.ix()] || underlying(s) != Some(q.label(m)) {
+                continue;
+            }
+            let cond = &ty.info(s).cond;
+            let p_cond = cond.overlaps(q.cond_set(m));
+            let c_cond = !cond.is_empty() && cond.implies(q.cond_set(m));
+            if p_cond {
+                poss[s.ix()] = kids.is_empty()
+                    || ty.mu(s).atoms().iter().any(|a| {
+                        kids.iter().all(|&mi| {
+                            a.entries()
+                                .iter()
+                                .any(|&(c, _)| sets.poss[&mi][c.ix()])
+                        })
+                    });
+            }
+            if c_cond {
+                cert[s.ix()] = !ty.mu(s).atoms().is_empty()
+                    && ty.mu(s).atoms().iter().all(|a| {
+                        kids.iter().all(|&mi| {
+                            a.entries().iter().any(|&(c, mu)| {
+                                mu.mandatory() && sets.cert[&mi][c.ix()]
+                            })
+                        })
+                    });
+            }
+        }
+        sets.poss.insert(m, poss);
+        sets.cert.insert(m, cert);
+    }
+    sets
+}
+
+struct Builder<'a> {
+    it: &'a IncompleteTree,
+    q: &'a PsQuery,
+    poss: HashMap<QNodeRef, Vec<bool>>,
+    cert: HashMap<QNodeRef, Vec<bool>>,
+}
+
+impl Builder<'_> {
+    /// Computes the `Poss(m)` / `Cert(m)` sets (proof of Theorem 3.14).
+    fn compute_sets(&mut self) {
+        let sets = match_sets(self.it, self.q);
+        self.poss = sets.poss;
+        self.cert = sets.cert;
+    }
+
+    /// Builds the answer type. Returns the new conditional tree type.
+    fn build(&self) -> (ConditionalTreeType, bool) {
+        let ty = self.it.ty();
+        let mut out = ConditionalTreeType::new();
+        let mut pair_of: HashMap<(Sym, QPos), Sym> = HashMap::new();
+
+        // Create symbols on demand, with a worklist for µ construction.
+        let mut worklist: Vec<(Sym, QPos)> = Vec::new();
+        let ensure = |out: &mut ConditionalTreeType,
+                          worklist: &mut Vec<(Sym, QPos)>,
+                          pair_of: &mut HashMap<(Sym, QPos), Sym>,
+                          s: Sym,
+                          pos: QPos| {
+            *pair_of.entry((s, pos)).or_insert_with(|| {
+                let info = ty.info(s);
+                let cond = match pos {
+                    QPos::At(m) => info.cond.intersect(self.q.cond_set(m)),
+                    QPos::Bar => info.cond.clone(),
+                };
+                let suffix = match pos {
+                    QPos::At(m) => format!("@q{}", m.0),
+                    QPos::Bar => "@bar".to_string(),
+                };
+                let p = out.add_symbol(format!("{}{}", info.name, suffix), info.target, cond);
+                worklist.push((s, pos));
+                p
+            })
+        };
+
+        // Roots: (s, root_q) for possible root symbols.
+        let rq = self.q.root();
+        let mut roots = Vec::new();
+        for &s in ty.roots() {
+            if self.poss[&rq][s.ix()] {
+                let p = ensure(&mut out, &mut worklist, &mut pair_of, s, QPos::At(rq));
+                roots.push(p);
+            }
+        }
+        out.set_roots(roots);
+
+        // Saturate.
+        let mut done = 0;
+        while done < worklist.len() {
+            let (s, pos) = worklist[done];
+            done += 1;
+            let p = pair_of[&(s, pos)];
+            let mu = match pos {
+                QPos::Bar => self.bar_mu(s, &mut |sy| {
+                    ensure(&mut out, &mut worklist, &mut pair_of, sy, QPos::Bar)
+                }),
+                QPos::At(m) => {
+                    if self.q.children(m).is_empty() {
+                        if self.q.barred(m) {
+                            self.bar_mu(s, &mut |sy| {
+                                ensure(&mut out, &mut worklist, &mut pair_of, sy, QPos::Bar)
+                            })
+                        } else {
+                            // Unbarred leaf: nothing below is extracted.
+                            Disjunction::leaf()
+                        }
+                    } else {
+                        self.match_mu(s, m, &mut |sy, pos| {
+                            ensure(&mut out, &mut worklist, &mut pair_of, sy, pos)
+                        })
+                    }
+                }
+            };
+            out.set_mu(p, mu);
+        }
+
+        // Empty answer possible iff some productive root is not certain.
+        let prod = ty.productive();
+        let empty_possible = ty
+            .roots()
+            .iter()
+            .any(|&s| prod[s.ix()] && !self.cert[&rq][s.ix()]);
+        (out, empty_possible)
+    }
+
+    /// µ for bar-extracted positions: carry the input type through
+    /// verbatim (the whole subtree is part of the answer).
+    fn bar_mu(&self, s: Sym, ensure: &mut dyn FnMut(Sym) -> Sym) -> Disjunction {
+        let ty = self.it.ty();
+        let atoms = ty
+            .mu(s)
+            .atoms()
+            .iter()
+            .map(|a| {
+                SAtom::new(
+                    a.entries()
+                        .iter()
+                        .map(|&(c, m)| (ensure(c), m))
+                        .collect(),
+                )
+            })
+            .collect();
+        Disjunction(atoms)
+    }
+
+    /// µ for a matched internal query node `m` (the heart of
+    /// Theorem 3.14): keep only entries that can serve some child
+    /// subquery, weaken multiplicities for possible-but-not-certain
+    /// matches, and expand disjunctively so every child subquery
+    /// contributes at least one answer node.
+    fn match_mu(
+        &self,
+        s: Sym,
+        m: QNodeRef,
+        ensure: &mut dyn FnMut(Sym, QPos) -> Sym,
+    ) -> Disjunction {
+        let ty = self.it.ty();
+        let kids = self.q.children(m);
+        let mut out_atoms: Vec<SAtom> = Vec::new();
+        'atoms: for atom in ty.mu(s).atoms() {
+            // Group the surviving entries by the child subquery they can
+            // serve (children have distinct labels, so each entry serves
+            // at most one).
+            let mut groups: Vec<Vec<(Sym, Mult)>> = Vec::with_capacity(kids.len());
+            for &mi in kids {
+                let mut group = Vec::new();
+                for &(c, w) in atom.entries() {
+                    if self.poss[&mi][c.ix()] {
+                        // Weaken multiplicities for possible-but-not-
+                        // certain matches: such an input child may
+                        // produce no answer node.
+                        let w2 = if self.cert[&mi][c.ix()] {
+                            w
+                        } else {
+                            match w {
+                                Mult::One => Mult::Opt,
+                                Mult::Plus => Mult::Star,
+                                other => other,
+                            }
+                        };
+                        group.push((c, w2));
+                    }
+                }
+                if group.is_empty() {
+                    continue 'atoms; // child subquery unsatisfiable here
+                }
+                groups.push(group);
+            }
+            // Each group must contribute >= 1 answer node: if no entry is
+            // already mandatory, expand over which one is promoted.
+            let mut per_group: Vec<Vec<Vec<(Sym, Mult)>>> = Vec::new();
+            for (gi, group) in groups.iter().enumerate() {
+                let mi = kids[gi];
+                let mapped: Vec<(Sym, Mult)> = group
+                    .iter()
+                    .map(|&(c, w)| (ensure(c, QPos::At(mi)), w))
+                    .collect();
+                if mapped.iter().any(|&(_, w)| w.mandatory()) {
+                    per_group.push(vec![mapped]);
+                } else {
+                    let alts = (0..mapped.len())
+                        .map(|host| {
+                            mapped
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &(c, w))| {
+                                    let w = if i == host {
+                                        match w {
+                                            Mult::Opt => Mult::One,
+                                            Mult::Star => Mult::Plus,
+                                            other => other,
+                                        }
+                                    } else {
+                                        w
+                                    };
+                                    (c, w)
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    per_group.push(alts);
+                }
+            }
+            // Cartesian product across groups.
+            let mut combos: Vec<Vec<(Sym, Mult)>> = vec![Vec::new()];
+            for alts in &per_group {
+                let mut next = Vec::with_capacity(combos.len() * alts.len());
+                for combo in &combos {
+                    for alt in alts {
+                        let mut c = combo.clone();
+                        c.extend(alt.iter().copied());
+                        next.push(c);
+                    }
+                }
+                combos = next;
+            }
+            for combo in combos {
+                out_atoms.push(SAtom::new(combo));
+            }
+        }
+        out_atoms.sort_by(|x, y| x.entries().iter().cmp(y.entries().iter()));
+        out_atoms.dedup();
+        Disjunction(out_atoms)
+    }
+}
+
+impl IncompleteTree {
+    /// Computes `q(T)` — an incomplete tree representing exactly the set
+    /// of answers `{ q(T0) | T0 ∈ rep(T) }` (Theorem 3.14), along with
+    /// whether the empty answer is possible.
+    pub fn query(&self, q: &PsQuery) -> QueryOnIncomplete {
+        let trimmed = self.trim();
+        let mut b = Builder {
+            it: &trimmed,
+            q,
+            poss: HashMap::new(),
+            cert: HashMap::new(),
+        };
+        b.compute_sets();
+        let (ty, empty_possible) = b.build();
+        let tree = IncompleteTree::new(trimmed.nodes().clone(), ty)
+            .expect("answer type reuses the input's data nodes")
+            .trim();
+        QueryOnIncomplete {
+            tree,
+            empty_possible,
+        }
+    }
+}
+
+impl QueryOnIncomplete {
+    /// Can the answer be nonempty? (Corollary 3.18.)
+    pub fn possible_nonempty(&self) -> bool {
+        !self.tree.is_empty()
+    }
+
+    /// Is the answer nonempty on *every* represented input?
+    /// (Corollary 3.18; requires the input's `rep` to be nonempty, which
+    /// holds whenever this was produced from a consistent Refine chain.)
+    pub fn certain_nonempty(&self) -> bool {
+        !self.tree.is_empty() && !self.empty_possible
+    }
+
+    /// Is `t` a possible prefix of some answer? (Theorem 3.17.)
+    pub fn possible_answer_prefix(&self, t: &DataTree) -> bool {
+        self.tree.possible_prefix(t)
+    }
+
+    /// Is `t` a certain prefix of every answer? (Theorem 3.17.) The
+    /// empty answer has no prefixes, so this is false whenever the empty
+    /// answer is possible.
+    pub fn certain_answer_prefix(&self, t: &DataTree) -> bool {
+        !self.empty_possible && self.tree.certain_prefix(t)
+    }
+
+    /// Can the query be *fully answered* from the data already available
+    /// (Corollary 3.15)? True iff the answer never involves
+    /// non-instantiated nodes — i.e. every useful symbol of `q(T)`
+    /// specializes a data node — and emptiness of the answer does not
+    /// depend on the unknown part.
+    pub fn fully_answerable(&self) -> bool {
+        let trimmed = self.tree.trim();
+        if self.empty_possible {
+            // Mixed empty/nonempty outcomes are only consistent when no
+            // answer is ever produced.
+            return trimmed.ty().roots().is_empty();
+        }
+        let ty = trimmed.ty();
+        let all_nodes = ty
+            .syms()
+            .all(|s| matches!(ty.info(s).target, SymTarget::Node(_)));
+        all_nodes
+    }
+
+    /// When [`fully_answerable`](Self::fully_answerable), the unique
+    /// answer (or `None` for the empty answer); unspecified otherwise.
+    pub fn the_answer(&self) -> Option<DataTree> {
+        self.tree.trim().data_tree()
+    }
+
+    /// The *sure part* of the answer (the paper's "sure answer
+    /// modality", Section 1): the largest data-node tree guaranteed to
+    /// be a prefix of **every** answer. `None` when no node is sure
+    /// (in particular whenever the empty answer is possible).
+    ///
+    /// Construction: starting from the answer tree's root symbols
+    /// (which must all target the same data node), keep a data node
+    /// when, under every surviving parent symbol and in every disjunct,
+    /// its entry is mandatory. This is sound by construction and
+    /// verified against [`certain_answer_prefix`](Self::certain_answer_prefix)
+    /// in tests.
+    pub fn sure_answer(&self) -> Option<DataTree> {
+        if self.empty_possible {
+            return None;
+        }
+        let trimmed = self.tree.trim();
+        let ty = trimmed.ty();
+        // Every root symbol must pin the same data node.
+        let mut root_node = None;
+        for &r in ty.roots() {
+            match ty.info(r).target {
+                SymTarget::Node(n) => {
+                    if *root_node.get_or_insert(n) != n {
+                        return None;
+                    }
+                }
+                SymTarget::Lab(_) => return None,
+            }
+        }
+        let root = root_node?;
+        let info = trimmed.node_info(root)?;
+        let mut out = DataTree::new(root, info.label, info.value);
+        // sure_syms[n] = symbols targeting node n that can type it in
+        // some answer; a child node is sure when mandatory in every
+        // atom of every such symbol of its (sure) parent.
+        let mut frontier = vec![root];
+        while let Some(n) = frontier.pop() {
+            let parent_syms: Vec<Sym> = ty
+                .syms()
+                .filter(|&s| matches!(ty.info(s).target, SymTarget::Node(m) if m == n))
+                .collect();
+            // Candidate children: data nodes appearing in any atom.
+            let mut candidates: Vec<iixml_tree::Nid> = Vec::new();
+            for &s in &parent_syms {
+                for atom in ty.mu(s).atoms() {
+                    for &(c, _) in atom.entries() {
+                        if let SymTarget::Node(m) = ty.info(c).target {
+                            if !candidates.contains(&m) {
+                                candidates.push(m);
+                            }
+                        }
+                    }
+                }
+            }
+            for child in candidates {
+                let sure = parent_syms.iter().all(|&s| {
+                    !ty.mu(s).atoms().is_empty()
+                        && ty.mu(s).atoms().iter().all(|atom| {
+                            atom.entries().iter().any(|&(c, m)| {
+                                m.mandatory()
+                                    && matches!(ty.info(c).target,
+                                        SymTarget::Node(mm) if mm == child)
+                            })
+                        })
+                });
+                if sure {
+                    if let Some(ci) = trimmed.node_info(child) {
+                        let parent_ref = out.by_nid(n).expect("parent inserted first");
+                        if out.add_child(parent_ref, child, ci.label, ci.value).is_ok() {
+                            frontier.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, SymTarget};
+    use crate::itree::NodeInfo;
+    use iixml_query::PsQueryBuilder;
+    use iixml_tree::{Alphabet, Nid, NidGen};
+    use iixml_values::{Cond, IntervalSet, Rat};
+    use std::collections::BTreeMap;
+
+    /// Example 2.2: data nodes r(root,=0), n(a,=0); extra a != 0
+    /// children possible; all a's may have b children. Query:
+    /// root / a / b (all conditions true).
+    fn example() -> (IncompleteTree, Alphabet) {
+        let alpha = Alphabet::from_names(["root", "a", "b"]);
+        let mut nodes = BTreeMap::new();
+        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
+        nodes.insert(Nid(1), NodeInfo { label: Label(1), value: Rat::ZERO });
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
+        let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
+        let a = ty.add_symbol("a", SymTarget::Lab(Label(1)), Cond::ne(Rat::ZERO).to_intervals());
+        let b = ty.add_symbol("b", SymTarget::Lab(Label(2)), IntervalSet::all());
+        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])));
+        ty.set_mu(n, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
+        ty.set_mu(a, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
+        ty.set_mu(b, Disjunction::leaf());
+        ty.add_root(r);
+        (IncompleteTree::new(nodes, ty).unwrap(), alpha)
+    }
+
+    fn example_query(alpha: &mut Alphabet) -> iixml_query::PsQuery {
+        let mut bld = PsQueryBuilder::new(alpha, "root", Cond::True);
+        let root = bld.root();
+        let a = bld.child(root, "a", Cond::True).unwrap();
+        bld.child(a, "b", Cond::True).unwrap();
+        bld.build()
+    }
+
+    #[test]
+    fn example_2_2_answer_description() {
+        let (it, mut alpha) = example();
+        let q = example_query(&mut alpha);
+        let ans = it.query(&q);
+        // The empty answer is possible (no a has a b child).
+        assert!(ans.empty_possible);
+        assert!(ans.possible_nonempty());
+        assert!(!ans.certain_nonempty());
+
+        // Possible nonempty answers include: r with n and one b below n.
+        let mut a1 = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        let nref = a1.add_child(a1.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        a1.add_child(nref, Nid(50), Label(2), Rat::from(3)).unwrap();
+        assert!(ans.tree.contains(&a1), "r-n-b is a possible answer");
+
+        // r with an extra a(=5) child carrying a b: possible.
+        let mut a2 = a1.clone();
+        let extra = a2.add_child(a2.root(), Nid(60), Label(1), Rat::from(5)).unwrap();
+        a2.add_child(extra, Nid(61), Label(2), Rat::ZERO).unwrap();
+        assert!(ans.tree.contains(&a2));
+
+        // r with n but n has no b: NOT an answer (answers include n only
+        // when a b was matched below it).
+        let mut bad = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        bad.add_child(bad.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        assert!(!ans.tree.contains(&bad));
+
+        // An `a` child with value 0 is impossible (the star type demands
+        // != 0 and node n is the only a=0).
+        let mut bad2 = a1.clone();
+        let e = bad2.add_child(bad2.root(), Nid(70), Label(1), Rat::ZERO).unwrap();
+        bad2.add_child(e, Nid(71), Label(2), Rat::ZERO).unwrap();
+        assert!(!ans.tree.contains(&bad2));
+    }
+
+    #[test]
+    fn answers_of_witnesses_are_represented() {
+        let (it, mut alpha) = example();
+        let q = example_query(&mut alpha);
+        let ans = it.query(&q);
+        // Sample a witness input and check its actual answer is
+        // represented.
+        let w = it.witness(&mut NidGen::starting_at(100)).unwrap();
+        let actual = q.eval(&w);
+        match actual.tree {
+            Some(t) => assert!(ans.tree.contains(&t)),
+            None => assert!(ans.empty_possible),
+        }
+    }
+
+    #[test]
+    fn witnesses_of_answer_tree_are_valid_answers() {
+        let (it, mut alpha) = example();
+        let q = example_query(&mut alpha);
+        let ans = it.query(&q);
+        let w = ans.tree.witness(&mut NidGen::starting_at(200)).unwrap();
+        // Re-evaluating q on the answer must reproduce it exactly
+        // (answers are fixpoints of q: q(q(T)) = q(T) for prefix
+        // selections whose conditions the answer already satisfies).
+        let again = q.eval(&w);
+        assert!(again.tree.unwrap().same_tree(&w));
+    }
+
+    #[test]
+    fn fully_answerable_cases() {
+        let (it, mut alpha) = example();
+        // Query: root/a — answered by data nodes? The extra a's (!= 0)
+        // also match, so NOT fully answerable.
+        let q1 = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::True).unwrap();
+            b.build()
+        };
+        let ans1 = it.query(&q1);
+        assert!(!ans1.fully_answerable());
+
+        // Query: root/a[=0] — only node n qualifies (star a's are != 0):
+        // fully answerable, answer = r-n.
+        let q2 = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::eq(Rat::ZERO)).unwrap();
+            b.build()
+        };
+        let ans2 = it.query(&q2);
+        assert!(ans2.certain_nonempty());
+        assert!(ans2.fully_answerable(), "only instantiated nodes answer");
+        let t = ans2.the_answer().unwrap();
+        assert_eq!(t.len(), 2);
+
+        // Query: root/a[=7] — never matches anything… wait, star a's
+        // allow value 7, so the answer varies: not fully answerable.
+        let q3 = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::eq(Rat::from(7))).unwrap();
+            b.build()
+        };
+        let ans3 = it.query(&q3);
+        assert!(ans3.empty_possible);
+        assert!(ans3.possible_nonempty());
+        assert!(!ans3.fully_answerable());
+
+        // Query: root/c (label unknown to the type): certainly empty,
+        // hence trivially fully answerable.
+        let q4 = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "c", Cond::True).unwrap();
+            b.build()
+        };
+        let ans4 = it.query(&q4);
+        assert!(!ans4.possible_nonempty());
+        assert!(ans4.fully_answerable());
+        assert!(ans4.the_answer().is_none());
+    }
+
+    #[test]
+    fn certain_and_possible_answer_prefixes() {
+        let (it, mut alpha) = example();
+        // Query root/a[=0]: the answer is always exactly r-n.
+        let q = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::eq(Rat::ZERO)).unwrap();
+            b.build()
+        };
+        let ans = it.query(&q);
+        let just_root = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        assert!(ans.certain_answer_prefix(&just_root));
+        assert!(ans.possible_answer_prefix(&just_root));
+        let mut rn = just_root.clone();
+        rn.add_child(rn.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        assert!(ans.certain_answer_prefix(&rn));
+        // A b-node below n is never in this answer.
+        let mut rnb = rn.clone();
+        let nref = rnb.by_nid(Nid(1)).unwrap();
+        rnb.add_child(nref, Nid(9), Label(2), Rat::ZERO).unwrap();
+        assert!(!ans.possible_answer_prefix(&rnb));
+    }
+
+    #[test]
+    fn sure_answer_is_a_certain_prefix() {
+        let (it, mut alpha) = example();
+        // root/a[=0]: certainly answers with r-n.
+        let q = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::eq(Rat::ZERO)).unwrap();
+            b.build()
+        };
+        let ans = it.query(&q);
+        let sure = ans.sure_answer().expect("certainly nonempty");
+        assert_eq!(sure.len(), 2);
+        assert!(ans.certain_answer_prefix(&sure));
+        // root/a (any a): empty impossible? node n always matches (a=0
+        // and the subquery is a leaf) -> certainly nonempty; the sure
+        // part is r-n (extra a's not guaranteed).
+        let q2 = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::True).unwrap();
+            b.build()
+        };
+        let ans2 = it.query(&q2);
+        assert!(ans2.certain_nonempty());
+        let sure2 = ans2.sure_answer().expect("nonempty");
+        assert!(ans2.certain_answer_prefix(&sure2));
+        assert!(sure2.by_nid(Nid(1)).is_some());
+        // root/a/b: the empty answer is possible -> no sure part.
+        let q3 = example_query(&mut alpha);
+        let ans3 = it.query(&q3);
+        assert!(ans3.empty_possible);
+        assert!(ans3.sure_answer().is_none());
+    }
+
+    #[test]
+    fn root_label_mismatch_gives_certainly_empty() {
+        let (it, mut alpha) = example();
+        let q = PsQueryBuilder::new(&mut alpha, "nonsense", Cond::True).build();
+        let ans = it.query(&q);
+        assert!(!ans.possible_nonempty());
+        assert!(ans.empty_possible);
+        assert!(ans.fully_answerable());
+    }
+
+    #[test]
+    fn root_condition_filters_answers() {
+        let (it, mut alpha) = example();
+        // Root value is pinned to 0: a root condition = 5 never matches.
+        let q = PsQueryBuilder::new(&mut alpha, "root", Cond::eq(Rat::from(5))).build();
+        let ans = it.query(&q);
+        assert!(!ans.possible_nonempty());
+        // Condition = 0 always matches: the answer is exactly the root.
+        let q = PsQueryBuilder::new(&mut alpha, "root", Cond::eq(Rat::ZERO)).build();
+        let ans = it.query(&q);
+        assert!(ans.certain_nonempty());
+        assert!(ans.fully_answerable());
+        assert_eq!(ans.the_answer().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn query_deeper_than_the_type_is_empty() {
+        let (it, mut alpha) = example();
+        // root/a/b/<deeper>: b is a leaf in the type.
+        let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = bld.root();
+        let a = bld.child(root, "a", Cond::True).unwrap();
+        let b = bld.child(a, "b", Cond::True).unwrap();
+        bld.child(b, "a", Cond::True).unwrap();
+        let q = bld.build();
+        let ans = it.query(&q);
+        assert!(!ans.possible_nonempty());
+        assert!(ans.fully_answerable(), "certainly empty is fully known");
+    }
+
+    #[test]
+    fn querying_an_empty_rep() {
+        // Incomplete tree with empty rep: no answers at all.
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::empty());
+        ty.set_mu(r, Disjunction::leaf());
+        ty.add_root(r);
+        let it = IncompleteTree::new(BTreeMap::new(), ty).unwrap();
+        assert!(it.is_empty());
+        let mut alpha = Alphabet::from_names(["root"]);
+        let q = PsQueryBuilder::new(&mut alpha, "root", Cond::True).build();
+        let ans = it.query(&q);
+        assert!(!ans.possible_nonempty());
+        assert!(!ans.empty_possible, "no worlds at all");
+        assert!(!ans.certain_nonempty());
+    }
+
+    #[test]
+    fn barred_query_carries_subtree_through() {
+        let (it, mut alpha) = example();
+        // Query root / ā[=0]: extract node n's whole subtree.
+        let q = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.barred_child(root, "a", Cond::eq(Rat::ZERO)).unwrap();
+            b.build()
+        };
+        let ans = it.query(&q);
+        assert!(ans.certain_nonempty());
+        // Answers may include b-children below n (unknown content).
+        let mut with_b = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        let nref = with_b.add_child(with_b.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        with_b.add_child(nref, Nid(80), Label(2), Rat::from(4)).unwrap();
+        assert!(ans.tree.contains(&with_b));
+        // And also no b at all.
+        let mut no_b = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        no_b.add_child(no_b.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        assert!(ans.tree.contains(&no_b));
+        // Not fully answerable: the subtree content is unknown.
+        assert!(!ans.fully_answerable());
+    }
+}

@@ -1,0 +1,358 @@
+//! Bisimulation minimization of incomplete trees.
+//!
+//! Algorithm Refine's product construction (Lemma 3.3) creates many
+//! specialized symbols that are semantically identical — e.g. after the
+//! auxiliary queries of Proposition 3.13 pin all children of a node, the
+//! `τ̄`/`τ̂`/`else` specializations of a data node collapse to the same
+//! behavior. The paper presents the resulting simplified incomplete tree
+//! directly; this module makes the simplification explicit and general:
+//!
+//! * symbols are partitioned by *bisimilarity* — same specialization
+//!   target, same (normalized) condition, and µ's that coincide once
+//!   entries are mapped to partition blocks;
+//! * each block becomes one symbol; entries of one atom that fall into
+//!   the same block are combined when the resulting occurrence-count set
+//!   is expressible as a multiplicity (`1`, `?`, `+`, `⋆`) — blocks that
+//!   would need an inexpressible count (e.g. "exactly 2") are *frozen*
+//!   (not merged), so minimization is always `rep`-preserving;
+//! * duplicate atoms in a disjunction are removed.
+//!
+//! [`IncompleteTree::minimize`] is idempotent and `rep`-preserving; the
+//! [`crate::Refiner`] applies it after every step, which keeps benign
+//! chains (in particular Proposition 3.13's) polynomial.
+
+use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
+use crate::itree::IncompleteTree;
+use iixml_tree::Mult;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn bounds(m: Mult) -> (u8, bool) {
+    // (lower bound, unbounded?)
+    match m {
+        Mult::One => (1, false),
+        Mult::Opt => (0, false),
+        Mult::Plus => (1, true),
+        Mult::Star => (0, true),
+    }
+}
+
+/// Combines the multiplicities of same-block entries; `None` when the
+/// combined count set is not expressible as a single multiplicity.
+fn combine(ms: &[Mult]) -> Option<Mult> {
+    if ms.len() == 1 {
+        return Some(ms[0]);
+    }
+    let lo: u8 = ms.iter().map(|&m| bounds(m).0).sum();
+    let unbounded = ms.iter().any(|&m| bounds(m).1);
+    let hi_bounded: u8 = ms.iter().map(|&m| !bounds(m).1 as u8).sum::<u8>();
+    match (lo, unbounded) {
+        (0, true) => Some(Mult::Star),
+        (1, true) => Some(Mult::Plus),
+        (0, false) if hi_bounded == 1 => Some(Mult::Opt),
+        (1, false) if hi_bounded == 1 => Some(Mult::One),
+        _ => None,
+    }
+}
+
+impl IncompleteTree {
+    /// Merges bisimilar symbols and removes duplicate atoms, preserving
+    /// `rep` exactly. Run [`IncompleteTree::trim`] first for best effect
+    /// (the [`crate::Refiner`] does both).
+    pub fn minimize(&self) -> IncompleteTree {
+        let ty = self.ty();
+        let n = ty.sym_count();
+        if n == 0 {
+            return self.clone();
+        }
+        // Frozen symbols are never merged with anything.
+        let mut frozen: HashSet<Sym> = HashSet::new();
+        loop {
+            let block_of = self.partition(&frozen);
+            // Check expressibility of every within-atom merge.
+            let mut violated = false;
+            for s in ty.syms() {
+                for atom in ty.mu(s).atoms() {
+                    let mut groups: BTreeMap<usize, Vec<Mult>> = BTreeMap::new();
+                    for &(c, m) in atom.entries() {
+                        groups.entry(block_of[c.ix()]).or_default().push(m);
+                    }
+                    for (block, ms) in groups {
+                        if combine(&ms).is_none() {
+                            // Freeze every member of the offending block.
+                            for c in ty.syms() {
+                                if block_of[c.ix()] == block {
+                                    frozen.insert(c);
+                                }
+                            }
+                            violated = true;
+                        }
+                    }
+                }
+            }
+            if !violated {
+                return self.rebuild(&block_of);
+            }
+        }
+    }
+
+    /// Coarsest partition compatible with (target, cond, frozen-ness)
+    /// refined by µ signatures.
+    fn partition(&self, frozen: &HashSet<Sym>) -> Vec<usize> {
+        let ty = self.ty();
+        let n = ty.sym_count();
+        // Initial blocks: by (target, cond), frozen symbols isolated.
+        let mut block_of: Vec<usize> = vec![0; n];
+        {
+            let mut key_to_block: HashMap<String, usize> = HashMap::new();
+            for s in ty.syms() {
+                let info = ty.info(s);
+                let key = if frozen.contains(&s) {
+                    format!("frozen:{}", s.ix())
+                } else {
+                    let target = match info.target {
+                        SymTarget::Lab(l) => format!("L{}", l.0),
+                        SymTarget::Node(nd) => format!("N{}", nd.0),
+                    };
+                    format!("{target}|{}", info.cond)
+                };
+                let next = key_to_block.len();
+                let b = *key_to_block.entry(key).or_insert(next);
+                block_of[s.ix()] = b;
+            }
+        }
+        // Refine until stable.
+        // Signature: (current block, canonical atom list over blocks).
+        type Signature = (usize, Vec<Vec<(usize, Mult)>>);
+        loop {
+            let mut sig_to_block: HashMap<Signature, usize> = HashMap::new();
+            let mut next_block: Vec<usize> = vec![0; n];
+            for s in ty.syms() {
+                let mut atoms: Vec<Vec<(usize, Mult)>> = ty
+                    .mu(s)
+                    .atoms()
+                    .iter()
+                    .map(|a| {
+                        let mut v: Vec<(usize, Mult)> = a
+                            .entries()
+                            .iter()
+                            .map(|&(c, m)| (block_of[c.ix()], m))
+                            .collect();
+                        v.sort();
+                        v
+                    })
+                    .collect();
+                atoms.sort();
+                atoms.dedup();
+                let key = (block_of[s.ix()], atoms);
+                let fresh = sig_to_block.len();
+                let b = *sig_to_block.entry(key).or_insert(fresh);
+                next_block[s.ix()] = b;
+            }
+            if next_block == block_of {
+                return block_of;
+            }
+            block_of = next_block;
+        }
+    }
+
+    fn rebuild(&self, block_of: &[usize]) -> IncompleteTree {
+        let ty = self.ty();
+        let mut rep_sym: HashMap<usize, Sym> = HashMap::new();
+        let mut out = ConditionalTreeType::new();
+        for s in ty.syms() {
+            let b = block_of[s.ix()];
+            if let std::collections::hash_map::Entry::Vacant(e) = rep_sym.entry(b) {
+                let info = ty.info(s);
+                let ns = out.add_symbol(info.name.clone(), info.target, info.cond.clone());
+                e.insert(ns);
+            }
+        }
+        // Build µ from each block representative's original µ.
+        let mut done: HashSet<usize> = HashSet::new();
+        for s in ty.syms() {
+            let b = block_of[s.ix()];
+            if !done.insert(b) {
+                continue;
+            }
+            let mut atoms: Vec<SAtom> = Vec::new();
+            for atom in ty.mu(s).atoms() {
+                let mut groups: BTreeMap<Sym, Vec<Mult>> = BTreeMap::new();
+                for &(c, m) in atom.entries() {
+                    groups
+                        .entry(rep_sym[&block_of[c.ix()]])
+                        .or_default()
+                        .push(m);
+                }
+                let entries: Vec<(Sym, Mult)> = groups
+                    .into_iter()
+                    .map(|(c, ms)| {
+                        let m = combine(&ms)
+                            .expect("inexpressible blocks were frozen before rebuild");
+                        (c, m)
+                    })
+                    .collect();
+                atoms.push(SAtom::new(entries));
+            }
+            atoms.sort_by(|x, y| x.entries().iter().cmp(y.entries().iter()));
+            atoms.dedup();
+            out.set_mu(rep_sym[&b], Disjunction(atoms));
+        }
+        let mut roots: Vec<Sym> = ty
+            .roots()
+            .iter()
+            .map(|r| rep_sym[&block_of[r.ix()]])
+            .collect();
+        roots.sort();
+        roots.dedup();
+        out.set_roots(roots);
+        IncompleteTree::new(self.nodes().clone(), out)
+            .expect("nodes unchanged")
+            .trim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itree::NodeInfo;
+    use iixml_tree::{DataTree, Label, Nid};
+    use iixml_values::{Cond, IntervalSet, Rat};
+
+    /// Two symbols with identical behavior under the root: must merge.
+    #[test]
+    fn merges_identical_star_symbols() {
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
+        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), Cond::gt(Rat::ZERO).to_intervals());
+        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), Cond::gt(Rat::ZERO).to_intervals());
+        ty.set_mu(
+            r,
+            Disjunction(vec![
+                SAtom::new(vec![(a1, Mult::Star)]),
+                SAtom::new(vec![(a2, Mult::Star)]),
+            ]),
+        );
+        ty.set_mu(a1, Disjunction::leaf());
+        ty.set_mu(a2, Disjunction::leaf());
+        ty.add_root(r);
+        let it = IncompleteTree::new(std::collections::BTreeMap::new(), ty).unwrap();
+        let m = it.minimize();
+        assert_eq!(m.ty().sym_count(), 2, "a1/a2 merged");
+        // The two atoms collapsed to one.
+        let root_sym = m.ty().roots()[0];
+        assert_eq!(m.ty().mu(root_sym).atoms().len(), 1);
+        // Semantics preserved.
+        let mut t = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        t.add_child(t.root(), Nid(1), Label(1), Rat::from(3)).unwrap();
+        assert!(it.contains(&t) && m.contains(&t));
+        let mut bad = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        bad.add_child(bad.root(), Nid(1), Label(1), Rat::from(-3)).unwrap();
+        assert!(!it.contains(&bad) && !m.contains(&bad));
+    }
+
+    /// Symbols with different conditions must not merge.
+    #[test]
+    fn keeps_distinguishable_symbols() {
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
+        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), Cond::gt(Rat::ZERO).to_intervals());
+        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), Cond::lt(Rat::ZERO).to_intervals());
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(a1, Mult::Star), (a2, Mult::Star)])),
+        );
+        ty.set_mu(a1, Disjunction::leaf());
+        ty.set_mu(a2, Disjunction::leaf());
+        ty.add_root(r);
+        let it = IncompleteTree::new(std::collections::BTreeMap::new(), ty).unwrap();
+        let m = it.minimize();
+        assert_eq!(m.ty().sym_count(), 3);
+    }
+
+    /// Same condition, different subtree structure: no merge.
+    #[test]
+    fn structure_distinguishes() {
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
+        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), IntervalSet::all());
+        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), IntervalSet::all());
+        let b = ty.add_symbol("b", SymTarget::Lab(Label(2)), IntervalSet::all());
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(a1, Mult::Star), (a2, Mult::Star)])),
+        );
+        ty.set_mu(a1, Disjunction::single(SAtom::new(vec![(b, Mult::One)])));
+        ty.set_mu(a2, Disjunction::leaf());
+        ty.set_mu(b, Disjunction::leaf());
+        ty.add_root(r);
+        let it = IncompleteTree::new(std::collections::BTreeMap::new(), ty).unwrap();
+        let m = it.minimize();
+        assert_eq!(m.ty().sym_count(), 4);
+    }
+
+    /// The inexpressible-count guard: two mandatory bounded entries of a
+    /// would-be block must stay separate.
+    #[test]
+    fn freezes_inexpressible_merges() {
+        let mut nodes = std::collections::BTreeMap::new();
+        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), IntervalSet::all());
+        // Two identical-behavior Lab symbols, both mandatory in the same
+        // atom: merged they would require "exactly 2".
+        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), IntervalSet::all());
+        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), IntervalSet::all());
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(a1, Mult::One), (a2, Mult::One)])),
+        );
+        ty.set_mu(a1, Disjunction::leaf());
+        ty.set_mu(a2, Disjunction::leaf());
+        ty.add_root(r);
+        let it = IncompleteTree::new(nodes, ty).unwrap();
+        let m = it.minimize();
+        // Exactly-two semantics preserved.
+        let mut two = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        two.add_child(two.root(), Nid(10), Label(1), Rat::ZERO).unwrap();
+        two.add_child(two.root(), Nid(11), Label(1), Rat::ZERO).unwrap();
+        let mut one = DataTree::new(Nid(0), Label(0), Rat::ZERO);
+        one.add_child(one.root(), Nid(10), Label(1), Rat::ZERO).unwrap();
+        let mut three = two.clone();
+        three.add_child(three.root(), Nid(12), Label(1), Rat::ZERO).unwrap();
+        for (t, expect) in [(&two, true), (&one, false), (&three, false)] {
+            assert_eq!(it.contains(t), expect);
+            assert_eq!(m.contains(t), expect, "minimization changed semantics");
+        }
+    }
+
+    /// One + Star in a block combines to Plus.
+    #[test]
+    fn combine_rules() {
+        assert_eq!(combine(&[Mult::Star, Mult::Star]), Some(Mult::Star));
+        assert_eq!(combine(&[Mult::One, Mult::Star]), Some(Mult::Plus));
+        assert_eq!(combine(&[Mult::Opt, Mult::Star]), Some(Mult::Star));
+        assert_eq!(combine(&[Mult::Plus, Mult::Star]), Some(Mult::Plus));
+        assert_eq!(combine(&[Mult::One, Mult::One]), None);
+        assert_eq!(combine(&[Mult::Opt, Mult::Opt]), None);
+        assert_eq!(combine(&[Mult::Plus, Mult::Plus]), None);
+        assert_eq!(combine(&[Mult::One]), Some(Mult::One));
+    }
+
+    /// Minimization is idempotent.
+    #[test]
+    fn idempotent() {
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
+        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), IntervalSet::all());
+        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), IntervalSet::all());
+        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(a1, Mult::Star), (a2, Mult::Star)])));
+        ty.set_mu(a1, Disjunction::leaf());
+        ty.set_mu(a2, Disjunction::leaf());
+        ty.add_root(r);
+        let it = IncompleteTree::new(std::collections::BTreeMap::new(), ty).unwrap();
+        let m1 = it.minimize();
+        let m2 = m1.minimize();
+        assert_eq!(m1.ty().sym_count(), m2.ty().sym_count());
+        assert_eq!(m1.size(), m2.size());
+    }
+}

@@ -1,0 +1,733 @@
+//! Algorithm Refine (Section 3.1): incremental acquisition of incomplete
+//! information from query-answer pairs.
+//!
+//! Two building blocks, then the algorithm:
+//!
+//! 1. [`query_answer_tree`] (Lemma 3.2) — from a ps-query `q` and its
+//!    answer `A`, builds the incomplete tree `T_{q,A}` with
+//!    `rep(T_{q,A}) = q⁻¹(A) = { T | q(T) = A }`. The specialized types
+//!    are exactly the paper's: `τ_a` (unconstrained subtree with root
+//!    label `a`), `τ_n` (answer node `n`), `τ̄_m` (nodes violating the
+//!    condition of query node `m`), and `τ̂_m` (nodes satisfying `m`'s
+//!    condition under which `m`'s subquery cannot be matched).
+//! 2. [`intersect`] (Lemma 3.3) — the product of two incomplete trees,
+//!    with `rep(T) = rep(T1) ∩ rep(T2)`. Multiplicity atoms are joined by
+//!    the `⋊⋉` operation; our implementation generalizes the paper's
+//!    unique-matching argument to a (small) disjunctive expansion when a
+//!    mandatory entry has several compatible partners, which keeps the
+//!    construction correct on arbitrary inputs while coinciding with the
+//!    paper's on unambiguous ones.
+//!
+//! [`Refiner`] chains these: `T ← trim(T ∩ T_{q,A})` per query-answer
+//! pair (Theorem 3.4: polynomial per step — though the result can grow
+//! exponentially in the *whole sequence*, see Example 3.2 and the
+//! `blowup` bench).
+
+use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
+use crate::itree::{IncompleteTree, ItreeError, NodeInfo};
+use iixml_query::{Answer, MatchKind, PsQuery, QNodeRef};
+use iixml_tree::{Alphabet, DataTree, Label, Mult, Nid};
+use iixml_values::IntervalSet;
+use std::collections::{BTreeMap, HashMap};
+
+/// Builds `T_{q,A}` (Lemma 3.2): the unambiguous incomplete tree whose
+/// `rep` is exactly the set of data trees on which `q` returns `A`.
+///
+/// `alpha` supplies the full element alphabet Σ (the construction's
+/// "else" entries quantify over all of Σ, which is why the paper's
+/// complexity bound is `O((|q| + |A|) · |Σ|)`).
+pub fn query_answer_tree(q: &PsQuery, ans: &Answer, alpha: &Alphabet) -> IncompleteTree {
+    let labels: Vec<Label> = alpha.labels().collect();
+    let mut ty = ConditionalTreeType::new();
+
+    // τ_a for every a in Σ: anything-goes subtree rooted with label a.
+    let any: HashMap<Label, Sym> = labels
+        .iter()
+        .map(|&l| {
+            let s = ty.add_symbol(
+                format!("any:{}", alpha.name(l)),
+                SymTarget::Lab(l),
+                IntervalSet::all(),
+            );
+            (l, s)
+        })
+        .collect();
+    let all_star = SAtom::new(labels.iter().map(|&l| (any[&l], Mult::Star)).collect());
+    for &l in &labels {
+        ty.set_mu(any[&l], Disjunction::single(all_star.clone()));
+    }
+
+    // τ̄_m and τ̂_m for every query node m.
+    let qnodes = q.preorder();
+    let mut bar: HashMap<QNodeRef, Sym> = HashMap::new();
+    let mut hat: HashMap<QNodeRef, Sym> = HashMap::new();
+    for &m in &qnodes {
+        let b = ty.add_symbol(
+            format!("viol:q{}", m.0),
+            SymTarget::Lab(q.label(m)),
+            q.cond_set(m).complement(),
+        );
+        ty.set_mu(b, Disjunction::single(all_star.clone()));
+        bar.insert(m, b);
+        if !q.children(m).is_empty() {
+            let h = ty.add_symbol(
+                format!("fail:q{}", m.0),
+                SymTarget::Lab(q.label(m)),
+                q.cond_set(m).clone(),
+            );
+            hat.insert(m, h);
+        }
+    }
+    // µ(τ̂_m) = ∨_i  τ̄_{m_i}⋆ τ̂_{m_i}⋆ · (τ_a⋆ for a ≠ λ(m_i)):
+    // below this node, the subquery of at least one child m_i matches
+    // nothing.
+    for (&m, &h) in &hat {
+        let mut atoms = Vec::new();
+        for &mi in q.children(m) {
+            let mut entries: Vec<(Sym, Mult)> = vec![(bar[&mi], Mult::Star)];
+            if let Some(&hi) = hat.get(&mi) {
+                entries.push((hi, Mult::Star));
+            }
+            for &l in &labels {
+                if l != q.label(mi) {
+                    entries.push((any[&l], Mult::Star));
+                }
+            }
+            atoms.push(SAtom::new(entries));
+        }
+        ty.set_mu(h, Disjunction(atoms));
+    }
+
+    // τ_n for every answer node, plus the data-node table.
+    let mut nodes: BTreeMap<Nid, NodeInfo> = BTreeMap::new();
+    let mut node_sym: HashMap<Nid, Sym> = HashMap::new();
+    if let Some(a) = &ans.tree {
+        for r in a.preorder() {
+            let nid = a.nid(r);
+            nodes.insert(
+                nid,
+                NodeInfo {
+                    label: a.label(r),
+                    value: a.value(r),
+                },
+            );
+            let s = ty.add_symbol(
+                format!("node:{nid}"),
+                SymTarget::Node(nid),
+                IntervalSet::eq(a.value(r)),
+            );
+            node_sym.insert(nid, s);
+        }
+        for r in a.preorder() {
+            let nid = a.nid(r);
+            let s = node_sym[&nid];
+            let kind = ans
+                .provenance
+                .get(&nid)
+                .copied()
+                .expect("every answer node has provenance");
+            let kid_entries: Vec<(Sym, Mult)> = a
+                .children(r)
+                .iter()
+                .map(|&c| (node_sym[&a.nid(c)], Mult::One))
+                .collect();
+            let exact = match kind {
+                MatchKind::BarDescendant(_) => true,
+                MatchKind::Matched(m) => q.barred(m),
+            };
+            let mu = if exact {
+                // The whole subtree was extracted: children are exactly
+                // those present in A.
+                Disjunction::single(SAtom::new(kid_entries))
+            } else {
+                let m = match kind {
+                    MatchKind::Matched(m) => m,
+                    MatchKind::BarDescendant(_) => unreachable!(),
+                };
+                if q.children(m).is_empty() {
+                    // The query did not explore below this node.
+                    Disjunction::single(all_star.clone())
+                } else {
+                    let mut entries = kid_entries;
+                    let qkid_labels: Vec<Label> =
+                        q.children(m).iter().map(|&mi| q.label(mi)).collect();
+                    for &mi in q.children(m) {
+                        entries.push((bar[&mi], Mult::Star));
+                        if let Some(&hi) = hat.get(&mi) {
+                            entries.push((hi, Mult::Star));
+                        }
+                    }
+                    for &l in &labels {
+                        if !qkid_labels.contains(&l) {
+                            entries.push((any[&l], Mult::Star));
+                        }
+                    }
+                    Disjunction::single(SAtom::new(entries))
+                }
+            };
+            ty.set_mu(s, mu);
+        }
+        ty.add_root(node_sym[&a.nid(a.root())]);
+    } else {
+        // Empty answer: the root either has the wrong label (τ_a for
+        // a ≠ λ(r)), violates the root condition (τ̄_r), or satisfies it
+        // but the pattern fails below (τ̂_r).
+        let r = q.root();
+        ty.add_root(bar[&r]);
+        if let Some(&h) = hat.get(&r) {
+            ty.add_root(h);
+        }
+        for &l in &labels {
+            if l != q.label(r) {
+                ty.add_root(any[&l]);
+            }
+        }
+    }
+
+    IncompleteTree::new(nodes, ty).expect("construction references only answer nodes")
+}
+
+/// The meet of two multiplicities as occurrence-count bounds.
+fn meet_bounds(a: Mult, b: Mult) -> (bool, bool) {
+    // (mandatory, bounded-to-one)
+    (a.mandatory() || b.mandatory(), !a.repeatable() || !b.repeatable())
+}
+
+fn mult_from(mandatory: bool, bounded: bool) -> Mult {
+    match (mandatory, bounded) {
+        (true, true) => Mult::One,
+        (true, false) => Mult::Plus,
+        (false, true) => Mult::Opt,
+        (false, false) => Mult::Star,
+    }
+}
+
+/// Intersection of two incomplete trees (Lemma 3.3):
+/// `rep(result) = rep(t1) ∩ rep(t2)`.
+///
+/// Fails with [`ItreeError::IncompatibleNode`] when the trees disagree on
+/// a shared data node's label or value (in which case the intersection is
+/// empty anyway — the paper assumes compatibility).
+pub fn intersect(
+    t1: &IncompleteTree,
+    t2: &IncompleteTree,
+) -> Result<IncompleteTree, ItreeError> {
+    // Union the data nodes, checking compatibility.
+    let mut nodes = t1.nodes().clone();
+    for (&n, &info) in t2.nodes() {
+        match nodes.get(&n) {
+            Some(&prev) if prev != info => return Err(ItreeError::IncompatibleNode(n)),
+            _ => {
+                nodes.insert(n, info);
+            }
+        }
+    }
+
+    let (ty1, ty2) = (t1.ty(), t2.ty());
+    let mut ty = ConditionalTreeType::new();
+    let mut pair_of: HashMap<(Sym, Sym), Sym> = HashMap::new();
+
+    for s1 in ty1.syms() {
+        for s2 in ty2.syms() {
+            let i1 = ty1.info(s1);
+            let i2 = ty2.info(s2);
+            let target = match (i1.target, i2.target) {
+                (SymTarget::Lab(a), SymTarget::Lab(b)) if a == b => SymTarget::Lab(a),
+                (SymTarget::Node(n), SymTarget::Node(m)) if n == m => SymTarget::Node(n),
+                (SymTarget::Node(n), SymTarget::Lab(b)) => {
+                    // Only when the node is unknown to t2 and its label
+                    // matches: in rep(t2) that node is an ordinary
+                    // b-labeled node.
+                    if t2.nodes().contains_key(&n)
+                        || t1.node_info(n).map(|i| i.label) != Some(b)
+                    {
+                        continue;
+                    }
+                    SymTarget::Node(n)
+                }
+                (SymTarget::Lab(a), SymTarget::Node(m)) => {
+                    if t1.nodes().contains_key(&m)
+                        || t2.node_info(m).map(|i| i.label) != Some(a)
+                    {
+                        continue;
+                    }
+                    SymTarget::Node(m)
+                }
+                _ => continue,
+            };
+            let cond = i1.cond.intersect(&i2.cond);
+            if cond.is_empty() {
+                continue; // unsatisfiable pair can never type a node
+            }
+            let name = format!("{}&{}", truncate(&i1.name), truncate(&i2.name));
+            let p = ty.add_symbol(name, target, cond);
+            pair_of.insert((s1, s2), p);
+        }
+    }
+
+    // Roots.
+    for &(s1, s2) in pair_of.keys() {
+        if ty1.roots().contains(&s1) && ty2.roots().contains(&s2) {
+            ty.add_root(pair_of[&(s1, s2)]);
+        }
+    }
+
+    // µ of each pair: union over disjunct pairs of the joined atoms.
+    let keys: Vec<(Sym, Sym)> = pair_of.keys().copied().collect();
+    for (s1, s2) in keys {
+        let p = pair_of[&(s1, s2)];
+        let mut atoms: Vec<SAtom> = Vec::new();
+        for a1 in ty1.mu(s1).atoms() {
+            for a2 in ty2.mu(s2).atoms() {
+                join_atoms(a1, a2, &pair_of, &mut atoms);
+            }
+        }
+        atoms.sort_by(|x, y| x.entries().iter().cmp(y.entries().iter()));
+        atoms.dedup();
+        ty.set_mu(p, Disjunction(atoms));
+    }
+
+    IncompleteTree::new(nodes, ty)
+}
+
+fn truncate(s: &str) -> &str {
+    let max = 40;
+    if s.len() <= max {
+        s
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        &s[..end]
+    }
+}
+
+/// Joins two multiplicity atoms (the `⋊⋉` of Lemma 3.3), appending the
+/// resulting atoms (possibly several, possibly none) to `out`.
+///
+/// A child of the combined node must be typeable on both sides, so the
+/// joined atom ranges over compatible entry pairs. Entries that are
+/// bounded (`1`/`?`) or mandatory (`1`/`+`) on one side constrain the
+/// *total* count across all pairs containing that entry, which a single
+/// atom cannot express when an entry has several compatible partners; we
+/// therefore expand disjunctively over the choice of partner. On
+/// unambiguous trees every choice set is a singleton and the expansion
+/// degenerates to the paper's single joined atom.
+fn join_atoms(
+    a1: &SAtom,
+    a2: &SAtom,
+    pair_of: &HashMap<(Sym, Sym), Sym>,
+    out: &mut Vec<SAtom>,
+) {
+    // All compatible pairs, with partner lists per side entry.
+    let mut pairs: Vec<(usize, usize)> = Vec::new(); // (idx in a1, idx in a2)
+    for (i, &(c1, _)) in a1.entries().iter().enumerate() {
+        for (j, &(c2, _)) in a2.entries().iter().enumerate() {
+            if pair_of.contains_key(&(c1, c2)) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    // Constrained entries: bounded or mandatory on either side.
+    #[derive(Clone, Copy)]
+    struct Constraint {
+        side1: bool,
+        idx: usize,
+        mandatory: bool,
+        bounded: bool,
+    }
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for (i, &(_, m)) in a1.entries().iter().enumerate() {
+        if m.mandatory() || !m.repeatable() {
+            constraints.push(Constraint {
+                side1: true,
+                idx: i,
+                mandatory: m.mandatory(),
+                bounded: !m.repeatable(),
+            });
+        }
+    }
+    for (j, &(_, m)) in a2.entries().iter().enumerate() {
+        if m.mandatory() || !m.repeatable() {
+            constraints.push(Constraint {
+                side1: false,
+                idx: j,
+                mandatory: m.mandatory(),
+                bounded: !m.repeatable(),
+            });
+        }
+    }
+
+    // choice[c] = Some(pair index) designated for constraint c, or None
+    // (allowed only for non-mandatory constraints).
+    fn recurse(
+        cs: &[Constraint],
+        k: usize,
+        pairs: &[(usize, usize)],
+        choice: &mut Vec<Option<usize>>,
+        emit: &mut dyn FnMut(&[Option<usize>]),
+    ) {
+        if k == cs.len() {
+            emit(choice);
+            return;
+        }
+        let c = cs[k];
+        let mut any = false;
+        for (pi, &(i, j)) in pairs.iter().enumerate() {
+            let on_entry = if c.side1 { i == c.idx } else { j == c.idx };
+            if on_entry {
+                any = true;
+                choice.push(Some(pi));
+                recurse(cs, k + 1, pairs, choice, emit);
+                choice.pop();
+            }
+        }
+        if !c.mandatory || !any {
+            // A bounded-but-optional entry may host no child at all; a
+            // mandatory entry with no partner makes the join empty (we
+            // simply emit nothing down this branch).
+            if !c.mandatory {
+                choice.push(None);
+                recurse(cs, k + 1, pairs, choice, emit);
+                choice.pop();
+            }
+        }
+    }
+
+    let a1e = a1.entries();
+    let a2e = a2.entries();
+    let mut emit = |choice: &[Option<usize>]| {
+        // Build the atom for this combination.
+        // included[p]: pair participates; designated[p]: lower bound 1.
+        let mut included = vec![true; pairs.len()];
+        let mut designated = vec![false; pairs.len()];
+        for (c, &ch) in constraints.iter().zip(choice) {
+            if c.bounded {
+                // Only the chosen partner (if any) survives for this
+                // entry.
+                for (pi, &(i, j)) in pairs.iter().enumerate() {
+                    let on_entry = if c.side1 { i == c.idx } else { j == c.idx };
+                    if on_entry && Some(pi) != ch {
+                        included[pi] = false;
+                    }
+                }
+            }
+            if c.mandatory {
+                if let Some(pi) = ch {
+                    designated[pi] = true;
+                }
+            }
+        }
+        // Consistency: every designated pair must still be included
+        // (a partner excluded by the other side's bounded choice is a
+        // contradiction).
+        for pi in 0..pairs.len() {
+            if designated[pi] && !included[pi] {
+                return;
+            }
+        }
+        let mut entries: Vec<(Sym, Mult)> = Vec::new();
+        for (pi, &(i, j)) in pairs.iter().enumerate() {
+            if !included[pi] {
+                continue;
+            }
+            let (c1, m1) = a1e[i];
+            let (c2, m2) = a2e[j];
+            let (_, bounded) = meet_bounds(m1, m2);
+            let mandatory = designated[pi];
+            entries.push((pair_of[&(c1, c2)], mult_from(mandatory, bounded)));
+        }
+        out.push(SAtom::new(entries));
+    };
+    let mut choice = Vec::new();
+    recurse(&constraints, 0, &pairs, &mut choice, &mut emit);
+}
+
+/// Maintains the incomplete tree of a Refine chain: start from the
+/// zero-knowledge universal tree and refine with successive query-answer
+/// pairs (Theorem 3.4), optionally folding in the source's tree type
+/// (Theorem 3.5, see [`crate::type_intersect`]).
+#[derive(Clone, Debug)]
+pub struct Refiner {
+    current: IncompleteTree,
+    steps: usize,
+}
+
+impl Refiner {
+    /// Starts a chain knowing nothing: `rep` = all trees over `alpha`.
+    ///
+    /// The alphabet must already contain every label the *source
+    /// document* can use (labels interned later — e.g. by queries probing
+    /// names absent from the source — are harmless: the chain correctly
+    /// records that no such nodes exist).
+    pub fn new(alpha: &Alphabet) -> Refiner {
+        let labels: Vec<Label> = alpha.labels().collect();
+        let names: Vec<&str> = labels.iter().map(|&l| alpha.name(l)).collect();
+        Refiner {
+            current: IncompleteTree::universal(&labels, &names),
+            steps: 0,
+        }
+    }
+
+    /// Starts a chain from an existing incomplete tree.
+    pub fn from_tree(t: IncompleteTree) -> Refiner {
+        Refiner {
+            current: t,
+            steps: 0,
+        }
+    }
+
+    /// The current incomplete tree.
+    pub fn current(&self) -> &IncompleteTree {
+        &self.current
+    }
+
+    /// Number of refinement steps performed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// One step of Algorithm Refine:
+    /// `T ← minimize(trim(T ∩ T_{q,A}))`. Minimization (bisimulation
+    /// merging, see [`crate::minimize`]) is `rep`-preserving and keeps
+    /// benign chains — in particular those aided by Proposition 3.13's
+    /// auxiliary queries — polynomial.
+    pub fn refine(
+        &mut self,
+        alpha: &Alphabet,
+        q: &PsQuery,
+        ans: &Answer,
+    ) -> Result<(), ItreeError> {
+        let tqa = query_answer_tree(q, ans, alpha);
+        let combined = intersect(&self.current, &tqa)?;
+        self.current = combined.trim().minimize();
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// The data tree `T_d` accumulated so far (the known prefix of the
+    /// source document).
+    pub fn data_tree(&self) -> Option<DataTree> {
+        self.current.data_tree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_query::PsQueryBuilder;
+    use iixml_tree::NidGen;
+    use iixml_values::{Cond, Rat};
+
+    /// A tiny source: root(=0) with children a(=1), a(=5), b(=2).
+    fn source(alpha: &mut Alphabet) -> DataTree {
+        let r = alpha.intern("root");
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
+        t.add_child(t.root(), Nid(1), a, Rat::from(1)).unwrap();
+        t.add_child(t.root(), Nid(2), a, Rat::from(5)).unwrap();
+        t.add_child(t.root(), Nid(3), b, Rat::from(2)).unwrap();
+        t
+    }
+
+    fn q_a_lt(alpha: &mut Alphabet, bound: i64) -> PsQuery {
+        let mut bld = PsQueryBuilder::new(alpha, "root", Cond::True);
+        let root = bld.root();
+        bld.child(root, "a", Cond::lt(Rat::from(bound))).unwrap();
+        bld.build()
+    }
+
+    #[test]
+    fn tqa_inverse_image_contains_source() {
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q = q_a_lt(&mut alpha, 3);
+        let ans = q.eval(&t);
+        assert_eq!(ans.len(), 2); // root + a(=1)
+        let tqa = query_answer_tree(&q, &ans, &alpha);
+        assert!(tqa.well_formed().is_ok());
+        assert!(
+            tqa.contains(&t),
+            "the source itself must be in q^-1(A)"
+        );
+    }
+
+    #[test]
+    fn tqa_rejects_trees_with_different_answers() {
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q = q_a_lt(&mut alpha, 3);
+        let ans = q.eval(&t);
+        let tqa = query_answer_tree(&q, &ans, &alpha);
+
+        // A tree with an extra a(=2) child would have answered with an
+        // extra node: not in q^-1(A).
+        let mut t2 = t.clone();
+        t2.add_child(t2.root(), Nid(9), alpha.get("a").unwrap(), Rat::from(2))
+            .unwrap();
+        assert!(!tqa.contains(&t2));
+
+        // A tree missing node 1 answers with fewer nodes.
+        let mut t3 = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+        t3.add_child(t3.root(), Nid(2), alpha.get("a").unwrap(), Rat::from(5))
+            .unwrap();
+        assert!(!tqa.contains(&t3));
+
+        // Changing a non-answer node's value (a=5 -> a=7) keeps the
+        // answer identical: still in q^-1(A).
+        let mut t4 = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+        t4.add_child(t4.root(), Nid(1), alpha.get("a").unwrap(), Rat::from(1))
+            .unwrap();
+        t4.add_child(t4.root(), Nid(12), alpha.get("a").unwrap(), Rat::from(7))
+            .unwrap();
+        assert!(tqa.contains(&t4));
+    }
+
+    #[test]
+    fn tqa_empty_answer() {
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q = q_a_lt(&mut alpha, 0); // no a < 0
+        let ans = q.eval(&t);
+        assert!(ans.is_empty());
+        let tqa = query_answer_tree(&q, &ans, &alpha);
+        assert!(tqa.contains(&t));
+        // A tree with a(= -1) would have answered nonempty.
+        let mut bad = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+        bad.add_child(bad.root(), Nid(5), alpha.get("a").unwrap(), Rat::from(-1))
+            .unwrap();
+        assert!(!tqa.contains(&bad));
+        // A tree with a different root label answers empty too.
+        let other = DataTree::new(Nid(0), alpha.get("b").unwrap(), Rat::ZERO);
+        assert!(tqa.contains(&other));
+    }
+
+    #[test]
+    fn refine_chain_narrows_rep() {
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q1 = q_a_lt(&mut alpha, 3);
+        let q2 = {
+            let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = bld.root();
+            bld.child(root, "b", Cond::True).unwrap();
+            bld.build()
+        };
+        let mut refiner = Refiner::new(&alpha);
+        assert!(refiner.current().contains(&t));
+
+        let a1 = q1.eval(&t);
+        refiner.refine(&alpha, &q1, &a1).unwrap();
+        assert!(refiner.current().contains(&t));
+        assert!(refiner.current().is_unambiguous());
+
+        let a2 = q2.eval(&t);
+        refiner.refine(&alpha, &q2, &a2).unwrap();
+        let cur = refiner.current();
+        assert!(cur.contains(&t), "source always remains represented");
+        assert!(!cur.is_empty());
+        assert_eq!(refiner.steps(), 2);
+
+        // The accumulated data tree holds the union of both answers:
+        // root, a(=1), b(=2).
+        let td = refiner.data_tree().unwrap();
+        assert_eq!(td.len(), 3);
+        assert!(td.by_nid(Nid(1)).is_some());
+        assert!(td.by_nid(Nid(3)).is_some());
+
+        // Trees answering differently to either query are excluded.
+        let mut bad = t.clone();
+        bad.add_child(bad.root(), Nid(9), alpha.get("b").unwrap(), Rat::from(4))
+            .unwrap();
+        assert!(!cur.contains(&bad), "extra b changes q2's answer");
+        let mut ok = t.clone();
+        ok.add_child(ok.root(), Nid(9), alpha.get("a").unwrap(), Rat::from(10))
+            .unwrap();
+        assert!(cur.contains(&ok), "extra a >= 3 changes neither answer");
+    }
+
+    #[test]
+    fn refine_with_incompatible_nodes_errors() {
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q = q_a_lt(&mut alpha, 3);
+        let ans = q.eval(&t);
+        let mut refiner = Refiner::new(&alpha);
+        refiner.refine(&alpha, &q, &ans).unwrap();
+        // Fake a conflicting answer: node 1 now claims value 2.
+        let mut fake_tree = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+        fake_tree
+            .add_child(fake_tree.root(), Nid(1), alpha.get("a").unwrap(), Rat::from(2))
+            .unwrap();
+        let fake = q.eval(&fake_tree);
+        assert!(matches!(
+            refiner.refine(&alpha, &q, &fake),
+            Err(ItreeError::IncompatibleNode(Nid(1)))
+        ));
+    }
+
+    #[test]
+    fn intersection_semantics_on_witnesses() {
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q1 = q_a_lt(&mut alpha, 3);
+        let q2 = q_a_lt(&mut alpha, 10);
+        let t1 = query_answer_tree(&q1, &q1.eval(&t), &alpha);
+        let t2 = query_answer_tree(&q2, &q2.eval(&t), &alpha);
+        let both = intersect(&t1, &t2).unwrap().trim();
+        assert!(both.contains(&t));
+        // Witnesses of the intersection lie in both components.
+        let w = both.witness(&mut NidGen::starting_at(100)).unwrap();
+        assert!(t1.contains(&w));
+        assert!(t2.contains(&w));
+    }
+
+    #[test]
+    fn query_with_label_unknown_to_the_chain() {
+        // A query probing a label interned after the chain started: the
+        // empty answer is recorded consistently and the source stays
+        // represented.
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let mut refiner = Refiner::new(&alpha);
+        let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let broot = bld.root();
+        bld.child(broot, "zzz_new_label", Cond::True).unwrap();
+        let q = bld.build();
+        let ans = q.eval(&t);
+        assert!(ans.is_empty());
+        refiner.refine(&alpha, &q, &ans).unwrap();
+        assert!(refiner.current().contains(&t));
+        // A hypothetical source WITH that label would have answered
+        // nonempty: rightly excluded.
+        let mut other = t.clone();
+        let zzz = alpha.get("zzz_new_label").unwrap();
+        other
+            .add_child(other.root(), Nid(99), zzz, Rat::ZERO)
+            .unwrap();
+        assert!(!refiner.current().contains(&other));
+    }
+
+    #[test]
+    fn refined_tree_answers_query_consistently() {
+        // Every witness of the refined tree must produce the recorded
+        // answer when the query is re-evaluated (rep = q^-1(A) ∩ ...).
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q = q_a_lt(&mut alpha, 3);
+        let ans = q.eval(&t);
+        let mut refiner = Refiner::new(&alpha);
+        refiner.refine(&alpha, &q, &ans).unwrap();
+        let w = refiner
+            .current()
+            .witness(&mut NidGen::starting_at(500))
+            .unwrap();
+        let re = q.eval(&w);
+        assert!(
+            re.tree.as_ref().unwrap().same_tree(ans.tree.as_ref().unwrap()),
+            "witness answers the query exactly as recorded"
+        );
+    }
+}

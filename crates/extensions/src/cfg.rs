@@ -1,0 +1,619 @@
+//! The context-free-grammar intersection encoding of Theorem 4.7:
+//! ps-queries extended with *recursive path expressions* and data-value
+//! (in)equality make possible-emptiness undecidable, by reduction from
+//! the (weak) CFG intersection emptiness problem.
+//!
+//! A document encodes a pair of derivation trees (one per grammar) whose
+//! leaf terminals carry `val1`/`val2` children forming a successor
+//! relation of data values — i.e. a positional indexing of both words by
+//! the same values. The paper's query family (all expected to answer
+//! empty) forces the indexing to be a genuine synchronized successor
+//! structure; a final query `q` is empty iff the two encoded words are
+//! equal. Hence `q` is possibly empty over the constrained documents iff
+//! `L(G1) ∩ L(G2) ≠ ∅`.
+//!
+//! Grammars are in Chomsky normal form with the paper's extra
+//! requirement that no nonterminal occurs both first and second in
+//! right-hand sides (so the children of a node determine their order,
+//! and leftmost/rightmost paths are regular). The `l(A)`/`r(A)` path
+//! languages are materialized as bounded-depth regex unions — sufficient
+//! for the bounded-length demonstrations here.
+
+use crate::regex::Regex;
+use crate::xquery::{Modality, XQuery, XQueryBuilder};
+use iixml_tree::{Alphabet, DataTree, Label, Nid, NodeRef};
+use iixml_values::{Cond, Rat};
+use std::collections::HashMap;
+
+/// A production: either a binary nonterminal pair or a terminal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Production {
+    /// `A → B C`
+    Pair(String, String),
+    /// `A → t` with `t ∈ {a, b}`
+    Term(char),
+}
+
+/// A CNF grammar over the terminal alphabet `{a, b}`.
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    /// Start nonterminal.
+    pub start: String,
+    /// Productions.
+    pub rules: Vec<(String, Production)>,
+}
+
+impl Grammar {
+    fn productions_of(&self, nt: &str) -> impl Iterator<Item = &Production> + '_ {
+        let nt = nt.to_string();
+        self.rules
+            .iter()
+            .filter(move |(a, _)| *a == nt)
+            .map(|(_, p)| p)
+    }
+
+    /// Checks the paper's order condition: no nonterminal occurs both
+    /// first and second in binary right-hand sides.
+    pub fn order_condition_holds(&self) -> bool {
+        let mut first = std::collections::HashSet::new();
+        let mut second = std::collections::HashSet::new();
+        for (_, p) in &self.rules {
+            if let Production::Pair(b, c) = p {
+                first.insert(b.clone());
+                second.insert(c.clone());
+            }
+        }
+        first.is_disjoint(&second)
+    }
+
+    /// CYK membership test.
+    pub fn accepts(&self, word: &str) -> bool {
+        let n = word.len();
+        if n == 0 {
+            return false;
+        }
+        let chars: Vec<char> = word.chars().collect();
+        let nts: Vec<&String> = {
+            let mut v: Vec<&String> = self.rules.iter().map(|(a, _)| a).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let idx: HashMap<&String, usize> = nts.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let k = nts.len();
+        // table[i][j][a]: nts[a] derives word[i..=i+j].
+        let mut table = vec![vec![vec![false; k]; n]; n];
+        for (i, &c) in chars.iter().enumerate() {
+            for (a, p) in &self.rules {
+                if *p == Production::Term(c) {
+                    table[i][0][idx[a]] = true;
+                }
+            }
+        }
+        for span in 1..n {
+            for i in 0..n - span {
+                for split in 0..span {
+                    for (a, p) in &self.rules {
+                        if let Production::Pair(b, c) = p {
+                            let (Some(&bi), Some(&ci)) = (idx.get(b), idx.get(c)) else {
+                                continue;
+                            };
+                            if table[i][split][bi] && table[i + split + 1][span - split - 1][ci] {
+                                table[i][span][idx[a]] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        idx.get(&self.start)
+            .is_some_and(|&s| table[0][n - 1][s])
+    }
+
+    /// All derivation trees yielding words of the given length, up to
+    /// `max_len` total (memoized enumeration; exponential, for small
+    /// demonstrations only).
+    pub fn derivations(&self, len: usize) -> Vec<Derivation> {
+        let mut memo = HashMap::new();
+        self.derive(&self.start, len, &mut memo)
+    }
+
+    fn derive(
+        &self,
+        nt: &str,
+        len: usize,
+        memo: &mut HashMap<(String, usize), Vec<Derivation>>,
+    ) -> Vec<Derivation> {
+        if let Some(v) = memo.get(&(nt.to_string(), len)) {
+            return v.clone();
+        }
+        memo.insert((nt.to_string(), len), Vec::new()); // cycle guard
+        let mut out = Vec::new();
+        for p in self.productions_of(nt) {
+            match p {
+                Production::Term(c) => {
+                    if len == 1 {
+                        out.push(Derivation::Leaf(nt.to_string(), *c));
+                    }
+                }
+                Production::Pair(b, c) => {
+                    for split in 1..len {
+                        let lefts = self.derive(b, split, memo);
+                        let rights = self.derive(c, len - split, memo);
+                        for l in &lefts {
+                            for r in &rights {
+                                out.push(Derivation::Node(
+                                    nt.to_string(),
+                                    Box::new(l.clone()),
+                                    Box::new(r.clone()),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        memo.insert((nt.to_string(), len), out.clone());
+        out
+    }
+
+    /// The label-paths from `nt` (exclusive) to its leftmost (`left =
+    /// true`) or rightmost terminal (inclusive), up to `depth` steps —
+    /// a bounded materialization of the paper's regular `l(A)` / `r(A)`.
+    pub fn edge_paths(&self, nt: &str, left: bool, depth: usize) -> Vec<Vec<String>> {
+        if depth == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for p in self.productions_of(nt) {
+            match p {
+                Production::Term(c) => out.push(vec![c.to_string()]),
+                Production::Pair(b, cc) => {
+                    let next = if left { b } else { cc };
+                    for mut path in self.edge_paths(next, left, depth - 1) {
+                        let mut full = vec![next.clone()];
+                        full.append(&mut path);
+                        out.push(full);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A derivation tree.
+#[derive(Clone, Debug)]
+pub enum Derivation {
+    /// Internal node `A → B C`.
+    Node(String, Box<Derivation>, Box<Derivation>),
+    /// Leaf `A → t`.
+    Leaf(String, char),
+}
+
+impl Derivation {
+    /// The derived word.
+    pub fn word(&self) -> String {
+        match self {
+            Derivation::Leaf(_, c) => c.to_string(),
+            Derivation::Node(_, l, r) => format!("{}{}", l.word(), r.word()),
+        }
+    }
+}
+
+/// The encoding of a derivation pair: the document plus its alphabet.
+pub struct PairEncoding {
+    /// Element names (grammar symbols + `root`, `a`, `b`, `val1`,
+    /// `val2`).
+    pub alpha: Alphabet,
+    /// The document.
+    pub doc: DataTree,
+}
+
+/// Encodes a derivation pair: `root → d1 d2`, with terminal leaves
+/// carrying `val1`/`val2` children holding position `i` and `i + 1`.
+pub fn encode_pair(d1: &Derivation, d2: &Derivation) -> PairEncoding {
+    let mut alpha = Alphabet::from_names(["root", "a", "b", "val1", "val2"]);
+    let mut doc = DataTree::new(Nid(0), alpha.intern("root"), Rat::ZERO);
+    let mut next = 1u64;
+    for d in [d1, d2] {
+        let mut pos = 0i64;
+        let root = doc.root();
+        build(d, &mut alpha, &mut doc, root, &mut next, &mut pos);
+    }
+    PairEncoding { alpha, doc }
+}
+
+fn build(
+    d: &Derivation,
+    alpha: &mut Alphabet,
+    doc: &mut DataTree,
+    parent: NodeRef,
+    next: &mut u64,
+    pos: &mut i64,
+) {
+    match d {
+        Derivation::Leaf(nt, c) => {
+            let nt_l = alpha.intern(nt);
+            let n = doc.add_child(parent, Nid(*next), nt_l, Rat::ZERO).unwrap();
+            *next += 1;
+            let t_l = alpha.intern(&c.to_string());
+            let t = doc.add_child(n, Nid(*next), t_l, Rat::ZERO).unwrap();
+            *next += 1;
+            let v1 = alpha.intern("val1");
+            let v2 = alpha.intern("val2");
+            doc.add_child(t, Nid(*next), v1, Rat::from(*pos)).unwrap();
+            *next += 1;
+            doc.add_child(t, Nid(*next), v2, Rat::from(*pos + 1)).unwrap();
+            *next += 1;
+            *pos += 1;
+        }
+        Derivation::Node(nt, l, r) => {
+            let nt_l = alpha.intern(nt);
+            let n = doc.add_child(parent, Nid(*next), nt_l, Rat::ZERO).unwrap();
+            *next += 1;
+            build(l, alpha, doc, n, next, pos);
+            build(r, alpha, doc, n, next, pos);
+        }
+    }
+}
+
+fn union_regex(alpha: &Alphabet, paths: &[Vec<String>]) -> Regex {
+    let mut it = paths.iter().map(|p| {
+        let labels: Vec<Label> = p
+            .iter()
+            .map(|s| alpha.get(s).expect("path labels interned"))
+            .collect();
+        Regex::word(&labels)
+    });
+    let first = it.next().unwrap_or(Regex::Eps);
+    it.fold(first, Regex::alt)
+}
+
+/// Interns every symbol on the given paths, then builds their union
+/// regex.
+fn intern_union(alpha: &mut Alphabet, paths: &[Vec<String>]) -> Regex {
+    for p in paths {
+        for s in p {
+            alpha.intern(s);
+        }
+    }
+    union_regex(alpha, paths)
+}
+
+/// Start-prefixed left/right path language of a grammar.
+fn start_paths(g: &Grammar, left: bool, depth: usize) -> Vec<Vec<String>> {
+    g.edge_paths(&g.start, left, depth)
+        .into_iter()
+        .map(|mut p| {
+            let mut full = vec![g.start.clone()];
+            full.append(&mut p);
+            full
+        })
+        .collect()
+}
+
+/// The paper's constraint-query family for a grammar pair; every query
+/// must answer empty on a well-formed encoding. `depth` bounds the
+/// materialized left/right path languages.
+pub fn constraint_queries(
+    g1: &Grammar,
+    g2: &Grammar,
+    alpha: &mut Alphabet,
+    depth: usize,
+) -> Vec<XQuery> {
+    let mut out = Vec::new();
+    let terminals = ["a", "b"];
+
+    // (1) Minimality of the leftmost value: the leftmost val1 of each
+    // side never occurs as any val2.
+    for g in [g1, g2] {
+        let lregex = intern_union(alpha, &start_paths(g, true, depth));
+        let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+        let root = b.root();
+        let x = b.var();
+        b.child_path(root, lregex, "val1", Cond::True, Some(x));
+        let y = b.var();
+        b.child_path(root, Regex::any_star(), "val2", Cond::True, Some(y));
+        b.join(x, y, true);
+        out.push(b.build());
+    }
+
+    // (2) A terminal's val1 differs from its val2 (successor is not the
+    // element itself).
+    for t in terminals {
+        let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+        let root = b.root();
+        let tn = b.child_path(root, Regex::any_star(), t, Cond::True, None);
+        let (_, x) = b.child_var(tn, "val1", Cond::True, Modality::Plain);
+        let (_, y) = b.child_var(tn, "val2", Cond::True, Modality::Plain);
+        b.join(x, y, true);
+        out.push(b.build());
+    }
+
+    // (3) Distinct elements have distinct successors: no two terminals
+    // with different val1 share a val2.
+    for t1 in terminals {
+        for t2 in terminals {
+            let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+            let root = b.root();
+            let n1 = b.child_path(root, Regex::any_star(), t1, Cond::True, None);
+            let (_, x) = b.child_var(n1, "val1", Cond::True, Modality::Plain);
+            let (_, y) = b.child_var(n1, "val2", Cond::True, Modality::Plain);
+            let n2 = b.child_path(root, Regex::any_star(), t2, Cond::True, None);
+            let (_, z) = b.child_var(n2, "val1", Cond::True, Modality::Plain);
+            let (_, w) = b.child_var(n2, "val2", Cond::True, Modality::Plain);
+            b.join(y, w, true); // same successor
+            b.join(x, z, false); // different element
+            out.push(b.build());
+        }
+    }
+
+    // (4) Adjacency within each production A → B C: the rightmost val2
+    // under B equals the leftmost val1 under C.
+    for g in [g1, g2] {
+        for (a, p) in &g.rules {
+            let Production::Pair(bn, cn) = p else { continue };
+            let rpaths = g.edge_paths(bn, false, depth);
+            let lpaths = g.edge_paths(cn, true, depth);
+            if rpaths.is_empty() || lpaths.is_empty() {
+                continue;
+            }
+            alpha.intern(a);
+            alpha.intern(bn);
+            alpha.intern(cn);
+            let rregex = intern_union(alpha, &rpaths);
+            let lregex = intern_union(alpha, &lpaths);
+            let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+            let root = b.root();
+            let an = b.child_path(root, Regex::any_star(), a, Cond::True, None);
+            let bnode = b.child(an, bn, Cond::True, Modality::Plain);
+            let x = b.var();
+            b.child_path(bnode, rregex, "val2", Cond::True, Some(x));
+            let cnode = b.child(an, cn, Cond::True, Modality::Plain);
+            let y = b.var();
+            b.child_path(cnode, lregex, "val1", Cond::True, Some(y));
+            b.join(x, y, false); // must be equal: inequality is the violation
+            out.push(b.build());
+        }
+    }
+
+    // (5) The leftmost val1 of S1 and S2 coincide; (6) the rightmost
+    // val2 coincide.
+    for (left, valname) in [(true, "val1"), (false, "val2")] {
+        let r1 = intern_union(alpha, &start_paths(g1, left, depth));
+        let r2 = intern_union(alpha, &start_paths(g2, left, depth));
+        let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+        let root = b.root();
+        let x = b.var();
+        b.child_path(root, r1, valname, Cond::True, Some(x));
+        let y = b.var();
+        b.child_path(root, r2, valname, Cond::True, Some(y));
+        b.join(x, y, false);
+        out.push(b.build());
+    }
+
+    // (7) Same val1 implies same val2 (positions are synchronized).
+    for t1 in terminals {
+        for t2 in terminals {
+            let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+            let root = b.root();
+            let n1 = b.child_path(root, Regex::any_star(), t1, Cond::True, None);
+            let (_, x) = b.child_var(n1, "val1", Cond::True, Modality::Plain);
+            let (_, y) = b.child_var(n1, "val2", Cond::True, Modality::Plain);
+            let n2 = b.child_path(root, Regex::any_star(), t2, Cond::True, None);
+            let (_, z) = b.child_var(n2, "val1", Cond::True, Modality::Plain);
+            let (_, w) = b.child_var(n2, "val2", Cond::True, Modality::Plain);
+            b.join(x, z, true);
+            b.join(y, w, false);
+            out.push(b.build());
+        }
+    }
+    out
+}
+
+/// The final query `q` of the reduction: nonempty iff some position
+/// carries `a` in one word and `b` in the other (the words differ).
+pub fn mismatch_query(alpha: &mut Alphabet) -> XQuery {
+    let a_lab = alpha.intern("a");
+    let b_lab = alpha.intern("b");
+    let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+    let root = b.root();
+    let x = b.var();
+    b.child_path(
+        root,
+        Regex::cat(Regex::any_star(), Regex::Sym(a_lab)),
+        "val1",
+        Cond::True,
+        Some(x),
+    );
+    let y = b.var();
+    b.child_path(
+        root,
+        Regex::cat(Regex::any_star(), Regex::Sym(b_lab)),
+        "val1",
+        Cond::True,
+        Some(y),
+    );
+    b.join(x, y, true);
+    b.build()
+}
+
+/// Bounded weak-intersection-emptiness through the reduction: encode
+/// every derivation pair with equal word lengths up to `max_len` and
+/// test the constraint/mismatch queries. Returns `Some(word)` from the
+/// intersection if found.
+pub fn intersection_witness(g1: &Grammar, g2: &Grammar, max_len: usize) -> Option<String> {
+    for len in 1..=max_len {
+        for d1 in g1.derivations(len) {
+            for d2 in g2.derivations(len) {
+                let enc = encode_pair(&d1, &d2);
+                let mut alpha = enc.alpha.clone();
+                let consistent = constraint_queries(g1, g2, &mut alpha, max_len + 2)
+                    .iter()
+                    .all(|q| q.eval(&enc.doc).is_none());
+                if !consistent {
+                    continue;
+                }
+                let q = mismatch_query(&mut alpha);
+                if q.eval(&enc.doc).is_none() {
+                    return Some(d1.word());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g_ab() -> Grammar {
+        // L = {ab}
+        Grammar {
+            start: "S".into(),
+            rules: vec![
+                ("S".into(), Production::Pair("A".into(), "B".into())),
+                ("A".into(), Production::Term('a')),
+                ("B".into(), Production::Term('b')),
+            ],
+        }
+    }
+
+    fn g_ab2() -> Grammar {
+        // Same language, different symbols.
+        Grammar {
+            start: "T".into(),
+            rules: vec![
+                ("T".into(), Production::Pair("C".into(), "D".into())),
+                ("C".into(), Production::Term('a')),
+                ("D".into(), Production::Term('b')),
+            ],
+        }
+    }
+
+    fn g_ba() -> Grammar {
+        // L = {ba}
+        Grammar {
+            start: "U".into(),
+            rules: vec![
+                ("U".into(), Production::Pair("E".into(), "F".into())),
+                ("E".into(), Production::Term('b')),
+                ("F".into(), Production::Term('a')),
+            ],
+        }
+    }
+
+    fn g_anbn() -> Grammar {
+        // L = { a^n b^n : n >= 1 } in CNF:
+        // S -> A X | A B ; X -> S B ; A -> a ; B -> b.
+        // Order condition: firsts {A, S}, seconds {X, B}: disjoint.
+        Grammar {
+            start: "S".into(),
+            rules: vec![
+                ("S".into(), Production::Pair("A".into(), "X".into())),
+                ("S".into(), Production::Pair("A".into(), "B".into())),
+                ("X".into(), Production::Pair("S".into(), "B".into())),
+                ("A".into(), Production::Term('a')),
+                ("B".into(), Production::Term('b')),
+            ],
+        }
+    }
+
+    #[test]
+    fn cyk_membership() {
+        let g = g_anbn();
+        assert!(g.order_condition_holds());
+        assert!(g.accepts("ab"));
+        assert!(g.accepts("aabb"));
+        assert!(g.accepts("aaabbb"));
+        assert!(!g.accepts("aab"));
+        assert!(!g.accepts("ba"));
+        assert!(!g.accepts(""));
+    }
+
+    #[test]
+    fn derivations_yield_their_words() {
+        let g = g_anbn();
+        let d2 = g.derivations(2);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].word(), "ab");
+        let d4 = g.derivations(4);
+        assert_eq!(d4.len(), 1);
+        assert_eq!(d4[0].word(), "aabb");
+        assert!(g.derivations(3).is_empty());
+    }
+
+    #[test]
+    fn wellformed_encoding_passes_constraints() {
+        let g1 = g_anbn();
+        let g2 = g_anbn();
+        let d = &g1.derivations(4)[0];
+        let enc = encode_pair(d, d);
+        let mut alpha = enc.alpha.clone();
+        for (i, q) in constraint_queries(&g1, &g2, &mut alpha, 8)
+            .iter()
+            .enumerate()
+        {
+            assert!(
+                q.eval(&enc.doc).is_none(),
+                "constraint {i} fired on a well-formed encoding"
+            );
+        }
+        let q = mismatch_query(&mut alpha);
+        assert!(q.eval(&enc.doc).is_none(), "equal words must not mismatch");
+    }
+
+    #[test]
+    fn mismatch_detected_for_different_words() {
+        let g1 = g_ab();
+        let g2 = g_ba();
+        let d1 = &g1.derivations(2)[0];
+        let d2 = &g2.derivations(2)[0];
+        assert_eq!(d1.word(), "ab");
+        assert_eq!(d2.word(), "ba");
+        let enc = encode_pair(d1, d2);
+        let mut alpha = enc.alpha.clone();
+        let q = mismatch_query(&mut alpha);
+        assert!(q.eval(&enc.doc).is_some(), "ab vs ba must mismatch");
+    }
+
+    #[test]
+    fn corrupted_successor_violates_constraints() {
+        let g = g_ab();
+        let d = &g.derivations(2)[0];
+        let enc = encode_pair(d, d);
+        // Corrupt one val2 so the successor structure breaks (set the
+        // first terminal's val2 equal to its val1).
+        let mut doc = enc.doc.clone();
+        let val2 = enc.alpha.get("val2").unwrap();
+        let victim = doc
+            .preorder()
+            .into_iter()
+            .find(|&n| doc.label(n) == val2)
+            .unwrap();
+        doc.set_value(victim, Rat::ZERO); // val1 of position 0 is 0
+        let mut alpha = enc.alpha.clone();
+        let fired = constraint_queries(&g, &g, &mut alpha, 6)
+            .iter()
+            .any(|q| q.eval(&doc).is_some());
+        assert!(fired, "a constraint must detect the corruption");
+    }
+
+    #[test]
+    fn intersection_through_the_reduction() {
+        // {ab} ∩ {ab} nonempty.
+        assert_eq!(
+            intersection_witness(&g_ab(), &g_ab2(), 3),
+            Some("ab".to_string())
+        );
+        // {ab} ∩ {ba} empty.
+        assert_eq!(intersection_witness(&g_ab(), &g_ba(), 3), None);
+        // {a^n b^n} ∩ {ab} nonempty at length 2.
+        assert_eq!(
+            intersection_witness(&g_anbn(), &g_ab(), 4),
+            Some("ab".to_string())
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! The functional/inclusion-dependency encoding of Theorem 4.5:
+//! ps-queries extended with branching, data-value (in)equality joins,
+//! and negation can express FD and IND violations, so query emptiness
+//! over a query-answer history inherits the undecidability of FD+IND
+//! implication.
+//!
+//! A relation `R(A1 … Ak)` is encoded as `root → tuple⋆`,
+//! `tuple → A1 … Ak`; `q_φ(T) = ∅` iff the encoded relation satisfies
+//! the dependency `φ` — FDs via two branching tuple patterns joined on
+//! the left-hand side with `≠` on the right-hand side, INDs via a
+//! negated tuple pattern joined to the positive one.
+//!
+//! Implication itself is undecidable (the theorem's point); this module
+//! also provides a *bounded* implication check over small domains used
+//! to demonstrate the machinery on classical examples.
+
+use crate::xquery::{Modality, XQuery, XQueryBuilder};
+use iixml_tree::{Alphabet, DataTree, Nid};
+use iixml_values::{Cond, Rat};
+
+/// A relation instance: `arity` columns, rows of rational values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    /// Number of attributes.
+    pub arity: usize,
+    /// The tuples.
+    pub tuples: Vec<Vec<Rat>>,
+}
+
+/// A dependency over attribute indices (0-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Dependency {
+    /// Functional dependency `lhs → rhs`.
+    Fd {
+        /// Determinant attributes.
+        lhs: Vec<usize>,
+        /// Determined attribute.
+        rhs: usize,
+    },
+    /// Inclusion dependency `R[lhs] ⊆ R[rhs]` (componentwise).
+    Ind {
+        /// Source attribute list.
+        lhs: Vec<usize>,
+        /// Target attribute list (same length).
+        rhs: Vec<usize>,
+    },
+}
+
+impl Relation {
+    /// Direct satisfaction check (the test oracle).
+    pub fn satisfies(&self, dep: &Dependency) -> bool {
+        match dep {
+            Dependency::Fd { lhs, rhs } => {
+                for a in &self.tuples {
+                    for b in &self.tuples {
+                        if lhs.iter().all(|&i| a[i] == b[i]) && a[*rhs] != b[*rhs] {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Dependency::Ind { lhs, rhs } => self.tuples.iter().all(|a| {
+                self.tuples
+                    .iter()
+                    .any(|b| lhs.iter().zip(rhs).all(|(&i, &j)| a[i] == b[j]))
+            }),
+        }
+    }
+}
+
+/// The attribute-name alphabet for an arity.
+pub fn alphabet(arity: usize) -> Alphabet {
+    let mut names = vec!["root".to_string(), "tuple".to_string()];
+    names.extend((0..arity).map(|i| format!("A{i}")));
+    Alphabet::from_names(names.iter().map(String::as_str))
+}
+
+/// Encodes a relation as a data tree.
+pub fn encode_relation(rel: &Relation, alpha: &Alphabet) -> DataTree {
+    let root = alpha.get("root").unwrap();
+    let tuple = alpha.get("tuple").unwrap();
+    let mut t = DataTree::new(Nid(0), root, Rat::ZERO);
+    let mut next = 1u64;
+    for row in &rel.tuples {
+        let root_ref = t.root();
+        let tn = t.add_child(root_ref, Nid(next), tuple, Rat::ZERO).unwrap();
+        next += 1;
+        for (i, &v) in row.iter().enumerate() {
+            let attr = alpha.get(&format!("A{i}")).unwrap();
+            t.add_child(tn, Nid(next), attr, v).unwrap();
+            next += 1;
+        }
+    }
+    t
+}
+
+/// The violation query `q_φ`: nonempty on exactly the encodings of
+/// relations violating `φ`.
+pub fn violation_query(dep: &Dependency, alpha: &mut Alphabet) -> XQuery {
+    let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+    let root = b.root();
+    match dep {
+        Dependency::Fd { lhs, rhs } => {
+            // Two tuples agreeing on lhs, disagreeing on rhs.
+            let t1 = b.child(root, "tuple", Cond::True, Modality::Plain);
+            let t2 = b.child(root, "tuple", Cond::True, Modality::Plain);
+            for &i in lhs {
+                let (_, x1) = b.child_var(t1, &format!("A{i}"), Cond::True, Modality::Plain);
+                let (_, x2) = b.child_var(t2, &format!("A{i}"), Cond::True, Modality::Plain);
+                b.join(x1, x2, true);
+            }
+            let (_, z) = b.child_var(t1, &format!("A{rhs}"), Cond::True, Modality::Plain);
+            let (_, w) = b.child_var(t2, &format!("A{rhs}"), Cond::True, Modality::Plain);
+            b.join(z, w, false);
+        }
+        Dependency::Ind { lhs, rhs } => {
+            // A tuple whose lhs projection has no rhs counterpart.
+            let t1 = b.child(root, "tuple", Cond::True, Modality::Plain);
+            let mut outer_vars = Vec::new();
+            for &i in lhs {
+                let (_, x) = b.child_var(t1, &format!("A{i}"), Cond::True, Modality::Plain);
+                outer_vars.push(x);
+            }
+            let neg = b.child(root, "tuple", Cond::True, Modality::Negated);
+            for (&j, &x) in rhs.iter().zip(&outer_vars) {
+                let (_, y) = b.child_var(neg, &format!("A{j}"), Cond::True, Modality::Plain);
+                b.join(x, y, true);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Does the encoded relation satisfy `φ`, decided through the violation
+/// query? (`q_φ(T) = ∅` ⟺ satisfaction.)
+pub fn satisfies_via_query(rel: &Relation, dep: &Dependency) -> bool {
+    let mut alpha = alphabet(rel.arity);
+    let t = encode_relation(rel, &alpha);
+    let q = violation_query(dep, &mut alpha);
+    q.eval(&t).is_none()
+}
+
+/// Bounded implication check: does every relation over the domain
+/// `0..domain` with at most `max_tuples` tuples that satisfies all of
+/// `sigma` also satisfy `tau`? (Exact implication is undecidable —
+/// Theorem 4.5; this bounded version demonstrates the encoding.)
+pub fn implies_bounded(
+    arity: usize,
+    sigma: &[Dependency],
+    tau: &Dependency,
+    domain: i64,
+    max_tuples: usize,
+) -> bool {
+    // Enumerate relations as multisets of tuples.
+    let tuple_space: Vec<Vec<Rat>> = {
+        let mut out: Vec<Vec<Rat>> = vec![Vec::new()];
+        for _ in 0..arity {
+            let mut next = Vec::new();
+            for row in &out {
+                for v in 0..domain {
+                    let mut r = row.clone();
+                    r.push(Rat::from(v));
+                    next.push(r);
+                }
+            }
+            out = next;
+        }
+        out
+    };
+    fn choose(
+        space: &[Vec<Rat>],
+        from: usize,
+        left: usize,
+        acc: &mut Vec<Vec<Rat>>,
+        arity: usize,
+        sigma: &[Dependency],
+        tau: &Dependency,
+    ) -> bool {
+        let rel = Relation {
+            arity,
+            tuples: acc.clone(),
+        };
+        if sigma.iter().all(|d| rel.satisfies(d)) && !rel.satisfies(tau) {
+            return false; // counterexample found
+        }
+        if left == 0 {
+            return true;
+        }
+        for i in from..space.len() {
+            acc.push(space[i].clone());
+            let ok = choose(space, i, left - 1, acc, arity, sigma, tau);
+            acc.pop();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    choose(&tuple_space, 0, max_tuples, &mut Vec::new(), arity, sigma, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        Relation {
+            arity: rows[0].len(),
+            tuples: rows
+                .iter()
+                .map(|r| r.iter().map(|&v| Rat::from(v)).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fd_queries_match_direct_check() {
+        let fd = Dependency::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
+        let good = rel(&[&[1, 10, 0], &[2, 20, 0], &[1, 10, 5]]);
+        let bad = rel(&[&[1, 10, 0], &[1, 20, 0]]);
+        assert!(good.satisfies(&fd));
+        assert!(!bad.satisfies(&fd));
+        assert!(satisfies_via_query(&good, &fd));
+        assert!(!satisfies_via_query(&bad, &fd));
+    }
+
+    #[test]
+    fn composite_fd() {
+        let fd = Dependency::Fd {
+            lhs: vec![0, 1],
+            rhs: 2,
+        };
+        let good = rel(&[&[1, 1, 7], &[1, 2, 8], &[1, 1, 7]]);
+        let bad = rel(&[&[1, 1, 7], &[1, 1, 8]]);
+        assert_eq!(satisfies_via_query(&good, &fd), good.satisfies(&fd));
+        assert_eq!(satisfies_via_query(&bad, &fd), bad.satisfies(&fd));
+        assert!(satisfies_via_query(&good, &fd));
+        assert!(!satisfies_via_query(&bad, &fd));
+    }
+
+    #[test]
+    fn ind_queries_match_direct_check() {
+        // R[A0] ⊆ R[A1].
+        let ind = Dependency::Ind {
+            lhs: vec![0],
+            rhs: vec![1],
+        };
+        let good = rel(&[&[1, 1], &[2, 1], &[1, 2]]);
+        let bad = rel(&[&[3, 1], &[1, 1]]);
+        assert!(good.satisfies(&ind));
+        assert!(!bad.satisfies(&ind));
+        assert!(satisfies_via_query(&good, &ind));
+        assert!(!satisfies_via_query(&bad, &ind));
+    }
+
+    #[test]
+    fn binary_ind() {
+        // R[A0 A1] ⊆ R[A1 A2].
+        let ind = Dependency::Ind {
+            lhs: vec![0, 1],
+            rhs: vec![1, 2],
+        };
+        let good = rel(&[&[1, 2, 3], &[0, 1, 2]]);
+        assert_eq!(good.satisfies(&ind), satisfies_via_query(&good, &ind));
+        let bad = rel(&[&[1, 2, 3]]);
+        assert!(!bad.satisfies(&ind));
+        assert!(!satisfies_via_query(&bad, &ind));
+    }
+
+    #[test]
+    fn random_relations_agree() {
+        // Deterministic pseudo-random relations; query semantics must
+        // track the direct semantics exactly.
+        let mut seed = 0xDEADBEEFu64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as i64
+        };
+        let deps = [
+            Dependency::Fd { lhs: vec![0], rhs: 1 },
+            Dependency::Fd { lhs: vec![1], rhs: 0 },
+            Dependency::Ind { lhs: vec![0], rhs: vec![1] },
+            Dependency::Ind { lhs: vec![1], rhs: vec![0] },
+        ];
+        for _ in 0..20 {
+            let n = 1 + (rnd() % 4).unsigned_abs() as usize;
+            let tuples: Vec<Vec<Rat>> = (0..n)
+                .map(|_| vec![Rat::from(rnd() % 3), Rat::from(rnd() % 3)])
+                .collect();
+            let r = Relation { arity: 2, tuples };
+            for d in &deps {
+                assert_eq!(
+                    r.satisfies(d),
+                    satisfies_via_query(&r, d),
+                    "disagreement on {r:?} {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_implication_examples() {
+        // Armstrong transitivity: {A->B, B->C} implies A->C.
+        let sigma = [
+            Dependency::Fd { lhs: vec![0], rhs: 1 },
+            Dependency::Fd { lhs: vec![1], rhs: 2 },
+        ];
+        let tau = Dependency::Fd { lhs: vec![0], rhs: 2 };
+        assert!(implies_bounded(3, &sigma, &tau, 2, 3));
+        // A->B does not imply B->A.
+        let sigma = [Dependency::Fd { lhs: vec![0], rhs: 1 }];
+        let tau = Dependency::Fd { lhs: vec![1], rhs: 0 };
+        assert!(!implies_bounded(2, &sigma, &tau, 2, 3));
+    }
+}

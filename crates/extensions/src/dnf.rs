@@ -1,0 +1,215 @@
+//! The DNF-validity reduction of Theorem 4.1: with *branching* and
+//! *optional subtrees*, deciding whether a tree is a certain prefix of
+//! the answers `q′[rep(τ) ∩ q⁻¹(A)]` is co-NP-hard (over a fixed
+//! four-letter alphabet).
+//!
+//! Construction (following the paper):
+//! * the input type is `root → val`, `val → var⋆`, `var → x`; a document
+//!   encodes an assignment: one `var` node per variable (value = index)
+//!   with an `x` child holding 0/1;
+//! * the pair `⟨q, A⟩` pins exactly one `var` per index with a Boolean
+//!   `x` (realized here by the canonical-world family);
+//! * `q′` has one *optional* `val`-subtree per disjunct, matching iff
+//!   the assignment satisfies that disjunct;
+//! * `root—val` is a certain prefix of the answers iff every assignment
+//!   satisfies some disjunct — iff the DNF is valid.
+
+use crate::xquery::{Modality, XQuery, XQueryBuilder};
+use iixml_tree::{is_prefix_of, Alphabet, DataTree, Nid};
+use iixml_values::{Cond, Rat};
+use std::collections::HashSet;
+
+/// A DNF formula with exactly three literals per disjunct (conjunct of
+/// three literals). Literals are nonzero integers `±i`.
+#[derive(Clone, Debug)]
+pub struct Dnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The disjuncts.
+    pub disjuncts: Vec<[i64; 3]>,
+}
+
+impl Dnf {
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        self.disjuncts.iter().any(|d| {
+            d.iter().all(|&lit| {
+                let v = assign[(lit.unsigned_abs() as usize) - 1];
+                if lit > 0 {
+                    v
+                } else {
+                    !v
+                }
+            })
+        })
+    }
+
+    /// Brute-force validity (the test oracle).
+    pub fn brute_force_valid(&self) -> bool {
+        (0..(1u32 << self.num_vars)).all(|bits| {
+            let assign: Vec<bool> = (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            self.eval(&assign)
+        })
+    }
+}
+
+/// The fixed alphabet of the reduction.
+pub fn alphabet() -> Alphabet {
+    Alphabet::from_names(["root", "val", "var", "x"])
+}
+
+/// The canonical world for an assignment.
+pub fn world(alpha: &Alphabet, assign: &[bool]) -> DataTree {
+    let root = alpha.get("root").unwrap();
+    let val = alpha.get("val").unwrap();
+    let var = alpha.get("var").unwrap();
+    let x = alpha.get("x").unwrap();
+    let mut t = DataTree::new(Nid(0), root, Rat::ZERO);
+    let v = t.add_child(t.root(), Nid(1), val, Rat::ZERO).unwrap();
+    for (i, &b) in assign.iter().enumerate() {
+        let vr = t
+            .add_child(v, Nid(10 + 2 * i as u64), var, Rat::from(i as i64 + 1))
+            .unwrap();
+        t.add_child(vr, Nid(11 + 2 * i as u64), x, Rat::from(b as i64))
+            .unwrap();
+    }
+    t
+}
+
+/// The query `q′`: one optional `val`-subtree per disjunct, each
+/// requiring the disjunct's three variables to carry the right `x`
+/// values (branching: multiple `var` children under one `val`).
+pub fn q_prime(alpha: &mut Alphabet, dnf: &Dnf) -> XQuery {
+    let mut b = XQueryBuilder::new(alpha, "root", Cond::True);
+    let root = b.root();
+    for d in &dnf.disjuncts {
+        let val = b.child(root, "val", Cond::True, Modality::Optional);
+        for &lit in d {
+            let idx = lit.unsigned_abs() as i64;
+            let want = i64::from(lit > 0);
+            let var = b.child(val, "var", Cond::eq(Rat::from(idx)), Modality::Plain);
+            b.child(var, "x", Cond::eq(Rat::from(want)), Modality::Plain);
+        }
+    }
+    b.build()
+}
+
+/// The certain-prefix decision of Theorem 4.1: is `root—val` a certain
+/// prefix of `q′`'s answers over all assignments? Decided by scanning
+/// the canonical worlds (the finite-representative argument) and
+/// evaluating the extended query on each.
+pub fn certain_prefix_root_val(dnf: &Dnf) -> bool {
+    let mut alpha = alphabet();
+    let q = q_prime(&mut alpha, dnf);
+    let root = alpha.get("root").unwrap();
+    let val = alpha.get("val").unwrap();
+    // Target prefix: root—val, pinned to the ids the answers carry.
+    let mut target = DataTree::new(Nid(0), root, Rat::ZERO);
+    target
+        .add_child(target.root(), Nid(1), val, Rat::ZERO)
+        .unwrap();
+    let pinned: HashSet<Nid> = [Nid(0), Nid(1)].into();
+    (0..(1u32 << dnf.num_vars)).all(|bits| {
+        let assign: Vec<bool> = (0..dnf.num_vars).map(|i| bits & (1 << i) != 0).collect();
+        let w = world(&alpha, &assign);
+        match q.eval(&w) {
+            None => false, // no valuation at all (cannot happen: root matches)
+            Some(answer) => is_prefix_of(&target, &answer, &pinned),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cases() -> Vec<(Dnf, bool)> {
+        vec![
+            // x1 ∨ ¬x1: valid.
+            (
+                Dnf {
+                    num_vars: 1,
+                    disjuncts: vec![[1, 1, 1], [-1, -1, -1]],
+                },
+                true,
+            ),
+            // x1 alone: not valid.
+            (
+                Dnf {
+                    num_vars: 1,
+                    disjuncts: vec![[1, 1, 1]],
+                },
+                false,
+            ),
+            // (x1∧x2) ∨ (¬x1) ∨ (¬x2): valid.
+            (
+                Dnf {
+                    num_vars: 2,
+                    disjuncts: vec![[1, 2, 2], [-1, -1, -1], [-2, -2, -2]],
+                },
+                true,
+            ),
+            // (x1∧x2) ∨ (¬x1∧¬x2): not valid (mixed assignments fail).
+            (
+                Dnf {
+                    num_vars: 2,
+                    disjuncts: vec![[1, 2, 2], [-1, -2, -2]],
+                },
+                false,
+            ),
+            // 3 vars: all eight sign patterns -> valid.
+            (
+                Dnf {
+                    num_vars: 3,
+                    disjuncts: vec![
+                        [1, 2, 3],
+                        [1, 2, -3],
+                        [1, -2, 3],
+                        [1, -2, -3],
+                        [-1, 2, 3],
+                        [-1, 2, -3],
+                        [-1, -2, 3],
+                        [-1, -2, -3],
+                    ],
+                },
+                true,
+            ),
+        ]
+    }
+
+    #[test]
+    fn brute_force_matches_expectation() {
+        for (dnf, expect) in cases() {
+            assert_eq!(dnf.brute_force_valid(), expect);
+        }
+    }
+
+    #[test]
+    fn reduction_decides_validity() {
+        for (dnf, expect) in cases() {
+            assert_eq!(
+                certain_prefix_root_val(&dnf),
+                expect,
+                "reduction disagrees on {dnf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn answers_contain_val_exactly_when_a_disjunct_fires() {
+        let dnf = Dnf {
+            num_vars: 2,
+            disjuncts: vec![[1, 2, 2]],
+        };
+        let mut alpha = alphabet();
+        let q = q_prime(&mut alpha, &dnf);
+        // x1=1, x2=1: disjunct fires, val in answer.
+        let w = world(&alpha, &[true, true]);
+        let a = q.eval(&w).unwrap();
+        assert!(a.by_nid(Nid(1)).is_some());
+        // x1=1, x2=0: disjunct fails, answer is just the root.
+        let w = world(&alpha, &[true, false]);
+        let a = q.eval(&w).unwrap();
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Section 4 extensions: richer queries and the hardness landscape.
+//!
+//! The paper's core framework is deliberately minimal; Section 4 charts
+//! what happens beyond it. This crate implements each extension and the
+//! explicit constructions behind the hardness results:
+//!
+//! * [`xquery`] — ps-queries extended with branching, optional (`?`) and
+//!   negated (`¬`) subtrees, data-value variables with join conditions,
+//!   and constructed answers (Skolem heads), evaluated on concrete data
+//!   trees;
+//! * [`regex`] — a small regular-expression engine over label paths
+//!   (concatenation, union, star → NFA);
+//! * [`sat`] — the 3-SAT reduction of Theorem 3.6 (possible-prefix is
+//!   NP-hard in the query-answer sequence);
+//! * [`dnf`] — the DNF-validity reduction of Theorem 4.1 (certain-prefix
+//!   is co-NP-hard with branching + optional subtrees);
+//! * [`dependencies`] — the FD + inclusion-dependency encoding of
+//!   Theorem 4.5 (undecidability with branching, joins, negation);
+//! * [`mod@cfg`] — the context-free-grammar intersection encoding of
+//!   Theorem 4.7 (undecidability with recursive path expressions and
+//!   joins);
+//! * [`pebble`] — k-pebble tree automata over binary encodings of
+//!   unranked trees (Theorem 4.2's representation system);
+//! * [`order`] — the ordered-model discussion: when can answers over
+//!   `a⋆b⋆` vs `(a+b)⋆` be merged?
+
+pub mod cfg;
+pub mod dependencies;
+pub mod dnf;
+pub mod order;
+pub mod pebble;
+pub mod regex;
+pub mod sat;
+pub mod xquery;

@@ -1,0 +1,154 @@
+//! The order discussion at the end of Section 4.
+//!
+//! Suppose a flat ordered document contains `a` and `b` elements; query
+//! `q1` returned the `a`s in document order and `q2` the `b`s. Can the
+//! query for *all* elements (`q3`) be answered? The paper's observation:
+//! it depends on the ordered type — under `a⋆b⋆` the interleaving is
+//! forced (concatenate), under `(a+b)⋆` it is not, and a representation
+//! system would have to track partial orders.
+//!
+//! [`merge_answers`] makes this executable: it enumerates the order-
+//! preserving interleavings of the two answer lists, filters by the
+//! ordered type (a regular expression over labels), and reports whether
+//! the merge is unique.
+
+use crate::regex::Regex;
+use iixml_tree::Label;
+use iixml_values::Rat;
+
+/// Outcome of attempting to merge two ordered answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeResult {
+    /// Exactly one interleaving conforms to the type: `q3` is
+    /// answerable, and this is the answer.
+    Unique(Vec<(Label, Rat)>),
+    /// Several interleavings conform: the order information is genuinely
+    /// missing.
+    Ambiguous(usize),
+    /// No interleaving conforms (the answers contradict the type).
+    Inconsistent,
+}
+
+/// Enumerates the order-preserving interleavings of the `a` and `b`
+/// answers accepted by the ordered type `ty` and classifies the result.
+pub fn merge_answers(
+    ty: &Regex,
+    a_label: Label,
+    a_items: &[Rat],
+    b_label: Label,
+    b_items: &[Rat],
+) -> MergeResult {
+    let nfa = ty.compile();
+    let mut found: Vec<Vec<(Label, Rat)>> = Vec::new();
+    let mut acc = Vec::new();
+    fn go(
+        nfa: &crate::regex::Nfa,
+        a_label: Label,
+        a: &[Rat],
+        b_label: Label,
+        b: &[Rat],
+        acc: &mut Vec<(Label, Rat)>,
+        found: &mut Vec<Vec<(Label, Rat)>>,
+    ) {
+        if found.len() > 1 {
+            return; // two witnesses are enough to declare ambiguity
+        }
+        if a.is_empty() && b.is_empty() {
+            let word: Vec<Label> = acc.iter().map(|&(l, _)| l).collect();
+            if nfa.accepts(&word) {
+                found.push(acc.clone());
+            }
+            return;
+        }
+        if let Some((&first, rest)) = a.split_first() {
+            acc.push((a_label, first));
+            go(nfa, a_label, rest, b_label, b, acc, found);
+            acc.pop();
+        }
+        if let Some((&first, rest)) = b.split_first() {
+            acc.push((b_label, first));
+            go(nfa, a_label, a, b_label, rest, acc, found);
+            acc.pop();
+        }
+    }
+    go(&nfa, a_label, a_items, b_label, b_items, &mut acc, &mut found);
+    match found.len() {
+        0 => MergeResult::Inconsistent,
+        1 => MergeResult::Unique(found.into_iter().next().expect("len checked")),
+        n => MergeResult::Ambiguous(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+
+    fn a_star_b_star() -> Regex {
+        Regex::cat(Regex::star(Regex::Sym(A)), Regex::star(Regex::Sym(B)))
+    }
+
+    fn any_mix() -> Regex {
+        Regex::star(Regex::alt(Regex::Sym(A), Regex::Sym(B)))
+    }
+
+    fn strict_alternation() -> Regex {
+        // (ab)*
+        Regex::star(Regex::cat(Regex::Sym(A), Regex::Sym(B)))
+    }
+
+    #[test]
+    fn a_star_b_star_is_unique() {
+        let res = merge_answers(&a_star_b_star(), A, &[r(1), r(2)], B, &[r(3), r(4)]);
+        match res {
+            MergeResult::Unique(seq) => {
+                let labels: Vec<Label> = seq.iter().map(|&(l, _)| l).collect();
+                assert_eq!(labels, vec![A, A, B, B]);
+            }
+            other => panic!("expected unique merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_mixing_is_ambiguous() {
+        let res = merge_answers(&any_mix(), A, &[r(1)], B, &[r(2)]);
+        assert!(matches!(res, MergeResult::Ambiguous(_)));
+        // With one side empty, even (a+b)* is unambiguous.
+        let res = merge_answers(&any_mix(), A, &[r(1), r(2)], B, &[]);
+        assert!(matches!(res, MergeResult::Unique(_)));
+    }
+
+    #[test]
+    fn alternation_forces_the_interleaving() {
+        let res = merge_answers(
+            &strict_alternation(),
+            A,
+            &[r(1), r(3)],
+            B,
+            &[r(2), r(4)],
+        );
+        match res {
+            MergeResult::Unique(seq) => {
+                let labels: Vec<Label> = seq.iter().map(|&(l, _)| l).collect();
+                assert_eq!(labels, vec![A, B, A, B]);
+            }
+            other => panic!("expected unique merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_counts_are_inconsistent() {
+        // (ab)* requires equal counts.
+        let res = merge_answers(&strict_alternation(), A, &[r(1), r(2)], B, &[r(9)]);
+        assert_eq!(res, MergeResult::Inconsistent);
+        // a*b* with nothing: the empty merge is unique.
+        let res = merge_answers(&a_star_b_star(), A, &[], B, &[]);
+        assert!(matches!(res, MergeResult::Unique(ref v) if v.is_empty()));
+    }
+}

@@ -1,0 +1,908 @@
+//! k-pebble tree automata (Theorem 4.2 and the surrounding discussion).
+//!
+//! The paper points out that for ordered trees and powerful restructuring
+//! (but no data joins), k-pebble transducers/automata form a
+//! representation system that stays polynomial in the query-answer
+//! sequence — at the price of losing the user-friendly incomplete-tree
+//! view and facing non-elementary emptiness (Theorem 4.3).
+//!
+//! This module implements the *acceptor* side on binary trees:
+//!
+//! * [`BinTree`] — the standard first-child/next-sibling encoding of
+//!   unranked data trees;
+//! * [`PebbleAutomaton`] — nondeterministic k-pebble automata with the
+//!   paper's stack discipline (pebbles placed in order on the root,
+//!   lifted in reverse order, only the highest moves);
+//! * acceptance by exhaustive configuration search (the configuration
+//!   space is `states × nodes^k`, so acceptance is decidable in
+//!   polynomial time for fixed k — emptiness is where the
+//!   non-elementary blowup lives).
+
+use iixml_tree::{DataTree, Label, NodeRef};
+use std::collections::{HashSet, VecDeque};
+
+/// A node of a binary tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinNode {
+    /// The node's label.
+    pub label: Label,
+    /// Left child (first child in the unranked original).
+    pub left: Option<usize>,
+    /// Right child (next sibling in the unranked original).
+    pub right: Option<usize>,
+    /// Parent (with which side we hang off it).
+    pub parent: Option<(usize, Side)>,
+}
+
+/// Which child of its parent a node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Left child.
+    Left,
+    /// Right child.
+    Right,
+}
+
+/// A binary tree (arena; root = index 0).
+#[derive(Clone, Debug)]
+pub struct BinTree {
+    /// The nodes.
+    pub nodes: Vec<BinNode>,
+}
+
+impl BinTree {
+    /// The standard first-child/next-sibling encoding of an unranked
+    /// tree (labels preserved; data values dropped — the paper's pebble
+    /// machinery ignores values, see Remark 4.4).
+    pub fn from_unranked(t: &DataTree) -> BinTree {
+        let mut nodes = Vec::with_capacity(t.len());
+        fn encode(
+            t: &DataTree,
+            n: NodeRef,
+            siblings: &[NodeRef],
+            idx: usize,
+            nodes: &mut Vec<BinNode>,
+        ) -> usize {
+            let me = nodes.len();
+            nodes.push(BinNode {
+                label: t.label(n),
+                left: None,
+                right: None,
+                parent: None,
+            });
+            // First child chain.
+            let kids = t.children(n);
+            if !kids.is_empty() {
+                let l = encode(t, kids[0], kids, 0, nodes);
+                nodes[me].left = Some(l);
+                nodes[l].parent = Some((me, Side::Left));
+            }
+            // Next sibling.
+            if idx + 1 < siblings.len() {
+                let r = encode(t, siblings[idx + 1], siblings, idx + 1, nodes);
+                nodes[me].right = Some(r);
+                nodes[r].parent = Some((me, Side::Right));
+            }
+            me
+        }
+        let root = t.root();
+        encode(t, root, &[root], 0, &mut nodes);
+        BinTree { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Binary trees are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A move of the current (highest-numbered) pebble, or a stack
+/// operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Place a new pebble on the root (it becomes current).
+    PlaceNew,
+    /// Lift the current pebble (the previous one becomes current).
+    Lift,
+    /// Move the current pebble to its left child.
+    DownLeft,
+    /// Move the current pebble to its right child.
+    DownRight,
+    /// Move up, applicable only when the node is a left child.
+    UpLeft,
+    /// Move up, applicable only when the node is a right child.
+    UpRight,
+    /// Stay put (state-only transition).
+    Stay,
+}
+
+/// A transition: applicable when the machine is in `state`, the current
+/// node carries `label` (or any, when `None`), and the presence bitmask
+/// of the lower pebbles on the current node matches `pebbles_here`
+/// (`None` = don't care).
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// Source state.
+    pub state: usize,
+    /// Required label under the current pebble (`None` = any).
+    pub label: Option<Label>,
+    /// Required presence of each lower pebble on the current node.
+    pub pebbles_here: Option<Vec<bool>>,
+    /// The move.
+    pub action: Action,
+    /// Target state.
+    pub next: usize,
+}
+
+/// A nondeterministic k-pebble tree automaton.
+#[derive(Clone, Debug)]
+pub struct PebbleAutomaton {
+    /// Number of states.
+    pub states: usize,
+    /// Maximum number of pebbles.
+    pub k: usize,
+    /// Initial state (computation starts with pebble 1 on the root).
+    pub start: usize,
+    /// Accepting state.
+    pub accept: usize,
+    /// The transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl PebbleAutomaton {
+    /// Does the automaton accept the tree? Exhaustive search over the
+    /// configuration graph `(state, pebble positions)`.
+    pub fn accepts(&self, t: &BinTree) -> bool {
+        let initial = (self.start, vec![0usize]);
+        let mut seen: HashSet<(usize, Vec<usize>)> = HashSet::new();
+        let mut queue = VecDeque::from([initial.clone()]);
+        seen.insert(initial);
+        while let Some((state, pebbles)) = queue.pop_front() {
+            if state == self.accept {
+                return true;
+            }
+            let cur = *pebbles.last().expect("at least one pebble");
+            let node = &t.nodes[cur];
+            for tr in &self.transitions {
+                if tr.state != state {
+                    continue;
+                }
+                if let Some(l) = tr.label {
+                    if node.label != l {
+                        continue;
+                    }
+                }
+                if let Some(mask) = &tr.pebbles_here {
+                    let lower = &pebbles[..pebbles.len() - 1];
+                    let ok = mask.iter().enumerate().all(|(i, &want)| {
+                        let here = lower.get(i).is_some_and(|&p| p == cur);
+                        here == want
+                    });
+                    if !ok {
+                        continue;
+                    }
+                }
+                let mut next_pebbles = pebbles.clone();
+                let applicable = match tr.action {
+                    Action::Stay => true,
+                    Action::PlaceNew => {
+                        if pebbles.len() < self.k {
+                            next_pebbles.push(0);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Action::Lift => {
+                        if pebbles.len() > 1 {
+                            next_pebbles.pop();
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Action::DownLeft => match node.left {
+                        Some(c) => {
+                            *next_pebbles.last_mut().unwrap() = c;
+                            true
+                        }
+                        None => false,
+                    },
+                    Action::DownRight => match node.right {
+                        Some(c) => {
+                            *next_pebbles.last_mut().unwrap() = c;
+                            true
+                        }
+                        None => false,
+                    },
+                    Action::UpLeft => match node.parent {
+                        Some((p, Side::Left)) => {
+                            *next_pebbles.last_mut().unwrap() = p;
+                            true
+                        }
+                        _ => false,
+                    },
+                    Action::UpRight => match node.parent {
+                        Some((p, Side::Right)) => {
+                            *next_pebbles.last_mut().unwrap() = p;
+                            true
+                        }
+                        _ => false,
+                    },
+                };
+                if applicable {
+                    let cfg = (tr.next, next_pebbles);
+                    if seen.insert(cfg.clone()) {
+                        queue.push_back(cfg);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// A 1-pebble automaton accepting trees containing a node labeled
+    /// `l` (nondeterministic walk to it).
+    pub fn exists_label(l: Label) -> PebbleAutomaton {
+        // state 0 = walking, 1 = accept.
+        PebbleAutomaton {
+            states: 2,
+            k: 1,
+            start: 0,
+            accept: 1,
+            transitions: vec![
+                Transition {
+                    state: 0,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::DownLeft,
+                    next: 0,
+                },
+                Transition {
+                    state: 0,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::DownRight,
+                    next: 0,
+                },
+                Transition {
+                    state: 0,
+                    label: Some(l),
+                    pebbles_here: None,
+                    action: Action::Stay,
+                    next: 1,
+                },
+            ],
+        }
+    }
+
+    /// A 2-pebble automaton accepting trees containing two *distinct*
+    /// nodes with label `l`: pebble 1 walks to an `l`-node and stays;
+    /// pebble 2 walks to another `l`-node not carrying pebble 1.
+    pub fn two_distinct_labeled(l: Label) -> PebbleAutomaton {
+        // States: 0 = moving pebble 1, 1 = pebble 1 committed / moving
+        // pebble 2, 2 = accept.
+        let mut transitions = vec![];
+        for action in [Action::DownLeft, Action::DownRight] {
+            transitions.push(Transition {
+                state: 0,
+                label: None,
+                pebbles_here: None,
+                action,
+                next: 0,
+            });
+        }
+        // Commit pebble 1 on an l-node: place pebble 2 (lands on root).
+        transitions.push(Transition {
+            state: 0,
+            label: Some(l),
+            pebbles_here: None,
+            action: Action::PlaceNew,
+            next: 1,
+        });
+        for action in [Action::DownLeft, Action::DownRight] {
+            transitions.push(Transition {
+                state: 1,
+                label: None,
+                pebbles_here: None,
+                action,
+                next: 1,
+            });
+        }
+        // Accept on an l-node where pebble 1 is absent.
+        transitions.push(Transition {
+            state: 1,
+            label: Some(l),
+            pebbles_here: Some(vec![false]),
+            action: Action::Stay,
+            next: 2,
+        });
+        PebbleAutomaton {
+            states: 3,
+            k: 2,
+            start: 0,
+            accept: 2,
+            transitions,
+        }
+    }
+}
+
+/// An output step of a k-pebble *transducer*.
+#[derive(Clone, Debug)]
+pub enum OutputKind {
+    /// Emit a leaf and halt this computation branch.
+    Nullary,
+    /// Emit a node and spawn two branches (inheriting all pebbles)
+    /// computing the left and right output subtrees in the given states.
+    Binary(usize, usize),
+}
+
+/// An output transition: applicable like a [`Transition`], but emits an
+/// output node instead of moving.
+#[derive(Clone, Debug)]
+pub struct OutputTransition {
+    /// Source state.
+    pub state: usize,
+    /// Required label under the current pebble (`None` = any).
+    pub label: Option<Label>,
+    /// Emitted output label.
+    pub out_label: Label,
+    /// Nullary (halt branch) or binary (spawn two branches).
+    pub kind: OutputKind,
+}
+
+/// A deterministic k-pebble tree transducer (Section 4 / Theorem 4.2):
+/// move transitions walk the input, output transitions build the output
+/// tree top-down, each binary output spawning two independent branches
+/// that inherit the pebble positions.
+///
+/// Determinization discipline: in each branch, the first *applicable*
+/// move transition fires; only when no move applies does the first
+/// matching output transition fire. This lets a state use inapplicable
+/// moves (e.g. "go to the left child") with an output fallback ("no left
+/// child: emit ⊥").
+#[derive(Clone, Debug)]
+pub struct PebbleTransducer {
+    /// The underlying control (move transitions, k, start state).
+    pub control: PebbleAutomaton,
+    /// Output transitions (fallbacks when no move applies).
+    pub outputs: Vec<OutputTransition>,
+    /// Safety bound on total steps (transducers can diverge).
+    pub max_steps: usize,
+}
+
+/// Errors from running a transducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransducerError {
+    /// No applicable transition in some branch.
+    Stuck {
+        /// The state the branch was stuck in.
+        state: usize,
+    },
+    /// The step bound was exhausted (likely divergence).
+    StepLimit,
+}
+
+impl PebbleTransducer {
+    /// Runs the transducer, producing the output binary tree.
+    /// Deterministic: in each branch the first applicable output
+    /// transition fires; otherwise the first applicable move transition.
+    pub fn run(&self, t: &BinTree) -> Result<BinTree, TransducerError> {
+        // Output arena; each branch owns an output slot to fill.
+        #[derive(Clone)]
+        struct Branch {
+            state: usize,
+            pebbles: Vec<usize>,
+            slot: usize, // index into `out.nodes`
+        }
+        let mut out_nodes: Vec<BinNode> = vec![BinNode {
+            label: Label(u32::MAX),
+            left: None,
+            right: None,
+            parent: None,
+        }];
+        let mut branches = vec![Branch {
+            state: self.control.start,
+            pebbles: vec![0],
+            slot: 0,
+        }];
+        let mut steps = 0usize;
+        while let Some(br) = branches.pop() {
+            steps += 1;
+            if steps > self.max_steps {
+                return Err(TransducerError::StepLimit);
+            }
+            let cur = *br.pebbles.last().expect("at least one pebble");
+            let node = &t.nodes[cur];
+            // Move transitions first.
+            let mut moved = false;
+            for tr in &self.control.transitions {
+                if tr.state != br.state {
+                    continue;
+                }
+                if let Some(l) = tr.label {
+                    if node.label != l {
+                        continue;
+                    }
+                }
+                let mut pebbles = br.pebbles.clone();
+                let applicable = match tr.action {
+                    Action::Stay => true,
+                    Action::PlaceNew => {
+                        if pebbles.len() < self.control.k {
+                            pebbles.push(0);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Action::Lift => {
+                        if pebbles.len() > 1 {
+                            pebbles.pop();
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Action::DownLeft => match node.left {
+                        Some(c) => {
+                            *pebbles.last_mut().unwrap() = c;
+                            true
+                        }
+                        None => false,
+                    },
+                    Action::DownRight => match node.right {
+                        Some(c) => {
+                            *pebbles.last_mut().unwrap() = c;
+                            true
+                        }
+                        None => false,
+                    },
+                    Action::UpLeft => match node.parent {
+                        Some((p, Side::Left)) => {
+                            *pebbles.last_mut().unwrap() = p;
+                            true
+                        }
+                        _ => false,
+                    },
+                    Action::UpRight => match node.parent {
+                        Some((p, Side::Right)) => {
+                            *pebbles.last_mut().unwrap() = p;
+                            true
+                        }
+                        _ => false,
+                    },
+                };
+                if applicable {
+                    branches.push(Branch {
+                        state: tr.next,
+                        pebbles,
+                        slot: br.slot,
+                    });
+                    moved = true;
+                    break;
+                }
+            }
+            if moved {
+                continue;
+            }
+            // Output fallback.
+            if let Some(ot) = self.outputs.iter().find(|ot| {
+                ot.state == br.state && (ot.label.is_none() || ot.label == Some(node.label))
+            }) {
+                out_nodes[br.slot].label = ot.out_label;
+                match ot.kind {
+                    OutputKind::Nullary => {}
+                    OutputKind::Binary(sl, sr) => {
+                        let l = out_nodes.len();
+                        out_nodes.push(BinNode {
+                            label: Label(u32::MAX),
+                            left: None,
+                            right: None,
+                            parent: Some((br.slot, Side::Left)),
+                        });
+                        let r = out_nodes.len();
+                        out_nodes.push(BinNode {
+                            label: Label(u32::MAX),
+                            left: None,
+                            right: None,
+                            parent: Some((br.slot, Side::Right)),
+                        });
+                        out_nodes[br.slot].left = Some(l);
+                        out_nodes[br.slot].right = Some(r);
+                        branches.push(Branch {
+                            state: sl,
+                            pebbles: br.pebbles.clone(),
+                            slot: l,
+                        });
+                        branches.push(Branch {
+                            state: sr,
+                            pebbles: br.pebbles,
+                            slot: r,
+                        });
+                    }
+                }
+                continue;
+            }
+            return Err(TransducerError::Stuck { state: br.state });
+        }
+        Ok(BinTree { nodes: out_nodes })
+    }
+
+    /// The identity transducer over the given label alphabet: copies the
+    /// input binary tree, padding absent children with `bottom` leaves.
+    /// States: 0 = emit the current node, 1 = go to the left child,
+    /// 2 = go to the right child.
+    pub fn identity(labels: &[Label], bottom: Label) -> PebbleTransducer {
+        let control = PebbleAutomaton {
+            states: 3,
+            k: 1,
+            start: 0,
+            accept: usize::MAX, // unused for transduction
+            transitions: vec![
+                Transition {
+                    state: 1,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::DownLeft,
+                    next: 0,
+                },
+                Transition {
+                    state: 2,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::DownRight,
+                    next: 0,
+                },
+            ],
+        };
+        // State 0 (no moves): emit the node's own label and branch into
+        // the two child-seeking states. States 1/2 reach here only when
+        // the child is absent: emit the ⊥ pad.
+        let mut outputs: Vec<OutputTransition> = labels
+            .iter()
+            .map(|&l| OutputTransition {
+                state: 0,
+                label: Some(l),
+                out_label: l,
+                kind: OutputKind::Binary(1, 2),
+            })
+            .collect();
+        for state in [1, 2] {
+            outputs.push(OutputTransition {
+                state,
+                label: None,
+                out_label: bottom,
+                kind: OutputKind::Nullary,
+            });
+        }
+        PebbleTransducer {
+            control,
+            outputs,
+            max_steps: 100_000,
+        }
+    }
+
+    /// A relabeling transducer: like [`PebbleTransducer::identity`] but
+    /// mapping each label through `map` (pairs `(from, to)`).
+    pub fn relabel(map: &[(Label, Label)], bottom: Label) -> PebbleTransducer {
+        let labels: Vec<Label> = map.iter().map(|&(f, _)| f).collect();
+        let mut t = PebbleTransducer::identity(&labels, bottom);
+        for ot in &mut t.outputs {
+            if let Some(from) = ot.label {
+                if let Some(&(_, to)) = map.iter().find(|&&(f, _)| f == from) {
+                    ot.out_label = to;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_tree::{Alphabet, Nid};
+    use iixml_values::Rat;
+
+    fn tree(labels: &[(&str, &[usize])], alpha: &mut Alphabet) -> DataTree {
+        // labels[i] = (name, children indices); index 0 = root.
+        let l0 = alpha.intern(labels[0].0);
+        let mut t = DataTree::new(Nid(0), l0, Rat::ZERO);
+        let mut refs = vec![t.root()];
+        // Build in index order: parents must precede children.
+        for (i, &(name, _)) in labels.iter().enumerate().skip(1) {
+            let parent = labels
+                .iter()
+                .position(|&(_, kids)| kids.contains(&i))
+                .expect("every non-root has a parent");
+            let l = alpha.intern(name);
+            let r = t
+                .add_child(refs[parent], Nid(i as u64), l, Rat::ZERO)
+                .unwrap();
+            refs.push(r);
+        }
+        t
+    }
+
+    #[test]
+    fn binary_encoding_shape() {
+        let mut alpha = Alphabet::new();
+        // root with three children a, b, c.
+        let t = tree(
+            &[("root", &[1, 2, 3]), ("a", &[]), ("b", &[]), ("c", &[])],
+            &mut alpha,
+        );
+        let bt = BinTree::from_unranked(&t);
+        assert_eq!(bt.len(), 4);
+        // root.left = a; a.right = b; b.right = c; no other edges.
+        let root = &bt.nodes[0];
+        let a = root.left.unwrap();
+        assert_eq!(bt.nodes[a].label, alpha.get("a").unwrap());
+        let b = bt.nodes[a].right.unwrap();
+        assert_eq!(bt.nodes[b].label, alpha.get("b").unwrap());
+        let c = bt.nodes[b].right.unwrap();
+        assert_eq!(bt.nodes[c].label, alpha.get("c").unwrap());
+        assert!(bt.nodes[c].right.is_none());
+        assert!(root.right.is_none());
+        assert_eq!(bt.nodes[a].parent, Some((0, Side::Left)));
+        assert_eq!(bt.nodes[b].parent, Some((a, Side::Right)));
+    }
+
+    #[test]
+    fn exists_label_automaton() {
+        let mut alpha = Alphabet::new();
+        let t = tree(
+            &[("root", &[1, 2]), ("a", &[3]), ("b", &[]), ("c", &[])],
+            &mut alpha,
+        );
+        let bt = BinTree::from_unranked(&t);
+        let c = alpha.get("c").unwrap();
+        let d = alpha.intern("d");
+        assert!(PebbleAutomaton::exists_label(c).accepts(&bt));
+        assert!(!PebbleAutomaton::exists_label(d).accepts(&bt));
+        // The root label itself.
+        let root_l = alpha.get("root").unwrap();
+        assert!(PebbleAutomaton::exists_label(root_l).accepts(&bt));
+    }
+
+    #[test]
+    fn two_distinct_labeled_automaton() {
+        let mut alpha = Alphabet::new();
+        // Two b's: accept.
+        let t = tree(
+            &[("root", &[1, 2, 3]), ("a", &[]), ("b", &[]), ("b", &[])],
+            &mut alpha,
+        );
+        let bt = BinTree::from_unranked(&t);
+        let b = alpha.get("b").unwrap();
+        let a = alpha.get("a").unwrap();
+        assert!(PebbleAutomaton::two_distinct_labeled(b).accepts(&bt));
+        // Only one a: reject (needs two distinct).
+        assert!(!PebbleAutomaton::two_distinct_labeled(a).accepts(&bt));
+    }
+
+    #[test]
+    fn up_moves_respect_sides() {
+        // Walk: root -> down-left -> up-left -> accept; the up-left move
+        // applies only because the child hangs on the left.
+        let mut alpha = Alphabet::new();
+        let t = tree(&[("root", &[1]), ("a", &[])], &mut alpha);
+        let bt = BinTree::from_unranked(&t);
+        let make = |up: Action| PebbleAutomaton {
+            states: 3,
+            k: 1,
+            start: 0,
+            accept: 2,
+            transitions: vec![
+                Transition {
+                    state: 0,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::DownLeft,
+                    next: 1,
+                },
+                Transition {
+                    state: 1,
+                    label: None,
+                    pebbles_here: None,
+                    action: up,
+                    next: 2,
+                },
+            ],
+        };
+        // The `a` node is a LEFT child in the encoding: UpLeft works,
+        // UpRight does not.
+        assert!(make(Action::UpLeft).accepts(&bt));
+        assert!(!make(Action::UpRight).accepts(&bt));
+        // With two children, the second sibling hangs right of the
+        // first: reach it via DownLeft·DownRight, come back with
+        // UpRight.
+        let t2 = tree(&[("root", &[1, 2]), ("a", &[]), ("b", &[])], &mut alpha);
+        let bt2 = BinTree::from_unranked(&t2);
+        let walker = PebbleAutomaton {
+            states: 4,
+            k: 1,
+            start: 0,
+            accept: 3,
+            transitions: vec![
+                Transition {
+                    state: 0,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::DownLeft,
+                    next: 1,
+                },
+                Transition {
+                    state: 1,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::DownRight,
+                    next: 2,
+                },
+                Transition {
+                    state: 2,
+                    label: Some(alpha.get("b").unwrap()),
+                    pebbles_here: None,
+                    action: Action::UpRight,
+                    next: 3,
+                },
+            ],
+        };
+        assert!(walker.accepts(&bt2));
+    }
+
+    #[test]
+    fn pebble_stack_discipline() {
+        // PlaceNew beyond k is inapplicable; Lift of the last pebble is
+        // inapplicable. An automaton trying to over-place simply cannot
+        // reach accept.
+        let mut alpha = Alphabet::new();
+        let t = tree(&[("root", &[])], &mut alpha);
+        let bt = BinTree::from_unranked(&t);
+        let auto = PebbleAutomaton {
+            states: 3,
+            k: 1,
+            start: 0,
+            accept: 2,
+            transitions: vec![
+                Transition {
+                    state: 0,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::PlaceNew, // k=1: never applicable
+                    next: 1,
+                },
+                Transition {
+                    state: 1,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::Stay,
+                    next: 2,
+                },
+            ],
+        };
+        assert!(!auto.accepts(&bt));
+    }
+
+    /// Strips `bottom` pads from a transducer output for comparison.
+    fn strip(t: &BinTree, at: usize, bottom: Label, out: &mut Vec<(Label, Option<usize>, Option<usize>)>) -> Option<usize> {
+        let n = &t.nodes[at];
+        if n.label == bottom {
+            return None;
+        }
+        let l = n.left.and_then(|c| strip(t, c, bottom, out));
+        let r = n.right.and_then(|c| strip(t, c, bottom, out));
+        out.push((n.label, l, r));
+        Some(out.len() - 1)
+    }
+
+    #[test]
+    fn identity_transducer_copies_trees() {
+        let mut alpha = Alphabet::new();
+        let t = tree(
+            &[("root", &[1, 2]), ("a", &[3]), ("b", &[]), ("c", &[])],
+            &mut alpha,
+        );
+        let bt = BinTree::from_unranked(&t);
+        let labels: Vec<Label> = alpha.labels().collect();
+        let bottom = alpha.intern("_bot");
+        let id = PebbleTransducer::identity(&labels, bottom);
+        let out = id.run(&bt).unwrap();
+        // Stripping the pads recovers the input structure.
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        strip(&out, 0, bottom, &mut got);
+        strip(&bt, 0, bottom, &mut want);
+        assert_eq!(got, want, "identity transduction differs from input");
+    }
+
+    #[test]
+    fn relabel_transducer() {
+        let mut alpha = Alphabet::new();
+        let t = tree(&[("root", &[1]), ("a", &[])], &mut alpha);
+        let bt = BinTree::from_unranked(&t);
+        let root_l = alpha.get("root").unwrap();
+        let a = alpha.get("a").unwrap();
+        let x = alpha.intern("x");
+        let bottom = alpha.intern("_bot");
+        let tr = PebbleTransducer::relabel(&[(root_l, root_l), (a, x)], bottom);
+        let out = tr.run(&bt).unwrap();
+        let labels: Vec<Label> = out
+            .nodes
+            .iter()
+            .map(|n| n.label)
+            .filter(|&l| l != bottom)
+            .collect();
+        assert!(labels.contains(&x), "a relabeled to x");
+        assert!(!labels.contains(&a));
+    }
+
+    #[test]
+    fn transducer_stuck_and_limits() {
+        let mut alpha = Alphabet::new();
+        let t = tree(&[("root", &[])], &mut alpha);
+        let bt = BinTree::from_unranked(&t);
+        // No transitions at all: stuck in the start state.
+        let broken = PebbleTransducer {
+            control: PebbleAutomaton {
+                states: 1,
+                k: 1,
+                start: 0,
+                accept: usize::MAX,
+                transitions: vec![],
+            },
+            outputs: vec![],
+            max_steps: 10,
+        };
+        assert_eq!(broken.run(&bt).err(), Some(TransducerError::Stuck { state: 0 }));
+        // A self-loop diverges into the step limit.
+        let diverging = PebbleTransducer {
+            control: PebbleAutomaton {
+                states: 1,
+                k: 1,
+                start: 0,
+                accept: usize::MAX,
+                transitions: vec![Transition {
+                    state: 0,
+                    label: None,
+                    pebbles_here: None,
+                    action: Action::Stay,
+                    next: 0,
+                }],
+            },
+            outputs: vec![],
+            max_steps: 10,
+        };
+        assert_eq!(diverging.run(&bt).err(), Some(TransducerError::StepLimit));
+    }
+
+    #[test]
+    fn agreement_with_direct_check_on_random_trees() {
+        use iixml_gen::catalog;
+        for seed in 0..3 {
+            let c = catalog(6, seed);
+            let bt = BinTree::from_unranked(&c.doc);
+            let picture = c.alpha.get("picture").unwrap();
+            let direct = c
+                .doc
+                .preorder()
+                .iter()
+                .filter(|&&n| c.doc.label(n) == picture)
+                .count();
+            assert_eq!(
+                PebbleAutomaton::exists_label(picture).accepts(&bt),
+                direct >= 1
+            );
+            assert_eq!(
+                PebbleAutomaton::two_distinct_labeled(picture).accepts(&bt),
+                direct >= 2
+            );
+        }
+    }
+}

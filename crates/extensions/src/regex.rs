@@ -1,0 +1,222 @@
+//! A small regular-expression engine over label alphabets.
+//!
+//! Recursive path expressions (Theorem 4.7) label query edges with
+//! regular languages of element-name paths. This module provides the
+//! classic syntax tree → Thompson NFA pipeline with subset-free
+//! simulation (NFA state sets), which is all the path evaluator needs.
+
+use iixml_tree::Label;
+use std::collections::HashSet;
+
+/// A regular expression over [`Label`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty word ε.
+    Eps,
+    /// A single label.
+    Sym(Label),
+    /// Any single label (wildcard `.`; the paper's `Σ`).
+    Any,
+    /// Concatenation.
+    Cat(Box<Regex>, Box<Regex>),
+    /// Union.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// `r1 · r2`
+    pub fn cat(a: Regex, b: Regex) -> Regex {
+        Regex::Cat(Box::new(a), Box::new(b))
+    }
+
+    /// `r1 | r2`
+    pub fn alt(a: Regex, b: Regex) -> Regex {
+        Regex::Alt(Box::new(a), Box::new(b))
+    }
+
+    /// `r⋆`
+    pub fn star(a: Regex) -> Regex {
+        Regex::Star(Box::new(a))
+    }
+
+    /// `Σ⋆` (the paper's `⋆` edge shortcut).
+    pub fn any_star() -> Regex {
+        Regex::star(Regex::Any)
+    }
+
+    /// Concatenation of a sequence of labels (a fixed path).
+    pub fn word(labels: &[Label]) -> Regex {
+        labels
+            .iter()
+            .fold(Regex::Eps, |acc, &l| Regex::cat(acc, Regex::Sym(l)))
+    }
+
+    /// Compiles to an NFA.
+    pub fn compile(&self) -> Nfa {
+        let mut nfa = Nfa {
+            eps: vec![Vec::new(), Vec::new()],
+            step: vec![Vec::new(), Vec::new()],
+            start: 0,
+            accept: 1,
+        };
+        let (s, a) = (0, 1);
+        nfa.build(self, s, a);
+        nfa
+    }
+}
+
+/// A Thompson NFA with ε-transitions.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    eps: Vec<Vec<usize>>,
+    step: Vec<Vec<(Option<Label>, usize)>>, // None = wildcard
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn fresh(&mut self) -> usize {
+        self.eps.push(Vec::new());
+        self.step.push(Vec::new());
+        self.eps.len() - 1
+    }
+
+    fn build(&mut self, r: &Regex, from: usize, to: usize) {
+        match r {
+            Regex::Eps => self.eps[from].push(to),
+            Regex::Sym(l) => self.step[from].push((Some(*l), to)),
+            Regex::Any => self.step[from].push((None, to)),
+            Regex::Cat(a, b) => {
+                let mid = self.fresh();
+                self.build(a, from, mid);
+                self.build(b, mid, to);
+            }
+            Regex::Alt(a, b) => {
+                self.build(a, from, to);
+                self.build(b, from, to);
+            }
+            Regex::Star(a) => {
+                let hub = self.fresh();
+                self.eps[from].push(hub);
+                self.eps[hub].push(to);
+                self.build(a, hub, hub);
+            }
+        }
+    }
+
+    /// The ε-closure of a state set.
+    pub fn closure(&self, states: &HashSet<usize>) -> HashSet<usize> {
+        let mut out = states.clone();
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if out.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// The initial state set.
+    pub fn start_set(&self) -> HashSet<usize> {
+        self.closure(&HashSet::from([self.start]))
+    }
+
+    /// One transition on a label.
+    pub fn advance(&self, states: &HashSet<usize>, l: Label) -> HashSet<usize> {
+        let mut next = HashSet::new();
+        for &s in states {
+            for &(sym, t) in &self.step[s] {
+                if sym.is_none() || sym == Some(l) {
+                    next.insert(t);
+                }
+            }
+        }
+        self.closure(&next)
+    }
+
+    /// Is the state set accepting?
+    pub fn accepting(&self, states: &HashSet<usize>) -> bool {
+        states.contains(&self.accept)
+    }
+
+    /// Full-word acceptance test.
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        let mut cur = self.start_set();
+        for &l in word {
+            cur = self.advance(&cur, l);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        self.accepting(&cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        let r = Regex::word(&[l(0), l(1)]);
+        let n = r.compile();
+        assert!(n.accepts(&[l(0), l(1)]));
+        assert!(!n.accepts(&[l(0)]));
+        assert!(!n.accepts(&[l(1), l(0)]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn eps_and_star() {
+        let n = Regex::Eps.compile();
+        assert!(n.accepts(&[]));
+        assert!(!n.accepts(&[l(0)]));
+        let n = Regex::star(Regex::Sym(l(0))).compile();
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&[l(0), l(0), l(0)]));
+        assert!(!n.accepts(&[l(0), l(1)]));
+    }
+
+    #[test]
+    fn union() {
+        let r = Regex::alt(Regex::Sym(l(0)), Regex::word(&[l(1), l(2)]));
+        let n = r.compile();
+        assert!(n.accepts(&[l(0)]));
+        assert!(n.accepts(&[l(1), l(2)]));
+        assert!(!n.accepts(&[l(1)]));
+    }
+
+    #[test]
+    fn wildcard_star() {
+        let n = Regex::any_star().compile();
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&[l(0), l(5), l(9)]));
+        // sigma* . a
+        let r = Regex::cat(Regex::any_star(), Regex::Sym(l(7)));
+        let n = r.compile();
+        assert!(n.accepts(&[l(7)]));
+        assert!(n.accepts(&[l(1), l(2), l(7)]));
+        assert!(!n.accepts(&[l(7), l(1)]));
+    }
+
+    #[test]
+    fn complex_combination() {
+        // (a|b)* c
+        let r = Regex::cat(
+            Regex::star(Regex::alt(Regex::Sym(l(0)), Regex::Sym(l(1)))),
+            Regex::Sym(l(2)),
+        );
+        let n = r.compile();
+        assert!(n.accepts(&[l(2)]));
+        assert!(n.accepts(&[l(0), l(1), l(0), l(2)]));
+        assert!(!n.accepts(&[l(0), l(2), l(1)]));
+    }
+}

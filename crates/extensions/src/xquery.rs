@@ -1,0 +1,799 @@
+//! Extended ps-queries (Section 4): branching, optional subtrees,
+//! negated subtrees, data-value variables with join conditions, and
+//! constructed answers.
+//!
+//! Unlike the core language, these extensions break the paper's
+//! tractability results (Theorems 4.1, 4.5, 4.6), so no incomplete-tree
+//! algorithms are provided — only *evaluation on concrete data trees*,
+//! which is what the hardness constructions need.
+//!
+//! Semantics (following Section 4):
+//! * a valuation is a partial mapping from pattern nodes to tree nodes,
+//!   defined on the root and closed under parents;
+//! * plain subtrees must be matched; optional (`?`) subtrees may be
+//!   matched or skipped; negated (`¬`) subtrees must admit *no* matching
+//!   extension;
+//! * variables bind the data values of their nodes; join conditions
+//!   (`X = Y`, `X ≠ Y`) must hold among bound variables (joins with an
+//!   unbound side are vacuous);
+//! * the answer is the prefix of all nodes in the image of some
+//!   valuation (plus bar-extracted subtrees); constructed answers
+//!   instead build an output tree from Skolem terms over the bindings.
+
+use crate::regex::Regex;
+use iixml_tree::{Alphabet, DataTree, Label, Nid, NodeRef};
+use iixml_values::{Cond, IntervalSet, Rat};
+use std::collections::{HashMap, HashSet};
+
+/// A data-value variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+/// How a pattern subtree participates in matching.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Modality {
+    /// Must be matched.
+    Plain,
+    /// May be matched or skipped (`?`).
+    Optional,
+    /// Must not be matchable (`¬`).
+    Negated,
+}
+
+/// A join condition between two variables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Join {
+    /// Left variable.
+    pub a: Var,
+    /// Right variable.
+    pub b: Var,
+    /// `true` for `=`, `false` for `≠`.
+    pub equal: bool,
+}
+
+/// Reference to an extended-query pattern node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct XNodeRef(pub u32);
+
+#[derive(Clone, Debug)]
+struct XNode {
+    label: Label,
+    cond: IntervalSet,
+    modality: Modality,
+    barred: bool,
+    var: Option<Var>,
+    /// Optional regular path expression from the parent (edges default
+    /// to the single-step child axis). Used by Theorem 4.7's queries.
+    edge: Option<Regex>,
+    children: Vec<XNodeRef>,
+}
+
+/// An extended query pattern.
+#[derive(Clone, Debug)]
+pub struct XQuery {
+    nodes: Vec<XNode>,
+    joins: Vec<Join>,
+}
+
+/// Builder for [`XQuery`].
+pub struct XQueryBuilder<'a> {
+    alpha: &'a mut Alphabet,
+    nodes: Vec<XNode>,
+    joins: Vec<Join>,
+    next_var: u32,
+}
+
+impl<'a> XQueryBuilder<'a> {
+    /// Starts a pattern with the given root.
+    pub fn new(alpha: &'a mut Alphabet, root: &str, cond: Cond) -> XQueryBuilder<'a> {
+        let label = alpha.intern(root);
+        XQueryBuilder {
+            alpha,
+            nodes: vec![XNode {
+                label,
+                cond: cond.to_intervals(),
+                modality: Modality::Plain,
+                barred: false,
+                var: None,
+                edge: None,
+                children: Vec::new(),
+            }],
+            joins: Vec::new(),
+            next_var: 0,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> XNodeRef {
+        XNodeRef(0)
+    }
+
+    /// Allocates a fresh variable.
+    pub fn var(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Adds a child pattern node (duplicate sibling labels allowed —
+    /// this is the *branching* extension).
+    pub fn child(&mut self, parent: XNodeRef, name: &str, cond: Cond, modality: Modality) -> XNodeRef {
+        self.add(parent, name, cond, modality, false, None, None)
+    }
+
+    /// Adds a barred child (whole-subtree extraction).
+    pub fn barred_child(&mut self, parent: XNodeRef, name: &str, cond: Cond) -> XNodeRef {
+        self.add(parent, name, cond, Modality::Plain, true, None, None)
+    }
+
+    /// Adds a child binding a fresh variable; returns (node, var).
+    pub fn child_var(
+        &mut self,
+        parent: XNodeRef,
+        name: &str,
+        cond: Cond,
+        modality: Modality,
+    ) -> (XNodeRef, Var) {
+        let v = self.var();
+        let n = self.add(parent, name, cond, modality, false, Some(v), None);
+        (n, v)
+    }
+
+    /// Adds a child reached through a regular path expression rather
+    /// than a single edge (Theorem 4.7's recursive path expressions).
+    pub fn child_path(
+        &mut self,
+        parent: XNodeRef,
+        path: Regex,
+        name: &str,
+        cond: Cond,
+        var: Option<Var>,
+    ) -> XNodeRef {
+        self.add(parent, name, cond, Modality::Plain, false, var, Some(path))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add(
+        &mut self,
+        parent: XNodeRef,
+        name: &str,
+        cond: Cond,
+        modality: Modality,
+        barred: bool,
+        var: Option<Var>,
+        edge: Option<Regex>,
+    ) -> XNodeRef {
+        let label = self.alpha.intern(name);
+        let r = XNodeRef(self.nodes.len() as u32);
+        self.nodes.push(XNode {
+            label,
+            cond: cond.to_intervals(),
+            modality,
+            barred,
+            var,
+            edge,
+            children: Vec::new(),
+        });
+        self.nodes[parent.0 as usize].children.push(r);
+        r
+    }
+
+    /// Adds a join condition.
+    pub fn join(&mut self, a: Var, b: Var, equal: bool) {
+        self.joins.push(Join { a, b, equal });
+    }
+
+    /// Finishes the query.
+    pub fn build(self) -> XQuery {
+        XQuery {
+            nodes: self.nodes,
+            joins: self.joins,
+        }
+    }
+}
+
+/// A binding of pattern nodes to tree nodes plus variable values.
+#[derive(Clone, Debug, Default)]
+pub struct Valuation {
+    /// Pattern node → tree node.
+    pub map: HashMap<XNodeRef, NodeRef>,
+    /// Variable → bound value.
+    pub vars: HashMap<Var, Rat>,
+}
+
+impl XQuery {
+    fn node(&self, r: XNodeRef) -> &XNode {
+        &self.nodes[r.0 as usize]
+    }
+
+    /// The root node.
+    pub fn root(&self) -> XNodeRef {
+        XNodeRef(0)
+    }
+
+    /// All valuations of the pattern into `t` (exponential in general —
+    /// the extensions are used for hardness constructions, not for
+    /// large-scale evaluation).
+    pub fn valuations(&self, t: &DataTree) -> Vec<Valuation> {
+        let mut out = Vec::new();
+        let root = t.root();
+        let rn = self.node(self.root());
+        if t.label(root) != rn.label || !rn.cond.contains(t.value(root)) {
+            return out;
+        }
+        let mut v = Valuation::default();
+        v.map.insert(self.root(), root);
+        if let Some(var) = rn.var {
+            v.vars.insert(var, t.value(root));
+        }
+        self.extend(t, self.root(), root, v, &mut out);
+        out
+    }
+
+    /// Candidate targets of a pattern child under a matched tree node:
+    /// plain edges yield children; regex edges yield all descendants
+    /// whose path from the node matches.
+    fn targets(&self, t: &DataTree, at: NodeRef, child: XNodeRef) -> Vec<NodeRef> {
+        let cn = self.node(child);
+        match &cn.edge {
+            None => t
+                .children(at)
+                .iter()
+                .copied()
+                .filter(|&c| t.label(c) == cn.label && cn.cond.contains(t.value(c)))
+                .collect(),
+            Some(rx) => {
+                // Walk descendants tracking NFA state sets; the path
+                // includes the labels of intermediate nodes AND the
+                // target, with the target's label consumed last... The
+                // convention here: the regex matches the label sequence
+                // of the nodes strictly below `at` down to and including
+                // the target's parent-path, then the explicit label/cond
+                // of the pattern node applies to the target itself.
+                let nfa = rx.compile();
+                let mut out = Vec::new();
+                let mut stack = vec![(at, nfa.start_set())];
+                while let Some((n, states)) = stack.pop() {
+                    for &c in t.children(n) {
+                        // Target check: path so far accepted, label and
+                        // condition match.
+                        if nfa.accepting(&states)
+                            && t.label(c) == cn.label
+                            && cn.cond.contains(t.value(c))
+                        {
+                            out.push(c);
+                        }
+                        let next = nfa.advance(&states, t.label(c));
+                        if !next.is_empty() {
+                            stack.push((c, next));
+                        }
+                    }
+                }
+                out.sort();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    fn extend(
+        &self,
+        t: &DataTree,
+        m: XNodeRef,
+        at: NodeRef,
+        v: Valuation,
+        out: &mut Vec<Valuation>,
+    ) {
+        // Assign children of m one at a time (depth-first product).
+        self.assign_children(t, m, at, 0, v, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assign_children(
+        &self,
+        t: &DataTree,
+        m: XNodeRef,
+        at: NodeRef,
+        idx: usize,
+        v: Valuation,
+        out: &mut Vec<Valuation>,
+    ) {
+        let kids = &self.node(m).children;
+        if idx == kids.len() {
+            // All children of this node placed; check joins and negations
+            // lazily at the very top level only.
+            if m == self.root() {
+                if self.joins_ok(&v.vars) && self.negations_ok(t, &v) {
+                    out.push(v);
+                }
+            } else {
+                out.push(v);
+            }
+            return;
+        }
+        let c = kids[idx];
+        let cn = self.node(c);
+        match cn.modality {
+            Modality::Negated => {
+                // Handled in negations_ok after full assignment.
+                self.assign_children(t, m, at, idx + 1, v, out);
+            }
+            Modality::Optional | Modality::Plain => {
+                let candidates = self.targets(t, at, c);
+                if cn.modality == Modality::Optional {
+                    // Skip variant.
+                    self.assign_children(t, m, at, idx + 1, v.clone(), out);
+                }
+                for target in candidates {
+                    let mut v2 = v.clone();
+                    v2.map.insert(c, target);
+                    if let Some(var) = cn.var {
+                        if let Some(&prev) = v2.vars.get(&var) {
+                            if prev != t.value(target) {
+                                continue;
+                            }
+                        }
+                        v2.vars.insert(var, t.value(target));
+                    }
+                    // Recurse into c's subtree, then continue with the
+                    // remaining siblings for every produced extension.
+                    let mut subs = Vec::new();
+                    self.assign_children(t, c, target, 0, v2, &mut subs);
+                    for sv in subs {
+                        self.assign_children(t, m, at, idx + 1, sv, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn joins_ok(&self, vars: &HashMap<Var, Rat>) -> bool {
+        self.joins.iter().all(|j| {
+            match (vars.get(&j.a), vars.get(&j.b)) {
+                (Some(x), Some(y)) => {
+                    if j.equal {
+                        x == y
+                    } else {
+                        x != y
+                    }
+                }
+                _ => true, // unbound side: vacuous
+            }
+        })
+    }
+
+    /// Checks every negated subtree: from its (matched) parent, no
+    /// extension of the valuation matches it (with its own descendants
+    /// treated as plain).
+    fn negations_ok(&self, t: &DataTree, v: &Valuation) -> bool {
+        for (&m, &at) in &v.map {
+            for &c in &self.node(m).children {
+                if self.node(c).modality != Modality::Negated {
+                    continue;
+                }
+                // Try to match the negated subtree below `at` under the
+                // outer bindings: success refutes the valuation.
+                if self.can_match_sub(t, c, at, &v.vars) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Can pattern node `c` (and its subtree, all treated as plain)
+    /// match below `at` consistently with the outer variable bindings
+    /// and the query joins?
+    fn can_match_sub(
+        &self,
+        t: &DataTree,
+        c: XNodeRef,
+        at: NodeRef,
+        outer: &HashMap<Var, Rat>,
+    ) -> bool {
+        let candidates = self.targets(t, at, c);
+        for target in candidates {
+            let mut vars = outer.clone();
+            if let Some(var) = self.node(c).var {
+                if let Some(&prev) = vars.get(&var) {
+                    if prev != t.value(target) {
+                        continue;
+                    }
+                }
+                vars.insert(var, t.value(target));
+            }
+            if self.match_all_children(t, c, target, &vars) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn match_all_children(
+        &self,
+        t: &DataTree,
+        m: XNodeRef,
+        at: NodeRef,
+        vars: &HashMap<Var, Rat>,
+    ) -> bool {
+        // Backtracking over this node's children (all plain inside a
+        // negation).
+        fn go(
+            q: &XQuery,
+            t: &DataTree,
+            kids: &[XNodeRef],
+            idx: usize,
+            at: NodeRef,
+            vars: &HashMap<Var, Rat>,
+        ) -> bool {
+            if idx == kids.len() {
+                return q.joins_ok(vars);
+            }
+            let c = kids[idx];
+            for target in q.targets(t, at, c) {
+                let mut v2 = vars.clone();
+                if let Some(var) = q.node(c).var {
+                    if let Some(&prev) = v2.get(&var) {
+                        if prev != t.value(target) {
+                            continue;
+                        }
+                    }
+                    v2.insert(var, t.value(target));
+                }
+                if q.match_all_children(t, c, target, &v2)
+                    && go(q, t, kids, idx + 1, at, &v2)
+                {
+                    return true;
+                }
+            }
+            false
+        }
+        if !self.joins_ok(vars) {
+            return false;
+        }
+        go(self, t, &self.node(m).children, 0, at, vars)
+    }
+
+    /// The prefix-selection answer: nodes in the image of some
+    /// valuation, plus bar-extracted subtrees. `None` = empty answer.
+    pub fn eval(&self, t: &DataTree) -> Option<DataTree> {
+        let vals = self.valuations(t);
+        if vals.is_empty() {
+            return None;
+        }
+        let mut include: HashSet<NodeRef> = HashSet::new();
+        let mut barred: HashSet<NodeRef> = HashSet::new();
+        for v in &vals {
+            for (&m, &n) in &v.map {
+                include.insert(n);
+                if self.node(m).barred {
+                    barred.insert(n);
+                }
+            }
+        }
+        // Regex edges can match non-child descendants; close the set
+        // upward so the answer is a prefix.
+        let mut stack: Vec<NodeRef> = include.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            if let Some(p) = t.parent(n) {
+                if include.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        // Build the answer prefix.
+        let mut answer = DataTree::new(t.nid(t.root()), t.label(t.root()), t.value(t.root()));
+        fn copy(
+            t: &DataTree,
+            n: NodeRef,
+            out: &mut DataTree,
+            on: NodeRef,
+            include: &HashSet<NodeRef>,
+            barred: &HashSet<NodeRef>,
+            in_bar: bool,
+        ) {
+            for &c in t.children(n) {
+                if in_bar || include.contains(&c) {
+                    let oc = out
+                        .add_child(on, t.nid(c), t.label(c), t.value(c))
+                        .expect("unique ids");
+                    let bar = in_bar || barred.contains(&c);
+                    copy(t, c, out, oc, include, barred, bar);
+                }
+            }
+        }
+        let aroot = answer.root();
+        let root_bar = barred.contains(&t.root());
+        copy(t, t.root(), &mut answer, aroot, &include, &barred, root_bar);
+        Some(answer)
+    }
+}
+
+/// A node of a constructed-answer head: a label plus a Skolem term over
+/// query variables. Two bindings produce the same output node iff their
+/// Skolem function and argument values coincide (the XML-QL-style
+/// construction of Section 4).
+#[derive(Clone, Debug)]
+pub struct HeadNode {
+    /// Output element label.
+    pub label: Label,
+    /// Skolem function name.
+    pub skolem: String,
+    /// Skolem arguments (query variables).
+    pub args: Vec<Var>,
+    /// Child head nodes (indices into the head's node list).
+    pub children: Vec<usize>,
+}
+
+/// A constructed-answer head: a tree of [`HeadNode`]s (index 0 = root).
+#[derive(Clone, Debug)]
+pub struct Head {
+    /// The head nodes.
+    pub nodes: Vec<HeadNode>,
+}
+
+impl Head {
+    /// Builds the constructed answer: one output node per distinct
+    /// Skolem instantiation, assembled into a tree. Output values are
+    /// the first argument's value (or 0).
+    pub fn construct(&self, q: &XQuery, t: &DataTree) -> DataTree {
+        let vals = q.valuations(t);
+        let mut out = DataTree::new(Nid(0), self.nodes[0].label, Rat::ZERO);
+        let mut ids: HashMap<(usize, Vec<Rat>), Nid> = HashMap::new();
+        let mut next = 1u64;
+        for v in &vals {
+            self.instantiate(0, out.root(), &v.vars, &mut out, &mut ids, &mut next);
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn instantiate(
+        &self,
+        h: usize,
+        parent: NodeRef,
+        vars: &HashMap<Var, Rat>,
+        out: &mut DataTree,
+        ids: &mut HashMap<(usize, Vec<Rat>), Nid>,
+        next: &mut u64,
+    ) {
+        for &c in &self.nodes[h].children.clone() {
+            let hn = &self.nodes[c];
+            let Some(args) = hn
+                .args
+                .iter()
+                .map(|v| vars.get(v).copied())
+                .collect::<Option<Vec<Rat>>>()
+            else {
+                continue; // an argument is unbound in this valuation
+            };
+            let key = (c, args.clone());
+            let nid = *ids.entry(key).or_insert_with(|| {
+                let id = Nid(*next);
+                *next += 1;
+                id
+            });
+            let node = match out.by_nid(nid) {
+                Some(n) => n,
+                None => {
+                    let value = args.first().copied().unwrap_or(Rat::ZERO);
+                    out.add_child(parent, nid, hn.label, value)
+                        .expect("skolem ids unique")
+                }
+            };
+            self.instantiate(c, node, vars, out, ids, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(alpha: &mut Alphabet) -> DataTree {
+        // root(0): a(1,v=1){b(2,v=5)}, a(3,v=2){b(4,v=6)}, c(5,v=9)
+        let r = alpha.intern("root");
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let c = alpha.intern("c");
+        let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
+        let a1 = t.add_child(t.root(), Nid(1), a, Rat::from(1)).unwrap();
+        t.add_child(a1, Nid(2), b, Rat::from(5)).unwrap();
+        let a2 = t.add_child(t.root(), Nid(3), a, Rat::from(2)).unwrap();
+        t.add_child(a2, Nid(4), b, Rat::from(6)).unwrap();
+        t.add_child(t.root(), Nid(5), c, Rat::from(9)).unwrap();
+        t
+    }
+
+    #[test]
+    fn branching_duplicate_siblings() {
+        let mut alpha = Alphabet::new();
+        let t = sample(&mut alpha);
+        // root { a[=1], a[=2] }: needs two distinct a's (non-injective
+        // valuations map each pattern node somewhere; conditions force
+        // different targets).
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        b.child(root, "a", Cond::eq(Rat::from(1)), Modality::Plain);
+        b.child(root, "a", Cond::eq(Rat::from(2)), Modality::Plain);
+        let q = b.build();
+        let ans = q.eval(&t).unwrap();
+        assert_eq!(ans.len(), 3); // root + both a's
+    }
+
+    #[test]
+    fn optional_subtrees() {
+        let mut alpha = Alphabet::new();
+        let t = sample(&mut alpha);
+        // root { a, d? }: d absent but the query still matches.
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        b.child(root, "a", Cond::True, Modality::Plain);
+        b.child(root, "d", Cond::True, Modality::Optional);
+        let q = b.build();
+        let ans = q.eval(&t).unwrap();
+        assert_eq!(ans.len(), 3); // root + both a's (d contributes nothing)
+        // Optional c is included when present.
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        b.child(root, "a", Cond::True, Modality::Plain);
+        b.child(root, "c", Cond::True, Modality::Optional);
+        let q = b.build();
+        let ans = q.eval(&t).unwrap();
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn negated_subtrees() {
+        let mut alpha = Alphabet::new();
+        let t = sample(&mut alpha);
+        // root { a[=1], ¬d }: no d child -> matches.
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        b.child(root, "a", Cond::eq(Rat::from(1)), Modality::Plain);
+        b.child(root, "d", Cond::True, Modality::Negated);
+        let q = b.build();
+        assert!(q.eval(&t).is_some());
+        // root { ¬c }: c exists -> no valuation.
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        b.child(root, "c", Cond::True, Modality::Negated);
+        let q = b.build();
+        assert!(q.eval(&t).is_none());
+        // Negation of a subtree with structure: root { ¬ a{b[=7]} }:
+        // no a has b=7 -> matches.
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        let na = b.child(root, "a", Cond::True, Modality::Negated);
+        b.child(na, "b", Cond::eq(Rat::from(7)), Modality::Plain);
+        let q = b.build();
+        assert!(q.eval(&t).is_some());
+        // b=5 exists under a -> negation fails.
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        let na = b.child(root, "a", Cond::True, Modality::Negated);
+        b.child(na, "b", Cond::eq(Rat::from(5)), Modality::Plain);
+        let q = b.build();
+        assert!(q.eval(&t).is_none());
+    }
+
+    #[test]
+    fn joins_on_values() {
+        let mut alpha = Alphabet::new();
+        let t = sample(&mut alpha);
+        // root { a(X){b(Y)}, a(X'){b(Y')} } with X != X', Y = Y': no two
+        // distinct a's share a b value -> no valuation survives joins...
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        let (a1, x1) = b.child_var(root, "a", Cond::True, Modality::Plain);
+        let (_, y1) = b.child_var(a1, "b", Cond::True, Modality::Plain);
+        let (a2, x2) = b.child_var(root, "a", Cond::True, Modality::Plain);
+        let (_, y2) = b.child_var(a2, "b", Cond::True, Modality::Plain);
+        b.join(x1, x2, false); // different a's
+        b.join(y1, y2, true); // same b value
+        let q = b.build();
+        assert!(q.eval(&t).is_none());
+        // With Y != Y' instead: satisfiable.
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        let (a1, x1) = b.child_var(root, "a", Cond::True, Modality::Plain);
+        let (_, y1) = b.child_var(a1, "b", Cond::True, Modality::Plain);
+        let (a2, x2) = b.child_var(root, "a", Cond::True, Modality::Plain);
+        let (_, y2) = b.child_var(a2, "b", Cond::True, Modality::Plain);
+        b.join(x1, x2, false);
+        b.join(y1, y2, false);
+        let q = b.build();
+        assert!(q.eval(&t).is_some());
+    }
+
+    #[test]
+    fn regex_edges() {
+        let mut alpha = Alphabet::new();
+        let t = sample(&mut alpha);
+        let a = alpha.get("a").unwrap();
+        // root -(a)-> b : b's reachable through one a.
+        let mut bld = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = bld.root();
+        bld.child_path(root, Regex::Sym(a), "b", Cond::True, None);
+        let q = bld.build();
+        let ans = q.eval(&t).unwrap();
+        // root + 2 a's (path closure) + 2 b's.
+        assert_eq!(ans.len(), 5);
+        // root -(sigma*)-> b with cond = 6.
+        let mut bld = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = bld.root();
+        bld.child_path(root, Regex::any_star(), "b", Cond::eq(Rat::from(6)), None);
+        let q = bld.build();
+        let ans = q.eval(&t).unwrap();
+        assert_eq!(ans.len(), 3); // root, a2, b=6
+    }
+
+    #[test]
+    fn constructed_answers_equal_counts() {
+        // The Section 4 example: head produces one `a` per X binding and
+        // one `b` per Y binding — equal numbers cannot be captured by
+        // incomplete trees; here we just check the construction.
+        let mut alpha = Alphabet::new();
+        let r = alpha.intern("root");
+        let c = alpha.intern("c");
+        let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
+        for i in 0..3 {
+            t.add_child(t.root(), Nid(1 + i), c, Rat::from(i as i64)).unwrap();
+        }
+        let out_a = alpha.intern("a");
+        let out_b = alpha.intern("b");
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        let (_, x) = b.child_var(root, "c", Cond::True, Modality::Plain);
+        let q = b.build();
+        let head = Head {
+            nodes: vec![
+                HeadNode {
+                    label: r,
+                    skolem: "root".into(),
+                    args: vec![],
+                    children: vec![1, 2],
+                },
+                HeadNode {
+                    label: out_a,
+                    skolem: "f".into(),
+                    args: vec![x],
+                    children: vec![],
+                },
+                HeadNode {
+                    label: out_b,
+                    skolem: "g".into(),
+                    args: vec![x],
+                    children: vec![],
+                },
+            ],
+        };
+        let ans = head.construct(&q, &t);
+        // One a and one b per distinct c value: 3 + 3 + root.
+        assert_eq!(ans.len(), 7);
+        let a_count = ans
+            .preorder()
+            .iter()
+            .filter(|&&n| ans.label(n) == out_a)
+            .count();
+        let b_count = ans
+            .preorder()
+            .iter()
+            .filter(|&&n| ans.label(n) == out_b)
+            .count();
+        assert_eq!(a_count, b_count);
+        assert_eq!(a_count, 3);
+    }
+
+    #[test]
+    fn barred_extraction() {
+        let mut alpha = Alphabet::new();
+        let t = sample(&mut alpha);
+        let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = b.root();
+        b.barred_child(root, "a", Cond::eq(Rat::from(1)));
+        let q = b.build();
+        let ans = q.eval(&t).unwrap();
+        assert_eq!(ans.len(), 3); // root, a=1, its b
+    }
+}

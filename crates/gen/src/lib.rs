@@ -1,0 +1,427 @@
+#![warn(missing_docs)]
+
+//! Workload generators for experiments and integration tests.
+//!
+//! * [`catalog`] — the paper's running example at configurable scale;
+//! * [`blowup_queries`] — the Example 3.2 adversarial family that makes
+//!   Algorithm Refine's incomplete tree exponential;
+//! * [`linear_queries`] — the Lemma 3.12 restriction (single-path
+//!   queries);
+//! * [`sample_tree`] — a random member of a tree type;
+//! * [`random_queries`] — random ps-queries shaped by a tree type.
+//!
+//! All generation is deterministic given the seed.
+
+use iixml_query::{PsQuery, PsQueryBuilder};
+use iixml_tree::{Alphabet, DataTree, Label, Mult, NidGen, NodeRef, TreeType, TreeTypeBuilder};
+use iixml_values::{Cond, Rat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated catalog workload.
+pub struct Catalog {
+    /// The element alphabet.
+    pub alpha: Alphabet,
+    /// The catalog tree type of Figure 1.
+    pub ty: TreeType,
+    /// The document.
+    pub doc: DataTree,
+}
+
+/// Value coding used by catalog workloads: `cat` values are category
+/// codes, `subcat` values subcategory codes, names/pictures arbitrary
+/// numeric ids.
+pub mod codes {
+    /// Category "electronics" (the paper's `elec`).
+    pub const ELEC: i64 = 1;
+    /// Subcategory "camera".
+    pub const CAMERA: i64 = 10;
+    /// Subcategory "cdplayer".
+    pub const CDPLAYER: i64 = 11;
+}
+
+/// Builds a catalog with `n_products` products: ~60% electronics, half
+/// of them cameras; prices in `[10, 500)`; 0–2 pictures each.
+pub fn catalog(n_products: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alpha = Alphabet::new();
+    let ty = TreeTypeBuilder::new(&mut alpha)
+        .root("catalog")
+        .rule("catalog", &[("product", Mult::Plus)])
+        .rule(
+            "product",
+            &[
+                ("name", Mult::One),
+                ("price", Mult::One),
+                ("cat", Mult::One),
+                ("picture", Mult::Star),
+            ],
+        )
+        .rule("cat", &[("subcat", Mult::One)])
+        .build()
+        .expect("catalog type is well-formed");
+    let catalog_l = alpha.get("catalog").unwrap();
+    let product = alpha.get("product").unwrap();
+    let name = alpha.get("name").unwrap();
+    let price = alpha.get("price").unwrap();
+    let cat = alpha.get("cat").unwrap();
+    let subcat = alpha.get("subcat").unwrap();
+    let picture = alpha.get("picture").unwrap();
+    let mut gen = NidGen::new();
+    let mut doc = DataTree::new(gen.fresh(), catalog_l, Rat::ZERO);
+    for i in 0..n_products.max(1) {
+        let root = doc.root();
+        let p = doc
+            .add_child(root, gen.fresh(), product, Rat::ZERO)
+            .unwrap();
+        doc.add_child(p, gen.fresh(), name, Rat::from(1000 + i as i64))
+            .unwrap();
+        doc.add_child(
+            p,
+            gen.fresh(),
+            price,
+            Rat::from(rng.gen_range(10..500)),
+        )
+        .unwrap();
+        let is_elec = rng.gen_bool(0.6);
+        let cat_code = if is_elec { codes::ELEC } else { 2 + rng.gen_range(0..3) };
+        let c = doc
+            .add_child(p, gen.fresh(), cat, Rat::from(cat_code))
+            .unwrap();
+        let sub_code = if is_elec && rng.gen_bool(0.5) {
+            codes::CAMERA
+        } else if is_elec {
+            codes::CDPLAYER
+        } else {
+            20 + rng.gen_range(0..5)
+        };
+        doc.add_child(c, gen.fresh(), subcat, Rat::from(sub_code))
+            .unwrap();
+        for _ in 0..rng.gen_range(0..3) {
+            doc.add_child(p, gen.fresh(), picture, Rat::from(rng.gen_range(0..10_000)))
+                .unwrap();
+        }
+    }
+    Catalog { alpha, ty, doc }
+}
+
+/// Builds a library workload — a second domain exercising the `?` and
+/// `+` multiplicities the catalog type lacks:
+/// `library → book+`, `book → title author+ year isbn? review⋆`.
+/// Values: title/author numeric ids; year in `[1900, 2030)`;
+/// isbn a numeric id; review a rating `0..10`.
+pub fn library(n_books: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alpha = Alphabet::new();
+    let ty = TreeTypeBuilder::new(&mut alpha)
+        .root("library")
+        .rule("library", &[("book", Mult::Plus)])
+        .rule(
+            "book",
+            &[
+                ("title", Mult::One),
+                ("author", Mult::Plus),
+                ("year", Mult::One),
+                ("isbn", Mult::Opt),
+                ("review", Mult::Star),
+            ],
+        )
+        .build()
+        .expect("library type is well-formed");
+    let library_l = alpha.get("library").unwrap();
+    let book = alpha.get("book").unwrap();
+    let title = alpha.get("title").unwrap();
+    let author = alpha.get("author").unwrap();
+    let year = alpha.get("year").unwrap();
+    let isbn = alpha.get("isbn").unwrap();
+    let review = alpha.get("review").unwrap();
+    let mut gen = NidGen::new();
+    let mut doc = DataTree::new(gen.fresh(), library_l, Rat::ZERO);
+    for i in 0..n_books.max(1) {
+        let root = doc.root();
+        let b = doc.add_child(root, gen.fresh(), book, Rat::ZERO).unwrap();
+        doc.add_child(b, gen.fresh(), title, Rat::from(2000 + i as i64))
+            .unwrap();
+        for _ in 0..rng.gen_range(1..=3) {
+            doc.add_child(b, gen.fresh(), author, Rat::from(rng.gen_range(1..50)))
+                .unwrap();
+        }
+        doc.add_child(b, gen.fresh(), year, Rat::from(rng.gen_range(1900..2030)))
+            .unwrap();
+        if rng.gen_bool(0.7) {
+            doc.add_child(b, gen.fresh(), isbn, Rat::from(rng.gen_range(10_000..99_999)))
+                .unwrap();
+        }
+        for _ in 0..rng.gen_range(0..4) {
+            doc.add_child(b, gen.fresh(), review, Rat::from(rng.gen_range(0..=10)))
+                .unwrap();
+        }
+    }
+    Catalog { alpha, ty, doc }
+}
+
+/// A library query: books after `year_from` with their titles and
+/// authors.
+pub fn library_query_recent(alpha: &mut Alphabet, year_from: i64) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "library", Cond::True);
+    let root = b.root();
+    let bk = b.child(root, "book", Cond::True).unwrap();
+    b.child(bk, "title", Cond::True).unwrap();
+    b.child(bk, "author", Cond::True).unwrap();
+    b.child(bk, "year", Cond::ge(Rat::from(year_from))).unwrap();
+    b.build()
+}
+
+/// A library query: well-reviewed books (some review >= threshold).
+pub fn library_query_well_reviewed(alpha: &mut Alphabet, threshold: i64) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "library", Cond::True);
+    let root = b.root();
+    let bk = b.child(root, "book", Cond::True).unwrap();
+    b.child(bk, "title", Cond::True).unwrap();
+    b.child(bk, "review", Cond::ge(Rat::from(threshold))).unwrap();
+    b.build()
+}
+
+/// Query 1 of the paper at a parameterized price bound.
+pub fn catalog_query_price_below(alpha: &mut Alphabet, bound: i64) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    b.child(p, "price", Cond::lt(Rat::from(bound))).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::from(codes::ELEC))).unwrap();
+    b.child(c, "subcat", Cond::True).unwrap();
+    b.build()
+}
+
+/// Query 2 of the paper: cameras with their pictures.
+pub fn catalog_query_camera_pictures(alpha: &mut Alphabet) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::from(codes::ELEC))).unwrap();
+    b.child(c, "subcat", Cond::eq(Rat::from(codes::CAMERA))).unwrap();
+    b.child(p, "picture", Cond::True).unwrap();
+    b.build()
+}
+
+/// The Example 3.2 adversarial family: `root{ a = i, b = i }` for
+/// `i in 1..=n`, all answered empty. Refine's incomplete tree becomes
+/// exponential in `n`; Refine⁺'s stays linear.
+pub fn blowup_queries(alpha: &mut Alphabet, n: usize) -> Vec<PsQuery> {
+    alpha.intern("root");
+    alpha.intern("a");
+    alpha.intern("b");
+    (1..=n as i64)
+        .map(|i| {
+            let mut b = PsQueryBuilder::new(alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::eq(Rat::from(i))).unwrap();
+            b.child(root, "b", Cond::eq(Rat::from(i))).unwrap();
+            b.build()
+        })
+        .collect()
+}
+
+/// Linear (single-path) queries probing `root/a[= i]` — the Lemma 3.12
+/// restriction under which the incomplete tree stays polynomial.
+pub fn linear_queries(alpha: &mut Alphabet, n: usize) -> Vec<PsQuery> {
+    let root = alpha.intern("root");
+    let a = alpha.intern("a");
+    (1..=n as i64)
+        .map(|i| {
+            PsQuery::linear(&[(root, Cond::True), (a, Cond::eq(Rat::from(i)))])
+        })
+        .collect()
+}
+
+/// Samples a random member of a tree type: `+`/`⋆` entries get
+/// `Binomial`-ish counts up to `fanout`, values drawn from `0..value_range`.
+pub fn sample_tree(
+    ty: &TreeType,
+    root_label: Label,
+    fanout: usize,
+    value_range: i64,
+    max_depth: usize,
+    seed: u64,
+) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = NidGen::new();
+    let mut t = DataTree::new(
+        gen.fresh(),
+        root_label,
+        Rat::from(rng.gen_range(0..value_range.max(1))),
+    );
+    #[allow(clippy::too_many_arguments)]
+    fn fill(
+        ty: &TreeType,
+        t: &mut DataTree,
+        at: NodeRef,
+        depth: usize,
+        fanout: usize,
+        value_range: i64,
+        rng: &mut StdRng,
+        gen: &mut NidGen,
+    ) {
+        if depth == 0 {
+            return;
+        }
+        let atom = ty.atom(t.label(at));
+        for &(l, m) in atom.entries() {
+            let count = match m {
+                Mult::One => 1,
+                Mult::Opt => rng.gen_range(0..=1),
+                Mult::Plus => rng.gen_range(1..=fanout.max(1)),
+                Mult::Star => rng.gen_range(0..=fanout),
+            };
+            for _ in 0..count {
+                let v = Rat::from(rng.gen_range(0..value_range.max(1)));
+                let c = t.add_child(at, gen.fresh(), l, v).unwrap();
+                fill(ty, t, c, depth - 1, fanout, value_range, rng, gen);
+            }
+        }
+    }
+    let root = t.root();
+    fill(ty, &mut t, root, max_depth, fanout, value_range, &mut rng, &mut gen);
+    t
+}
+
+/// Random ps-queries shaped by a tree type: random downward paths with
+/// random branching and conditions (`= v`, `< v`, `> v`, or `true`).
+pub fn random_queries(
+    alpha: &Alphabet,
+    ty: &TreeType,
+    root_label: Label,
+    count: usize,
+    value_range: i64,
+    seed: u64,
+) -> Vec<PsQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut a2 = alpha.clone();
+        let root_name = alpha.name(root_label).to_string();
+        let mut b = PsQueryBuilder::new(&mut a2, &root_name, Cond::True);
+        let broot = b.root();
+        // Recursive descent following the type, randomly picking
+        // children.
+        #[allow(clippy::too_many_arguments)]
+        fn descend(
+            b: &mut PsQueryBuilder,
+            alpha: &Alphabet,
+            ty: &TreeType,
+            label: Label,
+            at: iixml_query::QNodeRef,
+            depth: usize,
+            value_range: i64,
+            rng: &mut StdRng,
+        ) {
+            if depth == 0 {
+                return;
+            }
+            let atom = ty.atom(label);
+            for &(l, _) in atom.entries() {
+                if !rng.gen_bool(0.6) {
+                    continue;
+                }
+                let cond = match rng.gen_range(0..4) {
+                    0 => Cond::True,
+                    1 => Cond::eq(Rat::from(rng.gen_range(0..value_range.max(1)))),
+                    2 => Cond::lt(Rat::from(rng.gen_range(1..=value_range.max(1)))),
+                    _ => Cond::gt(Rat::from(rng.gen_range(0..value_range.max(1)))),
+                };
+                if let Ok(child) = b.child(at, alpha.name(l), cond) {
+                    descend(b, alpha, ty, l, child, depth - 1, value_range, rng);
+                }
+            }
+        }
+        descend(&mut b, alpha, ty, root_label, broot, 3, value_range, &mut rng);
+        out.push(b.build());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_well_typed() {
+        for seed in 0..3 {
+            let c = catalog(20, seed);
+            assert!(c.ty.accepts(&c.doc));
+            assert_eq!(c.doc.children(c.doc.root()).len(), 20);
+        }
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = catalog(10, 7);
+        let b = catalog(10, 7);
+        assert!(a.doc.same_tree(&b.doc));
+        let c = catalog(10, 8);
+        assert!(!a.doc.same_tree(&c.doc));
+    }
+
+    #[test]
+    fn catalog_queries_run() {
+        let mut c = catalog(50, 1);
+        let q1 = catalog_query_price_below(&mut c.alpha, 200);
+        let q2 = catalog_query_camera_pictures(&mut c.alpha);
+        let a1 = q1.eval(&c.doc);
+        let a2 = q2.eval(&c.doc);
+        // With 50 products, both almost surely return something.
+        assert!(!a1.is_empty());
+        assert!(!a2.is_empty());
+    }
+
+    #[test]
+    fn blowup_family_shapes() {
+        let mut alpha = Alphabet::new();
+        let qs = blowup_queries(&mut alpha, 4);
+        assert_eq!(qs.len(), 4);
+        for q in &qs {
+            assert_eq!(q.len(), 3);
+            assert!(!q.is_linear());
+        }
+        let ls = linear_queries(&mut alpha, 4);
+        assert!(ls.iter().all(PsQuery::is_linear));
+    }
+
+    #[test]
+    fn library_is_well_typed() {
+        for seed in 0..3 {
+            let l = library(15, seed);
+            assert!(l.ty.accepts(&l.doc));
+        }
+        let mut l = library(30, 9);
+        let q1 = library_query_recent(&mut l.alpha, 1980);
+        let q2 = library_query_well_reviewed(&mut l.alpha, 8);
+        assert!(!q1.eval(&l.doc).is_empty());
+        // q2 may or may not match; it must at least evaluate.
+        let _ = q2.eval(&l.doc);
+    }
+
+    #[test]
+    fn sampled_trees_satisfy_their_type() {
+        let c = catalog(1, 0);
+        let root = c.alpha.get("catalog").unwrap();
+        for seed in 0..5 {
+            let t = sample_tree(&c.ty, root, 3, 50, 4, seed);
+            assert!(c.ty.accepts(&t), "sampled tree conforms");
+        }
+    }
+
+    #[test]
+    fn random_queries_are_wellformed() {
+        let c = catalog(1, 0);
+        let root = c.alpha.get("catalog").unwrap();
+        let qs = random_queries(&c.alpha, &c.ty, root, 10, 50, 42);
+        assert_eq!(qs.len(), 10);
+        // They evaluate without panicking.
+        for q in &qs {
+            let _ = q.eval(&c.doc);
+        }
+    }
+}

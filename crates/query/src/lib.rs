@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Prefix-selection queries (ps-queries) and their evaluation (Section 2).
+//!
+//! A ps-query is a labeled tree pattern: each node carries an element name
+//! from Σ (possibly *barred*, written `ā`, meaning the entire subtree
+//! rooted at a matched node is extracted) and a condition on data values.
+//! Internal pattern nodes may not be barred, and no two siblings share an
+//! element name — so queries browse the input from the root downwards and
+//! select a prefix of it.
+//!
+//! Evaluation ([`PsQuery::eval`]) returns the prefix of the input
+//! consisting of all nodes in the image of some *valuation* (a
+//! root-preserving, edge-preserving, label- and condition-respecting
+//! mapping of the pattern into the input), plus all descendants of nodes
+//! matched by barred pattern nodes. Crucially, answers preserve the
+//! persistent node ids of the input (Remark 2.4).
+
+pub mod eval;
+pub mod parse;
+pub mod pattern;
+
+pub use eval::{Answer, MatchKind};
+pub use parse::parse_ps_query;
+pub use pattern::{PsQuery, PsQueryBuilder, QNodeRef, QueryError};

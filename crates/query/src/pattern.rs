@@ -1,0 +1,516 @@
+//! The ps-query pattern structure and builder.
+
+use iixml_tree::{Alphabet, Label};
+use iixml_values::{Cond, IntervalSet};
+use std::fmt;
+
+/// An index into a [`PsQuery`]'s node arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct QNodeRef(pub u32);
+
+impl QNodeRef {
+    fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct QNode {
+    label: Label,
+    barred: bool,
+    cond: Cond,
+    cond_set: IntervalSet,
+    parent: Option<QNodeRef>,
+    children: Vec<QNodeRef>,
+}
+
+/// Structural errors when building a ps-query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Two siblings with the same element name (forbidden: ps-query nodes
+    /// have at most one child per label, barred or not).
+    DuplicateSiblingLabel(Label),
+    /// Children added under a barred node (barred nodes extract their
+    /// whole subtree and must be pattern leaves).
+    ChildOfBarred(QNodeRef),
+    /// The referenced parent does not exist.
+    BadParent(QNodeRef),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::DuplicateSiblingLabel(l) => {
+                write!(f, "two sibling pattern nodes share label {l:?}")
+            }
+            QueryError::ChildOfBarred(n) => {
+                write!(f, "barred pattern node {n:?} cannot have children")
+            }
+            QueryError::BadParent(n) => write!(f, "invalid parent reference {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A prefix-selection query: a tree pattern with per-node labels,
+/// bar marks, and data-value conditions.
+///
+/// Build with [`PsQueryBuilder`]:
+///
+/// ```
+/// use iixml_query::PsQueryBuilder;
+/// use iixml_tree::Alphabet;
+/// use iixml_values::{Cond, Rat};
+///
+/// let mut alpha = Alphabet::new();
+/// // Query 1 of the paper: electronics products under $200.
+/// let mut b = PsQueryBuilder::new(&mut alpha, "catalog", Cond::True);
+/// let p = b.child(b.root(), "product", Cond::True).unwrap();
+/// b.child(p, "name", Cond::True).unwrap();
+/// b.child(p, "price", Cond::lt(Rat::from(200))).unwrap();
+/// let c = b.child(p, "cat", Cond::eq(Rat::from(1))).unwrap();
+/// b.child(c, "subcat", Cond::True).unwrap();
+/// let q = b.build();
+/// assert_eq!(q.len(), 6);
+/// assert!(!q.is_linear());
+/// ```
+#[derive(Clone, Debug)]
+pub struct PsQuery {
+    nodes: Vec<QNode>,
+}
+
+impl PsQuery {
+    /// The root pattern node.
+    pub fn root(&self) -> QNodeRef {
+        QNodeRef(0)
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Queries always have at least a root node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The element name of a pattern node.
+    pub fn label(&self, n: QNodeRef) -> Label {
+        self.nodes[n.ix()].label
+    }
+
+    /// Is the node barred (whole-subtree extraction)?
+    pub fn barred(&self, n: QNodeRef) -> bool {
+        self.nodes[n.ix()].barred
+    }
+
+    /// The node's condition (as built).
+    pub fn cond(&self, n: QNodeRef) -> &Cond {
+        &self.nodes[n.ix()].cond
+    }
+
+    /// The node's condition in interval normal form.
+    pub fn cond_set(&self, n: QNodeRef) -> &IntervalSet {
+        &self.nodes[n.ix()].cond_set
+    }
+
+    /// The node's parent.
+    pub fn parent(&self, n: QNodeRef) -> Option<QNodeRef> {
+        self.nodes[n.ix()].parent
+    }
+
+    /// The node's children.
+    pub fn children(&self, n: QNodeRef) -> &[QNodeRef] {
+        &self.nodes[n.ix()].children
+    }
+
+    /// All pattern nodes in preorder.
+    pub fn preorder(&self) -> Vec<QNodeRef> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n).iter().rev());
+        }
+        out
+    }
+
+    /// Depth of a node below the root (root = 0).
+    pub fn node_depth(&self, mut n: QNodeRef) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.parent(n) {
+            d += 1;
+            n = p;
+        }
+        d
+    }
+
+    /// Is the query *linear* (a single path)? Linear queries are the
+    /// restriction of Lemma 3.12 under which incomplete trees stay
+    /// polynomial in the whole query-answer sequence.
+    pub fn is_linear(&self) -> bool {
+        self.nodes.iter().all(|n| n.children.len() <= 1)
+    }
+
+    /// The subquery rooted at `m` as a standalone query (same labels,
+    /// bars and conditions); `q_m` in the proofs of Theorems 3.14
+    /// and 3.19.
+    pub fn subquery(&self, m: QNodeRef) -> PsQuery {
+        let mut nodes = Vec::new();
+        fn copy(
+            q: &PsQuery,
+            m: QNodeRef,
+            parent: Option<QNodeRef>,
+            nodes: &mut Vec<QNode>,
+        ) -> QNodeRef {
+            let me = QNodeRef(nodes.len() as u32);
+            nodes.push(QNode {
+                label: q.label(m),
+                barred: q.barred(m),
+                cond: q.cond(m).clone(),
+                cond_set: q.cond_set(m).clone(),
+                parent,
+                children: Vec::new(),
+            });
+            for &c in q.children(m) {
+                let cc = copy(q, c, Some(me), nodes);
+                nodes[me.ix()].children.push(cc);
+            }
+            me
+        }
+        copy(self, m, None, &mut nodes);
+        PsQuery { nodes }
+    }
+
+    /// Like [`PsQuery::subquery`], but keeping only the subtrees rooted
+    /// at the given children of `m` (the pruned query `p_C` of
+    /// Theorem 3.19's completion procedure).
+    pub fn subquery_restricted(&self, m: QNodeRef, keep: &[QNodeRef]) -> PsQuery {
+        let mut nodes = vec![QNode {
+            label: self.label(m),
+            barred: self.barred(m),
+            cond: self.cond(m).clone(),
+            cond_set: self.cond_set(m).clone(),
+            parent: None,
+            children: Vec::new(),
+        }];
+        fn copy(
+            q: &PsQuery,
+            m: QNodeRef,
+            parent: QNodeRef,
+            nodes: &mut Vec<QNode>,
+        ) -> QNodeRef {
+            let me = QNodeRef(nodes.len() as u32);
+            nodes.push(QNode {
+                label: q.label(m),
+                barred: q.barred(m),
+                cond: q.cond(m).clone(),
+                cond_set: q.cond_set(m).clone(),
+                parent: Some(parent),
+                children: Vec::new(),
+            });
+            for &c in q.children(m) {
+                let cc = copy(q, c, me, nodes);
+                nodes[me.0 as usize].children.push(cc);
+            }
+            me
+        }
+        for &c in self.children(m) {
+            if keep.contains(&c) {
+                let cc = copy(self, c, QNodeRef(0), &mut nodes);
+                nodes[0].children.push(cc);
+            }
+        }
+        PsQuery { nodes }
+    }
+
+    /// The query consisting of the path from the root to `m`, with all
+    /// conditions replaced by `true` — the auxiliary query `q_m` of
+    /// Proposition 3.13.
+    pub fn path_to(&self, m: QNodeRef) -> PsQuery {
+        let mut path = vec![m];
+        let mut cur = m;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        let mut nodes: Vec<QNode> = Vec::with_capacity(path.len());
+        for (i, &n) in path.iter().enumerate() {
+            nodes.push(QNode {
+                label: self.label(n),
+                barred: false,
+                cond: Cond::True,
+                cond_set: IntervalSet::all(),
+                parent: if i == 0 {
+                    None
+                } else {
+                    Some(QNodeRef(i as u32 - 1))
+                },
+                children: if i + 1 < path.len() {
+                    vec![QNodeRef(i as u32 + 1)]
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+        PsQuery { nodes }
+    }
+
+    /// Builds a linear query from a label path with conditions.
+    pub fn linear(path: &[(Label, Cond)]) -> PsQuery {
+        assert!(!path.is_empty(), "linear query needs at least a root");
+        let nodes = path
+            .iter()
+            .enumerate()
+            .map(|(i, (label, cond))| QNode {
+                label: *label,
+                barred: false,
+                cond: cond.clone(),
+                cond_set: cond.to_intervals(),
+                parent: if i == 0 {
+                    None
+                } else {
+                    Some(QNodeRef(i as u32 - 1))
+                },
+                children: if i + 1 < path.len() {
+                    vec![QNodeRef(i as u32 + 1)]
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect();
+        PsQuery { nodes }
+    }
+
+    /// Pretty-prints the pattern with names from `alpha`.
+    pub fn display<'a>(&'a self, alpha: &'a Alphabet) -> DisplayQuery<'a> {
+        DisplayQuery { q: self, alpha }
+    }
+}
+
+/// Helper returned by [`PsQuery::display`].
+pub struct DisplayQuery<'a> {
+    q: &'a PsQuery,
+    alpha: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayQuery<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            q: &PsQuery,
+            alpha: &Alphabet,
+            n: QNodeRef,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            write!(
+                f,
+                "{:indent$}{}{}",
+                "",
+                alpha.name(q.label(n)),
+                if q.barred(n) { " (bar)" } else { "" },
+                indent = depth * 2
+            )?;
+            if *q.cond(n) != Cond::True {
+                write!(f, " [{}]", q.cond(n))?;
+            }
+            writeln!(f)?;
+            for &c in q.children(n) {
+                go(q, alpha, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self.q, self.alpha, self.q.root(), 0, f)
+    }
+}
+
+/// Builder for [`PsQuery`], interning names into an [`Alphabet`] and
+/// enforcing the structural constraints of ps-queries.
+pub struct PsQueryBuilder<'a> {
+    alpha: &'a mut Alphabet,
+    nodes: Vec<QNode>,
+}
+
+impl<'a> PsQueryBuilder<'a> {
+    /// Starts a query with the given root label and condition.
+    pub fn new(alpha: &'a mut Alphabet, root: &str, cond: Cond) -> PsQueryBuilder<'a> {
+        let label = alpha.intern(root);
+        let cond_set = cond.to_intervals();
+        PsQueryBuilder {
+            alpha,
+            nodes: vec![QNode {
+                label,
+                barred: false,
+                cond,
+                cond_set,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root reference.
+    pub fn root(&self) -> QNodeRef {
+        QNodeRef(0)
+    }
+
+    fn add(
+        &mut self,
+        parent: QNodeRef,
+        name: &str,
+        cond: Cond,
+        barred: bool,
+    ) -> Result<QNodeRef, QueryError> {
+        if parent.ix() >= self.nodes.len() {
+            return Err(QueryError::BadParent(parent));
+        }
+        if self.nodes[parent.ix()].barred {
+            return Err(QueryError::ChildOfBarred(parent));
+        }
+        let label = self.alpha.intern(name);
+        for &sib in &self.nodes[parent.ix()].children {
+            if self.nodes[sib.ix()].label == label {
+                return Err(QueryError::DuplicateSiblingLabel(label));
+            }
+        }
+        let r = QNodeRef(self.nodes.len() as u32);
+        let cond_set = cond.to_intervals();
+        self.nodes.push(QNode {
+            label,
+            barred,
+            cond,
+            cond_set,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.ix()].children.push(r);
+        Ok(r)
+    }
+
+    /// Adds an unbarred pattern node.
+    pub fn child(
+        &mut self,
+        parent: QNodeRef,
+        name: &str,
+        cond: Cond,
+    ) -> Result<QNodeRef, QueryError> {
+        self.add(parent, name, cond, false)
+    }
+
+    /// Adds a barred pattern node (whole-subtree extraction; must remain
+    /// a leaf).
+    pub fn barred_child(
+        &mut self,
+        parent: QNodeRef,
+        name: &str,
+        cond: Cond,
+    ) -> Result<QNodeRef, QueryError> {
+        self.add(parent, name, cond, true)
+    }
+
+    /// Finishes the query.
+    pub fn build(self) -> PsQuery {
+        PsQuery { nodes: self.nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_values::Rat;
+
+    #[test]
+    fn builder_enforces_sibling_uniqueness() {
+        let mut alpha = Alphabet::new();
+        let mut b = PsQueryBuilder::new(&mut alpha, "r", Cond::True);
+        let root = b.root();
+        b.child(root, "a", Cond::True).unwrap();
+        assert!(matches!(
+            b.child(root, "a", Cond::True),
+            Err(QueryError::DuplicateSiblingLabel(_))
+        ));
+        // Barred duplicate also rejected.
+        assert!(b.barred_child(root, "a", Cond::True).is_err());
+        // Different label fine.
+        b.barred_child(root, "b", Cond::True).unwrap();
+    }
+
+    #[test]
+    fn barred_nodes_are_leaves() {
+        let mut alpha = Alphabet::new();
+        let mut b = PsQueryBuilder::new(&mut alpha, "r", Cond::True);
+        let root = b.root();
+        let bar = b.barred_child(root, "a", Cond::True).unwrap();
+        assert!(matches!(
+            b.child(bar, "b", Cond::True),
+            Err(QueryError::ChildOfBarred(_))
+        ));
+    }
+
+    #[test]
+    fn linearity() {
+        let mut alpha = Alphabet::new();
+        let (r, a) = (alpha.intern("r"), alpha.intern("a"));
+        let q = PsQuery::linear(&[(r, Cond::True), (a, Cond::lt(Rat::from(5)))]);
+        assert!(q.is_linear());
+        assert_eq!(q.len(), 2);
+        let mut b = PsQueryBuilder::new(&mut alpha, "r", Cond::True);
+        let root = b.root();
+        b.child(root, "a", Cond::True).unwrap();
+        b.child(root, "b", Cond::True).unwrap();
+        assert!(!b.build().is_linear());
+    }
+
+    #[test]
+    fn subquery_and_path() {
+        let mut alpha = Alphabet::new();
+        let mut b = PsQueryBuilder::new(&mut alpha, "r", Cond::True);
+        let root = b.root();
+        let p = b.child(root, "p", Cond::eq(Rat::from(1))).unwrap();
+        let x = b.child(p, "x", Cond::lt(Rat::from(9))).unwrap();
+        b.child(p, "y", Cond::True).unwrap();
+        let q = b.build();
+        let sub = q.subquery(p);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(sub.root()), q.label(p));
+        assert_eq!(*sub.cond(sub.root()), Cond::eq(Rat::from(1)));
+        let path = q.path_to(x);
+        assert!(path.is_linear());
+        assert_eq!(path.len(), 3);
+        // Conditions are cleared on auxiliary path queries.
+        for n in path.preorder() {
+            assert_eq!(*path.cond(n), Cond::True);
+        }
+    }
+
+    #[test]
+    fn depths() {
+        let mut alpha = Alphabet::new();
+        let mut b = PsQueryBuilder::new(&mut alpha, "r", Cond::True);
+        let root = b.root();
+        let p = b.child(root, "p", Cond::True).unwrap();
+        let x = b.child(p, "x", Cond::True).unwrap();
+        let q = b.build();
+        assert_eq!(q.node_depth(q.root()), 0);
+        assert_eq!(q.node_depth(x), 2);
+        assert_eq!(q.preorder().len(), 3);
+    }
+
+    #[test]
+    fn display() {
+        let mut alpha = Alphabet::new();
+        let mut b = PsQueryBuilder::new(&mut alpha, "catalog", Cond::True);
+        let root = b.root();
+        let p = b.child(root, "product", Cond::True).unwrap();
+        b.child(p, "price", Cond::lt(Rat::from(200))).unwrap();
+        b.barred_child(p, "picture", Cond::True).unwrap();
+        let q = b.build();
+        let s = q.display(&alpha).to_string();
+        assert!(s.contains("catalog"));
+        assert!(s.contains("price [< 200]"));
+        assert!(s.contains("picture (bar)"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The *prefix relative to N* relation of Section 2.
+//!
+//! `T′` is a prefix of `T` relative to a node set `N` when there is a
+//! one-to-one mapping `h` from `T′` to `T` that fixes the nodes in `N`,
+//! maps root to root, preserves the parent relation, and preserves labels
+//! and data values.
+//!
+//! Because `h` preserves parents and roots, global injectivity reduces to
+//! injectivity among siblings, so the relation is decided by a memoized
+//! recursion whose per-node step is a bipartite matching between the
+//! children of the two nodes (`can child c′ embed into child c?`).
+
+use crate::matching::Bipartite;
+use crate::tree::{DataTree, Nid, NodeRef};
+use std::collections::{HashMap, HashSet};
+
+struct Embedder<'a> {
+    small: &'a DataTree,
+    big: &'a DataTree,
+    pinned: &'a HashSet<Nid>,
+    memo: HashMap<(NodeRef, NodeRef), bool>,
+}
+
+impl Embedder<'_> {
+    fn can_embed(&mut self, s: NodeRef, b: NodeRef) -> bool {
+        if let Some(&r) = self.memo.get(&(s, b)) {
+            return r;
+        }
+        // Break potential re-entry cycles conservatively (trees are
+        // acyclic so (s, b) pairs strictly descend; this is just a guard).
+        self.memo.insert((s, b), false);
+        let ok = self.check(s, b);
+        self.memo.insert((s, b), ok);
+        ok
+    }
+
+    fn check(&mut self, s: NodeRef, b: NodeRef) -> bool {
+        if self.small.label(s) != self.big.label(b)
+            || self.small.value(s) != self.big.value(b)
+        {
+            return false;
+        }
+        // Pinned nodes must map to the node with the same identity.
+        if self.pinned.contains(&self.small.nid(s)) && self.small.nid(s) != self.big.nid(b) {
+            return false;
+        }
+        let s_kids = self.small.children(s).to_vec();
+        let b_kids = self.big.children(b).to_vec();
+        if s_kids.is_empty() {
+            return true;
+        }
+        if s_kids.len() > b_kids.len() {
+            return false;
+        }
+        let mut g = Bipartite::new(s_kids.len(), b_kids.len());
+        for (i, &sc) in s_kids.iter().enumerate() {
+            for (j, &bc) in b_kids.iter().enumerate() {
+                if self.can_embed(sc, bc) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g.has_left_perfect_matching()
+    }
+}
+
+/// Is `small` a prefix of `big` relative to the node set `pinned`?
+///
+/// ```
+/// use iixml_tree::{Alphabet, DataTree, Nid, is_prefix_of};
+/// use iixml_values::Rat;
+/// use std::collections::HashSet;
+/// let mut alpha = Alphabet::new();
+/// let (r, a) = (alpha.intern("r"), alpha.intern("a"));
+/// let mut big = DataTree::new(Nid(0), r, Rat::ZERO);
+/// big.add_child(big.root(), Nid(1), a, Rat::from(1)).unwrap();
+/// big.add_child(big.root(), Nid(2), a, Rat::from(1)).unwrap();
+/// let mut small = DataTree::new(Nid(0), r, Rat::ZERO);
+/// small.add_child(small.root(), Nid(9), a, Rat::from(1)).unwrap();
+/// // Unpinned: node 9 may match either a-child.
+/// assert!(is_prefix_of(&small, &big, &HashSet::new()));
+/// // Pinned to id 9: no node of `big` carries id 9.
+/// assert!(!is_prefix_of(&small, &big, &HashSet::from([Nid(9)])));
+/// ```
+pub fn is_prefix_of(small: &DataTree, big: &DataTree, pinned: &HashSet<Nid>) -> bool {
+    let mut e = Embedder {
+        small,
+        big,
+        pinned,
+        memo: HashMap::new(),
+    };
+    let (sr, br) = (small.root(), big.root());
+    e.can_embed(sr, br)
+}
+
+/// Prefix test ignoring node identifiers entirely ("up to node ids",
+/// as in Theorem 3.6(ii)).
+pub fn is_prefix_upto_ids(small: &DataTree, big: &DataTree) -> bool {
+    is_prefix_of(small, big, &HashSet::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Alphabet;
+    use iixml_values::Rat;
+
+    fn setup() -> (Alphabet, DataTree) {
+        let mut alpha = Alphabet::new();
+        let r = alpha.intern("r");
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
+        let x = t.add_child(t.root(), Nid(1), a, Rat::from(1)).unwrap();
+        let y = t.add_child(t.root(), Nid(2), a, Rat::from(1)).unwrap();
+        t.add_child(x, Nid(3), b, Rat::from(5)).unwrap();
+        t.add_child(y, Nid(4), b, Rat::from(6)).unwrap();
+        (alpha, t)
+    }
+
+    #[test]
+    fn whole_tree_is_its_own_prefix() {
+        let (_, t) = setup();
+        let pinned: HashSet<Nid> = (0..5).map(Nid).collect();
+        assert!(is_prefix_of(&t, &t, &pinned));
+    }
+
+    #[test]
+    fn root_only_prefix() {
+        let (mut alpha, t) = setup();
+        let r = alpha.intern("r");
+        let just_root = DataTree::new(Nid(0), r, Rat::ZERO);
+        assert!(is_prefix_of(&just_root, &t, &HashSet::new()));
+    }
+
+    #[test]
+    fn sibling_choice_requires_matching() {
+        let (mut alpha, t) = setup();
+        let r = alpha.intern("r");
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        // Two a-children, one needing the b=5 grandchild and one b=6:
+        // forces distinct targets (the matching finds it).
+        let mut s = DataTree::new(Nid(0), r, Rat::ZERO);
+        let p = s.add_child(s.root(), Nid(10), a, Rat::from(1)).unwrap();
+        let q = s.add_child(s.root(), Nid(11), a, Rat::from(1)).unwrap();
+        s.add_child(p, Nid(12), b, Rat::from(5)).unwrap();
+        s.add_child(q, Nid(13), b, Rat::from(6)).unwrap();
+        assert!(is_prefix_of(&s, &t, &HashSet::new()));
+        // Three a-children cannot inject into two.
+        let mut s3 = s.clone();
+        s3.add_child(s3.root(), Nid(14), a, Rat::from(1)).unwrap();
+        assert!(!is_prefix_of(&s3, &t, &HashSet::new()));
+        // Two children both demanding b=5 compete for one target.
+        let mut s2 = DataTree::new(Nid(0), r, Rat::ZERO);
+        let p = s2.add_child(s2.root(), Nid(10), a, Rat::from(1)).unwrap();
+        let q = s2.add_child(s2.root(), Nid(11), a, Rat::from(1)).unwrap();
+        s2.add_child(p, Nid(12), b, Rat::from(5)).unwrap();
+        s2.add_child(q, Nid(13), b, Rat::from(5)).unwrap();
+        assert!(!is_prefix_of(&s2, &t, &HashSet::new()));
+    }
+
+    #[test]
+    fn pinning_restricts_targets() {
+        let (mut alpha, t) = setup();
+        let r = alpha.intern("r");
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        // Node 2 pinned: its child must be b=6, not b=5.
+        let mut s = DataTree::new(Nid(0), r, Rat::ZERO);
+        let x = s.add_child(s.root(), Nid(2), a, Rat::from(1)).unwrap();
+        s.add_child(x, Nid(20), b, Rat::from(5)).unwrap();
+        let pinned = HashSet::from([Nid(0), Nid(2)]);
+        assert!(!is_prefix_of(&s, &t, &pinned));
+        // Unpinned, the same shape embeds (maps to node 1).
+        assert!(is_prefix_of(&s, &t, &HashSet::new()));
+    }
+
+    #[test]
+    fn label_and_value_must_match() {
+        let (mut alpha, t) = setup();
+        let r = alpha.intern("r");
+        let a = alpha.intern("a");
+        let mut s = DataTree::new(Nid(0), r, Rat::ZERO);
+        s.add_child(s.root(), Nid(1), a, Rat::from(99)).unwrap();
+        assert!(!is_prefix_upto_ids(&s, &t));
+        let c = alpha.intern("c");
+        let mut s = DataTree::new(Nid(0), r, Rat::ZERO);
+        s.add_child(s.root(), Nid(1), c, Rat::from(1)).unwrap();
+        assert!(!is_prefix_upto_ids(&s, &t));
+        // Root label mismatch.
+        let s = DataTree::new(Nid(0), a, Rat::ZERO);
+        assert!(!is_prefix_upto_ids(&s, &t));
+    }
+}

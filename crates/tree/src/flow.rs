@@ -1,0 +1,247 @@
+//! Max-flow (Dinic) and circulation-with-lower-bounds.
+//!
+//! Deciding whether a multiset of children can be assigned to the symbols
+//! of a multiplicity atom — one symbol per child, with per-symbol counts
+//! in `[lo, hi]` where `lo = 1` for `1`/`+` and `hi = 1` for `1`/`?` — is
+//! a circulation-feasibility problem with lower bounds. This module
+//! provides the generic solver; `iixml-core` uses it for exact membership
+//! tests of data trees in `rep(T)`.
+
+/// A directed flow network under construction.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    n: usize,
+    // Edge arrays (paired: edge 2k and 2k+1 are an arc and its reverse).
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    head: Vec<Vec<usize>>,
+}
+
+/// Handle to an added edge, usable to query residual flow after solving.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeId(usize);
+
+impl FlowNetwork {
+    /// Creates a network with `n` vertices and no edges.
+    pub fn new(n: usize) -> FlowNetwork {
+        FlowNetwork {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a directed edge `u -> v` with the given capacity.
+    pub fn add_edge(&mut self, u: usize, v: usize, capacity: i64) -> EdgeId {
+        debug_assert!(u < self.n && v < self.n && capacity >= 0);
+        let id = self.to.len();
+        self.to.push(v);
+        self.cap.push(capacity);
+        self.head[u].push(id);
+        self.to.push(u);
+        self.cap.push(0);
+        self.head[v].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// The amount of flow pushed through an edge after [`max_flow`].
+    ///
+    /// [`max_flow`]: FlowNetwork::max_flow
+    pub fn flow_on(&self, e: EdgeId) -> i64 {
+        self.cap[e.0 + 1]
+    }
+
+    /// Computes the maximum `s -> t` flow (Dinic's algorithm), mutating
+    /// the residual capacities in place.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let mut total = 0;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; self.n];
+            level[s] = 0;
+            let mut q = std::collections::VecDeque::from([s]);
+            while let Some(u) = q.pop_front() {
+                for &e in &self.head[u] {
+                    let v = self.to[e];
+                    if self.cap[e] > 0 && level[v] == usize::MAX {
+                        level[v] = level[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                return total;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut it = vec![0usize; self.n];
+            loop {
+                let pushed = self.dfs(s, t, i64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[usize], it: &mut [usize]) -> i64 {
+        if u == t {
+            return limit;
+        }
+        while it[u] < self.head[u].len() {
+            let e = self.head[u][it[u]];
+            let v = self.to[e];
+            if self.cap[e] > 0 && level[v] == level[u] + 1 {
+                let pushed = self.dfs(v, t, limit.min(self.cap[e]), level, it);
+                if pushed > 0 {
+                    self.cap[e] -= pushed;
+                    self.cap[e ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+}
+
+/// A circulation problem: edges with lower bounds and capacities.
+#[derive(Clone, Debug, Default)]
+pub struct Circulation {
+    n: usize,
+    edges: Vec<(usize, usize, i64, i64)>, // (u, v, lo, hi)
+}
+
+impl Circulation {
+    /// Creates a circulation problem on `n` vertices.
+    pub fn new(n: usize) -> Circulation {
+        Circulation {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an arc `u -> v` with flow required in `[lo, hi]`.
+    pub fn add_edge(&mut self, u: usize, v: usize, lo: i64, hi: i64) {
+        debug_assert!(lo >= 0 && lo <= hi);
+        self.edges.push((u, v, lo, hi));
+    }
+
+    /// Is there a feasible circulation meeting every bound?
+    ///
+    /// Uses the standard reduction: each lower bound `l` on `u -> v`
+    /// becomes demand `l` at `v` and supply `l` at `u`, served by a
+    /// super-source/sink; feasible iff the super-source saturates.
+    pub fn feasible(&self) -> bool {
+        let ss = self.n;
+        let tt = self.n + 1;
+        let mut net = FlowNetwork::new(self.n + 2);
+        let mut demand = vec![0i64; self.n];
+        for &(u, v, lo, hi) in &self.edges {
+            net.add_edge(u, v, hi - lo);
+            demand[u] -= lo;
+            demand[v] += lo;
+        }
+        let mut need = 0;
+        for (v, &d) in demand.iter().enumerate() {
+            if d > 0 {
+                net.add_edge(ss, v, d);
+                need += d;
+            } else if d < 0 {
+                net.add_edge(v, tt, -d);
+            }
+        }
+        net.max_flow(ss, tt) == need
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_max_flow() {
+        // s=0, t=3; two disjoint unit paths.
+        let mut n = FlowNetwork::new(4);
+        n.add_edge(0, 1, 1);
+        n.add_edge(1, 3, 1);
+        n.add_edge(0, 2, 1);
+        n.add_edge(2, 3, 1);
+        assert_eq!(n.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn bottleneck() {
+        let mut n = FlowNetwork::new(4);
+        n.add_edge(0, 1, 10);
+        n.add_edge(1, 2, 3);
+        n.add_edge(2, 3, 10);
+        assert_eq!(n.max_flow(0, 3), 3);
+    }
+
+    #[test]
+    fn needs_residual_push_back() {
+        // Classic diamond where naive augmenting over-commits.
+        let mut n = FlowNetwork::new(4);
+        n.add_edge(0, 1, 1);
+        n.add_edge(0, 2, 1);
+        n.add_edge(1, 2, 1);
+        n.add_edge(1, 3, 1);
+        n.add_edge(2, 3, 1);
+        assert_eq!(n.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn flow_on_reports_per_edge_flow() {
+        let mut n = FlowNetwork::new(3);
+        let e = n.add_edge(0, 1, 5);
+        n.add_edge(1, 2, 3);
+        assert_eq!(n.max_flow(0, 2), 3);
+        assert_eq!(n.flow_on(e), 3);
+    }
+
+    #[test]
+    fn circulation_feasibility() {
+        // Triangle with lower bound forcing flow around the cycle.
+        let mut c = Circulation::new(3);
+        c.add_edge(0, 1, 1, 2);
+        c.add_edge(1, 2, 0, 2);
+        c.add_edge(2, 0, 0, 2);
+        assert!(c.feasible());
+        // Lower bound that cannot return: infeasible.
+        let mut c = Circulation::new(3);
+        c.add_edge(0, 1, 1, 2);
+        c.add_edge(1, 2, 0, 2);
+        // no edge back to 0
+        assert!(!c.feasible());
+    }
+
+    #[test]
+    fn children_assignment_example() {
+        // Atom a^1 b^* with children {feasible: a|b, b}. Encode:
+        // source(0) -> child1(1), child2(2) [lo=hi=1]
+        // child -> symbol a(3) / b(4); a -> sink lo1 hi1; b -> sink 0..inf
+        // sink(5) -> source ∞.
+        let mut c = Circulation::new(6);
+        c.add_edge(0, 1, 1, 1);
+        c.add_edge(0, 2, 1, 1);
+        c.add_edge(1, 3, 0, 1); // child1 can be a
+        c.add_edge(1, 4, 0, 1); // child1 can be b
+        c.add_edge(2, 4, 0, 1); // child2 only b
+        c.add_edge(3, 5, 1, 1); // a: exactly one
+        c.add_edge(4, 5, 0, 10); // b: star
+        c.add_edge(5, 0, 0, 10);
+        assert!(c.feasible());
+        // Remove child1's ability to be `a`: `a` lower bound now unmet.
+        let mut c = Circulation::new(6);
+        c.add_edge(0, 1, 1, 1);
+        c.add_edge(0, 2, 1, 1);
+        c.add_edge(1, 4, 0, 1);
+        c.add_edge(2, 4, 0, 1);
+        c.add_edge(3, 5, 1, 1);
+        c.add_edge(4, 5, 0, 10);
+        c.add_edge(5, 0, 0, 10);
+        assert!(!c.feasible());
+    }
+}

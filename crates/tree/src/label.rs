@@ -1,0 +1,129 @@
+//! Interned element names: the finite alphabet Σ of the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element name (a member of Σ).
+///
+/// Labels are cheap copyable handles; the mapping back to names lives in
+/// the [`Alphabet`]. Ordering follows interning order, which gives
+/// deterministic iteration everywhere.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The raw index of the label within its alphabet.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The interner mapping element names to [`Label`]s and back.
+///
+/// ```
+/// use iixml_tree::Alphabet;
+/// let mut alpha = Alphabet::new();
+/// let a = alpha.intern("product");
+/// let b = alpha.intern("product");
+/// assert_eq!(a, b);
+/// assert_eq!(alpha.name(a), "product");
+/// assert_eq!(alpha.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    by_name: HashMap<String, Label>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Alphabet {
+        Alphabet::default()
+    }
+
+    /// Creates an alphabet pre-populated with the given names, in order.
+    pub fn from_names<'a>(names: impl IntoIterator<Item = &'a str>) -> Alphabet {
+        let mut alpha = Alphabet::new();
+        for n in names {
+            alpha.intern(n);
+        }
+        alpha
+    }
+
+    /// Interns a name, returning its label (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Label(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), l);
+        l
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not belong to this alphabet.
+    pub fn name(&self, l: Label) -> &str {
+        &self.names[l.index()]
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the alphabet empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All labels, in interning order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len() as u32).map(Label)
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.intern("a");
+        let y = a.intern("b");
+        assert_ne!(x, y);
+        assert_eq!(a.intern("a"), x);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("b"), Some(y));
+        assert_eq!(a.get("c"), None);
+    }
+
+    #[test]
+    fn labels_iterate_in_order() {
+        let a = Alphabet::from_names(["x", "y", "z"]);
+        let ls: Vec<_> = a.labels().collect();
+        assert_eq!(ls, vec![Label(0), Label(1), Label(2)]);
+        assert_eq!(a.name(Label(2)), "z");
+    }
+
+    #[test]
+    fn display() {
+        let a = Alphabet::from_names(["a", "b"]);
+        assert_eq!(a.to_string(), "{a, b}");
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Data trees and tree types: the paper's model of XML documents and
+//! simplified DTDs (Section 2).
+//!
+//! * [`Alphabet`] / [`Label`] — interned element names (the finite set Σ);
+//! * [`Nid`] — persistent node identifiers (Remark 2.4: answers to
+//!   consecutive queries share node ids with the source document, which is
+//!   what lets Algorithm Refine merge information across queries);
+//! * [`DataTree`] — unordered labeled trees with rational data values
+//!   (Definition 2.1);
+//! * [`TreeType`] — simplified DTDs with multiplicity atoms
+//!   (Definition 2.2) and validation;
+//! * [`embed`] — the *prefix relative to N* relation (Section 2), decided
+//!   by memoized bipartite matching;
+//! * [`matching`] — a Hopcroft–Karp maximum-matching substrate, also used
+//!   by the certain/possible-prefix algorithms of Theorem 2.8;
+//! * [`xmlio`] — an XML-ish text serialization of data trees.
+
+pub mod embed;
+pub mod flow;
+pub mod label;
+pub mod matching;
+pub mod tree;
+pub mod types;
+pub mod xmlio;
+
+pub use embed::{is_prefix_of, is_prefix_upto_ids};
+pub use label::{Alphabet, Label};
+pub use tree::{DataTree, Nid, NidGen, NodeRef};
+pub use types::{Mult, MultAtom, TreeType, TreeTypeBuilder, TypeError};

@@ -1,0 +1,241 @@
+//! Bipartite maximum matching (Hopcroft–Karp).
+//!
+//! The certain/possible-prefix algorithms of Theorem 2.8 reduce the
+//! children-assignment step to the existence of a perfect matching between
+//! tree nodes and multiplicity-atom positions; the prefix-relative-to-N
+//! embedding of Section 2 needs the same primitive. This module provides a
+//! small, dependency-free Hopcroft–Karp implementation
+//! (`O(E·sqrt(V))`).
+
+/// A bipartite graph on `left_len` left vertices and `right_len` right
+/// vertices, with adjacency given per left vertex.
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    left_len: usize,
+    right_len: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Bipartite {
+    /// Creates an empty graph.
+    pub fn new(left_len: usize, right_len: usize) -> Bipartite {
+        Bipartite {
+            left_len,
+            right_len,
+            adj: vec![Vec::new(); left_len],
+        }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        debug_assert!(l < self.left_len && r < self.right_len);
+        self.adj[l].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn left_len(&self) -> usize {
+        self.left_len
+    }
+
+    /// Computes a maximum matching; returns, for each left vertex, its
+    /// matched right vertex (or `None`).
+    pub fn max_matching(&self) -> Vec<Option<usize>> {
+        const NIL: usize = usize::MAX;
+        let mut match_l = vec![NIL; self.left_len];
+        let mut match_r = vec![NIL; self.right_len];
+        let mut dist = vec![0usize; self.left_len];
+        let mut queue = std::collections::VecDeque::new();
+
+        loop {
+            // BFS layering from free left vertices.
+            queue.clear();
+            let mut found_free = false;
+            for l in 0..self.left_len {
+                if match_l[l] == NIL {
+                    dist[l] = 0;
+                    queue.push_back(l);
+                } else {
+                    dist[l] = usize::MAX;
+                }
+            }
+            while let Some(l) = queue.pop_front() {
+                for &r in &self.adj[l] {
+                    let l2 = match_r[r];
+                    if l2 == NIL {
+                        found_free = true;
+                    } else if dist[l2] == usize::MAX {
+                        dist[l2] = dist[l] + 1;
+                        queue.push_back(l2);
+                    }
+                }
+            }
+            if !found_free {
+                break;
+            }
+            // DFS augmenting along layered paths.
+            fn try_augment(
+                g: &Bipartite,
+                l: usize,
+                match_l: &mut [usize],
+                match_r: &mut [usize],
+                dist: &mut [usize],
+            ) -> bool {
+                const NIL: usize = usize::MAX;
+                for i in 0..g.adj[l].len() {
+                    let r = g.adj[l][i];
+                    let l2 = match_r[r];
+                    if l2 == NIL
+                        || (dist[l2] == dist[l] + 1
+                            && try_augment(g, l2, match_l, match_r, dist))
+                    {
+                        match_l[l] = r;
+                        match_r[r] = l;
+                        return true;
+                    }
+                }
+                dist[l] = usize::MAX;
+                false
+            }
+            for l in 0..self.left_len {
+                if match_l[l] == NIL && dist[l] == 0 {
+                    try_augment(self, l, &mut match_l, &mut match_r, &mut dist);
+                }
+            }
+        }
+
+        match_l
+            .into_iter()
+            .map(|r| if r == NIL { None } else { Some(r) })
+            .collect()
+    }
+
+    /// Is there a matching saturating every left vertex?
+    pub fn has_left_perfect_matching(&self) -> bool {
+        self.max_matching().iter().all(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_perfect_matching() {
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn needs_augmenting_path() {
+        // Greedy (0->0, then 1 stuck) fails; augmenting succeeds.
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let m = g.max_matching();
+        assert_eq!(m.iter().filter(|x| x.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn infeasible() {
+        // Two left vertices competing for one right vertex.
+        let mut g = Bipartite::new(2, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        assert!(!g.has_left_perfect_matching());
+        assert_eq!(g.max_matching().iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let g = Bipartite::new(0, 5);
+        assert!(g.has_left_perfect_matching());
+        let g = Bipartite::new(1, 0);
+        assert!(!g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        // A 4x4 cycle-ish instance; verify the returned matching is a
+        // valid injective assignment along edges.
+        let edges = [
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (3, 0),
+            (0, 3),
+        ];
+        let mut g = Bipartite::new(4, 4);
+        for (l, r) in edges {
+            g.add_edge(l, r);
+        }
+        let m = g.max_matching();
+        assert_eq!(m.iter().flatten().count(), 4);
+        let mut used = std::collections::HashSet::new();
+        for (l, r) in m.iter().enumerate() {
+            let r = r.unwrap();
+            assert!(edges.contains(&(l, r)));
+            assert!(used.insert(r), "right vertex used twice");
+        }
+    }
+
+    #[test]
+    fn larger_random_like_instance() {
+        // Deterministic pseudo-random graph; compare Hopcroft–Karp size
+        // against a simple Kuhn's algorithm reference.
+        let (nl, nr) = (30, 30);
+        let mut g = Bipartite::new(nl, nr);
+        let mut edges = vec![];
+        let mut seed: u64 = 0x9E3779B97F4A7C15;
+        for l in 0..nl {
+            for r in 0..nr {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if seed >> 61 == 0 {
+                    g.add_edge(l, r);
+                    edges.push((l, r));
+                }
+            }
+        }
+        // Kuhn reference.
+        fn kuhn(nl: usize, nr: usize, edges: &[(usize, usize)]) -> usize {
+            let mut adj = vec![Vec::new(); nl];
+            for &(l, r) in edges {
+                adj[l].push(r);
+            }
+            let mut mr = vec![usize::MAX; nr];
+            fn go(
+                l: usize,
+                adj: &[Vec<usize>],
+                seen: &mut [bool],
+                mr: &mut [usize],
+            ) -> bool {
+                for &r in &adj[l] {
+                    if !seen[r] {
+                        seen[r] = true;
+                        if mr[r] == usize::MAX || go(mr[r], adj, seen, mr) {
+                            mr[r] = l;
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            let mut size = 0;
+            for l in 0..nl {
+                let mut seen = vec![false; nr];
+                if go(l, &adj, &mut seen, &mut mr) {
+                    size += 1;
+                }
+            }
+            size
+        }
+        let hk = g.max_matching().iter().flatten().count();
+        assert_eq!(hk, kuhn(nl, nr, &edges));
+    }
+}

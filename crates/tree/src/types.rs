@@ -1,0 +1,474 @@
+//! Tree types: the paper's simplified DTDs (Definition 2.2).
+//!
+//! A tree type specifies, for each element name `a`, a *multiplicity atom*
+//! `a1^ω1 … ak^ωk` over distinct labels with ω ∈ {1, ?, +, ⋆}, together
+//! with a set of allowed root labels. A data tree satisfies the type when
+//! the root label is allowed and every node's children conform to the atom
+//! of the node's label.
+
+use crate::label::{Alphabet, Label};
+use crate::tree::{DataTree, NodeRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A multiplicity constraint on the number of children with a given label.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Mult {
+    /// Exactly one (`1`, written without an exponent in the paper).
+    One,
+    /// At most one (`?`).
+    Opt,
+    /// At least one (`+`).
+    Plus,
+    /// Any number (`⋆`).
+    Star,
+}
+
+impl Mult {
+    /// Does a count of `n` children satisfy this multiplicity?
+    pub fn allows(self, n: usize) -> bool {
+        match self {
+            Mult::One => n == 1,
+            Mult::Opt => n <= 1,
+            Mult::Plus => n >= 1,
+            Mult::Star => true,
+        }
+    }
+
+    /// Is at least one occurrence mandatory?
+    pub fn mandatory(self) -> bool {
+        matches!(self, Mult::One | Mult::Plus)
+    }
+
+    /// Is more than one occurrence permitted?
+    pub fn repeatable(self) -> bool {
+        matches!(self, Mult::Plus | Mult::Star)
+    }
+
+    /// The paper's exponent notation (`1` displayed as nothing).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Mult::One => "",
+            Mult::Opt => "?",
+            Mult::Plus => "+",
+            Mult::Star => "*",
+        }
+    }
+}
+
+impl fmt::Display for Mult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A multiplicity atom `a1^ω1 … ak^ωk`: a map from distinct labels to
+/// multiplicities. Labels absent from the atom are forbidden as children.
+///
+/// The entries are kept sorted by label for canonical comparisons.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MultAtom {
+    entries: Vec<(Label, Mult)>,
+}
+
+/// Error constructing a multiplicity atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateLabel(pub Label);
+
+impl fmt::Display for DuplicateLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "label {:?} appears twice in a multiplicity atom", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateLabel {}
+
+impl MultAtom {
+    /// The empty atom ε (no children allowed).
+    pub fn empty() -> MultAtom {
+        MultAtom::default()
+    }
+
+    /// Builds an atom from (label, multiplicity) pairs.
+    pub fn new(mut entries: Vec<(Label, Mult)>) -> Result<MultAtom, DuplicateLabel> {
+        entries.sort_by_key(|&(l, _)| l);
+        for w in entries.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(DuplicateLabel(w[0].0));
+            }
+        }
+        Ok(MultAtom { entries })
+    }
+
+    /// The sorted (label, multiplicity) entries.
+    pub fn entries(&self) -> &[(Label, Mult)] {
+        &self.entries
+    }
+
+    /// Looks up the multiplicity of a label (`None` = forbidden).
+    pub fn mult(&self, l: Label) -> Option<Mult> {
+        self.entries
+            .binary_search_by_key(&l, |&(x, _)| x)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Checks a multiset of child labels against the atom.
+    pub fn check_counts(&self, counts: &HashMap<Label, usize>) -> bool {
+        for (&l, &n) in counts {
+            match self.mult(l) {
+                Some(m) if m.allows(n) => {}
+                _ => return false,
+            }
+        }
+        // Mandatory labels absent from the multiset fail.
+        self.entries
+            .iter()
+            .all(|&(l, m)| !m.mandatory() || counts.contains_key(&l))
+    }
+
+    /// Renders the atom with label names (ε for the empty atom).
+    pub fn display<'a>(&'a self, alpha: &'a Alphabet) -> DisplayAtom<'a> {
+        DisplayAtom { atom: self, alpha }
+    }
+}
+
+/// Helper returned by [`MultAtom::display`].
+pub struct DisplayAtom<'a> {
+    atom: &'a MultAtom,
+    alpha: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayAtom<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atom.entries.is_empty() {
+            return write!(f, "eps");
+        }
+        for (i, &(l, m)) in self.atom.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}{}", self.alpha.name(l), m)?;
+        }
+        Ok(())
+    }
+}
+
+/// A tree type `(Σ, R, µ)`: root labels plus one multiplicity atom per
+/// label (Definition 2.2). Labels with no explicit rule default to ε
+/// (leaves).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TreeType {
+    roots: Vec<Label>,
+    rules: HashMap<Label, MultAtom>,
+}
+
+/// A violation found when validating a data tree against a tree type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// The root's label is not among the allowed roots.
+    BadRoot(Label),
+    /// A node's children violate its label's multiplicity atom.
+    BadChildren {
+        /// The offending node.
+        node: NodeRef,
+        /// The node's label.
+        label: Label,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::BadRoot(l) => write!(f, "root label {l:?} not allowed"),
+            TypeError::BadChildren { node, label } => {
+                write!(f, "children of node {node:?} violate atom of {label:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl TreeType {
+    /// Creates a tree type from roots and rules.
+    pub fn new(roots: Vec<Label>, rules: HashMap<Label, MultAtom>) -> TreeType {
+        TreeType { roots, rules }
+    }
+
+    /// The allowed root labels.
+    pub fn roots(&self) -> &[Label] {
+        &self.roots
+    }
+
+    /// The multiplicity atom for a label (ε when no rule was given).
+    pub fn atom(&self, l: Label) -> MultAtom {
+        self.rules.get(&l).cloned().unwrap_or_default()
+    }
+
+    /// All labels with explicit rules.
+    pub fn ruled_labels(&self) -> impl Iterator<Item = Label> + '_ {
+        let mut ls: Vec<Label> = self.rules.keys().copied().collect();
+        ls.sort();
+        ls.into_iter()
+    }
+
+    /// Validates a data tree against the type (the `rep(τ)` membership
+    /// test of Definition 2.2).
+    pub fn validate(&self, t: &DataTree) -> Result<(), TypeError> {
+        let root_label = t.label(t.root());
+        if !self.roots.contains(&root_label) {
+            return Err(TypeError::BadRoot(root_label));
+        }
+        for n in t.preorder() {
+            let atom = self.atom(t.label(n));
+            let mut counts: HashMap<Label, usize> = HashMap::new();
+            for &c in t.children(n) {
+                *counts.entry(t.label(c)).or_default() += 1;
+            }
+            if !atom.check_counts(&counts) {
+                return Err(TypeError::BadChildren {
+                    node: n,
+                    label: t.label(n),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Membership convenience wrapper.
+    pub fn accepts(&self, t: &DataTree) -> bool {
+        self.validate(t).is_ok()
+    }
+
+    /// Renders the type in the paper's production syntax.
+    pub fn display<'a>(&'a self, alpha: &'a Alphabet) -> DisplayType<'a> {
+        DisplayType { ty: self, alpha }
+    }
+}
+
+/// Helper returned by [`TreeType::display`].
+pub struct DisplayType<'a> {
+    ty: &'a TreeType,
+    alpha: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayType<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "root:")?;
+        for r in &self.ty.roots {
+            write!(f, " {}", self.alpha.name(*r))?;
+        }
+        writeln!(f)?;
+        for l in self.ty.ruled_labels() {
+            writeln!(
+                f,
+                "{} -> {}",
+                self.alpha.name(l),
+                self.ty.atom(l).display(self.alpha)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder using element names, in the style of the paper's
+/// examples:
+///
+/// ```
+/// use iixml_tree::{Alphabet, Mult, TreeTypeBuilder};
+/// let mut alpha = Alphabet::new();
+/// let ty = TreeTypeBuilder::new(&mut alpha)
+///     .root("catalog")
+///     .rule("catalog", &[("product", Mult::Plus)])
+///     .rule("product", &[("name", Mult::One), ("picture", Mult::Star)])
+///     .build()
+///     .unwrap();
+/// assert_eq!(ty.roots().len(), 1);
+/// ```
+pub struct TreeTypeBuilder<'a> {
+    alpha: &'a mut Alphabet,
+    roots: Vec<Label>,
+    rules: HashMap<Label, MultAtom>,
+    error: Option<DuplicateLabel>,
+}
+
+impl<'a> TreeTypeBuilder<'a> {
+    /// Starts a builder interning names into `alpha`.
+    pub fn new(alpha: &'a mut Alphabet) -> TreeTypeBuilder<'a> {
+        TreeTypeBuilder {
+            alpha,
+            roots: Vec::new(),
+            rules: HashMap::new(),
+            error: None,
+        }
+    }
+
+    /// Adds a root label.
+    pub fn root(mut self, name: &str) -> Self {
+        let l = self.alpha.intern(name);
+        if !self.roots.contains(&l) {
+            self.roots.push(l);
+        }
+        self
+    }
+
+    /// Adds a production `name -> children`.
+    pub fn rule(mut self, name: &str, children: &[(&str, Mult)]) -> Self {
+        let l = self.alpha.intern(name);
+        let entries = children
+            .iter()
+            .map(|&(n, m)| (self.alpha.intern(n), m))
+            .collect();
+        match MultAtom::new(entries) {
+            Ok(atom) => {
+                self.rules.insert(l, atom);
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Finishes the type.
+    pub fn build(self) -> Result<TreeType, DuplicateLabel> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(TreeType::new(self.roots, self.rules)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Nid;
+    use iixml_values::Rat;
+
+    fn catalog() -> (Alphabet, TreeType) {
+        let mut alpha = Alphabet::new();
+        let ty = TreeTypeBuilder::new(&mut alpha)
+            .root("catalog")
+            .rule("catalog", &[("product", Mult::Plus)])
+            .rule(
+                "product",
+                &[
+                    ("name", Mult::One),
+                    ("price", Mult::One),
+                    ("cat", Mult::One),
+                    ("picture", Mult::Star),
+                ],
+            )
+            .rule("cat", &[("subcat", Mult::One)])
+            .build()
+            .unwrap();
+        (alpha, ty)
+    }
+
+    fn product(
+        t: &mut DataTree,
+        alpha: &Alphabet,
+        parent: NodeRef,
+        base: u64,
+        pictures: usize,
+    ) {
+        let p = t
+            .add_child(parent, Nid(base), alpha.get("product").unwrap(), Rat::ZERO)
+            .unwrap();
+        t.add_child(p, Nid(base + 1), alpha.get("name").unwrap(), Rat::from(1))
+            .unwrap();
+        t.add_child(p, Nid(base + 2), alpha.get("price").unwrap(), Rat::from(100))
+            .unwrap();
+        let c = t
+            .add_child(p, Nid(base + 3), alpha.get("cat").unwrap(), Rat::ZERO)
+            .unwrap();
+        t.add_child(c, Nid(base + 4), alpha.get("subcat").unwrap(), Rat::ZERO)
+            .unwrap();
+        for i in 0..pictures {
+            t.add_child(
+                p,
+                Nid(base + 5 + i as u64),
+                alpha.get("picture").unwrap(),
+                Rat::ZERO,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn mult_semantics() {
+        assert!(Mult::One.allows(1) && !Mult::One.allows(0) && !Mult::One.allows(2));
+        assert!(Mult::Opt.allows(0) && Mult::Opt.allows(1) && !Mult::Opt.allows(2));
+        assert!(!Mult::Plus.allows(0) && Mult::Plus.allows(3));
+        assert!(Mult::Star.allows(0) && Mult::Star.allows(10));
+        assert!(Mult::One.mandatory() && Mult::Plus.mandatory());
+        assert!(!Mult::Opt.mandatory() && !Mult::Star.mandatory());
+    }
+
+    #[test]
+    fn atom_rejects_duplicates() {
+        assert!(MultAtom::new(vec![(Label(0), Mult::One), (Label(0), Mult::Star)]).is_err());
+    }
+
+    #[test]
+    fn catalog_validation() {
+        let (alpha, ty) = catalog();
+        let cat = alpha.get("catalog").unwrap();
+        let mut t = DataTree::new(Nid(0), cat, Rat::ZERO);
+        let root = t.root();
+        product(&mut t, &alpha, root, 10, 0);
+        product(&mut t, &alpha, root, 30, 2);
+        assert!(ty.accepts(&t));
+
+        // Empty catalog violates product+.
+        let empty = DataTree::new(Nid(0), cat, Rat::ZERO);
+        assert!(matches!(
+            ty.validate(&empty),
+            Err(TypeError::BadChildren { .. })
+        ));
+
+        // Wrong root.
+        let bad_root = DataTree::new(Nid(0), alpha.get("product").unwrap(), Rat::ZERO);
+        assert!(matches!(ty.validate(&bad_root), Err(TypeError::BadRoot(_))));
+    }
+
+    #[test]
+    fn missing_mandatory_child_fails() {
+        let (alpha, ty) = catalog();
+        let cat = alpha.get("catalog").unwrap();
+        let mut t = DataTree::new(Nid(0), cat, Rat::ZERO);
+        let p = t
+            .add_child(t.root(), Nid(1), alpha.get("product").unwrap(), Rat::ZERO)
+            .unwrap();
+        // product missing name/price/cat.
+        t.add_child(p, Nid(2), alpha.get("picture").unwrap(), Rat::ZERO)
+            .unwrap();
+        assert!(!ty.accepts(&t));
+    }
+
+    #[test]
+    fn forbidden_label_fails() {
+        let (mut alpha, ty) = catalog();
+        let weird = alpha.intern("weird");
+        let cat = alpha.get("catalog").unwrap();
+        let mut t = DataTree::new(Nid(0), cat, Rat::ZERO);
+        t.add_child(t.root(), Nid(1), weird, Rat::ZERO).unwrap();
+        assert!(!ty.accepts(&t));
+    }
+
+    #[test]
+    fn leaves_default_to_epsilon() {
+        let (alpha, ty) = catalog();
+        // `name` has no rule; a name node with a child is invalid.
+        let name = alpha.get("name").unwrap();
+        assert_eq!(ty.atom(name), MultAtom::empty());
+    }
+
+    #[test]
+    fn display_production_syntax() {
+        let (alpha, ty) = catalog();
+        let s = ty.display(&alpha).to_string();
+        assert!(s.contains("root: catalog"));
+        assert!(s.contains("catalog -> product+"));
+        assert!(s.contains("picture*"));
+    }
+}

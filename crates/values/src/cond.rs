@@ -1,0 +1,353 @@
+//! Condition ASTs: Boolean combinations of comparisons with constants.
+//!
+//! Conditions appear in two places in the paper: attached to ps-query
+//! nodes (selection on data values) and attached to specialized types in
+//! conditional tree types. A condition is a Boolean combination of atoms
+//! `= v`, `≠ v`, `≤ v`, `≥ v`, `< v`, `> v` with `v ∈ Q`.
+//!
+//! [`Cond`] is the user-facing construction language; the algorithms all
+//! operate on the canonical [`IntervalSet`] normal form (Lemma 2.3), which
+//! [`Cond::to_intervals`] produces in linear time per node.
+
+use crate::interval::{Bound, IntervalSet};
+use crate::rat::Rat;
+use std::fmt;
+
+/// A comparison operator on data values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `= v`
+    Eq,
+    /// `≠ v`
+    Ne,
+    /// `< v`
+    Lt,
+    /// `≤ v`
+    Le,
+    /// `> v`
+    Gt,
+    /// `≥ v`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `x op v`.
+    pub fn eval(self, x: Rat, v: Rat) -> bool {
+        match self {
+            CmpOp::Eq => x == v,
+            CmpOp::Ne => x != v,
+            CmpOp::Lt => x < v,
+            CmpOp::Le => x <= v,
+            CmpOp::Gt => x > v,
+            CmpOp::Ge => x >= v,
+        }
+    }
+
+    /// The set of values satisfying `x op v`.
+    pub fn intervals(self, v: Rat) -> IntervalSet {
+        match self {
+            CmpOp::Eq => IntervalSet::eq(v),
+            CmpOp::Ne => IntervalSet::ne(v),
+            CmpOp::Lt => IntervalSet::lt(v),
+            CmpOp::Le => IntervalSet::le(v),
+            CmpOp::Gt => IntervalSet::gt(v),
+            CmpOp::Ge => IntervalSet::ge(v),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A Boolean combination of comparisons with rational constants.
+///
+/// ```
+/// use iixml_values::{Cond, Rat};
+/// // price < 200 and price != 0
+/// let c = Cond::lt(Rat::from(200)).and(Cond::ne(Rat::ZERO));
+/// assert!(c.eval(Rat::from(120)));
+/// assert!(!c.eval(Rat::ZERO));
+/// assert!(c.satisfiable());
+/// // x < 1 and x > 1 is unsatisfiable
+/// assert!(!Cond::lt(Rat::ONE).and(Cond::gt(Rat::ONE)).satisfiable());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// A single comparison atom.
+    Cmp(CmpOp, Rat),
+    /// Negation.
+    Not(Box<Cond>),
+    /// Conjunction of all members (empty = true).
+    And(Vec<Cond>),
+    /// Disjunction of all members (empty = false).
+    Or(Vec<Cond>),
+}
+
+impl Cond {
+    /// `= v`
+    pub fn eq(v: Rat) -> Cond {
+        Cond::Cmp(CmpOp::Eq, v)
+    }
+    /// `≠ v`
+    pub fn ne(v: Rat) -> Cond {
+        Cond::Cmp(CmpOp::Ne, v)
+    }
+    /// `< v`
+    pub fn lt(v: Rat) -> Cond {
+        Cond::Cmp(CmpOp::Lt, v)
+    }
+    /// `≤ v`
+    pub fn le(v: Rat) -> Cond {
+        Cond::Cmp(CmpOp::Le, v)
+    }
+    /// `> v`
+    pub fn gt(v: Rat) -> Cond {
+        Cond::Cmp(CmpOp::Gt, v)
+    }
+    /// `≥ v`
+    pub fn ge(v: Rat) -> Cond {
+        Cond::Cmp(CmpOp::Ge, v)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Cond) -> Cond {
+        match (self, other) {
+            (Cond::True, c) | (c, Cond::True) => c,
+            (Cond::False, _) | (_, Cond::False) => Cond::False,
+            (Cond::And(mut xs), Cond::And(ys)) => {
+                xs.extend(ys);
+                Cond::And(xs)
+            }
+            (Cond::And(mut xs), c) => {
+                xs.push(c);
+                Cond::And(xs)
+            }
+            (a, b) => Cond::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Cond) -> Cond {
+        match (self, other) {
+            (Cond::False, c) | (c, Cond::False) => c,
+            (Cond::True, _) | (_, Cond::True) => Cond::True,
+            (Cond::Or(mut xs), Cond::Or(ys)) => {
+                xs.extend(ys);
+                Cond::Or(xs)
+            }
+            (Cond::Or(mut xs), c) => {
+                xs.push(c);
+                Cond::Or(xs)
+            }
+            (a, b) => Cond::Or(vec![a, b]),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Cond {
+        match self {
+            Cond::True => Cond::False,
+            Cond::False => Cond::True,
+            Cond::Not(c) => *c,
+            c => Cond::Not(Box::new(c)),
+        }
+    }
+
+    /// Direct evaluation on a value (without normalizing).
+    pub fn eval(&self, x: Rat) -> bool {
+        match self {
+            Cond::True => true,
+            Cond::False => false,
+            Cond::Cmp(op, v) => op.eval(x, *v),
+            Cond::Not(c) => !c.eval(x),
+            Cond::And(cs) => cs.iter().all(|c| c.eval(x)),
+            Cond::Or(cs) => cs.iter().any(|c| c.eval(x)),
+        }
+    }
+
+    /// The Lemma 2.3 normal form: the set of values satisfying the
+    /// condition as a union of disjoint intervals.
+    pub fn to_intervals(&self) -> IntervalSet {
+        match self {
+            Cond::True => IntervalSet::all(),
+            Cond::False => IntervalSet::empty(),
+            Cond::Cmp(op, v) => op.intervals(*v),
+            Cond::Not(c) => c.to_intervals().complement(),
+            Cond::And(cs) => cs
+                .iter()
+                .fold(IntervalSet::all(), |acc, c| acc.intersect(&c.to_intervals())),
+            Cond::Or(cs) => cs
+                .iter()
+                .fold(IntervalSet::empty(), |acc, c| acc.union(&c.to_intervals())),
+        }
+    }
+
+    /// Satisfiability test (PTIME, Lemma 2.3).
+    pub fn satisfiable(&self) -> bool {
+        !self.to_intervals().is_empty()
+    }
+
+    /// Semantic equivalence of two conditions, via canonical forms.
+    pub fn equivalent(&self, other: &Cond) -> bool {
+        self.to_intervals() == other.to_intervals()
+    }
+
+    /// Rebuilds a condition from an interval set (inverse of
+    /// [`Cond::to_intervals`] up to equivalence); used for display and
+    /// serialization of incomplete trees.
+    pub fn from_intervals(set: &IntervalSet) -> Cond {
+        if set.is_empty() {
+            return Cond::False;
+        }
+        if set.is_all() {
+            return Cond::True;
+        }
+        let mut disjuncts = Vec::new();
+        for iv in set.intervals() {
+            let c = match iv.bounds() {
+                (Bound::Closed(a), Bound::Closed(b)) if a == b => Cond::eq(a),
+                (lo, hi) => {
+                    let lo_c = match lo {
+                        Bound::Unbounded => Cond::True,
+                        Bound::Closed(v) => Cond::ge(v),
+                        Bound::Open(v) => Cond::gt(v),
+                    };
+                    let hi_c = match hi {
+                        Bound::Unbounded => Cond::True,
+                        Bound::Closed(v) => Cond::le(v),
+                        Bound::Open(v) => Cond::lt(v),
+                    };
+                    lo_c.and(hi_c)
+                }
+            };
+            disjuncts.push(c);
+        }
+        if disjuncts.len() == 1 {
+            disjuncts.pop().unwrap()
+        } else {
+            Cond::Or(disjuncts)
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => write!(f, "true"),
+            Cond::False => write!(f, "false"),
+            Cond::Cmp(op, v) => write!(f, "{op} {v}"),
+            Cond::Not(c) => write!(f, "!({c})"),
+            Cond::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Cond::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn eval_matches_intervals() {
+        let conds = [
+            Cond::True,
+            Cond::False,
+            Cond::eq(r(3)),
+            Cond::ne(r(3)),
+            Cond::lt(r(3)).and(Cond::gt(r(0))),
+            Cond::le(r(3)).or(Cond::ge(r(10))),
+            Cond::lt(r(5)).and(Cond::ne(r(2))).not(),
+            Cond::eq(r(1)).or(Cond::eq(r(2))).or(Cond::eq(r(3))),
+        ];
+        let samples: Vec<Rat> = (-2..12).map(Rat::from).collect();
+        for c in &conds {
+            let set = c.to_intervals();
+            for &x in &samples {
+                assert_eq!(c.eval(x), set.contains(x), "cond {c} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_intervals_roundtrip() {
+        let conds = [
+            Cond::True,
+            Cond::False,
+            Cond::eq(r(3)),
+            Cond::ne(r(3)),
+            Cond::lt(r(3)).and(Cond::gt(r(0))),
+            Cond::le(r(3)).or(Cond::ge(r(10))),
+            Cond::ge(r(0)).and(Cond::le(r(0))),
+        ];
+        for c in &conds {
+            let set = c.to_intervals();
+            let back = Cond::from_intervals(&set);
+            assert_eq!(back.to_intervals(), set, "roundtrip of {c}");
+        }
+    }
+
+    #[test]
+    fn combinator_simplifications() {
+        assert_eq!(Cond::True.and(Cond::eq(r(1))), Cond::eq(r(1)));
+        assert_eq!(Cond::False.and(Cond::eq(r(1))), Cond::False);
+        assert_eq!(Cond::False.or(Cond::eq(r(1))), Cond::eq(r(1)));
+        assert_eq!(Cond::True.or(Cond::eq(r(1))), Cond::True);
+        assert_eq!(Cond::eq(r(1)).not().not(), Cond::eq(r(1)));
+    }
+
+    #[test]
+    fn satisfiability() {
+        assert!(Cond::lt(r(5)).satisfiable());
+        assert!(!Cond::lt(r(5)).and(Cond::gt(r(5))).satisfiable());
+        // x != 5 and x >= 5 and x <= 5 is unsatisfiable
+        let c = Cond::ne(r(5)).and(Cond::ge(r(5))).and(Cond::le(r(5)));
+        assert!(!c.satisfiable());
+    }
+
+    #[test]
+    fn equivalence() {
+        // not(x < 5) ≡ x >= 5
+        assert!(Cond::lt(r(5)).not().equivalent(&Cond::ge(r(5))));
+        // De Morgan
+        let lhs = Cond::lt(r(1)).or(Cond::gt(r(2))).not();
+        let rhs = Cond::ge(r(1)).and(Cond::le(r(2)));
+        assert!(lhs.equivalent(&rhs));
+    }
+}

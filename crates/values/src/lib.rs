@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Data values and conditions for the iixml model.
+//!
+//! The paper ("Representing and Querying XML with Incomplete Information",
+//! Abiteboul–Segoufin–Vianu) takes the set `Q` of data values to be the
+//! rational numbers, and attaches to query nodes and to specialized types
+//! *conditions*: Boolean combinations of comparisons `= v`, `≠ v`, `≤ v`,
+//! `≥ v`, `< v`, `> v` with `v ∈ Q`.
+//!
+//! This crate provides:
+//!
+//! * [`Rat`] — exact rational arithmetic (the value domain `Q`);
+//! * [`Cond`] — the condition AST;
+//! * [`IntervalSet`] — the canonical normal form of Lemma 2.3: every
+//!   condition is equivalent to a union of disjoint intervals, linear in
+//!   the size of the condition. All reasoning about conditions
+//!   (satisfiability, implication, conjunction, negation, witnesses) is
+//!   done on this normal form.
+
+pub mod cond;
+pub mod interval;
+pub mod parse;
+pub mod rat;
+
+pub use cond::{CmpOp, Cond};
+pub use interval::{Bound, Interval, IntervalSet};
+pub use rat::Rat;

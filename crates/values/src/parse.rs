@@ -1,0 +1,256 @@
+//! A small text syntax for conditions, used by the XML-ish serialization
+//! of incomplete trees and by tests.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! cond  := or
+//! or    := and ('|' and)*
+//! and   := unary ('&' unary)*
+//! unary := '!' unary | '(' cond ')' | 'true' | 'false' | atom
+//! atom  := ('=' | '!=' | '<=' | '>=' | '<' | '>') rational
+//! ```
+//!
+//! Example: `"(< 200 & != 0) | = 500"`.
+
+use crate::cond::{CmpOp, Cond};
+use crate::rat::Rat;
+use std::fmt;
+
+/// Error produced when parsing a condition fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCondError {
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseCondError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseCondError {
+        ParseCondError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Cond, ParseCondError> {
+        let mut acc = self.parse_and()?;
+        while self.eat("|") {
+            acc = acc.or(self.parse_and()?);
+        }
+        Ok(acc)
+    }
+
+    fn parse_and(&mut self) -> Result<Cond, ParseCondError> {
+        let mut acc = self.parse_unary()?;
+        while self.eat("&") {
+            acc = acc.and(self.parse_unary()?);
+        }
+        Ok(acc)
+    }
+
+    fn parse_unary(&mut self) -> Result<Cond, ParseCondError> {
+        self.skip_ws();
+        if self.eat("!(") {
+            // `!` applied to a parenthesized condition; rewind to reuse
+            // the paren logic.
+            self.pos -= 1;
+            let inner = self.parse_paren()?;
+            return Ok(inner.not());
+        }
+        if self.rest().starts_with("!=") {
+            return self.parse_atom();
+        }
+        if self.eat("!") {
+            return Ok(self.parse_unary()?.not());
+        }
+        if self.rest().starts_with('(') {
+            return self.parse_paren();
+        }
+        if self.eat("true") {
+            return Ok(Cond::True);
+        }
+        if self.eat("false") {
+            return Ok(Cond::False);
+        }
+        self.parse_atom()
+    }
+
+    fn parse_paren(&mut self) -> Result<Cond, ParseCondError> {
+        if !self.eat("(") {
+            return Err(self.error("expected '('"));
+        }
+        let inner = self.parse_or()?;
+        if !self.eat(")") {
+            return Err(self.error("expected ')'"));
+        }
+        Ok(inner)
+    }
+
+    fn parse_atom(&mut self) -> Result<Cond, ParseCondError> {
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            CmpOp::Ne
+        } else if self.eat("<=") {
+            CmpOp::Le
+        } else if self.eat(">=") {
+            CmpOp::Ge
+        } else if self.eat("<") {
+            CmpOp::Lt
+        } else if self.eat(">") {
+            CmpOp::Gt
+        } else if self.eat("=") {
+            CmpOp::Eq
+        } else {
+            return Err(self.error("expected comparison operator"));
+        };
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !matches!(c, '0'..='9' | '-' | '/' | '.'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected rational literal"));
+        }
+        let lit = &rest[..end];
+        let v: Rat = lit
+            .parse()
+            .map_err(|e| self.error(format!("bad rational '{lit}': {e}")))?;
+        self.pos += end;
+        Ok(Cond::Cmp(op, v))
+    }
+}
+
+/// Parses the textual condition syntax into a [`Cond`].
+///
+/// ```
+/// use iixml_values::{parse::parse_cond, Rat};
+/// let c = parse_cond("(< 200 & != 0) | = 500").unwrap();
+/// assert!(c.eval(Rat::from(100)));
+/// assert!(!c.eval(Rat::ZERO));
+/// assert!(c.eval(Rat::from(500)));
+/// assert!(!c.eval(Rat::from(300)));
+/// ```
+pub fn parse_cond(input: &str) -> Result<Cond, ParseCondError> {
+    let mut p = Parser::new(input);
+    let c = p.parse_or()?;
+    p.skip_ws();
+    if !p.rest().is_empty() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(parse_cond("= 5").unwrap(), Cond::eq(r(5)));
+        assert_eq!(parse_cond("!= 5").unwrap(), Cond::ne(r(5)));
+        assert_eq!(parse_cond("<= -3").unwrap(), Cond::le(r(-3)));
+        assert_eq!(parse_cond(">= 1/2").unwrap(), Cond::ge(Rat::new(1, 2)));
+        assert_eq!(parse_cond("< 2.5").unwrap(), Cond::lt(Rat::new(5, 2)));
+        assert_eq!(parse_cond("> 0").unwrap(), Cond::gt(r(0)));
+    }
+
+    #[test]
+    fn combinations() {
+        let c = parse_cond("< 5 & != 3").unwrap();
+        assert!(c.eval(r(4)));
+        assert!(!c.eval(r(3)));
+        let c = parse_cond("= 1 | = 2 | = 3").unwrap();
+        assert!(c.eval(r(2)));
+        assert!(!c.eval(r(4)));
+        let c = parse_cond("!(< 5)").unwrap();
+        assert!(c.equivalent(&Cond::ge(r(5))));
+        let c = parse_cond("! < 5").unwrap();
+        assert!(c.equivalent(&Cond::ge(r(5))));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // & binds tighter than |
+        let c = parse_cond("= 1 | = 2 & = 3").unwrap();
+        assert!(c.eval(r(1)));
+        let d = parse_cond("(= 1 | = 2) & = 3").unwrap();
+        assert!(!d.eval(r(1)));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(parse_cond("true").unwrap(), Cond::True);
+        assert_eq!(parse_cond("false").unwrap(), Cond::False);
+        assert_eq!(parse_cond(" true ").unwrap(), Cond::True);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "true",
+            "false",
+            "= 5",
+            "(< 200 & != 0) | = 500",
+            "!(= 1 | = 2)",
+            ">= 1/2 & < 22/7",
+        ] {
+            let c = parse_cond(s).unwrap();
+            let again = parse_cond(&c.to_string()).unwrap();
+            assert!(c.equivalent(&again), "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_cond("").is_err());
+        assert!(parse_cond("= ").is_err());
+        assert!(parse_cond("< abc").is_err());
+        assert!(parse_cond("= 5 extra").is_err());
+        assert!(parse_cond("(= 5").is_err());
+        assert!(parse_cond("& = 5").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the interval algebra (Lemma 2.3's normal form):
+//! Boolean-algebra laws checked pointwise against random sample values,
+//! plus canonical-form invariants.
+
+use iixml_values::{Cond, IntervalSet, Rat};
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary conditions over small constants.
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    let atom = (0u8..6, -20i64..20).prop_map(|(op, v)| {
+        let v = Rat::from(v);
+        match op {
+            0 => Cond::eq(v),
+            1 => Cond::ne(v),
+            2 => Cond::lt(v),
+            3 => Cond::le(v),
+            4 => Cond::gt(v),
+            _ => Cond::ge(v),
+        }
+    });
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Cond::not),
+        ]
+    })
+}
+
+/// Sample values: integers and half-integers around the constant range.
+fn samples() -> Vec<Rat> {
+    let mut out = Vec::new();
+    for i in -22..=22 {
+        out.push(Rat::from(i));
+        out.push(Rat::new(2 * i + 1, 2));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Normalization preserves pointwise semantics.
+    #[test]
+    fn normal_form_is_pointwise_correct(c in cond_strategy()) {
+        let set = c.to_intervals();
+        for v in samples() {
+            prop_assert_eq!(c.eval(v), set.contains(v), "at {}", v);
+        }
+    }
+
+    /// Boolean-algebra laws hold on the canonical forms.
+    #[test]
+    fn boolean_laws(a in cond_strategy(), b in cond_strategy()) {
+        let (sa, sb) = (a.to_intervals(), b.to_intervals());
+        // De Morgan.
+        prop_assert_eq!(
+            sa.union(&sb).complement(),
+            sa.complement().intersect(&sb.complement())
+        );
+        // Distributivity.
+        let sc = IntervalSet::lt(Rat::from(3));
+        prop_assert_eq!(
+            sa.intersect(&sb.union(&sc)),
+            sa.intersect(&sb).union(&sa.intersect(&sc))
+        );
+        // Absorption.
+        prop_assert_eq!(sa.union(&sa.intersect(&sb)), sa.clone());
+        // Complement laws.
+        prop_assert_eq!(sa.union(&sa.complement()), IntervalSet::all());
+        prop_assert_eq!(sa.intersect(&sa.complement()), IntervalSet::empty());
+        // Difference.
+        prop_assert_eq!(sa.difference(&sb).intersect(&sb), IntervalSet::empty());
+    }
+
+    /// Canonical representation: semantically equal conditions have
+    /// structurally equal interval sets.
+    #[test]
+    fn canonicity(a in cond_strategy()) {
+        let s = a.to_intervals();
+        // Double negation.
+        prop_assert_eq!(a.clone().not().not().to_intervals(), s.clone());
+        // Round trip through Cond.
+        prop_assert_eq!(Cond::from_intervals(&s).to_intervals(), s.clone());
+        // Idempotent union/intersection.
+        prop_assert_eq!(s.union(&s), s.clone());
+        prop_assert_eq!(s.intersect(&s), s.clone());
+        // Disjointness and ordering of the representation.
+        let ivs = s.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].hi() <= w[1].lo(), "unordered or overlapping");
+            prop_assert!(w[0].hi() != w[1].lo(), "adjacent pieces not merged");
+        }
+    }
+
+    /// Witnesses always belong to their sets, and implication is a
+    /// partial order consistent with membership.
+    #[test]
+    fn witnesses_and_implication(a in cond_strategy(), b in cond_strategy()) {
+        let (sa, sb) = (a.to_intervals(), b.to_intervals());
+        if let Some(w) = sa.witness() {
+            prop_assert!(sa.contains(w));
+        }
+        if sa.implies(&sb) {
+            for v in samples() {
+                if sa.contains(v) {
+                    prop_assert!(sb.contains(v));
+                }
+            }
+            if let Some(w) = sa.witness() {
+                prop_assert!(sb.contains(w));
+            }
+        }
+    }
+}

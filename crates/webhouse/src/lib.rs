@@ -1,0 +1,633 @@
+#![warn(missing_docs)]
+
+//! The Webhouse scenario (Section 1): an XML warehouse holding
+//! incomplete information about remote documents, enriched by successive
+//! queries and able to answer new queries either locally (from the
+//! incomplete tree) or by fetching exactly the missing pieces through
+//! the mediator.
+//!
+//! * [`Source`] simulates a remote XML document: a materialized data
+//!   tree (with persistent node ids) plus an optional declared tree
+//!   type. This substitutes for live web sources (see DESIGN.md): it
+//!   answers ps-queries through exactly the same evaluation path.
+//! * [`Session`] is the per-document state: the accumulated incomplete
+//!   tree maintained by Algorithm Refine (plus the folded-in tree type).
+//! * [`Webhouse`] manages named sessions and implements the two
+//!   courses of action of the introduction: answer as best possible
+//!   from local knowledge (sure/possible modalities), or complete the
+//!   answer with non-redundant local queries against the source.
+
+use iixml_core::{IncompleteTree, ItreeError, QueryOnIncomplete, Refiner};
+use iixml_mediator::Mediator;
+use iixml_query::{Answer, PsQuery};
+use iixml_tree::{Alphabet, DataTree, TreeType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A simulated remote XML document.
+#[derive(Clone, Debug)]
+pub struct Source {
+    tree: DataTree,
+    ty: Option<TreeType>,
+    /// Number of queries answered (for experiment accounting).
+    pub queries_served: usize,
+    /// Total answer nodes shipped (for experiment accounting).
+    pub nodes_shipped: usize,
+}
+
+impl Source {
+    /// Wraps a document with an optional declared type.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the document does not satisfy the declared
+    /// type — sources are assumed valid.
+    pub fn new(tree: DataTree, ty: Option<TreeType>) -> Source {
+        if let Some(t) = &ty {
+            debug_assert!(t.accepts(&tree), "source does not satisfy its type");
+        }
+        Source {
+            tree,
+            ty,
+            queries_served: 0,
+            nodes_shipped: 0,
+        }
+    }
+
+    /// The declared tree type, if any.
+    pub fn declared_type(&self) -> Option<&TreeType> {
+        self.ty.as_ref()
+    }
+
+    /// The live document (tests and experiments peek at it; the
+    /// webhouse itself only sees query answers).
+    pub fn document(&self) -> &DataTree {
+        &self.tree
+    }
+
+    /// Answers a ps-query (with persistent node ids, Remark 2.4).
+    pub fn answer(&mut self, q: &PsQuery) -> Answer {
+        let a = q.eval(&self.tree);
+        self.queries_served += 1;
+        self.nodes_shipped += a.len();
+        a
+    }
+
+    /// Replaces the document (a source update). The webhouse reacts by
+    /// reinitializing its knowledge (Section 5's discussion).
+    pub fn update(&mut self, tree: DataTree) {
+        if let Some(t) = &self.ty {
+            debug_assert!(t.accepts(&tree), "updated source violates its type");
+        }
+        self.tree = tree;
+    }
+}
+
+/// How a query against the webhouse was answered.
+#[derive(Debug)]
+pub enum LocalAnswer {
+    /// The local information suffices: this is *the* answer
+    /// (`None` = the empty answer).
+    Complete(Option<DataTree>),
+    /// Only partial information is available: a description of the
+    /// possible answers (Theorem 3.14).
+    Partial(QueryOnIncomplete),
+}
+
+impl LocalAnswer {
+    /// Was the query fully answered locally?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, LocalAnswer::Complete(_))
+    }
+}
+
+/// Per-document webhouse state.
+pub struct Session {
+    alpha: Alphabet,
+    source: Source,
+    refiner: Refiner,
+    /// Queries answered from local knowledge without contacting the
+    /// source.
+    pub answered_locally: usize,
+    /// Local queries issued by the mediator.
+    pub mediator_queries: usize,
+}
+
+impl Session {
+    /// Opens a session on a source. The source's declared type (if any)
+    /// is folded into the initial knowledge (Theorem 3.5).
+    pub fn open(alpha: Alphabet, source: Source) -> Session {
+        let mut refiner = Refiner::new(&alpha);
+        if let Some(ty) = &source.ty {
+            let restricted = iixml_core::type_intersect::restrict_to_type(refiner.current(), ty);
+            refiner = Refiner::from_tree(restricted);
+        }
+        Session {
+            alpha,
+            source,
+            refiner,
+            answered_locally: 0,
+            mediator_queries: 0,
+        }
+    }
+
+    /// The accumulated incomplete tree.
+    pub fn knowledge(&self) -> &IncompleteTree {
+        self.refiner.current()
+    }
+
+    /// The known prefix of the document.
+    pub fn data_tree(&self) -> Option<DataTree> {
+        self.refiner.data_tree()
+    }
+
+    /// The source (for experiment accounting).
+    pub fn source(&self) -> &Source {
+        &self.source
+    }
+
+    /// Asks the source directly and refines the local knowledge with
+    /// the query-answer pair (Theorem 3.4).
+    pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, ItreeError> {
+        let ans = self.source.answer(q);
+        self.refiner.refine(&self.alpha, q, &ans)?;
+        Ok(ans)
+    }
+
+    /// Like [`Session::fetch`], but first asks Proposition 3.13's
+    /// auxiliary path queries (all conditions cleared). This pins every
+    /// node the query's conditions touch as a data node, guaranteeing
+    /// the incomplete tree stays polynomial in the whole query sequence
+    /// — the paper's standing size-control strategy.
+    pub fn fetch_with_auxiliaries(&mut self, q: &PsQuery) -> Result<Answer, ItreeError> {
+        for aux in iixml_mediator::auxiliary_queries(q) {
+            let a = self.source.answer(&aux);
+            self.refiner.refine(&self.alpha, &aux, &a)?;
+        }
+        self.fetch(q)
+    }
+
+    /// Answers from local knowledge only (Section 3.3): complete when
+    /// possible, otherwise a description of the possible answers.
+    pub fn answer_locally(&mut self, q: &PsQuery) -> LocalAnswer {
+        let qt = self.knowledge().query(q);
+        if qt.fully_answerable() {
+            self.answered_locally += 1;
+            LocalAnswer::Complete(qt.the_answer())
+        } else {
+            LocalAnswer::Partial(qt)
+        }
+    }
+
+    /// Answers exactly, contacting the source only for the missing
+    /// pieces (Section 3.4): generates a non-redundant completion,
+    /// executes it, and refines local knowledge with the now-exact
+    /// answer.
+    pub fn answer_with_mediation(&mut self, q: &PsQuery) -> Result<Option<DataTree>, String> {
+        if let LocalAnswer::Complete(a) = self.answer_locally(q) {
+            return Ok(a);
+        }
+        let completion = {
+            let med = Mediator::new(self.refiner.current());
+            med.complete(q)
+        };
+        self.mediator_queries += completion.queries.len();
+        let mut known = self
+            .data_tree()
+            .unwrap_or_else(|| self.source.tree.subtree(self.source.tree.root()));
+        // When nothing is known, the completion holds `q@root`: execute
+        // against the source directly.
+        let shipped = completion.execute(&self.source.tree, &mut known)?;
+        self.source.queries_served += completion.queries.len();
+        self.source.nodes_shipped += shipped;
+        let answer = q.eval(&known);
+        // The answer is now exact; fold it back into the knowledge.
+        self.refiner
+            .refine(&self.alpha, q, &answer)
+            .map_err(|e| e.to_string())?;
+        Ok(answer.tree)
+    }
+
+    /// Reacts to a source update: knowledge is reinitialized to the
+    /// declared type (the paper's conservative policy for dynamic
+    /// sources).
+    pub fn reinitialize(&mut self) {
+        let mut refiner = Refiner::new(&self.alpha);
+        if let Some(ty) = &self.source.ty {
+            let restricted = iixml_core::type_intersect::restrict_to_type(refiner.current(), ty);
+            refiner = Refiner::from_tree(restricted);
+        }
+        self.refiner = refiner;
+        self.answered_locally = 0;
+        self.mediator_queries = 0;
+    }
+
+    /// Applies a source update then reinitializes.
+    pub fn source_updated(&mut self, new_tree: DataTree) {
+        self.source.update(new_tree);
+        self.reinitialize();
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("knowledge_size", &self.knowledge().size())
+            .field("answered_locally", &self.answered_locally)
+            .finish()
+    }
+}
+
+/// A session variant that tracks knowledge *conjunctively*
+/// (Theorem 3.8): each fetched query-answer pair appends one layer, so
+/// the representation stays linear in the whole query stream
+/// (Corollary 3.9) no matter how adversarial the queries are — the
+/// paper's answer to Algorithm Refine's exponential worst case.
+///
+/// The price (Theorem 3.10): questions that quantify over `rep` —
+/// emptiness, certain/possible answers — become NP-hard, so this session
+/// only offers the PTIME operations: membership and per-layer access.
+pub struct ConjunctiveSession {
+    alpha: Alphabet,
+    source: Source,
+    conj: iixml_core::ConjunctiveTree,
+}
+
+impl ConjunctiveSession {
+    /// Opens a conjunctive session; the declared type (if any) becomes
+    /// the base layer.
+    pub fn open(alpha: Alphabet, source: Source) -> ConjunctiveSession {
+        let mut conj = iixml_core::ConjunctiveTree::new(&alpha);
+        if let Some(ty) = &source.ty {
+            let labels: Vec<_> = alpha.labels().collect();
+            let names: Vec<&str> = labels.iter().map(|&l| alpha.name(l)).collect();
+            let universal = IncompleteTree::universal(&labels, &names);
+            let base = iixml_core::type_intersect::restrict_to_type(&universal, ty);
+            conj = iixml_core::ConjunctiveTree::from_layers(vec![base]);
+        }
+        ConjunctiveSession {
+            alpha,
+            source,
+            conj,
+        }
+    }
+
+    /// Asks the source and appends the constraint layer (Refine⁺).
+    pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, ItreeError> {
+        let ans = self.source.answer(q);
+        self.conj.refine(&self.alpha, q, &ans)?;
+        Ok(ans)
+    }
+
+    /// The accumulated conjunctive knowledge.
+    pub fn knowledge(&self) -> &iixml_core::ConjunctiveTree {
+        &self.conj
+    }
+
+    /// Representation size (linear in the query stream, Corollary 3.9).
+    pub fn size(&self) -> usize {
+        self.conj.size()
+    }
+
+    /// PTIME membership: could the source document be `t`?
+    pub fn could_be(&self, t: &DataTree) -> bool {
+        self.conj.contains(t)
+    }
+
+    /// The source (for experiment accounting).
+    pub fn source(&self) -> &Source {
+        &self.source
+    }
+}
+
+/// A named collection of sessions — the warehouse itself.
+#[derive(Default)]
+pub struct Webhouse {
+    sessions: HashMap<String, Session>,
+}
+
+impl Webhouse {
+    /// An empty webhouse.
+    pub fn new() -> Webhouse {
+        Webhouse::default()
+    }
+
+    /// Registers a source under a name.
+    pub fn register(&mut self, name: impl Into<String>, alpha: Alphabet, source: Source) {
+        self.sessions.insert(name.into(), Session::open(alpha, source));
+    }
+
+    /// Accesses a session.
+    pub fn session(&mut self, name: &str) -> Option<&mut Session> {
+        self.sessions.get_mut(name)
+    }
+
+    /// Iterates over (name, session).
+    pub fn sessions(&self) -> impl Iterator<Item = (&String, &Session)> {
+        self.sessions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_query::PsQueryBuilder;
+    use iixml_tree::{Mult, Nid, TreeTypeBuilder};
+    use iixml_values::{Cond, Rat};
+
+    fn catalog_setup() -> (Alphabet, TreeType, DataTree) {
+        let mut alpha = Alphabet::new();
+        let ty = TreeTypeBuilder::new(&mut alpha)
+            .root("catalog")
+            .rule("catalog", &[("product", Mult::Plus)])
+            .rule(
+                "product",
+                &[
+                    ("name", Mult::One),
+                    ("price", Mult::One),
+                    ("cat", Mult::One),
+                    ("picture", Mult::Star),
+                ],
+            )
+            .rule("cat", &[("subcat", Mult::One)])
+            .build()
+            .unwrap();
+        let mut t = DataTree::new(Nid(0), alpha.get("catalog").unwrap(), Rat::ZERO);
+        let mut next = 1u64;
+        let mut add = |t: &mut DataTree, nm: i64, pr: i64, sub: i64, pics: &[i64]| {
+            let root = t.root();
+            let p = t
+                .add_child(root, Nid(next), alpha.get("product").unwrap(), Rat::ZERO)
+                .unwrap();
+            next += 1;
+            t.add_child(p, Nid(next), alpha.get("name").unwrap(), Rat::from(nm))
+                .unwrap();
+            next += 1;
+            t.add_child(p, Nid(next), alpha.get("price").unwrap(), Rat::from(pr))
+                .unwrap();
+            next += 1;
+            let c = t
+                .add_child(p, Nid(next), alpha.get("cat").unwrap(), Rat::from(1))
+                .unwrap();
+            next += 1;
+            t.add_child(c, Nid(next), alpha.get("subcat").unwrap(), Rat::from(sub))
+                .unwrap();
+            next += 1;
+            for &v in pics {
+                t.add_child(p, Nid(next), alpha.get("picture").unwrap(), Rat::from(v))
+                    .unwrap();
+                next += 1;
+            }
+        };
+        add(&mut t, 100, 120, 10, &[501]);
+        add(&mut t, 101, 199, 10, &[]);
+        add(&mut t, 102, 175, 11, &[]);
+        add(&mut t, 103, 250, 10, &[502]);
+        (alpha, ty, t)
+    }
+
+    fn query1(alpha: &mut Alphabet) -> PsQuery {
+        let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+        let root = b.root();
+        let p = b.child(root, "product", Cond::True).unwrap();
+        b.child(p, "name", Cond::True).unwrap();
+        b.child(p, "price", Cond::lt(Rat::from(200))).unwrap();
+        let c = b.child(p, "cat", Cond::eq(Rat::from(1))).unwrap();
+        b.child(c, "subcat", Cond::True).unwrap();
+        b.build()
+    }
+
+    fn query3(alpha: &mut Alphabet) -> PsQuery {
+        // Cheap cameras with at least one picture.
+        let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+        let root = b.root();
+        let p = b.child(root, "product", Cond::True).unwrap();
+        b.child(p, "name", Cond::True).unwrap();
+        b.child(p, "price", Cond::lt(Rat::from(150))).unwrap();
+        let c = b.child(p, "cat", Cond::eq(Rat::from(1))).unwrap();
+        b.child(c, "subcat", Cond::eq(Rat::from(10))).unwrap();
+        b.child(p, "picture", Cond::True).unwrap();
+        b.build()
+    }
+
+    fn query4(alpha: &mut Alphabet) -> PsQuery {
+        let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+        let root = b.root();
+        let p = b.child(root, "product", Cond::True).unwrap();
+        b.child(p, "name", Cond::True).unwrap();
+        let c = b.child(p, "cat", Cond::eq(Rat::from(1))).unwrap();
+        b.child(c, "subcat", Cond::eq(Rat::from(10))).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn example_3_4_scenario() {
+        // The paper's "More catalog queries" example: after Query 1 (and
+        // its sub-200 products), Query 3 (cheap cameras with pictures)
+        // needs picture info not fetched by Query 1, so it is not yet
+        // answerable; after also asking a picture-fetching query it is.
+        let (mut alpha, ty, doc) = catalog_setup();
+        let q1 = query1(&mut alpha);
+        let q3 = query3(&mut alpha);
+        let q4 = query4(&mut alpha);
+        let mut session = Session::open(alpha.clone(), Source::new(doc, Some(ty)));
+
+        session.fetch(&q1).unwrap();
+        // Query 4 (all cameras) is NOT fully answerable: expensive
+        // cameras are unknown.
+        let a4 = session.answer_locally(&q4);
+        assert!(!a4.is_complete());
+        match a4 {
+            LocalAnswer::Partial(p) => {
+                // But a partial answer exists: possible answers are
+                // described, and the sure part contains the two known
+                // cheap cameras.
+                assert!(p.possible_nonempty());
+            }
+            _ => unreachable!(),
+        }
+        // Query 3 involves pictures, which q1 did not fetch: partial.
+        let a3 = session.answer_locally(&q3);
+        assert!(!a3.is_complete());
+        // Mediation answers q3 exactly.
+        let exact = session.answer_with_mediation(&q3).unwrap();
+        let expected = q3.eval(session.source().document()).tree;
+        match (exact, expected) {
+            (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+            (a, b) => assert_eq!(a.is_none(), b.is_none()),
+        }
+        // After mediation, q3 is locally answerable.
+        assert!(session.answer_locally(&q3).is_complete());
+    }
+
+    #[test]
+    fn repeat_query_needs_no_fetch() {
+        let (mut alpha, ty, doc) = catalog_setup();
+        let q1 = query1(&mut alpha);
+        let mut session = Session::open(alpha.clone(), Source::new(doc, Some(ty)));
+        session.fetch(&q1).unwrap();
+        let before = session.source().queries_served;
+        let a = session.answer_locally(&q1);
+        assert!(a.is_complete());
+        assert_eq!(session.source().queries_served, before);
+        match a {
+            LocalAnswer::Complete(Some(t)) => {
+                assert!(t.same_tree(q1.eval(session.source().document()).tree.as_ref().unwrap()));
+            }
+            _ => panic!("expected a complete nonempty answer"),
+        }
+    }
+
+    #[test]
+    fn source_update_reinitializes() {
+        let (mut alpha, ty, doc) = catalog_setup();
+        let q1 = query1(&mut alpha);
+        let mut session = Session::open(alpha.clone(), Source::new(doc, Some(ty.clone())));
+        session.fetch(&q1).unwrap();
+        assert!(session.data_tree().is_some());
+        // New document: one product only.
+        let mut doc2 = DataTree::new(Nid(100), alpha.get("catalog").unwrap(), Rat::ZERO);
+        let p = doc2
+            .add_child(doc2.root(), Nid(101), alpha.get("product").unwrap(), Rat::ZERO)
+            .unwrap();
+        doc2.add_child(p, Nid(102), alpha.get("name").unwrap(), Rat::from(1))
+            .unwrap();
+        doc2.add_child(p, Nid(103), alpha.get("price").unwrap(), Rat::from(10))
+            .unwrap();
+        let c = doc2
+            .add_child(p, Nid(104), alpha.get("cat").unwrap(), Rat::from(1))
+            .unwrap();
+        doc2.add_child(c, Nid(105), alpha.get("subcat").unwrap(), Rat::from(3))
+            .unwrap();
+        session.source_updated(doc2);
+        assert!(session.data_tree().is_none(), "knowledge reset");
+        // Old answers are forgotten; fetching again works on the new doc.
+        let a = session.fetch(&q1).unwrap();
+        assert_eq!(a.len(), 6); // catalog + product + name,price,cat,subcat
+    }
+
+    #[test]
+    fn auxiliary_fetching_controls_size_on_adversarial_streams() {
+        // Example 3.2's stream against a live source: plain fetching
+        // doubles the knowledge per query; auxiliary-aided fetching
+        // stays flat (Proposition 3.13).
+        let mut alpha = Alphabet::new();
+        let r = alpha.intern("root");
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut doc = DataTree::new(Nid(0), r, Rat::ZERO);
+        doc.add_child(doc.root(), Nid(1), a, Rat::from(100)).unwrap();
+        doc.add_child(doc.root(), Nid(2), b, Rat::from(200)).unwrap();
+        let make_query = |alpha: &mut Alphabet, i: i64| {
+            let mut bld = PsQueryBuilder::new(alpha, "root", Cond::True);
+            let root = bld.root();
+            bld.child(root, "a", Cond::eq(Rat::from(i))).unwrap();
+            bld.child(root, "b", Cond::eq(Rat::from(i))).unwrap();
+            bld.build()
+        };
+        let mut plain = Session::open(alpha.clone(), Source::new(doc.clone(), None));
+        let mut aided = Session::open(alpha.clone(), Source::new(doc.clone(), None));
+        for i in 1..=6 {
+            let q = make_query(&mut alpha, i);
+            plain.fetch(&q).unwrap();
+            aided.fetch_with_auxiliaries(&q).unwrap();
+        }
+        assert!(
+            aided.knowledge().size() * 4 < plain.knowledge().size(),
+            "aided {} vs plain {}",
+            aided.knowledge().size(),
+            plain.knowledge().size()
+        );
+        // Both still track the source.
+        assert!(plain.knowledge().contains(&doc));
+        assert!(aided.knowledge().contains(&doc));
+    }
+
+    #[test]
+    fn conjunctive_session_stays_linear_under_adversarial_streams() {
+        // Build the Example 3.2 adversarial query stream against a real
+        // source; the conjunctive session's size must grow by a constant
+        // per query while still tracking the source exactly.
+        let mut alpha = Alphabet::new();
+        let r = alpha.intern("root");
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut doc = DataTree::new(Nid(0), r, Rat::ZERO);
+        doc.add_child(doc.root(), Nid(1), a, Rat::from(100)).unwrap();
+        doc.add_child(doc.root(), Nid(2), b, Rat::from(200)).unwrap();
+        let mut session = ConjunctiveSession::open(alpha.clone(), Source::new(doc.clone(), None));
+        let mut sizes = Vec::new();
+        for i in 1..=10i64 {
+            let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = bld.root();
+            bld.child(root, "a", Cond::eq(Rat::from(i))).unwrap();
+            bld.child(root, "b", Cond::eq(Rat::from(i))).unwrap();
+            let q = bld.build();
+            session.fetch(&q).unwrap();
+            sizes.push(session.size());
+        }
+        let d = sizes[1] - sizes[0];
+        for w in sizes.windows(2) {
+            assert_eq!(w[1] - w[0], d, "linear growth: {sizes:?}");
+        }
+        // Membership still exact.
+        assert!(session.could_be(&doc));
+        let mut other = doc.clone();
+        let aref = other.by_nid(Nid(1)).unwrap();
+        other.set_value(aref, Rat::from(3));
+        // Value 3 on node 1 contradicts the (pinned-by-nothing)…
+        // actually node 1 is never pinned (all answers empty), but a=3
+        // with b… query 3 asked a=3 AND b=3: doc has b=200 ≠ 3, so the
+        // answer is still empty — consistent!
+        assert!(session.could_be(&other));
+        let mut excluded = doc.clone();
+        let aref = excluded.by_nid(Nid(1)).unwrap();
+        let bref = excluded.by_nid(Nid(2)).unwrap();
+        excluded.set_value(aref, Rat::from(3));
+        excluded.set_value(bref, Rat::from(3));
+        assert!(!session.could_be(&excluded), "q3 would have answered");
+    }
+
+    #[test]
+    fn webhouse_manages_sessions() {
+        let (alpha, ty, doc) = catalog_setup();
+        let mut wh = Webhouse::new();
+        wh.register("shop", alpha.clone(), Source::new(doc.clone(), Some(ty.clone())));
+        wh.register("mirror", alpha.clone(), Source::new(doc, Some(ty)));
+        assert_eq!(wh.sessions().count(), 2);
+        let mut a2 = alpha.clone();
+        let q1 = query1(&mut a2);
+        wh.session("shop").unwrap().fetch(&q1).unwrap();
+        assert!(wh.session("shop").unwrap().data_tree().is_some());
+        assert!(wh.session("mirror").unwrap().data_tree().is_none());
+        assert!(wh.session("nope").is_none());
+    }
+
+    #[test]
+    fn declared_type_strengthens_answers() {
+        // With the DTD folded in, the webhouse knows every product has
+        // exactly one price — so after q1, the *certain* part of a price
+        // query on a known product is stronger than without the type.
+        let (mut alpha, ty, doc) = catalog_setup();
+        let q1 = query1(&mut alpha);
+        let mut with_ty = Session::open(alpha.clone(), Source::new(doc.clone(), Some(ty)));
+        let mut without_ty = Session::open(alpha.clone(), Source::new(doc, None));
+        with_ty.fetch(&q1).unwrap();
+        without_ty.fetch(&q1).unwrap();
+        // Query: all products and their names (no price filter).
+        let q_names = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "catalog", Cond::True);
+            let root = b.root();
+            let p = b.child(root, "product", Cond::True).unwrap();
+            b.child(p, "name", Cond::True).unwrap();
+            b.build()
+        };
+        let at = with_ty.knowledge().query(&q_names);
+        let an = without_ty.knowledge().query(&q_names);
+        // With the type: every product certainly has a name, so the
+        // answer is certainly nonempty (the known products are there).
+        assert!(at.certain_nonempty());
+        // Both agree it's possibly nonempty.
+        assert!(an.possible_nonempty());
+    }
+}

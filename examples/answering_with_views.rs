@@ -1,0 +1,80 @@
+//! Answering queries using views (Remark 3.16 / Corollary 3.15): given a
+//! set of materialized ps-query answers (the "views"), decide which new
+//! queries can be answered without touching the source — and answer
+//! them.
+//!
+//! Run with `cargo run --example answering_with_views`.
+
+use iixml_core::Refiner;
+use iixml_gen::{catalog, codes};
+use iixml_query::{PsQuery, PsQueryBuilder};
+use iixml_tree::Alphabet;
+use iixml_values::{Cond, Rat};
+
+fn price_query(alpha: &mut Alphabet, lo: Option<i64>, hi: i64) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    let cond = match lo {
+        Some(lo) => Cond::ge(Rat::from(lo)).and(Cond::lt(Rat::from(hi))),
+        None => Cond::lt(Rat::from(hi)),
+    };
+    b.child(p, "price", cond).unwrap();
+    let c = b.child(p, "cat", Cond::True).unwrap();
+    b.child(c, "subcat", Cond::True).unwrap();
+    b.build()
+}
+
+fn main() {
+    let mut c = catalog(40, 77);
+
+    // The views: two price bands covering [0, 250).
+    let v1 = price_query(&mut c.alpha, None, 120);
+    let v2 = price_query(&mut c.alpha, Some(120), 250);
+    let mut refiner = Refiner::new(&c.alpha);
+    for (name, v) in [("band (-inf,120)", &v1), ("band [120,250)", &v2)] {
+        let a = v.eval(&c.doc);
+        refiner.refine(&c.alpha, v, &a).unwrap();
+        println!("materialized view {name}: {} nodes", a.len());
+    }
+    let knowledge = refiner.current();
+
+    // Candidate queries: which are answerable from the views alone?
+    let candidates: Vec<(String, PsQuery)> = vec![
+        ("price in [50,100)".into(), price_query(&mut c.alpha, Some(50), 100)),
+        ("price in [100,200)".into(), price_query(&mut c.alpha, Some(100), 200)),
+        ("price in [200,300)".into(), price_query(&mut c.alpha, Some(200), 300)),
+        ("cameras under 250".into(), {
+            let mut b = PsQueryBuilder::new(&mut c.alpha, "catalog", Cond::True);
+            let root = b.root();
+            let p = b.child(root, "product", Cond::True).unwrap();
+            b.child(p, "name", Cond::True).unwrap();
+            b.child(p, "price", Cond::lt(Rat::from(250))).unwrap();
+            let cc = b.child(p, "cat", Cond::True).unwrap();
+            b.child(cc, "subcat", Cond::eq(Rat::from(codes::CAMERA)))
+                .unwrap();
+            b.build()
+        }),
+    ];
+
+    for (name, q) in &candidates {
+        let described = knowledge.query(q);
+        if described.fully_answerable() {
+            let ans = described.the_answer();
+            let direct = q.eval(&c.doc).tree;
+            let nodes = ans.as_ref().map_or(0, |t| t.len());
+            let agree = match (&ans, &direct) {
+                (Some(a), Some(b)) => a.same_tree(b),
+                (a, b) => a.is_none() == b.is_none(),
+            };
+            println!("{name:<22} ANSWERABLE from views ({nodes} nodes, matches source: {agree})");
+            assert!(agree);
+        } else {
+            println!(
+                "{name:<22} not answerable (possible-nonempty: {})",
+                described.possible_nonempty()
+            );
+        }
+    }
+}

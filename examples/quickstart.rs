@@ -1,0 +1,117 @@
+//! Quickstart: build the paper's catalog, ask Query 1, keep the
+//! incomplete tree, and answer a follow-up query without touching the
+//! source.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use iixml::prelude::*;
+
+fn main() {
+    // 1. The catalog tree type of Figure 1.
+    let mut alpha = Alphabet::new();
+    let ty = TreeTypeBuilder::new(&mut alpha)
+        .root("catalog")
+        .rule("catalog", &[("product", Mult::Plus)])
+        .rule(
+            "product",
+            &[
+                ("name", Mult::One),
+                ("price", Mult::One),
+                ("cat", Mult::One),
+                ("picture", Mult::Star),
+            ],
+        )
+        .rule("cat", &[("subcat", Mult::One)])
+        .build()
+        .expect("well-formed type");
+
+    // 2. A source document (normally a remote XML document; here built
+    //    in memory — cat 1 = electronics, subcat 10 = camera).
+    let mut gen = iixml_tree::NidGen::new();
+    let mut doc = DataTree::new(gen.fresh(), alpha.get("catalog").unwrap(), Rat::ZERO);
+    for (name, price, subcat, pictures) in
+        [(100, 120, 10, 1usize), (101, 199, 10, 0), (102, 250, 10, 1)]
+    {
+        let root = doc.root();
+        let p = doc
+            .add_child(root, gen.fresh(), alpha.get("product").unwrap(), Rat::ZERO)
+            .unwrap();
+        doc.add_child(p, gen.fresh(), alpha.get("name").unwrap(), Rat::from(name))
+            .unwrap();
+        doc.add_child(p, gen.fresh(), alpha.get("price").unwrap(), Rat::from(price))
+            .unwrap();
+        let c = doc
+            .add_child(p, gen.fresh(), alpha.get("cat").unwrap(), Rat::ONE)
+            .unwrap();
+        doc.add_child(c, gen.fresh(), alpha.get("subcat").unwrap(), Rat::from(subcat))
+            .unwrap();
+        for k in 0..pictures {
+            doc.add_child(
+                p,
+                gen.fresh(),
+                alpha.get("picture").unwrap(),
+                Rat::from(500 + k as i64),
+            )
+            .unwrap();
+        }
+    }
+    println!("== source document ==\n{}", doc.display(&alpha));
+
+    // 3. Query 1: electronics under $200.
+    let mut b = PsQueryBuilder::new(&mut alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    b.child(p, "price", Cond::lt(Rat::from(200))).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::ONE)).unwrap();
+    b.child(c, "subcat", Cond::True).unwrap();
+    let q1 = b.build();
+    println!("== Query 1 ==\n{}", q1.display(&alpha));
+
+    let a1 = q1.eval(&doc);
+    println!(
+        "== answer ({} nodes) ==\n{}",
+        a1.len(),
+        a1.tree.as_ref().unwrap().display(&alpha)
+    );
+
+    // 4. Algorithm Refine accumulates the incomplete tree; fold in the
+    //    DTD for extra knowledge (Theorem 3.5).
+    let mut refiner = Refiner::new(&alpha);
+    refiner.refine(&alpha, &q1, &a1).expect("consistent");
+    let knowledge =
+        iixml_core::type_intersect::restrict_to_type(refiner.current(), &ty);
+    println!(
+        "== incomplete tree: {} data nodes, {} specialized types ==",
+        knowledge.nodes().len(),
+        knowledge.ty().sym_count()
+    );
+    println!("{}", knowledge.ty().display(&alpha));
+
+    // 5. Ask a follow-up: "cheap cameras" — answerable from the local
+    //    incomplete tree alone (Corollary 3.15).
+    let mut b = PsQueryBuilder::new(&mut alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    b.child(p, "price", Cond::lt(Rat::from(150))).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::ONE)).unwrap();
+    b.child(c, "subcat", Cond::eq(Rat::from(10))).unwrap();
+    let q_cheap = b.build();
+
+    let described = knowledge.query(&q_cheap);
+    println!(
+        "cheap-camera query: fully answerable from local info? {}",
+        described.fully_answerable()
+    );
+    if let Some(ans) = described.the_answer() {
+        println!("the answer (no source contact):\n{}", ans.display(&alpha));
+    }
+
+    // 6. The incomplete tree is itself an XML document (as the paper
+    //    advertises): browse or persist it.
+    println!(
+        "== the knowledge as an XML document ==\n{}",
+        iixml_core::io::write_incomplete_xml(&knowledge, &alpha)
+    );
+}

@@ -1,0 +1,54 @@
+//! The Theorem 3.6 reduction in action: a 3-CNF formula becomes a tree
+//! type plus a sequence of ps-query-answer pairs, and satisfiability
+//! becomes a possible-prefix question. The accumulated knowledge is kept
+//! conjunctively (Theorem 3.8), so it stays linear in the formula while
+//! the question itself is NP-hard.
+//!
+//! Run with `cargo run --example sat_hardness`.
+
+use iixml_extensions::sat::{encode, Cnf};
+
+fn main() {
+    let formulas = [
+        (
+            "(x1 v x2 v x3) & (~x1 v x2 v ~x3) & (~x2 v x3 v x3)",
+            Cnf {
+                num_vars: 3,
+                clauses: vec![[1, 2, 3], [-1, 2, -3], [-2, 3, 3]],
+            },
+        ),
+        (
+            "(x1) & (~x1)  [padded to 3 literals]",
+            Cnf {
+                num_vars: 1,
+                clauses: vec![[1, 1, 1], [-1, -1, -1]],
+            },
+        ),
+        (
+            "xor chain: (x1 v x2) & (~x1 v ~x2)",
+            Cnf {
+                num_vars: 2,
+                clauses: vec![[1, 2, 2], [-1, -2, -2]],
+            },
+        ),
+    ];
+
+    for (text, cnf) in formulas {
+        let enc = encode(&cnf);
+        let possible = enc.possible_prefix_val1();
+        let brute = cnf.brute_force_sat();
+        println!("formula: {text}");
+        println!(
+            "  encoding: {} query-answer pairs, conjunctive knowledge size {}",
+            enc.num_queries,
+            enc.knowledge_size()
+        );
+        println!(
+            "  `root—val(=1)` possible prefix? {possible}   (brute-force SAT: {brute})"
+        );
+        assert_eq!(possible, brute);
+        println!();
+    }
+    println!("The possible-prefix question decided 3-SAT in every case —");
+    println!("exactly the NP-hardness mechanism of Theorem 3.6.");
+}

@@ -1,0 +1,102 @@
+//! The full Webhouse scenario of the paper on a generated catalog:
+//! successive queries enrich the incomplete tree; new queries are
+//! answered locally when possible, and otherwise completed by the
+//! mediator with non-redundant local queries (Example 3.4 at scale).
+//!
+//! Run with `cargo run --example webhouse_catalog`.
+
+use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below};
+use iixml_oracle::log2_sized_worlds;
+use iixml_webhouse::{LocalAnswer, Session, Source};
+
+/// An uncertainty meter: the log2 of the number of possible-world
+/// derivations with at most 200 nodes and integer values in 0..=10000
+/// still compatible with the knowledge. More knowledge, fewer bits.
+fn uncertainty_bits(session: &Session) -> f64 {
+    log2_sized_worlds(session.knowledge(), 0, 10_000, 200)
+}
+
+fn main() {
+    let mut c = catalog(25, 2024);
+    println!(
+        "source: {} products, {} nodes, type:\n{}",
+        c.doc.children(c.doc.root()).len(),
+        c.doc.len(),
+        c.ty.display(&c.alpha)
+    );
+
+    let mut session = Session::open(
+        c.alpha.clone(),
+        Source::new(c.doc.clone(), Some(c.ty.clone())),
+    );
+
+    // Phase 1: the webhouse crawls with two price sweeps.
+    let q_cheap = catalog_query_price_below(&mut c.alpha, 150);
+    let q_mid = catalog_query_price_below(&mut c.alpha, 300);
+    println!(
+        "initial uncertainty: ~2^{:.0} bounded possible worlds",
+        uncertainty_bits(&session)
+    );
+    for (name, q) in [("price<150", &q_cheap), ("price<300", &q_mid)] {
+        let a = session.fetch(q).expect("consistent source");
+        println!(
+            "fetched {name}: {} nodes; knowledge size now {}; uncertainty ~2^{:.0}",
+            a.len(),
+            session.knowledge().size(),
+            uncertainty_bits(&session)
+        );
+    }
+
+    // Phase 2: user queries answered as best possible.
+    let q_cheaper = catalog_query_price_below(&mut c.alpha, 100);
+    match session.answer_locally(&q_cheaper) {
+        LocalAnswer::Complete(ans) => println!(
+            "price<100 answered LOCALLY with {} nodes (subsumed by the price<150 view)",
+            ans.map_or(0, |t| t.len())
+        ),
+        LocalAnswer::Partial(_) => println!("price<100 only partially answerable"),
+    }
+
+    let q_cam = catalog_query_camera_pictures(&mut c.alpha);
+    match session.answer_locally(&q_cam) {
+        LocalAnswer::Complete(_) => println!("camera query answered locally"),
+        LocalAnswer::Partial(p) => {
+            println!(
+                "camera query NOT fully answerable: possible-nonempty={}, certain-nonempty={}",
+                p.possible_nonempty(),
+                p.certain_nonempty()
+            );
+            // The sure modality: the part of the answer that holds in
+            // every possible world.
+            match p.sure_answer() {
+                Some(sure) => println!(
+                    "  sure part: {} nodes hold in every possible answer",
+                    sure.len()
+                ),
+                None => println!("  no sure part (the empty answer is possible)"),
+            }
+        }
+    }
+
+    // Phase 3: mediation — fetch exactly the missing pieces.
+    let before = session.source().nodes_shipped;
+    let ans = session
+        .answer_with_mediation(&q_cam)
+        .expect("mediation succeeds");
+    println!(
+        "mediated camera answer: {} nodes; mediation shipped {} nodes ({} local queries)",
+        ans.as_ref().map_or(0, |t| t.len()),
+        session.source().nodes_shipped - before,
+        session.mediator_queries,
+    );
+
+    // Phase 4: the same query is now free.
+    let served = session.source().queries_served;
+    assert!(session.answer_locally(&q_cam).is_complete());
+    assert_eq!(session.source().queries_served, served);
+    println!(
+        "camera query now answered locally; stats: {} local answers, {} source queries total",
+        session.answered_locally,
+        session.source().queries_served
+    );
+}

@@ -1,0 +1,164 @@
+//! `iixml` — a small command-line explorer for the library.
+//!
+//! ```text
+//! iixml eval <doc.xml> <query>        evaluate a ps-query on a document
+//! iixml demo                          generate a demo catalog to stdout
+//! iixml session <doc.xml>             interactive incomplete-information session
+//! ```
+//!
+//! Documents use the XML-ish syntax of `iixml_tree::xmlio` (elements with
+//! `nid`/`val` attributes — see `iixml demo`); queries use the text
+//! syntax of `iixml_query::parse`, e.g.
+//! `catalog/product{name, price[< 200], cat[= 1]/subcat}`.
+//!
+//! Session commands:
+//!
+//! ```text
+//! fetch <query>     ask the source, refine local knowledge
+//! ask <query>       answer from local knowledge only
+//! mediate <query>   answer exactly, fetching only missing pieces
+//! show              print the incomplete tree as XML
+//! td                print the known data tree
+//! stats             session statistics
+//! quit
+//! ```
+
+use iixml_core::io::write_incomplete_xml;
+use iixml_query::parse::parse_ps_query;
+use iixml_tree::xmlio::{parse_tree, write_tree};
+use iixml_tree::{Alphabet, DataTree};
+use iixml_webhouse::{LocalAnswer, Session, Source};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("eval") if args.len() == 4 => cmd_eval(&args[2], &args[3]),
+        Some("demo") => cmd_demo(),
+        Some("session") if args.len() == 3 => cmd_session(&args[2]),
+        _ => {
+            eprintln!(
+                "usage:\n  iixml eval <doc.xml> <query>\n  iixml demo\n  iixml session <doc.xml>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn load_doc(path: &str, alpha: &mut Alphabet) -> Result<DataTree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_tree(&text, alpha).map_err(|e| e.to_string())
+}
+
+fn cmd_eval(path: &str, query: &str) -> Result<(), String> {
+    let mut alpha = Alphabet::new();
+    let doc = load_doc(path, &mut alpha)?;
+    let q = parse_ps_query(query, &mut alpha).map_err(|e| e.to_string())?;
+    match q.eval(&doc).tree {
+        None => println!("(empty answer)"),
+        Some(t) => print!("{}", write_tree(&t, &alpha)),
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let c = iixml_gen::catalog(5, 42);
+    print!("{}", write_tree(&c.doc, &c.alpha));
+    eprintln!("# try: iixml eval demo.xml 'catalog/product{{name, price[< 250], cat[= 1]/subcat}}'");
+    Ok(())
+}
+
+fn cmd_session(path: &str) -> Result<(), String> {
+    let mut alpha = Alphabet::new();
+    let doc = load_doc(path, &mut alpha)?;
+    let mut session = Session::open(alpha.clone(), Source::new(doc, None));
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    eprintln!("session open; commands: fetch/ask/mediate <query>, show, td, stats, quit");
+    loop {
+        eprint!("> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Ok(());
+        }
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "quit" | "exit" => return Ok(()),
+            "show" => {
+                let _ = write!(out, "{}", write_incomplete_xml(session.knowledge(), &alpha));
+            }
+            "td" => match session.data_tree() {
+                Some(td) => {
+                    let _ = write!(out, "{}", write_tree(&td, &alpha));
+                }
+                None => println!("(no data nodes yet)"),
+            },
+            "stats" => {
+                println!(
+                    "knowledge size: {}; answered locally: {}; source queries: {}; nodes shipped: {}",
+                    session.knowledge().size(),
+                    session.answered_locally,
+                    session.source().queries_served,
+                    session.source().nodes_shipped
+                );
+            }
+            "fetch" | "ask" | "mediate" => {
+                let mut a2 = alpha.clone();
+                let q = match parse_ps_query(rest, &mut a2) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        println!("bad query: {e}");
+                        continue;
+                    }
+                };
+                if a2.len() != alpha.len() {
+                    // New labels can never match the document; accept but
+                    // extend the session alphabet for consistent display.
+                    alpha = a2.clone();
+                }
+                match cmd {
+                    "fetch" => match session.fetch(&q) {
+                        Ok(ans) => match ans.tree {
+                            Some(t) => {
+                                let _ = write!(out, "{}", write_tree(&t, &alpha));
+                            }
+                            None => println!("(empty answer)"),
+                        },
+                        Err(e) => println!("refine failed: {e}"),
+                    },
+                    "ask" => match session.answer_locally(&q) {
+                        LocalAnswer::Complete(Some(t)) => {
+                            println!("# fully answerable from local knowledge:");
+                            let _ = write!(out, "{}", write_tree(&t, &alpha));
+                        }
+                        LocalAnswer::Complete(None) => {
+                            println!("# fully answerable: the answer is certainly empty")
+                        }
+                        LocalAnswer::Partial(p) => {
+                            println!(
+                                "# not fully answerable (possible nonempty: {}, certain nonempty: {})",
+                                p.possible_nonempty(),
+                                p.certain_nonempty()
+                            );
+                        }
+                    },
+                    _ => match session.answer_with_mediation(&q) {
+                        Ok(Some(t)) => {
+                            let _ = write!(out, "{}", write_tree(&t, &alpha));
+                        }
+                        Ok(None) => println!("(empty answer)"),
+                        Err(e) => println!("mediation failed: {e}"),
+                    },
+                }
+            }
+            other => println!("unknown command: {other}"),
+        }
+    }
+}

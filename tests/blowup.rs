@@ -1,0 +1,187 @@
+//! Example 3.2 and the size landscape of Section 3.2:
+//!
+//! * Algorithm Refine's incomplete tree grows **exponentially** on the
+//!   adversarial family `root{a=i, b=i}` with empty answers;
+//! * conjunctive trees (Refine⁺) stay **linear** (Corollary 3.9);
+//! * linear (single-path) queries stay **polynomial** (Lemma 3.12);
+//! * the auxiliary queries of Proposition 3.13 tame the same adversarial
+//!   family;
+//! * the lossy relaxation heuristic shrinks the tree while keeping
+//!   `rep` a superset.
+
+use iixml_core::{ConjunctiveTree, Refiner};
+use iixml_gen::{blowup_queries, linear_queries};
+use iixml_mediator::{auxiliary_queries, relax};
+use iixml_query::Answer;
+use iixml_tree::{Alphabet, DataTree, Nid};
+use iixml_values::Rat;
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_names(["root", "a", "b"])
+}
+
+/// Sizes of the Refine chain on the Example 3.2 family for n = 1..=max.
+fn refine_sizes(max: usize) -> Vec<usize> {
+    let mut alpha = alphabet();
+    let queries = blowup_queries(&mut alpha, max);
+    let mut refiner = Refiner::new(&alpha);
+    queries
+        .iter()
+        .map(|q| {
+            refiner.refine(&alpha, q, &Answer::empty()).unwrap();
+            refiner.current().size()
+        })
+        .collect()
+}
+
+#[test]
+fn refine_blows_up_exponentially() {
+    let sizes = refine_sizes(7);
+    // Successive growth *factors* do not decay: the representation at
+    // least doubles-ish each step after the initial ones.
+    let tail_ratio = sizes[6] as f64 / sizes[4] as f64;
+    assert!(
+        tail_ratio > 3.0,
+        "expected ~4x over two steps, got {tail_ratio} ({sizes:?})"
+    );
+    // Per-step growth factor approaches 2 (the size is Θ(2^n)).
+    let r1 = sizes[5] as f64 / sizes[4] as f64;
+    let r2 = sizes[6] as f64 / sizes[5] as f64;
+    assert!(r1 > 1.8 && r2 > 1.8, "expected doubling: {sizes:?}");
+}
+
+#[test]
+fn conjunctive_trees_stay_linear() {
+    let mut alpha = alphabet();
+    let queries = blowup_queries(&mut alpha, 12);
+    let mut conj = ConjunctiveTree::new(&alpha);
+    let mut sizes = Vec::new();
+    for q in &queries {
+        conj.refine(&alpha, q, &Answer::empty()).unwrap();
+        sizes.push(conj.size());
+    }
+    // Constant per-step growth.
+    let d = sizes[1] - sizes[0];
+    for w in sizes.windows(2) {
+        assert_eq!(w[1] - w[0], d, "{sizes:?}");
+    }
+    assert!(!conj.is_empty());
+}
+
+#[test]
+fn conjunctive_and_refine_agree_semantically() {
+    // On the blowup family (small n), the exponential and the linear
+    // representations describe the same world set.
+    let mut alpha = alphabet();
+    let n = 4;
+    let queries = blowup_queries(&mut alpha, n);
+    let mut refiner = Refiner::new(&alpha);
+    let mut conj = ConjunctiveTree::new(&alpha);
+    for q in &queries {
+        refiner.refine(&alpha, q, &Answer::empty()).unwrap();
+        conj.refine(&alpha, q, &Answer::empty()).unwrap();
+    }
+    let (root, a, b) = (
+        alpha.get("root").unwrap(),
+        alpha.get("a").unwrap(),
+        alpha.get("b").unwrap(),
+    );
+    for av in 0..=n as i64 + 1 {
+        for bv in 0..=n as i64 + 1 {
+            let mut t = DataTree::new(Nid(0), root, Rat::ZERO);
+            t.add_child(t.root(), Nid(1), a, Rat::from(av)).unwrap();
+            t.add_child(t.root(), Nid(2), b, Rat::from(bv)).unwrap();
+            assert_eq!(
+                refiner.current().contains(&t),
+                conj.contains(&t),
+                "disagreement at a={av} b={bv}"
+            );
+            // Ground truth: excluded iff some query would answer
+            // nonempty, i.e. av == bv <= n.
+            let excluded = av == bv && av >= 1 && av <= n as i64;
+            assert_eq!(conj.contains(&t), !excluded);
+        }
+    }
+}
+
+#[test]
+fn linear_queries_stay_polynomial() {
+    let mut alpha = alphabet();
+    let queries = linear_queries(&mut alpha, 12);
+    let mut refiner = Refiner::new(&alpha);
+    let mut sizes = Vec::new();
+    for q in &queries {
+        refiner.refine(&alpha, q, &Answer::empty()).unwrap();
+        sizes.push(refiner.current().size());
+    }
+    // Quadratic-ish at worst: growth increments grow at most linearly.
+    let increments: Vec<i64> = sizes.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+    for w in increments.windows(2) {
+        assert!(
+            w[1] - w[0] <= 16,
+            "super-linear increment growth: {sizes:?}"
+        );
+    }
+    assert!(sizes[11] < 3000, "polynomial bound breached: {sizes:?}");
+}
+
+#[test]
+fn auxiliary_queries_tame_the_blowup() {
+    // Proposition 3.13: asking the path queries (with true conditions)
+    // alongside each adversarial query keeps the tree small — the data
+    // values get pinned as data nodes, eliminating the case analysis.
+    let mut alpha = alphabet();
+    let n = 6;
+    let queries = blowup_queries(&mut alpha, n);
+    // The source world: root with a=100, b=200 (no query ever matches).
+    let (root, a, b) = (
+        alpha.get("root").unwrap(),
+        alpha.get("a").unwrap(),
+        alpha.get("b").unwrap(),
+    );
+    let mut doc = DataTree::new(Nid(0), root, Rat::ZERO);
+    doc.add_child(doc.root(), Nid(1), a, Rat::from(100)).unwrap();
+    doc.add_child(doc.root(), Nid(2), b, Rat::from(200)).unwrap();
+
+    // Plain chain.
+    let mut plain = Refiner::new(&alpha);
+    for q in &queries {
+        plain.refine(&alpha, q, &q.eval(&doc)).unwrap();
+    }
+    // Chain with auxiliary value-fetching queries first.
+    let mut aided = Refiner::new(&alpha);
+    for aux in auxiliary_queries(&queries[0]) {
+        aided.refine(&alpha, &aux, &aux.eval(&doc)).unwrap();
+    }
+    for q in &queries {
+        aided.refine(&alpha, q, &q.eval(&doc)).unwrap();
+    }
+    assert!(
+        aided.current().size() < plain.current().size(),
+        "auxiliary queries should shrink the tree: {} vs {}",
+        aided.current().size(),
+        plain.current().size()
+    );
+    // Both still represent the source.
+    assert!(plain.current().contains(&doc));
+    assert!(aided.current().contains(&doc));
+}
+
+#[test]
+fn relaxation_bounds_size() {
+    let mut alpha = alphabet();
+    let queries = blowup_queries(&mut alpha, 6);
+    let mut refiner = Refiner::new(&alpha);
+    for q in &queries {
+        refiner.refine(&alpha, q, &Answer::empty()).unwrap();
+    }
+    let big = refiner.current();
+    let target = big.size() / 4;
+    let small = relax(big, target);
+    assert!(small.size() < big.size());
+    // Soundness: a world of the original remains represented.
+    let mut gen = iixml_tree::NidGen::starting_at(1_000);
+    if let Some(w) = big.witness(&mut gen) {
+        assert!(small.contains(&w));
+    }
+}

@@ -1,0 +1,341 @@
+//! Reproduction of the paper's running example: Figures 1–6 (the catalog
+//! tree type, Queries 1–4 and their answers) and the semantic content of
+//! Figures 8–9 (the incomplete trees after Query 1 and Query 2).
+//!
+//! Value coding: `cat` elec = 1 (others ≥ 2); `subcat` camera = 10,
+//! cdplayer = 11; names and pictures are numeric ids.
+
+use iixml::prelude::*;
+use iixml_query::PsQuery;
+
+const ELEC: i64 = 1;
+const CAMERA: i64 = 10;
+const CDPLAYER: i64 = 11;
+
+/// Figure 1: the catalog tree type.
+fn figure1(alpha: &mut Alphabet) -> TreeType {
+    TreeTypeBuilder::new(alpha)
+        .root("catalog")
+        .rule("catalog", &[("product", Mult::Plus)])
+        .rule(
+            "product",
+            &[
+                ("name", Mult::One),
+                ("price", Mult::One),
+                ("cat", Mult::One),
+                ("picture", Mult::Star),
+            ],
+        )
+        .rule("cat", &[("subcat", Mult::One)])
+        .build()
+        .unwrap()
+}
+
+/// The source document behind Figure 6: Canon (120, camera, pic),
+/// Nikon (199, camera, no pic), Sony (175, cdplayer, no pic),
+/// Olympus (250, camera, pic).
+fn source(alpha: &Alphabet) -> DataTree {
+    let mut t = DataTree::new(Nid(0), alpha.get("catalog").unwrap(), Rat::ZERO);
+    let mut next = 1u64;
+    let mut add = |t: &mut DataTree, name: i64, price: i64, sub: i64, pics: &[i64]| -> Nid {
+        let root = t.root();
+        let pid = Nid(next);
+        let p = t
+            .add_child(root, pid, alpha.get("product").unwrap(), Rat::ZERO)
+            .unwrap();
+        next += 1;
+        t.add_child(p, Nid(next), alpha.get("name").unwrap(), Rat::from(name))
+            .unwrap();
+        next += 1;
+        t.add_child(p, Nid(next), alpha.get("price").unwrap(), Rat::from(price))
+            .unwrap();
+        next += 1;
+        let c = t
+            .add_child(p, Nid(next), alpha.get("cat").unwrap(), Rat::from(ELEC))
+            .unwrap();
+        next += 1;
+        t.add_child(c, Nid(next), alpha.get("subcat").unwrap(), Rat::from(sub))
+            .unwrap();
+        next += 1;
+        for &v in pics {
+            t.add_child(p, Nid(next), alpha.get("picture").unwrap(), Rat::from(v))
+                .unwrap();
+            next += 1;
+        }
+        pid
+    };
+    add(&mut t, 100, 120, CAMERA, &[501]); // Canon
+    add(&mut t, 101, 199, CAMERA, &[]); // Nikon
+    add(&mut t, 102, 175, CDPLAYER, &[]); // Sony
+    add(&mut t, 103, 250, CAMERA, &[502]); // Olympus
+    t
+}
+
+/// Figure 2 / Query 1: name, price, subcategory of elec products < 200.
+fn query1(alpha: &mut Alphabet) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    b.child(p, "price", Cond::lt(Rat::from(200))).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::from(ELEC))).unwrap();
+    b.child(c, "subcat", Cond::True).unwrap();
+    b.build()
+}
+
+/// Figure 3 / Query 2: name and picture of cameras with pictures.
+fn query2(alpha: &mut Alphabet) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::from(ELEC))).unwrap();
+    b.child(c, "subcat", Cond::eq(Rat::from(CAMERA))).unwrap();
+    b.child(p, "picture", Cond::True).unwrap();
+    b.build()
+}
+
+/// Figure 4 / Query 3: name, price, pictures of cameras under 100 with
+/// at least one picture.
+fn query3(alpha: &mut Alphabet) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    b.child(p, "price", Cond::lt(Rat::from(100))).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::from(ELEC))).unwrap();
+    b.child(c, "subcat", Cond::eq(Rat::from(CAMERA))).unwrap();
+    b.child(p, "picture", Cond::True).unwrap();
+    b.build()
+}
+
+/// Figure 5 / Query 4: list all cameras.
+fn query4(alpha: &mut Alphabet) -> PsQuery {
+    let mut b = PsQueryBuilder::new(alpha, "catalog", Cond::True);
+    let root = b.root();
+    let p = b.child(root, "product", Cond::True).unwrap();
+    b.child(p, "name", Cond::True).unwrap();
+    let c = b.child(p, "cat", Cond::eq(Rat::from(ELEC))).unwrap();
+    b.child(c, "subcat", Cond::eq(Rat::from(CAMERA))).unwrap();
+    b.build()
+}
+
+#[test]
+fn figure1_type_validates_the_source() {
+    let mut alpha = Alphabet::new();
+    let ty = figure1(&mut alpha);
+    let doc = source(&alpha);
+    assert!(ty.accepts(&doc));
+    let rendered = ty.display(&alpha).to_string();
+    assert!(rendered.contains("catalog -> product+"));
+    assert!(rendered.contains("cat -> subcat"));
+}
+
+#[test]
+fn figure6_answers() {
+    let mut alpha = Alphabet::new();
+    let _ty = figure1(&mut alpha);
+    let doc = source(&alpha);
+    // Query 1 answer: Canon, Nikon, Sony (price < 200, elec) — each
+    // contributing product, name, price, cat, subcat.
+    let a1 = query1(&mut alpha).eval(&doc);
+    assert_eq!(a1.len(), 1 + 3 * 5);
+    // Query 2 answer: Canon and Olympus (cameras with pictures) — each
+    // contributing product, name, cat, subcat, picture.
+    let a2 = query2(&mut alpha).eval(&doc);
+    assert_eq!(a2.len(), 1 + 2 * 5);
+    // Persistent ids: the Canon product node appears in both answers
+    // with the same id (Remark 2.4).
+    let canon = Nid(1);
+    assert!(a1.tree.as_ref().unwrap().by_nid(canon).is_some());
+    assert!(a2.tree.as_ref().unwrap().by_nid(canon).is_some());
+}
+
+/// Figure 8: after Query 1, the incomplete tree knows the three cheap
+/// elec products and classifies the missing ones as product1
+/// (non-elec) or product2 (elec, price ≥ 200).
+#[test]
+fn figure8_incomplete_tree_after_query1() {
+    let mut alpha = Alphabet::new();
+    let ty = figure1(&mut alpha);
+    let doc = source(&alpha);
+    let q1 = query1(&mut alpha);
+    let mut refiner = Refiner::new(&alpha);
+    refiner.refine(&alpha, &q1, &q1.eval(&doc)).unwrap();
+    let known = iixml_core::type_intersect::restrict_to_type(refiner.current(), &ty);
+
+    assert!(known.contains(&doc), "the true source stays represented");
+    // The data tree holds exactly the answer to Query 1.
+    let td = known.data_tree().unwrap();
+    assert_eq!(td.len(), 1 + 3 * 5);
+
+    // Semantic content of the product1/product2 split: adding a
+    // non-elec product is fine...
+    let mut w1 = doc.clone();
+    let root = w1.root();
+    let p = w1
+        .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
+        .unwrap();
+    w1.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
+    w1.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(50)).unwrap();
+    let c = w1
+        .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(3))
+        .unwrap();
+    w1.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(20)).unwrap();
+    assert!(known.contains(&w1), "a non-elec product may be missing");
+
+    // ...adding an expensive elec product is fine...
+    let mut w2 = doc.clone();
+    let root = w2.root();
+    let p = w2
+        .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
+        .unwrap();
+    w2.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
+    w2.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(999)).unwrap();
+    let c = w2
+        .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
+        .unwrap();
+    w2.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
+    assert!(known.contains(&w2), "an expensive elec product may be missing");
+
+    // ...but a cheap elec product would have been in the answer.
+    let mut w3 = doc.clone();
+    let root = w3.root();
+    let p = w3
+        .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
+        .unwrap();
+    w3.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
+    w3.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(99)).unwrap();
+    let c = w3
+        .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
+        .unwrap();
+    w3.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
+    assert!(!known.contains(&w3), "a cheap elec product cannot be missing");
+}
+
+/// Figure 9: after Queries 1 and 2, information is merged per node
+/// (Canon from both queries) and inferred (Nikon, returned by Query 1
+/// but not Query 2, must be a camera *without pictures*).
+#[test]
+fn figure9_incomplete_tree_after_query2() {
+    let mut alpha = Alphabet::new();
+    let ty = figure1(&mut alpha);
+    let doc = source(&alpha);
+    let q1 = query1(&mut alpha);
+    let q2 = query2(&mut alpha);
+    let mut refiner = Refiner::new(&alpha);
+    refiner.refine(&alpha, &q1, &q1.eval(&doc)).unwrap();
+    refiner.refine(&alpha, &q2, &q2.eval(&doc)).unwrap();
+    let known = iixml_core::type_intersect::restrict_to_type(refiner.current(), &ty);
+
+    assert!(known.contains(&doc));
+    // The merged data tree: Query 1's 16 nodes + Olympus (product,
+    // name, cat, subcat, picture = 5) + Canon's picture.
+    let td = known.data_tree().unwrap();
+    assert_eq!(td.len(), 16 + 5 + 1);
+    // Canon (node 1) has both price (from q1) and picture (from q2).
+    let canon = td.by_nid(Nid(1)).unwrap();
+    assert_eq!(td.children(canon).len(), 4);
+
+    // Nikon (p-nikon in Figure 9): returned by Query 1 as a camera, not
+    // by Query 2 => it certainly has no picture. A world giving Nikon a
+    // picture is excluded.
+    let mut w = doc.clone();
+    let nikon = w.by_nid(Nid(7)).unwrap(); // Nikon product node
+    w.add_child(nikon, Nid(950), alpha.get("picture").unwrap(), Rat::from(777))
+        .unwrap();
+    assert!(!known.contains(&w), "Nikon with a picture contradicts q2");
+
+    // Olympus (p2-olympus): known camera with picture, price unknown
+    // but >= 200. A world where Olympus costs 150 is excluded (q1 would
+    // have returned it)...
+    let mut w = source_with_olympus_price(&alpha, 150);
+    assert!(!known.contains(&w));
+    // ...but 250 (the true price) and 300 are both fine.
+    w = source_with_olympus_price(&alpha, 250);
+    assert!(known.contains(&w));
+    w = source_with_olympus_price(&alpha, 300);
+    assert!(known.contains(&w));
+
+    // Missing products (the black nodes of Figure 9): an expensive
+    // camera WITH a picture would have matched Query 2.
+    let mut w = doc.clone();
+    let root = w.root();
+    let p = w
+        .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
+        .unwrap();
+    w.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
+    w.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(500)).unwrap();
+    let c = w
+        .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
+        .unwrap();
+    w.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
+    w.add_child(p, Nid(905), alpha.get("picture").unwrap(), Rat::from(888)).unwrap();
+    assert!(!known.contains(&w), "expensive camera with picture would match q2");
+    // Without the picture it is a legitimate missing product
+    // (product2c in Figure 9).
+    let mut w = doc.clone();
+    let root = w.root();
+    let p = w
+        .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
+        .unwrap();
+    w.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
+    w.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(500)).unwrap();
+    let c = w
+        .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
+        .unwrap();
+    w.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
+    assert!(known.contains(&w), "expensive picture-less camera may be missing");
+}
+
+/// Rebuilds the source with a different Olympus price (used to probe
+/// what Figure 9's p2-olympus type allows).
+fn source_with_olympus_price(alpha: &Alphabet, price: i64) -> DataTree {
+    let mut t = source(alpha);
+    let olympus_price = t.by_nid(Nid(19)).unwrap();
+    assert_eq!(t.label(olympus_price), alpha.get("price").unwrap());
+    t.set_value(olympus_price, Rat::from(price));
+    t
+}
+
+/// Example 3.4: Query 3 is fully answerable after Queries 1 and 2;
+/// Query 4 is not, and the partial answer describes the sure part.
+#[test]
+fn example_3_4_query_answering() {
+    let mut alpha = Alphabet::new();
+    let ty = figure1(&mut alpha);
+    let doc = source(&alpha);
+    let q1 = query1(&mut alpha);
+    let q2 = query2(&mut alpha);
+    let q3 = query3(&mut alpha);
+    let q4 = query4(&mut alpha);
+    let mut refiner = Refiner::new(&alpha);
+    refiner.refine(&alpha, &q1, &q1.eval(&doc)).unwrap();
+    refiner.refine(&alpha, &q2, &q2.eval(&doc)).unwrap();
+    let known = iixml_core::type_intersect::restrict_to_type(refiner.current(), &ty);
+
+    // "Clearly, we can answer this query fully using just the
+    // information available locally."
+    let ans3 = known.query(&q3);
+    assert!(ans3.fully_answerable(), "Query 3 answerable from local info");
+    // The locally computed answer equals the source's.
+    let local = ans3.the_answer();
+    let direct = q3.eval(&doc).tree;
+    match (local, direct) {
+        (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+        (a, b) => assert_eq!(a.is_none(), b.is_none()),
+    }
+
+    // "While we are not able to provide the complete answer [to Query
+    // 4]": expensive picture-less cameras may exist.
+    let ans4 = known.query(&q4);
+    assert!(!ans4.fully_answerable());
+    assert!(ans4.certain_nonempty(), "the known cameras are sure");
+
+    // The sure part contains Canon and Nikon (cheap cameras) and
+    // Olympus (camera with picture).
+    let mut sure = DataTree::new(Nid(0), alpha.get("catalog").unwrap(), Rat::ZERO);
+    let root = sure.root();
+    sure.add_child(root, Nid(1), alpha.get("product").unwrap(), Rat::ZERO).unwrap();
+    assert!(ans4.certain_answer_prefix(&sure), "Canon surely answers Query 4");
+}

@@ -1,0 +1,77 @@
+//! Property tests for conjunctive incomplete trees (Theorem 3.8):
+//! Refine⁺'s membership must coincide with Algorithm Refine's on shared
+//! workloads (both compute `{T | qᵢ(T) = Aᵢ ∀i}`), and with the
+//! definition directly.
+
+use iixml_core::{ConjunctiveTree, Refiner};
+use iixml_gen::{catalog, library, random_queries};
+use iixml_oracle::mutations;
+use proptest::prelude::*;
+
+fn check_agreement(
+    c: &iixml_gen::Catalog,
+    queries: &[iixml_query::PsQuery],
+) -> Result<(), TestCaseError> {
+    let mut refiner = Refiner::new(&c.alpha);
+    let mut conj = ConjunctiveTree::new(&c.alpha);
+    let answers: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let a = q.eval(&c.doc);
+            refiner.refine(&c.alpha, q, &a).unwrap();
+            conj.refine(&c.alpha, q, &a).unwrap();
+            a
+        })
+        .collect();
+    let labels: Vec<_> = c.alpha.labels().collect();
+    let mut probes = mutations(&c.doc, &labels);
+    probes.push(c.doc.clone());
+    probes.truncate(40);
+    for p in &probes {
+        let by_definition = queries.iter().zip(&answers).all(|(q, a)| {
+            match (q.eval(p).tree, &a.tree) {
+                (None, None) => true,
+                (Some(x), Some(y)) => x.same_tree(y),
+                _ => false,
+            }
+        });
+        prop_assert_eq!(
+            conj.contains(p),
+            by_definition,
+            "conjunctive membership diverges from the definition"
+        );
+        prop_assert_eq!(
+            refiner.current().contains(p),
+            conj.contains(p),
+            "Refine and Refine+ disagree"
+        );
+    }
+    // The expanded product agrees too (on a few probes — expansion can
+    // be large).
+    let expanded = conj.to_incomplete_tree().unwrap();
+    for p in probes.iter().take(8) {
+        prop_assert_eq!(expanded.contains(p), conj.contains(p));
+    }
+    prop_assert!(!conj.is_empty(), "the true source witnesses nonemptiness");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn conjunctive_matches_refine_on_catalogs(seed in 0u64..400, nq in 1usize..4) {
+        let c = catalog(3, seed);
+        let root = c.alpha.get("catalog").unwrap();
+        let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0xC0);
+        check_agreement(&c, &queries)?;
+    }
+
+    #[test]
+    fn conjunctive_matches_refine_on_libraries(seed in 0u64..400, nq in 1usize..3) {
+        let l = library(3, seed);
+        let root = l.alpha.get("library").unwrap();
+        let queries = random_queries(&l.alpha, &l.ty, root, nq, 3000, seed ^ 0xC1);
+        check_agreement(&l, &queries)?;
+    }
+}

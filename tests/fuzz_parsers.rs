@@ -1,0 +1,114 @@
+//! Robustness fuzzing of every text parser: arbitrary input must yield
+//! `Ok` or `Err`, never a panic — and everything that parses must
+//! re-serialize and re-parse to the same thing.
+
+use iixml_core::io::{parse_incomplete_xml, write_incomplete_xml};
+use iixml_query::parse::parse_ps_query;
+use iixml_tree::xmlio::{parse_tree, write_tree};
+use iixml_tree::Alphabet;
+use iixml_values::parse::parse_cond;
+use iixml_values::Rat;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn cond_parser_never_panics(s in "\\PC{0,40}") {
+        let _ = parse_cond(&s);
+    }
+
+    #[test]
+    fn rat_parser_never_panics(s in "\\PC{0,20}") {
+        let _ = s.parse::<Rat>();
+    }
+
+    #[test]
+    fn query_parser_never_panics(s in "\\PC{0,60}") {
+        let mut alpha = Alphabet::new();
+        let _ = parse_ps_query(&s, &mut alpha);
+    }
+
+    #[test]
+    fn tree_parser_never_panics(s in "\\PC{0,80}") {
+        let mut alpha = Alphabet::new();
+        let _ = parse_tree(&s, &mut alpha);
+    }
+
+    #[test]
+    fn incomplete_parser_never_panics(s in "\\PC{0,120}") {
+        let mut alpha = Alphabet::new();
+        let _ = parse_incomplete_xml(&s, &mut alpha);
+    }
+
+    /// Structured-ish fuzzing: near-valid condition inputs.
+    #[test]
+    fn cond_parser_on_near_valid(op in "[=<>!&|()]{0,6}", n in -999i64..999) {
+        let s = format!("{op} {n}");
+        if let Ok(c) = parse_cond(&s) {
+            // What parses must round-trip through display.
+            let again = parse_cond(&c.to_string()).unwrap();
+            prop_assert!(c.equivalent(&again));
+        }
+    }
+
+    /// Structured-ish fuzzing: near-valid query inputs.
+    #[test]
+    fn query_parser_on_near_valid(parts in proptest::collection::vec("[a-c]{1,3}", 1..4), deco in "[!/{},\\[\\]<5 ]{0,6}") {
+        let s = format!("{}{}", parts.join("/"), deco);
+        let mut alpha = Alphabet::new();
+        if let Ok(q) = parse_ps_query(&s, &mut alpha) {
+            let text = q.to_text(&alpha);
+            let q2 = parse_ps_query(&text, &mut alpha).unwrap();
+            prop_assert_eq!(q.len(), q2.len());
+        }
+    }
+}
+
+#[test]
+fn incomplete_xml_rejects_mutations_gracefully() {
+    // Take a valid document and corrupt it in many positions: each
+    // variant must parse or fail cleanly.
+    let (it, alpha) = {
+        use iixml_core::{ConditionalTreeType, Disjunction, IncompleteTree, SAtom, SymTarget};
+        use iixml_tree::{Label, Mult, Nid};
+        use iixml_values::IntervalSet;
+        let alpha = Alphabet::from_names(["root", "a"]);
+        let mut nodes = std::collections::BTreeMap::new();
+        nodes.insert(
+            Nid(0),
+            iixml_core::NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), IntervalSet::all());
+        let a = ty.add_symbol("a", SymTarget::Lab(Label(1)), IntervalSet::all());
+        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(a, Mult::Star)])));
+        ty.set_mu(a, Disjunction::leaf());
+        ty.add_root(r);
+        (IncompleteTree::new(nodes, ty).unwrap(), alpha)
+    };
+    let xml = write_incomplete_xml(&it, &alpha);
+    // Delete each line in turn; truncate at each quarter.
+    let lines: Vec<&str> = xml.lines().collect();
+    for skip in 0..lines.len() {
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let mut a2 = alpha.clone();
+        let _ = parse_incomplete_xml(&mutated, &mut a2);
+    }
+    for q in 1..4 {
+        let cut = xml.len() * q / 4;
+        let mut a2 = alpha.clone();
+        let _ = parse_incomplete_xml(&xml[..cut], &mut a2);
+    }
+    // And the original still parses.
+    let mut a2 = alpha.clone();
+    assert!(parse_incomplete_xml(&xml, &mut a2).is_ok());
+}

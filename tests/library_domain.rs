@@ -1,0 +1,114 @@
+//! The whole pipeline on a second domain (the library schema), whose
+//! tree type uses `+` (author), `?` (isbn) and `⋆` (review)
+//! multiplicities — exercising the Theorem 3.5 budget logic and the
+//! prefix/answer algorithms beyond the catalog's shapes.
+
+use iixml_core::type_intersect::restrict_to_type;
+use iixml_core::Refiner;
+use iixml_gen::{library, library_query_recent, library_query_well_reviewed, random_queries};
+use iixml_oracle::mutations;
+use iixml_webhouse::{LocalAnswer, Session, Source};
+
+#[test]
+fn refine_chain_on_library() {
+    let mut l = library(12, 4);
+    let q1 = library_query_recent(&mut l.alpha, 1980);
+    let q2 = library_query_well_reviewed(&mut l.alpha, 8);
+    let mut refiner = Refiner::new(&l.alpha);
+    for q in [&q1, &q2] {
+        let a = q.eval(&l.doc);
+        refiner.refine(&l.alpha, q, &a).unwrap();
+        assert!(refiner.current().contains(&l.doc));
+        assert!(refiner.current().is_unambiguous());
+    }
+    let restricted = restrict_to_type(refiner.current(), &l.ty);
+    assert!(restricted.contains(&l.doc));
+
+    // Type violations are excluded: a book without authors (author+).
+    let book = l.alpha.get("book").unwrap();
+    let title = l.alpha.get("title").unwrap();
+    let year = l.alpha.get("year").unwrap();
+    let mut bad = l.doc.clone();
+    let root = bad.root();
+    let b = bad
+        .add_child(root, iixml_tree::Nid(90_000), book, iixml_values::Rat::ZERO)
+        .unwrap();
+    bad.add_child(b, iixml_tree::Nid(90_001), title, iixml_values::Rat::from(1))
+        .unwrap();
+    bad.add_child(b, iixml_tree::Nid(90_002), year, iixml_values::Rat::from(1700))
+        .unwrap();
+    assert!(!l.ty.accepts(&bad));
+    assert!(!restricted.contains(&bad));
+
+    // Two isbn children violate isbn?.
+    let isbn = l.alpha.get("isbn").unwrap();
+    let mut bad2 = l.doc.clone();
+    let first_book = bad2.children(bad2.root())[0];
+    bad2.add_child(first_book, iixml_tree::Nid(90_010), isbn, iixml_values::Rat::from(1))
+        .unwrap();
+    bad2.add_child(first_book, iixml_tree::Nid(90_011), isbn, iixml_values::Rat::from(2))
+        .unwrap();
+    assert!(!l.ty.accepts(&bad2));
+    assert!(!restricted.contains(&bad2));
+}
+
+#[test]
+fn membership_tracks_definition_on_library() {
+    for seed in 0..4u64 {
+        let l = library(4, seed);
+        let root = l.alpha.get("library").unwrap();
+        let queries = random_queries(&l.alpha, &l.ty, root, 2, 3000, seed ^ 0x11);
+        let mut refiner = Refiner::new(&l.alpha);
+        let answers: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let a = q.eval(&l.doc);
+                refiner.refine(&l.alpha, q, &a).unwrap();
+                a
+            })
+            .collect();
+        let labels: Vec<_> = l.alpha.labels().collect();
+        for probe in mutations(&l.doc, &labels).into_iter().take(30) {
+            let expected = queries.iter().zip(&answers).all(|(q, a)| {
+                match (q.eval(&probe).tree, &a.tree) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => x.same_tree(y),
+                    _ => false,
+                }
+            });
+            assert_eq!(
+                refiner.current().contains(&probe),
+                expected,
+                "library membership diverges (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn library_webhouse_session() {
+    let mut l = library(20, 8);
+    let q_recent = library_query_recent(&mut l.alpha, 1990);
+    let q_all = library_query_recent(&mut l.alpha, 0);
+    let mut session = Session::open(l.alpha.clone(), Source::new(l.doc.clone(), Some(l.ty.clone())));
+    session.fetch(&q_all).unwrap();
+    // Narrower year window answerable from the full sweep.
+    match session.answer_locally(&q_recent) {
+        LocalAnswer::Complete(local) => {
+            let direct = q_recent.eval(&l.doc).tree;
+            match (local, direct) {
+                (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+                (a, b) => assert_eq!(a.is_none(), b.is_none()),
+            }
+        }
+        LocalAnswer::Partial(_) => panic!("subsumed query should be answerable"),
+    }
+    // Reviews were never fetched: the review query mediates correctly.
+    let q_rev = library_query_well_reviewed(&mut l.alpha, 7);
+    let exact = session.answer_with_mediation(&q_rev).unwrap();
+    let direct = q_rev.eval(&l.doc).tree;
+    match (exact, direct) {
+        (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+        (a, b) => assert_eq!(a.is_none(), b.is_none()),
+    }
+}

@@ -1,0 +1,89 @@
+//! The mediator at catalog scale (Theorem 3.19): completions answer
+//! exactly, avoid refetching known nodes, and never overlap.
+
+use iixml_core::Refiner;
+use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below};
+use iixml_mediator::Mediator;
+use iixml_tree::Nid;
+use std::collections::HashSet;
+
+#[test]
+fn completions_answer_exactly_across_scales() {
+    for (n, seed) in [(5usize, 0u64), (20, 1), (60, 2)] {
+        let mut c = catalog(n, seed);
+        let q_view = catalog_query_price_below(&mut c.alpha, 200);
+        let q_ask = catalog_query_camera_pictures(&mut c.alpha);
+        let mut refiner = Refiner::new(&c.alpha);
+        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        let med = Mediator::new(refiner.current());
+        let completion = med.complete(&q_ask);
+        let mut known = refiner
+            .data_tree()
+            .unwrap_or_else(|| panic!("view answered something at n={n}"));
+        completion.execute(&c.doc, &mut known).unwrap();
+        let on_known = q_ask.eval(&known).tree;
+        let on_source = q_ask.eval(&c.doc).tree;
+        match (on_known, on_source) {
+            (Some(a), Some(b)) => assert!(a.same_tree(&b), "n={n}"),
+            (a, b) => assert_eq!(a.is_none(), b.is_none(), "n={n}"),
+        }
+    }
+}
+
+#[test]
+fn completion_avoids_refetching_known_subtrees() {
+    let mut c = catalog(30, 9);
+    let q_view = catalog_query_price_below(&mut c.alpha, 10_000); // everything except pictures
+    let q_ask = catalog_query_camera_pictures(&mut c.alpha);
+    let mut refiner = Refiner::new(&c.alpha);
+    refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+    let med = Mediator::new(refiner.current());
+    let completion = med.complete(&q_ask);
+    // Total nodes fetched by the completion vs. re-asking q_ask at the
+    // root: the completion must be cheaper or equal, and must not
+    // include price nodes (they are known and irrelevant to q_ask) —
+    // actually q_ask never selects prices; the sharper check: each
+    // local query's answer size summed is at most the full answer size.
+    let full = q_ask.eval(&c.doc).len();
+    let mut fetched = 0usize;
+    for lq in &completion.queries {
+        let a = match lq.at {
+            None => lq.query.eval(&c.doc),
+            Some(nid) => lq.query.eval_at(&c.doc, nid).unwrap(),
+        };
+        fetched += a.len();
+    }
+    assert!(
+        fetched <= full + completion.queries.len(),
+        "fetched {fetched} vs full {full} (+anchors)"
+    );
+}
+
+#[test]
+fn completion_nonoverlap_on_generated_catalogs() {
+    for seed in 0..4 {
+        let mut c = catalog(15, seed);
+        let q_view = catalog_query_price_below(&mut c.alpha, 180);
+        let q_ask = catalog_query_camera_pictures(&mut c.alpha);
+        let mut refiner = Refiner::new(&c.alpha);
+        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        let med = Mediator::new(refiner.current());
+        let completion = med.complete(&q_ask);
+        let mut seen: HashSet<Nid> = HashSet::new();
+        for lq in &completion.queries {
+            let a = match lq.at {
+                None => lq.query.eval(&c.doc),
+                Some(nid) => lq.query.eval_at(&c.doc, nid).unwrap(),
+            };
+            if let Some(t) = a.tree {
+                for r in t.preorder() {
+                    let nid = t.nid(r);
+                    if Some(nid) == lq.at || nid == t.nid(t.root()) {
+                        continue; // anchors repeat by design
+                    }
+                    assert!(seen.insert(nid), "overlap at node {nid} (seed {seed})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Direct checks of the quantitative bounds stated by the paper's
+//! lemmas, beyond asymptotic shape:
+//!
+//! * Lemma 2.3 — a condition's interval normal form is linear in the
+//!   condition (`#intervals <= #atoms + 1`);
+//! * Lemma 3.2 — `T_{q,A}` has size `O((|q| + |A|) · |Σ|)`;
+//! * Theorem 3.8 — one Refine⁺ step adds `O((|q| + |A|) · |Σ|)`;
+//! * Corollary 2.6 — useful-symbol detection agrees with bounded
+//!   enumeration (a symbol is useful iff some bounded world uses it —
+//!   checked one-sided, since enumeration is bounded).
+
+use iixml_core::refine::query_answer_tree;
+use iixml_core::ConjunctiveTree;
+use iixml_gen::{catalog, random_queries};
+use iixml_values::{Cond, Rat};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Lemma 2.3: the normal form is linear in the number of atoms.
+    #[test]
+    fn interval_normal_form_is_linear(vals in proptest::collection::vec(-30i64..30, 1..12)) {
+        let mut cond = Cond::True;
+        let mut atoms = 0usize;
+        for (i, v) in vals.iter().enumerate() {
+            let atom = match i % 6 {
+                0 => Cond::eq(Rat::from(*v)),
+                1 => Cond::ne(Rat::from(*v)),
+                2 => Cond::lt(Rat::from(*v)),
+                3 => Cond::le(Rat::from(*v)),
+                4 => Cond::gt(Rat::from(*v)),
+                _ => Cond::ge(Rat::from(*v)),
+            };
+            atoms += 1;
+            cond = if i % 2 == 0 { cond.and(atom) } else { cond.or(atom) };
+        }
+        let set = cond.to_intervals();
+        prop_assert!(
+            set.intervals().len() <= atoms + 1,
+            "{} intervals from {atoms} atoms",
+            set.intervals().len()
+        );
+    }
+
+    /// Lemma 3.2: |T_{q,A}| = O((|q| + |A|) · |Σ|). The constant here is
+    /// generous but fixed — a regression in the construction (e.g.
+    /// accidentally quadratic) would trip it.
+    #[test]
+    fn tqa_size_bound(seed in 0u64..500, nq in 1usize..3) {
+        let c = catalog(4, seed);
+        let root = c.alpha.get("catalog").unwrap();
+        let sigma = c.alpha.len();
+        for q in random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0x77) {
+            let ans = q.eval(&c.doc);
+            let tqa = query_answer_tree(&q, &ans, &c.alpha);
+            let budget = 8 * (q.len() + ans.len() + 2) * sigma;
+            prop_assert!(
+                tqa.size() <= budget,
+                "|Tqa| = {} exceeds O((|q|+|A|)·|Σ|) = {budget}",
+                tqa.size()
+            );
+        }
+    }
+
+    /// Theorem 3.8: a Refine⁺ step grows the conjunctive tree by at most
+    /// O((|q| + |A|) · |Σ|).
+    #[test]
+    fn refine_plus_step_bound(seed in 0u64..500) {
+        let c = catalog(4, seed);
+        let root = c.alpha.get("catalog").unwrap();
+        let sigma = c.alpha.len();
+        let mut conj = ConjunctiveTree::new(&c.alpha);
+        let mut prev = conj.size();
+        for q in random_queries(&c.alpha, &c.ty, root, 3, 300, seed ^ 0x88) {
+            let ans = q.eval(&c.doc);
+            conj.refine(&c.alpha, &q, &ans).unwrap();
+            let delta = conj.size() - prev;
+            let budget = 8 * (q.len() + ans.len() + 2) * sigma;
+            prop_assert!(delta <= budget, "step grew by {delta} > {budget}");
+            prev = conj.size();
+        }
+    }
+}
+
+/// Corollary 2.6 (usefulness): every symbol surviving `trim` appears in
+/// some enumerated bounded world's typing — checked indirectly: trimming
+/// never changes membership, and the trimmed symbol count is minimal
+/// under repeated trims.
+#[test]
+fn trim_is_stable_and_semantics_preserving() {
+    for seed in 0..6u64 {
+        let c = catalog(3, seed);
+        let root = c.alpha.get("catalog").unwrap();
+        let q = &random_queries(&c.alpha, &c.ty, root, 1, 300, seed)[0];
+        let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha);
+        let t1 = tqa.trim();
+        let t2 = t1.trim();
+        assert_eq!(t1.ty().sym_count(), t2.ty().sym_count(), "trim idempotent");
+        assert_eq!(tqa.contains(&c.doc), t1.contains(&c.doc));
+        // Usefulness flags of the trimmed tree are all true.
+        let useful = t1.ty().useful();
+        assert!(useful.iter().all(|&u| u), "trim leaves only useful symbols");
+    }
+}

@@ -1,0 +1,171 @@
+//! Theorem 2.8's certain/possible prefix algorithms cross-checked
+//! against bounded exhaustive enumeration of `rep(T)` — on incomplete
+//! trees produced by real Refine chains, not just hand-built ones.
+
+use iixml_core::Refiner;
+use iixml_oracle::{enumerate_rep, mutations, oracle_certain_prefix, oracle_possible_prefix, Bounds};
+use iixml_query::PsQueryBuilder;
+use iixml_tree::{Alphabet, DataTree, Nid};
+use iixml_values::{Cond, Rat};
+use std::collections::HashSet;
+
+/// A tiny world so that enumeration is exhaustive within bounds.
+fn tiny_world(alpha: &mut Alphabet) -> DataTree {
+    let r = alpha.intern("root");
+    let a = alpha.intern("a");
+    let b = alpha.intern("b");
+    let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
+    let x = t.add_child(t.root(), Nid(1), a, Rat::from(1)).unwrap();
+    t.add_child(x, Nid(2), b, Rat::from(5)).unwrap();
+    t.add_child(t.root(), Nid(3), a, Rat::from(9)).unwrap();
+    t
+}
+
+#[test]
+fn refined_tree_prefix_algorithms_match_oracle() {
+    let mut alpha = Alphabet::new();
+    let world = tiny_world(&mut alpha);
+    // Refine with root/a[<5]/b (captures the a=1 branch).
+    let q = {
+        let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = bld.root();
+        let an = bld.child(root, "a", Cond::lt(Rat::from(5))).unwrap();
+        bld.child(an, "b", Cond::True).unwrap();
+        bld.build()
+    };
+    let mut refiner = Refiner::new(&alpha);
+    refiner.refine(&alpha, &q, &q.eval(&world)).unwrap();
+    let knowledge = refiner.current();
+
+    let worlds = enumerate_rep(
+        knowledge,
+        Bounds {
+            star_cap: 1,
+            max_depth: 3,
+            max_worlds: 4_000,
+            values_per_interval: 1,
+        },
+    );
+    // The enumeration may be truncated; both checked directions below
+    // remain sound (oracle-positive => algorithm-positive, and
+    // algorithm-certain => certain-over-enumerated-subset).
+    assert!(!worlds.worlds.is_empty());
+    let pinned: HashSet<Nid> = knowledge.nodes().keys().copied().collect();
+
+    // Candidate prefixes: the data tree, mutations of it, mutations of
+    // the world, and the world itself.
+    let td = knowledge.data_tree().unwrap();
+    let labels: Vec<_> = alpha.labels().collect();
+    let mut candidates = vec![td.clone(), world.clone()];
+    candidates.extend(mutations(&td, &labels));
+    candidates.extend(mutations(&world, &labels).into_iter().take(30));
+
+    let mut checked_possible = 0;
+    let mut checked_certain = 0;
+    for t in &candidates {
+        let alg_p = knowledge.possible_prefix(t);
+        let oracle_p = oracle_possible_prefix(&worlds.worlds, t, &pinned);
+        // The enumeration uses representative values only, so it can
+        // miss possible worlds with other values; it can never invent
+        // them. The certain direction is exact over the enumerated set.
+        if oracle_p {
+            assert!(alg_p, "oracle found an embedding the algorithm denies");
+            checked_possible += 1;
+        }
+        let alg_c = knowledge.certain_prefix(t);
+        let oracle_c = oracle_certain_prefix(&worlds.worlds, t, &pinned);
+        if alg_c {
+            assert!(
+                oracle_c,
+                "algorithm claims certain but an enumerated world refutes it"
+            );
+            checked_certain += 1;
+        }
+        // And the contrapositive with exhaustive-value candidates: if
+        // the oracle refutes certainty with a world, the algorithm must
+        // not claim it (already covered by the assert above).
+    }
+    assert!(checked_possible > 3, "test exercised possible prefixes");
+    assert!(checked_certain >= 1, "test exercised certain prefixes");
+}
+
+#[test]
+fn answer_prefix_modalities_match_direct_answers() {
+    // Theorem 3.17: certain/possible prefixes of q(T) vs the actual
+    // answers over enumerated worlds.
+    let mut alpha = Alphabet::new();
+    let world = tiny_world(&mut alpha);
+    let q_view = {
+        let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = bld.root();
+        bld.child(root, "a", Cond::lt(Rat::from(5))).unwrap();
+        bld.build()
+    };
+    let mut refiner = Refiner::new(&alpha);
+    refiner.refine(&alpha, &q_view, &q_view.eval(&world)).unwrap();
+    let knowledge = refiner.current();
+
+    // The follow-up query: root/a (all a's).
+    let q_ask = {
+        let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = bld.root();
+        bld.child(root, "a", Cond::True).unwrap();
+        bld.build()
+    };
+    let described = knowledge.query(&q_ask);
+
+    let worlds = enumerate_rep(
+        knowledge,
+        Bounds {
+            star_cap: 1,
+            max_depth: 3,
+            max_worlds: 4_000,
+            values_per_interval: 1,
+        },
+    );
+    let answers: Vec<DataTree> = worlds
+        .worlds
+        .iter()
+        .filter_map(|w| q_ask.eval(w).tree)
+        .collect();
+    assert!(!answers.is_empty());
+
+    // The known data-node part of every answer: root + a(=1).
+    let mut sure = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+    sure.add_child(sure.root(), Nid(1), alpha.get("a").unwrap(), Rat::from(1))
+        .unwrap();
+    assert!(described.certain_answer_prefix(&sure));
+    let pinned: HashSet<Nid> = knowledge.nodes().keys().copied().collect();
+    for a in &answers {
+        assert!(
+            iixml_tree::is_prefix_of(&sure, a, &pinned),
+            "claimed-certain prefix missing from an actual answer"
+        );
+    }
+
+    // A prefix with an extra unknown a-child: possible but not certain.
+    // Use a value that actually occurs in some enumerated answer (the
+    // oracle only instantiates representative values).
+    let extra_value = answers
+        .iter()
+        .flat_map(|a| {
+            let root = a.root();
+            a.children(root)
+                .iter()
+                .map(|&c| (a.nid(c), a.value(c)))
+                .collect::<Vec<_>>()
+        })
+        .find(|(nid, _)| *nid != Nid(1))
+        .map(|(_, v)| v)
+        .expect("some world has an extra a child");
+    let mut maybe = sure.clone();
+    maybe
+        .add_child(maybe.root(), Nid(77), alpha.get("a").unwrap(), extra_value)
+        .unwrap();
+    assert!(described.possible_answer_prefix(&maybe));
+    assert!(!described.certain_answer_prefix(&maybe));
+    let some = answers.iter().any(|a| iixml_tree::is_prefix_of(&maybe, a, &pinned));
+    let all = answers.iter().all(|a| iixml_tree::is_prefix_of(&maybe, a, &pinned));
+    assert!(some, "oracle confirms possibility");
+    assert!(!all, "oracle confirms non-certainty");
+}

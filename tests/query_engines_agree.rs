@@ -1,0 +1,99 @@
+//! Differential testing of the two query evaluators: on patterns
+//! expressible in both languages (plain ps-queries — no branching,
+//! optional, negation, joins, or path regexes), the Section 2 evaluator
+//! and the Section 4 extended evaluator must produce identical answers.
+
+use iixml_extensions::xquery::{Modality, XQuery, XQueryBuilder};
+use iixml_gen::{catalog, random_queries, sample_tree};
+use iixml_query::PsQuery;
+use iixml_tree::{Alphabet, DataTree};
+use proptest::prelude::*;
+
+/// Full translation with the name snapshot taken up front.
+fn translate(q: &PsQuery, alpha: &Alphabet) -> XQuery {
+    let names: Vec<String> = alpha.labels().map(|l| alpha.name(l).to_string()).collect();
+    let mut a2 = alpha.clone();
+    let root_name = names[q.label(q.root()).index()].clone();
+    let mut b = XQueryBuilder::new(&mut a2, &root_name, q.cond(q.root()).clone());
+    fn copy(
+        q: &PsQuery,
+        m: iixml_query::QNodeRef,
+        b: &mut XQueryBuilder,
+        at: iixml_extensions::xquery::XNodeRef,
+        names: &[String],
+    ) {
+        for &c in q.children(m) {
+            let name = &names[q.label(c).index()];
+            let node = if q.barred(c) {
+                b.barred_child(at, name, q.cond(c).clone())
+            } else {
+                b.child(at, name, q.cond(c).clone(), Modality::Plain)
+            };
+            copy(q, c, b, node, names);
+        }
+    }
+    let broot = b.root();
+    copy(q, q.root(), &mut b, broot, &names);
+    b.build()
+}
+
+fn answers_agree(ps: Option<&DataTree>, x: Option<&DataTree>) -> bool {
+    match (ps, x) {
+        (None, None) => true,
+        (Some(a), Some(b)) => a.same_tree(b),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn evaluators_agree_on_plain_queries(seed in 0u64..1000, nq in 1usize..4) {
+        let c = catalog(4, seed);
+        let root = c.alpha.get("catalog").unwrap();
+        let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0xD1FF);
+        for q in &queries {
+            let xq = translate(q, &c.alpha);
+            let ps_ans = q.eval(&c.doc).tree;
+            let x_ans = xq.eval(&c.doc);
+            prop_assert!(
+                answers_agree(ps_ans.as_ref(), x_ans.as_ref()),
+                "engines disagree on {}",
+                q.to_text(&c.alpha)
+            );
+        }
+    }
+
+    #[test]
+    fn evaluators_agree_on_random_trees(seed in 0u64..1000) {
+        let c = catalog(1, 0);
+        let root = c.alpha.get("catalog").unwrap();
+        let t = sample_tree(&c.ty, root, 3, 40, 4, seed);
+        let queries = random_queries(&c.alpha, &c.ty, root, 3, 40, seed ^ 0xFACE);
+        for q in &queries {
+            let xq = translate(q, &c.alpha);
+            prop_assert!(
+                answers_agree(q.eval(&t).tree.as_ref(), xq.eval(&t).as_ref()),
+                "engines disagree on {}",
+                q.to_text(&c.alpha)
+            );
+        }
+    }
+}
+
+#[test]
+fn barred_queries_agree() {
+    let mut c = catalog(6, 12);
+    // catalog/product{price[< 200], picture!}
+    let q = iixml_query::parse_ps_query(
+        "catalog/product{price[< 200], picture!}",
+        &mut c.alpha,
+    )
+    .unwrap();
+    let xq = translate(&q, &c.alpha);
+    assert!(answers_agree(
+        q.eval(&c.doc).tree.as_ref(),
+        xq.eval(&c.doc).as_ref()
+    ));
+}

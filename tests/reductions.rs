@@ -1,0 +1,173 @@
+//! Randomized cross-checks of the Section 3.6/4 hardness constructions
+//! against brute force: the reductions must *decide* their source
+//! problems exactly.
+
+use iixml_extensions::cfg::{Grammar, Production};
+use iixml_extensions::dnf::{certain_prefix_root_val, Dnf};
+use iixml_extensions::sat::{encode, Cnf};
+
+/// Deterministic xorshift for reproducible "random" formulas.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn range(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_cnf(rng: &mut Rng, num_vars: usize, num_clauses: usize) -> Cnf {
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let mut lits = [0i64; 3];
+            for l in &mut lits {
+                let v = rng.range(num_vars as u64) as i64 + 1;
+                *l = if rng.range(2) == 0 { v } else { -v };
+            }
+            lits
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+#[test]
+fn sat_reduction_on_random_formulas() {
+    let mut rng = Rng(0x1234_5678_9ABC_DEF0);
+    let mut seen_sat = 0;
+    let mut seen_unsat = 0;
+    for _ in 0..10 {
+        let cnf = random_cnf(&mut rng, 2, 3);
+        let expected = cnf.brute_force_sat();
+        let enc = encode(&cnf);
+        assert_eq!(enc.possible_prefix_val1(), expected, "{cnf:?}");
+        if expected {
+            seen_sat += 1;
+        } else {
+            seen_unsat += 1;
+        }
+    }
+    // Hand-picked hard cases to guarantee both outcomes are exercised.
+    let unsat = Cnf {
+        num_vars: 2,
+        clauses: vec![[1, 1, 1], [-1, -1, -1]],
+    };
+    assert!(!encode(&unsat).possible_prefix_val1());
+    seen_unsat += 1;
+    let sat = Cnf {
+        num_vars: 2,
+        clauses: vec![[1, 2, 2]],
+    };
+    assert!(encode(&sat).possible_prefix_val1());
+    seen_sat += 1;
+    assert!(seen_sat >= 1 && seen_unsat >= 1);
+}
+
+#[test]
+fn dnf_reduction_on_random_formulas() {
+    let mut rng = Rng(0xFEED_FACE_CAFE_BEEF);
+    for _ in 0..10 {
+        let num_vars = 2 + rng.range(2) as usize;
+        let num_disjuncts = 1 + rng.range(5) as usize;
+        let disjuncts = (0..num_disjuncts)
+            .map(|_| {
+                let mut lits = [0i64; 3];
+                for l in &mut lits {
+                    let v = rng.range(num_vars as u64) as i64 + 1;
+                    *l = if rng.range(2) == 0 { v } else { -v };
+                }
+                lits
+            })
+            .collect();
+        let dnf = Dnf {
+            num_vars,
+            disjuncts,
+        };
+        assert_eq!(
+            certain_prefix_root_val(&dnf),
+            dnf.brute_force_valid(),
+            "{dnf:?}"
+        );
+    }
+}
+
+#[test]
+fn cfg_intersection_against_cyk() {
+    // Two grammar families where intersection truth is known by CYK.
+    let anbn = Grammar {
+        start: "S".into(),
+        rules: vec![
+            ("S".into(), Production::Pair("A".into(), "X".into())),
+            ("S".into(), Production::Pair("A".into(), "B".into())),
+            ("X".into(), Production::Pair("S".into(), "B".into())),
+            ("A".into(), Production::Term('a')),
+            ("B".into(), Production::Term('b')),
+        ],
+    };
+    // All words over {a,b} of even length >= 2 (E = two-of-anything).
+    let even = Grammar {
+        start: "E".into(),
+        rules: vec![
+            ("E".into(), Production::Pair("C".into(), "F".into())),
+            ("F".into(), Production::Pair("E".into(), "C".into())),
+            ("C".into(), Production::Term('a')),
+            ("C".into(), Production::Term('b')),
+            ("F".into(), Production::Term('a')),
+            ("F".into(), Production::Term('b')),
+        ],
+    };
+    // a^n b^n words are even-length: the intersection is nonempty.
+    let witness = iixml_extensions::cfg::intersection_witness(&anbn, &even, 4);
+    assert!(witness.is_some());
+    let w = witness.unwrap();
+    assert!(anbn.accepts(&w) && even.accepts(&w), "witness {w} in both");
+
+    // a-only vs b-only: empty.
+    let a_only = Grammar {
+        start: "P".into(),
+        rules: vec![
+            ("P".into(), Production::Pair("Q".into(), "R".into())),
+            ("Q".into(), Production::Term('a')),
+            ("R".into(), Production::Term('a')),
+            ("P".into(), Production::Term('a')),
+        ],
+    };
+    let b_only = Grammar {
+        start: "W".into(),
+        rules: vec![
+            ("W".into(), Production::Pair("Y".into(), "Z".into())),
+            ("Y".into(), Production::Term('b')),
+            ("Z".into(), Production::Term('b')),
+            ("W".into(), Production::Term('b')),
+        ],
+    };
+    assert!(iixml_extensions::cfg::intersection_witness(&a_only, &b_only, 3).is_none());
+}
+
+#[test]
+fn sat_knowledge_size_scales_polynomially() {
+    // Corollary 3.9 at reduction scale: knowledge size linear in the
+    // number of queries, which is linear in vars + clauses.
+    let mut sizes = Vec::new();
+    for n in 1..=5 {
+        let cnf = Cnf {
+            num_vars: n,
+            clauses: vec![[1, 1, 1]; n.min(3)],
+        };
+        let enc = encode(&cnf);
+        sizes.push((enc.num_queries, enc.knowledge_size()));
+    }
+    for w in sizes.windows(2) {
+        let (q0, s0) = w[0];
+        let (q1, s1) = w[1];
+        // Size per query is roughly constant.
+        let per0 = s0 as f64 / q0 as f64;
+        let per1 = s1 as f64 / q1 as f64;
+        assert!((per1 / per0) < 1.5, "{sizes:?}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for Algorithm Refine's defining equation:
+//!
+//! `T0 ∈ rep(Refine chain for (q1,A1)…(qk,Ak))`  ⟺  `qi(T0) = Ai ∀i`
+//!
+//! This is checked *without any enumeration*: candidate trees are random
+//! catalogs and mutations thereof, and membership is compared against
+//! direct re-evaluation of every query. This pins down the strong
+//! representation property on realistic workloads.
+
+use iixml_core::Refiner;
+use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below, random_queries};
+use iixml_oracle::mutations;
+use iixml_query::PsQuery;
+use iixml_tree::DataTree;
+use proptest::prelude::*;
+
+/// Do two answers coincide (as unordered id-labeled trees)?
+fn same_answer(a: &Option<DataTree>, b: &Option<DataTree>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x.same_tree(y),
+        _ => false,
+    }
+}
+
+fn check_chain(doc: &DataTree, alpha: &iixml_tree::Alphabet, queries: &[PsQuery], probes: &[DataTree]) {
+    let mut refiner = Refiner::new(alpha);
+    let answers: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let a = q.eval(doc);
+            refiner.refine(alpha, q, &a).expect("true answers are consistent");
+            a
+        })
+        .collect();
+    let knowledge = refiner.current();
+    // The source itself must be represented.
+    assert!(knowledge.contains(doc));
+    // Every probe: membership iff all answers re-evaluate identically.
+    for probe in probes {
+        let expected = queries
+            .iter()
+            .zip(&answers)
+            .all(|(q, a)| same_answer(&q.eval(probe).tree, &a.tree));
+        let got = knowledge.contains(probe);
+        assert_eq!(
+            got, expected,
+            "membership disagrees with the definition on a probe"
+        );
+    }
+}
+
+#[test]
+fn paper_queries_on_catalogs() {
+    for seed in 0..5 {
+        let mut c = catalog(4, seed);
+        let q1 = catalog_query_price_below(&mut c.alpha, 200);
+        let q2 = catalog_query_camera_pictures(&mut c.alpha);
+        let labels: Vec<_> = c.alpha.labels().collect();
+        let probes = mutations(&c.doc, &labels);
+        check_chain(&c.doc, &c.alpha, &[q1, q2], &probes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random catalogs + random type-shaped queries: the Refine chain's
+    /// membership tracks the definition on dozens of mutated probes.
+    #[test]
+    fn random_query_chains(seed in 0u64..500, nq in 1usize..4) {
+        let c = catalog(3, seed);
+        let root = c.alpha.get("catalog").unwrap();
+        let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed.wrapping_add(99));
+        let labels: Vec<_> = c.alpha.labels().collect();
+        // Keep the probe set modest for speed.
+        let mut probes = mutations(&c.doc, &labels[..3.min(labels.len())]);
+        probes.truncate(40);
+        check_chain(&c.doc, &c.alpha, &queries, &probes);
+    }
+
+    /// Witnesses of the refined tree reproduce every recorded answer.
+    #[test]
+    fn witnesses_reproduce_answers(seed in 0u64..500) {
+        let mut c = catalog(3, seed);
+        let q1 = catalog_query_price_below(&mut c.alpha, 150 + (seed % 200) as i64);
+        let q2 = catalog_query_camera_pictures(&mut c.alpha);
+        let mut refiner = Refiner::new(&c.alpha);
+        let a1 = q1.eval(&c.doc);
+        let a2 = q2.eval(&c.doc);
+        refiner.refine(&c.alpha, &q1, &a1).unwrap();
+        refiner.refine(&c.alpha, &q2, &a2).unwrap();
+        let mut gen = iixml_tree::NidGen::starting_at(1_000_000);
+        let w = refiner.current().witness(&mut gen).expect("nonempty");
+        prop_assert!(same_answer(&q1.eval(&w).tree, &a1.tree));
+        prop_assert!(same_answer(&q2.eval(&w).tree, &a2.tree));
+    }
+
+    /// The accumulated data tree is always a certain prefix, and certain
+    /// prefixes are possible prefixes.
+    #[test]
+    fn data_tree_is_certain_prefix(seed in 0u64..500) {
+        let mut c = catalog(3, seed);
+        let q1 = catalog_query_price_below(&mut c.alpha, 250);
+        let mut refiner = Refiner::new(&c.alpha);
+        let a1 = q1.eval(&c.doc);
+        refiner.refine(&c.alpha, &q1, &a1).unwrap();
+        if let Some(td) = refiner.data_tree() {
+            prop_assert!(refiner.current().certain_prefix(&td));
+            prop_assert!(refiner.current().possible_prefix(&td));
+        }
+    }
+
+    /// Re-refining with the same query-answer pair is a semantic no-op
+    /// (`rep ∩ q⁻¹(A) ∩ q⁻¹(A) = rep ∩ q⁻¹(A)`) and the minimized
+    /// representation does not balloon.
+    #[test]
+    fn refine_is_idempotent(seed in 0u64..500) {
+        let mut c = catalog(3, seed);
+        let q = catalog_query_price_below(&mut c.alpha, 250);
+        let a = q.eval(&c.doc);
+        let mut refiner = Refiner::new(&c.alpha);
+        refiner.refine(&c.alpha, &q, &a).unwrap();
+        let once = refiner.current().clone();
+        refiner.refine(&c.alpha, &q, &a).unwrap();
+        let twice = refiner.current();
+        // Identical membership on probes.
+        let labels: Vec<_> = c.alpha.labels().collect();
+        for p in mutations(&c.doc, &labels).into_iter().take(25) {
+            prop_assert_eq!(once.contains(&p), twice.contains(&p));
+        }
+        prop_assert!(twice.contains(&c.doc));
+        // No significant growth (minimization keeps the fixpoint tight).
+        prop_assert!(
+            twice.size() <= 2 * once.size(),
+            "re-refinement ballooned: {} -> {}",
+            once.size(),
+            twice.size()
+        );
+    }
+
+    /// Unambiguity is preserved along Refine chains (Definition 3.1 —
+    /// the invariant Lemma 3.3 relies on).
+    #[test]
+    fn chains_stay_unambiguous(seed in 0u64..500) {
+        let mut c = catalog(2, seed);
+        let q1 = catalog_query_price_below(&mut c.alpha, 200);
+        let q2 = catalog_query_camera_pictures(&mut c.alpha);
+        let mut refiner = Refiner::new(&c.alpha);
+        for q in [&q1, &q2] {
+            let a = q.eval(&c.doc);
+            refiner.refine(&c.alpha, q, &a).unwrap();
+            prop_assert!(refiner.current().is_unambiguous());
+            prop_assert!(refiner.current().well_formed().is_ok());
+        }
+    }
+}

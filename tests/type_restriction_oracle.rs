@@ -1,0 +1,40 @@
+//! Theorem 3.5 cross-check: the restriction of an incomplete tree to a
+//! tree type must agree with the naive semantics
+//! `rep(T) ∩ rep(ρ)` on every probe (membership implies both, and
+//! conversely).
+
+use iixml_core::refine::query_answer_tree;
+use iixml_core::type_intersect::restrict_to_type;
+use iixml_gen::{catalog, random_queries};
+use iixml_oracle::mutations;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn restriction_matches_intersection_semantics(seed in 0u64..500) {
+        let c = catalog(3, seed);
+        let root = c.alpha.get("catalog").unwrap();
+        let queries = random_queries(&c.alpha, &c.ty, root, 1, 300, seed ^ 0xBEEF);
+        let q = &queries[0];
+        let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha);
+        let restricted = restrict_to_type(&tqa, &c.ty);
+
+        let labels: Vec<_> = c.alpha.labels().collect();
+        let mut probes = mutations(&c.doc, &labels);
+        probes.push(c.doc.clone());
+        probes.truncate(50);
+        for p in &probes {
+            let naive = tqa.contains(p) && c.ty.accepts(p);
+            let got = restricted.contains(p);
+            prop_assert_eq!(got, naive, "restriction semantics diverge");
+        }
+        // Witnesses of the restriction satisfy both sides.
+        let mut gen = iixml_tree::NidGen::starting_at(3_000_000);
+        if let Some(w) = restricted.witness(&mut gen) {
+            prop_assert!(c.ty.accepts(&w));
+            prop_assert!(tqa.contains(&w));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end Webhouse scenarios (Section 1's motivating use case):
+//! sessions over generated catalogs, local answering, mediation,
+//! reinitialization on source updates, and the accounting that the
+//! experiments report (fraction of queries answered without contacting
+//! the source).
+
+use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below};
+use iixml_webhouse::{LocalAnswer, Session, Source, Webhouse};
+
+#[test]
+fn progressive_refinement_increases_local_answering() {
+    let mut c = catalog(12, 42);
+    let q_cheap = catalog_query_price_below(&mut c.alpha, 150);
+    let q_mid = catalog_query_price_below(&mut c.alpha, 300);
+    let q_all = catalog_query_price_below(&mut c.alpha, 10_000);
+    let q_cam = catalog_query_camera_pictures(&mut c.alpha);
+
+    let mut session = Session::open(c.alpha.clone(), Source::new(c.doc.clone(), Some(c.ty.clone())));
+
+    // Nothing known: the camera query is not answerable locally.
+    assert!(!session.answer_locally(&q_cam).is_complete());
+
+    // Fetch the full price sweep; now narrower sweeps are answerable
+    // locally (answering queries using views, Corollary 3.15).
+    session.fetch(&q_all).unwrap();
+    let served_before = session.source().queries_served;
+    for q in [&q_cheap, &q_mid] {
+        match session.answer_locally(q) {
+            LocalAnswer::Complete(local) => {
+                let direct = q.eval(&c.doc).tree;
+                match (local, direct) {
+                    (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+                    (a, b) => assert_eq!(a.is_none(), b.is_none()),
+                }
+            }
+            LocalAnswer::Partial(_) => panic!("price sweep should subsume narrower sweeps"),
+        }
+    }
+    assert_eq!(
+        session.source().queries_served, served_before,
+        "local answering must not contact the source"
+    );
+    assert_eq!(session.answered_locally, 2);
+}
+
+#[test]
+fn mediation_fetches_only_what_is_missing() {
+    let mut c = catalog(16, 7);
+    let q_view = catalog_query_price_below(&mut c.alpha, 250);
+    let q_cam = catalog_query_camera_pictures(&mut c.alpha);
+    let mut session = Session::open(c.alpha.clone(), Source::new(c.doc.clone(), Some(c.ty.clone())));
+    session.fetch(&q_view).unwrap();
+
+    let shipped_before = session.source().nodes_shipped;
+    let ans = session.answer_with_mediation(&q_cam).unwrap();
+    let direct = q_cam.eval(&c.doc).tree;
+    match (&ans, &direct) {
+        (Some(a), Some(b)) => assert!(a.same_tree(b)),
+        (a, b) => assert_eq!(a.is_none(), b.is_none()),
+    }
+    let shipped_by_mediation = session.source().nodes_shipped - shipped_before;
+    // The mediated fetch must ship fewer nodes than re-asking the
+    // camera query from scratch would (it skips the known prefix).
+    let full_cost = q_cam.eval(&c.doc).len();
+    assert!(
+        shipped_by_mediation <= full_cost,
+        "mediation shipped {shipped_by_mediation} vs full {full_cost}"
+    );
+
+    // Afterwards the query is locally answerable and stays consistent.
+    match session.answer_locally(&q_cam) {
+        LocalAnswer::Complete(local) => match (local, direct) {
+            (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+            (a, b) => assert_eq!(a.is_none(), b.is_none()),
+        },
+        LocalAnswer::Partial(_) => panic!("mediation should complete the knowledge"),
+    }
+}
+
+#[test]
+fn partial_answers_carry_sure_information() {
+    let mut c = catalog(10, 99);
+    let q_view = catalog_query_price_below(&mut c.alpha, 200);
+    let q_cam = catalog_query_camera_pictures(&mut c.alpha);
+    let mut session = Session::open(c.alpha.clone(), Source::new(c.doc.clone(), Some(c.ty.clone())));
+    session.fetch(&q_view).unwrap();
+    match session.answer_locally(&q_cam) {
+        LocalAnswer::Partial(p) => {
+            // The envelope brackets the truth.
+            let truth_nonempty = q_cam.eval(&c.doc).tree.is_some();
+            if p.certain_nonempty() {
+                assert!(truth_nonempty);
+            }
+            if !p.possible_nonempty() {
+                assert!(!truth_nonempty);
+            }
+        }
+        LocalAnswer::Complete(local) => {
+            // Acceptable when the view already pinned everything.
+            let direct = q_cam.eval(&c.doc).tree;
+            match (local, direct) {
+                (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+                (a, b) => assert_eq!(a.is_none(), b.is_none()),
+            }
+        }
+    }
+}
+
+#[test]
+fn webhouse_isolates_sources_and_survives_updates() {
+    let c1 = catalog(5, 1);
+    let c2 = catalog(8, 2);
+    let mut wh = Webhouse::new();
+    wh.register("s1", c1.alpha.clone(), Source::new(c1.doc.clone(), Some(c1.ty.clone())));
+    wh.register("s2", c2.alpha.clone(), Source::new(c2.doc.clone(), Some(c2.ty.clone())));
+
+    let mut a1 = c1.alpha.clone();
+    let q = catalog_query_price_below(&mut a1, 400);
+    wh.session("s1").unwrap().fetch(&q).unwrap();
+    assert!(wh.session("s1").unwrap().data_tree().is_some());
+    assert!(wh.session("s2").unwrap().data_tree().is_none());
+
+    // Source update resets only the touched session.
+    let replacement = catalog(3, 3).doc;
+    wh.session("s1").unwrap().source_updated(replacement);
+    assert!(wh.session("s1").unwrap().data_tree().is_none());
+    // And querying afterwards reflects the new document.
+    let a = wh.session("s1").unwrap().fetch(&q).unwrap();
+    assert!(a.len() > 0);
+}
