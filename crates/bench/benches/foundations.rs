@@ -7,16 +7,15 @@
 //! * E3 (Theorem 2.8): certain/possible prefix checks, PTIME in the
 //!   candidate tree size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iixml_bench::harness::Harness;
 use iixml_bench::refined_catalog;
-use iixml_core::{ConditionalTreeType, Disjunction, IncompleteTree, SAtom, SymTarget};
+use iixml_core::{ConditionalTreeType, Disjunction, SAtom, SymTarget};
 use iixml_gen::catalog_query_price_below;
 use iixml_tree::{Label, Mult};
 use iixml_values::{Cond, IntervalSet, Rat};
-use std::collections::BTreeMap;
 
-fn bench_conditions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E1_conditions");
+fn bench_conditions(h: &mut Harness) {
+    let mut g = h.group("E1_conditions");
     g.sample_size(20);
     for n in [4usize, 16, 64, 256] {
         // Alternating conjunction/disjunction over n constants.
@@ -29,9 +28,7 @@ fn bench_conditions(c: &mut Criterion) {
             };
             cond = cond.and(atom);
         }
-        g.bench_with_input(BenchmarkId::new("normalize", n), &cond, |b, cond| {
-            b.iter(|| cond.to_intervals())
-        });
+        g.bench(format!("normalize/{n}"), || cond.to_intervals());
     }
     g.finish();
 }
@@ -66,100 +63,82 @@ fn chain_type(depth: usize) -> ConditionalTreeType {
     ty
 }
 
-fn bench_emptiness(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E2_emptiness");
+fn bench_emptiness(h: &mut Harness) {
+    let mut g = h.group("E2_emptiness");
     g.sample_size(20);
     for depth in [8usize, 32, 128, 512] {
         let ty = chain_type(depth);
         assert!(!ty.is_empty());
-        g.bench_with_input(BenchmarkId::new("chain", depth), &ty, |b, ty| {
-            b.iter(|| ty.is_empty())
+        g.bench(format!("chain/{depth}"), || ty.is_empty());
+    }
+    g.finish();
+}
+
+fn bench_prefix(h: &mut Harness) {
+    let mut g = h.group("E3_prefix");
+    g.sample_size(10);
+    for products in [5usize, 20, 80] {
+        let (_cat, knowledge) = refined_catalog(products, 7);
+        let td = knowledge.data_tree().expect("view answered something");
+        g.bench(format!("certain/{products}"), || {
+            knowledge.certain_prefix(&td)
+        });
+        g.bench(format!("possible/{products}"), || {
+            knowledge.possible_prefix(&td)
         });
     }
     g.finish();
 }
 
-fn bench_prefix(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E3_prefix");
-    g.sample_size(10);
-    for products in [5usize, 20, 80] {
-        let (c_data, knowledge) = refined_catalog(products, 7);
-        let td = knowledge.data_tree().expect("view answered something");
-        g.bench_with_input(
-            BenchmarkId::new("certain", products),
-            &(&knowledge, &td),
-            |b, (k, t)| b.iter(|| k.certain_prefix(t)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("possible", products),
-            &(&knowledge, &td),
-            |b, (k, t)| b.iter(|| k.possible_prefix(t)),
-        );
-        drop(c_data);
-    }
-    g.finish();
-}
-
-fn bench_membership(c: &mut Criterion) {
+fn bench_membership(h: &mut Harness) {
     // Exact membership (rep ∋ tree) via circulation, used throughout
     // the test oracle: PTIME in |T| × |Σ'|.
-    let mut g = c.benchmark_group("E2b_membership");
+    let mut g = h.group("E2b_membership");
     g.sample_size(10);
     for products in [5usize, 20, 80] {
-        let (c_data, knowledge) = refined_catalog(products, 7);
-        g.bench_with_input(
-            BenchmarkId::new("contains_source", products),
-            &(&knowledge, &c_data.doc),
-            |b, (k, doc)| b.iter(|| k.contains(doc)),
-        );
-    }
-    g.finish();
-}
-
-fn bench_type_restriction(c: &mut Criterion) {
-    // Theorem 3.5 at growing knowledge sizes.
-    let mut g = c.benchmark_group("E2c_type_restriction");
-    g.sample_size(10);
-    for products in [5usize, 20, 80] {
-        let (c_data, knowledge) = refined_catalog(products, 7);
-        g.bench_with_input(
-            BenchmarkId::new("restrict", products),
-            &(&knowledge, &c_data.ty),
-            |b, (k, ty)| b.iter(|| iixml_core::type_intersect::restrict_to_type(k, ty)),
-        );
-    }
-    g.finish();
-}
-
-fn bench_minimize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E2d_minimize");
-    g.sample_size(10);
-    for products in [5usize, 20, 80] {
-        let (mut c_data, knowledge) = refined_catalog(products, 7);
-        // One more refinement to create mergeable structure.
-        let q2 = catalog_query_price_below(&mut c_data.alpha, 400);
-        let mut refiner = iixml_core::Refiner::from_tree(knowledge);
-        refiner
-            .refine(&c_data.alpha, &q2, &q2.eval(&c_data.doc))
-            .unwrap();
-        let tree = refiner.current().clone();
-        g.bench_with_input(BenchmarkId::new("minimize", products), &tree, |b, t| {
-            b.iter(|| t.minimize())
+        let (cat, knowledge) = refined_catalog(products, 7);
+        g.bench(format!("contains_source/{products}"), || {
+            knowledge.contains(&cat.doc)
         });
     }
     g.finish();
 }
 
-#[allow(dead_code)]
-fn assert_wired(_: &IncompleteTree, _: &BTreeMap<u64, ()>) {}
+fn bench_type_restriction(h: &mut Harness) {
+    // Theorem 3.5 at growing knowledge sizes.
+    let mut g = h.group("E2c_type_restriction");
+    g.sample_size(10);
+    for products in [5usize, 20, 80] {
+        let (cat, knowledge) = refined_catalog(products, 7);
+        g.bench(format!("restrict/{products}"), || {
+            iixml_core::type_intersect::restrict_to_type(&knowledge, &cat.ty)
+        });
+    }
+    g.finish();
+}
 
-criterion_group!(
-    benches,
-    bench_conditions,
-    bench_emptiness,
-    bench_prefix,
-    bench_membership,
-    bench_type_restriction,
-    bench_minimize
-);
-criterion_main!(benches);
+fn bench_minimize(h: &mut Harness) {
+    let mut g = h.group("E2d_minimize");
+    g.sample_size(10);
+    for products in [5usize, 20, 80] {
+        let (mut cat, knowledge) = refined_catalog(products, 7);
+        // One more refinement to create mergeable structure.
+        let q2 = catalog_query_price_below(&mut cat.alpha, 400);
+        let mut refiner = iixml_core::Refiner::from_tree(knowledge);
+        refiner.refine(&cat.alpha, &q2, &q2.eval(&cat.doc)).unwrap();
+        let tree = refiner.current().clone();
+        g.bench(format!("minimize/{products}"), || tree.minimize());
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_conditions(&mut h);
+    bench_emptiness(&mut h);
+    bench_prefix(&mut h);
+    bench_membership(&mut h);
+    bench_type_restriction(&mut h);
+    bench_minimize(&mut h);
+    h.finish();
+}

@@ -7,7 +7,7 @@
 //! * E13 (Section 4): extended-query evaluation with branching
 //!   (the factorial matching space).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iixml_bench::harness::Harness;
 use iixml_bench::refined_catalog;
 use iixml_extensions::xquery::{Modality, XQueryBuilder};
 use iixml_gen::catalog_query_camera_pictures;
@@ -15,52 +15,40 @@ use iixml_mediator::Mediator;
 use iixml_tree::{Alphabet, DataTree, Nid};
 use iixml_values::{Cond, Rat};
 
-fn bench_query_incomplete(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E9_query_incomplete");
+fn bench_query_incomplete(h: &mut Harness) {
+    let mut g = h.group("E9_query_incomplete");
     g.sample_size(10);
     for products in [5usize, 20, 80] {
         let (mut cat, knowledge) = refined_catalog(products, 11);
         let q = catalog_query_camera_pictures(&mut cat.alpha);
-        g.bench_with_input(
-            BenchmarkId::new("qT", products),
-            &(&knowledge, &q),
-            |b, (k, q)| b.iter(|| k.query(q)),
-        );
+        g.bench(format!("qT/{products}"), || knowledge.query(&q));
     }
     g.finish();
 }
 
-fn bench_answerability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E10_answerability");
+fn bench_answerability(h: &mut Harness) {
+    let mut g = h.group("E10_answerability");
     g.sample_size(10);
     for products in [5usize, 20, 80] {
         let (mut cat, knowledge) = refined_catalog(products, 13);
         let q = catalog_query_camera_pictures(&mut cat.alpha);
-        g.bench_with_input(
-            BenchmarkId::new("fully_answerable", products),
-            &(&knowledge, &q),
-            |b, (k, q)| b.iter(|| k.query(q).fully_answerable()),
-        );
+        g.bench(format!("fully_answerable/{products}"), || {
+            knowledge.query(&q).fully_answerable()
+        });
     }
     g.finish();
 }
 
-fn bench_mediator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E11_mediator");
+fn bench_mediator(h: &mut Harness) {
+    let mut g = h.group("E11_mediator");
     g.sample_size(10);
     for products in [5usize, 20, 80] {
         let (mut cat, knowledge) = refined_catalog(products, 17);
         let q = catalog_query_camera_pictures(&mut cat.alpha);
-        g.bench_with_input(
-            BenchmarkId::new("complete", products),
-            &(&knowledge, &q),
-            |b, (k, q)| {
-                b.iter(|| {
-                    let med = Mediator::new(k);
-                    med.complete(q).queries.len()
-                })
-            },
-        );
+        g.bench(format!("complete/{products}"), || {
+            let med = Mediator::new(&knowledge);
+            med.complete(&q).queries.len()
+        });
     }
     g.finish();
 }
@@ -68,8 +56,8 @@ fn bench_mediator(c: &mut Criterion) {
 /// The Section 4 branching example: root with n `a(b=i)` children, query
 /// branching over all n values — the n! assignment space the paper uses
 /// to show q(T) explodes with branching.
-fn bench_branching(c: &mut Criterion) {
-    let mut g = c.benchmark_group("E13_branching_eval");
+fn bench_branching(h: &mut Harness) {
+    let mut g = h.group("E13_branching_eval");
     g.sample_size(10);
     for n in [2usize, 4, 6] {
         let mut alpha = Alphabet::new();
@@ -91,18 +79,16 @@ fn bench_branching(c: &mut Criterion) {
             bld.child(an, "b", Cond::eq(Rat::from(i as i64 + 1)), Modality::Plain);
         }
         let q = bld.build();
-        g.bench_with_input(BenchmarkId::new("valuations", n), &(&q, &t), |b, (q, t)| {
-            b.iter(|| q.valuations(t).len())
-        });
+        g.bench(format!("valuations/{n}"), || q.valuations(&t).len());
     }
     g.finish();
 }
 
-fn bench_pebble(c: &mut Criterion) {
+fn bench_pebble(h: &mut Harness) {
     // E17 (Theorem 4.2 flavor): pebble-automaton acceptance on growing
     // trees: the configuration space is states × nodes^k.
     use iixml_extensions::pebble::{BinTree, PebbleAutomaton};
-    let mut g = c.benchmark_group("E17_pebble");
+    let mut g = h.group("E17_pebble");
     g.sample_size(10);
     for products in [5usize, 20, 80] {
         let cat = iixml_gen::catalog(products, 23);
@@ -110,22 +96,18 @@ fn bench_pebble(c: &mut Criterion) {
         let picture = cat.alpha.get("picture").unwrap();
         let a1 = PebbleAutomaton::exists_label(picture);
         let a2 = PebbleAutomaton::two_distinct_labeled(picture);
-        g.bench_with_input(BenchmarkId::new("one_pebble", products), &(&a1, &bt), |b, (a, t)| {
-            b.iter(|| a.accepts(t))
-        });
-        g.bench_with_input(BenchmarkId::new("two_pebbles", products), &(&a2, &bt), |b, (a, t)| {
-            b.iter(|| a.accepts(t))
-        });
+        g.bench(format!("one_pebble/{products}"), || a1.accepts(&bt));
+        g.bench(format!("two_pebbles/{products}"), || a2.accepts(&bt));
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_query_incomplete,
-    bench_answerability,
-    bench_mediator,
-    bench_branching,
-    bench_pebble
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_query_incomplete(&mut h);
+    bench_answerability(&mut h);
+    bench_mediator(&mut h);
+    bench_branching(&mut h);
+    bench_pebble(&mut h);
+    h.finish();
+}

@@ -2,8 +2,11 @@
 //! `report` binary (which regenerates the EXPERIMENTS.md tables).
 //!
 //! Each helper corresponds to a row family in DESIGN.md's experiment
-//! index; the Criterion benches in `benches/` measure times on these
-//! workloads, while `src/bin/report.rs` prints the size/count tables.
+//! index; the benches in `benches/` (driven by the std-only [`harness`])
+//! measure times on these workloads, while `src/bin/report.rs` prints
+//! the size/count tables.
+
+pub mod harness;
 
 use iixml_core::{ConjunctiveTree, IncompleteTree, Refiner};
 use iixml_gen::{
@@ -85,8 +88,10 @@ pub fn auxiliary_chain_size(n: usize) -> usize {
         alpha.get("b").unwrap(),
     );
     let mut doc = DataTree::new(Nid(0), root, Rat::ZERO);
-    doc.add_child(doc.root(), Nid(1), a, Rat::from(100)).unwrap();
-    doc.add_child(doc.root(), Nid(2), b, Rat::from(200)).unwrap();
+    doc.add_child(doc.root(), Nid(1), a, Rat::from(100))
+        .unwrap();
+    doc.add_child(doc.root(), Nid(2), b, Rat::from(200))
+        .unwrap();
     let mut refiner = Refiner::new(&alpha);
     for aux in auxiliary_queries(&queries[0]) {
         refiner.refine(&alpha, &aux, &aux.eval(&doc)).unwrap();

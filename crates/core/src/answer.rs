@@ -87,20 +87,17 @@ pub fn match_sets(it: &IncompleteTree, q: &PsQuery) -> MatchSets {
             if p_cond {
                 poss[s.ix()] = kids.is_empty()
                     || ty.mu(s).atoms().iter().any(|a| {
-                        kids.iter().all(|&mi| {
-                            a.entries()
-                                .iter()
-                                .any(|&(c, _)| sets.poss[&mi][c.ix()])
-                        })
+                        kids.iter()
+                            .all(|&mi| a.entries().iter().any(|&(c, _)| sets.poss[&mi][c.ix()]))
                     });
             }
             if c_cond {
                 cert[s.ix()] = !ty.mu(s).atoms().is_empty()
                     && ty.mu(s).atoms().iter().all(|a| {
                         kids.iter().all(|&mi| {
-                            a.entries().iter().any(|&(c, mu)| {
-                                mu.mandatory() && sets.cert[&mi][c.ix()]
-                            })
+                            a.entries()
+                                .iter()
+                                .any(|&(c, mu)| mu.mandatory() && sets.cert[&mi][c.ix()])
                         })
                     });
             }
@@ -135,10 +132,10 @@ impl Builder<'_> {
         // Create symbols on demand, with a worklist for µ construction.
         let mut worklist: Vec<(Sym, QPos)> = Vec::new();
         let ensure = |out: &mut ConditionalTreeType,
-                          worklist: &mut Vec<(Sym, QPos)>,
-                          pair_of: &mut HashMap<(Sym, QPos), Sym>,
-                          s: Sym,
-                          pos: QPos| {
+                      worklist: &mut Vec<(Sym, QPos)>,
+                      pair_of: &mut HashMap<(Sym, QPos), Sym>,
+                      s: Sym,
+                      pos: QPos| {
             *pair_of.entry((s, pos)).or_insert_with(|| {
                 let info = ty.info(s);
                 let cond = match pos {
@@ -213,14 +210,7 @@ impl Builder<'_> {
             .mu(s)
             .atoms()
             .iter()
-            .map(|a| {
-                SAtom::new(
-                    a.entries()
-                        .iter()
-                        .map(|&(c, m)| (ensure(c), m))
-                        .collect(),
-                )
-            })
+            .map(|a| SAtom::new(a.entries().iter().map(|&(c, m)| (ensure(c), m)).collect()))
             .collect();
         Disjunction(atoms)
     }
@@ -495,14 +485,41 @@ mod tests {
     fn example() -> (IncompleteTree, Alphabet) {
         let alpha = Alphabet::from_names(["root", "a", "b"]);
         let mut nodes = BTreeMap::new();
-        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
-        nodes.insert(Nid(1), NodeInfo { label: Label(1), value: Rat::ZERO });
+        nodes.insert(
+            Nid(0),
+            NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
+        nodes.insert(
+            Nid(1),
+            NodeInfo {
+                label: Label(1),
+                value: Rat::ZERO,
+            },
+        );
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
-        let a = ty.add_symbol("a", SymTarget::Lab(Label(1)), Cond::ne(Rat::ZERO).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Node(Nid(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let n = ty.add_symbol(
+            "n",
+            SymTarget::Node(Nid(1)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let a = ty.add_symbol(
+            "a",
+            SymTarget::Lab(Label(1)),
+            Cond::ne(Rat::ZERO).to_intervals(),
+        );
         let b = ty.add_symbol("b", SymTarget::Lab(Label(2)), IntervalSet::all());
-        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])));
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])),
+        );
         ty.set_mu(n, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(a, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(b, Disjunction::leaf());
@@ -530,26 +547,33 @@ mod tests {
 
         // Possible nonempty answers include: r with n and one b below n.
         let mut a1 = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        let nref = a1.add_child(a1.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        let nref = a1
+            .add_child(a1.root(), Nid(1), Label(1), Rat::ZERO)
+            .unwrap();
         a1.add_child(nref, Nid(50), Label(2), Rat::from(3)).unwrap();
         assert!(ans.tree.contains(&a1), "r-n-b is a possible answer");
 
         // r with an extra a(=5) child carrying a b: possible.
         let mut a2 = a1.clone();
-        let extra = a2.add_child(a2.root(), Nid(60), Label(1), Rat::from(5)).unwrap();
+        let extra = a2
+            .add_child(a2.root(), Nid(60), Label(1), Rat::from(5))
+            .unwrap();
         a2.add_child(extra, Nid(61), Label(2), Rat::ZERO).unwrap();
         assert!(ans.tree.contains(&a2));
 
         // r with n but n has no b: NOT an answer (answers include n only
         // when a b was matched below it).
         let mut bad = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        bad.add_child(bad.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        bad.add_child(bad.root(), Nid(1), Label(1), Rat::ZERO)
+            .unwrap();
         assert!(!ans.tree.contains(&bad));
 
         // An `a` child with value 0 is impossible (the star type demands
         // != 0 and node n is the only a=0).
         let mut bad2 = a1.clone();
-        let e = bad2.add_child(bad2.root(), Nid(70), Label(1), Rat::ZERO).unwrap();
+        let e = bad2
+            .add_child(bad2.root(), Nid(70), Label(1), Rat::ZERO)
+            .unwrap();
         bad2.add_child(e, Nid(71), Label(2), Rat::ZERO).unwrap();
         assert!(!ans.tree.contains(&bad2));
     }
@@ -652,7 +676,8 @@ mod tests {
         assert!(ans.certain_answer_prefix(&just_root));
         assert!(ans.possible_answer_prefix(&just_root));
         let mut rn = just_root.clone();
-        rn.add_child(rn.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        rn.add_child(rn.root(), Nid(1), Label(1), Rat::ZERO)
+            .unwrap();
         assert!(ans.certain_answer_prefix(&rn));
         // A b-node below n is never in this answer.
         let mut rnb = rn.clone();
@@ -767,12 +792,17 @@ mod tests {
         assert!(ans.certain_nonempty());
         // Answers may include b-children below n (unknown content).
         let mut with_b = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        let nref = with_b.add_child(with_b.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
-        with_b.add_child(nref, Nid(80), Label(2), Rat::from(4)).unwrap();
+        let nref = with_b
+            .add_child(with_b.root(), Nid(1), Label(1), Rat::ZERO)
+            .unwrap();
+        with_b
+            .add_child(nref, Nid(80), Label(2), Rat::from(4))
+            .unwrap();
         assert!(ans.tree.contains(&with_b));
         // And also no b at all.
         let mut no_b = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        no_b.add_child(no_b.root(), Nid(1), Label(1), Rat::ZERO).unwrap();
+        no_b.add_child(no_b.root(), Nid(1), Label(1), Rat::ZERO)
+            .unwrap();
         assert!(ans.tree.contains(&no_b));
         // Not fully answerable: the subtree content is unknown.
         assert!(!ans.fully_answerable());

@@ -60,6 +60,7 @@ pub struct SymbolInfo {
 
 /// A multiplicity atom over specialized symbols: `s1^ω1 … sk^ωk` with
 /// distinct symbols, kept sorted.
+///
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct SAtom {
     entries: Vec<(Sym, Mult)>,
@@ -334,12 +335,7 @@ impl ConditionalTreeType {
             }
             out.set_mu(ns, Disjunction(atoms));
         }
-        out.set_roots(
-            self.roots
-                .iter()
-                .filter_map(|r| remap[r.ix()])
-                .collect(),
-        );
+        out.set_roots(self.roots.iter().filter_map(|r| remap[r.ix()]).collect());
         (out, remap)
     }
 

@@ -81,11 +81,15 @@ fn mult_text(m: Mult) -> &'static str {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('"', "&quot;").replace('<', "&lt;")
+    s.replace('&', "&amp;")
+        .replace('"', "&quot;")
+        .replace('<', "&lt;")
 }
 
 fn xml_unescape(s: &str) -> String {
-    s.replace("&lt;", "<").replace("&quot;", "\"").replace("&amp;", "&")
+    s.replace("&lt;", "<")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
 }
 
 /// Error from parsing the incomplete-tree XML form.
@@ -99,7 +103,11 @@ pub struct IoError {
 
 impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "incomplete-tree xml error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "incomplete-tree xml error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -184,10 +192,7 @@ fn get<'v>(attrs: &'v [(String, String)], key: &str) -> Option<&'v str> {
 
 /// Parses the XML document form back into an incomplete tree, interning
 /// label names into `alpha`.
-pub fn parse_incomplete_xml(
-    input: &str,
-    alpha: &mut Alphabet,
-) -> Result<IncompleteTree, IoError> {
+pub fn parse_incomplete_xml(input: &str, alpha: &mut Alphabet) -> Result<IncompleteTree, IoError> {
     let mut p = Parser { input, pos: 0 };
     p.expect("<incomplete")?;
     p.expect(">")?;
@@ -216,9 +221,8 @@ pub fn parse_incomplete_xml(
                 .ok_or_else(|| p.err("data-node missing nid"))?
                 .parse()
                 .map_err(|e| p.err(format!("bad nid: {e}")))?;
-            let label: Label = alpha.intern(
-                get(&attrs, "label").ok_or_else(|| p.err("data-node missing label"))?,
-            );
+            let label: Label =
+                alpha.intern(get(&attrs, "label").ok_or_else(|| p.err("data-node missing label"))?);
             let value: Rat = get(&attrs, "val")
                 .ok_or_else(|| p.err("data-node missing val"))?
                 .parse()
@@ -234,9 +238,9 @@ pub fn parse_incomplete_xml(
                 .map_err(|e| p.err(format!("bad id: {e}")))?;
             let name = get(&attrs, "name").unwrap_or_default().to_string();
             let target = if let Some(n) = get(&attrs, "node") {
-                SymTarget::Node(Nid(
-                    n.parse().map_err(|e| p.err(format!("bad node: {e}")))?,
-                ))
+                SymTarget::Node(Nid(n
+                    .parse()
+                    .map_err(|e| p.err(format!("bad node: {e}")))?))
             } else if let Some(l) = get(&attrs, "label") {
                 SymTarget::Lab(alpha.intern(l))
             } else {
@@ -276,9 +280,7 @@ pub fn parse_incomplete_xml(
                                 Some("?") => Mult::Opt,
                                 Some("+") => Mult::Plus,
                                 Some("*") => Mult::Star,
-                                other => {
-                                    return Err(p.err(format!("bad mult {other:?}")))
-                                }
+                                other => return Err(p.err(format!("bad mult {other:?}"))),
                             };
                             entries.push((sym, mult));
                         }
@@ -355,14 +357,41 @@ mod tests {
     fn example() -> (IncompleteTree, Alphabet) {
         let alpha = Alphabet::from_names(["root", "a", "b"]);
         let mut nodes = BTreeMap::new();
-        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
-        nodes.insert(Nid(1), NodeInfo { label: Label(1), value: Rat::ZERO });
+        nodes.insert(
+            Nid(0),
+            NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
+        nodes.insert(
+            Nid(1),
+            NodeInfo {
+                label: Label(1),
+                value: Rat::ZERO,
+            },
+        );
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
-        let a = ty.add_symbol("a", SymTarget::Lab(Label(1)), Cond::ne(Rat::ZERO).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Node(Nid(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let n = ty.add_symbol(
+            "n",
+            SymTarget::Node(Nid(1)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let a = ty.add_symbol(
+            "a",
+            SymTarget::Lab(Label(1)),
+            Cond::ne(Rat::ZERO).to_intervals(),
+        );
         let b = ty.add_symbol("b", SymTarget::Lab(Label(2)), IntervalSet::all());
-        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])));
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])),
+        );
         ty.set_mu(n, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(a, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(b, Disjunction::leaf());
@@ -407,11 +436,14 @@ mod tests {
             &mut a
         )
         .is_err());
-        assert!(parse_incomplete_xml(
-            "<incomplete><symbol id=\"0\" name=\"s\" cond=\"true\"/></incomplete>",
-            &mut a
-        )
-        .is_err(), "symbol without target");
+        assert!(
+            parse_incomplete_xml(
+                "<incomplete><symbol id=\"0\" name=\"s\" cond=\"true\"/></incomplete>",
+                &mut a
+            )
+            .is_err(),
+            "symbol without target"
+        );
         // Entry referencing an unknown symbol.
         let bad = "<incomplete><symbol id=\"0\" name=\"s\" label=\"a\" cond=\"true\"><alt><e sym=\"9\" mult=\"*\"/></alt></symbol></incomplete>";
         assert!(parse_incomplete_xml(bad, &mut a).is_err());
@@ -428,7 +460,8 @@ mod tests {
         use iixml_tree::DataTree;
         let mut alpha = Alphabet::from_names(["root", "a", "b"]);
         let mut doc = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        doc.add_child(doc.root(), Nid(1), Label(1), Rat::from(5)).unwrap();
+        doc.add_child(doc.root(), Nid(1), Label(1), Rat::from(5))
+            .unwrap();
         let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
         let root = b.root();
         b.child(root, "a", Cond::lt(Rat::from(10))).unwrap();

@@ -230,9 +230,11 @@ impl IncompleteTree {
             return false;
         }
         let kids = t.children(u).to_vec();
-        self.ty.mu(s).0.iter().any(|atom| {
-            self.atom_feasible(t, &kids, atom, memo)
-        })
+        self.ty
+            .mu(s)
+            .0
+            .iter()
+            .any(|atom| self.atom_feasible(t, &kids, atom, memo))
     }
 
     fn atom_feasible(
@@ -452,9 +454,8 @@ impl IncompleteTree {
                     // their own value condition, so (3) acts as the
                     // alternative to (2).)
                     let exclusive = (0..group.len()).all(|i| {
-                        (i + 1..group.len()).all(|j| {
-                            !ty.info(group[i]).cond.overlaps(&ty.info(group[j]).cond)
-                        })
+                        (i + 1..group.len())
+                            .all(|j| !ty.info(group[i]).cond.overlaps(&ty.info(group[j]).cond))
                     });
                     let has_node = atom.entries().iter().any(|&(c, _)| {
                         matches!(ty.info(c).target, SymTarget::Node(n)
@@ -516,8 +517,16 @@ mod tests {
             },
         );
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Node(Nid(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let n = ty.add_symbol(
+            "n",
+            SymTarget::Node(Nid(1)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
         let a = ty.add_symbol("a", SymTarget::Lab(a_l), Cond::ne(Rat::ZERO).to_intervals());
         let b = ty.add_symbol("b", SymTarget::Lab(b_l), IntervalSet::all());
         ty.set_mu(
@@ -553,9 +562,7 @@ mod tests {
         assert!(it.contains(&t));
         // Add an extra a != 0 child and b grandchildren: still in rep.
         let mut t2 = t.clone();
-        let extra = t2
-            .add_child(t2.root(), Nid(50), a_l, Rat::from(7))
-            .unwrap();
+        let extra = t2.add_child(t2.root(), Nid(50), a_l, Rat::from(7)).unwrap();
         t2.add_child(extra, Nid(51), b_l, Rat::from(3)).unwrap();
         let n_ref = t2.by_nid(Nid(1)).unwrap();
         t2.add_child(n_ref, Nid(52), b_l, Rat::from(4)).unwrap();
@@ -675,7 +682,11 @@ mod tests {
             },
         );
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::lt(Rat::from(3)).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Node(Nid(0)),
+            Cond::lt(Rat::from(3)).to_intervals(),
+        );
         ty.set_mu(r, Disjunction::leaf());
         ty.add_root(r);
         let it = IncompleteTree::new(nodes, ty).unwrap();
@@ -705,8 +716,16 @@ mod tests {
         let mut ty = ConditionalTreeType::new();
         let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), IntervalSet::all());
         let n1 = ty.add_symbol("n1", SymTarget::Node(Nid(1)), IntervalSet::all());
-        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), Cond::lt(Rat::from(5)).to_intervals());
-        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), Cond::gt(Rat::ZERO).to_intervals());
+        let a1 = ty.add_symbol(
+            "a1",
+            SymTarget::Lab(Label(1)),
+            Cond::lt(Rat::from(5)).to_intervals(),
+        );
+        let a2 = ty.add_symbol(
+            "a2",
+            SymTarget::Lab(Label(1)),
+            Cond::gt(Rat::ZERO).to_intervals(),
+        );
         ty.set_mu(
             r,
             Disjunction::single(SAtom::new(vec![
@@ -731,8 +750,20 @@ mod tests {
         ty2.set_mu(n2, Disjunction::leaf());
         ty2.add_root(r2);
         let mut nodes2 = BTreeMap::new();
-        nodes2.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
-        nodes2.insert(Nid(1), NodeInfo { label: Label(2), value: Rat::ZERO });
+        nodes2.insert(
+            Nid(0),
+            NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
+        nodes2.insert(
+            Nid(1),
+            NodeInfo {
+                label: Label(2),
+                value: Rat::ZERO,
+            },
+        );
         let it3 = IncompleteTree::new(nodes2, ty2).unwrap();
         assert!(!it3.is_unambiguous());
     }

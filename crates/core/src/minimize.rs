@@ -23,8 +23,14 @@
 
 use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
 use crate::itree::IncompleteTree;
+use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_tree::Mult;
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Wall time of each `minimize()` call.
+static OBS_MINIMIZE_NS: LazyHistogram = LazyHistogram::new("core.minimize.call_ns");
+/// Symbols eliminated by bisimulation merging, across all calls.
+static OBS_MERGED: LazyCounter = LazyCounter::new("core.minimize.symbols_merged");
 
 fn bounds(m: Mult) -> (u8, bool) {
     // (lower bound, unbounded?)
@@ -59,6 +65,7 @@ impl IncompleteTree {
     /// `rep` exactly. Run [`IncompleteTree::trim`] first for best effect
     /// (the [`crate::Refiner`] does both).
     pub fn minimize(&self) -> IncompleteTree {
+        let _span = OBS_MINIMIZE_NS.time();
         let ty = self.ty();
         let n = ty.sym_count();
         if n == 0 {
@@ -90,7 +97,9 @@ impl IncompleteTree {
                 }
             }
             if !violated {
-                return self.rebuild(&block_of);
+                let out = self.rebuild(&block_of);
+                OBS_MERGED.add((n - out.ty().sym_count().min(n)) as u64);
+                return out;
             }
         }
     }
@@ -186,8 +195,8 @@ impl IncompleteTree {
                 let entries: Vec<(Sym, Mult)> = groups
                     .into_iter()
                     .map(|(c, ms)| {
-                        let m = combine(&ms)
-                            .expect("inexpressible blocks were frozen before rebuild");
+                        let m =
+                            combine(&ms).expect("inexpressible blocks were frozen before rebuild");
                         (c, m)
                     })
                     .collect();
@@ -223,8 +232,16 @@ mod tests {
     fn merges_identical_star_symbols() {
         let mut ty = ConditionalTreeType::new();
         let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
-        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), Cond::gt(Rat::ZERO).to_intervals());
-        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), Cond::gt(Rat::ZERO).to_intervals());
+        let a1 = ty.add_symbol(
+            "a1",
+            SymTarget::Lab(Label(1)),
+            Cond::gt(Rat::ZERO).to_intervals(),
+        );
+        let a2 = ty.add_symbol(
+            "a2",
+            SymTarget::Lab(Label(1)),
+            Cond::gt(Rat::ZERO).to_intervals(),
+        );
         ty.set_mu(
             r,
             Disjunction(vec![
@@ -243,10 +260,12 @@ mod tests {
         assert_eq!(m.ty().mu(root_sym).atoms().len(), 1);
         // Semantics preserved.
         let mut t = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        t.add_child(t.root(), Nid(1), Label(1), Rat::from(3)).unwrap();
+        t.add_child(t.root(), Nid(1), Label(1), Rat::from(3))
+            .unwrap();
         assert!(it.contains(&t) && m.contains(&t));
         let mut bad = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        bad.add_child(bad.root(), Nid(1), Label(1), Rat::from(-3)).unwrap();
+        bad.add_child(bad.root(), Nid(1), Label(1), Rat::from(-3))
+            .unwrap();
         assert!(!it.contains(&bad) && !m.contains(&bad));
     }
 
@@ -255,8 +274,16 @@ mod tests {
     fn keeps_distinguishable_symbols() {
         let mut ty = ConditionalTreeType::new();
         let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
-        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), Cond::gt(Rat::ZERO).to_intervals());
-        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), Cond::lt(Rat::ZERO).to_intervals());
+        let a1 = ty.add_symbol(
+            "a1",
+            SymTarget::Lab(Label(1)),
+            Cond::gt(Rat::ZERO).to_intervals(),
+        );
+        let a2 = ty.add_symbol(
+            "a2",
+            SymTarget::Lab(Label(1)),
+            Cond::lt(Rat::ZERO).to_intervals(),
+        );
         ty.set_mu(
             r,
             Disjunction::single(SAtom::new(vec![(a1, Mult::Star), (a2, Mult::Star)])),
@@ -295,7 +322,13 @@ mod tests {
     #[test]
     fn freezes_inexpressible_merges() {
         let mut nodes = std::collections::BTreeMap::new();
-        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
+        nodes.insert(
+            Nid(0),
+            NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
         let mut ty = ConditionalTreeType::new();
         let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), IntervalSet::all());
         // Two identical-behavior Lab symbols, both mandatory in the same
@@ -313,12 +346,17 @@ mod tests {
         let m = it.minimize();
         // Exactly-two semantics preserved.
         let mut two = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        two.add_child(two.root(), Nid(10), Label(1), Rat::ZERO).unwrap();
-        two.add_child(two.root(), Nid(11), Label(1), Rat::ZERO).unwrap();
+        two.add_child(two.root(), Nid(10), Label(1), Rat::ZERO)
+            .unwrap();
+        two.add_child(two.root(), Nid(11), Label(1), Rat::ZERO)
+            .unwrap();
         let mut one = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        one.add_child(one.root(), Nid(10), Label(1), Rat::ZERO).unwrap();
+        one.add_child(one.root(), Nid(10), Label(1), Rat::ZERO)
+            .unwrap();
         let mut three = two.clone();
-        three.add_child(three.root(), Nid(12), Label(1), Rat::ZERO).unwrap();
+        three
+            .add_child(three.root(), Nid(12), Label(1), Rat::ZERO)
+            .unwrap();
         for (t, expect) in [(&two, true), (&one, false), (&three, false)] {
             assert_eq!(it.contains(t), expect);
             assert_eq!(m.contains(t), expect, "minimization changed semantics");
@@ -345,7 +383,10 @@ mod tests {
         let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
         let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), IntervalSet::all());
         let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), IntervalSet::all());
-        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(a1, Mult::Star), (a2, Mult::Star)])));
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(a1, Mult::Star), (a2, Mult::Star)])),
+        );
         ty.set_mu(a1, Disjunction::leaf());
         ty.set_mu(a2, Disjunction::leaf());
         ty.add_root(r);

@@ -76,21 +76,13 @@ impl PrefixAnalysis<'_> {
     /// The set of symbols `s` such that the subtree of `T` at `u` is a
     /// certain (resp. possible) prefix of every (resp. some) tree of
     /// `rep(T_s)` — the `Cert(n)` / `Poss(n)` sets of Theorem 2.8.
-    fn analyze(
-        &self,
-        u: NodeRef,
-        mode: Mode,
-        memo: &mut HashMap<NodeRef, Vec<bool>>,
-    ) -> Vec<bool> {
+    fn analyze(&self, u: NodeRef, mode: Mode, memo: &mut HashMap<NodeRef, Vec<bool>>) -> Vec<bool> {
         if let Some(v) = memo.get(&u) {
             return v.clone();
         }
         // Children first (bottom-up).
         let kids = self.t.children(u).to_vec();
-        let kid_sets: Vec<Vec<bool>> = kids
-            .iter()
-            .map(|&c| self.analyze(c, mode, memo))
-            .collect();
+        let kid_sets: Vec<Vec<bool>> = kids.iter().map(|&c| self.analyze(c, mode, memo)).collect();
         let mut out = vec![false; self.ty().sym_count()];
         for s in self.ty().syms() {
             if !self.match_ok(u, s, mode) {
@@ -101,9 +93,7 @@ impl PrefixAnalysis<'_> {
                 continue; // unsatisfiable symbol (removed by trim anyway)
             }
             let ok = match mode {
-                Mode::Certain => atoms
-                    .iter()
-                    .all(|a| self.atom_certain(a, &kids, &kid_sets)),
+                Mode::Certain => atoms.iter().all(|a| self.atom_certain(a, &kids, &kid_sets)),
                 Mode::Possible => atoms
                     .iter()
                     .any(|a| self.atom_possible(a, &kids, &kid_sets)),
@@ -229,14 +219,41 @@ mod tests {
     /// optional extra `a != 0` children, all a's may have b children.
     fn example() -> IncompleteTree {
         let mut nodes = BTreeMap::new();
-        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
-        nodes.insert(Nid(1), NodeInfo { label: Label(1), value: Rat::ZERO });
+        nodes.insert(
+            Nid(0),
+            NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
+        nodes.insert(
+            Nid(1),
+            NodeInfo {
+                label: Label(1),
+                value: Rat::ZERO,
+            },
+        );
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
-        let a = ty.add_symbol("a", SymTarget::Lab(Label(1)), Cond::ne(Rat::ZERO).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Node(Nid(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let n = ty.add_symbol(
+            "n",
+            SymTarget::Node(Nid(1)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let a = ty.add_symbol(
+            "a",
+            SymTarget::Lab(Label(1)),
+            Cond::ne(Rat::ZERO).to_intervals(),
+        );
         let b = ty.add_symbol("b", SymTarget::Lab(Label(2)), IntervalSet::all());
-        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])));
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])),
+        );
         ty.set_mu(n, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(a, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(b, Disjunction::leaf());
@@ -263,7 +280,8 @@ mod tests {
     fn extra_a_child_possible_not_certain() {
         let it = example();
         let mut t = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        t.add_child(t.root(), Nid(99), Label(1), Rat::from(5)).unwrap();
+        t.add_child(t.root(), Nid(99), Label(1), Rat::from(5))
+            .unwrap();
         assert!(it.possible_prefix(&t), "some world has an extra a=5");
         assert!(!it.certain_prefix(&t), "worlds with no extra a exist");
     }
@@ -282,7 +300,8 @@ mod tests {
         // But two such children cannot both embed (only one node n, and
         // the star type rejects value 0).
         let mut t2 = t.clone();
-        t2.add_child(t2.root(), Nid(98), Label(1), Rat::ZERO).unwrap();
+        t2.add_child(t2.root(), Nid(98), Label(1), Rat::ZERO)
+            .unwrap();
         assert!(!it.possible_prefix(&t2));
     }
 
@@ -309,7 +328,13 @@ mod tests {
     #[test]
     fn empty_rep_nothing_is_certain_or_possible() {
         let mut nodes = BTreeMap::new();
-        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
+        nodes.insert(
+            Nid(0),
+            NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
         let mut ty = ConditionalTreeType::new();
         // Root requires an unproductive child.
         let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), IntervalSet::all());
@@ -329,18 +354,25 @@ mod tests {
         // root -> x* with cond(x) = (0, 10): a tree with x=5 is possible
         // but never certain (value not forced, and x not mandatory).
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), Cond::eq(Rat::ZERO).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Lab(Label(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
         let x = ty.add_symbol(
             "x",
             SymTarget::Lab(Label(1)),
-            Cond::gt(Rat::ZERO).and(Cond::lt(Rat::from(10))).to_intervals(),
+            Cond::gt(Rat::ZERO)
+                .and(Cond::lt(Rat::from(10)))
+                .to_intervals(),
         );
         ty.set_mu(r, Disjunction::single(SAtom::new(vec![(x, Mult::Star)])));
         ty.set_mu(x, Disjunction::leaf());
         ty.add_root(r);
         let it = IncompleteTree::new(BTreeMap::new(), ty).unwrap();
         let mut t = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        t.add_child(t.root(), Nid(1), Label(1), Rat::from(5)).unwrap();
+        t.add_child(t.root(), Nid(1), Label(1), Rat::from(5))
+            .unwrap();
         assert!(it.possible_prefix(&t));
         assert!(!it.certain_prefix(&t));
     }
@@ -349,18 +381,28 @@ mod tests {
     fn certain_with_mandatory_forced_child() {
         // root -> x (exactly one, value forced to 7).
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let x = ty.add_symbol("x", SymTarget::Lab(Label(1)), Cond::eq(Rat::from(7)).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Lab(Label(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let x = ty.add_symbol(
+            "x",
+            SymTarget::Lab(Label(1)),
+            Cond::eq(Rat::from(7)).to_intervals(),
+        );
         ty.set_mu(r, Disjunction::single(SAtom::new(vec![(x, Mult::One)])));
         ty.set_mu(x, Disjunction::leaf());
         ty.add_root(r);
         let it = IncompleteTree::new(BTreeMap::new(), ty).unwrap();
         let mut t = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        t.add_child(t.root(), Nid(1), Label(1), Rat::from(7)).unwrap();
+        t.add_child(t.root(), Nid(1), Label(1), Rat::from(7))
+            .unwrap();
         assert!(it.certain_prefix(&t));
         // Two x children: not even possible (exactly one).
         let mut t2 = t.clone();
-        t2.add_child(t2.root(), Nid(2), Label(1), Rat::from(7)).unwrap();
+        t2.add_child(t2.root(), Nid(2), Label(1), Rat::from(7))
+            .unwrap();
         assert!(!it.possible_prefix(&t2));
     }
 
@@ -368,8 +410,16 @@ mod tests {
     fn certain_quantifies_over_all_disjuncts() {
         // root -> x | eps : the x child appears only in some worlds.
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let x = ty.add_symbol("x", SymTarget::Lab(Label(1)), Cond::eq(Rat::from(7)).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Lab(Label(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let x = ty.add_symbol(
+            "x",
+            SymTarget::Lab(Label(1)),
+            Cond::eq(Rat::from(7)).to_intervals(),
+        );
         ty.set_mu(
             r,
             Disjunction(vec![SAtom::new(vec![(x, Mult::One)]), SAtom::empty()]),
@@ -378,7 +428,8 @@ mod tests {
         ty.add_root(r);
         let it = IncompleteTree::new(BTreeMap::new(), ty).unwrap();
         let mut t = DataTree::new(Nid(0), Label(0), Rat::ZERO);
-        t.add_child(t.root(), Nid(1), Label(1), Rat::from(7)).unwrap();
+        t.add_child(t.root(), Nid(1), Label(1), Rat::from(7))
+            .unwrap();
         assert!(it.possible_prefix(&t));
         assert!(!it.certain_prefix(&t), "the eps disjunct has no x child");
     }
@@ -386,8 +437,16 @@ mod tests {
     #[test]
     fn multiple_roots_certain_needs_all() {
         let mut ty = ConditionalTreeType::new();
-        let r1 = ty.add_symbol("r1", SymTarget::Lab(Label(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let r2 = ty.add_symbol("r2", SymTarget::Lab(Label(1)), Cond::eq(Rat::ZERO).to_intervals());
+        let r1 = ty.add_symbol(
+            "r1",
+            SymTarget::Lab(Label(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let r2 = ty.add_symbol(
+            "r2",
+            SymTarget::Lab(Label(1)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
         ty.set_mu(r1, Disjunction::leaf());
         ty.set_mu(r2, Disjunction::leaf());
         ty.add_root(r1);

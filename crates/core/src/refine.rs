@@ -25,10 +25,29 @@
 
 use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
 use crate::itree::{IncompleteTree, ItreeError, NodeInfo};
+use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_query::{Answer, MatchKind, PsQuery, QNodeRef};
 use iixml_tree::{Alphabet, DataTree, Label, Mult, Nid};
 use iixml_values::IntervalSet;
 use std::collections::{BTreeMap, HashMap};
+
+/// Refinement steps performed (all chains).
+static OBS_STEPS: LazyCounter = LazyCounter::new("core.refine.steps");
+/// Size of each `T_{q,A}` built by [`query_answer_tree`].
+static OBS_TQA_SIZE: LazyHistogram = LazyHistogram::new("core.refine.tqa_size");
+/// Atoms emitted per `⋊⋉` join of two multiplicity atoms.
+static OBS_JOIN_FANOUT: LazyHistogram = LazyHistogram::new("core.refine.join_fanout");
+/// Joins whose disjunctive expansion produced more than one atom
+/// (ambiguous partner choices — the paper's unique-matching case is 1).
+static OBS_EXPANSIONS: LazyCounter = LazyCounter::new("core.refine.disjunctive_expansions");
+/// Wall time of the ⋊⋉ product per step.
+static OBS_INTERSECT_NS: LazyHistogram = LazyHistogram::new("core.refine.intersect_ns");
+/// Wall time of trim per step.
+static OBS_TRIM_NS: LazyHistogram = LazyHistogram::new("core.refine.trim_ns");
+/// Wall time of bisimulation minimization per step.
+static OBS_MINIMIZE_NS: LazyHistogram = LazyHistogram::new("core.refine.minimize_ns");
+/// Size of the maintained incomplete tree after each step.
+static OBS_STEP_SIZE: LazyHistogram = LazyHistogram::new("core.refine.step_size");
 
 /// Builds `T_{q,A}` (Lemma 3.2): the unambiguous incomplete tree whose
 /// `rep` is exactly the set of data trees on which `q` returns `A`.
@@ -82,9 +101,10 @@ pub fn query_answer_tree(q: &PsQuery, ans: &Answer, alpha: &Alphabet) -> Incompl
     // below this node, the subquery of at least one child m_i matches
     // nothing.
     for (&m, &h) in &hat {
-        let mut atoms = Vec::new();
+        let mut atoms = Vec::with_capacity(q.children(m).len());
         for &mi in q.children(m) {
-            let mut entries: Vec<(Sym, Mult)> = vec![(bar[&mi], Mult::Star)];
+            let mut entries: Vec<(Sym, Mult)> = Vec::with_capacity(labels.len() + 1);
+            entries.push((bar[&mi], Mult::Star));
             if let Some(&hi) = hat.get(&mi) {
                 entries.push((hi, Mult::Star));
             }
@@ -184,13 +204,18 @@ pub fn query_answer_tree(q: &PsQuery, ans: &Answer, alpha: &Alphabet) -> Incompl
         }
     }
 
-    IncompleteTree::new(nodes, ty).expect("construction references only answer nodes")
+    let t = IncompleteTree::new(nodes, ty).expect("construction references only answer nodes");
+    OBS_TQA_SIZE.observe(t.size() as u64);
+    t
 }
 
 /// The meet of two multiplicities as occurrence-count bounds.
 fn meet_bounds(a: Mult, b: Mult) -> (bool, bool) {
     // (mandatory, bounded-to-one)
-    (a.mandatory() || b.mandatory(), !a.repeatable() || !b.repeatable())
+    (
+        a.mandatory() || b.mandatory(),
+        !a.repeatable() || !b.repeatable(),
+    )
 }
 
 fn mult_from(mandatory: bool, bounded: bool) -> Mult {
@@ -208,10 +233,7 @@ fn mult_from(mandatory: bool, bounded: bool) -> Mult {
 /// Fails with [`ItreeError::IncompatibleNode`] when the trees disagree on
 /// a shared data node's label or value (in which case the intersection is
 /// empty anyway — the paper assumes compatibility).
-pub fn intersect(
-    t1: &IncompleteTree,
-    t2: &IncompleteTree,
-) -> Result<IncompleteTree, ItreeError> {
+pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteTree, ItreeError> {
     // Union the data nodes, checking compatibility.
     let mut nodes = t1.nodes().clone();
     for (&n, &info) in t2.nodes() {
@@ -238,17 +260,13 @@ pub fn intersect(
                     // Only when the node is unknown to t2 and its label
                     // matches: in rep(t2) that node is an ordinary
                     // b-labeled node.
-                    if t2.nodes().contains_key(&n)
-                        || t1.node_info(n).map(|i| i.label) != Some(b)
-                    {
+                    if t2.nodes().contains_key(&n) || t1.node_info(n).map(|i| i.label) != Some(b) {
                         continue;
                     }
                     SymTarget::Node(n)
                 }
                 (SymTarget::Lab(a), SymTarget::Node(m)) => {
-                    if t1.nodes().contains_key(&m)
-                        || t2.node_info(m).map(|i| i.label) != Some(a)
-                    {
+                    if t1.nodes().contains_key(&m) || t2.node_info(m).map(|i| i.label) != Some(a) {
                         continue;
                     }
                     SymTarget::Node(m)
@@ -314,12 +332,7 @@ fn truncate(s: &str) -> &str {
 /// therefore expand disjunctively over the choice of partner. On
 /// unambiguous trees every choice set is a singleton and the expansion
 /// degenerates to the paper's single joined atom.
-fn join_atoms(
-    a1: &SAtom,
-    a2: &SAtom,
-    pair_of: &HashMap<(Sym, Sym), Sym>,
-    out: &mut Vec<SAtom>,
-) {
+fn join_atoms(a1: &SAtom, a2: &SAtom, pair_of: &HashMap<(Sym, Sym), Sym>, out: &mut Vec<SAtom>) {
     // All compatible pairs, with partner lists per side entry.
     let mut pairs: Vec<(usize, usize)> = Vec::new(); // (idx in a1, idx in a2)
     for (i, &(c1, _)) in a1.entries().iter().enumerate() {
@@ -397,6 +410,7 @@ fn join_atoms(
 
     let a1e = a1.entries();
     let a2e = a2.entries();
+    let before = out.len();
     let mut emit = |choice: &[Option<usize>]| {
         // Build the atom for this combination.
         // included[p]: pair participates; designated[p]: lower bound 1.
@@ -427,7 +441,7 @@ fn join_atoms(
                 return;
             }
         }
-        let mut entries: Vec<(Sym, Mult)> = Vec::new();
+        let mut entries: Vec<(Sym, Mult)> = Vec::with_capacity(pairs.len());
         for (pi, &(i, j)) in pairs.iter().enumerate() {
             if !included[pi] {
                 continue;
@@ -442,6 +456,11 @@ fn join_atoms(
     };
     let mut choice = Vec::new();
     recurse(&constraints, 0, &pairs, &mut choice, &mut emit);
+    let fanout = (out.len() - before) as u64;
+    OBS_JOIN_FANOUT.observe(fanout);
+    if fanout > 1 {
+        OBS_EXPANSIONS.incr();
+    }
 }
 
 /// Maintains the incomplete tree of a Refine chain: start from the
@@ -500,9 +519,21 @@ impl Refiner {
         ans: &Answer,
     ) -> Result<(), ItreeError> {
         let tqa = query_answer_tree(q, ans, alpha);
-        let combined = intersect(&self.current, &tqa)?;
-        self.current = combined.trim().minimize();
+        let combined = {
+            let _span = OBS_INTERSECT_NS.time();
+            intersect(&self.current, &tqa)?
+        };
+        let trimmed = {
+            let _span = OBS_TRIM_NS.time();
+            combined.trim()
+        };
+        self.current = {
+            let _span = OBS_MINIMIZE_NS.time();
+            trimmed.minimize()
+        };
         self.steps += 1;
+        OBS_STEPS.incr();
+        OBS_STEP_SIZE.observe(self.current.size() as u64);
         Ok(())
     }
 
@@ -548,10 +579,7 @@ mod tests {
         assert_eq!(ans.len(), 2); // root + a(=1)
         let tqa = query_answer_tree(&q, &ans, &alpha);
         assert!(tqa.well_formed().is_ok());
-        assert!(
-            tqa.contains(&t),
-            "the source itself must be in q^-1(A)"
-        );
+        assert!(tqa.contains(&t), "the source itself must be in q^-1(A)");
     }
 
     #[test]
@@ -659,7 +687,12 @@ mod tests {
         // Fake a conflicting answer: node 1 now claims value 2.
         let mut fake_tree = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
         fake_tree
-            .add_child(fake_tree.root(), Nid(1), alpha.get("a").unwrap(), Rat::from(2))
+            .add_child(
+                fake_tree.root(),
+                Nid(1),
+                alpha.get("a").unwrap(),
+                Rat::from(2),
+            )
             .unwrap();
         let fake = q.eval(&fake_tree);
         assert!(matches!(
@@ -726,7 +759,10 @@ mod tests {
             .unwrap();
         let re = q.eval(&w);
         assert!(
-            re.tree.as_ref().unwrap().same_tree(ans.tree.as_ref().unwrap()),
+            re.tree
+                .as_ref()
+                .unwrap()
+                .same_tree(ans.tree.as_ref().unwrap()),
             "witness answers the query exactly as recorded"
         );
     }

@@ -17,8 +17,16 @@
 
 use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
 use crate::itree::IncompleteTree;
+use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_tree::{Label, Mult, TreeType};
 use std::collections::BTreeMap;
+
+/// Wall time of each [`restrict_to_type`] call.
+static OBS_RESTRICT_NS: LazyHistogram = LazyHistogram::new("core.type_intersect.restrict_ns");
+/// Alternatives produced per atom restriction (cartesian blowup gauge).
+static OBS_ATOM_FANOUT: LazyHistogram = LazyHistogram::new("core.type_intersect.atom_fanout");
+/// Atoms eliminated as contradicting the type.
+static OBS_CONTRADICTIONS: LazyCounter = LazyCounter::new("core.type_intersect.contradictions");
 
 /// The underlying element label of a symbol (through data nodes).
 fn underlying(it: &IncompleteTree, s: Sym) -> Option<Label> {
@@ -31,6 +39,7 @@ fn underlying(it: &IncompleteTree, s: Sym) -> Option<Label> {
 /// Restricts an incomplete tree to the trees that also satisfy the given
 /// tree type: `rep(result) = rep(it) ∩ rep(ty)` (Theorem 3.5).
 pub fn restrict_to_type(it: &IncompleteTree, ty: &TreeType) -> IncompleteTree {
+    let _span = OBS_RESTRICT_NS.time();
     let src = it.ty();
     let mut out = ConditionalTreeType::new();
     // Same symbol set (indices preserved); only roots and µ change.
@@ -77,12 +86,17 @@ fn restrict_atom(
     for (i, &(c, _)) in entries.iter().enumerate() {
         match underlying(it, c) {
             Some(l) => groups.entry(l).or_default().push(i),
-            None => return, // dangling node symbol: contradictory
+            None => {
+                // Dangling node symbol: contradictory.
+                OBS_CONTRADICTIONS.incr();
+                return;
+            }
         }
     }
     // Labels mandated by rho but absent from the atom: contradiction.
     for &(l, m) in rho.entries() {
         if m.mandatory() && !groups.contains_key(&l) {
+            OBS_CONTRADICTIONS.incr();
             return;
         }
     }
@@ -104,6 +118,7 @@ fn restrict_atom(
                 // Label forbidden by rho: mandatory entries contradict;
                 // optional entries are dropped.
                 if !mands.is_empty() {
+                    OBS_CONTRADICTIONS.incr();
                     return;
                 }
                 vec![Vec::new()]
@@ -140,7 +155,9 @@ fn restrict_atom(
             }
             Some(bounded @ (Mult::One | Mult::Opt)) => {
                 if mands.len() >= 2 {
-                    return; // two guaranteed children exceed the budget
+                    // Two guaranteed children exceed the budget.
+                    OBS_CONTRADICTIONS.incr();
+                    return;
                 }
                 if mands.len() == 1 {
                     // The mandatory entry is the single child; cap it at
@@ -158,6 +175,7 @@ fn restrict_atom(
                     let mut alts: Vec<Patch> =
                         idxs.iter().map(|&host| vec![(host, target)]).collect();
                     if bounded == Mult::One && alts.is_empty() {
+                        OBS_CONTRADICTIONS.incr();
                         return;
                     }
                     if bounded == Mult::Opt {
@@ -183,11 +201,10 @@ fn restrict_atom(
         }
         combos = next;
     }
+    OBS_ATOM_FANOUT.observe(combos.len() as u64);
     for combo in combos {
-        let new_entries: Vec<(Sym, Mult)> = combo
-            .into_iter()
-            .map(|(i, m)| (entries[i].0, m))
-            .collect();
+        let new_entries: Vec<(Sym, Mult)> =
+            combo.into_iter().map(|(i, m)| (entries[i].0, m)).collect();
         out.push(SAtom::new(new_entries));
     }
 }
@@ -284,9 +301,7 @@ mod tests {
         let mut refiner = Refiner::new(&alpha);
         refiner.refine(&alpha, &q, &ans).unwrap();
         let restricted = restrict_to_type(refiner.current(), &ty);
-        let w = restricted
-            .witness(&mut NidGen::starting_at(100))
-            .unwrap();
+        let w = restricted.witness(&mut NidGen::starting_at(100)).unwrap();
         assert!(ty.accepts(&w), "witness conforms to the tree type");
         assert!(refiner.current().contains(&w));
     }

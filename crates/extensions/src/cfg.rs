@@ -106,8 +106,7 @@ impl Grammar {
                 }
             }
         }
-        idx.get(&self.start)
-            .is_some_and(|&s| table[0][n - 1][s])
+        idx.get(&self.start).is_some_and(|&s| table[0][n - 1][s])
     }
 
     /// All derivation trees yielding words of the given length, up to
@@ -244,7 +243,8 @@ fn build(
             let v2 = alpha.intern("val2");
             doc.add_child(t, Nid(*next), v1, Rat::from(*pos)).unwrap();
             *next += 1;
-            doc.add_child(t, Nid(*next), v2, Rat::from(*pos + 1)).unwrap();
+            doc.add_child(t, Nid(*next), v2, Rat::from(*pos + 1))
+                .unwrap();
             *next += 1;
             *pos += 1;
         }
@@ -353,7 +353,9 @@ pub fn constraint_queries(
     // under B equals the leftmost val1 under C.
     for g in [g1, g2] {
         for (a, p) in &g.rules {
-            let Production::Pair(bn, cn) = p else { continue };
+            let Production::Pair(bn, cn) = p else {
+                continue;
+            };
             let rpaths = g.edge_paths(bn, false, depth);
             let lpaths = g.edge_paths(cn, true, depth);
             if rpaths.is_empty() || lpaths.is_empty() {

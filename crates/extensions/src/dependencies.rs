@@ -197,7 +197,15 @@ pub fn implies_bounded(
         }
         true
     }
-    choose(&tuple_space, 0, max_tuples, &mut Vec::new(), arity, sigma, tau)
+    choose(
+        &tuple_space,
+        0,
+        max_tuples,
+        &mut Vec::new(),
+        arity,
+        sigma,
+        tau,
+    )
 }
 
 #[cfg(test)]
@@ -277,14 +285,28 @@ mod tests {
         // track the direct semantics exactly.
         let mut seed = 0xDEADBEEFu64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as i64
         };
         let deps = [
-            Dependency::Fd { lhs: vec![0], rhs: 1 },
-            Dependency::Fd { lhs: vec![1], rhs: 0 },
-            Dependency::Ind { lhs: vec![0], rhs: vec![1] },
-            Dependency::Ind { lhs: vec![1], rhs: vec![0] },
+            Dependency::Fd {
+                lhs: vec![0],
+                rhs: 1,
+            },
+            Dependency::Fd {
+                lhs: vec![1],
+                rhs: 0,
+            },
+            Dependency::Ind {
+                lhs: vec![0],
+                rhs: vec![1],
+            },
+            Dependency::Ind {
+                lhs: vec![1],
+                rhs: vec![0],
+            },
         ];
         for _ in 0..20 {
             let n = 1 + (rnd() % 4).unsigned_abs() as usize;
@@ -306,14 +328,29 @@ mod tests {
     fn bounded_implication_examples() {
         // Armstrong transitivity: {A->B, B->C} implies A->C.
         let sigma = [
-            Dependency::Fd { lhs: vec![0], rhs: 1 },
-            Dependency::Fd { lhs: vec![1], rhs: 2 },
+            Dependency::Fd {
+                lhs: vec![0],
+                rhs: 1,
+            },
+            Dependency::Fd {
+                lhs: vec![1],
+                rhs: 2,
+            },
         ];
-        let tau = Dependency::Fd { lhs: vec![0], rhs: 2 };
+        let tau = Dependency::Fd {
+            lhs: vec![0],
+            rhs: 2,
+        };
         assert!(implies_bounded(3, &sigma, &tau, 2, 3));
         // A->B does not imply B->A.
-        let sigma = [Dependency::Fd { lhs: vec![0], rhs: 1 }];
-        let tau = Dependency::Fd { lhs: vec![1], rhs: 0 };
+        let sigma = [Dependency::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        }];
+        let tau = Dependency::Fd {
+            lhs: vec![1],
+            rhs: 0,
+        };
         assert!(!implies_bounded(2, &sigma, &tau, 2, 3));
     }
 }

@@ -71,7 +71,9 @@ pub fn merge_answers(
             acc.pop();
         }
     }
-    go(&nfa, a_label, a_items, b_label, b_items, &mut acc, &mut found);
+    go(
+        &nfa, a_label, a_items, b_label, b_items, &mut acc, &mut found,
+    );
     match found.len() {
         0 => MergeResult::Inconsistent,
         1 => MergeResult::Unique(found.into_iter().next().expect("len checked")),
@@ -126,13 +128,7 @@ mod tests {
 
     #[test]
     fn alternation_forces_the_interleaving() {
-        let res = merge_answers(
-            &strict_alternation(),
-            A,
-            &[r(1), r(3)],
-            B,
-            &[r(2), r(4)],
-        );
+        let res = merge_answers(&strict_alternation(), A, &[r(1), r(3)], B, &[r(2), r(4)]);
         match res {
             MergeResult::Unique(seq) => {
                 let labels: Vec<Label> = seq.iter().map(|&(l, _)| l).collect();

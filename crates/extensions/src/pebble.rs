@@ -791,7 +791,12 @@ mod tests {
     }
 
     /// Strips `bottom` pads from a transducer output for comparison.
-    fn strip(t: &BinTree, at: usize, bottom: Label, out: &mut Vec<(Label, Option<usize>, Option<usize>)>) -> Option<usize> {
+    fn strip(
+        t: &BinTree,
+        at: usize,
+        bottom: Label,
+        out: &mut Vec<(Label, Option<usize>, Option<usize>)>,
+    ) -> Option<usize> {
         let n = &t.nodes[at];
         if n.label == bottom {
             return None;
@@ -860,7 +865,10 @@ mod tests {
             outputs: vec![],
             max_steps: 10,
         };
-        assert_eq!(broken.run(&bt).err(), Some(TransducerError::Stuck { state: 0 }));
+        assert_eq!(
+            broken.run(&bt).err(),
+            Some(TransducerError::Stuck { state: 0 })
+        );
         // A self-loop diverges into the step limit.
         let diverging = PebbleTransducer {
             control: PebbleAutomaton {

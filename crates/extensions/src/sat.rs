@@ -92,12 +92,20 @@ pub fn encode(cnf: &Cnf) -> SatEncoding {
         .root("root")
         .rule(
             "root",
-            &[("var", Mult::Star), ("clause", Mult::Star), ("val", Mult::One)],
+            &[
+                ("var", Mult::Star),
+                ("clause", Mult::Star),
+                ("val", Mult::One),
+            ],
         )
         .rule("var", &[("val", Mult::One)])
         .rule(
             "clause",
-            &[("lit1", Mult::One), ("lit2", Mult::One), ("lit3", Mult::One)],
+            &[
+                ("lit1", Mult::One),
+                ("lit2", Mult::One),
+                ("lit3", Mult::One),
+            ],
         )
         .rule("lit1", &[("val", Mult::One)])
         .rule("lit2", &[("val", Mult::One)])
@@ -147,7 +155,8 @@ pub fn encode(cnf: &Cnf) -> SatEncoding {
         let v = b.child(root, "var", Cond::True).unwrap();
         b.child(v, "val", not_bool()).unwrap();
         let q = b.build();
-        conj.refine(&alpha, &q, &Answer::empty()).expect("consistent");
+        conj.refine(&alpha, &q, &Answer::empty())
+            .expect("consistent");
         num_queries += 1;
     }
     // Root-level val is 0/1.
@@ -156,7 +165,8 @@ pub fn encode(cnf: &Cnf) -> SatEncoding {
         let root = b.root();
         b.child(root, "val", not_bool()).unwrap();
         let q = b.build();
-        conj.refine(&alpha, &q, &Answer::empty()).expect("consistent");
+        conj.refine(&alpha, &q, &Answer::empty())
+            .expect("consistent");
         num_queries += 1;
     }
     // qD_k: literal values are 0/1.
@@ -167,7 +177,8 @@ pub fn encode(cnf: &Cnf) -> SatEncoding {
         let l = b.child(c, &format!("lit{k}"), Cond::True).unwrap();
         b.child(l, "val", not_bool()).unwrap();
         let q = b.build();
-        conj.refine(&alpha, &q, &Answer::empty()).expect("consistent");
+        conj.refine(&alpha, &q, &Answer::empty())
+            .expect("consistent");
         num_queries += 1;
     }
     // qE(i, v, k, s): literal values agree with variable values.
@@ -187,7 +198,8 @@ pub fn encode(cnf: &Cnf) -> SatEncoding {
                         .unwrap();
                     b.child(l, "val", Cond::eq(Rat::from(wrong))).unwrap();
                     let q = b.build();
-                    conj.refine(&alpha, &q, &Answer::empty()).expect("consistent");
+                    conj.refine(&alpha, &q, &Answer::empty())
+                        .expect("consistent");
                     num_queries += 1;
                 }
             }
@@ -204,7 +216,8 @@ pub fn encode(cnf: &Cnf) -> SatEncoding {
             b.child(l, "val", Cond::eq(Rat::ZERO)).unwrap();
         }
         let q = b.build();
-        conj.refine(&alpha, &q, &Answer::empty()).expect("consistent");
+        conj.refine(&alpha, &q, &Answer::empty())
+            .expect("consistent");
         num_queries += 1;
     }
 
@@ -220,12 +233,7 @@ pub fn encode(cnf: &Cnf) -> SatEncoding {
 /// The canonical world for an assignment: variables with their values,
 /// clause literals with the induced truth values, and the given
 /// root-level `val`.
-pub fn canonical_world(
-    cnf: &Cnf,
-    alpha: &Alphabet,
-    assign: &[bool],
-    root_val: bool,
-) -> DataTree {
+pub fn canonical_world(cnf: &Cnf, alpha: &Alphabet, assign: &[bool], root_val: bool) -> DataTree {
     let root_l = alpha.get("root").expect("encode interned labels");
     let var_l = alpha.get("var").unwrap();
     let val_l = alpha.get("val").unwrap();
@@ -239,7 +247,12 @@ pub fn canonical_world(
     let root: NodeRef = t.root();
     for (i, &v) in assign.iter().enumerate() {
         let var = t
-            .add_child(root, Nid(VAR_BASE + 2 * i as u64), var_l, Rat::from(i as i64 + 1))
+            .add_child(
+                root,
+                Nid(VAR_BASE + 2 * i as u64),
+                var_l,
+                Rat::from(i as i64 + 1),
+            )
             .unwrap();
         t.add_child(
             var,
@@ -264,8 +277,13 @@ pub fn canonical_world(
                     !var
                 }
             };
-            t.add_child(l, Nid(cid + 2 + 2 * k as u64), val_l, Rat::from(truth as i64))
-                .unwrap();
+            t.add_child(
+                l,
+                Nid(cid + 2 + 2 * k as u64),
+                val_l,
+                Rat::from(truth as i64),
+            )
+            .unwrap();
         }
     }
     t.add_child(root, Nid(9_000), val_l, Rat::from(root_val as i64))
@@ -430,8 +448,7 @@ mod tests {
             let enc = encode(&cnf);
             let inst = enc.emptiness_instance();
             let any = (0..(1u32 << cnf.num_vars)).any(|bits| {
-                let assign: Vec<bool> =
-                    (0..cnf.num_vars).map(|i| bits & (1 << i) != 0).collect();
+                let assign: Vec<bool> = (0..cnf.num_vars).map(|i| bits & (1 << i) != 0).collect();
                 let w = canonical_world(&cnf, &enc.alpha, &assign, true);
                 inst.contains(&w)
             });

@@ -117,7 +117,13 @@ impl<'a> XQueryBuilder<'a> {
 
     /// Adds a child pattern node (duplicate sibling labels allowed —
     /// this is the *branching* extension).
-    pub fn child(&mut self, parent: XNodeRef, name: &str, cond: Cond, modality: Modality) -> XNodeRef {
+    pub fn child(
+        &mut self,
+        parent: XNodeRef,
+        name: &str,
+        cond: Cond,
+        modality: Modality,
+    ) -> XNodeRef {
         self.add(parent, name, cond, modality, false, None, None)
     }
 
@@ -440,9 +446,7 @@ impl XQuery {
                     }
                     v2.insert(var, t.value(target));
                 }
-                if q.match_all_children(t, c, target, &v2)
-                    && go(q, t, kids, idx + 1, at, &v2)
-                {
+                if q.match_all_children(t, c, target, &v2) && go(q, t, kids, idx + 1, at, &v2) {
                     return true;
                 }
             }
@@ -633,7 +637,7 @@ mod tests {
         let q = b.build();
         let ans = q.eval(&t).unwrap();
         assert_eq!(ans.len(), 3); // root + both a's (d contributes nothing)
-        // Optional c is included when present.
+                                  // Optional c is included when present.
         let mut b = XQueryBuilder::new(&mut alpha, "root", Cond::True);
         let root = b.root();
         b.child(root, "a", Cond::True, Modality::Plain);
@@ -738,7 +742,8 @@ mod tests {
         let c = alpha.intern("c");
         let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
         for i in 0..3 {
-            t.add_child(t.root(), Nid(1 + i), c, Rat::from(i as i64)).unwrap();
+            t.add_child(t.root(), Nid(1 + i), c, Rat::from(i as i64))
+                .unwrap();
         }
         let out_a = alpha.intern("a");
         let out_b = alpha.intern("b");

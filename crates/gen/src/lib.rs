@@ -15,8 +15,11 @@
 use iixml_query::{PsQuery, PsQueryBuilder};
 use iixml_tree::{Alphabet, DataTree, Label, Mult, NidGen, NodeRef, TreeType, TreeTypeBuilder};
 use iixml_values::{Cond, Rat};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub mod rng;
+pub mod testkit;
+
+use rng::DetRng;
 
 /// A generated catalog workload.
 pub struct Catalog {
@@ -43,7 +46,7 @@ pub mod codes {
 /// Builds a catalog with `n_products` products: ~60% electronics, half
 /// of them cameras; prices in `[10, 500)`; 0–2 pictures each.
 pub fn catalog(n_products: usize, seed: u64) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut alpha = Alphabet::new();
     let ty = TreeTypeBuilder::new(&mut alpha)
         .root("catalog")
@@ -76,29 +79,28 @@ pub fn catalog(n_products: usize, seed: u64) -> Catalog {
             .unwrap();
         doc.add_child(p, gen.fresh(), name, Rat::from(1000 + i as i64))
             .unwrap();
-        doc.add_child(
-            p,
-            gen.fresh(),
-            price,
-            Rat::from(rng.gen_range(10..500)),
-        )
-        .unwrap();
-        let is_elec = rng.gen_bool(0.6);
-        let cat_code = if is_elec { codes::ELEC } else { 2 + rng.gen_range(0..3) };
+        doc.add_child(p, gen.fresh(), price, Rat::from(rng.range_i64(10, 500)))
+            .unwrap();
+        let is_elec = rng.bool(0.6);
+        let cat_code = if is_elec {
+            codes::ELEC
+        } else {
+            2 + rng.range_i64(0, 3)
+        };
         let c = doc
             .add_child(p, gen.fresh(), cat, Rat::from(cat_code))
             .unwrap();
-        let sub_code = if is_elec && rng.gen_bool(0.5) {
+        let sub_code = if is_elec && rng.bool(0.5) {
             codes::CAMERA
         } else if is_elec {
             codes::CDPLAYER
         } else {
-            20 + rng.gen_range(0..5)
+            20 + rng.range_i64(0, 5)
         };
         doc.add_child(c, gen.fresh(), subcat, Rat::from(sub_code))
             .unwrap();
-        for _ in 0..rng.gen_range(0..3) {
-            doc.add_child(p, gen.fresh(), picture, Rat::from(rng.gen_range(0..10_000)))
+        for _ in 0..rng.range_usize(0, 3) {
+            doc.add_child(p, gen.fresh(), picture, Rat::from(rng.range_i64(0, 10_000)))
                 .unwrap();
         }
     }
@@ -111,7 +113,7 @@ pub fn catalog(n_products: usize, seed: u64) -> Catalog {
 /// Values: title/author numeric ids; year in `[1900, 2030)`;
 /// isbn a numeric id; review a rating `0..10`.
 pub fn library(n_books: usize, seed: u64) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut alpha = Alphabet::new();
     let ty = TreeTypeBuilder::new(&mut alpha)
         .root("library")
@@ -142,18 +144,23 @@ pub fn library(n_books: usize, seed: u64) -> Catalog {
         let b = doc.add_child(root, gen.fresh(), book, Rat::ZERO).unwrap();
         doc.add_child(b, gen.fresh(), title, Rat::from(2000 + i as i64))
             .unwrap();
-        for _ in 0..rng.gen_range(1..=3) {
-            doc.add_child(b, gen.fresh(), author, Rat::from(rng.gen_range(1..50)))
+        for _ in 0..rng.range_usize(1, 4) {
+            doc.add_child(b, gen.fresh(), author, Rat::from(rng.range_i64(1, 50)))
                 .unwrap();
         }
-        doc.add_child(b, gen.fresh(), year, Rat::from(rng.gen_range(1900..2030)))
+        doc.add_child(b, gen.fresh(), year, Rat::from(rng.range_i64(1900, 2030)))
             .unwrap();
-        if rng.gen_bool(0.7) {
-            doc.add_child(b, gen.fresh(), isbn, Rat::from(rng.gen_range(10_000..99_999)))
-                .unwrap();
+        if rng.bool(0.7) {
+            doc.add_child(
+                b,
+                gen.fresh(),
+                isbn,
+                Rat::from(rng.range_i64(10_000, 99_999)),
+            )
+            .unwrap();
         }
-        for _ in 0..rng.gen_range(0..4) {
-            doc.add_child(b, gen.fresh(), review, Rat::from(rng.gen_range(0..=10)))
+        for _ in 0..rng.range_usize(0, 4) {
+            doc.add_child(b, gen.fresh(), review, Rat::from(rng.range_i64(0, 11)))
                 .unwrap();
         }
     }
@@ -178,7 +185,8 @@ pub fn library_query_well_reviewed(alpha: &mut Alphabet, threshold: i64) -> PsQu
     let root = b.root();
     let bk = b.child(root, "book", Cond::True).unwrap();
     b.child(bk, "title", Cond::True).unwrap();
-    b.child(bk, "review", Cond::ge(Rat::from(threshold))).unwrap();
+    b.child(bk, "review", Cond::ge(Rat::from(threshold)))
+        .unwrap();
     b.build()
 }
 
@@ -201,7 +209,8 @@ pub fn catalog_query_camera_pictures(alpha: &mut Alphabet) -> PsQuery {
     let p = b.child(root, "product", Cond::True).unwrap();
     b.child(p, "name", Cond::True).unwrap();
     let c = b.child(p, "cat", Cond::eq(Rat::from(codes::ELEC))).unwrap();
-    b.child(c, "subcat", Cond::eq(Rat::from(codes::CAMERA))).unwrap();
+    b.child(c, "subcat", Cond::eq(Rat::from(codes::CAMERA)))
+        .unwrap();
     b.child(p, "picture", Cond::True).unwrap();
     b.build()
 }
@@ -230,9 +239,7 @@ pub fn linear_queries(alpha: &mut Alphabet, n: usize) -> Vec<PsQuery> {
     let root = alpha.intern("root");
     let a = alpha.intern("a");
     (1..=n as i64)
-        .map(|i| {
-            PsQuery::linear(&[(root, Cond::True), (a, Cond::eq(Rat::from(i)))])
-        })
+        .map(|i| PsQuery::linear(&[(root, Cond::True), (a, Cond::eq(Rat::from(i)))]))
         .collect()
 }
 
@@ -246,12 +253,12 @@ pub fn sample_tree(
     max_depth: usize,
     seed: u64,
 ) -> DataTree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut gen = NidGen::new();
     let mut t = DataTree::new(
         gen.fresh(),
         root_label,
-        Rat::from(rng.gen_range(0..value_range.max(1))),
+        Rat::from(rng.range_i64(0, value_range.max(1))),
     );
     #[allow(clippy::too_many_arguments)]
     fn fill(
@@ -261,7 +268,7 @@ pub fn sample_tree(
         depth: usize,
         fanout: usize,
         value_range: i64,
-        rng: &mut StdRng,
+        rng: &mut DetRng,
         gen: &mut NidGen,
     ) {
         if depth == 0 {
@@ -271,19 +278,28 @@ pub fn sample_tree(
         for &(l, m) in atom.entries() {
             let count = match m {
                 Mult::One => 1,
-                Mult::Opt => rng.gen_range(0..=1),
-                Mult::Plus => rng.gen_range(1..=fanout.max(1)),
-                Mult::Star => rng.gen_range(0..=fanout),
+                Mult::Opt => rng.range_usize(0, 2),
+                Mult::Plus => rng.range_usize(1, fanout.max(1) + 1),
+                Mult::Star => rng.range_usize(0, fanout + 1),
             };
             for _ in 0..count {
-                let v = Rat::from(rng.gen_range(0..value_range.max(1)));
+                let v = Rat::from(rng.range_i64(0, value_range.max(1)));
                 let c = t.add_child(at, gen.fresh(), l, v).unwrap();
                 fill(ty, t, c, depth - 1, fanout, value_range, rng, gen);
             }
         }
     }
     let root = t.root();
-    fill(ty, &mut t, root, max_depth, fanout, value_range, &mut rng, &mut gen);
+    fill(
+        ty,
+        &mut t,
+        root,
+        max_depth,
+        fanout,
+        value_range,
+        &mut rng,
+        &mut gen,
+    );
     t
 }
 
@@ -297,7 +313,7 @@ pub fn random_queries(
     value_range: i64,
     seed: u64,
 ) -> Vec<PsQuery> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let mut a2 = alpha.clone();
@@ -315,28 +331,37 @@ pub fn random_queries(
             at: iixml_query::QNodeRef,
             depth: usize,
             value_range: i64,
-            rng: &mut StdRng,
+            rng: &mut DetRng,
         ) {
             if depth == 0 {
                 return;
             }
             let atom = ty.atom(label);
             for &(l, _) in atom.entries() {
-                if !rng.gen_bool(0.6) {
+                if !rng.bool(0.6) {
                     continue;
                 }
-                let cond = match rng.gen_range(0..4) {
+                let cond = match rng.below(4) {
                     0 => Cond::True,
-                    1 => Cond::eq(Rat::from(rng.gen_range(0..value_range.max(1)))),
-                    2 => Cond::lt(Rat::from(rng.gen_range(1..=value_range.max(1)))),
-                    _ => Cond::gt(Rat::from(rng.gen_range(0..value_range.max(1)))),
+                    1 => Cond::eq(Rat::from(rng.range_i64(0, value_range.max(1)))),
+                    2 => Cond::lt(Rat::from(rng.range_i64(1, value_range.max(1) + 1))),
+                    _ => Cond::gt(Rat::from(rng.range_i64(0, value_range.max(1)))),
                 };
                 if let Ok(child) = b.child(at, alpha.name(l), cond) {
                     descend(b, alpha, ty, l, child, depth - 1, value_range, rng);
                 }
             }
         }
-        descend(&mut b, alpha, ty, root_label, broot, 3, value_range, &mut rng);
+        descend(
+            &mut b,
+            alpha,
+            ty,
+            root_label,
+            broot,
+            3,
+            value_range,
+            &mut rng,
+        );
         out.push(b.build());
     }
     out

@@ -1,0 +1,143 @@
+//! A small deterministic PRNG (SplitMix64) so the workspace needs no
+//! external `rand` crate and generation is reproducible byte-for-byte
+//! across platforms and toolchain updates.
+//!
+//! SplitMix64 (Steele, Lea, Flood 2014) passes BigCrush, needs one
+//! `u64` of state, and is trivially seedable — more than enough for
+//! workload generation and property tests. It is **not** a
+//! cryptographic generator.
+
+/// A deterministic pseudo-random generator. Identical seeds yield
+/// identical streams on every platform.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> DetRng {
+        DetRng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`; `n` must be positive. Uses
+    /// rejection sampling (Lemire-style threshold) to stay unbiased.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "DetRng::below(0)");
+        // Zone = largest multiple of n that fits in u64.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// A uniform `i64` in the half-open range `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "DetRng::range_i64: empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// A uniform `usize` in the half-open range `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "DetRng::range_usize: empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 bits of mantissa gives a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Picks a uniform element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "DetRng::choose on empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Derives an independent generator for sub-task `i` (stable under
+    /// reordering of other sub-tasks).
+    pub fn fork(&self, i: u64) -> DetRng {
+        // Finalize `i` through an independent stream so fork(0),
+        // fork(1), ... differ even though consecutive seeds are close.
+        let mut d = DetRng::new(self.state ^ DetRng::new(i).next_u64());
+        d.next_u64();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(43);
+        assert_ne!(DetRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = DetRng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.range_i64(-5, 17);
+            assert!((-5..17).contains(&v));
+            let u = rng.range_usize(3, 9);
+            assert!((3..9).contains(&u));
+            assert!(rng.below(1) == 0);
+        }
+    }
+
+    #[test]
+    fn ranges_hit_every_value() {
+        let mut rng = DetRng::new(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..8 drawn: {seen:?}");
+    }
+
+    #[test]
+    fn bool_respects_probability_extremes() {
+        let mut rng = DetRng::new(9);
+        assert!(rng.bool(1.0));
+        assert!(!rng.bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let base = DetRng::new(5);
+        let x = base.fork(1).next_u64();
+        let y = base.fork(2).next_u64();
+        assert_ne!(x, y);
+        assert_eq!(base.fork(1).next_u64(), x);
+    }
+}

@@ -60,6 +60,18 @@ impl Completion {
     /// for the query the completion was generated for. Returns the total
     /// number of answer nodes shipped by the source.
     pub fn execute(&self, source: &DataTree, known: &mut DataTree) -> Result<usize, String> {
+        /// Wall time of executing a completion against a source.
+        static OBS_EXECUTE_NS: iixml_obs::LazyHistogram =
+            iixml_obs::LazyHistogram::new("mediator.execute_ns");
+        /// Answer nodes shipped by sources, across all executions.
+        static OBS_SHIPPED: iixml_obs::LazyCounter =
+            iixml_obs::LazyCounter::new("mediator.shipped_nodes");
+        /// Local queries sent to sources.
+        static OBS_LOCAL_QUERIES: iixml_obs::LazyCounter =
+            iixml_obs::LazyCounter::new("mediator.local_queries");
+
+        let _span = OBS_EXECUTE_NS.time();
+        OBS_LOCAL_QUERIES.add(self.queries.len() as u64);
         let mut shipped = 0;
         for lq in &self.queries {
             let answer = match lq.at {
@@ -74,6 +86,7 @@ impl Completion {
                 known.graft(&t).map_err(|e| format!("graft failed: {e}"))?;
             }
         }
+        OBS_SHIPPED.add(shipped as u64);
         Ok(shipped)
     }
 }
@@ -98,6 +111,10 @@ impl<'a> Mediator<'a> {
     /// involve *missing* information is kept in a pruned local query
     /// anchored at the current node.
     pub fn complete(&self, q: &PsQuery) -> Completion {
+        /// Wall time of completion generation (Theorem 3.19 descent).
+        static OBS_COMPLETE_NS: iixml_obs::LazyHistogram =
+            iixml_obs::LazyHistogram::new("mediator.complete_ns");
+        let _span = OBS_COMPLETE_NS.time();
         let trimmed = self.it.trim();
         let sets = match_sets(&trimmed, q);
         let mut out = Completion::default();
@@ -253,7 +270,11 @@ pub fn relax_label(it: &IncompleteTree, label: Label) -> IncompleteTree {
     let merged_cond = group
         .iter()
         .fold(IntervalSet::empty(), |acc, &s| acc.union(&ty.info(s).cond));
-    let merged = out.add_symbol(format!("merged:{}", label.0), SymTarget::Lab(label), merged_cond);
+    let merged = out.add_symbol(
+        format!("merged:{}", label.0),
+        SymTarget::Lab(label),
+        merged_cond,
+    );
     let mut remap: HashMap<Sym, Sym> = HashMap::new();
     for s in ty.syms() {
         if group.contains(&s) {
@@ -494,10 +515,7 @@ mod tests {
                     if Some(nid) == lq.at || nid == t.nid(t.root()) {
                         continue;
                     }
-                    assert!(
-                        seen.insert(nid),
-                        "node {nid} returned by two local queries"
-                    );
+                    assert!(seen.insert(nid), "node {nid} returned by two local queries");
                 }
             }
         }

@@ -18,6 +18,7 @@
 //!   answering over an explicit world list.
 
 use iixml_core::{IncompleteTree, Sym, SymTarget};
+use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_query::PsQuery;
 use iixml_tree::{is_prefix_of, DataTree, Nid, NodeRef};
 use iixml_values::{IntervalSet, Rat};
@@ -88,6 +89,14 @@ type Fragment = DataTree;
 /// `<= max_depth`, and whose free values are among the condition
 /// representatives appears (up to node ids of non-instantiated nodes).
 pub fn enumerate_rep(it: &IncompleteTree, bounds: Bounds) -> Enumeration {
+    /// Worlds returned per enumeration (after dedup).
+    static OBS_WORLDS: LazyHistogram = LazyHistogram::new("oracle.enumerate.worlds");
+    /// Enumerations that hit a bound and were cut short.
+    static OBS_TRUNCATIONS: LazyCounter = LazyCounter::new("oracle.enumerate.truncations");
+    /// Wall time per enumeration.
+    static OBS_ENUM_NS: LazyHistogram = LazyHistogram::new("oracle.enumerate.call_ns");
+
+    let _span = OBS_ENUM_NS.time();
     let trimmed = it.trim();
     let ty = trimmed.ty();
     let mut truncated = false;
@@ -110,6 +119,10 @@ pub fn enumerate_rep(it: &IncompleteTree, bounds: Bounds) -> Enumeration {
         if seen.insert(key) {
             unique.push(w);
         }
+    }
+    OBS_WORLDS.observe(unique.len() as u64);
+    if truncated {
+        OBS_TRUNCATIONS.incr();
     }
     Enumeration {
         worlds: unique,
@@ -218,7 +231,9 @@ fn assemble(it: &IncompleteTree, s: Sym, value: Rat, children: &[Fragment]) -> F
     let (nid, label) = match info.target {
         SymTarget::Node(n) => (
             n,
-            it.node_info(n).expect("node symbols reference known nodes").label,
+            it.node_info(n)
+                .expect("node symbols reference known nodes")
+                .label,
         ),
         SymTarget::Lab(l) => {
             // A free root: pick an id guaranteed not to clash with any
@@ -684,14 +699,41 @@ mod tests {
     /// a != 0 children, b's below any a.
     fn example() -> IncompleteTree {
         let mut nodes = BTreeMap::new();
-        nodes.insert(Nid(0), NodeInfo { label: Label(0), value: Rat::ZERO });
-        nodes.insert(Nid(1), NodeInfo { label: Label(1), value: Rat::ZERO });
+        nodes.insert(
+            Nid(0),
+            NodeInfo {
+                label: Label(0),
+                value: Rat::ZERO,
+            },
+        );
+        nodes.insert(
+            Nid(1),
+            NodeInfo {
+                label: Label(1),
+                value: Rat::ZERO,
+            },
+        );
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
-        let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
-        let a = ty.add_symbol("a", SymTarget::Lab(Label(1)), Cond::ne(Rat::ZERO).to_intervals());
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Node(Nid(0)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let n = ty.add_symbol(
+            "n",
+            SymTarget::Node(Nid(1)),
+            Cond::eq(Rat::ZERO).to_intervals(),
+        );
+        let a = ty.add_symbol(
+            "a",
+            SymTarget::Lab(Label(1)),
+            Cond::ne(Rat::ZERO).to_intervals(),
+        );
         let b = ty.add_symbol("b", SymTarget::Lab(Label(2)), IntervalSet::all());
-        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])));
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])),
+        );
         ty.set_mu(n, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(a, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
         ty.set_mu(b, Disjunction::leaf());
@@ -766,7 +808,10 @@ mod tests {
             // is checked two-sided against the enumerated set when the
             // algorithm claims certainty.
             if oracle_poss {
-                assert!(alg_poss, "oracle found a world but algorithm denies:\n{t:?}");
+                assert!(
+                    alg_poss,
+                    "oracle found a world but algorithm denies:\n{t:?}"
+                );
             }
             if it.certain_prefix(t) {
                 assert!(
@@ -819,9 +864,20 @@ mod tests {
         // nodes: root alone (2 values) + root-with-a (2 × 2): 6 total.
         use iixml_core::{ConditionalTreeType, Disjunction, SAtom};
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Lab(iixml_tree::Label(0)), IntervalSet::all());
-        let a = ty.add_symbol("a", SymTarget::Lab(iixml_tree::Label(1)), IntervalSet::all());
-        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(a, iixml_tree::Mult::Opt)])));
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Lab(iixml_tree::Label(0)),
+            IntervalSet::all(),
+        );
+        let a = ty.add_symbol(
+            "a",
+            SymTarget::Lab(iixml_tree::Label(1)),
+            IntervalSet::all(),
+        );
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(a, iixml_tree::Mult::Opt)])),
+        );
         ty.set_mu(a, Disjunction::leaf());
         ty.add_root(r);
         let it = IncompleteTree::new(std::collections::BTreeMap::new(), ty).unwrap();
@@ -840,9 +896,20 @@ mod tests {
         // with depth 2 and cap 1 the same 6 worlds are counted.
         use iixml_core::{ConditionalTreeType, Disjunction, SAtom};
         let mut ty = ConditionalTreeType::new();
-        let r = ty.add_symbol("r", SymTarget::Lab(iixml_tree::Label(0)), IntervalSet::all());
-        let a = ty.add_symbol("a", SymTarget::Lab(iixml_tree::Label(1)), IntervalSet::all());
-        ty.set_mu(r, Disjunction::single(SAtom::new(vec![(a, iixml_tree::Mult::Opt)])));
+        let r = ty.add_symbol(
+            "r",
+            SymTarget::Lab(iixml_tree::Label(0)),
+            IntervalSet::all(),
+        );
+        let a = ty.add_symbol(
+            "a",
+            SymTarget::Lab(iixml_tree::Label(1)),
+            IntervalSet::all(),
+        );
+        ty.set_mu(
+            r,
+            Disjunction::single(SAtom::new(vec![(a, iixml_tree::Mult::Opt)])),
+        );
         ty.set_mu(a, Disjunction::leaf());
         ty.add_root(r);
         let it = IncompleteTree::new(std::collections::BTreeMap::new(), ty).unwrap();

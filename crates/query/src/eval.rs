@@ -7,8 +7,17 @@
 //! answers can be merged.
 
 use crate::pattern::{PsQuery, QNodeRef};
+use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_tree::{DataTree, Nid, NodeRef};
 use std::collections::HashMap;
+
+/// Query evaluations performed.
+static OBS_EVALS: LazyCounter = LazyCounter::new("query.eval.calls");
+/// Pattern-node/data-node valuations tried per evaluation (the memo's
+/// footprint — the `O(|q|·|T|)` of the naive bound).
+static OBS_VALUATIONS: LazyHistogram = LazyHistogram::new("query.eval.valuations");
+/// Answer size (nodes) per evaluation, empty answers included as 0.
+static OBS_ANSWER_NODES: LazyHistogram = LazyHistogram::new("query.eval.answer_nodes");
 
 /// How an answer node was produced. Algorithm Refine (Lemma 3.2) needs
 /// this provenance to build the incomplete tree `T_{q,A}`.
@@ -60,35 +69,39 @@ impl PsQuery {
     /// match `m`'s label and condition, and every pattern child of `m`
     /// must match at some child of `n` (children of `m` carry distinct
     /// labels, so their matches never compete).
-    fn sat(&self, t: &DataTree, m: QNodeRef, n: NodeRef, memo: &mut HashMap<(QNodeRef, NodeRef), bool>) -> bool {
+    fn sat(
+        &self,
+        t: &DataTree,
+        m: QNodeRef,
+        n: NodeRef,
+        memo: &mut HashMap<(QNodeRef, NodeRef), bool>,
+    ) -> bool {
         if let Some(&r) = memo.get(&(m, n)) {
             return r;
         }
         let ok = self.label(m) == t.label(n)
             && self.cond_set(m).contains(t.value(n))
-            && self.children(m).iter().all(|&mc| {
-                t.children(n)
-                    .iter()
-                    .any(|&nc| self.sat(t, mc, nc, memo))
-            });
+            && self
+                .children(m)
+                .iter()
+                .all(|&mc| t.children(n).iter().any(|&nc| self.sat(t, mc, nc, memo)));
         memo.insert((m, n), ok);
         ok
     }
 
     /// Evaluates the query, returning the answer prefix with provenance.
     pub fn eval(&self, t: &DataTree) -> Answer {
+        OBS_EVALS.incr();
         let mut memo = HashMap::new();
         if !self.sat(t, self.root(), t.root(), &mut memo) {
+            OBS_VALUATIONS.observe(memo.len() as u64);
+            OBS_ANSWER_NODES.observe(0);
             return Answer::empty();
         }
         // The root matches; collect the image of all valuations.
         // `in_image(m, n)` holds iff sat(m, n) and the parents are in
         // image of each other — we materialize the answer top-down.
-        let mut answer = DataTree::new(
-            t.nid(t.root()),
-            t.label(t.root()),
-            t.value(t.root()),
-        );
+        let mut answer = DataTree::new(t.nid(t.root()), t.label(t.root()), t.value(t.root()));
         let mut provenance = HashMap::new();
         provenance.insert(t.nid(t.root()), MatchKind::Matched(self.root()));
         let answer_root = answer.root();
@@ -101,6 +114,8 @@ impl PsQuery {
             &mut provenance,
             &mut memo,
         );
+        OBS_VALUATIONS.observe(memo.len() as u64);
+        OBS_ANSWER_NODES.observe(answer.len() as u64);
         Answer {
             tree: Some(answer),
             provenance,
@@ -186,24 +201,23 @@ mod tests {
         // value codes: elec=1, camera=10, cdplayer=11.
         let mut t = DataTree::new(Nid(0), cat, Rat::ZERO);
         let mut next = 1u64;
-        let mut add_product =
-            |t: &mut DataTree, nm: i64, pr: i64, sub: i64, pics: &[i64]| {
-                let root = t.root();
-                let p = t.add_child(root, Nid(next), product, Rat::ZERO).unwrap();
+        let mut add_product = |t: &mut DataTree, nm: i64, pr: i64, sub: i64, pics: &[i64]| {
+            let root = t.root();
+            let p = t.add_child(root, Nid(next), product, Rat::ZERO).unwrap();
+            next += 1;
+            for (lab, v) in [(name, nm), (price, pr)] {
+                t.add_child(p, Nid(next), lab, Rat::from(v)).unwrap();
                 next += 1;
-                for (lab, v) in [(name, nm), (price, pr)] {
-                    t.add_child(p, Nid(next), lab, Rat::from(v)).unwrap();
-                    next += 1;
-                }
-                let c = t.add_child(p, Nid(next), catl, Rat::from(1)).unwrap();
+            }
+            let c = t.add_child(p, Nid(next), catl, Rat::from(1)).unwrap();
+            next += 1;
+            t.add_child(c, Nid(next), subcat, Rat::from(sub)).unwrap();
+            next += 1;
+            for &v in pics {
+                t.add_child(p, Nid(next), picture, Rat::from(v)).unwrap();
                 next += 1;
-                t.add_child(c, Nid(next), subcat, Rat::from(sub)).unwrap();
-                next += 1;
-                for &v in pics {
-                    t.add_child(p, Nid(next), picture, Rat::from(v)).unwrap();
-                    next += 1;
-                }
-            };
+            }
+        };
         add_product(&mut t, 100, 120, 10, &[501]);
         add_product(&mut t, 101, 199, 10, &[]);
         add_product(&mut t, 102, 175, 11, &[]);

@@ -250,7 +250,11 @@ mod tests {
         assert!(!q.is_linear());
         // Find the price node and check its condition.
         let price = alpha.get("price").unwrap();
-        let m = q.preorder().into_iter().find(|&m| q.label(m) == price).unwrap();
+        let m = q
+            .preorder()
+            .into_iter()
+            .find(|&m| q.label(m) == price)
+            .unwrap();
         assert!(q.cond(m).equivalent(&Cond::lt(Rat::from(200))));
     }
 
@@ -260,7 +264,11 @@ mod tests {
         let q = parse_ps_query("catalog/product/picture!", &mut alpha).unwrap();
         assert_eq!(q.len(), 3);
         let pic = alpha.get("picture").unwrap();
-        let m = q.preorder().into_iter().find(|&m| q.label(m) == pic).unwrap();
+        let m = q
+            .preorder()
+            .into_iter()
+            .find(|&m| q.label(m) == pic)
+            .unwrap();
         assert!(q.barred(m));
         assert!(q.is_linear());
     }
@@ -276,7 +284,10 @@ mod tests {
         assert!(parse_ps_query("r[oops]", &mut a).is_err());
         assert!(parse_ps_query("r!{a}", &mut a).is_err(), "barred root");
         assert!(parse_ps_query("r/a!/b", &mut a).is_err(), "child of barred");
-        assert!(parse_ps_query("r{a, a}", &mut a).is_err(), "duplicate sibling");
+        assert!(
+            parse_ps_query("r{a, a}", &mut a).is_err(),
+            "duplicate sibling"
+        );
         assert!(parse_ps_query("r/a extra", &mut a).is_err());
     }
 

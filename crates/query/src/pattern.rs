@@ -196,12 +196,7 @@ impl PsQuery {
             parent: None,
             children: Vec::new(),
         }];
-        fn copy(
-            q: &PsQuery,
-            m: QNodeRef,
-            parent: QNodeRef,
-            nodes: &mut Vec<QNode>,
-        ) -> QNodeRef {
+        fn copy(q: &PsQuery, m: QNodeRef, parent: QNodeRef, nodes: &mut Vec<QNode>) -> QNodeRef {
             let me = QNodeRef(nodes.len() as u32);
             nodes.push(QNode {
                 label: q.label(m),

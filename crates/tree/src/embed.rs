@@ -35,9 +35,7 @@ impl Embedder<'_> {
     }
 
     fn check(&mut self, s: NodeRef, b: NodeRef) -> bool {
-        if self.small.label(s) != self.big.label(b)
-            || self.small.value(s) != self.big.value(b)
-        {
+        if self.small.label(s) != self.big.label(b) || self.small.value(s) != self.big.value(b) {
             return false;
         }
         // Pinned nodes must map to the node with the same identity.

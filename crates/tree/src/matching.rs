@@ -85,8 +85,7 @@ impl Bipartite {
                     let r = g.adj[l][i];
                     let l2 = match_r[r];
                     if l2 == NIL
-                        || (dist[l2] == dist[l] + 1
-                            && try_augment(g, l2, match_l, match_r, dist))
+                        || (dist[l2] == dist[l] + 1 && try_augment(g, l2, match_l, match_r, dist))
                     {
                         match_l[l] = r;
                         match_r[r] = l;
@@ -209,12 +208,7 @@ mod tests {
                 adj[l].push(r);
             }
             let mut mr = vec![usize::MAX; nr];
-            fn go(
-                l: usize,
-                adj: &[Vec<usize>],
-                seen: &mut [bool],
-                mr: &mut [usize],
-            ) -> bool {
+            fn go(l: usize, adj: &[Vec<usize>], seen: &mut [bool], mr: &mut [usize]) -> bool {
                 for &r in &adj[l] {
                     if !seen[r] {
                         seen[r] = true;

@@ -231,12 +231,7 @@ impl DataTree {
     /// The depth of the tree (root alone = 1).
     pub fn depth(&self) -> usize {
         fn go(t: &DataTree, n: NodeRef) -> usize {
-            1 + t
-                .children(n)
-                .iter()
-                .map(|&c| go(t, c))
-                .max()
-                .unwrap_or(0)
+            1 + t.children(n).iter().map(|&c| go(t, c)).max().unwrap_or(0)
         }
         go(self, self.root)
     }
@@ -335,7 +330,12 @@ impl DataTree {
             .map(|&c| self.shape_key(c))
             .collect();
         kids.sort();
-        format!("({}:{}[{}])", self.label(n).0, self.value(n), kids.join(","))
+        format!(
+            "({}:{}[{}])",
+            self.label(n).0,
+            self.value(n),
+            kids.join(",")
+        )
     }
 
     /// Equality as unordered trees with node ids.
@@ -346,8 +346,7 @@ impl DataTree {
 
     /// Equality as unordered trees up to node ids.
     pub fn isomorphic(&self, other: &DataTree) -> bool {
-        self.len() == other.len()
-            && self.shape_key(self.root()) == other.shape_key(other.root())
+        self.len() == other.len() && self.shape_key(self.root()) == other.shape_key(other.root())
     }
 
     /// Pretty-prints the tree with names from `alpha`, one node per line,
@@ -472,7 +471,9 @@ mod tests {
     fn graft_merges_shared_nodes() {
         let (_, r, x, y) = alpha();
         let mut base = DataTree::new(Nid(0), r, Rat::ZERO);
-        let a = base.add_child(base.root(), Nid(1), x, Rat::from(1)).unwrap();
+        let a = base
+            .add_child(base.root(), Nid(1), x, Rat::from(1))
+            .unwrap();
         // `extra` is a subtree rooted at the node with id 1, adding a new
         // child under it.
         let mut extra = DataTree::new(Nid(1), x, Rat::from(1));
@@ -491,7 +492,8 @@ mod tests {
     fn graft_rejects_conflicts() {
         let (_, r, x, _) = alpha();
         let mut base = DataTree::new(Nid(0), r, Rat::ZERO);
-        base.add_child(base.root(), Nid(1), x, Rat::from(1)).unwrap();
+        base.add_child(base.root(), Nid(1), x, Rat::from(1))
+            .unwrap();
         // Conflicting value for node 1's child id reused as root? Root id
         // 9 absent entirely:
         let stray = DataTree::new(Nid(9), x, Rat::from(1));

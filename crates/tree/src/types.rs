@@ -364,20 +364,19 @@ mod tests {
         (alpha, ty)
     }
 
-    fn product(
-        t: &mut DataTree,
-        alpha: &Alphabet,
-        parent: NodeRef,
-        base: u64,
-        pictures: usize,
-    ) {
+    fn product(t: &mut DataTree, alpha: &Alphabet, parent: NodeRef, base: u64, pictures: usize) {
         let p = t
             .add_child(parent, Nid(base), alpha.get("product").unwrap(), Rat::ZERO)
             .unwrap();
         t.add_child(p, Nid(base + 1), alpha.get("name").unwrap(), Rat::from(1))
             .unwrap();
-        t.add_child(p, Nid(base + 2), alpha.get("price").unwrap(), Rat::from(100))
-            .unwrap();
+        t.add_child(
+            p,
+            Nid(base + 2),
+            alpha.get("price").unwrap(),
+            Rat::from(100),
+        )
+        .unwrap();
         let c = t
             .add_child(p, Nid(base + 3), alpha.get("cat").unwrap(), Rat::ZERO)
             .unwrap();

@@ -26,11 +26,7 @@ pub fn write_tree(t: &DataTree, alpha: &Alphabet) -> String {
     fn go(t: &DataTree, alpha: &Alphabet, n: NodeRef, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         let name = alpha.name(t.label(n));
-        let head = format!(
-            "{pad}<{name} nid=\"{}\" val=\"{}\"",
-            t.nid(n).0,
-            t.value(n)
-        );
+        let head = format!("{pad}<{name} nid=\"{}\" val=\"{}\"", t.nid(n).0, t.value(n));
         out.push_str(&head);
         if t.children(n).is_empty() {
             out.push_str("/>\n");

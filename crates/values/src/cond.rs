@@ -188,9 +188,9 @@ impl Cond {
             Cond::False => IntervalSet::empty(),
             Cond::Cmp(op, v) => op.intervals(*v),
             Cond::Not(c) => c.to_intervals().complement(),
-            Cond::And(cs) => cs
-                .iter()
-                .fold(IntervalSet::all(), |acc, c| acc.intersect(&c.to_intervals())),
+            Cond::And(cs) => cs.iter().fold(IntervalSet::all(), |acc, c| {
+                acc.intersect(&c.to_intervals())
+            }),
             Cond::Or(cs) => cs
                 .iter()
                 .fold(IntervalSet::empty(), |acc, c| acc.union(&c.to_intervals())),

@@ -269,9 +269,7 @@ impl IntervalSet {
 
     /// Is the set all of `Q` (condition valid)?
     pub fn is_all(&self) -> bool {
-        self.ivs.len() == 1
-            && self.ivs[0].lo == Cut::NegInf
-            && self.ivs[0].hi == Cut::PosInf
+        self.ivs.len() == 1 && self.ivs[0].lo == Cut::NegInf && self.ivs[0].hi == Cut::PosInf
     }
 
     /// If the set is a single point `{v}`, returns `v`. Used by the
@@ -416,8 +414,7 @@ impl IntervalSet {
 }
 
 fn floor_int(v: Rat) -> i64 {
-    let q = v.numer().div_euclid(v.denom());
-    q
+    v.numer().div_euclid(v.denom())
 }
 
 fn ceil_int(v: Rat) -> i64 {
@@ -568,7 +565,7 @@ mod tests {
         assert_eq!(s.count_integers(-5, 5), 3);
         // Negative ranges.
         assert_eq!(IntervalSet::lt(r(0)).count_integers(-3, 3), 3); // -3..-1
-        // Brute-force cross-check on a composite set.
+                                                                    // Brute-force cross-check on a composite set.
         let s = IntervalSet::ne(r(1))
             .intersect(&IntervalSet::ge(r(-2)))
             .intersect(&IntervalSet::lt(Rat::new(9, 2)));

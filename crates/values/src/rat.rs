@@ -241,9 +241,7 @@ impl FromStr for Rat {
             if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
                 return Err(err());
             }
-            let scale = 10i64
-                .checked_pow(frac.len() as u32)
-                .ok_or_else(err)?;
+            let scale = 10i64.checked_pow(frac.len() as u32).ok_or_else(err)?;
             let frac_part: i64 = frac.parse().map_err(|_| err())?;
             let magnitude = Rat::from(int_part.abs()) + Rat::new(frac_part, scale);
             Ok(if negative { -magnitude } else { magnitude })

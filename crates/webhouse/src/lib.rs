@@ -111,6 +111,9 @@ pub struct Session {
     pub answered_locally: usize,
     /// Local queries issued by the mediator.
     pub mediator_queries: usize,
+    /// Label used in per-source metric names (set by
+    /// [`Webhouse::register`]; anonymous sessions report as `anon`).
+    obs_label: String,
 }
 
 impl Session {
@@ -128,7 +131,14 @@ impl Session {
             refiner,
             answered_locally: 0,
             mediator_queries: 0,
+            obs_label: "anon".to_string(),
         }
+    }
+
+    /// Sets the label under which this session reports per-source
+    /// metrics (`webhouse.fetch_ns.<label>`).
+    pub fn set_obs_label(&mut self, label: impl Into<String>) {
+        self.obs_label = label.into();
     }
 
     /// The accumulated incomplete tree.
@@ -149,6 +159,16 @@ impl Session {
     /// Asks the source directly and refines the local knowledge with
     /// the query-answer pair (Theorem 3.4).
     pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, ItreeError> {
+        // Per-source refine latency; the name is dynamic, so this takes
+        // the registry lock — acceptable at fetch granularity.
+        let _span = if iixml_obs::enabled() {
+            Some(iixml_obs::time(&format!(
+                "webhouse.fetch_ns.{}",
+                self.obs_label
+            )))
+        } else {
+            None
+        };
         let ans = self.source.answer(q);
         self.refiner.refine(&self.alpha, q, &ans)?;
         Ok(ans)
@@ -314,7 +334,10 @@ impl Webhouse {
 
     /// Registers a source under a name.
     pub fn register(&mut self, name: impl Into<String>, alpha: Alphabet, source: Source) {
-        self.sessions.insert(name.into(), Session::open(alpha, source));
+        let name = name.into();
+        let mut session = Session::open(alpha, source);
+        session.set_obs_label(&name);
+        self.sessions.insert(name, session);
     }
 
     /// Accesses a session.
@@ -488,7 +511,12 @@ mod tests {
         // New document: one product only.
         let mut doc2 = DataTree::new(Nid(100), alpha.get("catalog").unwrap(), Rat::ZERO);
         let p = doc2
-            .add_child(doc2.root(), Nid(101), alpha.get("product").unwrap(), Rat::ZERO)
+            .add_child(
+                doc2.root(),
+                Nid(101),
+                alpha.get("product").unwrap(),
+                Rat::ZERO,
+            )
             .unwrap();
         doc2.add_child(p, Nid(102), alpha.get("name").unwrap(), Rat::from(1))
             .unwrap();
@@ -516,8 +544,10 @@ mod tests {
         let a = alpha.intern("a");
         let b = alpha.intern("b");
         let mut doc = DataTree::new(Nid(0), r, Rat::ZERO);
-        doc.add_child(doc.root(), Nid(1), a, Rat::from(100)).unwrap();
-        doc.add_child(doc.root(), Nid(2), b, Rat::from(200)).unwrap();
+        doc.add_child(doc.root(), Nid(1), a, Rat::from(100))
+            .unwrap();
+        doc.add_child(doc.root(), Nid(2), b, Rat::from(200))
+            .unwrap();
         let make_query = |alpha: &mut Alphabet, i: i64| {
             let mut bld = PsQueryBuilder::new(alpha, "root", Cond::True);
             let root = bld.root();
@@ -553,8 +583,10 @@ mod tests {
         let a = alpha.intern("a");
         let b = alpha.intern("b");
         let mut doc = DataTree::new(Nid(0), r, Rat::ZERO);
-        doc.add_child(doc.root(), Nid(1), a, Rat::from(100)).unwrap();
-        doc.add_child(doc.root(), Nid(2), b, Rat::from(200)).unwrap();
+        doc.add_child(doc.root(), Nid(1), a, Rat::from(100))
+            .unwrap();
+        doc.add_child(doc.root(), Nid(2), b, Rat::from(200))
+            .unwrap();
         let mut session = ConjunctiveSession::open(alpha.clone(), Source::new(doc.clone(), None));
         let mut sizes = Vec::new();
         for i in 1..=10i64 {
@@ -592,7 +624,11 @@ mod tests {
     fn webhouse_manages_sessions() {
         let (alpha, ty, doc) = catalog_setup();
         let mut wh = Webhouse::new();
-        wh.register("shop", alpha.clone(), Source::new(doc.clone(), Some(ty.clone())));
+        wh.register(
+            "shop",
+            alpha.clone(),
+            Source::new(doc.clone(), Some(ty.clone())),
+        );
         wh.register("mirror", alpha.clone(), Source::new(doc, Some(ty)));
         assert_eq!(wh.sessions().count(), 2);
         let mut a2 = alpha.clone();

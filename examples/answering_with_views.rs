@@ -42,9 +42,18 @@ fn main() {
 
     // Candidate queries: which are answerable from the views alone?
     let candidates: Vec<(String, PsQuery)> = vec![
-        ("price in [50,100)".into(), price_query(&mut c.alpha, Some(50), 100)),
-        ("price in [100,200)".into(), price_query(&mut c.alpha, Some(100), 200)),
-        ("price in [200,300)".into(), price_query(&mut c.alpha, Some(200), 300)),
+        (
+            "price in [50,100)".into(),
+            price_query(&mut c.alpha, Some(50), 100),
+        ),
+        (
+            "price in [100,200)".into(),
+            price_query(&mut c.alpha, Some(100), 200),
+        ),
+        (
+            "price in [200,300)".into(),
+            price_query(&mut c.alpha, Some(200), 300),
+        ),
         ("cameras under 250".into(), {
             let mut b = PsQueryBuilder::new(&mut c.alpha, "catalog", Cond::True);
             let root = b.root();

@@ -46,8 +46,14 @@ fn main() {
             vec![Rat::from(1), Rat::from(10)],
         ],
     };
-    let fd = Dependency::Fd { lhs: vec![0], rhs: 1 };
-    let ind = Dependency::Ind { lhs: vec![1], rhs: vec![0] };
+    let fd = Dependency::Fd {
+        lhs: vec![0],
+        rhs: 1,
+    };
+    let ind = Dependency::Ind {
+        lhs: vec![1],
+        rhs: vec![0],
+    };
     println!(
         "  R = {{(1,10),(2,10)}}: A0->A1 via query: {} | R[A1]⊆R[A0] via query: {}",
         satisfies_via_query(&rel, &fd),
@@ -102,7 +108,10 @@ fn main() {
             "a*b*",
             Regex::cat(Regex::star(Regex::Sym(a)), Regex::star(Regex::Sym(b))),
         ),
-        ("(a+b)*", Regex::star(Regex::alt(Regex::Sym(a), Regex::Sym(b)))),
+        (
+            "(a+b)*",
+            Regex::star(Regex::alt(Regex::Sym(a), Regex::Sym(b))),
+        ),
     ];
     for (name, ty) in &types {
         let res = merge_answers(ty, a, &[Rat::from(1)], b, &[Rat::from(2)]);

@@ -1,0 +1,48 @@
+//! Observability demo: turn on `iixml-obs`, run the Example 3.2 blowup,
+//! and print the resulting metric snapshot.
+//!
+//! ```text
+//! cargo run --example obs_demo
+//! ```
+//!
+//! The same snapshot is available from any binary via `IIXML_OBS=1` (or
+//! the `iixml --stats` flag); this example shows the programmatic API:
+//! enable, run the workload, read named metrics, render JSON.
+
+use iixml_core::Refiner;
+use iixml_query::Answer;
+use iixml_tree::Alphabet;
+
+fn main() {
+    iixml_obs::set_enabled(true);
+
+    // The adversarial family of Example 3.2: each empty-answer step
+    // squares the number of disjuncts, and the obs layer watches it
+    // happen (core.refine.join_fanout, core.refine.step_size).
+    let mut alpha = Alphabet::from_names(["root", "a", "b"]);
+    let queries = iixml_gen::blowup_queries(&mut alpha, 5);
+    let mut refiner = Refiner::new(&alpha);
+    for (i, q) in queries.iter().enumerate() {
+        refiner.refine(&alpha, q, &Answer::empty()).unwrap();
+        println!(
+            "step {}: representation size {}",
+            i + 1,
+            refiner.current().size()
+        );
+    }
+
+    let snap = iixml_obs::snapshot();
+    println!();
+    println!(
+        "refine steps observed: {}",
+        snap.counter("core.refine.steps").unwrap_or(0)
+    );
+    if let Some(h) = snap.histogram("core.refine.join_fanout") {
+        println!(
+            "join fan-out: count {}, max {} (the blowup in one number)",
+            h.count, h.max
+        );
+    }
+    println!();
+    println!("{}", snap.to_json_value().render_pretty());
+}

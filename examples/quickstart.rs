@@ -38,13 +38,23 @@ fn main() {
             .unwrap();
         doc.add_child(p, gen.fresh(), alpha.get("name").unwrap(), Rat::from(name))
             .unwrap();
-        doc.add_child(p, gen.fresh(), alpha.get("price").unwrap(), Rat::from(price))
-            .unwrap();
+        doc.add_child(
+            p,
+            gen.fresh(),
+            alpha.get("price").unwrap(),
+            Rat::from(price),
+        )
+        .unwrap();
         let c = doc
             .add_child(p, gen.fresh(), alpha.get("cat").unwrap(), Rat::ONE)
             .unwrap();
-        doc.add_child(c, gen.fresh(), alpha.get("subcat").unwrap(), Rat::from(subcat))
-            .unwrap();
+        doc.add_child(
+            c,
+            gen.fresh(),
+            alpha.get("subcat").unwrap(),
+            Rat::from(subcat),
+        )
+        .unwrap();
         for k in 0..pictures {
             doc.add_child(
                 p,
@@ -79,8 +89,7 @@ fn main() {
     //    DTD for extra knowledge (Theorem 3.5).
     let mut refiner = Refiner::new(&alpha);
     refiner.refine(&alpha, &q1, &a1).expect("consistent");
-    let knowledge =
-        iixml_core::type_intersect::restrict_to_type(refiner.current(), &ty);
+    let knowledge = iixml_core::type_intersect::restrict_to_type(refiner.current(), &ty);
     println!(
         "== incomplete tree: {} data nodes, {} specialized types ==",
         knowledge.nodes().len(),

@@ -43,9 +43,7 @@ fn main() {
             enc.num_queries,
             enc.knowledge_size()
         );
-        println!(
-            "  `root—val(=1)` possible prefix? {possible}   (brute-force SAT: {brute})"
-        );
+        println!("  `root—val(=1)` possible prefix? {possible}   (brute-force SAT: {brute})");
         assert_eq!(possible, brute);
         println!();
     }

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Vendor all external dependencies into ./vendor for fully-offline
+# builds. Today the workspace has none, so this script is a no-op that
+# exists as the paved road: if a dependency is ever added, run it once
+# with network access, commit the vendor/ directory, and uncomment the
+# source replacement in .cargo/config.toml.
+set -eu
+cd "$(dirname "$0")/.."
+
+external="$(grep -c '^name = ' Cargo.lock || true)"
+internal="$(grep -c '^name = "iixml' Cargo.lock || true)"
+if [ "$external" = "$internal" ]; then
+    echo "Cargo.lock lists only workspace crates — nothing to vendor."
+    exit 0
+fi
+
+echo "Vendoring external dependencies into ./vendor ..."
+cargo vendor vendor
+echo
+echo "Now commit ./vendor and enable the [source] replacement stanza in"
+echo ".cargo/config.toml so offline builds use it."

@@ -4,7 +4,13 @@
 //! iixml eval <doc.xml> <query>        evaluate a ps-query on a document
 //! iixml demo                          generate a demo catalog to stdout
 //! iixml session <doc.xml>             interactive incomplete-information session
+//! iixml walkthrough                   run the paper's pipeline end to end
 //! ```
+//!
+//! The global `--stats` flag enables the observability layer
+//! (`iixml-obs`) for the run and prints its metric snapshot as JSON when
+//! the command finishes; setting `IIXML_OBS=1` enables collection
+//! without the final dump.
 //!
 //! Documents use the XML-ish syntax of `iixml_tree::xmlio` (elements with
 //! `nid`/`val` attributes — see `iixml demo`); queries use the text
@@ -31,22 +37,104 @@ use iixml_webhouse::{LocalAnswer, Session, Source};
 use std::io::{BufRead, Write};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let stats = {
+        let before = args.len();
+        args.retain(|a| a != "--stats");
+        before != args.len()
+    };
+    if stats {
+        iixml_obs::set_enabled(true);
+    }
     let result = match args.get(1).map(String::as_str) {
         Some("eval") if args.len() == 4 => cmd_eval(&args[2], &args[3]),
         Some("demo") => cmd_demo(),
         Some("session") if args.len() == 3 => cmd_session(&args[2]),
+        Some("walkthrough") => cmd_walkthrough(),
         _ => {
             eprintln!(
-                "usage:\n  iixml eval <doc.xml> <query>\n  iixml demo\n  iixml session <doc.xml>"
+                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] session <doc.xml>\n  iixml [--stats] walkthrough"
             );
             std::process::exit(2);
         }
     };
+    if stats {
+        println!("{}", iixml_obs::snapshot().to_json_value().render_pretty());
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+}
+
+/// Runs the paper's pipeline end to end on generated data, so that with
+/// `--stats` every subsystem's metrics appear in one snapshot: Refine
+/// (Theorem 3.4), the Example 3.2 blowup, bounded world enumeration,
+/// and exact answering through the mediator (Theorem 3.19).
+fn cmd_walkthrough() -> Result<(), String> {
+    use iixml_core::Refiner;
+    use iixml_oracle::{enumerate_rep, Bounds};
+
+    // 1. Answering with views: refine knowledge from a price view.
+    let mut cat = iixml_gen::catalog(4, 42);
+    let q_view = iixml_gen::catalog_query_price_below(&mut cat.alpha, 250);
+    let ans = q_view.eval(&cat.doc);
+    let mut refiner = Refiner::new(&cat.alpha);
+    refiner
+        .refine(&cat.alpha, &q_view, &ans)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "refined catalog knowledge from the price view: size {}",
+        refiner.current().size()
+    );
+
+    // 2. The Example 3.2 adversarial family, four empty-answer steps.
+    let mut alpha = Alphabet::from_names(["root", "a", "b"]);
+    let queries = iixml_gen::blowup_queries(&mut alpha, 4);
+    let mut blow = Refiner::new(&alpha);
+    for q in &queries {
+        blow.refine(&alpha, q, &iixml_query::Answer::empty())
+            .map_err(|e| e.to_string())?;
+    }
+    println!(
+        "Example 3.2 after 4 empty-answer steps: size {}",
+        blow.current().size()
+    );
+
+    // 3. Bounded enumeration of the worlds the blowup tree represents.
+    let en = enumerate_rep(
+        blow.current(),
+        Bounds {
+            star_cap: 1,
+            max_depth: 3,
+            max_worlds: 64,
+            values_per_interval: 1,
+        },
+    );
+    println!(
+        "bounded world enumeration: {} worlds (truncated: {})",
+        en.worlds.len(),
+        en.truncated
+    );
+
+    // 4. A mediated session: answer a follow-up exactly, fetching only
+    //    the missing pieces.
+    let q_cam = iixml_gen::catalog_query_camera_pictures(&mut cat.alpha);
+    let mut session = Session::open(
+        cat.alpha.clone(),
+        Source::new(cat.doc.clone(), Some(cat.ty.clone())),
+    );
+    session.fetch(&q_view).map_err(|e| e.to_string())?;
+    let mediated = session
+        .answer_with_mediation(&q_cam)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "mediated camera query: {} answer nodes; {} source queries, {} nodes shipped",
+        mediated.map_or(0, |t| t.len()),
+        session.source().queries_served,
+        session.source().nodes_shipped
+    );
+    Ok(())
 }
 
 fn load_doc(path: &str, alpha: &mut Alphabet) -> Result<DataTree, String> {
@@ -68,7 +156,9 @@ fn cmd_eval(path: &str, query: &str) -> Result<(), String> {
 fn cmd_demo() -> Result<(), String> {
     let c = iixml_gen::catalog(5, 42);
     print!("{}", write_tree(&c.doc, &c.alpha));
-    eprintln!("# try: iixml eval demo.xml 'catalog/product{{name, price[< 250], cat[= 1]/subcat}}'");
+    eprintln!(
+        "# try: iixml eval demo.xml 'catalog/product{{name, price[< 250], cat[= 1]/subcat}}'"
+    );
     Ok(())
 }
 
@@ -83,7 +173,12 @@ fn cmd_session(path: &str) -> Result<(), String> {
         eprint!("> ");
         let _ = std::io::stderr().flush();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
             return Ok(());
         }
         let line = line.trim();

@@ -115,7 +115,10 @@ fn linear_queries_stay_polynomial() {
         sizes.push(refiner.current().size());
     }
     // Quadratic-ish at worst: growth increments grow at most linearly.
-    let increments: Vec<i64> = sizes.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+    let increments: Vec<i64> = sizes
+        .windows(2)
+        .map(|w| w[1] as i64 - w[0] as i64)
+        .collect();
     for w in increments.windows(2) {
         assert!(
             w[1] - w[0] <= 16,
@@ -140,8 +143,10 @@ fn auxiliary_queries_tame_the_blowup() {
         alpha.get("b").unwrap(),
     );
     let mut doc = DataTree::new(Nid(0), root, Rat::ZERO);
-    doc.add_child(doc.root(), Nid(1), a, Rat::from(100)).unwrap();
-    doc.add_child(doc.root(), Nid(2), b, Rat::from(200)).unwrap();
+    doc.add_child(doc.root(), Nid(1), a, Rat::from(100))
+        .unwrap();
+    doc.add_child(doc.root(), Nid(2), b, Rat::from(200))
+        .unwrap();
 
     // Plain chain.
     let mut plain = Refiner::new(&alpha);

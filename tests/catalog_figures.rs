@@ -176,12 +176,15 @@ fn figure8_incomplete_tree_after_query1() {
     let p = w1
         .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
         .unwrap();
-    w1.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
-    w1.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(50)).unwrap();
+    w1.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7))
+        .unwrap();
+    w1.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(50))
+        .unwrap();
     let c = w1
         .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(3))
         .unwrap();
-    w1.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(20)).unwrap();
+    w1.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(20))
+        .unwrap();
     assert!(known.contains(&w1), "a non-elec product may be missing");
 
     // ...adding an expensive elec product is fine...
@@ -190,13 +193,19 @@ fn figure8_incomplete_tree_after_query1() {
     let p = w2
         .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
         .unwrap();
-    w2.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
-    w2.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(999)).unwrap();
+    w2.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7))
+        .unwrap();
+    w2.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(999))
+        .unwrap();
     let c = w2
         .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
         .unwrap();
-    w2.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
-    assert!(known.contains(&w2), "an expensive elec product may be missing");
+    w2.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA))
+        .unwrap();
+    assert!(
+        known.contains(&w2),
+        "an expensive elec product may be missing"
+    );
 
     // ...but a cheap elec product would have been in the answer.
     let mut w3 = doc.clone();
@@ -204,13 +213,19 @@ fn figure8_incomplete_tree_after_query1() {
     let p = w3
         .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
         .unwrap();
-    w3.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
-    w3.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(99)).unwrap();
+    w3.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7))
+        .unwrap();
+    w3.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(99))
+        .unwrap();
     let c = w3
         .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
         .unwrap();
-    w3.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
-    assert!(!known.contains(&w3), "a cheap elec product cannot be missing");
+    w3.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA))
+        .unwrap();
+    assert!(
+        !known.contains(&w3),
+        "a cheap elec product cannot be missing"
+    );
 }
 
 /// Figure 9: after Queries 1 and 2, information is merged per node
@@ -242,8 +257,13 @@ fn figure9_incomplete_tree_after_query2() {
     // picture is excluded.
     let mut w = doc.clone();
     let nikon = w.by_nid(Nid(7)).unwrap(); // Nikon product node
-    w.add_child(nikon, Nid(950), alpha.get("picture").unwrap(), Rat::from(777))
-        .unwrap();
+    w.add_child(
+        nikon,
+        Nid(950),
+        alpha.get("picture").unwrap(),
+        Rat::from(777),
+    )
+    .unwrap();
     assert!(!known.contains(&w), "Nikon with a picture contradicts q2");
 
     // Olympus (p2-olympus): known camera with picture, price unknown
@@ -264,14 +284,21 @@ fn figure9_incomplete_tree_after_query2() {
     let p = w
         .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
         .unwrap();
-    w.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
-    w.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(500)).unwrap();
+    w.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7))
+        .unwrap();
+    w.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(500))
+        .unwrap();
     let c = w
         .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
         .unwrap();
-    w.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
-    w.add_child(p, Nid(905), alpha.get("picture").unwrap(), Rat::from(888)).unwrap();
-    assert!(!known.contains(&w), "expensive camera with picture would match q2");
+    w.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA))
+        .unwrap();
+    w.add_child(p, Nid(905), alpha.get("picture").unwrap(), Rat::from(888))
+        .unwrap();
+    assert!(
+        !known.contains(&w),
+        "expensive camera with picture would match q2"
+    );
     // Without the picture it is a legitimate missing product
     // (product2c in Figure 9).
     let mut w = doc.clone();
@@ -279,13 +306,19 @@ fn figure9_incomplete_tree_after_query2() {
     let p = w
         .add_child(root, Nid(900), alpha.get("product").unwrap(), Rat::ZERO)
         .unwrap();
-    w.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7)).unwrap();
-    w.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(500)).unwrap();
+    w.add_child(p, Nid(901), alpha.get("name").unwrap(), Rat::from(7))
+        .unwrap();
+    w.add_child(p, Nid(902), alpha.get("price").unwrap(), Rat::from(500))
+        .unwrap();
     let c = w
         .add_child(p, Nid(903), alpha.get("cat").unwrap(), Rat::from(ELEC))
         .unwrap();
-    w.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA)).unwrap();
-    assert!(known.contains(&w), "expensive picture-less camera may be missing");
+    w.add_child(c, Nid(904), alpha.get("subcat").unwrap(), Rat::from(CAMERA))
+        .unwrap();
+    assert!(
+        known.contains(&w),
+        "expensive picture-less camera may be missing"
+    );
 }
 
 /// Rebuilds the source with a different Olympus price (used to probe
@@ -317,7 +350,10 @@ fn example_3_4_query_answering() {
     // "Clearly, we can answer this query fully using just the
     // information available locally."
     let ans3 = known.query(&q3);
-    assert!(ans3.fully_answerable(), "Query 3 answerable from local info");
+    assert!(
+        ans3.fully_answerable(),
+        "Query 3 answerable from local info"
+    );
     // The locally computed answer equals the source's.
     let local = ans3.the_answer();
     let direct = q3.eval(&doc).tree;
@@ -336,6 +372,10 @@ fn example_3_4_query_answering() {
     // Olympus (camera with picture).
     let mut sure = DataTree::new(Nid(0), alpha.get("catalog").unwrap(), Rat::ZERO);
     let root = sure.root();
-    sure.add_child(root, Nid(1), alpha.get("product").unwrap(), Rat::ZERO).unwrap();
-    assert!(ans4.certain_answer_prefix(&sure), "Canon surely answers Query 4");
+    sure.add_child(root, Nid(1), alpha.get("product").unwrap(), Rat::ZERO)
+        .unwrap();
+    assert!(
+        ans4.certain_answer_prefix(&sure),
+        "Canon surely answers Query 4"
+    );
 }

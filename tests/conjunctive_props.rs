@@ -4,14 +4,11 @@
 //! definition directly.
 
 use iixml_core::{ConjunctiveTree, Refiner};
+use iixml_gen::testkit::check_with;
 use iixml_gen::{catalog, library, random_queries};
 use iixml_oracle::mutations;
-use proptest::prelude::*;
 
-fn check_agreement(
-    c: &iixml_gen::Catalog,
-    queries: &[iixml_query::PsQuery],
-) -> Result<(), TestCaseError> {
+fn check_agreement(c: &iixml_gen::Catalog, queries: &[iixml_query::PsQuery]) {
     let mut refiner = Refiner::new(&c.alpha);
     let mut conj = ConjunctiveTree::new(&c.alpha);
     let answers: Vec<_> = queries
@@ -28,19 +25,21 @@ fn check_agreement(
     probes.push(c.doc.clone());
     probes.truncate(40);
     for p in &probes {
-        let by_definition = queries.iter().zip(&answers).all(|(q, a)| {
-            match (q.eval(p).tree, &a.tree) {
-                (None, None) => true,
-                (Some(x), Some(y)) => x.same_tree(y),
-                _ => false,
-            }
-        });
-        prop_assert_eq!(
+        let by_definition =
+            queries
+                .iter()
+                .zip(&answers)
+                .all(|(q, a)| match (q.eval(p).tree, &a.tree) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => x.same_tree(y),
+                    _ => false,
+                });
+        assert_eq!(
             conj.contains(p),
             by_definition,
             "conjunctive membership diverges from the definition"
         );
-        prop_assert_eq!(
+        assert_eq!(
             refiner.current().contains(p),
             conj.contains(p),
             "Refine and Refine+ disagree"
@@ -50,28 +49,31 @@ fn check_agreement(
     // be large).
     let expanded = conj.to_incomplete_tree().unwrap();
     for p in probes.iter().take(8) {
-        prop_assert_eq!(expanded.contains(p), conj.contains(p));
+        assert_eq!(expanded.contains(p), conj.contains(p));
     }
-    prop_assert!(!conj.is_empty(), "the true source witnesses nonemptiness");
-    Ok(())
+    assert!(!conj.is_empty(), "the true source witnesses nonemptiness");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn conjunctive_matches_refine_on_catalogs(seed in 0u64..400, nq in 1usize..4) {
+#[test]
+fn conjunctive_matches_refine_on_catalogs() {
+    check_with("conjunctive_matches_refine_on_catalogs", 10, |rng| {
+        let seed = rng.below(400);
+        let nq = rng.range_usize(1, 4);
         let c = catalog(3, seed);
         let root = c.alpha.get("catalog").unwrap();
         let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0xC0);
-        check_agreement(&c, &queries)?;
-    }
+        check_agreement(&c, &queries);
+    });
+}
 
-    #[test]
-    fn conjunctive_matches_refine_on_libraries(seed in 0u64..400, nq in 1usize..3) {
+#[test]
+fn conjunctive_matches_refine_on_libraries() {
+    check_with("conjunctive_matches_refine_on_libraries", 10, |rng| {
+        let seed = rng.below(400);
+        let nq = rng.range_usize(1, 3);
         let l = library(3, seed);
         let root = l.alpha.get("library").unwrap();
         let queries = random_queries(&l.alpha, &l.ty, root, nq, 3000, seed ^ 0xC1);
-        check_agreement(&l, &queries)?;
-    }
+        check_agreement(&l, &queries);
+    });
 }

@@ -6,9 +6,7 @@
 //! Theorem 3.14 algorithm, and check three-way agreement by bounded
 //! exhaustive enumeration (the oracle crate).
 
-use iixml_core::{
-    ConditionalTreeType, Disjunction, IncompleteTree, NodeInfo, SAtom, SymTarget,
-};
+use iixml_core::{ConditionalTreeType, Disjunction, IncompleteTree, NodeInfo, SAtom, SymTarget};
 use iixml_oracle::{enumerate_rep, Bounds};
 use iixml_query::{PsQuery, PsQueryBuilder};
 use iixml_tree::{Alphabet, Label, Mult, Nid};
@@ -26,14 +24,37 @@ fn alphabet() -> Alphabet {
 /// The incomplete tree `T` of Figure 7 (left).
 fn paper_t() -> IncompleteTree {
     let mut nodes = BTreeMap::new();
-    nodes.insert(Nid(0), NodeInfo { label: ROOT, value: Rat::ZERO });
-    nodes.insert(Nid(1), NodeInfo { label: A, value: Rat::ZERO });
+    nodes.insert(
+        Nid(0),
+        NodeInfo {
+            label: ROOT,
+            value: Rat::ZERO,
+        },
+    );
+    nodes.insert(
+        Nid(1),
+        NodeInfo {
+            label: A,
+            value: Rat::ZERO,
+        },
+    );
     let mut ty = ConditionalTreeType::new();
-    let r = ty.add_symbol("r", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
-    let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
+    let r = ty.add_symbol(
+        "r",
+        SymTarget::Node(Nid(0)),
+        Cond::eq(Rat::ZERO).to_intervals(),
+    );
+    let n = ty.add_symbol(
+        "n",
+        SymTarget::Node(Nid(1)),
+        Cond::eq(Rat::ZERO).to_intervals(),
+    );
     let a = ty.add_symbol("a", SymTarget::Lab(A), Cond::ne(Rat::ZERO).to_intervals());
     let b = ty.add_symbol("b", SymTarget::Lab(B), IntervalSet::all());
-    ty.set_mu(r, Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])));
+    ty.set_mu(
+        r,
+        Disjunction::single(SAtom::new(vec![(n, Mult::One), (a, Mult::Star)])),
+    );
     ty.set_mu(n, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
     ty.set_mu(a, Disjunction::single(SAtom::new(vec![(b, Mult::Star)])));
     ty.set_mu(b, Disjunction::leaf());
@@ -46,12 +67,32 @@ fn paper_t() -> IncompleteTree {
 /// answered `a` has at least one `b` child.
 fn paper_t_prime() -> IncompleteTree {
     let mut nodes = BTreeMap::new();
-    nodes.insert(Nid(0), NodeInfo { label: ROOT, value: Rat::ZERO });
-    nodes.insert(Nid(1), NodeInfo { label: A, value: Rat::ZERO });
+    nodes.insert(
+        Nid(0),
+        NodeInfo {
+            label: ROOT,
+            value: Rat::ZERO,
+        },
+    );
+    nodes.insert(
+        Nid(1),
+        NodeInfo {
+            label: A,
+            value: Rat::ZERO,
+        },
+    );
     let mut ty = ConditionalTreeType::new();
     let r1 = ty.add_symbol("r1", SymTarget::Node(Nid(0)), IntervalSet::empty());
-    let r2 = ty.add_symbol("r2", SymTarget::Node(Nid(0)), Cond::eq(Rat::ZERO).to_intervals());
-    let n = ty.add_symbol("n", SymTarget::Node(Nid(1)), Cond::eq(Rat::ZERO).to_intervals());
+    let r2 = ty.add_symbol(
+        "r2",
+        SymTarget::Node(Nid(0)),
+        Cond::eq(Rat::ZERO).to_intervals(),
+    );
+    let n = ty.add_symbol(
+        "n",
+        SymTarget::Node(Nid(1)),
+        Cond::eq(Rat::ZERO).to_intervals(),
+    );
     let a = ty.add_symbol("a", SymTarget::Lab(A), Cond::ne(Rat::ZERO).to_intervals());
     let b = ty.add_symbol("b", SymTarget::Lab(B), IntervalSet::all());
     ty.set_mu(r1, Disjunction::leaf());
@@ -157,21 +198,20 @@ fn answer_descriptions_match_actual_answers() {
     let members = enumerate_rep(&hand, bounds());
     for ans in &members.worlds {
         let again = query.eval(ans).tree.expect("answers match the query");
+        assert!(again.same_tree(ans), "answers are fixpoints of the query");
         assert!(
-            again.same_tree(ans),
-            "answers are fixpoints of the query"
-        );
-        assert!(t.contains(ans) || {
-            // Answers omitting node n (r2's second disjunct) are not
-            // themselves in rep(T) — extend with node n to get a
-            // legitimate input.
-            let mut input = ans.clone();
-            if input.by_nid(Nid(1)).is_none() {
-                let root = input.root();
-                input.add_child(root, Nid(1), A, Rat::ZERO).unwrap();
+            t.contains(ans) || {
+                // Answers omitting node n (r2's second disjunct) are not
+                // themselves in rep(T) — extend with node n to get a
+                // legitimate input.
+                let mut input = ans.clone();
+                if input.by_nid(Nid(1)).is_none() {
+                    let root = input.root();
+                    input.add_child(root, Nid(1), A, Rat::ZERO).unwrap();
+                }
+                t.contains(&input)
             }
-            t.contains(&input)
-        });
+        );
     }
 }
 

@@ -3,66 +3,114 @@
 //! re-serialize and re-parse to the same thing.
 
 use iixml_core::io::{parse_incomplete_xml, write_incomplete_xml};
+use iixml_gen::rng::DetRng;
+use iixml_gen::testkit::check_with;
 use iixml_query::parse::parse_ps_query;
-use iixml_tree::xmlio::{parse_tree, write_tree};
+use iixml_tree::xmlio::parse_tree;
 use iixml_tree::Alphabet;
 use iixml_values::parse::parse_cond;
 use iixml_values::Rat;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
+/// A printable string of length `0..=max_len`: mostly ASCII printable,
+/// with occasional multi-byte characters and syntax-significant
+/// punctuation to keep the parsers honest.
+fn arb_string(rng: &mut DetRng, max_len: usize) -> String {
+    let len = rng.range_usize(0, max_len + 1);
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0..=5 => char::from_u32(rng.range_usize(0x20, 0x7f) as u32).unwrap(),
+            6 => *rng.choose(&['é', 'λ', '√', '日', '\u{1F333}']),
+            _ => *rng.choose(&['<', '>', '"', '/', '{', '}', '[', ']', '=', '!', '&', '|']),
+        })
+        .collect()
+}
 
-    #[test]
-    fn cond_parser_never_panics(s in "\\PC{0,40}") {
+/// A string over an explicit character set.
+fn string_over(rng: &mut DetRng, charset: &[char], lo: usize, hi: usize) -> String {
+    let len = rng.range_usize(lo, hi + 1);
+    (0..len).map(|_| *rng.choose(charset)).collect()
+}
+
+#[test]
+fn cond_parser_never_panics() {
+    check_with("cond_parser_never_panics", 300, |rng| {
+        let s = arb_string(rng, 40);
         let _ = parse_cond(&s);
-    }
+    });
+}
 
-    #[test]
-    fn rat_parser_never_panics(s in "\\PC{0,20}") {
+#[test]
+fn rat_parser_never_panics() {
+    check_with("rat_parser_never_panics", 300, |rng| {
+        let s = arb_string(rng, 20);
         let _ = s.parse::<Rat>();
-    }
+    });
+}
 
-    #[test]
-    fn query_parser_never_panics(s in "\\PC{0,60}") {
+#[test]
+fn query_parser_never_panics() {
+    check_with("query_parser_never_panics", 300, |rng| {
+        let s = arb_string(rng, 60);
         let mut alpha = Alphabet::new();
         let _ = parse_ps_query(&s, &mut alpha);
-    }
+    });
+}
 
-    #[test]
-    fn tree_parser_never_panics(s in "\\PC{0,80}") {
+#[test]
+fn tree_parser_never_panics() {
+    check_with("tree_parser_never_panics", 300, |rng| {
+        let s = arb_string(rng, 80);
         let mut alpha = Alphabet::new();
         let _ = parse_tree(&s, &mut alpha);
-    }
+    });
+}
 
-    #[test]
-    fn incomplete_parser_never_panics(s in "\\PC{0,120}") {
+#[test]
+fn incomplete_parser_never_panics() {
+    check_with("incomplete_parser_never_panics", 300, |rng| {
+        let s = arb_string(rng, 120);
         let mut alpha = Alphabet::new();
         let _ = parse_incomplete_xml(&s, &mut alpha);
-    }
+    });
+}
 
-    /// Structured-ish fuzzing: near-valid condition inputs.
-    #[test]
-    fn cond_parser_on_near_valid(op in "[=<>!&|()]{0,6}", n in -999i64..999) {
+/// Structured-ish fuzzing: near-valid condition inputs.
+#[test]
+fn cond_parser_on_near_valid() {
+    check_with("cond_parser_on_near_valid", 300, |rng| {
+        let op = string_over(rng, &['=', '<', '>', '!', '&', '|', '(', ')'], 0, 6);
+        let n = rng.range_i64(-999, 999);
         let s = format!("{op} {n}");
         if let Ok(c) = parse_cond(&s) {
             // What parses must round-trip through display.
             let again = parse_cond(&c.to_string()).unwrap();
-            prop_assert!(c.equivalent(&again));
+            assert!(c.equivalent(&again));
         }
-    }
+    });
+}
 
-    /// Structured-ish fuzzing: near-valid query inputs.
-    #[test]
-    fn query_parser_on_near_valid(parts in proptest::collection::vec("[a-c]{1,3}", 1..4), deco in "[!/{},\\[\\]<5 ]{0,6}") {
+/// Structured-ish fuzzing: near-valid query inputs.
+#[test]
+fn query_parser_on_near_valid() {
+    check_with("query_parser_on_near_valid", 300, |rng| {
+        let nparts = rng.range_usize(1, 4);
+        let parts: Vec<String> = (0..nparts)
+            .map(|_| string_over(rng, &['a', 'b', 'c'], 1, 3))
+            .collect();
+        let deco = string_over(
+            rng,
+            &['!', '/', '{', '}', ',', '[', ']', '<', '5', ' '],
+            0,
+            6,
+        );
         let s = format!("{}{}", parts.join("/"), deco);
         let mut alpha = Alphabet::new();
         if let Ok(q) = parse_ps_query(&s, &mut alpha) {
             let text = q.to_text(&alpha);
             let q2 = parse_ps_query(&text, &mut alpha).unwrap();
-            prop_assert_eq!(q.len(), q2.len());
+            assert_eq!(q.len(), q2.len());
         }
-    }
+    });
 }
 
 #[test]

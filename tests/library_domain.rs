@@ -33,10 +33,20 @@ fn refine_chain_on_library() {
     let b = bad
         .add_child(root, iixml_tree::Nid(90_000), book, iixml_values::Rat::ZERO)
         .unwrap();
-    bad.add_child(b, iixml_tree::Nid(90_001), title, iixml_values::Rat::from(1))
-        .unwrap();
-    bad.add_child(b, iixml_tree::Nid(90_002), year, iixml_values::Rat::from(1700))
-        .unwrap();
+    bad.add_child(
+        b,
+        iixml_tree::Nid(90_001),
+        title,
+        iixml_values::Rat::from(1),
+    )
+    .unwrap();
+    bad.add_child(
+        b,
+        iixml_tree::Nid(90_002),
+        year,
+        iixml_values::Rat::from(1700),
+    )
+    .unwrap();
     assert!(!l.ty.accepts(&bad));
     assert!(!restricted.contains(&bad));
 
@@ -44,10 +54,20 @@ fn refine_chain_on_library() {
     let isbn = l.alpha.get("isbn").unwrap();
     let mut bad2 = l.doc.clone();
     let first_book = bad2.children(bad2.root())[0];
-    bad2.add_child(first_book, iixml_tree::Nid(90_010), isbn, iixml_values::Rat::from(1))
-        .unwrap();
-    bad2.add_child(first_book, iixml_tree::Nid(90_011), isbn, iixml_values::Rat::from(2))
-        .unwrap();
+    bad2.add_child(
+        first_book,
+        iixml_tree::Nid(90_010),
+        isbn,
+        iixml_values::Rat::from(1),
+    )
+    .unwrap();
+    bad2.add_child(
+        first_book,
+        iixml_tree::Nid(90_011),
+        isbn,
+        iixml_values::Rat::from(2),
+    )
+    .unwrap();
     assert!(!l.ty.accepts(&bad2));
     assert!(!restricted.contains(&bad2));
 }
@@ -69,13 +89,15 @@ fn membership_tracks_definition_on_library() {
             .collect();
         let labels: Vec<_> = l.alpha.labels().collect();
         for probe in mutations(&l.doc, &labels).into_iter().take(30) {
-            let expected = queries.iter().zip(&answers).all(|(q, a)| {
-                match (q.eval(&probe).tree, &a.tree) {
-                    (None, None) => true,
-                    (Some(x), Some(y)) => x.same_tree(y),
-                    _ => false,
-                }
-            });
+            let expected =
+                queries
+                    .iter()
+                    .zip(&answers)
+                    .all(|(q, a)| match (q.eval(&probe).tree, &a.tree) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => x.same_tree(y),
+                        _ => false,
+                    });
             assert_eq!(
                 refiner.current().contains(&probe),
                 expected,
@@ -90,7 +112,10 @@ fn library_webhouse_session() {
     let mut l = library(20, 8);
     let q_recent = library_query_recent(&mut l.alpha, 1990);
     let q_all = library_query_recent(&mut l.alpha, 0);
-    let mut session = Session::open(l.alpha.clone(), Source::new(l.doc.clone(), Some(l.ty.clone())));
+    let mut session = Session::open(
+        l.alpha.clone(),
+        Source::new(l.doc.clone(), Some(l.ty.clone())),
+    );
     session.fetch(&q_all).unwrap();
     // Narrower year window answerable from the full sweep.
     match session.answer_locally(&q_recent) {

@@ -14,7 +14,9 @@ fn completions_answer_exactly_across_scales() {
         let q_view = catalog_query_price_below(&mut c.alpha, 200);
         let q_ask = catalog_query_camera_pictures(&mut c.alpha);
         let mut refiner = Refiner::new(&c.alpha);
-        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        refiner
+            .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+            .unwrap();
         let med = Mediator::new(refiner.current());
         let completion = med.complete(&q_ask);
         let mut known = refiner
@@ -36,7 +38,9 @@ fn completion_avoids_refetching_known_subtrees() {
     let q_view = catalog_query_price_below(&mut c.alpha, 10_000); // everything except pictures
     let q_ask = catalog_query_camera_pictures(&mut c.alpha);
     let mut refiner = Refiner::new(&c.alpha);
-    refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+    refiner
+        .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+        .unwrap();
     let med = Mediator::new(refiner.current());
     let completion = med.complete(&q_ask);
     // Total nodes fetched by the completion vs. re-asking q_ask at the
@@ -66,7 +70,9 @@ fn completion_nonoverlap_on_generated_catalogs() {
         let q_view = catalog_query_price_below(&mut c.alpha, 180);
         let q_ask = catalog_query_camera_pictures(&mut c.alpha);
         let mut refiner = Refiner::new(&c.alpha);
-        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        refiner
+            .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+            .unwrap();
         let med = Mediator::new(refiner.current());
         let completion = med.complete(&q_ask);
         let mut seen: HashSet<Nid> = HashSet::new();

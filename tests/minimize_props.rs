@@ -3,17 +3,19 @@
 //! never growing the representation.
 
 use iixml_core::refine::{intersect, query_answer_tree};
-use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below, random_queries};
+use iixml_gen::testkit::check_with;
+use iixml_gen::{
+    catalog, catalog_query_camera_pictures, catalog_query_price_below, random_queries,
+};
 use iixml_oracle::mutations;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Membership agrees before and after minimization on dozens of
-    /// probes (the source, its mutations, and witnesses).
-    #[test]
-    fn minimization_preserves_membership(seed in 0u64..400, nq in 1usize..3) {
+/// Membership agrees before and after minimization on dozens of
+/// probes (the source, its mutations, and witnesses).
+#[test]
+fn minimization_preserves_membership() {
+    check_with("minimization_preserves_membership", 12, |rng| {
+        let seed = rng.below(400);
+        let nq = rng.range_usize(1, 3);
         let c = catalog(3, seed);
         let root = c.alpha.get("catalog").unwrap();
         let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0x5A5A);
@@ -27,12 +29,12 @@ proptest! {
             cur = intersect(&cur, &tqa).unwrap().trim();
         }
         let minimized = cur.minimize();
-        prop_assert!(minimized.size() <= cur.size(), "never grows");
+        assert!(minimized.size() <= cur.size(), "never grows");
         let mut probes = mutations(&c.doc, &labels);
         probes.push(c.doc.clone());
         probes.truncate(40);
         for p in &probes {
-            prop_assert_eq!(
+            assert_eq!(
                 cur.contains(p),
                 minimized.contains(p),
                 "membership changed by minimization"
@@ -41,16 +43,19 @@ proptest! {
         // Witnesses cross over.
         let mut gen = iixml_tree::NidGen::starting_at(2_000_000);
         if let Some(w) = cur.witness(&mut gen) {
-            prop_assert!(minimized.contains(&w));
+            assert!(minimized.contains(&w));
         }
         if let Some(w) = minimized.witness(&mut gen) {
-            prop_assert!(cur.contains(&w));
+            assert!(cur.contains(&w));
         }
-    }
+    });
+}
 
-    /// Minimization commutes with the prefix predicates.
-    #[test]
-    fn minimization_preserves_prefix_predicates(seed in 0u64..400) {
+/// Minimization commutes with the prefix predicates.
+#[test]
+fn minimization_preserves_prefix_predicates() {
+    check_with("minimization_preserves_prefix_predicates", 12, |rng| {
+        let seed = rng.below(400);
         let mut c = catalog(3, seed);
         let q1 = catalog_query_price_below(&mut c.alpha, 250);
         let q2 = catalog_query_camera_pictures(&mut c.alpha);
@@ -63,20 +68,20 @@ proptest! {
         }
         let minimized = cur.minimize();
         if let Some(td) = cur.data_tree() {
-            prop_assert_eq!(cur.certain_prefix(&td), minimized.certain_prefix(&td));
-            prop_assert_eq!(cur.possible_prefix(&td), minimized.possible_prefix(&td));
+            assert_eq!(cur.certain_prefix(&td), minimized.certain_prefix(&td));
+            assert_eq!(cur.possible_prefix(&td), minimized.possible_prefix(&td));
             for m in mutations(&td, &labels).into_iter().take(15) {
-                prop_assert_eq!(
+                assert_eq!(
                     cur.possible_prefix(&m),
                     minimized.possible_prefix(&m),
                     "possible_prefix changed"
                 );
-                prop_assert_eq!(
+                assert_eq!(
                     cur.certain_prefix(&m),
                     minimized.certain_prefix(&m),
                     "certain_prefix changed"
                 );
             }
         }
-    }
+    });
 }

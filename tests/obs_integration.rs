@@ -1,0 +1,117 @@
+//! Integration test for the observability layer: driving Algorithm
+//! Refine over the Example 3.2 blowup family (plus an eval and a world
+//! enumeration) must emit the documented metric keys with sane values.
+//!
+//! Kept as a single test function: the obs registry is process-global,
+//! and one linear scenario keeps the asserted counts deterministic.
+
+use iixml_core::Refiner;
+use iixml_oracle::{enumerate_rep, Bounds};
+use iixml_query::Answer;
+use iixml_tree::Alphabet;
+use iixml_webhouse::{Session, Source};
+
+#[test]
+fn refine_pipeline_emits_expected_metrics() {
+    iixml_obs::reset();
+    iixml_obs::set_enabled(true);
+
+    // The Example 3.2 blowup: 4 empty-answer steps square the disjunct
+    // count each time.
+    let mut alpha = Alphabet::from_names(["root", "a", "b"]);
+    let queries = iixml_gen::blowup_queries(&mut alpha, 4);
+    let mut refiner = Refiner::new(&alpha);
+    for q in &queries {
+        refiner.refine(&alpha, q, &Answer::empty()).unwrap();
+    }
+
+    // A mediated session: the mediator's decomposed local queries drive
+    // the ⋊⋉ join into genuine multi-way fan-out.
+    let mut cat = iixml_gen::catalog(4, 42);
+    let q_view = iixml_gen::catalog_query_price_below(&mut cat.alpha, 250);
+    let q_cam = iixml_gen::catalog_query_camera_pictures(&mut cat.alpha);
+    let mut session = Session::open(
+        cat.alpha.clone(),
+        Source::new(cat.doc.clone(), Some(cat.ty.clone())),
+    );
+    session.fetch(&q_view).unwrap();
+    let _ = session.answer_with_mediation(&q_cam).unwrap();
+
+    // One direct evaluation and one bounded enumeration so the query
+    // and oracle families show up too.
+    let _ans = q_view.eval(&cat.doc);
+    let en = enumerate_rep(
+        refiner.current(),
+        Bounds {
+            star_cap: 1,
+            max_depth: 3,
+            max_worlds: 16,
+            values_per_interval: 1,
+        },
+    );
+
+    let snap = iixml_obs::snapshot();
+
+    // Refine instrumentation (Theorem 3.4's loop): 4 blowup steps plus
+    // at least one session-side refinement.
+    let steps = snap.counter("core.refine.steps").unwrap_or(0);
+    assert!(steps >= 5, "expected >= 5 refine steps, saw {steps}");
+    let fanout = snap
+        .histogram("core.refine.join_fanout")
+        .expect("join fan-out histogram present");
+    assert!(fanout.count > 0 && fanout.max >= 2, "the ⋊⋉ join fans out");
+    assert!(
+        snap.counter("core.refine.disjunctive_expansions")
+            .unwrap_or(0)
+            >= 1,
+        "the mediated chain must trigger disjunctive expansion"
+    );
+    for key in [
+        "core.refine.tqa_size",
+        "core.refine.step_size",
+        "core.refine.intersect_ns",
+        "core.refine.trim_ns",
+        "core.refine.minimize_ns",
+        "core.type_intersect.restrict_ns",
+        "core.minimize.call_ns",
+    ] {
+        let h = snap
+            .histogram(key)
+            .unwrap_or_else(|| panic!("missing {key}"));
+        assert!(h.count > 0, "{key} never observed");
+    }
+    // Step sizes are recorded post-minimization, one per refine step,
+    // and the blowup's final tree is the largest thing seen.
+    let sizes = snap.histogram("core.refine.step_size").unwrap();
+    assert_eq!(sizes.count, steps);
+    assert!(sizes.max as usize >= refiner.current().size());
+
+    // Query evaluation.
+    assert!(snap.counter("query.eval.calls").unwrap_or(0) >= 1);
+    let vals = snap
+        .histogram("query.eval.valuations")
+        .expect("valuation histogram present");
+    assert!(vals.count >= 1);
+
+    // Oracle enumeration.
+    let worlds = snap
+        .histogram("oracle.enumerate.worlds")
+        .expect("world-count histogram present");
+    assert_eq!(worlds.count, 1);
+    assert_eq!(worlds.max as usize, en.worlds.len());
+
+    // Mediator / webhouse instrumentation.
+    assert!(snap.counter("mediator.local_queries").unwrap_or(0) >= 1);
+    assert!(snap.histogram("mediator.execute_ns").is_some());
+    assert!(
+        snap.histogram("webhouse.fetch_ns.anon").is_some(),
+        "per-source fetch latency present (label defaults to 'anon')"
+    );
+
+    // Disabled mode records nothing further.
+    iixml_obs::set_enabled(false);
+    let before = iixml_obs::snapshot().counter("core.refine.steps");
+    let mut r2 = Refiner::new(&alpha);
+    r2.refine(&alpha, &queries[0], &Answer::empty()).unwrap();
+    assert_eq!(iixml_obs::snapshot().counter("core.refine.steps"), before);
+}

@@ -11,43 +11,51 @@
 
 use iixml_core::refine::query_answer_tree;
 use iixml_core::ConjunctiveTree;
+use iixml_gen::testkit::check_with;
 use iixml_gen::{catalog, random_queries};
 use iixml_values::{Cond, Rat};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(30))]
-
-    /// Lemma 2.3: the normal form is linear in the number of atoms.
-    #[test]
-    fn interval_normal_form_is_linear(vals in proptest::collection::vec(-30i64..30, 1..12)) {
+/// Lemma 2.3: the normal form is linear in the number of atoms.
+#[test]
+fn interval_normal_form_is_linear() {
+    check_with("interval_normal_form_is_linear", 30, |rng| {
+        let len = rng.range_usize(1, 12);
         let mut cond = Cond::True;
         let mut atoms = 0usize;
-        for (i, v) in vals.iter().enumerate() {
+        for i in 0..len {
+            let v = rng.range_i64(-30, 30);
             let atom = match i % 6 {
-                0 => Cond::eq(Rat::from(*v)),
-                1 => Cond::ne(Rat::from(*v)),
-                2 => Cond::lt(Rat::from(*v)),
-                3 => Cond::le(Rat::from(*v)),
-                4 => Cond::gt(Rat::from(*v)),
-                _ => Cond::ge(Rat::from(*v)),
+                0 => Cond::eq(Rat::from(v)),
+                1 => Cond::ne(Rat::from(v)),
+                2 => Cond::lt(Rat::from(v)),
+                3 => Cond::le(Rat::from(v)),
+                4 => Cond::gt(Rat::from(v)),
+                _ => Cond::ge(Rat::from(v)),
             };
             atoms += 1;
-            cond = if i % 2 == 0 { cond.and(atom) } else { cond.or(atom) };
+            cond = if i % 2 == 0 {
+                cond.and(atom)
+            } else {
+                cond.or(atom)
+            };
         }
         let set = cond.to_intervals();
-        prop_assert!(
+        assert!(
             set.intervals().len() <= atoms + 1,
             "{} intervals from {atoms} atoms",
             set.intervals().len()
         );
-    }
+    });
+}
 
-    /// Lemma 3.2: |T_{q,A}| = O((|q| + |A|) · |Σ|). The constant here is
-    /// generous but fixed — a regression in the construction (e.g.
-    /// accidentally quadratic) would trip it.
-    #[test]
-    fn tqa_size_bound(seed in 0u64..500, nq in 1usize..3) {
+/// Lemma 3.2: |T_{q,A}| = O((|q| + |A|) · |Σ|). The constant here is
+/// generous but fixed — a regression in the construction (e.g.
+/// accidentally quadratic) would trip it.
+#[test]
+fn tqa_size_bound() {
+    check_with("tqa_size_bound", 30, |rng| {
+        let seed = rng.below(500);
+        let nq = rng.range_usize(1, 3);
         let c = catalog(4, seed);
         let root = c.alpha.get("catalog").unwrap();
         let sigma = c.alpha.len();
@@ -55,18 +63,21 @@ proptest! {
             let ans = q.eval(&c.doc);
             let tqa = query_answer_tree(&q, &ans, &c.alpha);
             let budget = 8 * (q.len() + ans.len() + 2) * sigma;
-            prop_assert!(
+            assert!(
                 tqa.size() <= budget,
                 "|Tqa| = {} exceeds O((|q|+|A|)·|Σ|) = {budget}",
                 tqa.size()
             );
         }
-    }
+    });
+}
 
-    /// Theorem 3.8: a Refine⁺ step grows the conjunctive tree by at most
-    /// O((|q| + |A|) · |Σ|).
-    #[test]
-    fn refine_plus_step_bound(seed in 0u64..500) {
+/// Theorem 3.8: a Refine⁺ step grows the conjunctive tree by at most
+/// O((|q| + |A|) · |Σ|).
+#[test]
+fn refine_plus_step_bound() {
+    check_with("refine_plus_step_bound", 30, |rng| {
+        let seed = rng.below(500);
         let c = catalog(4, seed);
         let root = c.alpha.get("catalog").unwrap();
         let sigma = c.alpha.len();
@@ -77,10 +88,10 @@ proptest! {
             conj.refine(&c.alpha, &q, &ans).unwrap();
             let delta = conj.size() - prev;
             let budget = 8 * (q.len() + ans.len() + 2) * sigma;
-            prop_assert!(delta <= budget, "step grew by {delta} > {budget}");
+            assert!(delta <= budget, "step grew by {delta} > {budget}");
             prev = conj.size();
         }
-    }
+    });
 }
 
 /// Corollary 2.6 (usefulness): every symbol surviving `trim` appears in

@@ -3,7 +3,9 @@
 //! trees produced by real Refine chains, not just hand-built ones.
 
 use iixml_core::Refiner;
-use iixml_oracle::{enumerate_rep, mutations, oracle_certain_prefix, oracle_possible_prefix, Bounds};
+use iixml_oracle::{
+    enumerate_rep, mutations, oracle_certain_prefix, oracle_possible_prefix, Bounds,
+};
 use iixml_query::PsQueryBuilder;
 use iixml_tree::{Alphabet, DataTree, Nid};
 use iixml_values::{Cond, Rat};
@@ -102,7 +104,9 @@ fn answer_prefix_modalities_match_direct_answers() {
         bld.build()
     };
     let mut refiner = Refiner::new(&alpha);
-    refiner.refine(&alpha, &q_view, &q_view.eval(&world)).unwrap();
+    refiner
+        .refine(&alpha, &q_view, &q_view.eval(&world))
+        .unwrap();
     let knowledge = refiner.current();
 
     // The follow-up query: root/a (all a's).
@@ -164,8 +168,12 @@ fn answer_prefix_modalities_match_direct_answers() {
         .unwrap();
     assert!(described.possible_answer_prefix(&maybe));
     assert!(!described.certain_answer_prefix(&maybe));
-    let some = answers.iter().any(|a| iixml_tree::is_prefix_of(&maybe, a, &pinned));
-    let all = answers.iter().all(|a| iixml_tree::is_prefix_of(&maybe, a, &pinned));
+    let some = answers
+        .iter()
+        .any(|a| iixml_tree::is_prefix_of(&maybe, a, &pinned));
+    let all = answers
+        .iter()
+        .all(|a| iixml_tree::is_prefix_of(&maybe, a, &pinned));
     assert!(some, "oracle confirms possibility");
     assert!(!all, "oracle confirms non-certainty");
 }

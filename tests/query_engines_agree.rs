@@ -4,10 +4,10 @@
 //! and the Section 4 extended evaluator must produce identical answers.
 
 use iixml_extensions::xquery::{Modality, XQuery, XQueryBuilder};
+use iixml_gen::testkit::check_with;
 use iixml_gen::{catalog, random_queries, sample_tree};
 use iixml_query::PsQuery;
 use iixml_tree::{Alphabet, DataTree};
-use proptest::prelude::*;
 
 /// Full translation with the name snapshot taken up front.
 fn translate(q: &PsQuery, alpha: &Alphabet) -> XQuery {
@@ -45,11 +45,11 @@ fn answers_agree(ps: Option<&DataTree>, x: Option<&DataTree>) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    #[test]
-    fn evaluators_agree_on_plain_queries(seed in 0u64..1000, nq in 1usize..4) {
+#[test]
+fn evaluators_agree_on_plain_queries() {
+    check_with("evaluators_agree_on_plain_queries", 20, |rng| {
+        let seed = rng.below(1000);
+        let nq = rng.range_usize(1, 4);
         let c = catalog(4, seed);
         let root = c.alpha.get("catalog").unwrap();
         let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0xD1FF);
@@ -57,40 +57,40 @@ proptest! {
             let xq = translate(q, &c.alpha);
             let ps_ans = q.eval(&c.doc).tree;
             let x_ans = xq.eval(&c.doc);
-            prop_assert!(
+            assert!(
                 answers_agree(ps_ans.as_ref(), x_ans.as_ref()),
                 "engines disagree on {}",
                 q.to_text(&c.alpha)
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn evaluators_agree_on_random_trees(seed in 0u64..1000) {
+#[test]
+fn evaluators_agree_on_random_trees() {
+    check_with("evaluators_agree_on_random_trees", 20, |rng| {
+        let seed = rng.below(1000);
         let c = catalog(1, 0);
         let root = c.alpha.get("catalog").unwrap();
         let t = sample_tree(&c.ty, root, 3, 40, 4, seed);
         let queries = random_queries(&c.alpha, &c.ty, root, 3, 40, seed ^ 0xFACE);
         for q in &queries {
             let xq = translate(q, &c.alpha);
-            prop_assert!(
+            assert!(
                 answers_agree(q.eval(&t).tree.as_ref(), xq.eval(&t).as_ref()),
                 "engines disagree on {}",
                 q.to_text(&c.alpha)
             );
         }
-    }
+    });
 }
 
 #[test]
 fn barred_queries_agree() {
     let mut c = catalog(6, 12);
     // catalog/product{price[< 200], picture!}
-    let q = iixml_query::parse_ps_query(
-        "catalog/product{price[< 200], picture!}",
-        &mut c.alpha,
-    )
-    .unwrap();
+    let q = iixml_query::parse_ps_query("catalog/product{price[< 200], picture!}", &mut c.alpha)
+        .unwrap();
     let xq = translate(&q, &c.alpha);
     assert!(answers_agree(
         q.eval(&c.doc).tree.as_ref(),

@@ -8,11 +8,13 @@
 //! representation property on realistic workloads.
 
 use iixml_core::Refiner;
-use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below, random_queries};
+use iixml_gen::testkit::check_with;
+use iixml_gen::{
+    catalog, catalog_query_camera_pictures, catalog_query_price_below, random_queries,
+};
 use iixml_oracle::mutations;
 use iixml_query::PsQuery;
 use iixml_tree::DataTree;
-use proptest::prelude::*;
 
 /// Do two answers coincide (as unordered id-labeled trees)?
 fn same_answer(a: &Option<DataTree>, b: &Option<DataTree>) -> bool {
@@ -23,13 +25,20 @@ fn same_answer(a: &Option<DataTree>, b: &Option<DataTree>) -> bool {
     }
 }
 
-fn check_chain(doc: &DataTree, alpha: &iixml_tree::Alphabet, queries: &[PsQuery], probes: &[DataTree]) {
+fn check_chain(
+    doc: &DataTree,
+    alpha: &iixml_tree::Alphabet,
+    queries: &[PsQuery],
+    probes: &[DataTree],
+) {
     let mut refiner = Refiner::new(alpha);
     let answers: Vec<_> = queries
         .iter()
         .map(|q| {
             let a = q.eval(doc);
-            refiner.refine(alpha, q, &a).expect("true answers are consistent");
+            refiner
+                .refine(alpha, q, &a)
+                .expect("true answers are consistent");
             a
         })
         .collect();
@@ -62,13 +71,13 @@ fn paper_queries_on_catalogs() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random catalogs + random type-shaped queries: the Refine chain's
-    /// membership tracks the definition on dozens of mutated probes.
-    #[test]
-    fn random_query_chains(seed in 0u64..500, nq in 1usize..4) {
+/// Random catalogs + random type-shaped queries: the Refine chain's
+/// membership tracks the definition on dozens of mutated probes.
+#[test]
+fn random_query_chains() {
+    check_with("random_query_chains", 12, |rng| {
+        let seed = rng.below(500);
+        let nq = rng.range_usize(1, 4);
         let c = catalog(3, seed);
         let root = c.alpha.get("catalog").unwrap();
         let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed.wrapping_add(99));
@@ -77,11 +86,14 @@ proptest! {
         let mut probes = mutations(&c.doc, &labels[..3.min(labels.len())]);
         probes.truncate(40);
         check_chain(&c.doc, &c.alpha, &queries, &probes);
-    }
+    });
+}
 
-    /// Witnesses of the refined tree reproduce every recorded answer.
-    #[test]
-    fn witnesses_reproduce_answers(seed in 0u64..500) {
+/// Witnesses of the refined tree reproduce every recorded answer.
+#[test]
+fn witnesses_reproduce_answers() {
+    check_with("witnesses_reproduce_answers", 12, |rng| {
+        let seed = rng.below(500);
         let mut c = catalog(3, seed);
         let q1 = catalog_query_price_below(&mut c.alpha, 150 + (seed % 200) as i64);
         let q2 = catalog_query_camera_pictures(&mut c.alpha);
@@ -92,30 +104,36 @@ proptest! {
         refiner.refine(&c.alpha, &q2, &a2).unwrap();
         let mut gen = iixml_tree::NidGen::starting_at(1_000_000);
         let w = refiner.current().witness(&mut gen).expect("nonempty");
-        prop_assert!(same_answer(&q1.eval(&w).tree, &a1.tree));
-        prop_assert!(same_answer(&q2.eval(&w).tree, &a2.tree));
-    }
+        assert!(same_answer(&q1.eval(&w).tree, &a1.tree));
+        assert!(same_answer(&q2.eval(&w).tree, &a2.tree));
+    });
+}
 
-    /// The accumulated data tree is always a certain prefix, and certain
-    /// prefixes are possible prefixes.
-    #[test]
-    fn data_tree_is_certain_prefix(seed in 0u64..500) {
+/// The accumulated data tree is always a certain prefix, and certain
+/// prefixes are possible prefixes.
+#[test]
+fn data_tree_is_certain_prefix() {
+    check_with("data_tree_is_certain_prefix", 12, |rng| {
+        let seed = rng.below(500);
         let mut c = catalog(3, seed);
         let q1 = catalog_query_price_below(&mut c.alpha, 250);
         let mut refiner = Refiner::new(&c.alpha);
         let a1 = q1.eval(&c.doc);
         refiner.refine(&c.alpha, &q1, &a1).unwrap();
         if let Some(td) = refiner.data_tree() {
-            prop_assert!(refiner.current().certain_prefix(&td));
-            prop_assert!(refiner.current().possible_prefix(&td));
+            assert!(refiner.current().certain_prefix(&td));
+            assert!(refiner.current().possible_prefix(&td));
         }
-    }
+    });
+}
 
-    /// Re-refining with the same query-answer pair is a semantic no-op
-    /// (`rep ∩ q⁻¹(A) ∩ q⁻¹(A) = rep ∩ q⁻¹(A)`) and the minimized
-    /// representation does not balloon.
-    #[test]
-    fn refine_is_idempotent(seed in 0u64..500) {
+/// Re-refining with the same query-answer pair is a semantic no-op
+/// (`rep ∩ q⁻¹(A) ∩ q⁻¹(A) = rep ∩ q⁻¹(A)`) and the minimized
+/// representation does not balloon.
+#[test]
+fn refine_is_idempotent() {
+    check_with("refine_is_idempotent", 12, |rng| {
+        let seed = rng.below(500);
         let mut c = catalog(3, seed);
         let q = catalog_query_price_below(&mut c.alpha, 250);
         let a = q.eval(&c.doc);
@@ -127,22 +145,25 @@ proptest! {
         // Identical membership on probes.
         let labels: Vec<_> = c.alpha.labels().collect();
         for p in mutations(&c.doc, &labels).into_iter().take(25) {
-            prop_assert_eq!(once.contains(&p), twice.contains(&p));
+            assert_eq!(once.contains(&p), twice.contains(&p));
         }
-        prop_assert!(twice.contains(&c.doc));
+        assert!(twice.contains(&c.doc));
         // No significant growth (minimization keeps the fixpoint tight).
-        prop_assert!(
+        assert!(
             twice.size() <= 2 * once.size(),
             "re-refinement ballooned: {} -> {}",
             once.size(),
             twice.size()
         );
-    }
+    });
+}
 
-    /// Unambiguity is preserved along Refine chains (Definition 3.1 —
-    /// the invariant Lemma 3.3 relies on).
-    #[test]
-    fn chains_stay_unambiguous(seed in 0u64..500) {
+/// Unambiguity is preserved along Refine chains (Definition 3.1 —
+/// the invariant Lemma 3.3 relies on).
+#[test]
+fn chains_stay_unambiguous() {
+    check_with("chains_stay_unambiguous", 12, |rng| {
+        let seed = rng.below(500);
         let mut c = catalog(2, seed);
         let q1 = catalog_query_price_below(&mut c.alpha, 200);
         let q2 = catalog_query_camera_pictures(&mut c.alpha);
@@ -150,8 +171,8 @@ proptest! {
         for q in [&q1, &q2] {
             let a = q.eval(&c.doc);
             refiner.refine(&c.alpha, q, &a).unwrap();
-            prop_assert!(refiner.current().is_unambiguous());
-            prop_assert!(refiner.current().well_formed().is_ok());
+            assert!(refiner.current().is_unambiguous());
+            assert!(refiner.current().well_formed().is_ok());
         }
-    }
+    });
 }

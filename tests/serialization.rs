@@ -2,63 +2,75 @@
 //! notes incomplete information "can be itself naturally represented and
 //! browsed as an XML document") and for the condition text syntax.
 
+use iixml_gen::testkit::check_with;
 use iixml_gen::{catalog, sample_tree};
 use iixml_tree::xmlio::{parse_tree, write_tree};
 use iixml_tree::Alphabet;
 use iixml_values::parse::parse_cond;
 use iixml_values::{Cond, Rat};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn tree_roundtrip(seed in 0u64..10_000, n in 1usize..12) {
+#[test]
+fn tree_roundtrip() {
+    check_with("tree_roundtrip", 24, |rng| {
+        let seed = rng.below(10_000);
+        let n = rng.range_usize(1, 12);
         let c = catalog(n, seed);
         let text = write_tree(&c.doc, &c.alpha);
         // A fresh alphabet interns labels in a different order, so
         // compare by re-serializing: the text must be reproduced.
         let mut fresh = Alphabet::new();
         let back = parse_tree(&text, &mut fresh).unwrap();
-        prop_assert_eq!(write_tree(&back, &fresh), text.clone());
+        assert_eq!(write_tree(&back, &fresh), text);
         // With the original alphabet the round trip is exact.
         let mut alpha = c.alpha.clone();
         let back2 = parse_tree(&text, &mut alpha).unwrap();
-        prop_assert!(back2.same_tree(&c.doc));
-    }
+        assert!(back2.same_tree(&c.doc));
+    });
+}
 
-    #[test]
-    fn sampled_tree_roundtrip(seed in 0u64..10_000, fanout in 1usize..4) {
+#[test]
+fn sampled_tree_roundtrip() {
+    check_with("sampled_tree_roundtrip", 24, |rng| {
+        let seed = rng.below(10_000);
+        let fanout = rng.range_usize(1, 4);
         let c = catalog(1, 0);
         let root = c.alpha.get("catalog").unwrap();
         let t = sample_tree(&c.ty, root, fanout, 100, 4, seed);
         let text = write_tree(&t, &c.alpha);
         let mut alpha = c.alpha.clone();
         let back = parse_tree(&text, &mut alpha).unwrap();
-        prop_assert!(back.same_tree(&t));
-    }
+        assert!(back.same_tree(&t));
+    });
+}
 
-    /// Condition display/parse round trip preserves semantics.
-    #[test]
-    fn condition_roundtrip(vals in proptest::collection::vec(-50i64..50, 1..5), ops in proptest::collection::vec(0u8..6, 1..5)) {
+/// Condition display/parse round trip preserves semantics.
+#[test]
+fn condition_roundtrip() {
+    check_with("condition_roundtrip", 24, |rng| {
+        let len = rng.range_usize(1, 5);
         let mut cond = Cond::True;
-        for (v, op) in vals.iter().zip(&ops) {
-            let atom = match op {
-                0 => Cond::eq(Rat::from(*v)),
-                1 => Cond::ne(Rat::from(*v)),
-                2 => Cond::lt(Rat::from(*v)),
-                3 => Cond::le(Rat::from(*v)),
-                4 => Cond::gt(Rat::from(*v)),
-                _ => Cond::ge(Rat::from(*v)),
+        for _ in 0..len {
+            let v = rng.range_i64(-50, 50);
+            let atom = match rng.below(6) {
+                0 => Cond::eq(Rat::from(v)),
+                1 => Cond::ne(Rat::from(v)),
+                2 => Cond::lt(Rat::from(v)),
+                3 => Cond::le(Rat::from(v)),
+                4 => Cond::gt(Rat::from(v)),
+                _ => Cond::ge(Rat::from(v)),
             };
-            cond = if v % 2 == 0 { cond.and(atom) } else { cond.or(atom) };
+            cond = if v % 2 == 0 {
+                cond.and(atom)
+            } else {
+                cond.or(atom)
+            };
         }
         let text = cond.to_string();
         let back = parse_cond(&text).unwrap();
-        prop_assert!(back.equivalent(&cond), "{text}");
+        assert!(back.equivalent(&cond), "{text}");
         // The interval normal form also round-trips through Cond.
         let set = cond.to_intervals();
         let rebuilt = Cond::from_intervals(&set);
-        prop_assert_eq!(rebuilt.to_intervals(), set);
-    }
+        assert_eq!(rebuilt.to_intervals(), set);
+    });
 }

@@ -8,22 +8,26 @@
 //! inclusion with witnesses of `q(T)`.
 
 use iixml_core::Refiner;
-use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below, random_queries};
+use iixml_gen::testkit::check_with;
+use iixml_gen::{
+    catalog, catalog_query_camera_pictures, catalog_query_price_below, random_queries,
+};
 use iixml_oracle::mutations;
 use iixml_tree::NidGen;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Forward direction: for every represented world `w`, `q(w)` is a
-    /// represented answer (or empty with `empty_possible`).
-    #[test]
-    fn answers_of_worlds_are_represented(seed in 0u64..300, nq in 1usize..3) {
+/// Forward direction: for every represented world `w`, `q(w)` is a
+/// represented answer (or empty with `empty_possible`).
+#[test]
+fn answers_of_worlds_are_represented() {
+    check_with("answers_of_worlds_are_represented", 10, |rng| {
+        let seed = rng.below(300);
+        let nq = rng.range_usize(1, 3);
         let mut c = catalog(3, seed);
         let q_view = catalog_query_price_below(&mut c.alpha, 220);
         let mut refiner = Refiner::new(&c.alpha);
-        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        refiner
+            .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+            .unwrap();
         let knowledge = refiner.current();
         let root = c.alpha.get("catalog").unwrap();
         let queries = random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0xABCD);
@@ -38,28 +42,33 @@ proptest! {
             let described = knowledge.query(q);
             for w in &worlds {
                 match q.eval(w).tree {
-                    None => prop_assert!(
+                    None => assert!(
                         described.empty_possible,
                         "world answers empty but empty_possible is false"
                     ),
-                    Some(ans) => prop_assert!(
+                    Some(ans) => assert!(
                         described.tree.contains(&ans),
                         "a concrete answer is not represented by q(T)"
                     ),
                 }
             }
         }
-    }
+    });
+}
 
-    /// Backward direction: witnesses of `q(T)` are genuine answers —
-    /// re-evaluating the query on them reproduces them exactly.
-    #[test]
-    fn witnesses_of_answer_trees_are_answers(seed in 0u64..300) {
+/// Backward direction: witnesses of `q(T)` are genuine answers —
+/// re-evaluating the query on them reproduces them exactly.
+#[test]
+fn witnesses_of_answer_trees_are_answers() {
+    check_with("witnesses_of_answer_trees_are_answers", 10, |rng| {
+        let seed = rng.below(300);
         let mut c = catalog(3, seed);
         let q_view = catalog_query_price_below(&mut c.alpha, 220);
         let q_ask = catalog_query_camera_pictures(&mut c.alpha);
         let mut refiner = Refiner::new(&c.alpha);
-        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        refiner
+            .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+            .unwrap();
         let described = refiner.current().query(&q_ask);
         if !described.tree.is_empty() {
             let w = described
@@ -67,69 +76,86 @@ proptest! {
                 .witness(&mut NidGen::starting_at(5_000_000))
                 .expect("nonempty");
             let again = q_ask.eval(&w).tree.expect("witness answers nonempty");
-            prop_assert!(again.same_tree(&w), "answers are fixpoints of the query");
+            assert!(again.same_tree(&w), "answers are fixpoints of the query");
         }
-    }
+    });
+}
 
-    /// Corollary 3.15: when the query is declared fully answerable, the
-    /// computed answer equals the source's answer; when it is not, some
-    /// represented world disagrees with the data-tree answer or the
-    /// answer involves unknown nodes.
-    #[test]
-    fn full_answerability_is_sound(seed in 0u64..300, bound in 150i64..400) {
+/// Corollary 3.15: when the query is declared fully answerable, the
+/// computed answer equals the source's answer; when it is not, some
+/// represented world disagrees with the data-tree answer or the
+/// answer involves unknown nodes.
+#[test]
+fn full_answerability_is_sound() {
+    check_with("full_answerability_is_sound", 10, |rng| {
+        let seed = rng.below(300);
+        let bound = rng.range_i64(150, 400);
         let mut c = catalog(4, seed);
         let q_view = catalog_query_price_below(&mut c.alpha, bound);
         let q_ask = catalog_query_camera_pictures(&mut c.alpha);
         let mut refiner = Refiner::new(&c.alpha);
-        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        refiner
+            .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+            .unwrap();
         let described = refiner.current().query(&q_ask);
         if described.fully_answerable() {
             let computed = described.the_answer();
             let direct = q_ask.eval(&c.doc).tree;
             match (&computed, &direct) {
-                (Some(a), Some(b)) => prop_assert!(a.same_tree(b)),
-                (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+                (Some(a), Some(b)) => assert!(a.same_tree(b)),
+                (a, b) => assert_eq!(a.is_none(), b.is_none()),
             }
         }
-    }
+    });
+}
 
-    /// The constructive sure answer is always a certain prefix of every
-    /// answer, and in particular of the true source's answer.
-    #[test]
-    fn sure_answers_are_certain(seed in 0u64..300, bound in 150i64..400) {
+/// The constructive sure answer is always a certain prefix of every
+/// answer, and in particular of the true source's answer.
+#[test]
+fn sure_answers_are_certain() {
+    check_with("sure_answers_are_certain", 10, |rng| {
+        let seed = rng.below(300);
+        let bound = rng.range_i64(150, 400);
         let mut c = catalog(4, seed);
         let q_view = catalog_query_price_below(&mut c.alpha, bound);
         let q_ask = catalog_query_camera_pictures(&mut c.alpha);
         let mut refiner = Refiner::new(&c.alpha);
-        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        refiner
+            .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+            .unwrap();
         let described = refiner.current().query(&q_ask);
         if let Some(sure) = described.sure_answer() {
-            prop_assert!(described.certain_answer_prefix(&sure));
+            assert!(described.certain_answer_prefix(&sure));
             // The true answer must extend the sure part.
             let truth = q_ask.eval(&c.doc).tree.expect("sure implies nonempty");
             let pinned = sure.preorder().iter().map(|&n| sure.nid(n)).collect();
-            prop_assert!(iixml_tree::is_prefix_of(&sure, &truth, &pinned));
+            assert!(iixml_tree::is_prefix_of(&sure, &truth, &pinned));
         }
-    }
+    });
+}
 
-    /// Corollary 3.18 consistency: certain nonempty implies possible
-    /// nonempty; the true source's behavior is within the envelope.
-    #[test]
-    fn nonemptiness_modalities(seed in 0u64..300) {
+/// Corollary 3.18 consistency: certain nonempty implies possible
+/// nonempty; the true source's behavior is within the envelope.
+#[test]
+fn nonemptiness_modalities() {
+    check_with("nonemptiness_modalities", 10, |rng| {
+        let seed = rng.below(300);
         let mut c = catalog(3, seed);
         let q_view = catalog_query_price_below(&mut c.alpha, 250);
         let q_ask = catalog_query_camera_pictures(&mut c.alpha);
         let mut refiner = Refiner::new(&c.alpha);
-        refiner.refine(&c.alpha, &q_view, &q_view.eval(&c.doc)).unwrap();
+        refiner
+            .refine(&c.alpha, &q_view, &q_view.eval(&c.doc))
+            .unwrap();
         let described = refiner.current().query(&q_ask);
         if described.certain_nonempty() {
-            prop_assert!(described.possible_nonempty());
-            prop_assert!(q_ask.eval(&c.doc).tree.is_some());
+            assert!(described.possible_nonempty());
+            assert!(q_ask.eval(&c.doc).tree.is_some());
         }
         if q_ask.eval(&c.doc).tree.is_some() {
-            prop_assert!(described.possible_nonempty());
+            assert!(described.possible_nonempty());
         } else {
-            prop_assert!(described.empty_possible);
+            assert!(described.empty_possible);
         }
-    }
+    });
 }

@@ -5,15 +5,14 @@
 
 use iixml_core::refine::query_answer_tree;
 use iixml_core::type_intersect::restrict_to_type;
+use iixml_gen::testkit::check_with;
 use iixml_gen::{catalog, random_queries};
 use iixml_oracle::mutations;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn restriction_matches_intersection_semantics(seed in 0u64..500) {
+#[test]
+fn restriction_matches_intersection_semantics() {
+    check_with("restriction_matches_intersection_semantics", 16, |rng| {
+        let seed = rng.below(500);
         let c = catalog(3, seed);
         let root = c.alpha.get("catalog").unwrap();
         let queries = random_queries(&c.alpha, &c.ty, root, 1, 300, seed ^ 0xBEEF);
@@ -28,13 +27,13 @@ proptest! {
         for p in &probes {
             let naive = tqa.contains(p) && c.ty.accepts(p);
             let got = restricted.contains(p);
-            prop_assert_eq!(got, naive, "restriction semantics diverge");
+            assert_eq!(got, naive, "restriction semantics diverge");
         }
         // Witnesses of the restriction satisfy both sides.
         let mut gen = iixml_tree::NidGen::starting_at(3_000_000);
         if let Some(w) = restricted.witness(&mut gen) {
-            prop_assert!(c.ty.accepts(&w));
-            prop_assert!(tqa.contains(&w));
+            assert!(c.ty.accepts(&w));
+            assert!(tqa.contains(&w));
         }
-    }
+    });
 }

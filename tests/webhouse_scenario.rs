@@ -15,7 +15,10 @@ fn progressive_refinement_increases_local_answering() {
     let q_all = catalog_query_price_below(&mut c.alpha, 10_000);
     let q_cam = catalog_query_camera_pictures(&mut c.alpha);
 
-    let mut session = Session::open(c.alpha.clone(), Source::new(c.doc.clone(), Some(c.ty.clone())));
+    let mut session = Session::open(
+        c.alpha.clone(),
+        Source::new(c.doc.clone(), Some(c.ty.clone())),
+    );
 
     // Nothing known: the camera query is not answerable locally.
     assert!(!session.answer_locally(&q_cam).is_complete());
@@ -37,7 +40,8 @@ fn progressive_refinement_increases_local_answering() {
         }
     }
     assert_eq!(
-        session.source().queries_served, served_before,
+        session.source().queries_served,
+        served_before,
         "local answering must not contact the source"
     );
     assert_eq!(session.answered_locally, 2);
@@ -48,7 +52,10 @@ fn mediation_fetches_only_what_is_missing() {
     let mut c = catalog(16, 7);
     let q_view = catalog_query_price_below(&mut c.alpha, 250);
     let q_cam = catalog_query_camera_pictures(&mut c.alpha);
-    let mut session = Session::open(c.alpha.clone(), Source::new(c.doc.clone(), Some(c.ty.clone())));
+    let mut session = Session::open(
+        c.alpha.clone(),
+        Source::new(c.doc.clone(), Some(c.ty.clone())),
+    );
     session.fetch(&q_view).unwrap();
 
     let shipped_before = session.source().nodes_shipped;
@@ -82,7 +89,10 @@ fn partial_answers_carry_sure_information() {
     let mut c = catalog(10, 99);
     let q_view = catalog_query_price_below(&mut c.alpha, 200);
     let q_cam = catalog_query_camera_pictures(&mut c.alpha);
-    let mut session = Session::open(c.alpha.clone(), Source::new(c.doc.clone(), Some(c.ty.clone())));
+    let mut session = Session::open(
+        c.alpha.clone(),
+        Source::new(c.doc.clone(), Some(c.ty.clone())),
+    );
     session.fetch(&q_view).unwrap();
     match session.answer_locally(&q_cam) {
         LocalAnswer::Partial(p) => {
@@ -111,8 +121,16 @@ fn webhouse_isolates_sources_and_survives_updates() {
     let c1 = catalog(5, 1);
     let c2 = catalog(8, 2);
     let mut wh = Webhouse::new();
-    wh.register("s1", c1.alpha.clone(), Source::new(c1.doc.clone(), Some(c1.ty.clone())));
-    wh.register("s2", c2.alpha.clone(), Source::new(c2.doc.clone(), Some(c2.ty.clone())));
+    wh.register(
+        "s1",
+        c1.alpha.clone(),
+        Source::new(c1.doc.clone(), Some(c1.ty.clone())),
+    );
+    wh.register(
+        "s2",
+        c2.alpha.clone(),
+        Source::new(c2.doc.clone(), Some(c2.ty.clone())),
+    );
 
     let mut a1 = c1.alpha.clone();
     let q = catalog_query_price_below(&mut a1, 400);
@@ -126,5 +144,5 @@ fn webhouse_isolates_sources_and_survives_updates() {
     assert!(wh.session("s1").unwrap().data_tree().is_none());
     // And querying afterwards reflects the new document.
     let a = wh.session("s1").unwrap().fetch(&q).unwrap();
-    assert!(a.len() > 0);
+    assert!(!a.is_empty());
 }
