@@ -330,6 +330,8 @@ impl IncompleteTree {
         };
         b.compute_sets();
         let (ty, empty_possible) = b.build();
+        // Infallible: the answer type only targets nodes of `trimmed`,
+        // which came from a well-formed input.
         let tree = IncompleteTree::new(trimmed.nodes().clone(), ty)
             .expect("answer type reuses the input's data nodes")
             .trim();
@@ -457,6 +459,8 @@ impl QueryOnIncomplete {
                 });
                 if sure {
                     if let Some(ci) = trimmed.node_info(child) {
+                        // Infallible: `n` was pushed on the frontier only
+                        // after being inserted into `out`.
                         let parent_ref = out.by_nid(n).expect("parent inserted first");
                         if out.add_child(parent_ref, child, ci.label, ci.value).is_ok() {
                             frontier.push(child);

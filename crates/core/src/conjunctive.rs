@@ -68,7 +68,7 @@ impl ConjunctiveTree {
         q: &PsQuery,
         ans: &Answer,
     ) -> Result<(), ItreeError> {
-        let layer = query_answer_tree(q, ans, alpha);
+        let layer = query_answer_tree(q, ans, alpha)?;
         for prev in &self.layers {
             for (&n, info) in layer.nodes() {
                 if let Some(pi) = prev.node_info(n) {

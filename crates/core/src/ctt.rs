@@ -393,6 +393,9 @@ impl ConditionalTreeType {
 
     fn instantiation(&self, s: Sym, gen: &mut NidGen) -> (Nid, Label, iixml_values::Rat) {
         let info = self.info(s);
+        // Infallible: productivity (checked by the caller via `trim`)
+        // requires a satisfiable condition, and satisfiable interval sets
+        // always yield a witness value.
         let value = info
             .cond
             .witness()
@@ -423,6 +426,8 @@ impl ConditionalTreeType {
                     .iter()
                     .all(|&(c, m)| !m.mandatory() || rank[c.ix()] < my_rank)
             })
+            // Infallible: a symbol gets a finite rank exactly when one of
+            // its atoms needs only lower-ranked mandatory children.
             .expect("productive symbol has a realizable atom");
         let mandatory: Vec<Sym> = atom
             .entries()
@@ -432,6 +437,9 @@ impl ConditionalTreeType {
             .collect();
         for c in mandatory {
             let (nid, label, value) = self.instantiation(c, gen);
+            // Infallible: well-formedness (Definition 2.7) guarantees each
+            // data node is reachable along exactly one symbol path, and
+            // label-targeted symbols draw fresh ids from the generator.
             let child = tree
                 .add_child(at, nid, label, value)
                 .expect("well-formed types instantiate each data node once");

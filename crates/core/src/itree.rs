@@ -46,6 +46,10 @@ pub enum ItreeError {
     NodeUnderLabel(Nid),
     /// Two incomplete trees disagree on a shared node's label or value.
     IncompatibleNode(Nid),
+    /// An answer shipped a node without provenance (which query-pattern
+    /// node it matched) — the signature of a truncated or fabricated
+    /// answer from an unreliable source.
+    MissingProvenance(Nid),
 }
 
 impl fmt::Display for ItreeError {
@@ -60,6 +64,9 @@ impl fmt::Display for ItreeError {
             }
             ItreeError::IncompatibleNode(n) => {
                 write!(f, "incompatible label/value for shared node {n}")
+            }
+            ItreeError::MissingProvenance(n) => {
+                write!(f, "answer node {n} carries no match provenance")
             }
         }
     }
@@ -331,6 +338,8 @@ impl IncompleteTree {
             .collect();
         remaining.sort();
         while let Some(p) = frontier.pop() {
+            // Infallible: `p` entered the frontier only after being added
+            // to `out` (the root at construction, others via add_child).
             let pr = out.by_nid(p).expect("parent inserted before children");
             for &(c, pp) in &remaining {
                 if pp == p {

@@ -195,6 +195,8 @@ impl IncompleteTree {
                 let entries: Vec<(Sym, Mult)> = groups
                     .into_iter()
                     .map(|(c, ms)| {
+                        // Infallible: any block whose multiplicities would
+                        // not combine was split off before this rebuild.
                         let m =
                             combine(&ms).expect("inexpressible blocks were frozen before rebuild");
                         (c, m)
@@ -214,6 +216,8 @@ impl IncompleteTree {
         roots.sort();
         roots.dedup();
         out.set_roots(roots);
+        // Infallible: minimization rewrites symbols only — the node set is
+        // exactly the one this (well-formed) tree already carries.
         IncompleteTree::new(self.nodes().clone(), out)
             .expect("nodes unchanged")
             .trim()

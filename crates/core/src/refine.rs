@@ -55,7 +55,16 @@ static OBS_STEP_SIZE: LazyHistogram = LazyHistogram::new("core.refine.step_size"
 /// `alpha` supplies the full element alphabet Σ (the construction's
 /// "else" entries quantify over all of Σ, which is why the paper's
 /// complexity bound is `O((|q| + |A|) · |Σ|)`).
-pub fn query_answer_tree(q: &PsQuery, ans: &Answer, alpha: &Alphabet) -> IncompleteTree {
+///
+/// Fails with [`ItreeError::MissingProvenance`] when an answer node has
+/// no recorded match provenance — impossible for answers produced by
+/// [`PsQuery::eval`], but reachable when the answer was shipped by an
+/// untrusted source (truncated or fabricated answers).
+pub fn query_answer_tree(
+    q: &PsQuery,
+    ans: &Answer,
+    alpha: &Alphabet,
+) -> Result<IncompleteTree, ItreeError> {
     let labels: Vec<Label> = alpha.labels().collect();
     let mut ty = ConditionalTreeType::new();
 
@@ -145,29 +154,27 @@ pub fn query_answer_tree(q: &PsQuery, ans: &Answer, alpha: &Alphabet) -> Incompl
                 .provenance
                 .get(&nid)
                 .copied()
-                .expect("every answer node has provenance");
+                .ok_or(ItreeError::MissingProvenance(nid))?;
+            // Indexing is safe: node_sym holds every node of `a` (both
+            // maps were filled from the same preorder walk just above).
             let kid_entries: Vec<(Sym, Mult)> = a
                 .children(r)
                 .iter()
                 .map(|&c| (node_sym[&a.nid(c)], Mult::One))
                 .collect();
-            let exact = match kind {
-                MatchKind::BarDescendant(_) => true,
-                MatchKind::Matched(m) => q.barred(m),
-            };
-            let mu = if exact {
-                // The whole subtree was extracted: children are exactly
-                // those present in A.
-                Disjunction::single(SAtom::new(kid_entries))
-            } else {
-                let m = match kind {
-                    MatchKind::Matched(m) => m,
-                    MatchKind::BarDescendant(_) => unreachable!(),
-                };
-                if q.children(m).is_empty() {
+            let mu = match kind {
+                // The whole subtree was extracted (the node descends
+                // from a barred match, or is itself a barred match):
+                // children are exactly those present in A.
+                MatchKind::BarDescendant(_) => Disjunction::single(SAtom::new(kid_entries)),
+                MatchKind::Matched(m) if q.barred(m) => {
+                    Disjunction::single(SAtom::new(kid_entries))
+                }
+                MatchKind::Matched(m) if q.children(m).is_empty() => {
                     // The query did not explore below this node.
                     Disjunction::single(all_star.clone())
-                } else {
+                }
+                MatchKind::Matched(m) => {
                     let mut entries = kid_entries;
                     let qkid_labels: Vec<Label> =
                         q.children(m).iter().map(|&mi| q.label(mi)).collect();
@@ -204,9 +211,11 @@ pub fn query_answer_tree(q: &PsQuery, ans: &Answer, alpha: &Alphabet) -> Incompl
         }
     }
 
+    // Infallible by construction: every node-targeted symbol was created
+    // from a node inserted into `nodes` in the same loop.
     let t = IncompleteTree::new(nodes, ty).expect("construction references only answer nodes");
     OBS_TQA_SIZE.observe(t.size() as u64);
-    t
+    Ok(t)
 }
 
 /// The meet of two multiplicities as occurrence-count bounds.
@@ -518,7 +527,7 @@ impl Refiner {
         q: &PsQuery,
         ans: &Answer,
     ) -> Result<(), ItreeError> {
-        let tqa = query_answer_tree(q, ans, alpha);
+        let tqa = query_answer_tree(q, ans, alpha)?;
         let combined = {
             let _span = OBS_INTERSECT_NS.time();
             intersect(&self.current, &tqa)?
@@ -577,7 +586,7 @@ mod tests {
         let q = q_a_lt(&mut alpha, 3);
         let ans = q.eval(&t);
         assert_eq!(ans.len(), 2); // root + a(=1)
-        let tqa = query_answer_tree(&q, &ans, &alpha);
+        let tqa = query_answer_tree(&q, &ans, &alpha).unwrap();
         assert!(tqa.well_formed().is_ok());
         assert!(tqa.contains(&t), "the source itself must be in q^-1(A)");
     }
@@ -588,7 +597,7 @@ mod tests {
         let t = source(&mut alpha);
         let q = q_a_lt(&mut alpha, 3);
         let ans = q.eval(&t);
-        let tqa = query_answer_tree(&q, &ans, &alpha);
+        let tqa = query_answer_tree(&q, &ans, &alpha).unwrap();
 
         // A tree with an extra a(=2) child would have answered with an
         // extra node: not in q^-1(A).
@@ -620,7 +629,7 @@ mod tests {
         let q = q_a_lt(&mut alpha, 0); // no a < 0
         let ans = q.eval(&t);
         assert!(ans.is_empty());
-        let tqa = query_answer_tree(&q, &ans, &alpha);
+        let tqa = query_answer_tree(&q, &ans, &alpha).unwrap();
         assert!(tqa.contains(&t));
         // A tree with a(= -1) would have answered nonempty.
         let mut bad = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
@@ -707,8 +716,8 @@ mod tests {
         let t = source(&mut alpha);
         let q1 = q_a_lt(&mut alpha, 3);
         let q2 = q_a_lt(&mut alpha, 10);
-        let t1 = query_answer_tree(&q1, &q1.eval(&t), &alpha);
-        let t2 = query_answer_tree(&q2, &q2.eval(&t), &alpha);
+        let t1 = query_answer_tree(&q1, &q1.eval(&t), &alpha).unwrap();
+        let t2 = query_answer_tree(&q2, &q2.eval(&t), &alpha).unwrap();
         let both = intersect(&t1, &t2).unwrap().trim();
         assert!(both.contains(&t));
         // Witnesses of the intersection lie in both components.

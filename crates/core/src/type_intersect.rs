@@ -67,6 +67,8 @@ pub fn restrict_to_type(it: &IncompleteTree, ty: &TreeType) -> IncompleteTree {
         atoms.dedup();
         out.set_mu(s, Disjunction(atoms));
     }
+    // Infallible: `out` targets the same node set as `it`, whose own
+    // well-formedness was checked when `it` was constructed.
     IncompleteTree::new(it.nodes().clone(), out)
         .expect("symbol set unchanged")
         .trim()
@@ -242,7 +244,7 @@ mod tests {
         bld.child(root, "a", Cond::lt(Rat::from(3))).unwrap();
         let q = bld.build();
         let ans = q.eval(&t);
-        let tqa = query_answer_tree(&q, &ans, &alpha);
+        let tqa = query_answer_tree(&q, &ans, &alpha).unwrap();
         let restricted = restrict_to_type(&tqa, &ty);
         assert!(ty.accepts(&t));
         assert!(tqa.contains(&t));
@@ -258,7 +260,7 @@ mod tests {
         bld.child(root, "a", Cond::lt(Rat::from(3))).unwrap();
         let q = bld.build();
         let ans = q.eval(&t);
-        let tqa = query_answer_tree(&q, &ans, &alpha);
+        let tqa = query_answer_tree(&q, &ans, &alpha).unwrap();
         let restricted = restrict_to_type(&tqa, &ty);
 
         // Two b children violate b?.
@@ -337,7 +339,7 @@ mod tests {
         let q = bld.build();
         let ans = q.eval(&t2);
         assert_eq!(ans.len(), 3); // root + two b's
-        let tqa = query_answer_tree(&q, &ans, &alpha);
+        let tqa = query_answer_tree(&q, &ans, &alpha).unwrap();
         assert!(!tqa.is_empty());
         let restricted = restrict_to_type(&tqa, &ty);
         assert!(restricted.is_empty(), "b? cannot host two known b nodes");

@@ -28,6 +28,35 @@ use iixml_query::{PsQuery, QNodeRef};
 use iixml_tree::{DataTree, Label, Mult, Nid};
 use iixml_values::IntervalSet;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Failure executing a completion against a source (typed replacement
+/// for the former bare-`String` errors, so the webhouse loop can react
+/// per cause instead of aborting wholesale).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionError {
+    /// A local query's anchor node is absent from the source — the
+    /// signature of a source updated after the anchor was learned.
+    MissingAnchor(Nid),
+    /// An answer could not be merged into the known data tree (a shared
+    /// node disagreed on label or value, or the answer's root is not a
+    /// known node).
+    Graft {
+        /// Human-readable description from [`DataTree::graft`].
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompletionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompletionError::MissingAnchor(n) => write!(f, "anchor {n} not in source"),
+            CompletionError::Graft { reason } => write!(f, "graft failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CompletionError {}
 
 /// A local query `p@n`: evaluate `p` on the subtree of the source rooted
 /// at the (already known) node `n`; `at = None` addresses the document
@@ -59,7 +88,15 @@ impl Completion {
     /// tree accumulated so far). After execution, `q(known) = q(source)`
     /// for the query the completion was generated for. Returns the total
     /// number of answer nodes shipped by the source.
-    pub fn execute(&self, source: &DataTree, known: &mut DataTree) -> Result<usize, String> {
+    ///
+    /// Execution is transactional: on error, `known` is left exactly as
+    /// it was — a failed completion never leaves a half-grafted tree
+    /// behind (the fault-model contract of the webhouse loop).
+    pub fn execute(
+        &self,
+        source: &DataTree,
+        known: &mut DataTree,
+    ) -> Result<usize, CompletionError> {
         /// Wall time of executing a completion against a source.
         static OBS_EXECUTE_NS: iixml_obs::LazyHistogram =
             iixml_obs::LazyHistogram::new("mediator.execute_ns");
@@ -73,19 +110,23 @@ impl Completion {
         let _span = OBS_EXECUTE_NS.time();
         OBS_LOCAL_QUERIES.add(self.queries.len() as u64);
         let mut shipped = 0;
+        let mut scratch = known.clone();
         for lq in &self.queries {
             let answer = match lq.at {
                 None => lq.query.eval(source),
                 Some(n) => lq
                     .query
                     .eval_at(source, n)
-                    .ok_or_else(|| format!("anchor {n} not in source"))?,
+                    .ok_or(CompletionError::MissingAnchor(n))?,
             };
             shipped += answer.len();
             if let Some(t) = answer.tree {
-                known.graft(&t).map_err(|e| format!("graft failed: {e}"))?;
+                scratch
+                    .graft(&t)
+                    .map_err(|e| CompletionError::Graft { reason: e })?;
             }
         }
+        *known = scratch;
         OBS_SHIPPED.add(shipped as u64);
         Ok(shipped)
     }

@@ -136,6 +136,10 @@ impl PsQuery {
         for &mc in self.children(m) {
             for &nc in t.children(n) {
                 if self.sat(t, mc, nc, memo) {
+                    // Infallible: sibling pattern labels are unique
+                    // (DuplicateSiblingLabel is rejected at build time), so
+                    // each data child is emitted at most once, and `t`'s own
+                    // ids are unique by DataTree construction.
                     let added = out
                         .add_child(out_n, t.nid(nc), t.label(nc), t.value(nc))
                         .expect("source ids are unique");
@@ -169,6 +173,8 @@ fn copy_descendants(
     provenance: &mut HashMap<Nid, MatchKind>,
 ) {
     for &c in t.children(n) {
+        // Infallible: each source node is visited exactly once and carries
+        // a DataTree-unique id.
         let added = out
             .add_child(out_n, t.nid(c), t.label(c), t.value(c))
             .expect("source ids are unique");

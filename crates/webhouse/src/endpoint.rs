@@ -1,0 +1,502 @@
+//! Source endpoints: the boundary between the webhouse and the remote
+//! documents it mediates over.
+//!
+//! [`SourceEndpoint`] abstracts "something that answers ps-queries" so
+//! the session loop is written once against a fallible interface:
+//! the in-memory [`Source`] never fails, while [`FaultySource`] wraps a
+//! source with a deterministic, seeded fault injector (timeouts,
+//! transient errors, truncated and type-violating answers, mid-session
+//! document updates) for chaos testing the recovery paths.
+
+use crate::error::SourceError;
+use iixml_gen::rng::DetRng;
+use iixml_query::{Answer, PsQuery};
+use iixml_tree::{DataTree, Nid, NodeRef, TreeType};
+use iixml_values::Rat;
+
+/// Something that answers ps-queries on behalf of a remote document.
+///
+/// `ask`/`ask_at` are fallible: an endpoint may time out, fail
+/// transiently, or ship an answer that later fails validation. The
+/// webhouse session retries per its `RetryPolicy` and validates every
+/// shipped answer before trusting it.
+pub trait SourceEndpoint {
+    /// The source's declared tree type, if any.
+    fn declared_type(&self) -> Option<&TreeType>;
+
+    /// Answers a ps-query against the document root.
+    fn ask(&mut self, q: &PsQuery) -> Result<Answer, SourceError>;
+
+    /// Answers a local query `p@n` anchored at the (previously shipped)
+    /// node `n`.
+    fn ask_at(&mut self, q: &PsQuery, at: Nid) -> Result<Answer, SourceError>;
+
+    /// Queries answered so far (experiment accounting).
+    fn queries_served(&self) -> usize;
+
+    /// Total answer nodes shipped so far (experiment accounting).
+    fn nodes_shipped(&self) -> usize;
+}
+
+/// A simulated remote XML document.
+#[derive(Clone, Debug)]
+pub struct Source {
+    pub(crate) tree: DataTree,
+    pub(crate) ty: Option<TreeType>,
+    /// Number of queries answered (for experiment accounting).
+    pub queries_served: usize,
+    /// Total answer nodes shipped (for experiment accounting).
+    pub nodes_shipped: usize,
+}
+
+impl Source {
+    /// Wraps a document with an optional declared type, trusting the
+    /// caller that the document conforms (use [`Source::try_new`] for
+    /// untrusted documents).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) when the document does not satisfy the
+    /// declared type.
+    pub fn new(tree: DataTree, ty: Option<TreeType>) -> Source {
+        if let Some(t) = &ty {
+            debug_assert!(t.accepts(&tree), "source does not satisfy its type");
+        }
+        Source {
+            tree,
+            ty,
+            queries_served: 0,
+            nodes_shipped: 0,
+        }
+    }
+
+    /// Like [`Source::new`], but checks type conformance and fails with
+    /// [`SourceError::TypeViolation`] instead of trusting the caller.
+    pub fn try_new(tree: DataTree, ty: Option<TreeType>) -> Result<Source, SourceError> {
+        if let Some(t) = &ty {
+            t.validate(&tree)
+                .map_err(|e| SourceError::TypeViolation(e.to_string()))?;
+        }
+        Ok(Source::new_unchecked(tree, ty))
+    }
+
+    fn new_unchecked(tree: DataTree, ty: Option<TreeType>) -> Source {
+        Source {
+            tree,
+            ty,
+            queries_served: 0,
+            nodes_shipped: 0,
+        }
+    }
+
+    /// The declared tree type, if any.
+    pub fn declared_type(&self) -> Option<&TreeType> {
+        self.ty.as_ref()
+    }
+
+    /// The live document (tests and experiments peek at it; the
+    /// webhouse itself only sees query answers).
+    pub fn document(&self) -> &DataTree {
+        &self.tree
+    }
+
+    /// Answers a ps-query (with persistent node ids, Remark 2.4).
+    pub fn answer(&mut self, q: &PsQuery) -> Answer {
+        let a = q.eval(&self.tree);
+        self.queries_served += 1;
+        self.nodes_shipped += a.len();
+        a
+    }
+
+    /// Replaces the document (a source update), trusting the caller on
+    /// type conformance — see [`Source::try_update`]. The webhouse
+    /// reacts by reinitializing its knowledge (Section 5's discussion).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) when the new document does not satisfy
+    /// the declared type.
+    pub fn update(&mut self, tree: DataTree) {
+        if let Some(t) = &self.ty {
+            debug_assert!(t.accepts(&tree), "updated source violates its type");
+        }
+        self.tree = tree;
+    }
+
+    /// Like [`Source::update`], but checks type conformance and fails
+    /// with [`SourceError::TypeViolation`], leaving the document
+    /// unchanged.
+    pub fn try_update(&mut self, tree: DataTree) -> Result<(), SourceError> {
+        if let Some(t) = &self.ty {
+            t.validate(&tree)
+                .map_err(|e| SourceError::TypeViolation(e.to_string()))?;
+        }
+        self.tree = tree;
+        Ok(())
+    }
+}
+
+impl SourceEndpoint for Source {
+    fn declared_type(&self) -> Option<&TreeType> {
+        self.ty.as_ref()
+    }
+
+    fn ask(&mut self, q: &PsQuery) -> Result<Answer, SourceError> {
+        Ok(self.answer(q))
+    }
+
+    fn ask_at(&mut self, q: &PsQuery, at: Nid) -> Result<Answer, SourceError> {
+        let a = q
+            .eval_at(&self.tree, at)
+            .ok_or(SourceError::MissingAnchor(at))?;
+        self.queries_served += 1;
+        self.nodes_shipped += a.len();
+        Ok(a)
+    }
+
+    fn queries_served(&self) -> usize {
+        self.queries_served
+    }
+
+    fn nodes_shipped(&self) -> usize {
+        self.nodes_shipped
+    }
+}
+
+/// Per-answer fault probabilities for [`FaultySource`] (each in
+/// `[0, 1]`, drawn independently per query from the seeded RNG).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Chance the query times out ([`SourceError::Timeout`]).
+    pub timeout: f64,
+    /// Chance of a transient error ([`SourceError::Transient`]).
+    pub transient: f64,
+    /// Chance the answer is truncated: a random non-root subtree is
+    /// dropped. Half the truncations are *sloppy* (provenance left
+    /// dangling — locally detectable), half *consistent* (provenance
+    /// pruned too — only detectable later as a contradiction).
+    pub truncate: f64,
+    /// Chance the answer is poisoned with a value that violates the
+    /// matched pattern node's condition (detectable by validation when
+    /// the condition is non-trivial, otherwise caught downstream as a
+    /// contradiction).
+    pub type_violation: f64,
+    /// Chance the document mutates *before* answering (a mid-session
+    /// source update: one node's value changes) — later answers then
+    /// contradict accumulated knowledge.
+    pub update: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all (a `FaultySource` with this plan behaves exactly
+    /// like its inner [`Source`]).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The same rate for every fault kind.
+    pub fn uniform(rate: f64) -> FaultPlan {
+        FaultPlan {
+            timeout: rate,
+            transient: rate,
+            truncate: rate,
+            type_violation: rate,
+            update: rate,
+        }
+    }
+}
+
+/// How many faults of each kind a [`FaultySource`] has injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Timeouts returned.
+    pub timeouts: usize,
+    /// Transient errors returned.
+    pub transients: usize,
+    /// Answers truncated.
+    pub truncated: usize,
+    /// Answers poisoned with condition-violating values.
+    pub poisoned: usize,
+    /// Mid-session document mutations.
+    pub updates: usize,
+}
+
+impl FaultCounts {
+    /// Total faults injected.
+    pub fn total(&self) -> usize {
+        self.timeouts + self.transients + self.truncated + self.poisoned + self.updates
+    }
+}
+
+/// A [`Source`] wrapped in a deterministic fault injector: every fault
+/// decision is drawn from a seeded [`DetRng`], so a chaos run replays
+/// byte-for-byte from its seed.
+#[derive(Clone, Debug)]
+pub struct FaultySource {
+    inner: Source,
+    plan: FaultPlan,
+    rng: DetRng,
+    /// Faults injected so far, by kind.
+    pub faults: FaultCounts,
+}
+
+impl FaultySource {
+    /// Wraps a source with a fault plan and a seed.
+    pub fn new(inner: Source, plan: FaultPlan, seed: u64) -> FaultySource {
+        FaultySource {
+            inner,
+            plan,
+            rng: DetRng::new(seed),
+            faults: FaultCounts::default(),
+        }
+    }
+
+    /// Replaces the fault plan mid-run (chaos experiments flip sources
+    /// between healthy and dark phases).
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// The current fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &Source {
+        &self.inner
+    }
+
+    /// The wrapped source, mutably (experiments may update the document
+    /// by hand).
+    pub fn inner_mut(&mut self) -> &mut Source {
+        &mut self.inner
+    }
+
+    /// Mutates one random node's value in the live document — the
+    /// mid-session update fault. Structure is untouched, so the declared
+    /// type (which constrains labels and multiplicities only) still
+    /// holds.
+    fn mutate_document(&mut self) {
+        let nodes = self.inner.tree.preorder();
+        let victim = nodes[self.rng.range_usize(0, nodes.len())];
+        let bump = Rat::from(self.rng.range_i64(1, 1_000));
+        let new = self.inner.tree.value(victim) + bump;
+        self.inner.tree.set_value(victim, new);
+        self.faults.updates += 1;
+    }
+
+    /// Applies answer-level faults (truncation, poisoning) to a genuine
+    /// answer.
+    fn corrupt(&mut self, mut ans: Answer) -> Answer {
+        if self.rng.bool(self.plan.truncate) {
+            if let Some(t) = &ans.tree {
+                if t.len() > 1 {
+                    let nodes = t.preorder();
+                    // Any non-root node; dropping it drops its subtree.
+                    let victim = nodes[self.rng.range_usize(1, nodes.len())];
+                    let keep_dangling = self.rng.bool(0.5);
+                    let (pruned, dropped) = drop_subtree(t, victim);
+                    if !keep_dangling {
+                        for nid in &dropped {
+                            ans.provenance.remove(nid);
+                        }
+                    }
+                    ans.tree = Some(pruned);
+                    self.faults.truncated += 1;
+                }
+            }
+        }
+        if self.rng.bool(self.plan.type_violation) {
+            if let Some(t) = &mut ans.tree {
+                let nodes = t.preorder();
+                let victim = nodes[self.rng.range_usize(0, nodes.len())];
+                let skew = Rat::from(self.rng.range_i64(100_000, 1_000_000));
+                let new = t.value(victim) + skew;
+                t.set_value(victim, new);
+                self.faults.poisoned += 1;
+            }
+        }
+        ans
+    }
+
+    fn pre_answer_fault(&mut self) -> Option<SourceError> {
+        if self.rng.bool(self.plan.update) {
+            self.mutate_document();
+        }
+        if self.rng.bool(self.plan.timeout) {
+            self.faults.timeouts += 1;
+            return Some(SourceError::Timeout);
+        }
+        if self.rng.bool(self.plan.transient) {
+            self.faults.transients += 1;
+            return Some(SourceError::Transient("injected".to_string()));
+        }
+        None
+    }
+}
+
+impl SourceEndpoint for FaultySource {
+    fn declared_type(&self) -> Option<&TreeType> {
+        self.inner.declared_type()
+    }
+
+    fn ask(&mut self, q: &PsQuery) -> Result<Answer, SourceError> {
+        if let Some(e) = self.pre_answer_fault() {
+            return Err(e);
+        }
+        let ans = self.inner.answer(q);
+        Ok(self.corrupt(ans))
+    }
+
+    fn ask_at(&mut self, q: &PsQuery, at: Nid) -> Result<Answer, SourceError> {
+        if let Some(e) = self.pre_answer_fault() {
+            return Err(e);
+        }
+        let ans = self.inner.ask_at(q, at)?;
+        Ok(self.corrupt(ans))
+    }
+
+    fn queries_served(&self) -> usize {
+        self.inner.queries_served
+    }
+
+    fn nodes_shipped(&self) -> usize {
+        self.inner.nodes_shipped
+    }
+}
+
+/// Copies `t` without the subtree rooted at `victim`; returns the copy
+/// and the dropped node ids.
+fn drop_subtree(t: &DataTree, victim: NodeRef) -> (DataTree, Vec<Nid>) {
+    let mut out = DataTree::new(t.nid(t.root()), t.label(t.root()), t.value(t.root()));
+    let mut dropped = Vec::new();
+    fn walk(
+        t: &DataTree,
+        from: NodeRef,
+        out: &mut DataTree,
+        to: NodeRef,
+        victim: NodeRef,
+        dropped: &mut Vec<Nid>,
+    ) {
+        for &c in t.children(from) {
+            if c == victim {
+                collect(t, c, dropped);
+                continue;
+            }
+            // Safe: nids are unique in `t`, and we copy each at most once.
+            let nc = out
+                .add_child(to, t.nid(c), t.label(c), t.value(c))
+                .expect("source nids are unique");
+            walk(t, c, out, nc, victim, dropped);
+        }
+    }
+    fn collect(t: &DataTree, n: NodeRef, dropped: &mut Vec<Nid>) {
+        dropped.push(t.nid(n));
+        for &c in t.children(n) {
+            collect(t, c, dropped);
+        }
+    }
+    let root = out.root();
+    walk(t, t.root(), &mut out, root, victim, &mut dropped);
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_query::PsQueryBuilder;
+    use iixml_tree::Alphabet;
+    use iixml_values::Cond;
+
+    fn doc(alpha: &mut Alphabet) -> DataTree {
+        let r = alpha.intern("root");
+        let a = alpha.intern("a");
+        let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
+        t.add_child(t.root(), Nid(1), a, Rat::from(1)).unwrap();
+        t.add_child(t.root(), Nid(2), a, Rat::from(2)).unwrap();
+        t
+    }
+
+    fn query(alpha: &mut Alphabet) -> PsQuery {
+        let mut b = PsQueryBuilder::new(alpha, "root", Cond::True);
+        let root = b.root();
+        b.child(root, "a", Cond::True).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn faultless_plan_is_transparent() {
+        let mut alpha = Alphabet::new();
+        let d = doc(&mut alpha);
+        let q = query(&mut alpha);
+        let mut plain = Source::new(d.clone(), None);
+        let mut faulty = FaultySource::new(Source::new(d, None), FaultPlan::none(), 1);
+        let a = plain.answer(&q);
+        let b = faulty.ask(&q).unwrap();
+        assert!(a.tree.unwrap().same_tree(b.tree.as_ref().unwrap()));
+        assert_eq!(faulty.faults.total(), 0);
+    }
+
+    #[test]
+    fn fault_streams_replay_from_seed() {
+        let mut alpha = Alphabet::new();
+        let d = doc(&mut alpha);
+        let q = query(&mut alpha);
+        let run = |seed| {
+            let mut f =
+                FaultySource::new(Source::new(d.clone(), None), FaultPlan::uniform(0.3), seed);
+            (0..50).map(|_| f.ask(&q).is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn timeouts_are_injected_at_roughly_the_configured_rate() {
+        let mut alpha = Alphabet::new();
+        let d = doc(&mut alpha);
+        let q = query(&mut alpha);
+        let plan = FaultPlan {
+            timeout: 0.25,
+            ..FaultPlan::none()
+        };
+        let mut f = FaultySource::new(Source::new(d, None), plan, 9);
+        let errs = (0..1_000).filter(|_| f.ask(&q).is_err()).count();
+        assert!((150..350).contains(&errs), "timeout rate off: {errs}/1000");
+    }
+
+    #[test]
+    fn try_new_rejects_type_violations() {
+        let mut alpha = Alphabet::new();
+        let ty = iixml_tree::TreeTypeBuilder::new(&mut alpha)
+            .root("root")
+            .rule("root", &[("a", iixml_tree::Mult::One)])
+            .build()
+            .unwrap();
+        let d = doc(&mut alpha); // two `a` children: violates One
+        assert!(matches!(
+            Source::try_new(d.clone(), Some(ty.clone())),
+            Err(SourceError::TypeViolation(_))
+        ));
+        // And try_update leaves the document unchanged on rejection.
+        let mut ok_doc = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+        ok_doc
+            .add_child(ok_doc.root(), Nid(1), alpha.get("a").unwrap(), Rat::ZERO)
+            .unwrap();
+        let mut src = Source::try_new(ok_doc.clone(), Some(ty)).unwrap();
+        assert!(src.try_update(d).is_err());
+        assert!(src.document().same_tree(&ok_doc));
+    }
+
+    #[test]
+    fn drop_subtree_removes_exactly_the_victim() {
+        let mut alpha = Alphabet::new();
+        let d = doc(&mut alpha);
+        let victim = d.by_nid(Nid(1)).unwrap();
+        let (pruned, dropped) = drop_subtree(&d, victim);
+        assert_eq!(pruned.len(), 2);
+        assert_eq!(dropped, vec![Nid(1)]);
+        assert!(pruned.by_nid(Nid(2)).is_some());
+    }
+}

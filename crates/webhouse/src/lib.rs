@@ -10,77 +10,89 @@
 //!   tree (with persistent node ids) plus an optional declared tree
 //!   type. This substitutes for live web sources (see DESIGN.md): it
 //!   answers ps-queries through exactly the same evaluation path.
+//! * [`SourceEndpoint`] abstracts the source boundary so the session
+//!   loop is written once against a *fallible* interface;
+//!   [`FaultySource`] wraps a source with a deterministic, seeded fault
+//!   injector for chaos testing.
 //! * [`Session`] is the per-document state: the accumulated incomplete
 //!   tree maintained by Algorithm Refine (plus the folded-in tree type).
 //! * [`Webhouse`] manages named sessions and implements the two
 //!   courses of action of the introduction: answer as best possible
 //!   from local knowledge (sure/possible modalities), or complete the
 //!   answer with non-redundant local queries against the source.
+//!
+//! # Fault model
+//!
+//! The paper assumes sources that always answer fully and correctly;
+//! this crate drops that assumption. Every source interaction goes
+//! through a retry loop ([`RetryPolicy`]: capped exponential backoff
+//! with deterministic jitter, per-query budget) and every shipped
+//! answer is validated ([`validate::validate_answer`]) against the
+//! query pattern and the source's declared type before it is grafted
+//! into the knowledge. [`Session::answer_resilient`] then guarantees an
+//! outcome for every query:
+//!
+//! * **complete** — mediation succeeded; the exact answer.
+//! * **degraded** — the source stayed unavailable after retries; the
+//!   local partial answer (Theorem 3.14), optionally relaxed (§3.2)
+//!   to a bounded size, is returned with the cause attached.
+//! * **quarantined** — the accumulated knowledge was caught lying
+//!   (a refine contradiction, `rep = ∅`, or a vanished anchor — the
+//!   signatures of a source updated mid-session, Section 5). The
+//!   session reinitializes to the declared type and retries once; if
+//!   the retry also fails the degraded local answer reflects the fresh
+//!   knowledge.
 
-use iixml_core::{IncompleteTree, ItreeError, QueryOnIncomplete, Refiner};
-use iixml_mediator::Mediator;
+pub mod endpoint;
+pub mod error;
+pub mod retry;
+pub mod validate;
+
+pub use endpoint::{FaultCounts, FaultPlan, FaultySource, Source, SourceEndpoint};
+pub use error::{SourceError, ValidationError, WebhouseError};
+pub use retry::RetryPolicy;
+
+use iixml_core::{IncompleteTree, QueryOnIncomplete, Refiner};
+use iixml_gen::rng::DetRng;
+use iixml_mediator::{CompletionError, Mediator};
+use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_query::{Answer, PsQuery};
-use iixml_tree::{Alphabet, DataTree, TreeType};
+use iixml_tree::{Alphabet, DataTree, Nid};
 use std::collections::HashMap;
 use std::fmt;
 
-/// A simulated remote XML document.
-#[derive(Clone, Debug)]
-pub struct Source {
-    tree: DataTree,
-    ty: Option<TreeType>,
-    /// Number of queries answered (for experiment accounting).
-    pub queries_served: usize,
-    /// Total answer nodes shipped (for experiment accounting).
-    pub nodes_shipped: usize,
-}
+/// Source queries retried after a retryable failure.
+static OBS_RETRIES: LazyCounter = LazyCounter::new("webhouse.retries");
+/// Source failures observed (pre-retry; includes validation rejects).
+static OBS_SOURCE_ERRORS: LazyCounter = LazyCounter::new("webhouse.source_errors");
+/// Answers rejected by validation before grafting.
+static OBS_VALIDATION_REJECTS: LazyCounter = LazyCounter::new("webhouse.validation_rejects");
+/// Queries that fell back to the degraded (local partial) path.
+static OBS_DEGRADED: LazyCounter = LazyCounter::new("webhouse.degraded_answers");
+/// Sessions quarantined (knowledge discarded and reinitialized).
+static OBS_QUARANTINES: LazyCounter = LazyCounter::new("webhouse.quarantines");
+/// Backoff pauses (ns), simulated or slept.
+static OBS_BACKOFF_NS: LazyHistogram = LazyHistogram::new("webhouse.backoff_ns");
+/// Wall time of executing a completion's local queries (same key as
+/// `Completion::execute`, which the session loop supersedes — the
+/// metric survives either execution path).
+static OBS_EXECUTE_NS: LazyHistogram = LazyHistogram::new("mediator.execute_ns");
+/// Local queries sent to sources (shared key, as above).
+static OBS_LOCAL_QUERIES: LazyCounter = LazyCounter::new("mediator.local_queries");
+/// Answer nodes shipped by sources (shared key, as above).
+static OBS_SHIPPED: LazyCounter = LazyCounter::new("mediator.shipped_nodes");
 
-impl Source {
-    /// Wraps a document with an optional declared type.
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug) when the document does not satisfy the declared
-    /// type — sources are assumed valid.
-    pub fn new(tree: DataTree, ty: Option<TreeType>) -> Source {
-        if let Some(t) = &ty {
-            debug_assert!(t.accepts(&tree), "source does not satisfy its type");
-        }
-        Source {
-            tree,
-            ty,
-            queries_served: 0,
-            nodes_shipped: 0,
-        }
-    }
-
-    /// The declared tree type, if any.
-    pub fn declared_type(&self) -> Option<&TreeType> {
-        self.ty.as_ref()
-    }
-
-    /// The live document (tests and experiments peek at it; the
-    /// webhouse itself only sees query answers).
-    pub fn document(&self) -> &DataTree {
-        &self.tree
-    }
-
-    /// Answers a ps-query (with persistent node ids, Remark 2.4).
-    pub fn answer(&mut self, q: &PsQuery) -> Answer {
-        let a = q.eval(&self.tree);
-        self.queries_served += 1;
-        self.nodes_shipped += a.len();
-        a
-    }
-
-    /// Replaces the document (a source update). The webhouse reacts by
-    /// reinitializing its knowledge (Section 5's discussion).
-    pub fn update(&mut self, tree: DataTree) {
-        if let Some(t) = &self.ty {
-            debug_assert!(t.accepts(&tree), "updated source violates its type");
-        }
-        self.tree = tree;
-    }
+/// Why a query was answered from degraded local knowledge instead of
+/// exactly via mediation.
+#[derive(Debug)]
+pub enum DegradeCause {
+    /// The source stayed unavailable after retries; local knowledge is
+    /// intact, just not sufficient for an exact answer.
+    SourceUnavailable(SourceError),
+    /// The knowledge was caught contradicting the source (updated
+    /// document, undetected lie); it was quarantined and reinitialized,
+    /// and a fresh mediation attempt also failed.
+    Quarantined(WebhouseError),
 }
 
 /// How a query against the webhouse was answered.
@@ -92,6 +104,15 @@ pub enum LocalAnswer {
     /// Only partial information is available: a description of the
     /// possible answers (Theorem 3.14).
     Partial(QueryOnIncomplete),
+    /// The source failed and the session fell back to local knowledge
+    /// (possibly after a quarantine) — the fault-model outcome of
+    /// [`Session::answer_resilient`].
+    Degraded {
+        /// The best available description of the possible answers.
+        partial: QueryOnIncomplete,
+        /// Which recovery path was taken.
+        cause: DegradeCause,
+    },
 }
 
 impl LocalAnswer {
@@ -99,29 +120,42 @@ impl LocalAnswer {
     pub fn is_complete(&self) -> bool {
         matches!(self, LocalAnswer::Complete(_))
     }
+
+    /// Did the query take a degraded recovery path?
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, LocalAnswer::Degraded { .. })
+    }
 }
 
-/// Per-document webhouse state.
-pub struct Session {
+/// Per-document webhouse state, generic over the source endpoint (the
+/// default, [`Source`], never fails; wrap it in [`FaultySource`] for
+/// chaos testing).
+pub struct Session<E: SourceEndpoint = Source> {
     alpha: Alphabet,
-    source: Source,
+    source: E,
     refiner: Refiner,
+    retry: RetryPolicy,
+    jitter: DetRng,
+    relax_target: Option<usize>,
     /// Queries answered from local knowledge without contacting the
     /// source.
     pub answered_locally: usize,
     /// Local queries issued by the mediator.
     pub mediator_queries: usize,
+    /// Times the knowledge was quarantined and reinitialized after
+    /// catching a contradiction (Section 5's dynamic-source policy).
+    pub quarantines: usize,
     /// Label used in per-source metric names (set by
     /// [`Webhouse::register`]; anonymous sessions report as `anon`).
     obs_label: String,
 }
 
-impl Session {
+impl<E: SourceEndpoint> Session<E> {
     /// Opens a session on a source. The source's declared type (if any)
     /// is folded into the initial knowledge (Theorem 3.5).
-    pub fn open(alpha: Alphabet, source: Source) -> Session {
+    pub fn open(alpha: Alphabet, source: E) -> Session<E> {
         let mut refiner = Refiner::new(&alpha);
-        if let Some(ty) = &source.ty {
+        if let Some(ty) = source.declared_type() {
             let restricted = iixml_core::type_intersect::restrict_to_type(refiner.current(), ty);
             refiner = Refiner::from_tree(restricted);
         }
@@ -129,8 +163,12 @@ impl Session {
             alpha,
             source,
             refiner,
+            retry: RetryPolicy::default(),
+            jitter: DetRng::new(0xB0FF),
+            relax_target: None,
             answered_locally: 0,
             mediator_queries: 0,
+            quarantines: 0,
             obs_label: "anon".to_string(),
         }
     }
@@ -139,6 +177,26 @@ impl Session {
     /// metrics (`webhouse.fetch_ns.<label>`).
     pub fn set_obs_label(&mut self, label: impl Into<String>) {
         self.obs_label = label.into();
+    }
+
+    /// Sets how source failures are retried (default:
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Reseeds the deterministic backoff jitter (sessions with the same
+    /// seed and fault stream replay identical backoff schedules).
+    pub fn set_backoff_seed(&mut self, seed: u64) {
+        self.jitter = DetRng::new(seed);
+    }
+
+    /// Caps the knowledge size used for degraded answers: when set,
+    /// degraded partial answers are computed on a copy relaxed (§3.2's
+    /// graceful-information-loss heuristic) below `target` — bounded
+    /// answer cost in exchange for a coarser description.
+    pub fn set_relax_target(&mut self, target: Option<usize>) {
+        self.relax_target = target;
     }
 
     /// The accumulated incomplete tree.
@@ -151,14 +209,64 @@ impl Session {
         self.refiner.data_tree()
     }
 
-    /// The source (for experiment accounting).
-    pub fn source(&self) -> &Source {
+    /// The source endpoint (for experiment accounting).
+    pub fn source(&self) -> &E {
         &self.source
     }
 
+    /// The source endpoint, mutably (chaos experiments adjust fault
+    /// plans or peek fault counters mid-run).
+    pub fn source_mut(&mut self) -> &mut E {
+        &mut self.source
+    }
+
+    /// Asks the endpoint one local query (`at = None` means the
+    /// document root), validating every shipped answer and retrying
+    /// retryable failures per the session's [`RetryPolicy`].
+    fn ask_source(&mut self, q: &PsQuery, at: Option<Nid>) -> Result<Answer, WebhouseError> {
+        let mut spent_ns: u64 = 0;
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = match at {
+                None => self.source.ask(q),
+                Some(n) => self.source.ask_at(q, n),
+            };
+            let err = match outcome {
+                Ok(ans) => {
+                    match validate::validate_answer(q, &ans, at, self.source.declared_type()) {
+                        Ok(()) => return Ok(ans),
+                        Err(v) => {
+                            OBS_VALIDATION_REJECTS.incr();
+                            SourceError::InvalidAnswer(v)
+                        }
+                    }
+                }
+                Err(e) => e,
+            };
+            OBS_SOURCE_ERRORS.incr();
+            attempt += 1;
+            if !err.retryable() || attempt >= self.retry.max_attempts {
+                return Err(WebhouseError::Source(err));
+            }
+            let pause = self.retry.backoff_ns(attempt - 1, &mut self.jitter);
+            if spent_ns.saturating_add(pause) > self.retry.budget_ns {
+                return Err(WebhouseError::Source(err));
+            }
+            spent_ns += pause;
+            OBS_BACKOFF_NS.observe(pause);
+            OBS_RETRIES.incr();
+            if self.retry.sleep {
+                std::thread::sleep(std::time::Duration::from_nanos(pause));
+            }
+        }
+    }
+
     /// Asks the source directly and refines the local knowledge with
-    /// the query-answer pair (Theorem 3.4).
-    pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, ItreeError> {
+    /// the query-answer pair (Theorem 3.4). Source failures are retried
+    /// per the session's [`RetryPolicy`]; answers are validated before
+    /// refinement, and refinement is transactional (an error leaves the
+    /// knowledge unchanged).
+    pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, WebhouseError> {
         // Per-source refine latency; the name is dynamic, so this takes
         // the registry lock — acceptable at fetch granularity.
         let _span = if iixml_obs::enabled() {
@@ -169,7 +277,7 @@ impl Session {
         } else {
             None
         };
-        let ans = self.source.answer(q);
+        let ans = self.ask_source(q, None)?;
         self.refiner.refine(&self.alpha, q, &ans)?;
         Ok(ans)
     }
@@ -179,9 +287,9 @@ impl Session {
     /// node the query's conditions touch as a data node, guaranteeing
     /// the incomplete tree stays polynomial in the whole query sequence
     /// — the paper's standing size-control strategy.
-    pub fn fetch_with_auxiliaries(&mut self, q: &PsQuery) -> Result<Answer, ItreeError> {
+    pub fn fetch_with_auxiliaries(&mut self, q: &PsQuery) -> Result<Answer, WebhouseError> {
         for aux in iixml_mediator::auxiliary_queries(q) {
-            let a = self.source.answer(&aux);
+            let a = self.ask_source(&aux, None)?;
             self.refiner.refine(&self.alpha, &aux, &a)?;
         }
         self.fetch(q)
@@ -201,9 +309,14 @@ impl Session {
 
     /// Answers exactly, contacting the source only for the missing
     /// pieces (Section 3.4): generates a non-redundant completion,
-    /// executes it, and refines local knowledge with the now-exact
-    /// answer.
-    pub fn answer_with_mediation(&mut self, q: &PsQuery) -> Result<Option<DataTree>, String> {
+    /// executes its local queries through the endpoint (each validated
+    /// and retried per the session's policy), and refines local
+    /// knowledge with the now-exact answer. On any error the knowledge
+    /// is left unchanged.
+    pub fn answer_with_mediation(
+        &mut self,
+        q: &PsQuery,
+    ) -> Result<Option<DataTree>, WebhouseError> {
         if let LocalAnswer::Complete(a) = self.answer_locally(q) {
             return Ok(a);
         }
@@ -212,28 +325,108 @@ impl Session {
             med.complete(q)
         };
         self.mediator_queries += completion.queries.len();
-        let mut known = self
-            .data_tree()
-            .unwrap_or_else(|| self.source.tree.subtree(self.source.tree.root()));
-        // When nothing is known, the completion holds `q@root`: execute
-        // against the source directly.
-        let shipped = completion.execute(&self.source.tree, &mut known)?;
-        self.source.queries_served += completion.queries.len();
-        self.source.nodes_shipped += shipped;
-        let answer = q.eval(&known);
+        let _span = OBS_EXECUTE_NS.time();
+        OBS_LOCAL_QUERIES.add(completion.queries.len() as u64);
+        // Graft each (validated) answer into the known prefix; when
+        // nothing is known the completion holds `q@root` and the first
+        // answer becomes the prefix.
+        let mut known = self.data_tree();
+        for lq in &completion.queries {
+            let ans = self.ask_source(&lq.query, lq.at)?;
+            OBS_SHIPPED.add(ans.len() as u64);
+            let Some(t) = ans.tree else { continue };
+            match &mut known {
+                Some(k) => k
+                    .graft(&t)
+                    .map_err(|reason| CompletionError::Graft { reason })?,
+                slot @ None => *slot = Some(t),
+            }
+        }
+        let answer = match &known {
+            Some(k) => q.eval(k),
+            None => Answer {
+                tree: None,
+                provenance: HashMap::new(),
+            },
+        };
         // The answer is now exact; fold it back into the knowledge.
-        self.refiner
-            .refine(&self.alpha, q, &answer)
-            .map_err(|e| e.to_string())?;
+        self.refiner.refine(&self.alpha, q, &answer)?;
         Ok(answer.tree)
+    }
+
+    /// Answers with mediation, *always* producing an answer (the fault
+    /// model's end-to-end guarantee):
+    ///
+    /// * mediation succeeds → [`LocalAnswer::Complete`];
+    /// * the source stays unavailable (timeouts/transients/poisoned
+    ///   answers exhausting retries) → [`LocalAnswer::Degraded`] with
+    ///   the intact local partial answer;
+    /// * the knowledge is caught lying — a refine contradiction,
+    ///   `rep = ∅`, a vanished anchor, or a graft conflict — →
+    ///   quarantine: the knowledge is reinitialized to the declared
+    ///   type (Section 5) and mediation retried once; a second failure
+    ///   degrades on the fresh knowledge.
+    pub fn answer_resilient(&mut self, q: &PsQuery) -> LocalAnswer {
+        let mut last_poison: Option<WebhouseError> = None;
+        for _round in 0..2 {
+            match self.answer_with_mediation(q) {
+                Ok(a) => {
+                    // A lie can slip past validation (e.g. a consistent
+                    // truncation) and only surface as an unsatisfiable
+                    // representation: rep = ∅ while a real document
+                    // obviously exists.
+                    if self.knowledge().is_empty() {
+                        last_poison = Some(WebhouseError::Contradiction);
+                        self.quarantine();
+                        continue;
+                    }
+                    return LocalAnswer::Complete(a);
+                }
+                Err(WebhouseError::Source(e)) if !e.signals_update() => {
+                    OBS_DEGRADED.incr();
+                    return LocalAnswer::Degraded {
+                        partial: self.partial_answer(q),
+                        cause: DegradeCause::SourceUnavailable(e),
+                    };
+                }
+                Err(e) => {
+                    last_poison = Some(e);
+                    self.quarantine();
+                }
+            }
+        }
+        OBS_DEGRADED.incr();
+        LocalAnswer::Degraded {
+            partial: self.partial_answer(q),
+            // Some(_) whenever the loop exits without returning.
+            cause: DegradeCause::Quarantined(last_poison.expect("two failed rounds")),
+        }
+    }
+
+    /// The local partial answer, computed on a relaxed copy of the
+    /// knowledge when a relax target is set.
+    fn partial_answer(&self, q: &PsQuery) -> QueryOnIncomplete {
+        match self.relax_target {
+            Some(target) if self.knowledge().size() > target => {
+                iixml_mediator::relax(self.knowledge(), target).query(q)
+            }
+            _ => self.knowledge().query(q),
+        }
+    }
+
+    fn quarantine(&mut self) {
+        self.quarantines += 1;
+        OBS_QUARANTINES.incr();
+        self.reinitialize();
     }
 
     /// Reacts to a source update: knowledge is reinitialized to the
     /// declared type (the paper's conservative policy for dynamic
     /// sources).
     pub fn reinitialize(&mut self) {
+        let ty = self.source.declared_type().cloned();
         let mut refiner = Refiner::new(&self.alpha);
-        if let Some(ty) = &self.source.ty {
+        if let Some(ty) = &ty {
             let restricted = iixml_core::type_intersect::restrict_to_type(refiner.current(), ty);
             refiner = Refiner::from_tree(restricted);
         }
@@ -241,7 +434,9 @@ impl Session {
         self.answered_locally = 0;
         self.mediator_queries = 0;
     }
+}
 
+impl Session<Source> {
     /// Applies a source update then reinitializes.
     pub fn source_updated(&mut self, new_tree: DataTree) {
         self.source.update(new_tree);
@@ -249,11 +444,12 @@ impl Session {
     }
 }
 
-impl fmt::Debug for Session {
+impl<E: SourceEndpoint> fmt::Debug for Session<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Session")
             .field("knowledge_size", &self.knowledge().size())
             .field("answered_locally", &self.answered_locally)
+            .field("quarantines", &self.quarantines)
             .finish()
     }
 }
@@ -278,7 +474,7 @@ impl ConjunctiveSession {
     /// the base layer.
     pub fn open(alpha: Alphabet, source: Source) -> ConjunctiveSession {
         let mut conj = iixml_core::ConjunctiveTree::new(&alpha);
-        if let Some(ty) = &source.ty {
+        if let Some(ty) = source.declared_type() {
             let labels: Vec<_> = alpha.labels().collect();
             let names: Vec<&str> = labels.iter().map(|&l| alpha.name(l)).collect();
             let universal = IncompleteTree::universal(&labels, &names);
@@ -293,7 +489,7 @@ impl ConjunctiveSession {
     }
 
     /// Asks the source and appends the constraint layer (Refine⁺).
-    pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, ItreeError> {
+    pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, iixml_core::ItreeError> {
         let ans = self.source.answer(q);
         self.conj.refine(&self.alpha, q, &ans)?;
         Ok(ans)
@@ -320,20 +516,29 @@ impl ConjunctiveSession {
     }
 }
 
-/// A named collection of sessions — the warehouse itself.
-#[derive(Default)]
-pub struct Webhouse {
-    sessions: HashMap<String, Session>,
+/// A named collection of sessions — the warehouse itself. Generic over
+/// the endpoint like [`Session`]; the default is the reliable
+/// [`Source`].
+pub struct Webhouse<E: SourceEndpoint = Source> {
+    sessions: HashMap<String, Session<E>>,
 }
 
-impl Webhouse {
+impl<E: SourceEndpoint> Default for Webhouse<E> {
+    fn default() -> Webhouse<E> {
+        Webhouse {
+            sessions: HashMap::new(),
+        }
+    }
+}
+
+impl<E: SourceEndpoint> Webhouse<E> {
     /// An empty webhouse.
-    pub fn new() -> Webhouse {
+    pub fn new() -> Webhouse<E> {
         Webhouse::default()
     }
 
     /// Registers a source under a name.
-    pub fn register(&mut self, name: impl Into<String>, alpha: Alphabet, source: Source) {
+    pub fn register(&mut self, name: impl Into<String>, alpha: Alphabet, source: E) {
         let name = name.into();
         let mut session = Session::open(alpha, source);
         session.set_obs_label(&name);
@@ -341,12 +546,12 @@ impl Webhouse {
     }
 
     /// Accesses a session.
-    pub fn session(&mut self, name: &str) -> Option<&mut Session> {
+    pub fn session(&mut self, name: &str) -> Option<&mut Session<E>> {
         self.sessions.get_mut(name)
     }
 
     /// Iterates over (name, session).
-    pub fn sessions(&self) -> impl Iterator<Item = (&String, &Session)> {
+    pub fn sessions(&self) -> impl Iterator<Item = (&String, &Session<E>)> {
         self.sessions.iter()
     }
 }
@@ -355,7 +560,7 @@ impl Webhouse {
 mod tests {
     use super::*;
     use iixml_query::PsQueryBuilder;
-    use iixml_tree::{Mult, Nid, TreeTypeBuilder};
+    use iixml_tree::{Mult, Nid, TreeType, TreeTypeBuilder};
     use iixml_values::{Cond, Rat};
 
     fn catalog_setup() -> (Alphabet, TreeType, DataTree) {
@@ -665,5 +870,65 @@ mod tests {
         assert!(at.certain_nonempty());
         // Both agree it's possibly nonempty.
         assert!(an.possible_nonempty());
+    }
+
+    #[test]
+    fn persistent_timeouts_degrade_to_the_local_partial_answer() {
+        let (mut alpha, ty, doc) = catalog_setup();
+        let q1 = query1(&mut alpha);
+        let q3 = query3(&mut alpha);
+        let src = Source::new(doc, Some(ty));
+        let mut session = Session::open(alpha, FaultySource::new(src, FaultPlan::none(), 7));
+        session.set_retry(RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        });
+        session.fetch(&q1).unwrap();
+        let knowledge_before = session.knowledge().size();
+        // Source goes dark: every further query times out.
+        session.source_mut().set_plan(FaultPlan {
+            timeout: 1.0,
+            ..FaultPlan::none()
+        });
+        let a = session.answer_resilient(&q3);
+        match a {
+            LocalAnswer::Degraded {
+                cause: DegradeCause::SourceUnavailable(SourceError::Timeout),
+                partial,
+            } => {
+                // Knowledge from q1 is intact and still describes q3.
+                assert!(partial.possible_nonempty());
+            }
+            other => panic!("expected a degraded answer, got {other:?}"),
+        }
+        assert_eq!(session.knowledge().size(), knowledge_before);
+        assert_eq!(session.quarantines, 0);
+        // The source recovers: the same query now completes exactly.
+        session.source_mut().set_plan(FaultPlan::none());
+        assert!(session.answer_resilient(&q3).is_complete());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_through() {
+        let (mut alpha, ty, doc) = catalog_setup();
+        let q1 = query1(&mut alpha);
+        let src = Source::new(doc, Some(ty));
+        let mut session = Session::open(alpha, FaultySource::new(src, FaultPlan::none(), 11));
+        // 30% transient failures, 4 attempts: each query nearly always
+        // gets through (p(fail) = 0.3^4 < 1%).
+        session.source_mut().set_plan(FaultPlan {
+            transient: 0.3,
+            ..FaultPlan::none()
+        });
+        // `fetch` always contacts the source (unlike resilient answers,
+        // which go local once knowledge suffices).
+        let mut completed = 0;
+        for _ in 0..20 {
+            if session.fetch(&q1).is_ok() {
+                completed += 1;
+            }
+        }
+        assert!(completed >= 18, "only {completed}/20 completed");
+        assert!(session.source().faults.transients > 0, "no faults fired");
     }
 }

@@ -1,0 +1,101 @@
+//! Retry policies with exponential backoff and deterministic jitter.
+//!
+//! Backoff is *simulated* by default: the webhouse records the pause it
+//! would have taken (in the `webhouse.backoff_ns` histogram and against
+//! the per-query budget) without sleeping, so chaos tests can run
+//! thousands of faulty completions in milliseconds while exercising the
+//! exact decision logic a wall-clock deployment would. Set
+//! [`RetryPolicy::sleep`] for real pauses.
+
+use iixml_gen::rng::DetRng;
+
+/// How a session retries failed source queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per local query, including the first (1 = never
+    /// retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff_ns: u64,
+    /// Upper bound on a single backoff pause.
+    pub max_backoff_ns: u64,
+    /// Total backoff budget per query: once the (simulated) pauses for a
+    /// query would exceed this, the query fails even if attempts remain.
+    pub budget_ns: u64,
+    /// Actually sleep for each backoff pause (off by default: pauses are
+    /// simulated deterministically).
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 1 ms base doubling to at most 100 ms, 1 s per-query
+    /// budget, simulated pauses.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 1_000_000,
+            max_backoff_ns: 100_000_000,
+            budget_ns: 1_000_000_000,
+            sleep: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: every source error is final.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (0-based): exponential
+    /// (`base · 2^attempt`, capped) with deterministic *equal jitter* —
+    /// uniform in `[cap/2, cap]` drawn from the session's seeded RNG, so
+    /// identical seeds replay identical backoff schedules.
+    pub fn backoff_ns(&self, attempt: u32, rng: &mut DetRng) -> u64 {
+        let cap = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << attempt.min(20))
+            .clamp(1, self.max_backoff_ns.max(1));
+        let half = cap / 2;
+        half + rng.below(cap - half + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 8_000,
+            ..RetryPolicy::default()
+        };
+        let mut rng = DetRng::new(1);
+        for attempt in 0..10 {
+            let cap = (1_000u64 << attempt).min(8_000);
+            let b = p.backoff_ns(attempt, &mut rng);
+            assert!(
+                b >= cap / 2 && b <= cap,
+                "attempt {attempt}: {b} vs cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        let seq = |seed| {
+            let mut rng = DetRng::new(seed);
+            (0..5)
+                .map(|a| p.backoff_ns(a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+}

@@ -1,0 +1,181 @@
+//! Answer validation: reject poisoned answers before they are grafted
+//! into a session's incomplete tree.
+//!
+//! A shipped answer claims to be `q(source)` restricted to the query
+//! pattern. Before trusting it, the webhouse checks every claim that is
+//! locally checkable:
+//!
+//! 1. every shipped node carries provenance (which pattern node it
+//!    matched) and the provenance names only shipped nodes;
+//! 2. matched nodes agree with their pattern node's label and satisfy
+//!    its condition;
+//! 3. the answer's structure is a prefix of *some* document satisfying
+//!    the source's declared tree type (labels permitted, upper
+//!    multiplicity bounds respected — lower bounds cannot be checked on
+//!    a prefix);
+//! 4. anchored answers (`p@n`) are rooted at their anchor.
+//!
+//! Lies that pass these checks (e.g. a consistently truncated answer)
+//! are caught later as contradictions with accumulated knowledge — see
+//! `Session::answer_resilient`.
+
+use crate::error::ValidationError;
+use iixml_query::{Answer, MatchKind, PsQuery};
+use iixml_tree::{Label, Nid, TreeType};
+use std::collections::HashMap;
+
+/// Validates a shipped answer for query `q` (anchored at `at`, `None` =
+/// document root) against the source's declared type, if any.
+pub fn validate_answer(
+    q: &PsQuery,
+    ans: &Answer,
+    at: Option<Nid>,
+    declared: Option<&TreeType>,
+) -> Result<(), ValidationError> {
+    let Some(t) = &ans.tree else {
+        // The empty answer makes no per-node claims.
+        return Ok(());
+    };
+    if let Some(anchor) = at {
+        let got = t.nid(t.root());
+        if got != anchor {
+            return Err(ValidationError::WrongAnchor {
+                expected: anchor,
+                got,
+            });
+        }
+    } else if let Some(ty) = declared {
+        // An un-anchored answer is rooted at the document root, whose
+        // label the type constrains.
+        if !ty.roots().contains(&t.label(t.root())) {
+            return Err(ValidationError::TypeViolation(t.nid(t.root())));
+        }
+    }
+    for node in t.preorder() {
+        let nid = t.nid(node);
+        match ans.provenance.get(&nid) {
+            None => return Err(ValidationError::MissingProvenance(nid)),
+            Some(&MatchKind::Matched(m)) => {
+                if t.label(node) != q.label(m) {
+                    return Err(ValidationError::LabelMismatch(nid));
+                }
+                if !q.cond_set(m).contains(t.value(node)) {
+                    return Err(ValidationError::ConditionViolated(nid));
+                }
+            }
+            // Descendants of a barred match are extracted wholesale;
+            // the pattern constrains only their ancestor.
+            Some(&MatchKind::BarDescendant(_)) => {}
+        }
+        if let Some(ty) = declared {
+            // Prefix check: each child label must be permitted under the
+            // node's label, and non-repeatable labels must not repeat.
+            // (Mandatory children may legitimately be missing from a
+            // prefix, so lower bounds are not checked.)
+            let atom = ty.atom(t.label(node));
+            let mut counts: HashMap<Label, usize> = HashMap::new();
+            for &c in t.children(node) {
+                *counts.entry(t.label(c)).or_default() += 1;
+            }
+            for (&l, &n) in &counts {
+                match atom.mult(l) {
+                    None => return Err(ValidationError::TypeViolation(nid)),
+                    Some(m) if !m.repeatable() && n > 1 => {
+                        return Err(ValidationError::TypeViolation(nid))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    if ans.provenance.len() > t.len() {
+        // More provenance entries than shipped nodes: at least one names
+        // a node that is not in the tree.
+        let dangling = ans
+            .provenance
+            .keys()
+            .find(|&&n| t.by_nid(n).is_none())
+            .copied()
+            .unwrap_or_else(|| t.nid(t.root()));
+        return Err(ValidationError::DanglingProvenance(dangling));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_query::PsQueryBuilder;
+    use iixml_tree::{Alphabet, DataTree};
+    use iixml_values::{Cond, Rat};
+
+    fn setup() -> (Alphabet, DataTree, PsQuery) {
+        let mut alpha = Alphabet::new();
+        let r = alpha.intern("root");
+        let a = alpha.intern("a");
+        let mut doc = DataTree::new(Nid(0), r, Rat::ZERO);
+        doc.add_child(doc.root(), Nid(1), a, Rat::from(5)).unwrap();
+        let q = {
+            let mut b = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+            let root = b.root();
+            b.child(root, "a", Cond::lt(Rat::from(10))).unwrap();
+            b.build()
+        };
+        (alpha, doc, q)
+    }
+
+    #[test]
+    fn genuine_answers_validate() {
+        let (_, doc, q) = setup();
+        let ans = q.eval(&doc);
+        assert_eq!(validate_answer(&q, &ans, None, None), Ok(()));
+    }
+
+    #[test]
+    fn missing_provenance_is_rejected() {
+        let (_, doc, q) = setup();
+        let mut ans = q.eval(&doc);
+        ans.provenance.remove(&Nid(1));
+        assert_eq!(
+            validate_answer(&q, &ans, None, None),
+            Err(ValidationError::MissingProvenance(Nid(1)))
+        );
+    }
+
+    #[test]
+    fn dangling_provenance_is_rejected() {
+        let (_, doc, q) = setup();
+        let mut ans = q.eval(&doc);
+        ans.provenance.insert(Nid(99), MatchKind::Matched(q.root()));
+        assert_eq!(
+            validate_answer(&q, &ans, None, None),
+            Err(ValidationError::DanglingProvenance(Nid(99)))
+        );
+    }
+
+    #[test]
+    fn condition_violations_are_rejected() {
+        let (_, doc, q) = setup();
+        let mut ans = q.eval(&doc);
+        let t = ans.tree.as_mut().unwrap();
+        let node = t.by_nid(Nid(1)).unwrap();
+        t.set_value(node, Rat::from(50)); // violates a < 10
+        assert_eq!(
+            validate_answer(&q, &ans, None, None),
+            Err(ValidationError::ConditionViolated(Nid(1)))
+        );
+    }
+
+    #[test]
+    fn wrong_anchor_is_rejected() {
+        let (_, doc, q) = setup();
+        let ans = q.eval(&doc); // rooted at Nid(0)
+        assert_eq!(
+            validate_answer(&q, &ans, Some(Nid(7)), None),
+            Err(ValidationError::WrongAnchor {
+                expected: Nid(7),
+                got: Nid(0)
+            })
+        );
+    }
+}

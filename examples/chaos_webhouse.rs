@@ -1,0 +1,88 @@
+//! The webhouse loop under fire: a catalog session against a source
+//! that times out, fails transiently, truncates and poisons answers,
+//! and mutates its document mid-session — all driven by one seed, so a
+//! run replays exactly.
+//!
+//! Run with `cargo run --example chaos_webhouse [rate] [seed]`
+//! (defaults: rate 0.15 per fault kind, seed 0xA5EED).
+
+use iixml_gen::rng::DetRng;
+use iixml_gen::{catalog, catalog_query_camera_pictures, catalog_query_price_below};
+use iixml_webhouse::{
+    DegradeCause, FaultPlan, FaultySource, LocalAnswer, RetryPolicy, Session, Source,
+    SourceEndpoint,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rate: f64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(0.15);
+    let seed: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(0xA5EED);
+
+    let mut c = catalog(12, seed);
+    println!(
+        "source: {} products, {} nodes; fault rate {rate} per kind, seed {seed}",
+        c.doc.children(c.doc.root()).len(),
+        c.doc.len()
+    );
+
+    let src = Source::new(c.doc.clone(), Some(c.ty.clone()));
+    let faulty = FaultySource::new(src, FaultPlan::uniform(rate), seed);
+    let mut session = Session::open(c.alpha.clone(), faulty);
+    session.set_backoff_seed(seed ^ 0xB0FF);
+    session.set_retry(RetryPolicy::default());
+    session.set_relax_target(Some(500));
+
+    let mut rng = DetRng::new(seed ^ 0x57E9);
+    let (mut complete, mut degraded) = (0usize, 0usize);
+    for step in 0..100 {
+        // Periodic knowledge TTL, so the source keeps being contacted.
+        if step % 20 == 19 {
+            session.reinitialize();
+        }
+        let q = if rng.bool(0.25) {
+            catalog_query_camera_pictures(&mut c.alpha)
+        } else {
+            catalog_query_price_below(&mut c.alpha, rng.range_i64(50, 600))
+        };
+        match session.answer_resilient(&q) {
+            LocalAnswer::Complete(ans) => {
+                complete += 1;
+                println!(
+                    "step {step:3}: complete ({} nodes)",
+                    ans.map_or(0, |t| t.len())
+                );
+            }
+            LocalAnswer::Degraded { cause, partial } => {
+                degraded += 1;
+                let why = match cause {
+                    DegradeCause::SourceUnavailable(e) => format!("source unavailable: {e}"),
+                    DegradeCause::Quarantined(e) => format!("quarantined: {e}"),
+                };
+                println!(
+                    "step {step:3}: DEGRADED ({why}); local envelope possible-nonempty={}",
+                    partial.possible_nonempty()
+                );
+            }
+            LocalAnswer::Partial(_) => unreachable!("resilient answers never stay partial"),
+        }
+        session
+            .knowledge()
+            .well_formed()
+            .expect("knowledge stays well-formed through every recovery");
+    }
+
+    let f = session.source().faults;
+    println!(
+        "\n100 queries -> {complete} complete, {degraded} degraded, {} quarantines",
+        session.quarantines
+    );
+    println!(
+        "injected: {} timeouts, {} transients, {} truncations, {} poisoned answers, {} updates",
+        f.timeouts, f.transients, f.truncated, f.poisoned, f.updates
+    );
+    println!(
+        "source served {} queries, shipped {} nodes; every answer exact or explicitly degraded",
+        session.source().queries_served(),
+        session.source().nodes_shipped()
+    );
+}

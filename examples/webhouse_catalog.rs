@@ -55,6 +55,7 @@ fn main() {
             ans.map_or(0, |t| t.len())
         ),
         LocalAnswer::Partial(_) => println!("price<100 only partially answerable"),
+        LocalAnswer::Degraded { .. } => unreachable!("answer_locally never degrades"),
     }
 
     let q_cam = catalog_query_camera_pictures(&mut c.alpha);
@@ -76,6 +77,7 @@ fn main() {
                 None => println!("  no sure part (the empty answer is possible)"),
             }
         }
+        LocalAnswer::Degraded { .. } => unreachable!("answer_locally never degrades"),
     }
 
     // Phase 3: mediation — fetch exactly the missing pieces.

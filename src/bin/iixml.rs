@@ -50,10 +50,10 @@ fn main() {
         Some("eval") if args.len() == 4 => cmd_eval(&args[2], &args[3]),
         Some("demo") => cmd_demo(),
         Some("session") if args.len() == 3 => cmd_session(&args[2]),
-        Some("walkthrough") => cmd_walkthrough(),
+        Some("walkthrough") => cmd_walkthrough(&args[2..]),
         _ => {
             eprintln!(
-                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] session <doc.xml>\n  iixml [--stats] walkthrough"
+                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] session <doc.xml>\n  iixml [--stats] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>]"
             );
             std::process::exit(2);
         }
@@ -71,9 +71,41 @@ fn main() {
 /// `--stats` every subsystem's metrics appear in one snapshot: Refine
 /// (Theorem 3.4), the Example 3.2 blowup, bounded world enumeration,
 /// and exact answering through the mediator (Theorem 3.19).
-fn cmd_walkthrough() -> Result<(), String> {
+///
+/// `--chaos` appends a fault-injection stage: the mediated session is
+/// re-run against a [`FaultySource`] (rate `--chaos-rate`, default 0.15,
+/// per fault kind; seed `--chaos-seed`, default 0xA5EED) and the
+/// per-query outcomes — complete, degraded, quarantined — are printed
+/// along with the injected fault counts.
+fn cmd_walkthrough(opts: &[String]) -> Result<(), String> {
     use iixml_core::Refiner;
     use iixml_oracle::{enumerate_rep, Bounds};
+
+    let mut chaos = false;
+    let mut chaos_rate = 0.15f64;
+    let mut chaos_seed = 0xA5EEDu64;
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--chaos" => chaos = true,
+            "--chaos-rate" => {
+                chaos = true;
+                chaos_rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("--chaos-rate needs a value in [0, 1]")?;
+            }
+            "--chaos-seed" => {
+                chaos = true;
+                chaos_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--chaos-seed needs an integer")?;
+            }
+            other => return Err(format!("unknown walkthrough option: {other}")),
+        }
+    }
 
     // 1. Answering with views: refine knowledge from a price view.
     let mut cat = iixml_gen::catalog(4, 42);
@@ -134,6 +166,43 @@ fn cmd_walkthrough() -> Result<(), String> {
         session.source().queries_served,
         session.source().nodes_shipped
     );
+
+    // 5. (--chaos) The same loop against an unreliable source: every
+    //    query must still complete, degrade, or quarantine cleanly.
+    if chaos {
+        use iixml_webhouse::{FaultPlan, FaultySource, SourceEndpoint};
+        let src = Source::new(cat.doc.clone(), Some(cat.ty.clone()));
+        let faulty = FaultySource::new(src, FaultPlan::uniform(chaos_rate), chaos_seed);
+        let mut chaotic = Session::open(cat.alpha.clone(), faulty);
+        chaotic.set_backoff_seed(chaos_seed);
+        let mut queries = vec![q_cam.clone()];
+        for bound in [150, 200, 250, 300, 400, 500] {
+            queries.push(iixml_gen::catalog_query_price_below(&mut cat.alpha, bound));
+        }
+        let (mut complete, mut degraded) = (0usize, 0usize);
+        for q in queries.iter().cycle().take(60) {
+            match chaotic.answer_resilient(q) {
+                LocalAnswer::Complete(_) => complete += 1,
+                LocalAnswer::Degraded { .. } => degraded += 1,
+                LocalAnswer::Partial(_) => unreachable!("resilient answers never stay partial"),
+            }
+        }
+        let f = chaotic.source().faults;
+        println!(
+            "chaos stage (rate {chaos_rate}, seed {chaos_seed}): \
+             60 queries -> {complete} complete, {degraded} degraded, {} quarantines; \
+             injected {} faults ({} timeouts, {} transients, {} truncations, \
+             {} poisoned, {} updates); {} source queries answered",
+            chaotic.quarantines,
+            f.total(),
+            f.timeouts,
+            f.transients,
+            f.truncated,
+            f.poisoned,
+            f.updates,
+            chaotic.source().queries_served(),
+        );
+    }
     Ok(())
 }
 
@@ -243,6 +312,9 @@ fn cmd_session(path: &str) -> Result<(), String> {
                                 p.certain_nonempty()
                             );
                         }
+                        // answer_locally never takes the degraded path
+                        // (that is answer_resilient's job).
+                        LocalAnswer::Degraded { .. } => unreachable!(),
                     },
                     _ => match session.answer_with_mediation(&q) {
                         Ok(Some(t)) => {

@@ -127,6 +127,7 @@ fn library_webhouse_session() {
             }
         }
         LocalAnswer::Partial(_) => panic!("subsumed query should be answerable"),
+        LocalAnswer::Degraded { .. } => panic!("answer_locally never degrades"),
     }
     // Reviews were never fetched: the review query mediates correctly.
     let q_rev = library_query_well_reviewed(&mut l.alpha, 7);

@@ -1,0 +1,191 @@
+//! Failure paths of completion execution: every error must leave the
+//! already-known tree byte-for-byte unchanged (execution is
+//! transactional — all answers graft or none do), and the webhouse
+//! session must reject partial answers before they reach the knowledge.
+
+use iixml_mediator::{Completion, CompletionError, LocalQuery};
+use iixml_query::{PsQuery, PsQueryBuilder};
+use iixml_tree::{Alphabet, DataTree, Nid};
+use iixml_values::{Cond, Rat};
+use iixml_webhouse::{
+    FaultPlan, FaultySource, LocalAnswer, RetryPolicy, Session, Source, SourceError,
+    ValidationError, WebhouseError,
+};
+
+fn doc(alpha: &mut Alphabet) -> DataTree {
+    let r = alpha.intern("root");
+    let a = alpha.intern("a");
+    let b = alpha.intern("b");
+    let mut t = DataTree::new(Nid(0), r, Rat::ZERO);
+    let n1 = t.add_child(t.root(), Nid(1), a, Rat::from(5)).unwrap();
+    t.add_child(n1, Nid(3), b, Rat::from(30)).unwrap();
+    t.add_child(t.root(), Nid(2), a, Rat::from(9)).unwrap();
+    t
+}
+
+fn query_all(alpha: &mut Alphabet) -> PsQuery {
+    let mut bld = PsQueryBuilder::new(alpha, "root", Cond::True);
+    let root = bld.root();
+    bld.child(root, "a", Cond::True).unwrap();
+    bld.build()
+}
+
+#[test]
+fn missing_anchor_fails_and_leaves_known_untouched() {
+    let mut alpha = Alphabet::new();
+    let source = doc(&mut alpha);
+    let q = query_all(&mut alpha);
+    let mut known = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+    let snapshot = known.clone();
+    let completion = Completion {
+        queries: vec![LocalQuery {
+            query: q,
+            at: Some(Nid(999)), // no such node at the source
+        }],
+    };
+    match completion.execute(&source, &mut known) {
+        Err(CompletionError::MissingAnchor(n)) => assert_eq!(n, Nid(999)),
+        other => panic!("expected MissingAnchor, got {other:?}"),
+    }
+    assert!(known.same_tree(&snapshot));
+}
+
+#[test]
+fn graft_conflict_fails_and_leaves_known_untouched() {
+    let mut alpha = Alphabet::new();
+    let source = doc(&mut alpha);
+    let q = query_all(&mut alpha);
+    // The warehouse "knows" node 1 with a *different* value than the
+    // source now ships: the graft must refuse the contradiction.
+    let mut known = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+    known
+        .add_child(known.root(), Nid(1), alpha.get("a").unwrap(), Rat::from(77))
+        .unwrap();
+    let snapshot = known.clone();
+    let completion = Completion {
+        queries: vec![LocalQuery { query: q, at: None }],
+    };
+    match completion.execute(&source, &mut known) {
+        Err(CompletionError::Graft { reason }) => {
+            assert!(reason.contains("disagrees"), "unexpected reason: {reason}")
+        }
+        other => panic!("expected a graft failure, got {other:?}"),
+    }
+    assert!(known.same_tree(&snapshot));
+}
+
+#[test]
+fn late_failure_rolls_back_earlier_grafts() {
+    // Transactionality proper: the first local query succeeds and would
+    // graft new nodes, the second fails — the known tree must come out
+    // exactly as it went in, with no half-applied answers.
+    let mut alpha = Alphabet::new();
+    let source = doc(&mut alpha);
+    let q_ok = query_all(&mut alpha);
+    let q_bad = query_all(&mut alpha);
+    let mut known = DataTree::new(Nid(0), alpha.get("root").unwrap(), Rat::ZERO);
+    let snapshot = known.clone();
+    let completion = Completion {
+        queries: vec![
+            LocalQuery {
+                query: q_ok,
+                at: None,
+            },
+            LocalQuery {
+                query: q_bad,
+                at: Some(Nid(999)),
+            },
+        ],
+    };
+    assert!(completion.execute(&source, &mut known).is_err());
+    assert!(
+        known.same_tree(&snapshot),
+        "first query's graft leaked through a failed completion"
+    );
+}
+
+#[test]
+fn truncated_answers_are_rejected_before_the_knowledge() {
+    // A source that always truncates (dropping a subtree, sometimes
+    // leaving its provenance dangling) must never get a partial answer
+    // past the session: either validation rejects it (sloppy truncation)
+    // or — for the locally undetectable consistent truncation — the
+    // answer grafts but the data tree stays a prefix of the source.
+    // Here we pin the sloppy case and check the knowledge is untouched.
+    let mut alpha = Alphabet::new();
+    let source_doc = doc(&mut alpha);
+    let q = query_all(&mut alpha);
+    let plan = FaultPlan {
+        truncate: 1.0,
+        ..FaultPlan::none()
+    };
+    let mut saw_rejection = false;
+    for seed in 0..16 {
+        let faulty = FaultySource::new(Source::new(source_doc.clone(), None), plan, seed);
+        let mut session = Session::open(alpha.clone(), faulty);
+        session.set_retry(RetryPolicy::none());
+        let before = session.data_tree();
+        match session.answer_with_mediation(&q) {
+            Err(WebhouseError::Source(SourceError::InvalidAnswer(v))) => {
+                assert!(
+                    matches!(
+                        v,
+                        ValidationError::DanglingProvenance(_)
+                            | ValidationError::MissingProvenance(_)
+                    ),
+                    "unexpected validation error: {v}"
+                );
+                saw_rejection = true;
+                // Nothing was grafted: the knowledge's data tree is
+                // exactly what it was.
+                match (before, session.data_tree()) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => assert!(a.same_tree(&b)),
+                    _ => panic!("knowledge changed across a rejected answer"),
+                }
+            }
+            Ok(_) => {
+                // Consistent truncation slipped through (locally
+                // undetectable by design); the knowledge still must be
+                // well-formed.
+                session.knowledge().well_formed().unwrap();
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(
+        saw_rejection,
+        "no seed in 0..16 produced a sloppy truncation — injector broken?"
+    );
+}
+
+#[test]
+fn degraded_answers_keep_the_prior_knowledge() {
+    // End-to-end: fetch a view, kill the source, ask something new via
+    // the resilient path — the degraded answer must be served from the
+    // *intact* pre-failure knowledge.
+    let mut alpha = Alphabet::new();
+    let source_doc = doc(&mut alpha);
+    let q = query_all(&mut alpha);
+    let q_b = {
+        let mut bld = PsQueryBuilder::new(&mut alpha, "root", Cond::True);
+        let root = bld.root();
+        let a = bld.child(root, "a", Cond::True).unwrap();
+        bld.child(a, "b", Cond::True).unwrap();
+        bld.build()
+    };
+    let faulty = FaultySource::new(Source::new(source_doc, None), FaultPlan::none(), 1);
+    let mut session = Session::open(alpha, faulty);
+    session.fetch(&q).unwrap();
+    let before = session.data_tree().expect("view pinned data nodes");
+    session.source_mut().set_plan(FaultPlan {
+        timeout: 1.0,
+        ..FaultPlan::none()
+    });
+    match session.answer_resilient(&q_b) {
+        LocalAnswer::Degraded { .. } => {}
+        other => panic!("expected degradation, got {other:?}"),
+    }
+    assert!(session.data_tree().unwrap().same_tree(&before));
+    assert_eq!(session.quarantines, 0);
+}

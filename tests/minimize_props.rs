@@ -25,7 +25,7 @@ fn minimization_preserves_membership() {
         let names: Vec<&str> = labels.iter().map(|&l| c.alpha.name(l)).collect();
         let mut cur = iixml_core::IncompleteTree::universal(&labels, &names);
         for q in &queries {
-            let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha);
+            let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha).unwrap();
             cur = intersect(&cur, &tqa).unwrap().trim();
         }
         let minimized = cur.minimize();
@@ -63,7 +63,7 @@ fn minimization_preserves_prefix_predicates() {
         let names: Vec<&str> = labels.iter().map(|&l| c.alpha.name(l)).collect();
         let mut cur = iixml_core::IncompleteTree::universal(&labels, &names);
         for q in [&q1, &q2] {
-            let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha);
+            let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha).unwrap();
             cur = intersect(&cur, &tqa).unwrap().trim();
         }
         let minimized = cur.minimize();

@@ -61,7 +61,7 @@ fn tqa_size_bound() {
         let sigma = c.alpha.len();
         for q in random_queries(&c.alpha, &c.ty, root, nq, 300, seed ^ 0x77) {
             let ans = q.eval(&c.doc);
-            let tqa = query_answer_tree(&q, &ans, &c.alpha);
+            let tqa = query_answer_tree(&q, &ans, &c.alpha).unwrap();
             let budget = 8 * (q.len() + ans.len() + 2) * sigma;
             assert!(
                 tqa.size() <= budget,
@@ -104,7 +104,7 @@ fn trim_is_stable_and_semantics_preserving() {
         let c = catalog(3, seed);
         let root = c.alpha.get("catalog").unwrap();
         let q = &random_queries(&c.alpha, &c.ty, root, 1, 300, seed)[0];
-        let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha);
+        let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha).unwrap();
         let t1 = tqa.trim();
         let t2 = t1.trim();
         assert_eq!(t1.ty().sym_count(), t2.ty().sym_count(), "trim idempotent");

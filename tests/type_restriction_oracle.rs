@@ -17,7 +17,7 @@ fn restriction_matches_intersection_semantics() {
         let root = c.alpha.get("catalog").unwrap();
         let queries = random_queries(&c.alpha, &c.ty, root, 1, 300, seed ^ 0xBEEF);
         let q = &queries[0];
-        let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha);
+        let tqa = query_answer_tree(q, &q.eval(&c.doc), &c.alpha).unwrap();
         let restricted = restrict_to_type(&tqa, &c.ty);
 
         let labels: Vec<_> = c.alpha.labels().collect();

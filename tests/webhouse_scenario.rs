@@ -37,6 +37,7 @@ fn progressive_refinement_increases_local_answering() {
                 }
             }
             LocalAnswer::Partial(_) => panic!("price sweep should subsume narrower sweeps"),
+            LocalAnswer::Degraded { .. } => panic!("answer_locally never degrades"),
         }
     }
     assert_eq!(
@@ -81,6 +82,7 @@ fn mediation_fetches_only_what_is_missing() {
             (a, b) => assert_eq!(a.is_none(), b.is_none()),
         },
         LocalAnswer::Partial(_) => panic!("mediation should complete the knowledge"),
+        LocalAnswer::Degraded { .. } => panic!("answer_locally never degrades"),
     }
 }
 
@@ -113,6 +115,7 @@ fn partial_answers_carry_sure_information() {
                 (a, b) => assert_eq!(a.is_none(), b.is_none()),
             }
         }
+        LocalAnswer::Degraded { .. } => panic!("answer_locally never degrades"),
     }
 }
 
