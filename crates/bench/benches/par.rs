@@ -1,0 +1,29 @@
+//! Thread-scaling benches for the parallel execution layer (PR 3).
+//!
+//! Runs the shared workloads of [`iixml_bench::parbench`] at 1/2/4/8
+//! worker threads and writes the machine-readable trajectory to
+//! `BENCH_pr3.json` at the repo root — the same emission path
+//! `cargo run -p iixml-bench --bin report -- --bench-pr3` uses, so both
+//! entry points produce identical reports.
+//!
+//! `cargo bench --bench par -- --quick` shrinks workloads and sample
+//! counts (the CI smoke configuration).
+
+use iixml_bench::parbench;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    iixml_obs::set_enabled(true);
+    let report = parbench::run(quick);
+    report.print_table();
+    match report.write_json() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_pr3.json: {e}"),
+    }
+    let snap = iixml_obs::snapshot();
+    println!(
+        "par.tasks = {}, par.steals = {}",
+        snap.counter("par.tasks").unwrap_or(0),
+        snap.counter("par.steals").unwrap_or(0),
+    );
+}

@@ -7,6 +7,7 @@
 //! the size/count tables.
 
 pub mod harness;
+pub mod parbench;
 
 use iixml_core::{ConjunctiveTree, IncompleteTree, Refiner};
 use iixml_gen::{

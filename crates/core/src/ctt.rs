@@ -23,6 +23,7 @@
 use iixml_tree::{Alphabet, DataTree, Label, Mult, Nid, NidGen};
 use iixml_values::IntervalSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A specialized symbol (an element of the specialized alphabet Σ′).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -134,11 +135,26 @@ impl Disjunction {
 }
 
 /// A conditional tree type `(Σ′, R, µ, cond, σ, Σ ∪ N)`.
+///
+/// Right-hand sides are stored behind `Arc` so structurally shared µ's
+/// (e.g. the `τ_a⋆ … τ_z⋆` anything-goes atom every `τ_a`/`τ̄_m` symbol
+/// of Lemma 3.2 points to) cost one allocation total instead of one per
+/// symbol — see [`ConditionalTreeType::set_mu_shared`]. Cloning a whole
+/// type (the Refiner does so per step) then bumps refcounts instead of
+/// deep-copying every atom list.
 #[derive(Clone, Debug, Default)]
 pub struct ConditionalTreeType {
     symbols: Vec<SymbolInfo>,
-    mu: Vec<Disjunction>,
+    mu: Vec<Arc<Disjunction>>,
     roots: Vec<Sym>,
+}
+
+/// The shared default right-hand side (unsatisfiable empty disjunction).
+fn unset_mu() -> Arc<Disjunction> {
+    static EMPTY: OnceLock<Arc<Disjunction>> = OnceLock::new();
+    EMPTY
+        .get_or_init(|| Arc::new(Disjunction::default()))
+        .clone()
 }
 
 impl ConditionalTreeType {
@@ -163,13 +179,26 @@ impl ConditionalTreeType {
             target,
             cond,
         });
-        self.mu.push(Disjunction::default());
+        self.mu.push(unset_mu());
         s
     }
 
     /// Sets the right-hand side of a symbol.
     pub fn set_mu(&mut self, s: Sym, d: Disjunction) {
+        self.mu[s.ix()] = Arc::new(d);
+    }
+
+    /// Sets the right-hand side of a symbol to an already-shared
+    /// disjunction (hash-consing hook: many symbols pointing to the same
+    /// µ share one allocation).
+    pub fn set_mu_shared(&mut self, s: Sym, d: Arc<Disjunction>) {
         self.mu[s.ix()] = d;
+    }
+
+    /// The right-hand side of a symbol as a shareable handle (clone is a
+    /// refcount bump).
+    pub fn mu_shared(&self, s: Sym) -> Arc<Disjunction> {
+        self.mu[s.ix()].clone()
     }
 
     /// Declares a root symbol.

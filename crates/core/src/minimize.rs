@@ -25,12 +25,19 @@ use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
 use crate::itree::IncompleteTree;
 use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_tree::Mult;
+use iixml_values::IntervalSet;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Wall time of each `minimize()` call.
 static OBS_MINIMIZE_NS: LazyHistogram = LazyHistogram::new("core.minimize.call_ns");
 /// Symbols eliminated by bisimulation merging, across all calls.
 static OBS_MERGED: LazyCounter = LazyCounter::new("core.minimize.symbols_merged");
+/// Distinct partition signatures interned across all refinement rounds.
+static OBS_INTERNED: LazyCounter = LazyCounter::new("core.minimize.interned_sigs");
+
+/// Minimum symbols per worker before a partition-refinement round
+/// spreads signature computation over threads.
+const SIG_GRAIN: usize = 64;
 
 fn bounds(m: Mult) -> (u8, bool) {
     // (lower bound, unbounded?)
@@ -110,32 +117,45 @@ impl IncompleteTree {
         let ty = self.ty();
         let n = ty.sym_count();
         // Initial blocks: by (target, cond), frozen symbols isolated.
+        // The key is the structured (SymTarget, IntervalSet) pair hashed
+        // directly — the old keying rendered both to `format!`-allocated
+        // Strings per symbol per call, which showed up as the top
+        // allocation site in minimize (see BENCH_pr3.json,
+        // `sig_interning`). Frozen symbols never share, so they take a
+        // fresh block without touching the map; block numbering is
+        // first-encounter order either way.
         let mut block_of: Vec<usize> = vec![0; n];
         {
-            let mut key_to_block: HashMap<String, usize> = HashMap::new();
+            let mut key_to_block: HashMap<(SymTarget, &IntervalSet), usize> = HashMap::new();
+            let mut next = 0usize;
             for s in ty.syms() {
                 let info = ty.info(s);
-                let key = if frozen.contains(&s) {
-                    format!("frozen:{}", s.ix())
+                let b = if frozen.contains(&s) {
+                    let b = next;
+                    next += 1;
+                    b
                 } else {
-                    let target = match info.target {
-                        SymTarget::Lab(l) => format!("L{}", l.0),
-                        SymTarget::Node(nd) => format!("N{}", nd.0),
-                    };
-                    format!("{target}|{}", info.cond)
+                    *key_to_block
+                        .entry((info.target, &info.cond))
+                        .or_insert_with(|| {
+                            let b = next;
+                            next += 1;
+                            b
+                        })
                 };
-                let next = key_to_block.len();
-                let b = *key_to_block.entry(key).or_insert(next);
                 block_of[s.ix()] = b;
             }
         }
         // Refine until stable.
         // Signature: (current block, canonical atom list over blocks).
         type Signature = (usize, Vec<Vec<(usize, Mult)>>);
+        let syms: Vec<Sym> = ty.syms().collect();
         loop {
-            let mut sig_to_block: HashMap<Signature, usize> = HashMap::new();
-            let mut next_block: Vec<usize> = vec![0; n];
-            for s in ty.syms() {
+            // A symbol's signature is a pure function of its µ and the
+            // previous round's partition, so each round fans out across
+            // symbols. Interning stays sequential (in symbol order), so
+            // block numbering is identical to the width-1 run.
+            let sigs: Vec<Signature> = iixml_par::par_map_ref(&syms, SIG_GRAIN, |&s| {
                 let mut atoms: Vec<Vec<(usize, Mult)>> = ty
                     .mu(s)
                     .atoms()
@@ -152,11 +172,16 @@ impl IncompleteTree {
                     .collect();
                 atoms.sort();
                 atoms.dedup();
-                let key = (block_of[s.ix()], atoms);
+                (block_of[s.ix()], atoms)
+            });
+            let mut sig_to_block: HashMap<Signature, usize> = HashMap::with_capacity(n);
+            let mut next_block: Vec<usize> = vec![0; n];
+            for (s, key) in syms.iter().zip(sigs) {
                 let fresh = sig_to_block.len();
                 let b = *sig_to_block.entry(key).or_insert(fresh);
                 next_block[s.ix()] = b;
             }
+            OBS_INTERNED.add(sig_to_block.len() as u64);
             if next_block == block_of {
                 return block_of;
             }

@@ -30,6 +30,11 @@ use iixml_query::{Answer, MatchKind, PsQuery, QNodeRef};
 use iixml_tree::{Alphabet, DataTree, Label, Mult, Nid};
 use iixml_values::IntervalSet;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Minimum symbol pairs per worker before `intersect` spreads the ⋊⋉
+/// product over threads (below this, spawn overhead dominates).
+const INTERSECT_GRAIN: usize = 16;
 
 /// Refinement steps performed (all chains).
 static OBS_STEPS: LazyCounter = LazyCounter::new("core.refine.steps");
@@ -81,8 +86,13 @@ pub fn query_answer_tree(
         })
         .collect();
     let all_star = SAtom::new(labels.iter().map(|&l| (any[&l], Mult::Star)).collect());
+    // One shared µ for every τ_a, τ̄_m, and unexplored answer node: the
+    // anything-goes atom is O(|Σ|) large and referenced O(|Σ| + |q| + |A|)
+    // times, so sharing it turns a quadratic allocation site into a
+    // constant one.
+    let all_star_mu = Arc::new(Disjunction::single(all_star.clone()));
     for &l in &labels {
-        ty.set_mu(any[&l], Disjunction::single(all_star.clone()));
+        ty.set_mu_shared(any[&l], all_star_mu.clone());
     }
 
     // τ̄_m and τ̂_m for every query node m.
@@ -95,7 +105,7 @@ pub fn query_answer_tree(
             SymTarget::Lab(q.label(m)),
             q.cond_set(m).complement(),
         );
-        ty.set_mu(b, Disjunction::single(all_star.clone()));
+        ty.set_mu_shared(b, all_star_mu.clone());
         bar.insert(m, b);
         if !q.children(m).is_empty() {
             let h = ty.add_symbol(
@@ -166,13 +176,15 @@ pub fn query_answer_tree(
                 // The whole subtree was extracted (the node descends
                 // from a barred match, or is itself a barred match):
                 // children are exactly those present in A.
-                MatchKind::BarDescendant(_) => Disjunction::single(SAtom::new(kid_entries)),
+                MatchKind::BarDescendant(_) => {
+                    Arc::new(Disjunction::single(SAtom::new(kid_entries)))
+                }
                 MatchKind::Matched(m) if q.barred(m) => {
-                    Disjunction::single(SAtom::new(kid_entries))
+                    Arc::new(Disjunction::single(SAtom::new(kid_entries)))
                 }
                 MatchKind::Matched(m) if q.children(m).is_empty() => {
                     // The query did not explore below this node.
-                    Disjunction::single(all_star.clone())
+                    all_star_mu.clone()
                 }
                 MatchKind::Matched(m) => {
                     let mut entries = kid_entries;
@@ -189,10 +201,10 @@ pub fn query_answer_tree(
                             entries.push((any[&l], Mult::Star));
                         }
                     }
-                    Disjunction::single(SAtom::new(entries))
+                    Arc::new(Disjunction::single(SAtom::new(entries)))
                 }
             };
-            ty.set_mu(s, mu);
+            ty.set_mu_shared(s, mu);
         }
         ty.add_root(node_sym[&a.nid(a.root())]);
     } else {
@@ -243,9 +255,17 @@ fn mult_from(mandatory: bool, bounded: bool) -> Mult {
 /// a shared data node's label or value (in which case the intersection is
 /// empty anyway — the paper assumes compatibility).
 pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteTree, ItreeError> {
-    // Union the data nodes, checking compatibility.
-    let mut nodes = t1.nodes().clone();
-    for (&n, &info) in t2.nodes() {
+    // Union the data nodes, checking compatibility. Clone the larger
+    // side and fold the smaller one in, so the refinement loop (which
+    // intersects a shrinking tree with a fresh product each round) never
+    // rehashes the big map.
+    let (base, other) = if t1.nodes().len() >= t2.nodes().len() {
+        (t1, t2)
+    } else {
+        (t2, t1)
+    };
+    let mut nodes = base.nodes().clone();
+    for (&n, &info) in other.nodes() {
         match nodes.get(&n) {
             Some(&prev) if prev != info => return Err(ItreeError::IncompatibleNode(n)),
             _ => {
@@ -300,9 +320,15 @@ pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteT
     }
 
     // µ of each pair: union over disjunct pairs of the joined atoms.
-    let keys: Vec<(Sym, Sym)> = pair_of.keys().copied().collect();
-    for (s1, s2) in keys {
-        let p = pair_of[&(s1, s2)];
+    // Each pair's µ depends only on the (frozen) input types and the
+    // complete `pair_of` table, so the ⋊⋉ expansion — the hot inner loop
+    // of Algorithm Refine — parallelizes per pair. Keys are sorted so
+    // the task list (and thus scheduling metrics) is deterministic; the
+    // results are order-preserving by construction.
+    let mut keys: Vec<(Sym, Sym)> = Vec::with_capacity(pair_of.len());
+    keys.extend(pair_of.keys().copied());
+    keys.sort_unstable();
+    let mus: Vec<Disjunction> = iixml_par::par_map_ref(&keys, INTERSECT_GRAIN, |&(s1, s2)| {
         let mut atoms: Vec<SAtom> = Vec::new();
         for a1 in ty1.mu(s1).atoms() {
             for a2 in ty2.mu(s2).atoms() {
@@ -311,7 +337,10 @@ pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteT
         }
         atoms.sort_by(|x, y| x.entries().iter().cmp(y.entries().iter()));
         atoms.dedup();
-        ty.set_mu(p, Disjunction(atoms));
+        Disjunction(atoms)
+    });
+    for (&(s1, s2), mu) in keys.iter().zip(mus) {
+        ty.set_mu(pair_of[&(s1, s2)], mu);
     }
 
     IncompleteTree::new(nodes, ty)

@@ -109,16 +109,23 @@ impl Completion {
 
         let _span = OBS_EXECUTE_NS.time();
         OBS_LOCAL_QUERIES.add(self.queries.len() as u64);
+        // Evaluations are independent reads of the source (the queries
+        // of a completion are non-redundant, each asking for a distinct
+        // missing piece), so they fan out one task per query. Grafting
+        // stays sequential in generation order: grafts are root-to-leaf
+        // dependent, and sequential application keeps the result (and
+        // the first error surfaced) identical at any thread count.
+        let answers = iixml_par::par_map_ref(&self.queries, 1, |lq| match lq.at {
+            None => Ok(lq.query.eval(source)),
+            Some(n) => lq
+                .query
+                .eval_at(source, n)
+                .ok_or(CompletionError::MissingAnchor(n)),
+        });
         let mut shipped = 0;
         let mut scratch = known.clone();
-        for lq in &self.queries {
-            let answer = match lq.at {
-                None => lq.query.eval(source),
-                Some(n) => lq
-                    .query
-                    .eval_at(source, n)
-                    .ok_or(CompletionError::MissingAnchor(n))?,
-            };
+        for answer in answers {
+            let answer = answer?;
             shipped += answer.len();
             if let Some(t) = answer.tree {
                 scratch

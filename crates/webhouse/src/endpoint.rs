@@ -366,6 +366,67 @@ impl SourceEndpoint for FaultySource {
     }
 }
 
+/// An endpoint wrapper that adds a fixed wall-clock latency to every
+/// query — a stand-in for the network round-trip to a real web source.
+///
+/// The latency is pure waiting (a sleep, no CPU), which is exactly the
+/// regime the webhouse fan-out parallelizes: N sources × latency L
+/// collapses from `N·L` sequential to `≈L` when sessions run
+/// concurrently. Answers, fault streams, and accounting are untouched —
+/// a `LatentSource` is semantically transparent.
+#[derive(Clone, Debug)]
+pub struct LatentSource<E: SourceEndpoint = Source> {
+    inner: E,
+    latency: std::time::Duration,
+}
+
+impl<E: SourceEndpoint> LatentSource<E> {
+    /// Wraps an endpoint with a per-query latency.
+    pub fn new(inner: E, latency: std::time::Duration) -> LatentSource<E> {
+        LatentSource { inner, latency }
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The wrapped endpoint, mutably.
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
+    fn wait(&self) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+}
+
+impl<E: SourceEndpoint> SourceEndpoint for LatentSource<E> {
+    fn declared_type(&self) -> Option<&TreeType> {
+        self.inner.declared_type()
+    }
+
+    fn ask(&mut self, q: &PsQuery) -> Result<Answer, SourceError> {
+        self.wait();
+        self.inner.ask(q)
+    }
+
+    fn ask_at(&mut self, q: &PsQuery, at: Nid) -> Result<Answer, SourceError> {
+        self.wait();
+        self.inner.ask_at(q, at)
+    }
+
+    fn queries_served(&self) -> usize {
+        self.inner.queries_served()
+    }
+
+    fn nodes_shipped(&self) -> usize {
+        self.inner.nodes_shipped()
+    }
+}
+
 /// Copies `t` without the subtree rooted at `victim`; returns the copy
 /// and the dropped node ids.
 fn drop_subtree(t: &DataTree, victim: NodeRef) -> (DataTree, Vec<Nid>) {

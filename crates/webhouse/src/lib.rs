@@ -48,7 +48,7 @@ pub mod error;
 pub mod retry;
 pub mod validate;
 
-pub use endpoint::{FaultCounts, FaultPlan, FaultySource, Source, SourceEndpoint};
+pub use endpoint::{FaultCounts, FaultPlan, FaultySource, LatentSource, Source, SourceEndpoint};
 pub use error::{SourceError, ValidationError, WebhouseError};
 pub use retry::RetryPolicy;
 
@@ -553,6 +553,24 @@ impl<E: SourceEndpoint> Webhouse<E> {
     /// Iterates over (name, session).
     pub fn sessions(&self) -> impl Iterator<Item = (&String, &Session<E>)> {
         self.sessions.iter()
+    }
+
+    /// Answers `q` on every registered session, one task per source, so
+    /// latency-bound sources overlap instead of queueing (the
+    /// multi-source completion of Section 1 run concurrently). Results
+    /// come back in session-name order regardless of thread count, and
+    /// each session keeps its own retry budget, backoff jitter stream,
+    /// and fault seed — a fan-out at any width replays byte-for-byte
+    /// from the same seeds.
+    pub fn fan_out(&mut self, q: &PsQuery) -> Vec<(String, LocalAnswer)>
+    where
+        E: Send,
+    {
+        let mut items: Vec<(&String, &mut Session<E>)> = self.sessions.iter_mut().collect();
+        items.sort_by(|a, b| a.0.cmp(b.0));
+        iixml_par::par_map(items, 1, |(name, session)| {
+            (name.clone(), session.answer_resilient(q))
+        })
     }
 }
 

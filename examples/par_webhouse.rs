@@ -1,0 +1,71 @@
+//! The webhouse fan-out of Section 1, run concurrently: one catalog
+//! query fanned out over 16 latency-simulating sources, sequentially
+//! (worker width 1) and in parallel, printing the wall-time difference
+//! and the `par.*` metrics snapshot.
+//!
+//! The speedup here comes from overlapping the simulated network
+//! latency, not from CPU cores — it reproduces on a single-core host.
+//!
+//! Run with: `cargo run --release --example par_webhouse`
+
+use iixml_gen::{catalog, catalog_query_price_below};
+use iixml_webhouse::{LatentSource, Source, Webhouse};
+use std::time::{Duration, Instant};
+
+const SOURCES: usize = 16;
+const LATENCY: Duration = Duration::from_millis(5);
+
+fn build() -> (Webhouse<LatentSource<Source>>, iixml_query::PsQuery) {
+    let mut cat = catalog(8, 42);
+    let q = catalog_query_price_below(&mut cat.alpha, 250);
+    let mut wh = Webhouse::new();
+    for i in 0..SOURCES {
+        wh.register(
+            format!("src{i:02}"),
+            cat.alpha.clone(),
+            LatentSource::new(Source::new(cat.doc.clone(), Some(cat.ty.clone())), LATENCY),
+        );
+    }
+    (wh, q)
+}
+
+fn timed_fanout(width: usize) -> (Duration, usize) {
+    iixml_par::set_threads(Some(width));
+    let (mut wh, q) = build();
+    let t0 = Instant::now();
+    let outcomes = wh.fan_out(&q);
+    let elapsed = t0.elapsed();
+    iixml_par::set_threads(None);
+    assert!(outcomes.iter().all(|(_, a)| a.is_complete()));
+    (elapsed, outcomes.len())
+}
+
+fn main() {
+    iixml_obs::set_enabled(true);
+    println!(
+        "fan-out: {SOURCES} sources, {LATENCY:?} simulated latency per query, \
+         host has {} hardware thread(s)\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let (seq, n) = timed_fanout(1);
+    println!("sequential (width 1): {n} sources answered in {seq:?}");
+    for width in [2, 4, 8] {
+        let (par, _) = timed_fanout(width);
+        println!(
+            "parallel  (width {width}): answered in {par:?}  ({:.2}x)",
+            seq.as_secs_f64() / par.as_secs_f64()
+        );
+    }
+
+    let snap = iixml_obs::snapshot();
+    println!("\npar.* metrics snapshot:");
+    println!("  par.tasks  = {}", snap.counter("par.tasks").unwrap_or(0));
+    println!("  par.steals = {}", snap.counter("par.steals").unwrap_or(0));
+    if let Some(h) = snap.histogram("par.threads") {
+        println!(
+            "  par.threads: {} invocations, widths {}..{}",
+            h.count, h.min, h.max
+        );
+    }
+}

@@ -151,6 +151,33 @@ fn faulty_sources_never_break_the_loop() {
 }
 
 #[test]
+fn chaos_storm_is_thread_count_invariant() {
+    // The full 2000-query storm (8 sessions x 250 steps), replayed at
+    // worker widths 1 and 4: the parallel execution layer must not
+    // change a single decision anywhere in the loop — outcome counts
+    // summarize the entire per-step trajectory (every retry, backoff,
+    // quarantine, and refine result), so equal counts per session mean
+    // the decision sequences matched.
+    let base = testkit::base_seed();
+    let run_all = |width: usize| -> Vec<(usize, usize, usize, usize)> {
+        iixml_par::set_threads(Some(width));
+        let out = (0..SESSIONS)
+            .map(|i| {
+                let o = storm(DetRng::new(base).fork(i).next_u64());
+                (o.complete, o.degraded, o.quarantines, o.faults)
+            })
+            .collect();
+        iixml_par::set_threads(None);
+        out
+    };
+    assert_eq!(
+        run_all(1),
+        run_all(4),
+        "storm trajectories diverged between worker widths"
+    );
+}
+
+#[test]
 fn chaos_runs_replay_deterministically() {
     // Same seed, same storm: outcome counts (and therefore the entire
     // decision sequence they summarize) must match exactly.
