@@ -1,0 +1,30 @@
+//! Durability benches for the session journal (PR 4).
+//!
+//! Runs the shared workloads of [`iixml_bench::storebench`] — append
+//! throughput, snapshot cost, recovery time vs chain length — and
+//! writes the machine-readable trajectory to `BENCH_pr4.json` at the
+//! repo root, the same emission path
+//! `cargo run -p iixml-bench --bin report -- --bench-pr4` uses.
+//!
+//! `cargo bench --bench store -- --quick` shrinks workloads and sample
+//! counts (the CI smoke configuration).
+
+use iixml_bench::storebench;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    iixml_obs::set_enabled(true);
+    let report = storebench::run(quick);
+    report.print_table();
+    match report.write_json() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_pr4.json: {e}"),
+    }
+    let snap = iixml_obs::snapshot();
+    println!(
+        "store.appends = {}, store.fsyncs = {}, store.replayed = {}",
+        snap.counter("store.appends").unwrap_or(0),
+        snap.counter("store.fsyncs").unwrap_or(0),
+        snap.counter("store.replayed").unwrap_or(0),
+    );
+}

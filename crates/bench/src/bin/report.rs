@@ -10,7 +10,9 @@
 //! snapshot (counters and histograms accumulated while the report ran);
 //! `--bench-pr3` runs the thread-scaling workloads of
 //! [`iixml_bench::parbench`] and writes `BENCH_pr3.json` at the repo
-//! root (add `--quick` for the CI smoke configuration).
+//! root; `--bench-pr4` runs the durability workloads of
+//! [`iixml_bench::storebench`] and writes `BENCH_pr4.json` (add
+//! `--quick` to either for the CI smoke configuration).
 
 use iixml_bench::{
     auxiliary_chain_size, conjunctive_blowup_sizes, linear_chain_sizes, refine_blowup_sizes,
@@ -102,6 +104,29 @@ fn main() {
         println!("fanout speedup at 4 threads: {s4:.2}x");
         if s4 < 1.5 {
             eprintln!("FAIL: 4-thread fan-out speedup {s4:.2}x < 1.5x");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--bench-pr4") {
+        let quick = std::env::args().any(|a| a == "--quick");
+        iixml_obs::set_enabled(true);
+        let report = iixml_bench::storebench::run(quick);
+        report.print_table();
+        match report.write_json() {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_pr4.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        // The CI smoke gate: every recovery in the sweep must have been
+        // clean and whole (asserted inside run()); the cadence must not
+        // make long-chain recovery slower than plain replay.
+        let ratio = report.snapshot_recovery_ratio();
+        println!("snapshot-cadence recovery ratio: {ratio:.2}x");
+        if ratio < 0.8 {
+            eprintln!("FAIL: snapshot cadence slowed long-chain recovery to {ratio:.2}x");
             std::process::exit(1);
         }
         return;

@@ -71,7 +71,7 @@ pub struct ParReport {
     pub sig_interned_ns: f64,
 }
 
-fn median(mut v: Vec<f64>) -> f64 {
+pub(crate) fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(f64::total_cmp);
     if v.len() % 2 == 1 {
         v[v.len() / 2]
@@ -80,7 +80,7 @@ fn median(mut v: Vec<f64>) -> f64 {
     }
 }
 
-fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+pub(crate) fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     f(); // warm-up, not recorded
     let runs: Vec<f64> = (0..samples.max(2))
         .map(|_| {

@@ -1,0 +1,338 @@
+//! Durability workloads and the `BENCH_pr4.json` emitter.
+//!
+//! Three cost families of the durable session journal (`iixml-store`):
+//!
+//! * `append` — the per-record cost of a durable Refine append
+//!   (encode + CRC + write + fsync), on a realistic catalog session;
+//! * `snapshot` — the cost and size of one checksummed atomic snapshot
+//!   as the knowledge grows with the catalog;
+//! * `recovery` — wall time of `recover` as the chain grows, with and
+//!   without a snapshot cadence — the cadence is exactly the knob that
+//!   turns O(chain) replay into snapshot + short tail.
+//!
+//! Both `cargo bench --bench store` and
+//! `cargo run -p iixml-bench --bin report -- --bench-pr4` run these
+//! through the same code and write the same JSON to the repo root.
+//! `--quick` shrinks workloads and sample counts for CI smoke runs.
+
+use crate::parbench::median_ns;
+use iixml_core::Refiner;
+use iixml_obs::json::Json;
+use iixml_query::{Answer, PsQuery};
+use iixml_store::{recover, RecoveryMode, RecoveryStatus, SessionJournal};
+use iixml_tree::Alphabet;
+use std::path::PathBuf;
+
+/// One snapshot-cost row: knowledge scaled by catalog size.
+pub struct SnapshotCost {
+    /// Products in the catalog behind the knowledge.
+    pub products: usize,
+    /// Knowledge size (nodes + symbols) being snapshotted.
+    pub knowledge_size: usize,
+    /// On-disk snapshot file size in bytes.
+    pub bytes: u64,
+    /// Median ns for one `snapshot_now` (write + rename + ref record).
+    pub median_ns: f64,
+}
+
+/// One recovery-cost row: a chain of `chain` records recovered whole.
+pub struct RecoveryCost {
+    /// Records in the journal (open + refines + snapshot refs).
+    pub chain: usize,
+    /// Snapshot cadence the journal was written with (0 = none).
+    pub snapshot_every: u64,
+    /// Median ns for a full `recover(dir, Degrade)`.
+    pub median_ns: f64,
+    /// Records the final recovery replayed (sanity: must be the chain).
+    pub replayed: usize,
+    /// Whether the final recovery started from a snapshot.
+    pub from_snapshot: bool,
+}
+
+/// The full PR 4 durability report.
+pub struct StoreReport {
+    /// Whether this was a `--quick` (CI smoke) run.
+    pub quick: bool,
+    /// Refine appends in one timed batch.
+    pub append_records: usize,
+    /// Median ns per durable refine append (includes the fsync).
+    pub append_ns: f64,
+    /// Snapshot cost vs knowledge size.
+    pub snapshots: Vec<SnapshotCost>,
+    /// Recovery time vs chain length × snapshot cadence.
+    pub recoveries: Vec<RecoveryCost>,
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iixml-storebench-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A catalog fixture whose query pool is generated *before* the journal
+/// opens, so the frozen alphabet can spell every record.
+struct Fixture {
+    alpha: Alphabet,
+    initial: iixml_core::IncompleteTree,
+    steps: Vec<(PsQuery, Answer)>,
+}
+
+fn fixture(products: usize, steps: usize) -> Fixture {
+    let mut cat = iixml_gen::catalog(products, 0xBE7C);
+    let bounds = [150i64, 200, 250, 300, 400, 500];
+    let mut queries: Vec<PsQuery> = bounds
+        .iter()
+        .map(|&b| iixml_gen::catalog_query_price_below(&mut cat.alpha, b))
+        .collect();
+    queries.push(iixml_gen::catalog_query_camera_pictures(&mut cat.alpha));
+    let alpha = cat.alpha.clone();
+    let initial = Refiner::new(&alpha).current().clone();
+    let steps = queries
+        .iter()
+        .cycle()
+        .take(steps)
+        .map(|q| (q.clone(), q.eval(&cat.doc)))
+        .collect();
+    Fixture {
+        alpha,
+        initial,
+        steps,
+    }
+}
+
+/// Writes a journal of `open + steps.len()` refine records (plus the
+/// cadence's snapshot refs) into a fresh directory; the refines go
+/// through the real Refiner so the logged chain is a real session.
+fn write_chain(fx: &Fixture, dir: &std::path::Path, every: Option<u64>) -> usize {
+    let mut journal = SessionJournal::create(dir).unwrap();
+    journal.set_snapshot_every(every);
+    let mut refiner = Refiner::new(&fx.alpha);
+    journal.log_open(&fx.alpha, &fx.initial).unwrap();
+    for (q, ans) in &fx.steps {
+        refiner.refine(&fx.alpha, q, ans).unwrap();
+        journal.log_refine(&fx.alpha, q, ans).unwrap();
+        journal
+            .maybe_snapshot(&fx.alpha, refiner.current())
+            .unwrap();
+    }
+    journal.seq() as usize
+}
+
+/// Runs every group; `quick` shrinks workloads and sample counts.
+pub fn run(quick: bool) -> StoreReport {
+    let samples = if quick { 3 } else { 7 };
+
+    // -- append: per-record durable cost over a timed batch ------------
+    let append_records = if quick { 16 } else { 64 };
+    let fx = fixture(4, append_records);
+    let dir = scratch("append");
+    // The whole closure is timed; the fresh-dir setup (one mkdir, one
+    // segment create, one open record) amortizes over the batch.
+    let append_ns = median_ns(samples, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut journal = SessionJournal::create(&dir).unwrap();
+        journal.log_open(&fx.alpha, &fx.initial).unwrap();
+        for (q, ans) in &fx.steps {
+            journal.log_refine(&fx.alpha, q, ans).unwrap();
+        }
+    }) / append_records as f64;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- snapshot: cost and bytes vs knowledge size --------------------
+    let product_sizes: &[usize] = if quick { &[2, 8] } else { &[2, 8, 32] };
+    let mut snapshots = Vec::new();
+    for &products in product_sizes {
+        let fx = fixture(products, 1);
+        let dir = scratch(&format!("snap{products}"));
+        let mut journal = SessionJournal::create(&dir).unwrap();
+        journal.log_open(&fx.alpha, &fx.initial).unwrap();
+        let mut refiner = Refiner::new(&fx.alpha);
+        let (q, ans) = &fx.steps[0];
+        refiner.refine(&fx.alpha, q, ans).unwrap();
+        journal.log_refine(&fx.alpha, q, ans).unwrap();
+        let knowledge = refiner.current().clone();
+        let median_ns = median_ns(samples, || {
+            journal.snapshot_now(&fx.alpha, &knowledge).unwrap();
+        });
+        let bytes = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let p = e.unwrap().path();
+                (p.extension().is_some_and(|x| x == "snap")).then(|| p.metadata().unwrap().len())
+            })
+            .max()
+            .unwrap_or(0);
+        snapshots.push(SnapshotCost {
+            products,
+            knowledge_size: knowledge.size(),
+            bytes,
+            median_ns,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- recovery: wall time vs chain length × cadence -----------------
+    let chains: &[usize] = if quick { &[8, 32] } else { &[8, 32, 128] };
+    let mut recoveries = Vec::new();
+    for &chain in chains {
+        for every in [None, Some(16u64)] {
+            let fx = fixture(3, chain);
+            let dir = scratch(&format!("rec{chain}-{}", every.unwrap_or(0)));
+            let total = write_chain(&fx, &dir, every);
+            let median_ns = median_ns(samples, || {
+                let rec = recover(&dir, RecoveryMode::Degrade).unwrap();
+                assert_eq!(rec.status, RecoveryStatus::Clean);
+                assert_eq!(rec.replayed, total);
+            });
+            let rec = recover(&dir, RecoveryMode::Degrade).unwrap();
+            recoveries.push(RecoveryCost {
+                chain: total,
+                snapshot_every: every.unwrap_or(0),
+                median_ns,
+                replayed: rec.replayed,
+                from_snapshot: rec.from_snapshot.is_some(),
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    StoreReport {
+        quick,
+        append_records,
+        append_ns,
+        snapshots,
+        recoveries,
+    }
+}
+
+impl StoreReport {
+    /// Appends per second implied by the median per-append cost.
+    pub fn appends_per_sec(&self) -> f64 {
+        1e9 / self.append_ns.max(1.0)
+    }
+
+    /// The recovery speedup the snapshot cadence buys at the longest
+    /// chain (the CI gate reads this: it must not be a slowdown).
+    pub fn snapshot_recovery_ratio(&self) -> f64 {
+        let longest = self.recoveries.iter().map(|r| r.chain).max().unwrap_or(0);
+        let at = |every_nonzero: bool| {
+            self.recoveries
+                .iter()
+                .filter(|r| r.chain >= longest.saturating_sub(8))
+                .find(|r| (r.snapshot_every > 0) == every_nonzero)
+                .map(|r| r.median_ns)
+        };
+        match (at(false), at(true)) {
+            (Some(plain), Some(snap)) => plain / snap.max(1.0),
+            _ => 0.0,
+        }
+    }
+
+    /// The machine-readable form committed as `BENCH_pr4.json`.
+    pub fn to_json(&self) -> Json {
+        let snapshots: Vec<Json> = self
+            .snapshots
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .set("products", s.products)
+                    .set("knowledge_size", s.knowledge_size)
+                    .set("bytes", s.bytes)
+                    .set("median_ns", s.median_ns)
+            })
+            .collect();
+        let recoveries: Vec<Json> = self
+            .recoveries
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .set("chain", r.chain)
+                    .set("snapshot_every", r.snapshot_every)
+                    .set("median_ns", r.median_ns)
+                    .set("replayed", r.replayed)
+                    .set("from_snapshot", r.from_snapshot)
+            })
+            .collect();
+        Json::obj()
+            .set("pr", 4u64)
+            .set("quick", self.quick)
+            .set(
+                "append",
+                Json::obj()
+                    .set("records", self.append_records)
+                    .set("median_ns_per_append", self.append_ns)
+                    .set("appends_per_sec", self.appends_per_sec()),
+            )
+            .set("snapshots", snapshots)
+            .set("recoveries", recoveries)
+            .set("snapshot_recovery_ratio", self.snapshot_recovery_ratio())
+    }
+
+    /// Prints the human-readable table.
+    pub fn print_table(&self) {
+        println!(
+            "store durability ({} samples median)",
+            if self.quick { "quick" } else { "full" }
+        );
+        println!(
+            "\nappend — {} refine records per batch\n  {:>10} per durable append ({:.0} appends/s, fsync included)",
+            self.append_records,
+            crate::harness::fmt_ns(self.append_ns),
+            self.appends_per_sec()
+        );
+        println!("\nsnapshot — cost vs knowledge size");
+        for s in &self.snapshots {
+            println!(
+                "  {:>3} products  knowledge {:>5}  {:>7} B  {:>10}",
+                s.products,
+                s.knowledge_size,
+                s.bytes,
+                crate::harness::fmt_ns(s.median_ns)
+            );
+        }
+        println!("\nrecovery — wall time vs chain length × snapshot cadence");
+        for r in &self.recoveries {
+            println!(
+                "  chain {:>3}  every {:>2}  {:>10}  replayed {:>3}  from_snapshot {}",
+                r.chain,
+                r.snapshot_every,
+                crate::harness::fmt_ns(r.median_ns),
+                r.replayed,
+                r.from_snapshot
+            );
+        }
+        println!(
+            "\nsnapshot cadence recovery ratio at the longest chain: {:.2}x",
+            self.snapshot_recovery_ratio()
+        );
+    }
+
+    /// Writes `BENCH_pr4.json` at the repo root; returns the path.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()?
+            .join("BENCH_pr4.json");
+        std::fs::write(&path, self.to_json().render_pretty() + "\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_writer_produces_recoverable_journals() {
+        let fx = fixture(2, 5);
+        let dir = scratch("test-chain");
+        let total = write_chain(&fx, &dir, Some(2));
+        let rec = recover(&dir, RecoveryMode::Degrade).unwrap();
+        assert_eq!(rec.status, RecoveryStatus::Clean);
+        assert_eq!(rec.replayed, total);
+        assert!(rec.from_snapshot.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -247,8 +247,14 @@ impl<'a> Mediator<'a> {
             });
         }
         // Children answerable only through instantiated nodes: recurse
-        // into each data child whose type possibly matches.
-        let at_ref = td.by_nid(at).expect("anchor is a data node");
+        // into each data child whose type possibly matches. An anchor
+        // absent from the data tree (caller passed knowledge that has
+        // drifted from `td`) simply has no data children to descend
+        // into; the executor reports `MissingAnchor` when the local
+        // query above runs, so nothing is silently lost here.
+        let Some(at_ref) = td.by_nid(at) else {
+            return;
+        };
         for &mi in kids {
             if c_set.contains(&mi) {
                 continue;
@@ -375,9 +381,13 @@ pub fn relax_label(it: &IncompleteTree, label: Label) -> IncompleteTree {
         out.set_mu(remap[&s], Disjunction(atoms));
     }
     out.set_roots(ty.roots().iter().map(|r| remap[r]).collect());
-    IncompleteTree::new(it.nodes().clone(), out)
-        .expect("nodes unchanged")
-        .trim()
+    // Relaxation is a lossy heuristic to begin with: if the rebuilt
+    // type/node pair is somehow rejected, returning the tree unrelaxed
+    // is always sound (the caller just gets no size reduction).
+    match IncompleteTree::new(it.nodes().clone(), out) {
+        Ok(relaxed) => relaxed.trim(),
+        Err(_) => it.clone(),
+    }
 }
 
 /// Repeatedly relaxes the label with the most specializations until the

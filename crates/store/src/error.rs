@@ -1,0 +1,122 @@
+//! Typed errors for the durability layer.
+//!
+//! Everything that can go wrong between the session loop and the disk
+//! gets a name, so recovery policy (retry, truncate, degrade to a
+//! snapshot, quarantine) can react per cause — the same discipline the
+//! fault model applies to unreliable *sources*.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A failure in the journal/snapshot layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// `std::io::Error` rendered (the kind survives in the text).
+        message: String,
+    },
+    /// The directory holds no journal (no `Open` record / no segments).
+    Missing {
+        /// The directory that was probed.
+        dir: PathBuf,
+    },
+    /// A segment header or snapshot header carries a format version this
+    /// build does not speak (see CONTRIBUTING.md's versioning policy).
+    VersionMismatch {
+        /// The version byte found on disk.
+        found: u8,
+        /// The version this build writes and reads.
+        supported: u8,
+    },
+    /// A frame or header failed structural or checksum verification
+    /// *mid-log* — valid records exist beyond the damage, so this is
+    /// bit rot or tampering, not a torn tail.
+    Corrupt {
+        /// The segment file in which the damage starts.
+        segment: PathBuf,
+        /// Byte offset of the first bad frame within that segment.
+        offset: u64,
+        /// What failed (magic, length, CRC, decode).
+        reason: String,
+        /// Valid-looking frames stranded beyond the damage (they are
+        /// unusable: the refine chain is order-dependent).
+        stranded: usize,
+    },
+    /// A record decoded but cannot be applied: the journal's first
+    /// record is not `Open`, a payload field is malformed, or replaying
+    /// a record through Refine failed.
+    BadRecord {
+        /// Zero-based index of the record in the journal.
+        index: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An event cannot be expressed in the durable format: a query or
+    /// answer uses labels the session's frozen alphabet has no names
+    /// for. Surfaced *before* the event is applied, so journal and
+    /// in-memory state never diverge.
+    Unjournalable {
+        /// What could not be serialized.
+        reason: String,
+    },
+    /// A snapshot file failed its checksum or could not be parsed.
+    /// Recovery falls back to an earlier snapshot or a full replay; this
+    /// error only surfaces when a caller loads a snapshot directly.
+    SnapshotCorrupt {
+        /// The snapshot file.
+        path: PathBuf,
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// Convenience constructor wrapping an `std::io::Error`.
+    pub fn io(path: impl Into<PathBuf>, e: std::io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.into(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "journal io error at {}: {message}", path.display())
+            }
+            StoreError::Missing { dir } => {
+                write!(f, "no journal found in {}", dir.display())
+            }
+            StoreError::VersionMismatch { found, supported } => write!(
+                f,
+                "journal format version {found} not supported (this build speaks {supported})"
+            ),
+            StoreError::Corrupt {
+                segment,
+                offset,
+                reason,
+                stranded,
+            } => write!(
+                f,
+                "corruption in {} at byte {offset}: {reason} ({stranded} record(s) stranded beyond it)",
+                segment.display()
+            ),
+            StoreError::BadRecord { index, reason } => {
+                write!(f, "bad journal record #{index}: {reason}")
+            }
+            StoreError::Unjournalable { reason } => {
+                write!(f, "event not journalable: {reason}")
+            }
+            StoreError::SnapshotCorrupt { path, reason } => {
+                write!(f, "snapshot {} rejected: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,632 @@
+//! The session journal: durable event log + snapshots + recovery.
+//!
+//! [`SessionJournal`] persists a session's event stream (open, refine,
+//! source-update, quarantine) as WAL records and periodically snapshots
+//! the current incomplete tree. [`recover`] rebuilds the session state
+//! by replaying the surviving records through the *real* Refine code —
+//! optionally starting from the newest valid snapshot — with the same
+//! guarantees the paper's Section 5 demands of a webhouse that catches
+//! its warehouse lying: detect, then degrade to a sound state rather
+//! than continue from a corrupt one.
+//!
+//! ## Discipline
+//!
+//! Appends follow redo-log order: an event is journaled *after* it has
+//! been applied in memory. Refinement is transactional (an error leaves
+//! the in-memory state unchanged), so a crash between apply and append
+//! loses at most the one event that was never acknowledged as durable —
+//! recovery is exact "up to the last durable record".
+//!
+//! ## Alphabet freezing
+//!
+//! `Session::open` takes its alphabet by value and never grows it; every
+//! refine runs against that frozen Σ (whose labels are the universe of
+//! the τ_a symbols in Lemma 3.2's construction). The `Open` record
+//! persists Σ by name, and replay re-interns those names in order, so
+//! label ids — and therefore the serialized knowledge, byte for byte —
+//! come out identical. The flip side: an event mentioning labels *beyond*
+//! the frozen alphabet has no durable spelling and is rejected with
+//! [`StoreError::Unjournalable`] before it is applied.
+
+use crate::error::StoreError;
+use crate::record::Record;
+use crate::snapshot::{self, Snapshot};
+use crate::wal::{self, Wal};
+use iixml_core::io::{parse_incomplete_xml, write_incomplete_xml};
+use iixml_core::{IncompleteTree, Refiner};
+use iixml_obs::LazyCounter;
+use iixml_query::{parse_ps_query, Answer, MatchKind, PsQuery, QNodeRef};
+use iixml_tree::xmlio::{parse_tree, write_tree};
+use iixml_tree::{Alphabet, Nid};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Records replayed through Refine during recovery.
+static OBS_REPLAYED: LazyCounter = LazyCounter::new("store.replayed");
+
+/// A session's durable journal, open for appends.
+pub struct SessionJournal {
+    dir: PathBuf,
+    wal: Wal,
+    /// Records appended so far (the journal's length).
+    seq: u64,
+    /// Take a snapshot every this many records (`None` = never).
+    snapshot_every: Option<u64>,
+    last_snapshot_seq: u64,
+}
+
+impl SessionJournal {
+    /// Default snapshot cadence for journaled sessions.
+    pub const DEFAULT_SNAPSHOT_EVERY: u64 = 32;
+
+    /// Creates a fresh journal in `dir` (which must not already hold
+    /// one).
+    pub fn create(dir: &Path) -> Result<SessionJournal, StoreError> {
+        let wal = Wal::create(dir)?;
+        Ok(SessionJournal {
+            dir: dir.to_path_buf(),
+            wal,
+            seq: 0,
+            snapshot_every: Some(SessionJournal::DEFAULT_SNAPSHOT_EVERY),
+            last_snapshot_seq: 0,
+        })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records appended so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Sets the snapshot cadence (`None` disables automatic snapshots).
+    pub fn set_snapshot_every(&mut self, every: Option<u64>) {
+        self.snapshot_every = every.filter(|&n| n > 0);
+    }
+
+    /// Appends one record durably.
+    pub fn append(&mut self, rec: &Record) -> Result<(), StoreError> {
+        self.wal.append(&rec.encode())?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Journals the session opening: the frozen alphabet and the initial
+    /// knowledge (already restricted to the source's declared type).
+    pub fn log_open(
+        &mut self,
+        alpha: &Alphabet,
+        initial: &IncompleteTree,
+    ) -> Result<(), StoreError> {
+        let names = alpha.labels().map(|l| alpha.name(l).to_string()).collect();
+        self.append(&Record::Open {
+            alpha: names,
+            initial: write_incomplete_xml(initial, alpha),
+        })
+    }
+
+    /// Journals one applied Refine step. Fails with
+    /// [`StoreError::Unjournalable`] when the query or answer uses
+    /// labels the frozen alphabet cannot name — callers must perform
+    /// this check *before* applying the step (use
+    /// [`SessionJournal::check_journalable`]).
+    pub fn log_refine(
+        &mut self,
+        alpha: &Alphabet,
+        q: &PsQuery,
+        ans: &Answer,
+    ) -> Result<(), StoreError> {
+        SessionJournal::check_journalable(alpha, q, ans)?;
+        let mut provenance: Vec<(u64, bool, u32)> = ans
+            .provenance
+            .iter()
+            .map(|(&nid, &kind)| match kind {
+                MatchKind::Matched(m) => (nid.0, false, m.0),
+                MatchKind::BarDescendant(m) => (nid.0, true, m.0),
+            })
+            .collect();
+        provenance.sort_unstable();
+        self.append(&Record::Refine {
+            query: q.to_text(alpha),
+            answer_tree: ans.tree.as_ref().map(|t| write_tree(t, alpha)),
+            provenance,
+        })
+    }
+
+    /// Verifies that a refine step has a durable spelling under the
+    /// frozen alphabet — every label in the query and the answer tree
+    /// must be nameable.
+    pub fn check_journalable(
+        alpha: &Alphabet,
+        q: &PsQuery,
+        ans: &Answer,
+    ) -> Result<(), StoreError> {
+        let named = alpha.len() as u32;
+        for m in q.preorder() {
+            if q.label(m).0 >= named {
+                return Err(StoreError::Unjournalable {
+                    reason: format!(
+                        "query node {} uses a label outside the session's frozen alphabet",
+                        m.0
+                    ),
+                });
+            }
+        }
+        if let Some(t) = &ans.tree {
+            for r in t.preorder() {
+                if t.label(r).0 >= named {
+                    return Err(StoreError::Unjournalable {
+                        reason: format!(
+                            "answer node {} uses a label outside the session's frozen alphabet",
+                            t.nid(r).0
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Journals a source update (knowledge reinitialized).
+    pub fn log_source_update(&mut self) -> Result<(), StoreError> {
+        self.append(&Record::SourceUpdate)
+    }
+
+    /// Journals a quarantine (knowledge caught lying, reinitialized).
+    pub fn log_quarantine(&mut self) -> Result<(), StoreError> {
+        self.append(&Record::Quarantine)
+    }
+
+    /// Takes a snapshot if the cadence says one is due. Call after every
+    /// journaled event, passing the *current* knowledge.
+    pub fn maybe_snapshot(
+        &mut self,
+        alpha: &Alphabet,
+        knowledge: &IncompleteTree,
+    ) -> Result<bool, StoreError> {
+        match self.snapshot_every {
+            Some(every) if self.seq - self.last_snapshot_seq >= every => {
+                self.snapshot_now(alpha, knowledge)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Takes a snapshot unconditionally: writes the state atomically and
+    /// journals a `SnapshotRef` pointing at it.
+    pub fn snapshot_now(
+        &mut self,
+        alpha: &Alphabet,
+        knowledge: &IncompleteTree,
+    ) -> Result<(), StoreError> {
+        let snap = Snapshot {
+            seq: self.seq,
+            alpha: alpha.labels().map(|l| alpha.name(l).to_string()).collect(),
+            knowledge: write_incomplete_xml(knowledge, alpha),
+        };
+        let (file, crc) = snap.write(&self.dir)?;
+        let seq = self.seq;
+        self.append(&Record::SnapshotRef { seq, file, crc })?;
+        self.last_snapshot_seq = self.seq;
+        Ok(())
+    }
+}
+
+/// How recovery reacts to mid-log corruption (torn tails are always
+/// truncated — they are the normal crash artifact, not damage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Surface mid-log corruption as a typed error.
+    Strict,
+    /// Degrade: keep the verified prefix (seeded from the last good
+    /// snapshot when one exists), report what was dropped.
+    Degrade,
+}
+
+/// What recovery had to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStatus {
+    /// Every durable record survived (at most a torn tail was
+    /// truncated).
+    Clean,
+    /// Durable records were lost to corruption; the state reflects the
+    /// longest verified prefix.
+    Recovered {
+        /// Records dropped (destroyed, stranded, or undecodable).
+        dropped_records: usize,
+    },
+}
+
+/// The result of recovering a journal.
+pub struct Recovered {
+    /// The journal, reopened for appends after the replayed prefix.
+    /// `None` when the log itself is beyond continuation (state came
+    /// from a snapshot alone) — see `Session::recover` for the rebase
+    /// path.
+    pub journal: Option<SessionJournal>,
+    /// The frozen alphabet from the `Open` record (or the snapshot, in
+    /// the snapshot-only fallback).
+    pub alpha: Alphabet,
+    /// The initial knowledge from the `Open` record (`None` in the
+    /// snapshot-only fallback).
+    pub initial: Option<IncompleteTree>,
+    /// The replayed session state.
+    pub refiner: Refiner,
+    /// Records reflected in the state (snapshot-covered + replayed).
+    pub replayed: usize,
+    /// Refine records among them.
+    pub refines: usize,
+    /// Quarantine records among them.
+    pub quarantines: usize,
+    /// Source-update records among them.
+    pub source_updates: usize,
+    /// Snapshot the replay started from, if any (records covered).
+    pub from_snapshot: Option<u64>,
+    /// Whether a torn tail was truncated.
+    pub torn_tail: bool,
+    /// Clean, or degraded with a drop count.
+    pub status: RecoveryStatus,
+}
+
+/// Recovers the journal in `dir`: verifies checksums, truncates a torn
+/// tail, replays surviving records through Refine, and — per `mode` —
+/// either surfaces mid-log corruption as a typed error or degrades to
+/// the longest verified prefix. Never panics on arbitrary directory
+/// contents.
+pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> {
+    // A directory with no segments left (a prior repair may have removed
+    // them all) is an empty log, not a dead end: a surviving snapshot
+    // can still supply the state. `Missing` resurfaces below only when
+    // there is no snapshot either.
+    let outcome = match wal::scan(dir) {
+        Ok(outcome) => outcome,
+        Err(StoreError::Missing { .. }) => wal::ScanOutcome {
+            frames: Vec::new(),
+            damage: None,
+        },
+        Err(e) => return Err(e),
+    };
+    let mut dropped = 0usize;
+    let mut torn_tail = false;
+    // First: resolve physical damage. The log is physically truncated at
+    // the first bad byte either way; what differs is whether destroyed
+    // durable records are an error or a degradation.
+    if let Some(damage) = &outcome.damage {
+        if damage.is_torn_tail() {
+            torn_tail = true;
+        } else {
+            match mode {
+                RecoveryMode::Strict => {
+                    return Err(StoreError::Corrupt {
+                        segment: damage.segment.clone(),
+                        offset: damage.offset,
+                        reason: damage.reason.clone(),
+                        stranded: damage.stranded,
+                    });
+                }
+                RecoveryMode::Degrade => dropped += damage.records_lost(),
+            }
+        }
+        wal::repair(dir, damage)?;
+    }
+    // Clean up any half-written snapshot temp file.
+    snapshot::sweep_tmp(dir)?;
+
+    // Second: decode the verified frames. A frame that passes its CRC
+    // but does not decode is corruption at the record layer (e.g. a
+    // rewritten payload with a recomputed checksum); the log is cut
+    // there so recovery is idempotent.
+    let mut records: Vec<Record> = Vec::with_capacity(outcome.frames.len());
+    for (i, frame) in outcome.frames.iter().enumerate() {
+        match Record::decode_at(&frame.payload, i) {
+            Ok(r) => records.push(r),
+            Err(e) => match mode {
+                RecoveryMode::Strict => return Err(e),
+                RecoveryMode::Degrade => {
+                    dropped += outcome.frames.len() - i;
+                    wal::truncate_at(dir, &frame.segment, frame.offset)?;
+                    break;
+                }
+            },
+        }
+    }
+
+    // Third: find a starting state. Prefer the newest valid snapshot
+    // covering no more records than survived; otherwise replay from the
+    // Open record.
+    let usable_snapshot = best_snapshot(dir, records.len() as u64);
+
+    // In Degrade mode, a verified snapshot *ahead* of the surviving log
+    // is the Section 5 degradation target: the records between the
+    // log's end and the snapshot were destroyed, but the snapshot is a
+    // real, checksummed state the session reached — strictly more of
+    // the history than the surviving prefix proves. The log below it
+    // cannot be continued (appends after the gap would contradict the
+    // state), so this path returns `journal: None` and the caller
+    // rebases onto a fresh journal.
+    if mode == RecoveryMode::Degrade {
+        let ahead = best_snapshot(dir, u64::MAX)
+            .filter(|s| s.seq > records.len() as u64)
+            // When the Open record survived, only trust a snapshot that
+            // agrees with it on the alphabet.
+            .filter(|s| match records.first() {
+                Some(Record::Open { alpha, .. }) => &s.alpha == alpha,
+                _ => true,
+            });
+        if let Some(s) = ahead {
+            let alpha = Alphabet::from_names(s.alpha.iter().map(String::as_str));
+            let mut parse_alpha = alpha.clone();
+            let state = parse_incomplete_xml(&s.knowledge, &mut parse_alpha).map_err(|e| {
+                StoreError::SnapshotCorrupt {
+                    path: dir.join(Snapshot::file_name(s.seq)),
+                    reason: format!("knowledge does not parse: {e}"),
+                }
+            })?;
+            // At least the records between the surviving prefix and the
+            // snapshot were destroyed; the damage-derived count may
+            // undercount them (stranded frames beyond the first bad
+            // byte are estimated, destroyed ones are not).
+            let destroyed = (s.seq as usize).saturating_sub(records.len());
+            return Ok(Recovered {
+                journal: None,
+                alpha,
+                initial: None,
+                refiner: Refiner::from_tree(state),
+                replayed: s.seq as usize,
+                refines: 0,
+                quarantines: 0,
+                source_updates: 0,
+                from_snapshot: Some(s.seq),
+                torn_tail,
+                status: RecoveryStatus::Recovered {
+                    dropped_records: dropped.max(destroyed).max(1),
+                },
+            });
+        }
+    }
+
+    let open = match records.first() {
+        Some(Record::Open { alpha, initial }) => Some((alpha.clone(), initial.clone())),
+        _ => None,
+    };
+    let (alpha, mut parse_alpha, mut refiner, initial, start, from_snapshot) =
+        match (&open, &usable_snapshot) {
+            (Some((names, initial_xml)), snap) => {
+                let alpha = Alphabet::from_names(names.iter().map(String::as_str));
+                let mut parse_alpha = alpha.clone();
+                let initial = parse_incomplete_xml(initial_xml, &mut parse_alpha).map_err(|e| {
+                    StoreError::BadRecord {
+                        index: 0,
+                        reason: format!("initial knowledge does not parse: {e}"),
+                    }
+                })?;
+                // Only trust a snapshot that agrees with the Open record
+                // on the alphabet (ids must line up for replayed text).
+                let snap = snap.as_ref().filter(|s| &s.alpha == names);
+                match snap {
+                    Some(s) => {
+                        let state =
+                            parse_incomplete_xml(&s.knowledge, &mut parse_alpha).map_err(|e| {
+                                StoreError::SnapshotCorrupt {
+                                    path: dir.join(Snapshot::file_name(s.seq)),
+                                    reason: format!("knowledge does not parse: {e}"),
+                                }
+                            })?;
+                        let seq = s.seq;
+                        (
+                            alpha,
+                            parse_alpha,
+                            Refiner::from_tree(state),
+                            Some(initial),
+                            seq as usize,
+                            Some(seq),
+                        )
+                    }
+                    None => (
+                        alpha,
+                        parse_alpha,
+                        Refiner::from_tree(initial.clone()),
+                        Some(initial),
+                        1,
+                        None,
+                    ),
+                }
+            }
+            (None, Some(s)) => {
+                // Snapshot-only fallback: the Open record (and with it
+                // every earlier record) is gone, but a verified snapshot
+                // still gives a sound state to degrade to.
+                if mode == RecoveryMode::Strict {
+                    return Err(StoreError::BadRecord {
+                        index: 0,
+                        reason: "journal does not start with an open record".into(),
+                    });
+                }
+                let alpha = Alphabet::from_names(s.alpha.iter().map(String::as_str));
+                let mut parse_alpha = alpha.clone();
+                let state = parse_incomplete_xml(&s.knowledge, &mut parse_alpha).map_err(|e| {
+                    StoreError::SnapshotCorrupt {
+                        path: dir.join(Snapshot::file_name(s.seq)),
+                        reason: format!("knowledge does not parse: {e}"),
+                    }
+                })?;
+                dropped += records.len();
+                return Ok(Recovered {
+                    journal: None,
+                    alpha,
+                    initial: None,
+                    refiner: Refiner::from_tree(state),
+                    replayed: s.seq as usize,
+                    refines: 0,
+                    quarantines: 0,
+                    source_updates: 0,
+                    from_snapshot: Some(s.seq),
+                    torn_tail,
+                    status: RecoveryStatus::Recovered {
+                        dropped_records: dropped.max(1),
+                    },
+                });
+            }
+            (None, None) => {
+                return Err(match records.len() {
+                    0 => StoreError::Missing {
+                        dir: dir.to_path_buf(),
+                    },
+                    _ => StoreError::BadRecord {
+                        index: 0,
+                        reason: format!(
+                            "journal starts with a {} record, not open",
+                            records[0].kind()
+                        ),
+                    },
+                });
+            }
+        };
+    let initial = initial.expect("open-record path always has an initial");
+
+    // Fourth: replay the tail through the real Refine code.
+    let mut refines = 0usize;
+    let mut quarantines = 0usize;
+    let mut source_updates = 0usize;
+    let mut applied = start;
+    for (i, rec) in records.iter().enumerate().skip(start) {
+        let result = replay_one(rec, &alpha, &mut parse_alpha, &mut refiner, &initial, i);
+        match result {
+            Ok(kind) => {
+                match kind {
+                    ReplayKind::Refine => refines += 1,
+                    ReplayKind::Quarantine => quarantines += 1,
+                    ReplayKind::SourceUpdate => source_updates += 1,
+                    ReplayKind::Noop => {}
+                }
+                applied = i + 1;
+                OBS_REPLAYED.incr();
+            }
+            Err(e) => match mode {
+                RecoveryMode::Strict => return Err(e),
+                RecoveryMode::Degrade => {
+                    dropped += records.len() - i;
+                    let frame = &outcome.frames[i];
+                    wal::truncate_at(dir, &frame.segment, frame.offset)?;
+                    break;
+                }
+            },
+        }
+    }
+
+    // Reopen for appends after the surviving prefix.
+    let wal = Wal::open_append(dir)?;
+    let journal = SessionJournal {
+        dir: dir.to_path_buf(),
+        wal,
+        seq: applied as u64,
+        snapshot_every: Some(SessionJournal::DEFAULT_SNAPSHOT_EVERY),
+        last_snapshot_seq: from_snapshot.unwrap_or(0),
+    };
+    // Session-level counters want totals over the whole journal, not
+    // just the replayed tail: count the snapshot-covered prefix too.
+    for rec in records.iter().take(start) {
+        match rec {
+            Record::Refine { .. } => refines += 1,
+            Record::Quarantine => quarantines += 1,
+            Record::SourceUpdate => source_updates += 1,
+            _ => {}
+        }
+    }
+    Ok(Recovered {
+        journal: Some(journal),
+        alpha,
+        initial: Some(initial),
+        refiner,
+        replayed: applied,
+        refines,
+        quarantines,
+        source_updates,
+        from_snapshot,
+        torn_tail,
+        status: if dropped > 0 {
+            RecoveryStatus::Recovered {
+                dropped_records: dropped,
+            }
+        } else {
+            RecoveryStatus::Clean
+        },
+    })
+}
+
+enum ReplayKind {
+    Refine,
+    Quarantine,
+    SourceUpdate,
+    Noop,
+}
+
+fn replay_one(
+    rec: &Record,
+    alpha: &Alphabet,
+    parse_alpha: &mut Alphabet,
+    refiner: &mut Refiner,
+    initial: &IncompleteTree,
+    index: usize,
+) -> Result<ReplayKind, StoreError> {
+    let bad = |reason: String| StoreError::BadRecord { index, reason };
+    match rec {
+        Record::Open { .. } => Err(bad("open record past position 0".into())),
+        Record::Refine {
+            query,
+            answer_tree,
+            provenance,
+        } => {
+            let q = parse_ps_query(query, parse_alpha)
+                .map_err(|e| bad(format!("query does not parse: {e}")))?;
+            let tree = match answer_tree {
+                None => None,
+                Some(text) => Some(
+                    parse_tree(text, parse_alpha)
+                        .map_err(|e| bad(format!("answer tree does not parse: {e}")))?,
+                ),
+            };
+            let mut prov: HashMap<Nid, MatchKind> = HashMap::with_capacity(provenance.len());
+            for &(nid, barred, qnode) in provenance {
+                let kind = if barred {
+                    MatchKind::BarDescendant(QNodeRef(qnode))
+                } else {
+                    MatchKind::Matched(QNodeRef(qnode))
+                };
+                prov.insert(Nid(nid), kind);
+            }
+            let ans = Answer {
+                tree,
+                provenance: prov,
+            };
+            refiner
+                .refine(alpha, &q, &ans)
+                .map_err(|e| bad(format!("refine replay failed: {e}")))?;
+            Ok(ReplayKind::Refine)
+        }
+        Record::SourceUpdate => {
+            *refiner = Refiner::from_tree(initial.clone());
+            Ok(ReplayKind::SourceUpdate)
+        }
+        Record::Quarantine => {
+            *refiner = Refiner::from_tree(initial.clone());
+            Ok(ReplayKind::Quarantine)
+        }
+        Record::SnapshotRef { .. } => Ok(ReplayKind::Noop),
+    }
+}
+
+/// The newest snapshot in `dir` that verifies and covers at most
+/// `max_seq` records. Corrupt snapshots are skipped (recovery falls back
+/// to older ones, then to full replay).
+fn best_snapshot(dir: &Path, max_seq: u64) -> Option<Snapshot> {
+    let list = snapshot::list(dir).ok()?;
+    list.iter()
+        .rev()
+        .filter(|&&(seq, _)| seq <= max_seq)
+        .find_map(|(_, path)| Snapshot::load(path).ok())
+}

@@ -1,0 +1,44 @@
+//! # iixml-store — durable session journal
+//!
+//! A mediator session (Section 5 of the paper) accumulates knowledge
+//! through a chain of Refine steps; losing the process loses the chain.
+//! This crate makes the chain durable without any external dependency:
+//!
+//! * **WAL** ([`wal`]) — append-only segments of length-prefixed,
+//!   CRC-32-checksummed records, one per session event (open, refine,
+//!   source-update, quarantine, snapshot-ref). Query and answer payloads
+//!   reuse the workspace's existing text formats, so the log is
+//!   human-inspectable.
+//! * **Snapshots** ([`snapshot`]) — periodic checksummed captures of the
+//!   current incomplete tree, written atomically (tmp + rename), so
+//!   recovery is snapshot + tail-replay instead of full-chain replay.
+//! * **Recovery** ([`journal::recover`]) — verifies every checksum,
+//!   truncates a torn tail (the normal crash artifact), replays
+//!   surviving records through the *real* Refine code, and surfaces
+//!   mid-log corruption as a typed [`StoreError`] — or, in
+//!   [`RecoveryMode::Degrade`], falls back to the last good snapshot and
+//!   reports [`RecoveryStatus::Recovered`] with the number of dropped
+//!   records, the same detect-then-degrade posture the paper's
+//!   quarantine policy takes toward a lying warehouse.
+//! * **Injection** ([`inject`]) — a seeded [`Corruptor`] producing
+//!   reproducible torn writes and bit flips, so the recovery invariant
+//!   is continuously exercised (see `tests/store_recovery.rs` and the
+//!   CI crash matrix).
+//!
+//! Observability: `store.appends`, `store.fsyncs`, `store.replayed`,
+//! `store.torn_tails`, `store.crc_rejects`, and `store.snapshot_bytes`
+//! flow through `iixml-obs` like every other subsystem.
+
+pub mod crc;
+pub mod error;
+pub mod inject;
+pub mod journal;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+pub use error::StoreError;
+pub use inject::{Corruptor, Injury};
+pub use journal::{recover, Recovered, RecoveryMode, RecoveryStatus, SessionJournal};
+pub use record::Record;
+pub use snapshot::Snapshot;

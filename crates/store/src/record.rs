@@ -1,0 +1,322 @@
+//! The session-event records the journal persists.
+//!
+//! A mediator session is a chain of Refine steps `T ← T ∩ q⁻¹(A)`
+//! (Lemmas 3.2–3.3, Theorem 3.4) punctuated by §5-style resets
+//! (quarantine, source update). Each event becomes one record; replaying
+//! the surviving records through the *real* Refine code reconstructs the
+//! session state exactly.
+//!
+//! Payload encoding is a tag byte followed by length-prefixed fields
+//! (`u32` little-endian lengths, `u64` little-endian ids). Query and
+//! answer payloads reuse the existing text formats — queries via
+//! `PsQuery::to_text` / `parse_ps_query`, trees via `xmlio`, incomplete
+//! trees via `core::io` — so the journal stays human-inspectable with
+//! `xxd` and inherits those parsers' round-trip guarantees. The decoder
+//! is total: arbitrary bytes yield `Err`, never a panic, and length
+//! prefixes are bounds-checked before any allocation.
+
+use crate::error::StoreError;
+
+/// One session event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// The session opened: the alphabet Σ fixed for the whole chain and
+    /// the initial knowledge (the universal tree, already restricted to
+    /// the source's declared type per Theorem 3.5), serialized with
+    /// `core::io::write_incomplete_xml`.
+    Open {
+        /// Label names in interning order (ids are implicit positions).
+        alpha: Vec<String>,
+        /// The initial incomplete tree, XML text form.
+        initial: String,
+    },
+    /// One Refine step: the query (text syntax) and the answer it
+    /// returned — the answer tree in `xmlio` form plus the per-node
+    /// match provenance Algorithm Refine needs to build `T_{q,A}`.
+    Refine {
+        /// The ps-query, `PsQuery::to_text` form.
+        query: String,
+        /// The answer tree (`None` = the empty answer), `xmlio` form.
+        answer_tree: Option<String>,
+        /// `(nid, barred?, pattern node)` triples, sorted by nid:
+        /// `barred? = false` means `MatchKind::Matched`, `true` means
+        /// `MatchKind::BarDescendant`.
+        provenance: Vec<(u64, bool, u32)>,
+    },
+    /// The source document was replaced; knowledge was reinitialized to
+    /// the declared type (Section 5's conservative policy).
+    SourceUpdate,
+    /// The knowledge was caught lying and quarantined (reinitialized).
+    Quarantine,
+    /// A snapshot of the state after the preceding `seq` records was
+    /// durably written to `file` with payload checksum `crc`. Purely an
+    /// optimization marker: recovery that distrusts the snapshot can
+    /// ignore it and replay the full chain.
+    SnapshotRef {
+        /// Number of records the snapshot covers (its state is "after
+        /// records `0..seq`").
+        seq: u64,
+        /// Snapshot file name within the journal directory.
+        file: String,
+        /// CRC-32 of the snapshot payload (also stored in the file).
+        crc: u32,
+    },
+}
+
+const TAG_OPEN: u8 = 1;
+const TAG_REFINE: u8 = 2;
+const TAG_SOURCE_UPDATE: u8 = 3;
+const TAG_QUARANTINE: u8 = 4;
+const TAG_SNAPSHOT_REF: u8 = 5;
+
+impl Record {
+    /// Short human name (used in error messages and `--journal` logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Record::Open { .. } => "open",
+            Record::Refine { .. } => "refine",
+            Record::SourceUpdate => "source-update",
+            Record::Quarantine => "quarantine",
+            Record::SnapshotRef { .. } => "snapshot-ref",
+        }
+    }
+
+    /// Serializes the record payload (framing — length, CRC — is the
+    /// WAL's job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Open { alpha, initial } => {
+                out.push(TAG_OPEN);
+                put_u32(&mut out, alpha.len() as u32);
+                for name in alpha {
+                    put_bytes(&mut out, name.as_bytes());
+                }
+                put_bytes(&mut out, initial.as_bytes());
+            }
+            Record::Refine {
+                query,
+                answer_tree,
+                provenance,
+            } => {
+                out.push(TAG_REFINE);
+                put_bytes(&mut out, query.as_bytes());
+                match answer_tree {
+                    None => out.push(0),
+                    Some(t) => {
+                        out.push(1);
+                        put_bytes(&mut out, t.as_bytes());
+                    }
+                }
+                put_u32(&mut out, provenance.len() as u32);
+                for &(nid, barred, qnode) in provenance {
+                    put_u64(&mut out, nid);
+                    out.push(barred as u8);
+                    put_u32(&mut out, qnode);
+                }
+            }
+            Record::SourceUpdate => out.push(TAG_SOURCE_UPDATE),
+            Record::Quarantine => out.push(TAG_QUARANTINE),
+            Record::SnapshotRef { seq, file, crc } => {
+                out.push(TAG_SNAPSHOT_REF);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, *crc);
+                put_bytes(&mut out, file.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a record payload. Total: any byte string yields `Ok` or
+    /// `Err`, and every length prefix is checked against the remaining
+    /// input before allocation, so corrupt lengths cannot OOM.
+    pub fn decode(payload: &[u8]) -> Result<Record, String> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8()? {
+            TAG_OPEN => {
+                let n = r.u32()? as usize;
+                if n > payload.len() {
+                    return Err(format!("alphabet count {n} exceeds payload"));
+                }
+                let mut alpha = Vec::with_capacity(n);
+                for _ in 0..n {
+                    alpha.push(r.string()?);
+                }
+                let initial = r.string()?;
+                Record::Open { alpha, initial }
+            }
+            TAG_REFINE => {
+                let query = r.string()?;
+                let answer_tree = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.string()?),
+                    other => return Err(format!("bad answer marker {other}")),
+                };
+                let n = r.u32()? as usize;
+                // Each entry is 13 bytes; reject counts the remaining
+                // input cannot possibly hold.
+                if n > r.remaining() / 13 {
+                    return Err(format!("provenance count {n} exceeds payload"));
+                }
+                let mut provenance = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let nid = r.u64()?;
+                    let barred = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => return Err(format!("bad provenance kind {other}")),
+                    };
+                    let qnode = r.u32()?;
+                    provenance.push((nid, barred, qnode));
+                }
+                Record::Refine {
+                    query,
+                    answer_tree,
+                    provenance,
+                }
+            }
+            TAG_SOURCE_UPDATE => Record::SourceUpdate,
+            TAG_QUARANTINE => Record::Quarantine,
+            TAG_SNAPSHOT_REF => {
+                let seq = r.u64()?;
+                let crc = r.u32()?;
+                let file = r.string()?;
+                Record::SnapshotRef { seq, file, crc }
+            }
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing payload bytes", r.remaining()));
+        }
+        Ok(rec)
+    }
+
+    /// `decode` adapted to the journal's typed error, with the record's
+    /// index attached.
+    pub fn decode_at(payload: &[u8], index: usize) -> Result<Record, StoreError> {
+        Record::decode(payload).map_err(|reason| StoreError::BadRecord { index, reason })
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// A bounds-checked little-endian reader (the decoder's only input
+/// path, so every primitive read is total).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated payload: need {n}, have {}",
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|e| format!("invalid utf-8: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(r: Record) {
+        let bytes = r.encode();
+        assert_eq!(Record::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(Record::Open {
+            alpha: vec!["catalog".into(), "produit é".into()],
+            initial: "<incomplete>\n</incomplete>\n".into(),
+        });
+        roundtrip(Record::Refine {
+            query: "catalog/product{price[< 200]}".into(),
+            answer_tree: Some("<catalog nid=\"0\" val=\"0\"/>".into()),
+            provenance: vec![(0, false, 0), (7, true, 2)],
+        });
+        roundtrip(Record::Refine {
+            query: "a".into(),
+            answer_tree: None,
+            provenance: vec![],
+        });
+        roundtrip(Record::SourceUpdate);
+        roundtrip(Record::Quarantine);
+        roundtrip(Record::SnapshotRef {
+            seq: 42,
+            file: "snap-000042.snap".into(),
+            crc: 0xDEADBEEF,
+        });
+    }
+
+    #[test]
+    fn truncations_fail_cleanly() {
+        let bytes = Record::Refine {
+            query: "catalog/product".into(),
+            answer_tree: Some("<catalog nid=\"0\" val=\"0\"/>".into()),
+            provenance: vec![(3, false, 1)],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A Refine record claiming 4 billion provenance entries.
+        let mut bytes = vec![TAG_REFINE];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'a');
+        bytes.push(0); // empty answer
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Record::decode(&bytes).is_err());
+    }
+}

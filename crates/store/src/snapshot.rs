@@ -1,0 +1,296 @@
+//! Checksummed snapshots of the session state.
+//!
+//! A snapshot captures the alphabet and the current incomplete tree
+//! (serialized with `core::io::write_incomplete_xml`) after a known
+//! number of journal records, so recovery can start from it and replay
+//! only the tail instead of the whole Refine chain.
+//!
+//! ## On-disk layout
+//!
+//! `snap-NNNNNN.snap` (NNNNNN = records covered), containing:
+//!
+//! ```text
+//! +---------+---------+--------------+---------+
+//! | IIXSNAP | version | crc32: u32 LE| payload |
+//! +---------+---------+--------------+---------+
+//! ```
+//!
+//! The payload is the record count (`u64` LE), the alphabet (count plus
+//! length-prefixed names in interning order), and the knowledge XML —
+//! everything needed to rebuild a `Refiner` without the journal prefix.
+//!
+//! Writes are atomic: the bytes go to a `.tmp` file, are synced, and the
+//! file is renamed into place (then the directory is synced). A crash
+//! mid-snapshot leaves at worst a stale `.tmp`, never a half snapshot
+//! under the real name.
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::wal::OBS_FSYNCS;
+use iixml_obs::LazyHistogram;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Snapshot payload sizes, in bytes.
+static OBS_SNAPSHOT_BYTES: LazyHistogram = LazyHistogram::new("store.snapshot_bytes");
+
+/// Magic opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 7] = *b"IIXSNAP";
+/// Snapshot format version (bumped independently of the WAL's; see
+/// CONTRIBUTING.md).
+pub const SNAPSHOT_VERSION: u8 = 1;
+const HEADER_LEN: usize = 12;
+
+/// A decoded snapshot: session state after `seq` journal records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Number of journal records this state reflects.
+    pub seq: u64,
+    /// Alphabet names in interning order.
+    pub alpha: Vec<String>,
+    /// The knowledge (incomplete tree), `core::io` XML form.
+    pub knowledge: String,
+}
+
+impl Snapshot {
+    /// File name for the snapshot covering `seq` records.
+    pub fn file_name(seq: u64) -> String {
+        format!("snap-{seq:06}.snap")
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.alpha.len() as u32).to_le_bytes());
+        for name in &self.alpha {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out.extend_from_slice(&(self.knowledge.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.knowledge.as_bytes());
+        out
+    }
+
+    /// Writes the snapshot into `dir` atomically. Returns the file name
+    /// and payload CRC (recorded in the journal's `SnapshotRef`).
+    pub fn write(&self, dir: &Path) -> Result<(String, u32), StoreError> {
+        let payload = self.payload();
+        let crc = crc32(&payload);
+        let name = Snapshot::file_name(self.seq);
+        let tmp = dir.join(format!("{name}.tmp"));
+        let dest = dir.join(&name);
+        {
+            let mut f = File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+            f.write_all(&SNAPSHOT_MAGIC)
+                .map_err(|e| StoreError::io(&tmp, e))?;
+            f.write_all(&[SNAPSHOT_VERSION])
+                .map_err(|e| StoreError::io(&tmp, e))?;
+            f.write_all(&crc.to_le_bytes())
+                .map_err(|e| StoreError::io(&tmp, e))?;
+            f.write_all(&payload).map_err(|e| StoreError::io(&tmp, e))?;
+            f.sync_data().map_err(|e| StoreError::io(&tmp, e))?;
+            OBS_FSYNCS.incr();
+        }
+        std::fs::rename(&tmp, &dest).map_err(|e| StoreError::io(&dest, e))?;
+        if let Ok(d) = File::open(dir) {
+            // Directory sync is best-effort: not all platforms allow it.
+            if d.sync_data().is_ok() {
+                OBS_FSYNCS.incr();
+            }
+        }
+        OBS_SNAPSHOT_BYTES.observe(payload.len() as u64);
+        Ok((name, crc))
+    }
+
+    /// Loads and verifies a snapshot file. Total over arbitrary bytes:
+    /// corrupt input yields [`StoreError::SnapshotCorrupt`] (or
+    /// `VersionMismatch`), never a panic.
+    pub fn load(path: &Path) -> Result<Snapshot, StoreError> {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| StoreError::io(path, e))?;
+        Snapshot::decode(path, &bytes)
+    }
+
+    /// Verifies and decodes snapshot file bytes (header + payload).
+    pub fn decode(path: &Path, bytes: &[u8]) -> Result<Snapshot, StoreError> {
+        let corrupt = |reason: &str| StoreError::SnapshotCorrupt {
+            path: path.to_path_buf(),
+            reason: reason.to_string(),
+        };
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt("file shorter than header"));
+        }
+        if bytes[..7] != SNAPSHOT_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if bytes[7] != SNAPSHOT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: bytes[7],
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let payload = &bytes[HEADER_LEN..];
+        if crc32(payload) != crc {
+            crate::wal::OBS_CRC_REJECTS.incr();
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        // The payload is checksum-verified, but stay total anyway — the
+        // CRC could itself have been rewritten along with the payload.
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+            if payload.len() - *pos < n {
+                return Err(corrupt("truncated payload"));
+            }
+            let s = &payload[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let b = take(&mut pos, 8)?;
+        let seq = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        let b = take(&mut pos, 4)?;
+        let n = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        if n > payload.len() {
+            return Err(corrupt("alphabet count exceeds payload"));
+        }
+        let mut alpha = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = take(&mut pos, 4)?;
+            let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+            let s = take(&mut pos, len)?;
+            alpha.push(
+                String::from_utf8(s.to_vec()).map_err(|_| corrupt("alphabet name not utf-8"))?,
+            );
+        }
+        let b = take(&mut pos, 4)?;
+        let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        let s = take(&mut pos, len)?;
+        let knowledge =
+            String::from_utf8(s.to_vec()).map_err(|_| corrupt("knowledge not utf-8"))?;
+        if pos != payload.len() {
+            return Err(corrupt("trailing payload bytes"));
+        }
+        Ok(Snapshot {
+            seq,
+            alpha,
+            knowledge,
+        })
+    }
+}
+
+/// Lists snapshot files in `dir`, sorted by covered record count.
+pub fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Removes stale `.tmp` files left by a crash mid-snapshot.
+pub fn sweep_tmp(dir: &Path) -> Result<(), StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("snap-") && name.ends_with(".tmp") {
+            let path = entry.path();
+            std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iixml-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            seq: 17,
+            alpha: vec!["catalog".into(), "product".into(), "priçe".into()],
+            knowledge: "<incomplete>\n  <data-node nid=\"0\" label=\"catalog\"/>\n</incomplete>\n"
+                .into(),
+        }
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = tmp("roundtrip");
+        let snap = sample();
+        let (name, crc) = snap.write(&dir).unwrap();
+        assert_eq!(name, "snap-000017.snap");
+        assert_ne!(crc, 0);
+        let loaded = Snapshot::load(&dir.join(&name)).unwrap();
+        assert_eq!(loaded, snap);
+        assert_eq!(list(&dir).unwrap(), vec![(17, dir.join(&name))]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_is_rejected() {
+        let dir = tmp("bitflip");
+        let (name, _) = sample().write(&dir).unwrap();
+        let path = dir.join(&name);
+        let bytes = std::fs::read(&path).unwrap();
+        for i in [0usize, 7, 9, HEADER_LEN + 3, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x40;
+            std::fs::write(&path, &flipped).unwrap();
+            assert!(Snapshot::load(&path).is_err(), "flip at byte {i} accepted");
+        }
+        // Restore and confirm it still loads (the flips were the problem).
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Snapshot::load(&path).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        let dir = tmp("arb");
+        let path = dir.join("snap-000000.snap");
+        for junk in [
+            &b""[..],
+            &b"IIXSNAP"[..],
+            &b"IIXSNAP\x01\0\0\0\0"[..],
+            &[0xFFu8; 40][..],
+        ] {
+            std::fs::write(&path, junk).unwrap();
+            assert!(Snapshot::load(&path).is_err());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_stale_tmp() {
+        let dir = tmp("sweep");
+        std::fs::write(dir.join("snap-000003.snap.tmp"), b"half-written").unwrap();
+        sample().write(&dir).unwrap();
+        sweep_tmp(&dir).unwrap();
+        assert!(!dir.join("snap-000003.snap.tmp").exists());
+        assert_eq!(list(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -445,11 +445,14 @@ fn drop_subtree(t: &DataTree, victim: NodeRef) -> (DataTree, Vec<Nid>) {
                 collect(t, c, dropped);
                 continue;
             }
-            // Safe: nids are unique in `t`, and we copy each at most once.
-            let nc = out
-                .add_child(to, t.nid(c), t.label(c), t.value(c))
-                .expect("source nids are unique");
-            walk(t, c, out, nc, victim, dropped);
+            // Nids are unique in `t` and each is copied at most once, so
+            // this insert cannot collide; if that invariant were ever
+            // broken, dropping the subtree (the injector's job anyway)
+            // beats panicking inside the fault model.
+            match out.add_child(to, t.nid(c), t.label(c), t.value(c)) {
+                Ok(nc) => walk(t, c, out, nc, victim, dropped),
+                Err(_) => collect(t, c, dropped),
+            }
         }
     }
     fn collect(t: &DataTree, n: NodeRef, dropped: &mut Vec<Nid>) {

@@ -10,6 +10,7 @@
 
 use iixml_core::ItreeError;
 use iixml_mediator::CompletionError;
+use iixml_store::StoreError;
 use iixml_tree::Nid;
 use std::fmt;
 
@@ -140,6 +141,11 @@ pub enum WebhouseError {
     /// The accumulated knowledge became unsatisfiable (`rep = ∅`): some
     /// past answer was a lie or the source changed under us.
     Contradiction,
+    /// The durability layer failed: a journal append, snapshot, or
+    /// recovery error. The in-memory knowledge may be ahead of the
+    /// journal; the session stops journaling (see
+    /// `Session::journal_fault`) rather than risk a divergent log.
+    Store(StoreError),
 }
 
 impl WebhouseError {
@@ -152,6 +158,7 @@ impl WebhouseError {
             WebhouseError::Source(e) => e.signals_update(),
             WebhouseError::Refine(_) | WebhouseError::Completion(_) => true,
             WebhouseError::Contradiction => true,
+            WebhouseError::Store(_) => false,
         }
     }
 }
@@ -165,6 +172,7 @@ impl fmt::Display for WebhouseError {
             WebhouseError::Contradiction => {
                 write!(f, "knowledge contradicts itself (source updated?)")
             }
+            WebhouseError::Store(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -186,5 +194,11 @@ impl From<ItreeError> for WebhouseError {
 impl From<CompletionError> for WebhouseError {
     fn from(e: CompletionError) -> WebhouseError {
         WebhouseError::Completion(e)
+    }
+}
+
+impl From<StoreError> for WebhouseError {
+    fn from(e: StoreError) -> WebhouseError {
+        WebhouseError::Store(e)
     }
 }

@@ -50,6 +50,7 @@ pub mod validate;
 
 pub use endpoint::{FaultCounts, FaultPlan, FaultySource, LatentSource, Source, SourceEndpoint};
 pub use error::{SourceError, ValidationError, WebhouseError};
+pub use iixml_store::{RecoveryStatus, StoreError};
 pub use retry::RetryPolicy;
 
 use iixml_core::{IncompleteTree, QueryOnIncomplete, Refiner};
@@ -57,9 +58,11 @@ use iixml_gen::rng::DetRng;
 use iixml_mediator::{CompletionError, Mediator};
 use iixml_obs::{LazyCounter, LazyHistogram};
 use iixml_query::{Answer, PsQuery};
+use iixml_store::{RecoveryMode, SessionJournal};
 use iixml_tree::{Alphabet, DataTree, Nid};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 
 /// Source queries retried after a retryable failure.
 static OBS_RETRIES: LazyCounter = LazyCounter::new("webhouse.retries");
@@ -93,6 +96,11 @@ pub enum DegradeCause {
     /// document, undetected lie); it was quarantined and reinitialized,
     /// and a fresh mediation attempt also failed.
     Quarantined(WebhouseError),
+    /// The durability layer failed (journal append or snapshot); the
+    /// knowledge is intact but the session stopped journaling, and the
+    /// resilient path answers locally rather than risk compounding the
+    /// fault with source traffic it cannot record.
+    Durability(StoreError),
 }
 
 /// How a query against the webhouse was answered.
@@ -148,6 +156,36 @@ pub struct Session<E: SourceEndpoint = Source> {
     /// Label used in per-source metric names (set by
     /// [`Webhouse::register`]; anonymous sessions report as `anon`).
     obs_label: String,
+    /// Durable journal, when the session was opened with
+    /// [`Session::open_journaled`] or [`Session::recover`].
+    journal: Option<SessionJournal>,
+    /// Set when a journal append failed on a path that could not return
+    /// it (quarantine inside `answer_resilient`); journaling stops and
+    /// the fault is surfaced by the next fallible operation.
+    journal_fault: Option<StoreError>,
+}
+
+/// What [`Session::recover`] found in the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Clean, or degraded with the number of dropped records.
+    pub status: RecoveryStatus,
+    /// Journal records reflected in the recovered knowledge.
+    pub replayed: usize,
+    /// Refine records among them.
+    pub refines: usize,
+    /// Quarantine records among them.
+    pub quarantines: usize,
+    /// Source-update records among them.
+    pub source_updates: usize,
+    /// Whether a torn tail (interrupted final write) was truncated.
+    pub torn_tail: bool,
+    /// Snapshot the replay started from, if any (records covered).
+    pub from_snapshot: Option<u64>,
+    /// Whether the journal was beyond continuation and was rebased: a
+    /// fresh log seeded with the recovered state (snapshot-only
+    /// recovery after losing the log's head).
+    pub rebased: bool,
 }
 
 impl<E: SourceEndpoint> Session<E> {
@@ -170,7 +208,132 @@ impl<E: SourceEndpoint> Session<E> {
             mediator_queries: 0,
             quarantines: 0,
             obs_label: "anon".to_string(),
+            journal: None,
+            journal_fault: None,
         }
+    }
+
+    /// Opens a session whose event stream (open, refine, source-update,
+    /// quarantine) is durably journaled in `dir`, with periodic
+    /// snapshots. After a crash, [`Session::recover`] rebuilds the
+    /// session from the journal.
+    pub fn open_journaled(
+        alpha: Alphabet,
+        source: E,
+        dir: &Path,
+    ) -> Result<Session<E>, WebhouseError> {
+        let mut session = Session::open(alpha, source);
+        let mut journal = SessionJournal::create(dir)?;
+        journal.log_open(&session.alpha, session.refiner.current())?;
+        session.journal = Some(journal);
+        Ok(session)
+    }
+
+    /// Rebuilds a journaled session after a crash: verifies the journal,
+    /// truncates a torn tail, replays the surviving records through
+    /// Refine — from the newest valid snapshot when one exists — and
+    /// reopens the journal for further appends. Mid-log corruption
+    /// degrades to the longest verified prefix (the §5 posture: detect,
+    /// then fall back to a sound state) and is reported as
+    /// [`RecoveryStatus::Recovered`] in the returned report.
+    ///
+    /// `source` is the fresh endpoint for the same document (live
+    /// connections do not survive a crash).
+    pub fn recover(dir: &Path, source: E) -> Result<(Session<E>, RecoveryReport), WebhouseError> {
+        let rec = iixml_store::recover(dir, RecoveryMode::Degrade)?;
+        let mut report = RecoveryReport {
+            status: rec.status,
+            replayed: rec.replayed,
+            refines: rec.refines,
+            quarantines: rec.quarantines,
+            source_updates: rec.source_updates,
+            torn_tail: rec.torn_tail,
+            from_snapshot: rec.from_snapshot,
+            rebased: false,
+        };
+        let mut session = Session {
+            alpha: rec.alpha,
+            source,
+            refiner: rec.refiner,
+            retry: RetryPolicy::default(),
+            jitter: DetRng::new(0xB0FF),
+            relax_target: None,
+            answered_locally: 0,
+            mediator_queries: 0,
+            quarantines: rec.quarantines,
+            obs_label: "anon".to_string(),
+            journal: None,
+            journal_fault: None,
+        };
+        match rec.journal {
+            Some(journal) => session.journal = Some(journal),
+            None => {
+                // The log's head is gone; the state came from a snapshot
+                // alone. Rebase: wipe the dead log and seed a fresh one
+                // with an open record (true declared-type initial, so
+                // future quarantine records replay correctly) plus an
+                // immediate snapshot of the recovered state.
+                report.rebased = true;
+                wipe_journal_dir(dir)?;
+                let mut initial = Refiner::new(&session.alpha);
+                if let Some(ty) = session.source.declared_type() {
+                    let restricted =
+                        iixml_core::type_intersect::restrict_to_type(initial.current(), ty);
+                    initial = Refiner::from_tree(restricted);
+                }
+                let mut journal = SessionJournal::create(dir)?;
+                journal.log_open(&session.alpha, initial.current())?;
+                journal.snapshot_now(&session.alpha, session.refiner.current())?;
+                session.journal = Some(journal);
+            }
+        }
+        Ok((session, report))
+    }
+
+    /// The durability fault that stopped journaling, if any. Once set,
+    /// the session keeps operating un-journaled (availability over
+    /// durability); the next fallible operation also returns the fault.
+    pub fn journal_fault(&self) -> Option<&StoreError> {
+        self.journal_fault.as_ref()
+    }
+
+    /// Surfaces (and clears) a sticky journal fault recorded on a path
+    /// that could not return it.
+    fn take_journal_fault(&mut self) -> Result<(), WebhouseError> {
+        match self.journal_fault.take() {
+            Some(e) => Err(WebhouseError::Store(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Journals one event through `log`, then snapshots if due. On
+    /// failure, journaling stops (the log must not develop gaps) and the
+    /// error is returned for the caller to surface.
+    fn journal_event(
+        &mut self,
+        log: impl FnOnce(&mut SessionJournal, &Alphabet) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        let Some(mut journal) = self.journal.take() else {
+            return Ok(());
+        };
+        log(&mut journal, &self.alpha)?;
+        journal.maybe_snapshot(&self.alpha, self.refiner.current())?;
+        self.journal = Some(journal);
+        Ok(())
+    }
+
+    /// One journaled Refine step: the durability check runs *before* the
+    /// in-memory step, so a step the journal cannot spell is rejected
+    /// with the knowledge unchanged, and the append lands *after* (redo
+    /// order: a crash in between loses only the never-acknowledged
+    /// step).
+    fn apply_refine(&mut self, q: &PsQuery, ans: &Answer) -> Result<(), WebhouseError> {
+        if self.journal.is_some() {
+            SessionJournal::check_journalable(&self.alpha, q, ans)?;
+        }
+        self.refiner.refine(&self.alpha, q, ans)?;
+        self.journal_event(|j, alpha| j.log_refine(alpha, q, ans))
+            .map_err(WebhouseError::Store)
     }
 
     /// Sets the label under which this session reports per-source
@@ -267,6 +430,7 @@ impl<E: SourceEndpoint> Session<E> {
     /// refinement, and refinement is transactional (an error leaves the
     /// knowledge unchanged).
     pub fn fetch(&mut self, q: &PsQuery) -> Result<Answer, WebhouseError> {
+        self.take_journal_fault()?;
         // Per-source refine latency; the name is dynamic, so this takes
         // the registry lock — acceptable at fetch granularity.
         let _span = if iixml_obs::enabled() {
@@ -278,7 +442,7 @@ impl<E: SourceEndpoint> Session<E> {
             None
         };
         let ans = self.ask_source(q, None)?;
-        self.refiner.refine(&self.alpha, q, &ans)?;
+        self.apply_refine(q, &ans)?;
         Ok(ans)
     }
 
@@ -290,7 +454,7 @@ impl<E: SourceEndpoint> Session<E> {
     pub fn fetch_with_auxiliaries(&mut self, q: &PsQuery) -> Result<Answer, WebhouseError> {
         for aux in iixml_mediator::auxiliary_queries(q) {
             let a = self.ask_source(&aux, None)?;
-            self.refiner.refine(&self.alpha, &aux, &a)?;
+            self.apply_refine(&aux, &a)?;
         }
         self.fetch(q)
     }
@@ -317,6 +481,7 @@ impl<E: SourceEndpoint> Session<E> {
         &mut self,
         q: &PsQuery,
     ) -> Result<Option<DataTree>, WebhouseError> {
+        self.take_journal_fault()?;
         if let LocalAnswer::Complete(a) = self.answer_locally(q) {
             return Ok(a);
         }
@@ -350,7 +515,7 @@ impl<E: SourceEndpoint> Session<E> {
             },
         };
         // The answer is now exact; fold it back into the knowledge.
-        self.refiner.refine(&self.alpha, q, &answer)?;
+        self.apply_refine(q, &answer)?;
         Ok(answer.tree)
     }
 
@@ -389,6 +554,15 @@ impl<E: SourceEndpoint> Session<E> {
                         cause: DegradeCause::SourceUnavailable(e),
                     };
                 }
+                Err(WebhouseError::Store(e)) => {
+                    // Durability faults do not poison the knowledge:
+                    // answer locally, do not quarantine.
+                    OBS_DEGRADED.incr();
+                    return LocalAnswer::Degraded {
+                        partial: self.partial_answer(q),
+                        cause: DegradeCause::Durability(e),
+                    };
+                }
                 Err(e) => {
                     last_poison = Some(e);
                     self.quarantine();
@@ -398,8 +572,10 @@ impl<E: SourceEndpoint> Session<E> {
         OBS_DEGRADED.incr();
         LocalAnswer::Degraded {
             partial: self.partial_answer(q),
-            // Some(_) whenever the loop exits without returning.
-            cause: DegradeCause::Quarantined(last_poison.expect("two failed rounds")),
+            // The loop only falls through after quarantine rounds, which
+            // always set a poison; a contradiction is the conservative
+            // reading if that invariant ever breaks.
+            cause: DegradeCause::Quarantined(last_poison.unwrap_or(WebhouseError::Contradiction)),
         }
     }
 
@@ -417,13 +593,26 @@ impl<E: SourceEndpoint> Session<E> {
     fn quarantine(&mut self) {
         self.quarantines += 1;
         OBS_QUARANTINES.incr();
-        self.reinitialize();
+        self.reset_knowledge();
+        if let Err(e) = self.journal_event(|j, _| j.log_quarantine()) {
+            self.journal_fault = Some(e);
+        }
     }
 
     /// Reacts to a source update: knowledge is reinitialized to the
     /// declared type (the paper's conservative policy for dynamic
     /// sources).
     pub fn reinitialize(&mut self) {
+        self.reset_knowledge();
+        if let Err(e) = self.journal_event(|j, _| j.log_source_update()) {
+            self.journal_fault = Some(e);
+        }
+    }
+
+    /// Discards the knowledge and restarts from the declared type
+    /// (shared by quarantine and source update, which journal different
+    /// records).
+    fn reset_knowledge(&mut self) {
         let ty = self.source.declared_type().cloned();
         let mut refiner = Refiner::new(&self.alpha);
         if let Some(ty) = &ty {
@@ -442,6 +631,24 @@ impl Session<Source> {
         self.source.update(new_tree);
         self.reinitialize();
     }
+}
+
+/// Removes journal segments and snapshots from `dir` (the rebase path:
+/// the log was beyond continuation and is being reseeded).
+fn wipe_journal_dir(dir: &Path) -> Result<(), StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if (name.starts_with("seg-") && name.ends_with(".wal"))
+            || (name.starts_with("snap-") && (name.ends_with(".snap") || name.ends_with(".tmp")))
+        {
+            let path = entry.path();
+            std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+        }
+    }
+    Ok(())
 }
 
 impl<E: SourceEndpoint> fmt::Debug for Session<E> {
@@ -543,6 +750,37 @@ impl<E: SourceEndpoint> Webhouse<E> {
         let mut session = Session::open(alpha, source);
         session.set_obs_label(&name);
         self.sessions.insert(name, session);
+    }
+
+    /// Registers a source whose session journals durably into `dir`
+    /// (see [`Session::open_journaled`]).
+    pub fn register_journaled(
+        &mut self,
+        name: impl Into<String>,
+        alpha: Alphabet,
+        source: E,
+        dir: &Path,
+    ) -> Result<(), WebhouseError> {
+        let name = name.into();
+        let mut session = Session::open_journaled(alpha, source, dir)?;
+        session.set_obs_label(&name);
+        self.sessions.insert(name, session);
+        Ok(())
+    }
+
+    /// Re-registers a crashed journaled session from its journal (see
+    /// [`Session::recover`]), returning what recovery found.
+    pub fn recover_session(
+        &mut self,
+        name: impl Into<String>,
+        dir: &Path,
+        source: E,
+    ) -> Result<RecoveryReport, WebhouseError> {
+        let name = name.into();
+        let (mut session, report) = Session::recover(dir, source)?;
+        session.set_obs_label(&name);
+        self.sessions.insert(name, session);
+        Ok(report)
     }
 
     /// Accesses a session.

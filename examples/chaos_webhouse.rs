@@ -57,6 +57,7 @@ fn main() {
                 let why = match cause {
                     DegradeCause::SourceUnavailable(e) => format!("source unavailable: {e}"),
                     DegradeCause::Quarantined(e) => format!("quarantined: {e}"),
+                    DegradeCause::Durability(e) => format!("durability fault: {e}"),
                 };
                 println!(
                     "step {step:3}: DEGRADED ({why}); local envelope possible-nonempty={}",

@@ -12,6 +12,13 @@
 //! the command finishes; setting `IIXML_OBS=1` enables collection
 //! without the final dump.
 //!
+//! The global `--journal <dir>` flag makes `session` durable: every
+//! session event is appended to a checksummed write-ahead journal in
+//! `dir`, and reopening the same directory recovers the session by
+//! snapshot load plus tail replay. For `walkthrough` it appends a
+//! durability stage; `--crash-at <n>` additionally kills the journaled
+//! session after `n` fetches and recovers it mid-run.
+//!
 //! Documents use the XML-ish syntax of `iixml_tree::xmlio` (elements with
 //! `nid`/`val` attributes — see `iixml demo`); queries use the text
 //! syntax of `iixml_query::parse`, e.g.
@@ -46,14 +53,26 @@ fn main() {
     if stats {
         iixml_obs::set_enabled(true);
     }
+    let journal = match args.iter().position(|a| a == "--journal") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("error: --journal needs a directory");
+                std::process::exit(2);
+            }
+            let dir = args.remove(i + 1);
+            args.remove(i);
+            Some(dir)
+        }
+        None => None,
+    };
     let result = match args.get(1).map(String::as_str) {
         Some("eval") if args.len() == 4 => cmd_eval(&args[2], &args[3]),
         Some("demo") => cmd_demo(),
-        Some("session") if args.len() == 3 => cmd_session(&args[2]),
-        Some("walkthrough") => cmd_walkthrough(&args[2..]),
+        Some("session") if args.len() == 3 => cmd_session(&args[2], journal.as_deref()),
+        Some("walkthrough") => cmd_walkthrough(&args[2..], journal.as_deref()),
         _ => {
             eprintln!(
-                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] session <doc.xml>\n  iixml [--stats] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>]"
+                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>]"
             );
             std::process::exit(2);
         }
@@ -77,13 +96,21 @@ fn main() {
 /// per fault kind; seed `--chaos-seed`, default 0xA5EED) and the
 /// per-query outcomes — complete, degraded, quarantined — are printed
 /// along with the injected fault counts.
-fn cmd_walkthrough(opts: &[String]) -> Result<(), String> {
+///
+/// `--journal <dir>` appends a durability stage: a fresh session runs a
+/// fixed query sequence with every event journaled to `dir`.
+/// `--crash-at <n>` kills that session after `n` fetches (leaving a
+/// torn partial frame at the tail, as an interrupted write would),
+/// recovers from the journal, finishes the remaining fetches, and
+/// checks the final knowledge is byte-identical to an uncrashed run.
+fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String> {
     use iixml_core::Refiner;
     use iixml_oracle::{enumerate_rep, Bounds};
 
     let mut chaos = false;
     let mut chaos_rate = 0.15f64;
     let mut chaos_seed = 0xA5EEDu64;
+    let mut crash_at: Option<usize> = None;
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
         match opt.as_str() {
@@ -103,8 +130,18 @@ fn cmd_walkthrough(opts: &[String]) -> Result<(), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--chaos-seed needs an integer")?;
             }
+            "--crash-at" => {
+                crash_at = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--crash-at needs a step number")?,
+                );
+            }
             other => return Err(format!("unknown walkthrough option: {other}")),
         }
+    }
+    if crash_at.is_some() && journal.is_none() {
+        return Err("--crash-at needs --journal <dir>".into());
     }
 
     // 1. Answering with views: refine knowledge from a price view.
@@ -203,6 +240,110 @@ fn cmd_walkthrough(opts: &[String]) -> Result<(), String> {
             chaotic.source().queries_served(),
         );
     }
+
+    // 6. (--journal) Durability: journal a fresh session's events,
+    //    optionally crash partway through, recover, and finish.
+    if let Some(dir) = journal {
+        walkthrough_durability(dir, crash_at, &mut cat)?;
+    }
+    Ok(())
+}
+
+/// The walkthrough's durability stage: runs a fixed sequence of fetches
+/// with journaling on, optionally simulating a crash (process death plus
+/// a torn partial frame at the WAL tail) after `crash_at` fetches, then
+/// recovering and finishing. The final knowledge must serialize
+/// byte-identically to an uncrashed in-memory run.
+fn walkthrough_durability(
+    dir: &str,
+    crash_at: Option<usize>,
+    cat: &mut iixml_gen::Catalog,
+) -> Result<(), String> {
+    use iixml_store::wal::Wal;
+    use iixml_webhouse::RecoveryStatus;
+
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if !Wal::segments(&dir).map_err(|e| e.to_string())?.is_empty() {
+        return Err(format!(
+            "{} already holds a journal; pass an empty directory \
+             (or recover it with `iixml --journal {} session <doc.xml>`)",
+            dir.display(),
+            dir.display()
+        ));
+    }
+    // Generate every query up front so the alphabet is complete before
+    // the session freezes it (journaled sessions reject events whose
+    // labels fall outside the alphabet recorded at open).
+    let queries: Vec<_> = [150i64, 200, 250, 300, 350, 400, 450, 500]
+        .iter()
+        .map(|&b| iixml_gen::catalog_query_price_below(&mut cat.alpha, b))
+        .collect();
+    let alpha = cat.alpha.clone();
+    let source = || Source::new(cat.doc.clone(), Some(cat.ty.clone()));
+
+    // Reference: the same fetches, no journal, no crash.
+    let mut reference = Session::open(alpha.clone(), source());
+    for q in &queries {
+        reference.fetch(q).map_err(|e| e.to_string())?;
+    }
+    let want = write_incomplete_xml(reference.knowledge(), &alpha);
+
+    let mut session =
+        Session::open_journaled(alpha.clone(), source(), &dir).map_err(|e| e.to_string())?;
+    let crash = crash_at.unwrap_or(queries.len()).min(queries.len());
+    for q in &queries[..crash] {
+        session.fetch(q).map_err(|e| e.to_string())?;
+    }
+    let mut resume = crash;
+    if crash < queries.len() {
+        // Crash: the process dies mid-append. Dropping the session
+        // models the death (every acknowledged record is already
+        // synced); the stray half-frame models the interrupted write.
+        drop(session);
+        let (_, last_seg) = Wal::segments(&dir)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .next_back()
+            .ok_or("journal vanished")?;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&last_seg)
+            .map_err(|e| format!("{}: {e}", last_seg.display()))?;
+        f.write_all(b"REC!\x40\x00\x00\x00\xde\xad")
+            .map_err(|e| format!("{}: {e}", last_seg.display()))?;
+        let (rec, report) = Session::recover(&dir, source()).map_err(|e| e.to_string())?;
+        session = rec;
+        println!(
+            "durability stage: crashed after {crash} of {} fetches; \
+             recovery replayed {} records ({} refines), torn tail: {}, status: {}",
+            queries.len(),
+            report.replayed,
+            report.refines,
+            report.torn_tail,
+            match report.status {
+                RecoveryStatus::Clean => "clean".to_string(),
+                RecoveryStatus::Recovered { dropped_records } =>
+                    format!("recovered ({dropped_records} records dropped)"),
+            },
+        );
+        // Resume with whatever the journal did not preserve: if a
+        // record was dropped, the corresponding fetch is re-asked.
+        resume = report.refines.min(crash);
+    }
+    for q in &queries[resume..] {
+        session.fetch(q).map_err(|e| e.to_string())?;
+    }
+    let got = write_incomplete_xml(session.knowledge(), &alpha);
+    println!(
+        "durability stage: {} fetches journaled to {}; knowledge matches uncrashed run: {}",
+        queries.len(),
+        dir.display(),
+        got == want
+    );
+    if got != want {
+        return Err("recovered knowledge diverged from the uncrashed run".into());
+    }
     Ok(())
 }
 
@@ -231,10 +372,38 @@ fn cmd_demo() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_session(path: &str) -> Result<(), String> {
+fn cmd_session(path: &str, journal: Option<&str>) -> Result<(), String> {
     let mut alpha = Alphabet::new();
     let doc = load_doc(path, &mut alpha)?;
-    let mut session = Session::open(alpha.clone(), Source::new(doc, None));
+    let mut session = match journal {
+        None => Session::open(alpha.clone(), Source::new(doc, None)),
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let existing = iixml_store::wal::Wal::segments(&dir).map_err(|e| e.to_string())?;
+            if existing.is_empty() {
+                eprintln!("journaling session events to {}", dir.display());
+                Session::open_journaled(alpha.clone(), Source::new(doc, None), &dir)
+                    .map_err(|e| e.to_string())?
+            } else {
+                let (session, report) =
+                    Session::recover(&dir, Source::new(doc, None)).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "recovered session from {}: {} records replayed \
+                     ({} refines, {} quarantines), from snapshot: {:?}, \
+                     torn tail: {}, status: {:?}",
+                    dir.display(),
+                    report.replayed,
+                    report.refines,
+                    report.quarantines,
+                    report.from_snapshot,
+                    report.torn_tail,
+                    report.status,
+                );
+                session
+            }
+        }
+    };
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     eprintln!("session open; commands: fetch/ask/mediate <query>, show, td, stats, quit");
@@ -272,6 +441,9 @@ fn cmd_session(path: &str) -> Result<(), String> {
                     session.source().queries_served,
                     session.source().nodes_shipped
                 );
+                if let Some(e) = session.journal_fault() {
+                    println!("journal fault (journaling stopped): {e}");
+                }
             }
             "fetch" | "ask" | "mediate" => {
                 let mut a2 = alpha.clone();

@@ -160,3 +160,145 @@ fn incomplete_xml_rejects_mutations_gracefully() {
     let mut a2 = alpha.clone();
     assert!(parse_incomplete_xml(&xml, &mut a2).is_ok());
 }
+
+// ---- durable-store binary formats (journal records, snapshots, WAL) ----
+
+use iixml_store::{Record, Snapshot};
+
+/// Arbitrary bytes, occasionally salted with the store's magic numbers
+/// so decoders get past their first gate.
+fn arb_bytes(rng: &mut DetRng, max_len: usize) -> Vec<u8> {
+    let len = rng.range_usize(0, max_len + 1);
+    let mut out: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+    if rng.bool(0.3) {
+        // The deref is load-bearing: without it inference picks
+        // `T = [u8]`, which is unsized (clippy's auto-deref hint lies).
+        #[allow(clippy::explicit_auto_deref)]
+        let magic: &[u8] = *rng.choose(&[&b"IIXJWAL"[..], &b"IIXSNAP"[..], &b"REC!"[..]]);
+        let fit = magic.len().min(out.len());
+        out[..fit].copy_from_slice(&magic[..fit]);
+    }
+    out
+}
+
+/// A random (structurally valid) journal record.
+fn arb_record(rng: &mut DetRng) -> Record {
+    match rng.below(5) {
+        0 => Record::Open {
+            alpha: (0..rng.range_usize(0, 4))
+                .map(|_| arb_string(rng, 8))
+                .collect(),
+            initial: arb_string(rng, 40),
+        },
+        1 => Record::Refine {
+            query: arb_string(rng, 30),
+            answer_tree: if rng.bool(0.5) {
+                Some(arb_string(rng, 40))
+            } else {
+                None
+            },
+            provenance: (0..rng.range_usize(0, 4))
+                .map(|_| (rng.below(100), rng.bool(0.5), rng.below(50) as u32))
+                .collect(),
+        },
+        2 => Record::SourceUpdate,
+        3 => Record::Quarantine,
+        _ => Record::SnapshotRef {
+            seq: rng.below(1000),
+            file: arb_string(rng, 20),
+            crc: rng.next_u64() as u32,
+        },
+    }
+}
+
+#[test]
+fn journal_record_roundtrips() {
+    check_with("journal_record_roundtrips", 300, |rng| {
+        let rec = arb_record(rng);
+        let decoded = Record::decode(&rec.encode()).expect("own encoding must decode");
+        assert_eq!(decoded, rec);
+    });
+}
+
+#[test]
+fn journal_record_decoder_never_panics() {
+    check_with("journal_record_decoder_never_panics", 600, |rng| {
+        let bytes = if rng.bool(0.5) {
+            // Mutated valid encoding: flip one bit somewhere.
+            let mut b = arb_record(rng).encode();
+            if !b.is_empty() {
+                let i = rng.range_usize(0, b.len());
+                b[i] ^= 1 << rng.below(8);
+            }
+            b
+        } else {
+            arb_bytes(rng, 80)
+        };
+        // Ok or Err, never a panic (and no unbounded allocation).
+        let _ = Record::decode(&bytes);
+    });
+}
+
+#[test]
+fn snapshot_decoder_never_panics() {
+    let path = std::path::Path::new("fuzz.snap");
+    check_with("snapshot_decoder_never_panics", 600, |rng| {
+        let bytes = if rng.bool(0.5) {
+            // A well-formed snapshot with one bit flipped.
+            let snap = Snapshot {
+                seq: rng.below(100),
+                alpha: (0..rng.range_usize(0, 3))
+                    .map(|_| arb_string(rng, 6))
+                    .collect(),
+                knowledge: arb_string(rng, 60),
+            };
+            let payload_roundtrip = Snapshot::decode(path, &snap_bytes(&snap));
+            assert_eq!(payload_roundtrip.expect("own encoding must decode"), snap);
+            let mut b = snap_bytes(&snap);
+            let i = rng.range_usize(0, b.len());
+            b[i] ^= 1 << rng.below(8);
+            b
+        } else {
+            arb_bytes(rng, 120)
+        };
+        let _ = Snapshot::decode(path, &bytes);
+    });
+}
+
+/// Snapshot file bytes without touching the filesystem (header + payload,
+/// same layout `Snapshot::write` produces).
+fn snap_bytes(snap: &Snapshot) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("iixml-fuzz-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (name, _) = snap.write(&dir).unwrap();
+    let bytes = std::fs::read(dir.join(name)).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+#[test]
+fn wal_scan_never_panics_on_arbitrary_segments() {
+    use iixml_store::wal;
+    let dir = std::env::temp_dir().join(format!("iixml-fuzz-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    check_with("wal_scan_never_panics", 300, |rng| {
+        // One or two segment files of arbitrary bytes; a valid header
+        // is prepended half the time so the scanner reaches the frames.
+        let nsegs = rng.range_usize(1, 3);
+        for i in 0..nsegs {
+            let mut bytes = Vec::new();
+            if rng.bool(0.5) {
+                bytes.extend_from_slice(b"IIXJWAL\x01");
+            }
+            bytes.extend_from_slice(&arb_bytes(rng, 200));
+            std::fs::write(dir.join(format!("seg-{i:06}.wal")), &bytes).unwrap();
+        }
+        // Ok with frames, or a typed damage report — never a panic.
+        let _ = wal::scan(&dir);
+        for (_, p) in wal::Wal::segments(&dir).unwrap() {
+            std::fs::remove_file(p).unwrap();
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

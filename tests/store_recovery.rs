@@ -1,0 +1,311 @@
+//! Crash-recovery invariants of the durable session journal under
+//! seeded fault injection.
+//!
+//! The invariant (the tentpole's acceptance bar): recovering a journal
+//! that suffered torn writes and bit flips either reproduces the exact
+//! serialized knowledge the session had after the surviving record
+//! prefix, or reports `Recovered { dropped_records > 0 }` — it never
+//! panics and never silently diverges. Over a thousand seeded
+//! injury cases drive that claim; `IIXML_TEST_SEED` rotates them.
+
+use iixml_core::io::write_incomplete_xml;
+use iixml_core::{IncompleteTree, Refiner};
+use iixml_gen::rng::DetRng;
+use iixml_gen::testkit;
+use iixml_query::PsQuery;
+use iixml_store::{recover, Corruptor, Injury, RecoveryMode, RecoveryStatus, SessionJournal};
+use iixml_tree::Alphabet;
+use std::path::{Path, PathBuf};
+
+const FAMILIES: usize = 20;
+const CASES_PER_FAMILY: usize = 52;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iixml-storerec-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    let _ = std::fs::remove_dir_all(to);
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+fn ser(refiner: &Refiner, alpha: &Alphabet) -> String {
+    write_incomplete_xml(refiner.current(), alpha)
+}
+
+/// One journaled session history: the journal directory plus the
+/// serialized knowledge after every record (`states[k]` = state once
+/// `k` records are durable), built at the store level so the snapshot
+/// cadence can be varied per family.
+struct Family {
+    dir: PathBuf,
+    states: Vec<String>,
+}
+
+fn build_family(f: usize, seed: u64) -> Family {
+    let mut rng = DetRng::new(seed);
+    let mut cat = iixml_gen::catalog(2, rng.next_u64());
+    // Pre-generate the query pool so the alphabet is complete (frozen)
+    // before the Open record spells it out.
+    let queries: Vec<PsQuery> = (0..6)
+        .map(|_| iixml_gen::catalog_query_price_below(&mut cat.alpha, rng.range_i64(50, 500)))
+        .collect();
+    let alpha = cat.alpha.clone();
+
+    let dir = scratch(&format!("fam{f}"));
+    let mut journal = SessionJournal::create(&dir).unwrap();
+    journal.set_snapshot_every(*rng.choose(&[None, Some(2), Some(4)]));
+    let mut refiner = Refiner::new(&alpha);
+    let initial: IncompleteTree = refiner.current().clone();
+    journal.log_open(&alpha, &initial).unwrap();
+    // states[0] is the never-observable pre-open state; recovery always
+    // reflects at least the Open record.
+    let mut states = vec![String::new(), ser(&refiner, &alpha)];
+
+    for _ in 0..rng.range_usize(4, 9) {
+        match rng.below(10) {
+            0 => {
+                refiner = Refiner::from_tree(initial.clone());
+                journal.log_quarantine().unwrap();
+            }
+            1 => {
+                refiner = Refiner::from_tree(initial.clone());
+                journal.log_source_update().unwrap();
+            }
+            _ => {
+                let q = rng.choose(&queries).clone();
+                let ans = q.eval(&cat.doc);
+                refiner.refine(&alpha, &q, &ans).unwrap();
+                journal.log_refine(&alpha, &q, &ans).unwrap();
+            }
+        }
+        states.push(ser(&refiner, &alpha));
+        if journal.maybe_snapshot(&alpha, refiner.current()).unwrap() {
+            // The SnapshotRef record changes no state.
+            states.push(ser(&refiner, &alpha));
+        }
+        assert_eq!(journal.seq() as usize, states.len() - 1);
+    }
+    Family { dir, states }
+}
+
+/// Flips one random byte of a random snapshot file, so recovery's
+/// fall-back-past-corrupt-snapshots path gets exercised too (the
+/// `Corruptor` itself only injures WAL segments).
+fn maybe_injure_snapshot(rng: &mut DetRng, dir: &Path) {
+    let snaps: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "snap")).then_some(p)
+        })
+        .collect();
+    if snaps.is_empty() || !rng.bool(0.3) {
+        return;
+    }
+    let path = rng.choose(&snaps);
+    let mut bytes = std::fs::read(path).unwrap();
+    if bytes.is_empty() {
+        return;
+    }
+    let i = rng.range_usize(0, bytes.len());
+    bytes[i] ^= 1 << rng.below(8);
+    std::fs::write(path, &bytes).unwrap();
+}
+
+// The acceptance floor: the injection sweep is at least a thousand cases.
+const _: () = assert!(FAMILIES * CASES_PER_FAMILY >= 1000);
+
+#[test]
+fn recovery_never_diverges_under_seeded_injection() {
+    let base = testkit::base_seed();
+    let mut recovered_ok = 0usize;
+    let mut typed_errors = 0usize;
+    for f in 0..FAMILIES {
+        let fam_seed = DetRng::new(base).fork(f as u64).next_u64();
+        let fam = build_family(f, fam_seed);
+        let total = fam.states.len() - 1;
+        let case_dir = scratch(&format!("fam{f}-case"));
+        for c in 0..CASES_PER_FAMILY {
+            let case_seed = DetRng::new(fam_seed).fork(c as u64).next_u64();
+            let ctx = format!(
+                "family {f} case {c} — replay with IIXML_TEST_SEED={base} \
+                 (family seed {fam_seed}, case seed {case_seed})"
+            );
+            copy_dir(&fam.dir, &case_dir);
+            let mut rng = DetRng::new(case_seed);
+            let mut corruptor = Corruptor::new(case_seed);
+            let injuries: Vec<Injury> = (0..rng.range_usize(1, 3))
+                .map(|_| corruptor.injure(&case_dir).unwrap())
+                .collect();
+            maybe_injure_snapshot(&mut rng, &case_dir);
+            // A truncation landing exactly on a frame boundary is
+            // indistinguishable from a shorter log (records the
+            // recoverer never heard of cannot be missed) — so only
+            // then may a clean recovery come up short without a torn
+            // tail. Bit flips must never be silent.
+            let tore = injuries
+                .iter()
+                .any(|i| matches!(i, Injury::Truncated { .. }));
+
+            let rec = match recover(&case_dir, RecoveryMode::Degrade) {
+                Ok(rec) => rec,
+                Err(_) => {
+                    // A typed error (journal destroyed beyond any sound
+                    // prefix) is an acceptable outcome; a panic is not.
+                    typed_errors += 1;
+                    continue;
+                }
+            };
+            recovered_ok += 1;
+            assert!(
+                rec.replayed >= 1 && rec.replayed <= total,
+                "{ctx}: replayed {} of {total} records",
+                rec.replayed
+            );
+            let got = ser(&rec.refiner, &rec.alpha);
+            assert_eq!(
+                got, fam.states[rec.replayed],
+                "{ctx}: recovered state is not the state after {} records",
+                rec.replayed
+            );
+            // Never silently diverge: losing durable records must be
+            // visible — as a drop count, or as the torn tail that
+            // legitimately ate the end of the log.
+            match rec.status {
+                RecoveryStatus::Clean => assert!(
+                    rec.replayed == total || rec.torn_tail || tore,
+                    "{ctx}: clean recovery lost {} records with no torn tail",
+                    total - rec.replayed
+                ),
+                RecoveryStatus::Recovered { dropped_records } => assert!(
+                    dropped_records > 0,
+                    "{ctx}: Recovered with a zero drop count"
+                ),
+            }
+            // Recovery repairs as it goes, so recovering again must
+            // converge: same prefix, same bytes.
+            let has_journal = rec.journal.is_some();
+            let replayed = rec.replayed;
+            drop(rec);
+            let again = recover(&case_dir, RecoveryMode::Degrade)
+                .unwrap_or_else(|e| panic!("{ctx}: second recovery failed: {e}"));
+            assert_eq!(again.replayed, replayed, "{ctx}: second recovery drifted");
+            assert_eq!(
+                ser(&again.refiner, &again.alpha),
+                got,
+                "{ctx}: second recovery changed the state"
+            );
+            if has_journal {
+                assert_eq!(
+                    again.status,
+                    RecoveryStatus::Clean,
+                    "{ctx}: repaired log still reports damage"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&fam.dir);
+        let _ = std::fs::remove_dir_all(&case_dir);
+    }
+    // The harness must actually be recovering most of the time, not
+    // hiding behind the typed-error escape hatch.
+    assert!(
+        recovered_ok >= FAMILIES * CASES_PER_FAMILY / 2,
+        "only {recovered_ok} of {} cases recovered ({typed_errors} typed errors)",
+        FAMILIES * CASES_PER_FAMILY
+    );
+}
+
+/// A chaos storm (PR 2's unreliable source) on a journaled session,
+/// crashed at a seeded step and recovered: the recovered knowledge must
+/// be byte-identical to the uncrashed run at the crash point, at
+/// parallel widths 1 and 4 — and the whole trajectory must not depend
+/// on the width.
+#[test]
+fn chaos_storm_crash_recovery_is_byte_identical_across_widths() {
+    use iixml_webhouse::{FaultPlan, FaultySource, Session, Source};
+
+    let base = testkit::base_seed();
+    let steps = 24usize;
+    let crash_at = (DetRng::new(base).fork(0xC4A5).next_u64() % steps as u64) as usize;
+    let mut trajectories: Vec<Vec<String>> = Vec::new();
+
+    for &width in &[1usize, 4] {
+        iixml_par::set_threads(Some(width));
+        let mut cat = iixml_gen::catalog(3, base ^ 0x5709);
+        let mut queries: Vec<PsQuery> = [150i64, 200, 250, 300, 400, 500]
+            .iter()
+            .map(|&b| iixml_gen::catalog_query_price_below(&mut cat.alpha, b))
+            .collect();
+        queries.push(iixml_gen::catalog_query_camera_pictures(&mut cat.alpha));
+        let alpha = cat.alpha.clone();
+        let make_source = || {
+            FaultySource::new(
+                Source::new(cat.doc.clone(), Some(cat.ty.clone())),
+                FaultPlan::uniform(0.2),
+                base ^ 0xFA17,
+            )
+        };
+
+        let dir = scratch(&format!("chaos-w{width}"));
+        let crash_dir = scratch(&format!("chaos-w{width}-crash"));
+        let mut session =
+            Session::open_journaled(alpha.clone(), make_source(), &dir).expect("journaled open");
+        session.set_backoff_seed(base);
+        let mut states = Vec::with_capacity(steps);
+        for (i, q) in queries.iter().cycle().take(steps).enumerate() {
+            let _ = session.answer_resilient(q);
+            assert!(
+                session.journal_fault().is_none(),
+                "journal fault during an uninjured storm"
+            );
+            states.push(write_incomplete_xml(session.knowledge(), &alpha));
+            if i == crash_at {
+                // The crash image: every acknowledged record is already
+                // synced, so a copy of the directory is exactly what a
+                // killed process would leave behind.
+                copy_dir(&dir, &crash_dir);
+            }
+        }
+
+        let (recovered, report) =
+            Session::recover(&crash_dir, make_source()).expect("recovery of the crash image");
+        assert_eq!(report.status, RecoveryStatus::Clean, "width {width}");
+        assert!(
+            !report.rebased,
+            "width {width}: clean image forced a rebase"
+        );
+        assert_eq!(
+            write_incomplete_xml(recovered.knowledge(), &alpha),
+            states[crash_at],
+            "width {width}: recovered knowledge diverged from the uncrashed run at step {crash_at}"
+        );
+
+        // The full (uncrashed) journal recovers to the final state too.
+        drop(session);
+        let (full, full_report) =
+            Session::recover(&dir, make_source()).expect("recovery of the full journal");
+        assert_eq!(full_report.status, RecoveryStatus::Clean, "width {width}");
+        assert_eq!(
+            write_incomplete_xml(full.knowledge(), &alpha),
+            states[steps - 1],
+            "width {width}: full-journal recovery diverged from the final state"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+        trajectories.push(states);
+    }
+    iixml_par::set_threads(None);
+    assert_eq!(
+        trajectories[0], trajectories[1],
+        "thread width changed the session trajectory"
+    );
+}
