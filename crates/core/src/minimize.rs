@@ -23,17 +23,17 @@
 
 use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
 use crate::itree::IncompleteTree;
-use iixml_obs::{LazyCounter, LazyHistogram};
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use iixml_tree::Mult;
 use iixml_values::IntervalSet;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Wall time of each `minimize()` call.
-static OBS_MINIMIZE_NS: LazyHistogram = LazyHistogram::new("core.minimize.call_ns");
+static OBS_MINIMIZE_NS: LazyHistogram = LazyHistogram::new(keys::CORE_MINIMIZE_CALL_NS);
 /// Symbols eliminated by bisimulation merging, across all calls.
-static OBS_MERGED: LazyCounter = LazyCounter::new("core.minimize.symbols_merged");
+static OBS_MERGED: LazyCounter = LazyCounter::new(keys::CORE_MINIMIZE_SYMBOLS_MERGED);
 /// Distinct partition signatures interned across all refinement rounds.
-static OBS_INTERNED: LazyCounter = LazyCounter::new("core.minimize.interned_sigs");
+static OBS_INTERNED: LazyCounter = LazyCounter::new(keys::CORE_MINIMIZE_INTERNED_SIGS);
 
 /// Minimum symbols per worker before a partition-refinement round
 /// spreads signature computation over threads.

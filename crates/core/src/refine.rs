@@ -25,7 +25,7 @@
 
 use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
 use crate::itree::{IncompleteTree, ItreeError, NodeInfo};
-use iixml_obs::{LazyCounter, LazyHistogram};
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use iixml_query::{Answer, MatchKind, PsQuery, QNodeRef};
 use iixml_tree::{Alphabet, DataTree, Label, Mult, Nid};
 use iixml_values::IntervalSet;
@@ -37,22 +37,22 @@ use std::sync::Arc;
 const INTERSECT_GRAIN: usize = 16;
 
 /// Refinement steps performed (all chains).
-static OBS_STEPS: LazyCounter = LazyCounter::new("core.refine.steps");
+static OBS_STEPS: LazyCounter = LazyCounter::new(keys::CORE_REFINE_STEPS);
 /// Size of each `T_{q,A}` built by [`query_answer_tree`].
-static OBS_TQA_SIZE: LazyHistogram = LazyHistogram::new("core.refine.tqa_size");
+static OBS_TQA_SIZE: LazyHistogram = LazyHistogram::new(keys::CORE_REFINE_TQA_SIZE);
 /// Atoms emitted per `⋊⋉` join of two multiplicity atoms.
-static OBS_JOIN_FANOUT: LazyHistogram = LazyHistogram::new("core.refine.join_fanout");
+static OBS_JOIN_FANOUT: LazyHistogram = LazyHistogram::new(keys::CORE_REFINE_JOIN_FANOUT);
 /// Joins whose disjunctive expansion produced more than one atom
 /// (ambiguous partner choices — the paper's unique-matching case is 1).
-static OBS_EXPANSIONS: LazyCounter = LazyCounter::new("core.refine.disjunctive_expansions");
+static OBS_EXPANSIONS: LazyCounter = LazyCounter::new(keys::CORE_REFINE_DISJUNCTIVE_EXPANSIONS);
 /// Wall time of the ⋊⋉ product per step.
-static OBS_INTERSECT_NS: LazyHistogram = LazyHistogram::new("core.refine.intersect_ns");
+static OBS_INTERSECT_NS: LazyHistogram = LazyHistogram::new(keys::CORE_REFINE_INTERSECT_NS);
 /// Wall time of trim per step.
-static OBS_TRIM_NS: LazyHistogram = LazyHistogram::new("core.refine.trim_ns");
+static OBS_TRIM_NS: LazyHistogram = LazyHistogram::new(keys::CORE_REFINE_TRIM_NS);
 /// Wall time of bisimulation minimization per step.
-static OBS_MINIMIZE_NS: LazyHistogram = LazyHistogram::new("core.refine.minimize_ns");
+static OBS_MINIMIZE_NS: LazyHistogram = LazyHistogram::new(keys::CORE_REFINE_MINIMIZE_NS);
 /// Size of the maintained incomplete tree after each step.
-static OBS_STEP_SIZE: LazyHistogram = LazyHistogram::new("core.refine.step_size");
+static OBS_STEP_SIZE: LazyHistogram = LazyHistogram::new(keys::CORE_REFINE_STEP_SIZE);
 
 /// Builds `T_{q,A}` (Lemma 3.2): the unambiguous incomplete tree whose
 /// `rep` is exactly the set of data trees on which `q` returns `A`.
@@ -312,8 +312,15 @@ pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteT
         }
     }
 
+    // The pair table is a HashMap, so never iterate it directly: sort
+    // the keys once and drive every pass off that, keeping the root
+    // list, the task list, and the scheduling metrics deterministic.
+    let mut keys: Vec<(Sym, Sym)> = Vec::with_capacity(pair_of.len());
+    keys.extend(pair_of.keys().copied());
+    keys.sort_unstable();
+
     // Roots.
-    for &(s1, s2) in pair_of.keys() {
+    for &(s1, s2) in &keys {
         if ty1.roots().contains(&s1) && ty2.roots().contains(&s2) {
             ty.add_root(pair_of[&(s1, s2)]);
         }
@@ -322,12 +329,8 @@ pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteT
     // µ of each pair: union over disjunct pairs of the joined atoms.
     // Each pair's µ depends only on the (frozen) input types and the
     // complete `pair_of` table, so the ⋊⋉ expansion — the hot inner loop
-    // of Algorithm Refine — parallelizes per pair. Keys are sorted so
-    // the task list (and thus scheduling metrics) is deterministic; the
-    // results are order-preserving by construction.
-    let mut keys: Vec<(Sym, Sym)> = Vec::with_capacity(pair_of.len());
-    keys.extend(pair_of.keys().copied());
-    keys.sort_unstable();
+    // of Algorithm Refine — parallelizes per pair, order-preserving by
+    // construction.
     let mus: Vec<Disjunction> = iixml_par::par_map_ref(&keys, INTERSECT_GRAIN, |&(s1, s2)| {
         let mut atoms: Vec<SAtom> = Vec::new();
         for a1 in ty1.mu(s1).atoms() {

@@ -17,16 +17,16 @@
 
 use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
 use crate::itree::IncompleteTree;
-use iixml_obs::{LazyCounter, LazyHistogram};
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use iixml_tree::{Label, Mult, TreeType};
 use std::collections::BTreeMap;
 
 /// Wall time of each [`restrict_to_type`] call.
-static OBS_RESTRICT_NS: LazyHistogram = LazyHistogram::new("core.type_intersect.restrict_ns");
+static OBS_RESTRICT_NS: LazyHistogram = LazyHistogram::new(keys::CORE_TYPE_INTERSECT_RESTRICT_NS);
 /// Alternatives produced per atom restriction (cartesian blowup gauge).
-static OBS_ATOM_FANOUT: LazyHistogram = LazyHistogram::new("core.type_intersect.atom_fanout");
+static OBS_ATOM_FANOUT: LazyHistogram = LazyHistogram::new(keys::CORE_TYPE_INTERSECT_ATOM_FANOUT);
 /// Atoms eliminated as contradicting the type.
-static OBS_CONTRADICTIONS: LazyCounter = LazyCounter::new("core.type_intersect.contradictions");
+static OBS_CONTRADICTIONS: LazyCounter = LazyCounter::new(keys::CORE_TYPE_INTERSECT_CONTRADICTIONS);
 
 /// The underlying element label of a symbol (through data nodes).
 fn underlying(it: &IncompleteTree, s: Sym) -> Option<Label> {

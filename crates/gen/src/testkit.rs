@@ -36,12 +36,12 @@ fn env_u64(name: &str, default: u64) -> u64 {
 
 /// Cases per property: `IIXML_PROPTEST_CASES` or [`DEFAULT_CASES`].
 pub fn cases() -> usize {
-    env_u64("IIXML_PROPTEST_CASES", DEFAULT_CASES as u64) as usize
+    env_u64(iixml_obs::keys::ENV_PROPTEST_CASES, DEFAULT_CASES as u64) as usize
 }
 
 /// Base seed: `IIXML_TEST_SEED` or [`DEFAULT_SEED`].
 pub fn base_seed() -> u64 {
-    env_u64("IIXML_TEST_SEED", DEFAULT_SEED)
+    env_u64(iixml_obs::keys::ENV_TEST_SEED, DEFAULT_SEED)
 }
 
 /// Runs `property` once per case with an independent [`DetRng`]. On

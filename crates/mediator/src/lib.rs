@@ -99,13 +99,13 @@ impl Completion {
     ) -> Result<usize, CompletionError> {
         /// Wall time of executing a completion against a source.
         static OBS_EXECUTE_NS: iixml_obs::LazyHistogram =
-            iixml_obs::LazyHistogram::new("mediator.execute_ns");
+            iixml_obs::LazyHistogram::new(iixml_obs::keys::MEDIATOR_EXECUTE_NS);
         /// Answer nodes shipped by sources, across all executions.
         static OBS_SHIPPED: iixml_obs::LazyCounter =
-            iixml_obs::LazyCounter::new("mediator.shipped_nodes");
+            iixml_obs::LazyCounter::new(iixml_obs::keys::MEDIATOR_SHIPPED_NODES);
         /// Local queries sent to sources.
         static OBS_LOCAL_QUERIES: iixml_obs::LazyCounter =
-            iixml_obs::LazyCounter::new("mediator.local_queries");
+            iixml_obs::LazyCounter::new(iixml_obs::keys::MEDIATOR_LOCAL_QUERIES);
 
         let _span = OBS_EXECUTE_NS.time();
         OBS_LOCAL_QUERIES.add(self.queries.len() as u64);
@@ -161,7 +161,7 @@ impl<'a> Mediator<'a> {
     pub fn complete(&self, q: &PsQuery) -> Completion {
         /// Wall time of completion generation (Theorem 3.19 descent).
         static OBS_COMPLETE_NS: iixml_obs::LazyHistogram =
-            iixml_obs::LazyHistogram::new("mediator.complete_ns");
+            iixml_obs::LazyHistogram::new(iixml_obs::keys::MEDIATOR_COMPLETE_NS);
         let _span = OBS_COMPLETE_NS.time();
         let trimmed = self.it.trim();
         let sets = match_sets(&trimmed, q);
@@ -407,7 +407,11 @@ pub fn relax(it: &IncompleteTree, target_size: usize) -> IncompleteTree {
                 *counts.entry(l).or_default() += 1;
             }
         }
-        let Some((&label, &count)) = counts.iter().max_by_key(|&(_, &c)| c) else {
+        // Ties broken by smallest label, not by HashMap order.
+        let Some((&label, &count)) = counts
+            .iter()
+            .max_by_key(|&(&l, &c)| (c, std::cmp::Reverse(l)))
+        else {
             return cur;
         };
         if count <= 1 {

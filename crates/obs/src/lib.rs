@@ -50,6 +50,7 @@
 //! ```
 
 pub mod json;
+pub mod keys;
 
 use json::Json;
 use std::collections::BTreeMap;
@@ -64,8 +65,8 @@ use std::time::Instant;
 static STATE: AtomicU8 = AtomicU8::new(0);
 
 /// Environment variable that enables metric collection when set to `1`,
-/// `true`, or `on`.
-pub const ENV_TOGGLE: &str = "IIXML_OBS";
+/// `true`, or `on` (the [`keys::ENV_OBS`] registry entry).
+pub const ENV_TOGGLE: &str = keys::ENV_OBS;
 
 #[cold]
 fn init_from_env() -> bool {

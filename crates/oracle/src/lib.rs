@@ -18,7 +18,7 @@
 //!   answering over an explicit world list.
 
 use iixml_core::{IncompleteTree, Sym, SymTarget};
-use iixml_obs::{LazyCounter, LazyHistogram};
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use iixml_query::PsQuery;
 use iixml_tree::{is_prefix_of, DataTree, Nid, NodeRef};
 use iixml_values::{IntervalSet, Rat};
@@ -90,11 +90,11 @@ type Fragment = DataTree;
 /// representatives appears (up to node ids of non-instantiated nodes).
 pub fn enumerate_rep(it: &IncompleteTree, bounds: Bounds) -> Enumeration {
     /// Worlds returned per enumeration (after dedup).
-    static OBS_WORLDS: LazyHistogram = LazyHistogram::new("oracle.enumerate.worlds");
+    static OBS_WORLDS: LazyHistogram = LazyHistogram::new(keys::ORACLE_ENUMERATE_WORLDS);
     /// Enumerations that hit a bound and were cut short.
-    static OBS_TRUNCATIONS: LazyCounter = LazyCounter::new("oracle.enumerate.truncations");
+    static OBS_TRUNCATIONS: LazyCounter = LazyCounter::new(keys::ORACLE_ENUMERATE_TRUNCATIONS);
     /// Wall time per enumeration.
-    static OBS_ENUM_NS: LazyHistogram = LazyHistogram::new("oracle.enumerate.call_ns");
+    static OBS_ENUM_NS: LazyHistogram = LazyHistogram::new(keys::ORACLE_ENUMERATE_CALL_NS);
 
     let _span = OBS_ENUM_NS.time();
     let trimmed = it.trim();

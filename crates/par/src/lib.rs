@@ -36,19 +36,19 @@
 //! *steal* in the `par.steals` metric; `par.tasks` counts tasks run and
 //! `par.threads` records the width per invocation.
 
-use iixml_obs::{LazyCounter, LazyHistogram};
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Tasks executed through [`par_map`] (all widths, including 1).
-static OBS_TASKS: LazyCounter = LazyCounter::new("par.tasks");
+static OBS_TASKS: LazyCounter = LazyCounter::new(keys::PAR_TASKS);
 /// Tasks a worker claimed outside its fair static share.
-static OBS_STEALS: LazyCounter = LazyCounter::new("par.steals");
+static OBS_STEALS: LazyCounter = LazyCounter::new(keys::PAR_STEALS);
 /// Worker width per [`par_map`] invocation.
-static OBS_THREADS: LazyHistogram = LazyHistogram::new("par.threads");
+static OBS_THREADS: LazyHistogram = LazyHistogram::new(keys::PAR_THREADS);
 
 /// Environment variable selecting the worker width (`1` = sequential).
-pub const ENV_THREADS: &str = "IIXML_PAR_THREADS";
+pub const ENV_THREADS: &str = keys::ENV_PAR_THREADS;
 
 /// In-process override; 0 means "use the environment default".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);

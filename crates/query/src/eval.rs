@@ -7,17 +7,17 @@
 //! answers can be merged.
 
 use crate::pattern::{PsQuery, QNodeRef};
-use iixml_obs::{LazyCounter, LazyHistogram};
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use iixml_tree::{DataTree, Nid, NodeRef};
 use std::collections::HashMap;
 
 /// Query evaluations performed.
-static OBS_EVALS: LazyCounter = LazyCounter::new("query.eval.calls");
+static OBS_EVALS: LazyCounter = LazyCounter::new(keys::QUERY_EVAL_CALLS);
 /// Pattern-node/data-node valuations tried per evaluation (the memo's
 /// footprint — the `O(|q|·|T|)` of the naive bound).
-static OBS_VALUATIONS: LazyHistogram = LazyHistogram::new("query.eval.valuations");
+static OBS_VALUATIONS: LazyHistogram = LazyHistogram::new(keys::QUERY_EVAL_VALUATIONS);
 /// Answer size (nodes) per evaluation, empty answers included as 0.
-static OBS_ANSWER_NODES: LazyHistogram = LazyHistogram::new("query.eval.answer_nodes");
+static OBS_ANSWER_NODES: LazyHistogram = LazyHistogram::new(keys::QUERY_EVAL_ANSWER_NODES);
 
 /// How an answer node was produced. Algorithm Refine (Lemma 3.2) needs
 /// this provenance to build the incomplete tree `T_{q,A}`.

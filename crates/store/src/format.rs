@@ -1,0 +1,70 @@
+//! The single registry of every frozen on-disk spelling.
+//!
+//! Everything a journal directory's bytes can begin with — segment and
+//! frame magics, snapshot magic, format versions, record tag bytes —
+//! is declared here and nowhere else. The rest of the crate imports
+//! these constants; `iixml-vet`'s `format` rule rejects any stray
+//! `IIXJWAL` / `REC!` / `IIXSNAP` literal outside this module *and*
+//! checks that the spellings below still match the frozen alphabet, so
+//! neither a new call site nor an accidental edit here can silently
+//! fork the format. Version-bump policy is in CONTRIBUTING.md
+//! ("On-disk format versioning").
+
+/// Magic opening every WAL segment file.
+pub const SEGMENT_MAGIC: [u8; 7] = *b"IIXJWAL";
+/// The WAL format version this build reads and writes. Bump on any
+/// layout change (see CONTRIBUTING.md).
+pub const FORMAT_VERSION: u8 = 1;
+/// Magic opening every WAL frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"REC!";
+/// Segment header: magic + version byte.
+pub const SEGMENT_HEADER_LEN: usize = 8;
+/// Frame header: magic + u32 length + u32 CRC.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Magic opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 7] = *b"IIXSNAP";
+/// Snapshot format version (bumped independently of the WAL's; see
+/// CONTRIBUTING.md).
+pub const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot header: magic + version byte + u32 CRC.
+pub const SNAPSHOT_HEADER_LEN: usize = 12;
+
+/// Record payload tag: session open.
+pub const TAG_OPEN: u8 = 1;
+/// Record payload tag: one Refine step.
+pub const TAG_REFINE: u8 = 2;
+/// Record payload tag: source replaced, knowledge reinitialized.
+pub const TAG_SOURCE_UPDATE: u8 = 3;
+/// Record payload tag: knowledge quarantined.
+pub const TAG_QUARANTINE: u8 = 4;
+/// Record payload tag: snapshot marker.
+pub const TAG_SNAPSHOT_REF: u8 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The frozen alphabet, spelled out once more on purpose: this test
+    /// (and the identical check in `iixml-vet`) is the tripwire against
+    /// an accidental edit to the constants above.
+    #[test]
+    fn spellings_are_frozen() {
+        assert_eq!(&SEGMENT_MAGIC, b"IIXJWAL");
+        assert_eq!(&FRAME_MAGIC, b"REC!");
+        assert_eq!(&SNAPSHOT_MAGIC, b"IIXSNAP");
+        assert_eq!(SEGMENT_HEADER_LEN, SEGMENT_MAGIC.len() + 1);
+        assert_eq!(FRAME_HEADER_LEN, FRAME_MAGIC.len() + 4 + 4);
+        assert_eq!(SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC.len() + 1 + 4);
+        assert_eq!(
+            [
+                TAG_OPEN,
+                TAG_REFINE,
+                TAG_SOURCE_UPDATE,
+                TAG_QUARANTINE,
+                TAG_SNAPSHOT_REF
+            ],
+            [1, 2, 3, 4, 5]
+        );
+    }
+}

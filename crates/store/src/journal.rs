@@ -34,7 +34,7 @@ use crate::snapshot::{self, Snapshot};
 use crate::wal::{self, Wal};
 use iixml_core::io::{parse_incomplete_xml, write_incomplete_xml};
 use iixml_core::{IncompleteTree, Refiner};
-use iixml_obs::LazyCounter;
+use iixml_obs::{keys, LazyCounter};
 use iixml_query::{parse_ps_query, Answer, MatchKind, PsQuery, QNodeRef};
 use iixml_tree::xmlio::{parse_tree, write_tree};
 use iixml_tree::{Alphabet, Nid};
@@ -42,7 +42,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// Records replayed through Refine during recovery.
-static OBS_REPLAYED: LazyCounter = LazyCounter::new("store.replayed");
+static OBS_REPLAYED: LazyCounter = LazyCounter::new(keys::STORE_REPLAYED);
 
 /// A session's durable journal, open for appends.
 pub struct SessionJournal {
@@ -421,7 +421,7 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
                             alpha,
                             parse_alpha,
                             Refiner::from_tree(state),
-                            Some(initial),
+                            initial,
                             seq as usize,
                             Some(seq),
                         )
@@ -430,7 +430,7 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
                         alpha,
                         parse_alpha,
                         Refiner::from_tree(initial.clone()),
-                        Some(initial),
+                        initial,
                         1,
                         None,
                     ),
@@ -486,7 +486,6 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
                 });
             }
         };
-    let initial = initial.expect("open-record path always has an initial");
 
     // Fourth: replay the tail through the real Refine code.
     let mut refines = 0usize;

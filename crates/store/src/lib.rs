@@ -31,6 +31,7 @@
 
 pub mod crc;
 pub mod error;
+pub mod format;
 pub mod inject;
 pub mod journal;
 pub mod record;

@@ -63,11 +63,7 @@ pub enum Record {
     },
 }
 
-const TAG_OPEN: u8 = 1;
-const TAG_REFINE: u8 = 2;
-const TAG_SOURCE_UPDATE: u8 = 3;
-const TAG_QUARANTINE: u8 = 4;
-const TAG_SNAPSHOT_REF: u8 = 5;
+use crate::format::{TAG_OPEN, TAG_QUARANTINE, TAG_REFINE, TAG_SNAPSHOT_REF, TAG_SOURCE_UPDATE};
 
 impl Record {
     /// Short human name (used in error messages and `--journal` logs).

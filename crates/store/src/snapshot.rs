@@ -27,20 +27,17 @@
 use crate::crc::crc32;
 use crate::error::StoreError;
 use crate::wal::OBS_FSYNCS;
-use iixml_obs::LazyHistogram;
+use iixml_obs::{keys, LazyHistogram};
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Snapshot payload sizes, in bytes.
-static OBS_SNAPSHOT_BYTES: LazyHistogram = LazyHistogram::new("store.snapshot_bytes");
+static OBS_SNAPSHOT_BYTES: LazyHistogram = LazyHistogram::new(keys::STORE_SNAPSHOT_BYTES);
 
-/// Magic opening every snapshot file.
-pub const SNAPSHOT_MAGIC: [u8; 7] = *b"IIXSNAP";
-/// Snapshot format version (bumped independently of the WAL's; see
-/// CONTRIBUTING.md).
-pub const SNAPSHOT_VERSION: u8 = 1;
-const HEADER_LEN: usize = 12;
+pub use crate::format::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+
+use crate::format::SNAPSHOT_HEADER_LEN as HEADER_LEN;
 
 /// A decoded snapshot: session state after `seq` journal records.
 #[derive(Debug, Clone, PartialEq, Eq)]

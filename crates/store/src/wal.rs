@@ -25,29 +25,23 @@
 
 use crate::crc::crc32;
 use crate::error::StoreError;
-use iixml_obs::LazyCounter;
+use iixml_obs::{keys, LazyCounter};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Frames appended to the WAL.
-static OBS_APPENDS: LazyCounter = LazyCounter::new("store.appends");
+static OBS_APPENDS: LazyCounter = LazyCounter::new(keys::STORE_APPENDS);
 /// `fsync`/`sync_data` calls issued (appends and snapshot writes).
-pub(crate) static OBS_FSYNCS: LazyCounter = LazyCounter::new("store.fsyncs");
+pub(crate) static OBS_FSYNCS: LazyCounter = LazyCounter::new(keys::STORE_FSYNCS);
 /// Frames rejected by checksum verification during scans.
-pub(crate) static OBS_CRC_REJECTS: LazyCounter = LazyCounter::new("store.crc_rejects");
+pub(crate) static OBS_CRC_REJECTS: LazyCounter = LazyCounter::new(keys::STORE_CRC_REJECTS);
 /// Torn tails truncated during recovery.
-static OBS_TORN_TAILS: LazyCounter = LazyCounter::new("store.torn_tails");
+static OBS_TORN_TAILS: LazyCounter = LazyCounter::new(keys::STORE_TORN_TAILS);
 
-/// Magic opening every segment file.
-pub const SEGMENT_MAGIC: [u8; 7] = *b"IIXJWAL";
-/// The journal format version this build reads and writes. Bump on any
-/// layout change (see CONTRIBUTING.md).
-pub const FORMAT_VERSION: u8 = 1;
-/// Magic opening every frame.
-pub const FRAME_MAGIC: [u8; 4] = *b"REC!";
-const SEGMENT_HEADER_LEN: usize = 8;
-const FRAME_HEADER_LEN: usize = 12;
+pub use crate::format::{FORMAT_VERSION, FRAME_MAGIC, SEGMENT_MAGIC};
+
+use crate::format::{FRAME_HEADER_LEN, SEGMENT_HEADER_LEN};
 
 /// An open WAL, positioned for appends at the tail of the newest
 /// segment.
@@ -317,9 +311,6 @@ pub fn scan(dir: &Path) -> Result<ScanOutcome, StoreError> {
     'segments: for (si, (path, buf)) in bufs.iter().enumerate() {
         // Header.
         if buf.len() < SEGMENT_HEADER_LEN || buf[..7] != SEGMENT_MAGIC {
-            if si == 0 && buf.len() >= SEGMENT_HEADER_LEN && buf[..7] == SEGMENT_MAGIC {
-                unreachable!()
-            }
             damage = Some(Damage {
                 segment: path.clone(),
                 offset: 0,

@@ -52,8 +52,8 @@ fn env_u64(name: &str, default: u64) -> u64 {
 /// Runs `property` on a deterministic per-case rng, `IIXML_PROPTEST_CASES`
 /// times (capped at 200), reporting the failing case seed on panic.
 fn check(name: &str, mut property: impl FnMut(&mut MiniRng)) {
-    let n = (env_u64("IIXML_PROPTEST_CASES", 64) as usize).clamp(1, 200);
-    let base = env_u64("IIXML_TEST_SEED", 0xA5EED);
+    let n = (env_u64(iixml_obs::keys::ENV_PROPTEST_CASES, 64) as usize).clamp(1, 200);
+    let base = env_u64(iixml_obs::keys::ENV_TEST_SEED, 0xA5EED);
     for case in 0..n {
         let case_seed = MiniRng::new(base ^ MiniRng::new(case as u64).next_u64()).next_u64();
         let mut rng = MiniRng::new(case_seed);

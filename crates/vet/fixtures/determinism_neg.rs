@@ -1,0 +1,24 @@
+//! Negative fixture for the `determinism` rule: parsed as a
+//! byte-reproducible crate file, nothing here may be flagged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Docs may discuss HashMap iteration order and SystemTime freely.
+fn ordered(m: &BTreeMap<u32, u32>, s: &BTreeSet<u32>) -> Option<u32> {
+    // Deterministic containers and seeded randomness only.
+    let seed = 0xA5EEDu64;
+    let _ = seed;
+    m.keys().next().copied().or_else(|| s.iter().next().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_hashmaps_and_clocks() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = std::time::Instant::now();
+        let _ = (m, t);
+    }
+}

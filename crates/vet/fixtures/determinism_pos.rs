@@ -1,0 +1,26 @@
+//! Positive fixture for the `determinism` rule: parsed as a
+//! byte-reproducible crate file, every construct below must be flagged.
+
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+use std::time::SystemTime;
+
+fn wall_clock() -> SystemTime {
+    SystemTime::now()
+}
+
+fn monotonic() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+fn random_order(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> usize {
+    let qualified: std::collections::HashMap<u32, u32> = m.clone();
+    let _ = (qualified, s, BTreeMap::<u32, u32>::new());
+    m.len()
+}
+
+fn unseeded() {
+    thread_rng();
+}
+
+fn thread_rng() {}

@@ -1,0 +1,16 @@
+//! Negative fixture for the `env` rule: nothing here may be flagged.
+
+use iixml_obs::keys;
+
+fn reads() -> Option<String> {
+    std::env::var(keys::ENV_OBS).ok()
+}
+
+fn near_misses() {
+    // Prose and lookalikes: lowercase tails, embedded spaces, and
+    // format! holes are not variable names.
+    let doc = "set IIXML_OBS=1 to enable metrics";
+    let lower = "IIXML_not_a_var";
+    let fmt = format!("IIXML_{}", 7);
+    let _ = (doc, lower, fmt);
+}

@@ -1,0 +1,20 @@
+//! Positive fixture for the `env` rule: each `IIXML_*` literal below
+//! bypasses the registry and must be flagged — tests included, since a
+//! typo'd variable in a test silently pins the default.
+
+fn reads() -> Option<String> {
+    std::env::var("IIXML_OBS").ok()
+}
+
+fn typo() -> Option<String> {
+    // The classic failure the registry exists to catch.
+    std::env::var("IIXML_PAR_THREADZ").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_literals_in_tests_are_flagged_too() {
+        std::env::set_var("IIXML_TEST_SEED", "7");
+    }
+}

@@ -1,0 +1,23 @@
+//! Negative fixture for the `format` rule: parsed as a non-registry
+//! store file, nothing here may be flagged.
+
+// The frozen spellings IIXJWAL, REC!, and IIXSNAP may appear in
+// comments — prose is not a stray literal.
+
+/// Reads the header through the registry, never a local spelling.
+fn uses_registry(buf: &[u8], magic: &[u8; 7]) -> bool {
+    buf.starts_with(magic)
+}
+
+fn unrelated_literals() -> (&'static str, &'static [u8]) {
+    ("RECORD", b"WALRUS")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spell_magics_to_craft_corruption() {
+        let torn = b"IIXJWAL\x01REC!";
+        assert_eq!(&torn[..7], b"IIXJWAL");
+    }
+}

@@ -1,0 +1,16 @@
+//! Positive fixture for the `format` rule: parsed as a non-registry
+//! store file, each stray on-disk spelling below must be flagged.
+
+const ROGUE_SEGMENT: &[u8] = b"IIXJWAL";
+const ROGUE_FRAME: &str = "REC!";
+
+fn rogue_snapshot_header() -> Vec<u8> {
+    let mut v = b"IIXSNAP".to_vec();
+    v.push(1);
+    v
+}
+
+fn embedded(buf: &[u8]) -> bool {
+    // Even inside a longer literal the magic is a stray spelling.
+    buf.starts_with(b"prefix-REC!-suffix")
+}

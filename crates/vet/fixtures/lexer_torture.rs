@@ -1,0 +1,59 @@
+//! Lexer torture fixture: every line here LOOKS like a violation but
+//! is data, not code. The self-test lexes this as a panic-scoped crate
+//! file and asserts zero findings — pinning the false-positive
+//! strategy of DESIGN.md §10.
+//!
+//! This file never compiles as part of the workspace (fixtures are
+//! skipped by the walker); it only needs to lex.
+
+// x.unwrap() in a line comment is not a call, and REC! here is prose.
+/* x.expect("nested /* block */ comments hide panic!() and IIXJWAL") */
+
+/// Doc comments mentioning .unwrap(), IIXSNAP, and SystemTime::now()
+/// are prose. The strings below deliberately avoid the frozen magics:
+/// unlike the panic rules, `format` inspects string *content*, so a
+/// magic in a string here would be a true positive, not a false one.
+fn strings() {
+    let s = "contains .unwrap() and panic!(\"boom\") inside a string";
+    let r = r#"raw string with "quotes" and .expect("data") inside"#;
+    let many = r###"raw with ## hashes: r#"inner"# and more"###;
+    let b = b"byte string FRAME with fake magic";
+    let br = br##"raw byte string SEGMENT"##;
+    let fmt = format!("IIXML_{}", "not_a_var_name_at_lex_time");
+    let _ = (s, r, many, b, br, fmt);
+}
+
+fn chars_vs_lifetimes<'a>(x: &'a str) -> &'a str {
+    let quote = '"'; // a char literal, not an unterminated string
+    let escaped = '\''; // escaped quote char
+    let unicode = '\u{1F980}';
+    let bracket = '['; // not an index expression
+    'outer: loop {
+        break 'outer;
+    }
+    let _ = (quote, escaped, unicode, bracket);
+    x
+}
+
+fn indexing_lookalikes() {
+    // A slice pattern is not an index expression.
+    let [a, b] = [1, 2];
+    // An array literal after `=` is not an index expression.
+    let arr = [a, b];
+    // Attribute brackets are not index expressions either:
+    #[allow(dead_code)]
+    fn inner() {}
+    let _ = arr;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Vec<u32> = vec![1];
+        v[0]; // indexing in tests is fine
+        Some(1).unwrap();
+        std::collections::HashMap::<u32, u32>::new();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,15 @@
+//! Negative fixture for the `metrics` rule: parsed as an instrumented
+//! crate file, nothing here may be flagged.
+
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
+
+static STEPS: LazyCounter = LazyCounter::new(keys::CORE_REFINE_STEPS);
+static SIZES: LazyHistogram = LazyHistogram::new(keys::CORE_REFINE_STEP_SIZE);
+
+fn registry_keys(label: &str) {
+    iixml_obs::add(keys::PAR_TASKS, 1);
+    let _guard = iixml_obs::time(&keys::webhouse_fetch_ns(label));
+    // A string literal away from an emit site is not a metric key.
+    let message = "core.refine.steps looks like a key but is a log line";
+    let _ = message;
+}

@@ -1,0 +1,13 @@
+//! Positive fixture for the `metrics` rule: parsed as an instrumented
+//! crate file, each literal-key emit site below must be flagged.
+
+use iixml_obs::{LazyCounter, LazyHistogram};
+
+static ROGUE_COUNTER: LazyCounter = LazyCounter::new("core.rogue.steps");
+static ROGUE_HISTOGRAM: LazyHistogram = LazyHistogram::new("core.rogue.size");
+
+fn dynamic_sites() {
+    iixml_obs::add("core.rogue.dynamic", 1);
+    iixml_obs::observe("core.rogue.observed", 2);
+    let _guard = iixml_obs::time("core.rogue.span_ns");
+}

@@ -1,0 +1,40 @@
+//! Negative fixture for the `panic` rules: parsed as a data-path crate
+//! file, nothing here may be flagged.
+
+/// Mentions of .unwrap() and v[i] in docs are prose.
+fn fallible(input: &str) -> Result<u32, String> {
+    // A user-defined fallible `expect` followed by `?` is not
+    // Result::expect (core::io's parser uses this shape).
+    let parser = Parser { input };
+    parser.expect("<")?;
+    input.parse::<u32>().map_err(|e| e.to_string())
+}
+
+struct Parser<'a> {
+    input: &'a str,
+}
+
+impl Parser<'_> {
+    fn expect(&self, _tag: &str) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+fn safe_access(v: &[u32], i: usize) -> u32 {
+    // .get() instead of indexing; slice patterns and array literals
+    // use brackets without indexing.
+    let [first, second] = [1u32, 2u32];
+    *v.get(i).unwrap_or(&0) + first + second
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_and_index() {
+        let v = vec![1u32];
+        assert_eq!(v[0], Some(1).unwrap());
+        if v.is_empty() {
+            unreachable!("empty");
+        }
+    }
+}

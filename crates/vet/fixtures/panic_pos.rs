@@ -1,0 +1,28 @@
+//! Positive fixture for the `panic` and `panic-index` rules: parsed as
+//! a data-path crate file, every construct below must be flagged.
+
+fn unwraps(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("this expect is Result::expect, not a parser method");
+    a + b
+}
+
+fn macros(flag: bool) {
+    if flag {
+        panic!("flagged");
+    }
+    match flag {
+        true => todo!(),
+        false => unreachable!("also flagged"),
+    }
+}
+
+fn unimplemented_too() {
+    unimplemented!()
+}
+
+fn indexing(v: &[u32], i: usize) -> u32 {
+    let a = v[i];
+    let b = v[0];
+    a + b
+}

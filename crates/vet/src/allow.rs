@@ -1,0 +1,200 @@
+//! The `vet.allow` baseline: justified survivors of the rules.
+//!
+//! One entry per line, four ` | `-separated fields:
+//!
+//! ```text
+//! rule | path | needle | reason
+//! ```
+//!
+//! An entry suppresses a finding when the rule matches, the path
+//! matches exactly, and `needle` is a substring of the offending
+//! source line. Needles anchor to code rather than line numbers, so
+//! entries survive unrelated edits; the reason is mandatory — an
+//! allowlist entry without an argument is itself a finding, and so is
+//! an entry that no longer suppresses anything (a stale baseline reads
+//! as "this is still justified" when nothing is there).
+//!
+//! A needle of `*` matches every line: a file-scoped waiver for one
+//! rule. It exists for `panic-index`, where a module's bounds
+//! discipline (interned ids, `0..len` loops) justifies indexing
+//! wholesale and per-line entries would just transcribe the file.
+
+use crate::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to.
+    pub rule: String,
+    /// Workspace-relative path, exact match.
+    pub path: String,
+    /// Substring of the offending source line.
+    pub needle: String,
+    /// Why the violation is acceptable.
+    pub reason: String,
+    /// 1-based line in `vet.allow` (for diagnostics).
+    pub line: u32,
+}
+
+/// The parsed allowlist plus per-entry use counts.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+    used: Vec<std::cell::Cell<bool>>,
+    /// Findings produced while parsing (malformed lines, missing
+    /// reasons).
+    pub parse_findings: Vec<Finding>,
+}
+
+/// The allowlist file name at the workspace root.
+pub const ALLOW_FILE: &str = "vet.allow";
+
+impl Allowlist {
+    /// Parses allowlist text. Never fails: malformed lines become
+    /// findings against the allowlist file itself.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = (i + 1) as u32;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+            let bad = |msg: &str| Finding {
+                rule: "allow",
+                file: ALLOW_FILE.to_string(),
+                line: lineno,
+                message: msg.to_string(),
+            };
+            if fields.len() != 4 {
+                list.parse_findings
+                    .push(bad("malformed entry: want `rule | path | needle | reason`"));
+                continue;
+            }
+            let (rule, path, needle, reason) = (fields[0], fields[1], fields[2], fields[3]);
+            if rule.is_empty() || path.is_empty() || needle.is_empty() {
+                list.parse_findings
+                    .push(bad("rule, path, and needle must be non-empty"));
+                continue;
+            }
+            if reason.len() < 10 {
+                list.parse_findings.push(bad(
+                    "every allow entry needs a written justification (>= 10 chars)",
+                ));
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                needle: needle.to_string(),
+                reason: reason.to_string(),
+                line: lineno,
+            });
+            list.used.push(std::cell::Cell::new(false));
+        }
+        list
+    }
+
+    /// Does an entry suppress this finding (given the offending source
+    /// line's text)? Marks the entry used.
+    pub fn suppresses(&self, finding: &Finding, line_text: &str) -> bool {
+        let mut hit = false;
+        for (e, used) in self.entries.iter().zip(&self.used) {
+            if e.rule == finding.rule
+                && e.path == finding.file
+                && (e.needle == "*" || line_text.contains(&e.needle))
+            {
+                used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Findings for entries that suppressed nothing.
+    pub fn stale_findings(&self) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !used.get())
+            .map(|(e, _)| Finding {
+                rule: "allow",
+                file: ALLOW_FILE.to_string(),
+                line: e.line,
+                message: format!(
+                    "stale entry ({} | {} | {}): it no longer suppresses any finding — delete it",
+                    e.rule, e.path, e.needle
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_suppresses() {
+        let list = Allowlist::parse(
+            "# comment\n\npanic | crates/core/src/x.rs | foo.expect | Lemma 3.2 invariant: productive symbols always have a witness\n",
+        );
+        assert!(list.parse_findings.is_empty());
+        assert_eq!(list.entries.len(), 1);
+        let f = Finding {
+            rule: "panic",
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: String::new(),
+        };
+        assert!(list.suppresses(&f, "let y = foo.expect(\"msg\");"));
+        assert!(list.stale_findings().is_empty());
+        let other = Finding {
+            rule: "panic",
+            file: "crates/core/src/y.rs".into(),
+            line: 7,
+            message: String::new(),
+        };
+        assert!(!list.suppresses(&other, "foo.expect(\"msg\")"));
+    }
+
+    #[test]
+    fn malformed_and_reasonless_entries_are_findings() {
+        let list = Allowlist::parse("panic | a.rs | needle\npanic | a.rs | needle | short\n");
+        assert_eq!(list.parse_findings.len(), 2);
+        assert!(list.entries.is_empty());
+    }
+
+    #[test]
+    fn star_needle_is_a_file_scoped_waiver() {
+        let list = Allowlist::parse(
+            "panic-index | crates/core/src/ctt.rs | * | indices are interned symbol ids, always in range\n",
+        );
+        let f = |file: &str, rule: &'static str| Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            message: String::new(),
+        };
+        assert!(list.suppresses(
+            &f("crates/core/src/ctt.rs", "panic-index"),
+            "self.mu[s.ix()]"
+        ));
+        // Same file, different rule: not waived.
+        assert!(!list.suppresses(&f("crates/core/src/ctt.rs", "panic"), "x.unwrap()"));
+        // Different file: not waived.
+        assert!(!list.suppresses(&f("crates/core/src/itree.rs", "panic-index"), "a[0]"));
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let list = Allowlist::parse(
+            "panic | a.rs | never_matches | this entry should be reported stale\n",
+        );
+        let stale = list.stale_findings();
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("stale"));
+    }
+}

@@ -1,0 +1,413 @@
+//! A token-level Rust lexer, exactly precise enough for lint rules.
+//!
+//! The rules in this crate key off method names, paths, and literals.
+//! Regex-over-lines would misfire on `unwrap()` inside a doc comment,
+//! a raw string containing `panic!`, or the char literal `'"'` — so
+//! this lexer handles every Rust token shape that changes where code
+//! ends and data begins:
+//!
+//! * line and (nested) block comments, including doc comments;
+//! * string literals with escapes, byte strings, and raw (byte)
+//!   strings with any `#` count;
+//! * char literals (including `'"'`, `'\''`, `'\u{...}'`) versus
+//!   lifetimes (`'a`, `'static`) and loop labels;
+//! * identifiers, numbers, and single-char punctuation.
+//!
+//! It does **not** parse: rules pattern-match the token stream. That
+//! is the deliberate altitude — a full parser would be overkill for
+//! "no stray `IIXJWAL` literal", and line regexes are not enough.
+//! False-positive hygiene is pinned by `fixtures/lexer_torture.rs`.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime or loop label (`'a`), without the quote.
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `b"…"`, `r#"…"#`, …),
+    /// text includes delimiters.
+    Str,
+    /// Char or byte-char literal, text includes quotes.
+    Char,
+    /// Numeric literal (integer part only; `1.5` is `1` `.` `5`).
+    Num,
+    /// One punctuation character.
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text (delimiters included for literals).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// The interior of a string literal: delimiters, `r`/`b` prefixes,
+    /// and raw-string hashes stripped. Escapes are left as written —
+    /// the rules only match escape-free needles.
+    pub fn str_content(&self) -> &str {
+        let mut s = self.text.as_str();
+        while let Some(rest) = s
+            .strip_prefix('b')
+            .or_else(|| s.strip_prefix('r'))
+            .or_else(|| s.strip_prefix('#'))
+        {
+            s = rest;
+        }
+        let s = s.strip_prefix('"').unwrap_or(s);
+        let mut e = s;
+        while let Some(rest) = e.strip_suffix('#') {
+            e = rest;
+        }
+        e.strip_suffix('"').unwrap_or(e)
+    }
+}
+
+/// Lexes `src` into tokens, skipping comments and whitespace. Total:
+/// any input produces a token list, never a panic; malformed trailing
+/// constructs (unterminated strings or comments) yield one final token
+/// holding the rest of the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.b.len() {
+            let line = self.line;
+            let c = self.b[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string(line) => {}
+                b'"' => self.string(line),
+                b'\'' => self.quote(line),
+                _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.push(TokKind::Punct(c as char), self.pos, self.pos + 1, line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..end.min(self.src.len())].to_string(),
+            line,
+        });
+    }
+
+    fn bump_lines(&mut self, start: usize, end: usize) {
+        self.line += self.b[start..end.min(self.b.len())]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.b.len() && self.b[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.b.len() && depth > 0 {
+            if self.b[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.b[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.bump_lines(start, self.pos);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns
+    /// false when the `r`/`b` turns out to start a plain identifier,
+    /// leaving `self.pos` untouched.
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let start = self.pos;
+        let mut i = self.pos + 1;
+        let mut is_raw = self.b[start] == b'r';
+        if self.b[start] == b'b' {
+            if self.b.get(i) == Some(&b'\'') {
+                // Byte char b'x'.
+                self.pos = i;
+                self.char_literal(start, line);
+                return true;
+            }
+            if self.b.get(i) == Some(&b'r') {
+                is_raw = true;
+                i += 1;
+            }
+        }
+        if !is_raw {
+            // Plain byte string b"…": escape-aware scan.
+            if self.b.get(i) == Some(&b'"') {
+                self.pos = i;
+                self.string_from(start, line);
+                return true;
+            }
+            return false;
+        }
+        let hashes_start = i;
+        while self.b.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        let hashes = i - hashes_start;
+        if self.b.get(i) != Some(&b'"') {
+            return false; // `r` / `br` starting an identifier
+        }
+        // Raw string: no escapes; ends at `"` followed by `hashes` `#`s.
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        let mut j = i + 1;
+        while j < self.b.len() && !self.b[j..].starts_with(&closer) {
+            j += 1;
+        }
+        let j = (j + closer.len()).min(self.b.len());
+        self.bump_lines(start, j);
+        self.push(TokKind::Str, start, j, line);
+        self.pos = j;
+        true
+    }
+
+    fn string(&mut self, line: u32) {
+        let start = self.pos;
+        self.string_from(start, line);
+    }
+
+    /// Scans a `"`-delimited string starting at `self.pos` (which must
+    /// point at the opening quote); the token starts at `start` so
+    /// `b"…"` keeps its prefix.
+    fn string_from(&mut self, start: usize, line: u32) {
+        let mut j = self.pos + 1;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let j = j.min(self.b.len());
+        self.bump_lines(start, j);
+        self.push(TokKind::Str, start, j, line);
+        self.pos = j;
+    }
+
+    /// A `'`: char literal, lifetime, or loop label.
+    fn quote(&mut self, line: u32) {
+        let start = self.pos;
+        match self.peek(1) {
+            // '\…' is always a char literal.
+            Some(b'\\') => self.char_literal(start, line),
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 => {
+                // 'x' (closing quote right after one char) is a char
+                // literal; otherwise a lifetime like 'a, 'static.
+                if self.peek(2) == Some(b'\'') {
+                    self.char_literal(start, line);
+                } else {
+                    let mut j = self.pos + 1;
+                    while j < self.b.len()
+                        && (self.b[j] == b'_'
+                            || self.b[j].is_ascii_alphanumeric()
+                            || self.b[j] >= 0x80)
+                    {
+                        j += 1;
+                    }
+                    self.push(TokKind::Lifetime, start, j, line);
+                    self.pos = j;
+                }
+            }
+            // Anything else ('"', '[', …) is a char literal.
+            _ => self.char_literal(start, line),
+        }
+    }
+
+    /// Scans from the opening `'` at `self.pos` to the closing `'`.
+    fn char_literal(&mut self, start: usize, line: u32) {
+        let mut j = self.pos + 1;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'\'' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let j = j.min(self.b.len());
+        self.push(TokKind::Char, start, j, line);
+        self.pos = j;
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        let mut j = self.pos;
+        // Walk char-wise so multi-byte identifiers stay whole.
+        for (off, ch) in self.src[start..].char_indices() {
+            if ch == '_' || ch.is_alphanumeric() {
+                j = start + off + ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if j == start {
+            // A multi-byte char that is not alphanumeric (an em dash in
+            // prose, an arrow in a diagram). Emit it as punctuation —
+            // the important part is that the lexer always advances.
+            let width = self.src[start..].chars().next().map_or(1, char::len_utf8);
+            self.push(TokKind::Punct('\u{FFFD}'), start, start + width, line);
+            self.pos = start + width;
+            return;
+        }
+        self.push(TokKind::Ident, start, j, line);
+        self.pos = j;
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut j = self.pos;
+        while j < self.b.len() && (self.b[j] == b'_' || self.b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        self.push(TokKind::Num, start, j, line);
+        self.pos = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        let toks = kinds("a // x.unwrap()\nb /* panic! /* nested */ still */ c");
+        let idents: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r####"let s = r#"quote " and .unwrap() inside"#; x"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("x"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let toks = kinds(r###"f(b"REC!"); g(br##"IIXJWAL"##);"###);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r#"b"REC!""#, r###"br##"IIXJWAL"##"###]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c = '\"'; let d: &'a str = x; 'outer: loop {} '\\''");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'\"'", "'\\''"]);
+        let lifes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifes, ["'a", "'outer"]);
+    }
+
+    #[test]
+    fn str_content_strips_delimiters() {
+        for (src, want) in [
+            (r#""IIXML_OBS""#, "IIXML_OBS"),
+            (r#"b"REC!""#, "REC!"),
+            (r###"r#"core.x"#"###, "core.x"),
+            (r####"br##"x"##"####, "x"),
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].str_content(), want, "{src}");
+        }
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("a\n\"two\nline\"\nb /*\n*/ c");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(5));
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"", "'a"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+#![warn(missing_docs)]
+
+//! `iixml-vet` — workspace static analysis for the invariants the
+//! compiler cannot check.
+//!
+//! The paper's correctness story rests on discipline: Refine must
+//! never lose `rep(T)` equivalence to a stray panic (Lemmas 3.2–3.3),
+//! recovery must read exactly the frozen WAL alphabet, and every
+//! output must be byte-reproducible across runs and thread widths.
+//! PRs used to enforce these by manual audit; this crate enforces them
+//! mechanically, on every `cargo test` and in CI:
+//!
+//! * `panic` — no `unwrap`/`expect`/`panic!`-family/indexing in
+//!   non-test code of the data-path crates;
+//! * `determinism` — no wall clock, no `Instant::now` outside
+//!   obs/bench, no `RandomState`-ordered containers in
+//!   byte-reproducible crates, no unseeded randomness;
+//! * `format` — the `IIXJWAL`/`REC!`/`IIXSNAP` spellings live only in
+//!   `iixml_store::format`, and that registry still spells them the
+//!   frozen way;
+//! * `metrics` — metric keys come from `iixml_obs::keys`, never
+//!   literals (a typo would silently mint a new metric);
+//! * `env` — `IIXML_*` variables come from the same registry and are
+//!   documented in README.md.
+//!
+//! Justified survivors live in `vet.allow` with a mandatory written
+//! reason; stale or reasonless entries are findings themselves. See
+//! DESIGN.md §10 for the rule catalog and false-positive strategy.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use allow::Allowlist;
+use iixml_obs::json::Json;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`panic`, `panic-index`, `determinism`, `format`,
+    /// `metrics`, `env`, `allow`).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// The CLI line format: `file:line rule message`.
+    pub fn render(&self) -> String {
+        format!("{}:{} {} {}", self.file, self.line, self.rule, self.message)
+    }
+
+    /// The finding as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("file", self.file.clone())
+            .set("line", u64::from(self.line))
+            .set("rule", self.rule.to_string())
+            .set("message", self.message.clone())
+    }
+}
+
+/// The result of a full check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings (allowlist applied), sorted by
+    /// (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `vet.allow` (for `--json` visibility).
+    pub suppressed: usize,
+    /// Files checked.
+    pub files: usize,
+}
+
+impl Report {
+    /// The report as a JSON object (the CI artifact shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("files", self.files as u64)
+            .set("suppressed", self.suppressed as u64)
+            .set(
+                "findings",
+                Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            )
+    }
+}
+
+/// Runs every rule over already-lexed sources. `readme` is README.md's
+/// text for the env-registry documentation check.
+pub fn check_sources(files: &[SourceFile], allowlist: &Allowlist, readme: Option<&str>) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
+    for f in files {
+        rules::panic_freedom(f, &mut raw);
+        rules::determinism(f, &mut raw);
+        rules::frozen_format(f, &mut raw);
+        rules::metric_keys(f, &mut raw);
+        rules::env_vars(f, &mut raw);
+    }
+    rules::frozen_format_registry(files, &mut raw);
+    rules::env_registry(readme, &mut raw);
+
+    // Two index expressions on one line are one finding; distinct
+    // messages at the same location stay distinct.
+    raw.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    raw.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.message == b.message
+    });
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in raw {
+        let line_text = files
+            .iter()
+            .find(|f| f.path == finding.file)
+            .map(|f| f.line_text(finding.line))
+            .unwrap_or("");
+        if allowlist.suppresses(&finding, line_text) {
+            suppressed += 1;
+        } else {
+            findings.push(finding);
+        }
+    }
+    findings.extend(allowlist.parse_findings.iter().cloned());
+    findings.extend(allowlist.stale_findings());
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Report {
+        findings,
+        suppressed,
+        files: files.len(),
+    }
+}
+
+/// Checks the workspace rooted at `root`: walks the source tree, loads
+/// `vet.allow` and README.md, runs every rule. Errors are I/O-level
+/// only (unreadable root); per-file read failures are findings, not
+/// panics.
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (no Cargo.toml + crates/)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    let mut findings = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files, &mut findings);
+        }
+    }
+    let allow_text = std::fs::read_to_string(root.join(allow::ALLOW_FILE)).unwrap_or_default();
+    let allowlist = Allowlist::parse(&allow_text);
+    let readme = std::fs::read_to_string(root.join("README.md")).ok();
+    let mut report = check_sources(&files, &allowlist, readme.as_deref());
+    report.findings.extend(findings);
+    Ok(report)
+}
+
+/// Recursively collects lexable sources under `dir`, sorted so output
+/// and the allow baseline are stable across filesystems.
+fn walk(root: &Path, dir: &Path, files: &mut Vec<SourceFile>, findings: &mut Vec<Finding>) {
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(_) => return,
+    };
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" || name == "fixtures" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, files, findings);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(&path) {
+                Ok(content) => {
+                    if let Some(f) = SourceFile::parse(&rel, &content) {
+                        files.push(f);
+                    }
+                }
+                Err(e) => findings.push(Finding {
+                    rule: "io",
+                    file: rel,
+                    line: 1,
+                    message: format!("unreadable: {e}"),
+                }),
+            }
+        }
+    }
+}

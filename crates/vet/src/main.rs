@@ -1,0 +1,72 @@
+//! `iixml-vet` CLI: `cargo run -p iixml-vet -- check [--json] [--root DIR]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: iixml-vet check [--json] [--root DIR]
+
+Runs the workspace static-analysis rules (panic, determinism, format,
+metrics, env) and prints findings as `file:line rule message`, or as a
+JSON report with --json. The baseline of justified survivors lives in
+vet.allow at the workspace root. See DESIGN.md §10.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut saw_check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" => saw_check = true,
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !saw_check {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let report = match iixml_vet::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("iixml-vet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json().render_pretty());
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        eprintln!(
+            "iixml-vet: {} file(s), {} finding(s), {} suppressed by vet.allow",
+            report.files,
+            report.findings.len(),
+            report.suppressed
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,436 @@
+//! The rule catalog. Each rule is a pure function from a lexed
+//! [`SourceFile`] to findings; scoping (which crates, whether test
+//! code counts) lives with the rule so the catalog in DESIGN.md §10
+//! reads top to bottom as the single source of truth.
+
+use crate::lexer::{TokKind, Token};
+use crate::source::{balanced, FileKind, SourceFile};
+use crate::Finding;
+
+/// Crates whose non-test code must be panic-free (plus root `src/`):
+/// these sit on the `rep(T)` data path, where a panic loses session
+/// knowledge mid-refine.
+const PANIC_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store"];
+
+/// Crates whose outputs are compared byte-for-byte across runs and
+/// thread widths; `RandomState`-ordered containers are banned here.
+const HASH_ORDER_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store"];
+
+/// The frozen on-disk alphabet (see `crates/store/src/format.rs`).
+/// Spelled here *independently* so an edit to the registry trips the
+/// vet pass rather than silently re-freezing the format.
+pub const FROZEN_MAGICS: &[(&str, &str)] = &[
+    ("SEGMENT_MAGIC", "IIXJWAL"),
+    ("FRAME_MAGIC", "REC!"),
+    ("SNAPSHOT_MAGIC", "IIXSNAP"),
+];
+
+/// The frozen WAL record tag bytes.
+pub const FROZEN_TAGS: &[(&str, &str)] = &[
+    ("TAG_OPEN", "1"),
+    ("TAG_REFINE", "2"),
+    ("TAG_SOURCE_UPDATE", "3"),
+    ("TAG_QUARANTINE", "4"),
+    ("TAG_SNAPSHOT_REF", "5"),
+];
+
+/// The registry module for on-disk spellings.
+pub const FORMAT_REGISTRY: &str = "crates/store/src/format.rs";
+/// The registry module for metric keys and env vars.
+pub const KEYS_REGISTRY: &str = "crates/obs/src/keys.rs";
+
+/// Keywords that may directly precede a `[` without it being an index
+/// expression (`if let [a, b] = …`, `return [x]`, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+fn in_crates(f: &SourceFile, names: &[&str]) -> bool {
+    match (&f.crate_name, f.kind) {
+        (Some(c), FileKind::CrateSrc) => names.contains(&c.as_str()),
+        (None, FileKind::RootSrc) => true,
+        _ => false,
+    }
+}
+
+fn finding(f: &SourceFile, rule: &'static str, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        file: f.path.clone(),
+        line,
+        message,
+    }
+}
+
+/// `panic`: no `unwrap`/`expect`/`panic!`-family in non-test code of
+/// the data-path crates; `panic-index` flags index expressions there.
+/// The split matters for the allowlist: index survivors are waived per
+/// file (`panic-index | path | * | reason` citing the module's bounds
+/// discipline) without also waiving `unwrap`, which stays per-line.
+/// `.expect(…)?` (a user-defined fallible method, as in `core::io`'s
+/// parser) is not `Result::expect` and is skipped.
+pub fn panic_freedom(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_crates(f, PANIC_CRATES) {
+        return;
+    }
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if f.skip(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(…)` not followed by `?`.
+        if t.kind == TokKind::Punct('.')
+            && toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Punct('('))
+        {
+            if toks[i + 1].is_ident("unwrap") {
+                out.push(finding(
+                    f,
+                    "panic",
+                    toks[i + 1].line,
+                    ".unwrap() in non-test code (return a typed error, or add a vet.allow entry with a reason)".into(),
+                ));
+            } else if toks[i + 1].is_ident("expect") {
+                let fallible = balanced(toks, i + 2, '(', ')')
+                    .and_then(|c| toks.get(c + 1))
+                    .is_some_and(|n| n.kind == TokKind::Punct('?'));
+                if !fallible {
+                    out.push(finding(
+                        f,
+                        "panic",
+                        toks[i + 1].line,
+                        ".expect() in non-test code (return a typed error, or add a vet.allow entry with a reason)".into(),
+                    ));
+                }
+            }
+        }
+        // panic!-family macros.
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct('!'))
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            out.push(finding(
+                f,
+                "panic",
+                t.line,
+                format!(
+                    "{}! in non-test code (make the state unrepresentable or return an error)",
+                    t.text
+                ),
+            ));
+        }
+        // Index expressions: `expr[…]` can panic on out-of-bounds.
+        if t.kind == TokKind::Punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let is_expr_pos = match prev.kind {
+                TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct(')') | TokKind::Punct(']') => true,
+                _ => false,
+            };
+            if is_expr_pos && !f.in_attr[i - 1] {
+                out.push(finding(
+                    f,
+                    "panic-index",
+                    t.line,
+                    "index expression can panic (prefer .get()/ranges checked upstream, or add a vet.allow entry citing the bounds guarantee)".into(),
+                ));
+            }
+        }
+    }
+}
+
+/// `determinism`: no wall clock, no monotonic clock outside
+/// timing-infrastructure crates, no `RandomState`-ordered containers
+/// in byte-reproducible crates, no unseeded randomness anywhere.
+pub fn determinism(f: &SourceFile, out: &mut Vec<Finding>) {
+    let crate_is = |name: &str| f.crate_name.as_deref() == Some(name);
+    let clock_scope =
+        matches!(f.kind, FileKind::CrateSrc | FileKind::RootSrc) && !crate_is("bench");
+    let hash_scope = in_crates(f, HASH_ORDER_CRATES);
+    if !clock_scope && !hash_scope {
+        return;
+    }
+    let toks = &f.tokens;
+    let mut stmt_has_use = false;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // Track whether the current statement is a `use` declaration.
+        match t.kind {
+            TokKind::Punct(';') | TokKind::Punct('}') => stmt_has_use = false,
+            // A `{` inside a `use` statement is a grouped import
+            // (`use x::{HashMap, …}`) and stays part of it; any other
+            // `{` starts a new scope.
+            TokKind::Punct('{') if !stmt_has_use => stmt_has_use = false,
+            TokKind::Ident if t.text == "use" => stmt_has_use = true,
+            _ => {}
+        }
+        if f.skip(i) {
+            continue;
+        }
+        if clock_scope {
+            if t.is_ident("SystemTime") {
+                out.push(finding(
+                    f,
+                    "determinism",
+                    t.line,
+                    "SystemTime (wall clock) makes output time-dependent; derive timestamps from inputs or move to iixml-bench".into(),
+                ));
+            }
+            if t.is_ident("Instant")
+                && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+                && toks[i + 1].kind == TokKind::Punct(':')
+                && toks[i + 2].kind == TokKind::Punct(':')
+                && !crate_is("obs")
+            {
+                out.push(finding(
+                    f,
+                    "determinism",
+                    t.line,
+                    "Instant::now outside iixml-obs spans / iixml-bench; route timing through obs so it stays toggleable and off the data path".into(),
+                ));
+            }
+            if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+                out.push(finding(
+                    f,
+                    "determinism",
+                    t.line,
+                    "unseeded randomness; use iixml_gen::rng::DetRng with an explicit seed".into(),
+                ));
+            }
+        }
+        if hash_scope
+            && (t.is_ident("HashMap") || t.is_ident("HashSet"))
+            && (stmt_has_use
+                || (i >= 2
+                    && toks[i - 1].kind == TokKind::Punct(':')
+                    && toks[i - 2].kind == TokKind::Punct(':')))
+        {
+            out.push(finding(
+                f,
+                "determinism",
+                t.line,
+                format!(
+                    "{} iteration order is RandomState-seeded; use BTreeMap/BTreeSet or add a vet.allow entry arguing order never reaches output",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `format`: the frozen on-disk spellings (`IIXJWAL`, `REC!`,
+/// `IIXSNAP`) may appear only in the registry module; tests are exempt
+/// (they craft corrupt inputs on purpose).
+pub fn frozen_format(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.path == FORMAT_REGISTRY || f.crate_name.as_deref() == Some("vet") {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if f.skip(i) || t.kind != TokKind::Str {
+            continue;
+        }
+        let content = t.str_content();
+        for (_, magic) in FROZEN_MAGICS {
+            if content.contains(magic) {
+                out.push(finding(
+                    f,
+                    "format",
+                    t.line,
+                    format!(
+                        "stray on-disk magic {magic:?}; spell it via iixml_store::format (single registry, see {FORMAT_REGISTRY})"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The registry side of `format`: the module must exist and still
+/// declare the frozen alphabet. `files` is the full workspace set.
+pub fn frozen_format_registry(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let Some(reg) = files.iter().find(|f| f.path == FORMAT_REGISTRY) else {
+        out.push(Finding {
+            rule: "format",
+            file: FORMAT_REGISTRY.to_string(),
+            line: 1,
+            message: "format registry module is missing".into(),
+        });
+        return;
+    };
+    let const_token = |name: &str, want_kind: TokKind| -> Option<Token> {
+        let toks = &reg.tokens;
+        let i = toks.iter().position(|t| t.is_ident(name))?;
+        let eq = toks[i..]
+            .iter()
+            .position(|t| t.kind == TokKind::Punct('='))?
+            + i;
+        toks[eq..]
+            .iter()
+            .take_while(|t| t.kind != TokKind::Punct(';'))
+            .find(|t| t.kind == want_kind)
+            .cloned()
+    };
+    for (name, magic) in FROZEN_MAGICS {
+        match const_token(name, TokKind::Str) {
+            Some(t) if t.str_content() == *magic => {}
+            Some(t) => out.push(Finding {
+                rule: "format",
+                file: reg.path.clone(),
+                line: t.line,
+                message: format!("{name} must stay {magic:?} (frozen); found {}", t.text),
+            }),
+            None => out.push(Finding {
+                rule: "format",
+                file: reg.path.clone(),
+                line: 1,
+                message: format!("{name} = {magic:?} missing from the format registry"),
+            }),
+        }
+    }
+    for (name, value) in FROZEN_TAGS {
+        match const_token(name, TokKind::Num) {
+            Some(t) if t.text == *value => {}
+            Some(t) => out.push(Finding {
+                rule: "format",
+                file: reg.path.clone(),
+                line: t.line,
+                message: format!(
+                    "{name} must stay {value} (frozen record tag); found {}",
+                    t.text
+                ),
+            }),
+            None => out.push(Finding {
+                rule: "format",
+                file: reg.path.clone(),
+                line: 1,
+                message: format!("{name} = {value} missing from the format registry"),
+            }),
+        }
+    }
+}
+
+/// `metrics`: every metric name at an emit site must come from
+/// `iixml_obs::keys` — a string literal (even inside `format!`) as the
+/// key argument silently mints a new metric on any typo.
+pub fn metric_keys(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !matches!(f.kind, FileKind::CrateSrc | FileKind::RootSrc)
+        || f.path == KEYS_REGISTRY
+        || f.crate_name.as_deref() == Some("vet")
+    {
+        return;
+    }
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if f.skip(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // LazyCounter::new( / LazyHistogram::new(
+        let ctor = (t.is_ident("LazyCounter") || t.is_ident("LazyHistogram"))
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct(':'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokKind::Punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("new"))
+            && toks
+                .get(i + 4)
+                .is_some_and(|n| n.kind == TokKind::Punct('('));
+        // iixml_obs::add / observe / time / counter / histogram (
+        let dyn_call = (t.is_ident("iixml_obs") || t.is_ident("obs"))
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct(':'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokKind::Punct(':'))
+            && toks.get(i + 3).is_some_and(|n| {
+                n.kind == TokKind::Ident
+                    && matches!(
+                        n.text.as_str(),
+                        "add" | "observe" | "time" | "counter" | "histogram"
+                    )
+            })
+            && toks
+                .get(i + 4)
+                .is_some_and(|n| n.kind == TokKind::Punct('('));
+        if !(ctor || dyn_call) {
+            continue;
+        }
+        if let Some(close) = balanced(toks, i + 4, '(', ')') {
+            if let Some(s) = toks[i + 5..close].iter().find(|t| t.kind == TokKind::Str) {
+                out.push(finding(
+                    f,
+                    "metrics",
+                    s.line,
+                    format!(
+                        "metric key literal {} bypasses the iixml_obs::keys registry (a typo would silently create a new metric)",
+                        s.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `env`: every `IIXML_*` environment variable name must come from the
+/// `iixml_obs::keys` registry — including in tests, where a typo'd
+/// variable silently reads nothing and the test pins the default.
+pub fn env_vars(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.path == KEYS_REGISTRY || f.crate_name.as_deref() == Some("vet") {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind != TokKind::Str || f.in_attr[i] {
+            continue;
+        }
+        let content = t.str_content();
+        let is_var_name = content.strip_prefix("IIXML_").is_some_and(|rest| {
+            !rest.is_empty()
+                && rest
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+        });
+        if is_var_name {
+            out.push(finding(
+                f,
+                "env",
+                t.line,
+                format!("env var literal {content:?} bypasses the iixml_obs::keys registry (use keys::ENV_* so every knob stays documented)"),
+            ));
+        }
+    }
+}
+
+/// The registry side of `env`: every declared variable must be
+/// documented in README.md.
+pub fn env_registry(readme: Option<&str>, out: &mut Vec<Finding>) {
+    let Some(readme) = readme else {
+        out.push(Finding {
+            rule: "env",
+            file: "README.md".into(),
+            line: 1,
+            message: "README.md missing; cannot verify env var documentation".into(),
+        });
+        return;
+    };
+    for &(name, _) in iixml_obs::keys::ENV_VARS {
+        if !readme.contains(name) {
+            out.push(Finding {
+                rule: "env",
+                file: "README.md".into(),
+                line: 1,
+                message: format!(
+                    "{name} is in the iixml_obs::keys registry but undocumented in README.md"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A lexed source file plus the classification the rules need: where
+//! test code is, where attributes are, and what kind of file this is
+//! within the workspace layout.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// How a file participates in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/<name>/src/**` — shipped library code.
+    CrateSrc,
+    /// Root `src/**` — the CLI binary and facade lib.
+    RootSrc,
+    /// Integration tests (`tests/**`, `crates/*/tests/**`).
+    Tests,
+    /// `examples/**` — demo code.
+    Examples,
+    /// `crates/bench/benches/**` — bench entry points.
+    Benches,
+}
+
+/// One lexed workspace file.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// The crate the file belongs to (`core` for
+    /// `crates/core/src/x.rs`), or `None` for root `src/`, `tests/`,
+    /// `examples/`.
+    pub crate_name: Option<String>,
+    /// Layout classification.
+    pub kind: FileKind,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Per-token: is this inside `#[cfg(test)]` / `#[test]` code?
+    pub in_test: Vec<bool>,
+    /// Per-token: is this inside a `#[…]` / `#![…]` attribute?
+    pub in_attr: Vec<bool>,
+    /// Source lines, for allowlist needle matching and messages.
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `content` as the workspace file at
+    /// `rel_path`. Returns `None` for paths the checker does not cover
+    /// (fixtures, target output, non-Rust files).
+    pub fn parse(rel_path: &str, content: &str) -> Option<SourceFile> {
+        let (crate_name, kind) = classify(rel_path)?;
+        let tokens = lex(content);
+        let (in_test, in_attr) = mark_regions(&tokens);
+        Some(SourceFile {
+            path: rel_path.to_string(),
+            crate_name,
+            kind,
+            tokens,
+            in_test,
+            in_attr,
+            lines: content.lines().map(str::to_string).collect(),
+        })
+    }
+
+    /// The source line a finding points at (1-based), trimmed.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// Is the file, as a whole, test-only code?
+    pub fn is_test_file(&self) -> bool {
+        matches!(self.kind, FileKind::Tests)
+    }
+
+    /// Is token `i` in code the panic/determinism/metrics rules skip
+    /// (test regions, attribute interiors)?
+    pub fn skip(&self, i: usize) -> bool {
+        self.is_test_file() || self.in_test[i] || self.in_attr[i]
+    }
+}
+
+/// Maps a workspace-relative path to (crate, kind). `None` = not
+/// checked.
+fn classify(rel: &str) -> Option<(Option<String>, FileKind)> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, "src", ..] => Some((Some(name.to_string()), FileKind::CrateSrc)),
+        ["crates", name, "tests", ..] => Some((Some(name.to_string()), FileKind::Tests)),
+        ["crates", name, "benches", ..] => Some((Some(name.to_string()), FileKind::Benches)),
+        ["src", ..] => Some((None, FileKind::RootSrc)),
+        ["tests", ..] => Some((None, FileKind::Tests)),
+        ["examples", ..] => Some((None, FileKind::Examples)),
+        _ => None,
+    }
+}
+
+/// Computes per-token test-region and attribute flags.
+///
+/// A test region is the balanced-brace body (or single `;`-terminated
+/// item) following an attribute that is `#[test]`-like or
+/// `#[cfg(test)]`-like (any `cfg`/`cfg_attr` whose arguments mention
+/// `test`). Attribute token spans themselves are flagged separately so
+/// rules never match inside `#[…]`.
+fn mark_regions(tokens: &[Token]) -> (Vec<bool>, Vec<bool>) {
+    let n = tokens.len();
+    let mut in_test = vec![false; n];
+    let mut in_attr = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if tokens[i].kind == TokKind::Punct('#') {
+            // `#[…]` or `#![…]`.
+            let mut j = i + 1;
+            if j < n && tokens[j].kind == TokKind::Punct('!') {
+                j += 1;
+            }
+            if j < n && tokens[j].kind == TokKind::Punct('[') {
+                let close = match balanced(tokens, j, '[', ']') {
+                    Some(c) => c,
+                    None => break,
+                };
+                for flag in in_attr.iter_mut().take(close + 1).skip(i) {
+                    *flag = true;
+                }
+                if attr_is_test(&tokens[j + 1..close]) {
+                    // Mark the attached item: everything up to and
+                    // including its brace body (or terminating `;`).
+                    let mut k = close + 1;
+                    // Further attributes on the same item are part of it.
+                    while k < n {
+                        match tokens[k].kind {
+                            TokKind::Punct('#') => {
+                                let mut a = k + 1;
+                                if a < n && tokens[a].kind == TokKind::Punct('!') {
+                                    a += 1;
+                                }
+                                match balanced(tokens, a, '[', ']') {
+                                    Some(c) => {
+                                        for flag in in_attr.iter_mut().take(c + 1).skip(k) {
+                                            *flag = true;
+                                        }
+                                        k = c + 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                            TokKind::Punct('{') => {
+                                let end = balanced(tokens, k, '{', '}').unwrap_or(n - 1);
+                                for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                                    *flag = true;
+                                }
+                                k = end;
+                                break;
+                            }
+                            TokKind::Punct(';') => {
+                                for flag in in_test.iter_mut().take(k + 1).skip(i) {
+                                    *flag = true;
+                                }
+                                break;
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                    i = k.max(close) + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    (in_test, in_attr)
+}
+
+/// Does this attribute body (tokens between `[` and `]`) gate on test
+/// builds? Covers `test`, `cfg(test)`, `cfg(any(test, …))`,
+/// `cfg_attr(test, …)`, `tokio::test`-style suffixes.
+fn attr_is_test(body: &[Token]) -> bool {
+    match body.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") || t.is_ident("cfg_attr") => {
+            // `cfg(not(test))` gates *live* code; a bare `test` mention
+            // gates test code. Negation inside a deeper combinator is
+            // not handled — the workspace does not use it.
+            body.iter().skip(1).any(|t| t.is_ident("test"))
+                && !body.iter().any(|t| t.is_ident("not"))
+        }
+        // `#[foo::test]` (custom test macros).
+        Some(_) => {
+            body.len() >= 3
+                && body[body.len() - 1].is_ident("test")
+                && body[body.len() - 2].kind == TokKind::Punct(':')
+        }
+        None => false,
+    }
+}
+
+/// Index of the matching closer for the opener at `open` (which must
+/// hold `open_c`), honoring nesting. `None` if unbalanced.
+pub fn balanced(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct(open_c) {
+            depth += 1;
+        } else if t.kind == TokKind::Punct(close_c) {
+            // A closer with no opener in sight (caller pointed at the
+            // wrong token): unbalanced, not a crash.
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(src: &str) -> (SourceFile,) {
+        (SourceFile::parse("crates/core/src/x.rs", src).expect("classified"),)
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let (f,) = flags(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live2() {}",
+        );
+        let at = |name: &str| {
+            let i = f.tokens.iter().position(|t| t.is_ident(name)).expect(name);
+            f.in_test[i]
+        };
+        assert!(!at("live"));
+        assert!(at("unwrap"));
+        assert!(!at("live2"));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs_is_marked() {
+        let (f,) = flags("#[test]\n#[ignore]\nfn t() { boom(); }\nfn live() {}");
+        let i = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("boom"))
+            .expect("boom");
+        assert!(f.in_test[i]);
+        let j = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .expect("live");
+        assert!(!f.in_test[j]);
+    }
+
+    #[test]
+    fn attributes_are_not_code() {
+        let (f,) = flags("#[doc = \"IIXML_NOT_A_READ\"]\nfn live() {}");
+        let i = f
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokKind::Str)
+            .expect("attr string");
+        assert!(f.in_attr[i]);
+        assert!(!f.in_test[i]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let (f,) = flags("#[cfg(unix)]\nfn live() { x.unwrap(); }");
+        let i = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap");
+        assert!(!f.in_test[i]);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(SourceFile::parse("crates/core/src/refine.rs", "").is_some());
+        assert!(SourceFile::parse("tests/blowup.rs", "")
+            .unwrap()
+            .is_test_file());
+        assert!(SourceFile::parse("crates/vet/fixtures/x.rs", "").is_none());
+        assert!(SourceFile::parse("README.md", "").is_none());
+        assert_eq!(
+            SourceFile::parse("examples/quickstart.rs", "").map(|f| f.kind),
+            Some(FileKind::Examples)
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Fixture-driven self-tests for the vet rules: each rule has a
+//! positive fixture (everything in it must be flagged) and a negative
+//! fixture (nothing may be), the lexer torture file pins the
+//! false-positive strategy, and a CLI matrix checks the exit-code
+//! contract on throwaway mini-workspaces.
+
+use iixml_vet::allow::Allowlist;
+use iixml_vet::source::SourceFile;
+use iixml_vet::{check_sources, Finding};
+
+/// A registry module with the frozen spellings, as mini-workspaces and
+/// `check_sources` runs need one to satisfy the `format` registry rule.
+const REGISTRY_SRC: &str = r#"
+pub const SEGMENT_MAGIC: [u8; 7] = *b"IIXJWAL";
+pub const FORMAT_VERSION: u8 = 1;
+pub const FRAME_MAGIC: [u8; 4] = *b"REC!";
+pub const SNAPSHOT_MAGIC: [u8; 7] = *b"IIXSNAP";
+pub const SNAPSHOT_VERSION: u8 = 1;
+pub const TAG_OPEN: u8 = 1;
+pub const TAG_REFINE: u8 = 2;
+pub const TAG_SOURCE_UPDATE: u8 = 3;
+pub const TAG_QUARANTINE: u8 = 4;
+pub const TAG_SNAPSHOT_REF: u8 = 5;
+"#;
+
+/// README text documenting every registered env var, so `env_registry`
+/// stays quiet unless a test wants it loud.
+fn readme() -> String {
+    iixml_obs::keys::ENV_VARS
+        .iter()
+        .map(|(name, doc)| format!("- `{name}`: {doc}\n"))
+        .collect()
+}
+
+/// Runs every rule over one fixture placed at `path`, alongside a
+/// well-formed format registry.
+fn run_on(path: &str, src: &str) -> Vec<Finding> {
+    let fixture = SourceFile::parse(path, src).expect("fixture path classifies");
+    let registry = SourceFile::parse("crates/store/src/format.rs", REGISTRY_SRC).expect("registry");
+    let report = check_sources(&[fixture, registry], &Allowlist::parse(""), Some(&readme()));
+    report.findings
+}
+
+fn rules_hit<'a>(findings: &'a [Finding], path: &str) -> Vec<&'a str> {
+    findings
+        .iter()
+        .filter(|f| f.file == path)
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn panic_positive_fixture_is_fully_flagged() {
+    let path = "crates/core/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/panic_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    // unwrap, expect, panic!, todo!, unreachable!, unimplemented!.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "panic").count(),
+        6,
+        "{findings:?}"
+    );
+    // v[i] and v[0], on separate lines.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "panic-index").count(),
+        2,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn panic_negative_fixture_is_clean() {
+    let path = "crates/core/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/panic_neg.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_rule_is_scoped_to_data_path_crates() {
+    // The same panicking source in a non-data-path crate (gen) or a
+    // test file is out of scope for the panic rules.
+    for path in ["crates/gen/src/fixture.rs", "crates/core/tests/fixture.rs"] {
+        let findings = run_on(path, include_str!("../fixtures/panic_pos.rs"));
+        assert!(
+            !rules_hit(&findings, path)
+                .iter()
+                .any(|r| r.starts_with("panic")),
+            "{path}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_positive_fixture_is_fully_flagged() {
+    let path = "crates/store/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/determinism_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    // Use-imports of HashMap/HashSet, a ::-qualified HashMap,
+    // SystemTime, Instant::now, and thread_rng all fire.
+    assert!(
+        rules.iter().filter(|r| **r == "determinism").count() >= 6,
+        "{findings:?}"
+    );
+    assert!(rules.iter().all(|r| *r == "determinism"), "{findings:?}");
+}
+
+#[test]
+fn determinism_negative_fixture_is_clean() {
+    let path = "crates/store/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/determinism_neg.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn format_positive_fixture_is_fully_flagged() {
+    let path = "crates/store/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/format_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    // b"IIXJWAL", "REC!", b"IIXSNAP", and the embedded REC! literal.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "format").count(),
+        4,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn format_negative_fixture_is_clean() {
+    let path = "crates/store/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/format_neg.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn format_registry_tampering_is_flagged() {
+    // A registry that re-spells a frozen magic is itself a finding —
+    // the vet pass hardcodes the alphabet independently.
+    let tampered = REGISTRY_SRC.replace("IIXJWAL", "IIXJWAX");
+    let registry = SourceFile::parse("crates/store/src/format.rs", &tampered).expect("registry");
+    let report = check_sources(&[registry], &Allowlist::parse(""), Some(&readme()));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "format" && f.message.contains("must stay")),
+        "{:?}",
+        report.findings
+    );
+
+    // And a workspace with no registry at all is flagged too.
+    let lone = SourceFile::parse("crates/store/src/wal.rs", "fn x() {}").expect("file");
+    let report = check_sources(&[lone], &Allowlist::parse(""), Some(&readme()));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "format" && f.message.contains("missing")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn metrics_positive_fixture_is_fully_flagged() {
+    let path = "crates/core/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/metrics_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    // Two Lazy ctors plus add/observe/time literal keys.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "metrics").count(),
+        5,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn metrics_negative_fixture_is_clean() {
+    let path = "crates/core/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/metrics_neg.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn env_positive_fixture_is_fully_flagged() {
+    let path = "crates/par/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/env_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    // Two live reads plus the literal inside the test module.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "env").count(),
+        3,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn env_negative_fixture_is_clean() {
+    let path = "crates/par/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/env_neg.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn env_registry_requires_readme_documentation() {
+    let registry = SourceFile::parse("crates/store/src/format.rs", REGISTRY_SRC).expect("registry");
+    let report = check_sources(
+        &[registry],
+        &Allowlist::parse(""),
+        Some("a README that documents nothing"),
+    );
+    let undocumented: Vec<_> = report.findings.iter().filter(|f| f.rule == "env").collect();
+    assert_eq!(
+        undocumented.len(),
+        iixml_obs::keys::ENV_VARS.len(),
+        "{undocumented:?}"
+    );
+}
+
+#[test]
+fn lexer_torture_fixture_produces_no_findings() {
+    let path = "crates/core/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/lexer_torture.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn allowlist_wildcard_suppresses_and_stale_entries_fire() {
+    let path = "crates/core/src/fixture.rs";
+    let fixture =
+        SourceFile::parse(path, include_str!("../fixtures/panic_pos.rs")).expect("fixture");
+    let registry = SourceFile::parse("crates/store/src/format.rs", REGISTRY_SRC).expect("registry");
+    let allow = Allowlist::parse(concat!(
+        "panic-index | crates/core/src/fixture.rs | * | fixture indexes fixed arrays, bounds trivially hold\n",
+        "panic | crates/core/src/fixture.rs | never-in-the-file | stale on purpose for this test\n",
+    ));
+    let report = check_sources(&[fixture, registry], &allow, Some(&readme()));
+    assert_eq!(report.suppressed, 2, "both index findings suppressed");
+    assert!(!report.findings.iter().any(|f| f.rule == "panic-index"));
+    // The unwrap/expect/panic! findings survive, plus the stale entry.
+    assert!(report.findings.iter().filter(|f| f.rule == "panic").count() >= 6);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "allow" && f.message.contains("stale")),
+        "{:?}",
+        report.findings
+    );
+}

@@ -1,0 +1,175 @@
+//! End-to-end checks: the vet binary's exit-code contract on throwaway
+//! mini-workspaces, and the self-check that the live workspace is
+//! clean under the committed `vet.allow` baseline.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const REGISTRY_SRC: &str = r#"
+pub const SEGMENT_MAGIC: [u8; 7] = *b"IIXJWAL";
+pub const FORMAT_VERSION: u8 = 1;
+pub const FRAME_MAGIC: [u8; 4] = *b"REC!";
+pub const SNAPSHOT_MAGIC: [u8; 7] = *b"IIXSNAP";
+pub const SNAPSHOT_VERSION: u8 = 1;
+pub const TAG_OPEN: u8 = 1;
+pub const TAG_REFINE: u8 = 2;
+pub const TAG_SOURCE_UPDATE: u8 = 3;
+pub const TAG_QUARANTINE: u8 = 4;
+pub const TAG_SNAPSHOT_REF: u8 = 5;
+"#;
+
+/// Builds a throwaway workspace containing the format registry, a
+/// README documenting every env var, and `extra` files at their
+/// workspace-relative paths. Caller removes it.
+fn mini_workspace(tag: &str, extra: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("iixml-vet-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let readme: String = iixml_obs::keys::ENV_VARS
+        .iter()
+        .map(|(name, doc)| format!("- `{name}`: {doc}\n"))
+        .collect();
+    let mut files = vec![
+        ("Cargo.toml".to_string(), "[workspace]\n".to_string()),
+        ("README.md".to_string(), readme),
+        (
+            "crates/store/src/format.rs".to_string(),
+            REGISTRY_SRC.to_string(),
+        ),
+    ];
+    for (path, src) in extra {
+        files.push((path.to_string(), src.to_string()));
+    }
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, content).expect("write");
+    }
+    root
+}
+
+fn run_vet(root: &Path, json: bool) -> (Option<i32>, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_iixml-vet"));
+    cmd.arg("check").arg("--root").arg(root);
+    if json {
+        cmd.arg("--json");
+    }
+    let out = cmd.output().expect("spawn iixml-vet");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_exits_nonzero_on_each_rules_positive_fixture() {
+    let cases: &[(&str, &str, &str, &str)] = &[
+        (
+            "panic",
+            "crates/core/src/lib.rs",
+            include_str!("../fixtures/panic_pos.rs"),
+            "panic",
+        ),
+        (
+            "det",
+            "crates/store/src/lib.rs",
+            include_str!("../fixtures/determinism_pos.rs"),
+            "determinism",
+        ),
+        (
+            "format",
+            "crates/store/src/lib.rs",
+            include_str!("../fixtures/format_pos.rs"),
+            "format",
+        ),
+        (
+            "metrics",
+            "crates/core/src/lib.rs",
+            include_str!("../fixtures/metrics_pos.rs"),
+            "metrics",
+        ),
+        (
+            "env",
+            "crates/par/src/lib.rs",
+            include_str!("../fixtures/env_pos.rs"),
+            "env",
+        ),
+    ];
+    for (tag, path, src, rule) in cases {
+        let root = mini_workspace(tag, &[(path, src)]);
+        let (code, stdout, stderr) = run_vet(&root, false);
+        assert_eq!(code, Some(1), "{tag}: stdout={stdout} stderr={stderr}");
+        assert!(
+            stdout.lines().any(|l| l.contains(&format!(" {rule} "))),
+            "{tag}: findings must name rule {rule}; got\n{stdout}"
+        );
+        // The documented line shape: `file:line rule message`.
+        let first = stdout.lines().next().expect("at least one finding");
+        let (loc, _) = first.split_once(' ').expect("finding shape");
+        let (file, line) = loc.rsplit_once(':').expect("file:line");
+        assert_eq!(file, *path, "{tag}");
+        line.parse::<u32>().expect("line number");
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_a_clean_workspace_and_emits_json() {
+    let clean = "fn tidy(v: &[u32]) -> Option<u32> { v.first().copied() }\n";
+    let root = mini_workspace("clean", &[("crates/core/src/lib.rs", clean)]);
+    let (code, stdout, stderr) = run_vet(&root, false);
+    assert_eq!(code, Some(0), "stdout={stdout} stderr={stderr}");
+    assert!(stdout.is_empty(), "clean runs print no findings: {stdout}");
+    assert!(stderr.contains("0 finding(s)"), "{stderr}");
+
+    let (code, stdout, _) = run_vet(&root, true);
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("\"findings\": []") && stdout.contains("\"files\""),
+        "JSON report shape: {stdout}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let (code, _, stderr) = {
+        let out = Command::new(env!("CARGO_BIN_EXE_iixml-vet"))
+            .arg("frobnicate")
+            .output()
+            .expect("spawn iixml-vet");
+        (
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn live_workspace_is_clean_under_the_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = iixml_vet::check_workspace(&root).expect("workspace root");
+    assert!(
+        report.findings.is_empty(),
+        "vet must be clean on the live tree; run `cargo run -p iixml-vet -- check`:\n{}",
+        report
+            .findings
+            .iter()
+            .map(iixml_vet::Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files > 50,
+        "walker found the workspace ({} files)",
+        report.files
+    );
+    assert!(
+        report.suppressed > 0,
+        "the committed vet.allow baseline should be active"
+    );
+}

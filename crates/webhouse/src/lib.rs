@@ -56,7 +56,7 @@ pub use retry::RetryPolicy;
 use iixml_core::{IncompleteTree, QueryOnIncomplete, Refiner};
 use iixml_gen::rng::DetRng;
 use iixml_mediator::{CompletionError, Mediator};
-use iixml_obs::{LazyCounter, LazyHistogram};
+use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use iixml_query::{Answer, PsQuery};
 use iixml_store::{RecoveryMode, SessionJournal};
 use iixml_tree::{Alphabet, DataTree, Nid};
@@ -65,25 +65,25 @@ use std::fmt;
 use std::path::Path;
 
 /// Source queries retried after a retryable failure.
-static OBS_RETRIES: LazyCounter = LazyCounter::new("webhouse.retries");
+static OBS_RETRIES: LazyCounter = LazyCounter::new(keys::WEBHOUSE_RETRIES);
 /// Source failures observed (pre-retry; includes validation rejects).
-static OBS_SOURCE_ERRORS: LazyCounter = LazyCounter::new("webhouse.source_errors");
+static OBS_SOURCE_ERRORS: LazyCounter = LazyCounter::new(keys::WEBHOUSE_SOURCE_ERRORS);
 /// Answers rejected by validation before grafting.
-static OBS_VALIDATION_REJECTS: LazyCounter = LazyCounter::new("webhouse.validation_rejects");
+static OBS_VALIDATION_REJECTS: LazyCounter = LazyCounter::new(keys::WEBHOUSE_VALIDATION_REJECTS);
 /// Queries that fell back to the degraded (local partial) path.
-static OBS_DEGRADED: LazyCounter = LazyCounter::new("webhouse.degraded_answers");
+static OBS_DEGRADED: LazyCounter = LazyCounter::new(keys::WEBHOUSE_DEGRADED_ANSWERS);
 /// Sessions quarantined (knowledge discarded and reinitialized).
-static OBS_QUARANTINES: LazyCounter = LazyCounter::new("webhouse.quarantines");
+static OBS_QUARANTINES: LazyCounter = LazyCounter::new(keys::WEBHOUSE_QUARANTINES);
 /// Backoff pauses (ns), simulated or slept.
-static OBS_BACKOFF_NS: LazyHistogram = LazyHistogram::new("webhouse.backoff_ns");
+static OBS_BACKOFF_NS: LazyHistogram = LazyHistogram::new(keys::WEBHOUSE_BACKOFF_NS);
 /// Wall time of executing a completion's local queries (same key as
 /// `Completion::execute`, which the session loop supersedes — the
 /// metric survives either execution path).
-static OBS_EXECUTE_NS: LazyHistogram = LazyHistogram::new("mediator.execute_ns");
+static OBS_EXECUTE_NS: LazyHistogram = LazyHistogram::new(keys::MEDIATOR_EXECUTE_NS);
 /// Local queries sent to sources (shared key, as above).
-static OBS_LOCAL_QUERIES: LazyCounter = LazyCounter::new("mediator.local_queries");
+static OBS_LOCAL_QUERIES: LazyCounter = LazyCounter::new(keys::MEDIATOR_LOCAL_QUERIES);
 /// Answer nodes shipped by sources (shared key, as above).
-static OBS_SHIPPED: LazyCounter = LazyCounter::new("mediator.shipped_nodes");
+static OBS_SHIPPED: LazyCounter = LazyCounter::new(keys::MEDIATOR_SHIPPED_NODES);
 
 /// Why a query was answered from degraded local knowledge instead of
 /// exactly via mediation.
@@ -434,10 +434,7 @@ impl<E: SourceEndpoint> Session<E> {
         // Per-source refine latency; the name is dynamic, so this takes
         // the registry lock — acceptable at fetch granularity.
         let _span = if iixml_obs::enabled() {
-            Some(iixml_obs::time(&format!(
-                "webhouse.fetch_ns.{}",
-                self.obs_label
-            )))
+            Some(iixml_obs::time(&keys::webhouse_fetch_ns(&self.obs_label)))
         } else {
             None
         };

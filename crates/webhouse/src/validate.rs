@@ -91,10 +91,13 @@ pub fn validate_answer(
     if ans.provenance.len() > t.len() {
         // More provenance entries than shipped nodes: at least one names
         // a node that is not in the tree.
+        // `min` rather than `find`: the reported offender must not
+        // depend on HashMap iteration order.
         let dangling = ans
             .provenance
             .keys()
-            .find(|&&n| t.by_nid(n).is_none())
+            .filter(|&&n| t.by_nid(n).is_none())
+            .min()
             .copied()
             .unwrap_or_else(|| t.nid(t.root()));
         return Err(ValidationError::DanglingProvenance(dangling));

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Run the workspace static-analysis pass (the same gate CI runs).
+#
+#   scripts/vet.sh            human-readable findings, exit 1 if any
+#   scripts/vet.sh --json     JSON report on stdout (the CI artifact)
+#
+# Findings print as `file:line rule message`. Justified survivors live
+# in vet.allow (rule | path | needle | reason — see DESIGN.md §10);
+# stale or reasonless entries fail the run just like real findings.
+set -eu
+cd "$(dirname "$0")/.."
+
+exec cargo run -q -p iixml-vet -- check "$@"

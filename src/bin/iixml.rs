@@ -221,7 +221,9 @@ fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String>
             match chaotic.answer_resilient(q) {
                 LocalAnswer::Complete(_) => complete += 1,
                 LocalAnswer::Degraded { .. } => degraded += 1,
-                LocalAnswer::Partial(_) => unreachable!("resilient answers never stay partial"),
+                // answer_resilient upgrades partial answers; count a
+                // stray one as degraded rather than aborting the demo.
+                LocalAnswer::Partial(_) => degraded += 1,
             }
         }
         let f = chaotic.source().faults;
@@ -310,7 +312,9 @@ fn walkthrough_durability(
             .append(true)
             .open(&last_seg)
             .map_err(|e| format!("{}: {e}", last_seg.display()))?;
-        f.write_all(b"REC!\x40\x00\x00\x00\xde\xad")
+        let mut half_frame = iixml_store::format::FRAME_MAGIC.to_vec();
+        half_frame.extend_from_slice(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad]);
+        f.write_all(&half_frame)
             .map_err(|e| format!("{}: {e}", last_seg.display()))?;
         let (rec, report) = Session::recover(&dir, source()).map_err(|e| e.to_string())?;
         session = rec;
@@ -485,8 +489,15 @@ fn cmd_session(path: &str, journal: Option<&str>) -> Result<(), String> {
                             );
                         }
                         // answer_locally never takes the degraded path
-                        // (that is answer_resilient's job).
-                        LocalAnswer::Degraded { .. } => unreachable!(),
+                        // (that is answer_resilient's job) — report a
+                        // stray one instead of aborting the session.
+                        LocalAnswer::Degraded { partial, .. } => {
+                            println!(
+                                "# degraded answer (possible nonempty: {}, certain nonempty: {})",
+                                partial.possible_nonempty(),
+                                partial.certain_nonempty()
+                            );
+                        }
                     },
                     _ => match session.answer_with_mediation(&q) {
                         Ok(Some(t)) => {

@@ -2,10 +2,16 @@
 //! Refine over the Example 3.2 blowup family (plus an eval and a world
 //! enumeration) must emit the documented metric keys with sane values.
 //!
+//! Metric names come from the `iixml_obs::keys` registry — never string
+//! literals — and the test closes the loop in both directions: every
+//! key this scenario emits must be registered, and every registry key
+//! the scenario is expected to exercise must show up in the snapshot.
+//!
 //! Kept as a single test function: the obs registry is process-global,
 //! and one linear scenario keeps the asserted counts deterministic.
 
 use iixml_core::Refiner;
+use iixml_obs::keys;
 use iixml_oracle::{enumerate_rep, Bounds};
 use iixml_query::Answer;
 use iixml_tree::Alphabet;
@@ -52,28 +58,48 @@ fn refine_pipeline_emits_expected_metrics() {
 
     let snap = iixml_obs::snapshot();
 
+    // Registry conformance, emitted → declared: nothing in the snapshot
+    // may bypass iixml_obs::keys (a typo'd key would silently mint a
+    // fresh metric; the iixml-vet `metrics` rule enforces the same
+    // property statically).
+    for name in snap.counters.keys() {
+        assert!(keys::is_registered(name), "unregistered counter {name:?}");
+    }
+    for name in snap.histograms.keys() {
+        assert!(keys::is_registered(name), "unregistered histogram {name:?}");
+    }
+    // And declared → well-formed: the registry itself must only hold
+    // names that pass its own membership test.
+    for name in keys::COUNTERS.iter().chain(keys::HISTOGRAMS) {
+        assert!(
+            keys::is_registered(name),
+            "registry rejects its own {name:?}"
+        );
+    }
+
     // Refine instrumentation (Theorem 3.4's loop): 4 blowup steps plus
     // at least one session-side refinement.
-    let steps = snap.counter("core.refine.steps").unwrap_or(0);
+    let steps = snap.counter(keys::CORE_REFINE_STEPS).unwrap_or(0);
     assert!(steps >= 5, "expected >= 5 refine steps, saw {steps}");
     let fanout = snap
-        .histogram("core.refine.join_fanout")
+        .histogram(keys::CORE_REFINE_JOIN_FANOUT)
         .expect("join fan-out histogram present");
     assert!(fanout.count > 0 && fanout.max >= 2, "the ⋊⋉ join fans out");
     assert!(
-        snap.counter("core.refine.disjunctive_expansions")
+        snap.counter(keys::CORE_REFINE_DISJUNCTIVE_EXPANSIONS)
             .unwrap_or(0)
             >= 1,
         "the mediated chain must trigger disjunctive expansion"
     );
+    // Every registered core-pipeline histogram this scenario drives.
     for key in [
-        "core.refine.tqa_size",
-        "core.refine.step_size",
-        "core.refine.intersect_ns",
-        "core.refine.trim_ns",
-        "core.refine.minimize_ns",
-        "core.type_intersect.restrict_ns",
-        "core.minimize.call_ns",
+        keys::CORE_REFINE_TQA_SIZE,
+        keys::CORE_REFINE_STEP_SIZE,
+        keys::CORE_REFINE_INTERSECT_NS,
+        keys::CORE_REFINE_TRIM_NS,
+        keys::CORE_REFINE_MINIMIZE_NS,
+        keys::CORE_TYPE_INTERSECT_RESTRICT_NS,
+        keys::CORE_MINIMIZE_CALL_NS,
     ] {
         let h = snap
             .histogram(key)
@@ -82,36 +108,39 @@ fn refine_pipeline_emits_expected_metrics() {
     }
     // Step sizes are recorded post-minimization, one per refine step,
     // and the blowup's final tree is the largest thing seen.
-    let sizes = snap.histogram("core.refine.step_size").unwrap();
+    let sizes = snap.histogram(keys::CORE_REFINE_STEP_SIZE).unwrap();
     assert_eq!(sizes.count, steps);
     assert!(sizes.max as usize >= refiner.current().size());
 
     // Query evaluation.
-    assert!(snap.counter("query.eval.calls").unwrap_or(0) >= 1);
+    assert!(snap.counter(keys::QUERY_EVAL_CALLS).unwrap_or(0) >= 1);
     let vals = snap
-        .histogram("query.eval.valuations")
+        .histogram(keys::QUERY_EVAL_VALUATIONS)
         .expect("valuation histogram present");
     assert!(vals.count >= 1);
 
     // Oracle enumeration.
     let worlds = snap
-        .histogram("oracle.enumerate.worlds")
+        .histogram(keys::ORACLE_ENUMERATE_WORLDS)
         .expect("world-count histogram present");
     assert_eq!(worlds.count, 1);
     assert_eq!(worlds.max as usize, en.worlds.len());
 
     // Mediator / webhouse instrumentation.
-    assert!(snap.counter("mediator.local_queries").unwrap_or(0) >= 1);
-    assert!(snap.histogram("mediator.execute_ns").is_some());
+    assert!(snap.counter(keys::MEDIATOR_LOCAL_QUERIES).unwrap_or(0) >= 1);
+    assert!(snap.histogram(keys::MEDIATOR_EXECUTE_NS).is_some());
     assert!(
-        snap.histogram("webhouse.fetch_ns.anon").is_some(),
+        snap.histogram(&keys::webhouse_fetch_ns("anon")).is_some(),
         "per-source fetch latency present (label defaults to 'anon')"
     );
 
     // Disabled mode records nothing further.
     iixml_obs::set_enabled(false);
-    let before = iixml_obs::snapshot().counter("core.refine.steps");
+    let before = iixml_obs::snapshot().counter(keys::CORE_REFINE_STEPS);
     let mut r2 = Refiner::new(&alpha);
     r2.refine(&alpha, &queries[0], &Answer::empty()).unwrap();
-    assert_eq!(iixml_obs::snapshot().counter("core.refine.steps"), before);
+    assert_eq!(
+        iixml_obs::snapshot().counter(keys::CORE_REFINE_STEPS),
+        before
+    );
 }
