@@ -1,15 +1,18 @@
-//! Durability benches for the session journal (PR 4).
+//! Durability benches for the session journal (PR 4 + PR 6).
 //!
 //! Runs the shared workloads of [`iixml_bench::storebench`] — append
 //! throughput, snapshot cost, recovery time vs chain length — and
-//! writes the machine-readable trajectory to `BENCH_pr4.json` at the
-//! repo root, the same emission path
-//! `cargo run -p iixml-bench --bin report -- --bench-pr4` uses.
+//! [`iixml_bench::store2bench`] — group-commit speedup, segment
+//! compaction footprint, concurrent fleet recovery — and writes the
+//! machine-readable trajectories to `BENCH_pr4.json` and
+//! `BENCH_store2.json` at the repo root, the same emission paths
+//! `cargo run -p iixml-bench --bin report -- --bench-pr4` and
+//! `-- --bench-store2` use.
 //!
 //! `cargo bench --bench store -- --quick` shrinks workloads and sample
 //! counts (the CI smoke configuration).
 
-use iixml_bench::storebench;
+use iixml_bench::{store2bench, storebench};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -20,11 +23,20 @@ fn main() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_pr4.json: {e}"),
     }
+    println!();
+    let report2 = store2bench::run(quick);
+    report2.print_table();
+    match report2.write_json() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_store2.json: {e}"),
+    }
     let snap = iixml_obs::snapshot();
     println!(
-        "store.appends = {}, store.fsyncs = {}, store.replayed = {}",
+        "store.appends = {}, store.fsyncs = {}, store.replayed = {}, store.batch_flushes = {}, store.segments_retired = {}",
         snap.counter("store.appends").unwrap_or(0),
         snap.counter("store.fsyncs").unwrap_or(0),
         snap.counter("store.replayed").unwrap_or(0),
+        snap.counter("store.batch_flushes").unwrap_or(0),
+        snap.counter("store.segments_retired").unwrap_or(0),
     );
 }

@@ -8,6 +8,7 @@
 
 pub mod harness;
 pub mod parbench;
+pub mod store2bench;
 pub mod storebench;
 
 use iixml_core::{ConjunctiveTree, IncompleteTree, Refiner};

@@ -131,6 +131,12 @@ pub const STORE_TORN_TAILS: &str = "store.torn_tails";
 pub const STORE_REPLAYED: &str = "store.replayed";
 /// Snapshot payload sizes written.
 pub const STORE_SNAPSHOT_BYTES: &str = "store.snapshot_bytes";
+/// Records buffered through the group-commit writer.
+pub const STORE_BATCHED_APPENDS: &str = "store.batched_appends";
+/// Group-commit flushes (one buffered write + fsync each).
+pub const STORE_BATCH_FLUSHES: &str = "store.batch_flushes";
+/// WAL segments retired by compaction (fully snapshot-covered).
+pub const STORE_SEGMENTS_RETIRED: &str = "store.segments_retired";
 
 // ---------------------------------------------------------------------
 // The iterable registry.
@@ -158,6 +164,9 @@ pub const COUNTERS: &[&str] = &[
     STORE_CRC_REJECTS,
     STORE_TORN_TAILS,
     STORE_REPLAYED,
+    STORE_BATCHED_APPENDS,
+    STORE_BATCH_FLUSHES,
+    STORE_SEGMENTS_RETIRED,
 ];
 
 /// Every registered fixed-name histogram key.
@@ -206,6 +215,13 @@ pub const ENV_PAR_THREADS: &str = "IIXML_PAR_THREADS";
 pub const ENV_TEST_SEED: &str = "IIXML_TEST_SEED";
 /// Cases per property in the in-tree property-test harness.
 pub const ENV_PROPTEST_CASES: &str = "IIXML_PROPTEST_CASES";
+/// Group-commit flush threshold: buffered WAL bytes.
+pub const ENV_STORE_BATCH_BYTES: &str = "IIXML_STORE_BATCH_BYTES";
+/// Group-commit flush threshold: buffered records.
+pub const ENV_STORE_BATCH_RECS: &str = "IIXML_STORE_BATCH_RECS";
+/// Group-commit flush threshold: logical-clock ticks a record may
+/// linger unflushed (one tick per append).
+pub const ENV_STORE_LINGER: &str = "IIXML_STORE_LINGER";
 
 /// Every `IIXML_*` environment variable the workspace reads, with a
 /// one-line purpose. `iixml-vet`'s `env` rule checks that no other
@@ -216,6 +232,18 @@ pub const ENV_VARS: &[(&str, &str)] = &[
     (ENV_PAR_THREADS, "worker width for parallel maps"),
     (ENV_TEST_SEED, "base seed for deterministic tests"),
     (ENV_PROPTEST_CASES, "cases per property test"),
+    (
+        ENV_STORE_BATCH_BYTES,
+        "group-commit flush threshold in bytes",
+    ),
+    (
+        ENV_STORE_BATCH_RECS,
+        "group-commit flush threshold in records",
+    ),
+    (
+        ENV_STORE_LINGER,
+        "max linger ticks before a group-commit flush",
+    ),
 ];
 
 #[cfg(test)]

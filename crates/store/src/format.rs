@@ -24,9 +24,16 @@ pub const FRAME_HEADER_LEN: usize = 12;
 
 /// Magic opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 7] = *b"IIXSNAP";
-/// Snapshot format version (bumped independently of the WAL's; see
-/// CONTRIBUTING.md).
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot format version this build writes (bumped independently of
+/// the WAL's; see CONTRIBUTING.md). Version 2 added the initial
+/// knowledge to the payload so a compacted journal — one whose `Open`
+/// record was retired with its segment — can still replay quarantine
+/// and source-update resets in the tail.
+pub const SNAPSHOT_VERSION: u8 = 2;
+/// The first snapshot version ever shipped (no initial-knowledge
+/// field). Readers keep every version: v1 files still decode, with
+/// [`crate::Snapshot::initial`] absent.
+pub const SNAPSHOT_VERSION_V1: u8 = 1;
 /// Snapshot header: magic + version byte + u32 CRC.
 pub const SNAPSHOT_HEADER_LEN: usize = 12;
 
@@ -56,6 +63,9 @@ mod tests {
         assert_eq!(SEGMENT_HEADER_LEN, SEGMENT_MAGIC.len() + 1);
         assert_eq!(FRAME_HEADER_LEN, FRAME_MAGIC.len() + 4 + 4);
         assert_eq!(SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC.len() + 1 + 4);
+        // Version bytes are never reused (CONTRIBUTING.md): the current
+        // write version must stay strictly above every retired one.
+        const { assert!(SNAPSHOT_VERSION > SNAPSHOT_VERSION_V1) };
         assert_eq!(
             [
                 TAG_OPEN,

@@ -31,7 +31,7 @@
 use crate::error::StoreError;
 use crate::record::Record;
 use crate::snapshot::{self, Snapshot};
-use crate::wal::{self, Wal};
+use crate::wal::{self, FlushPolicy, GroupCommit, Wal};
 use iixml_core::io::{parse_incomplete_xml, write_incomplete_xml};
 use iixml_core::{IncompleteTree, Refiner};
 use iixml_obs::{keys, LazyCounter};
@@ -47,12 +47,21 @@ static OBS_REPLAYED: LazyCounter = LazyCounter::new(keys::STORE_REPLAYED);
 /// A session's durable journal, open for appends.
 pub struct SessionJournal {
     dir: PathBuf,
-    wal: Wal,
+    writer: GroupCommit,
     /// Records appended so far (the journal's length).
     seq: u64,
     /// Take a snapshot every this many records (`None` = never).
     snapshot_every: Option<u64>,
     last_snapshot_seq: u64,
+    /// The snapshot generation compaction may GC below: always one
+    /// *behind* the newest snapshot, so the log keeps at least two
+    /// `SnapshotRef` anchors and a torn tail that eats the newest one
+    /// still leaves an anchor to re-align recovery.
+    retire_floor: u64,
+    /// The initial knowledge from the `Open` record, kept so snapshots
+    /// can carry it (a compacted journal loses the `Open` record with
+    /// its segment but must still replay quarantine resets).
+    initial_xml: Option<String>,
 }
 
 impl SessionJournal {
@@ -60,15 +69,18 @@ impl SessionJournal {
     pub const DEFAULT_SNAPSHOT_EVERY: u64 = 32;
 
     /// Creates a fresh journal in `dir` (which must not already hold
-    /// one).
+    /// one). The flush policy comes from the environment knobs
+    /// ([`FlushPolicy::from_env`]); the default is durable-every-record.
     pub fn create(dir: &Path) -> Result<SessionJournal, StoreError> {
-        let wal = Wal::create(dir)?;
+        let writer = GroupCommit::new(Wal::create(dir)?, FlushPolicy::from_env());
         Ok(SessionJournal {
             dir: dir.to_path_buf(),
-            wal,
+            writer,
             seq: 0,
             snapshot_every: Some(SessionJournal::DEFAULT_SNAPSHOT_EVERY),
             last_snapshot_seq: 0,
+            retire_floor: 0,
+            initial_xml: None,
         })
     }
 
@@ -87,11 +99,47 @@ impl SessionJournal {
         self.snapshot_every = every.filter(|&n| n > 0);
     }
 
-    /// Appends one record durably.
+    /// Appends one record. Under the default flush policy the record is
+    /// durable when this returns; under a batched policy it is durable
+    /// once its batch flushes (see [`SessionJournal::sync`]).
     pub fn append(&mut self, rec: &Record) -> Result<(), StoreError> {
-        self.wal.append(&rec.encode())?;
+        self.writer.append(&rec.encode())?;
         self.seq += 1;
         Ok(())
+    }
+
+    /// The durability barrier: flushes any batched records to disk.
+    /// After `sync()` returns `Ok`, every appended record is durable.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.writer.sync()
+    }
+
+    /// Advances the group-commit linger clock without appending (call
+    /// from externally-driven step loops).
+    pub fn tick(&mut self) -> Result<(), StoreError> {
+        self.writer.tick()
+    }
+
+    /// Records accepted but not yet flushed to disk.
+    pub fn pending_records(&self) -> u64 {
+        self.writer.pending_records()
+    }
+
+    /// The active group-commit flush policy.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.writer.policy()
+    }
+
+    /// Replaces the group-commit flush policy (flushing immediately if
+    /// the buffered batch already exceeds the new bounds).
+    pub fn set_flush_policy(&mut self, policy: FlushPolicy) -> Result<(), StoreError> {
+        self.writer.set_policy(policy)
+    }
+
+    /// Sets the WAL segment roll threshold (tests and benches use small
+    /// segments to exercise rolling and compaction).
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.writer.set_segment_bytes(bytes);
     }
 
     /// Journals the session opening: the frozen alphabet and the initial
@@ -102,9 +150,11 @@ impl SessionJournal {
         initial: &IncompleteTree,
     ) -> Result<(), StoreError> {
         let names = alpha.labels().map(|l| alpha.name(l).to_string()).collect();
+        let initial_xml = write_incomplete_xml(initial, alpha);
+        self.initial_xml = Some(initial_xml.clone());
         self.append(&Record::Open {
             alpha: names,
-            initial: write_incomplete_xml(initial, alpha),
+            initial: initial_xml,
         })
     }
 
@@ -196,23 +246,79 @@ impl SessionJournal {
         }
     }
 
-    /// Takes a snapshot unconditionally: writes the state atomically and
-    /// journals a `SnapshotRef` pointing at it.
+    /// Takes a snapshot unconditionally: syncs any batched records (so
+    /// the snapshot never claims state beyond the durable log), writes
+    /// the state atomically, journals a `SnapshotRef` pointing at it,
+    /// syncs again, and retires any segments the snapshot now covers.
     pub fn snapshot_now(
         &mut self,
         alpha: &Alphabet,
         knowledge: &IncompleteTree,
     ) -> Result<(), StoreError> {
+        self.sync()?;
         let snap = Snapshot {
             seq: self.seq,
             alpha: alpha.labels().map(|l| alpha.name(l).to_string()).collect(),
+            initial: self.initial_xml.clone(),
             knowledge: write_incomplete_xml(knowledge, alpha),
         };
         let (file, crc) = snap.write(&self.dir)?;
         let seq = self.seq;
         self.append(&Record::SnapshotRef { seq, file, crc })?;
-        self.last_snapshot_seq = self.seq;
+        self.sync()?;
+        self.retire_floor = self.retire_floor.max(self.last_snapshot_seq);
+        self.last_snapshot_seq = seq;
+        self.compact()?;
         Ok(())
+    }
+
+    /// Retires WAL segments fully covered by snapshots (file-level GC —
+    /// no framing change). A segment is eligible when every record in
+    /// it has index below the *previous* snapshot's `seq`: compaction
+    /// deliberately lags one snapshot generation, so the log always
+    /// keeps at least two `SnapshotRef` anchors — recovery of a
+    /// compacted journal re-anchors scan positions on any surviving
+    /// ref, and a torn tail that eats the newest ref must not take the
+    /// only one. Only a contiguous oldest-first prefix is ever removed,
+    /// and never the active segment. Returns the number of segments
+    /// retired.
+    pub fn compact(&mut self) -> Result<usize, StoreError> {
+        if self.retire_floor == 0 {
+            return Ok(0);
+        }
+        self.sync()?;
+        let segs = Wal::segments(&self.dir)?;
+        if segs.len() <= 1 {
+            return Ok(0);
+        }
+        let outcome = wal::scan(&self.dir)?;
+        if outcome.damage.is_some() {
+            // Never compact around damage; recovery owns that path.
+            return Ok(0);
+        }
+        // Earlier compactions may already have retired a prefix: the
+        // surviving frames are always a contiguous suffix of the record
+        // sequence, so the first frame's record index is seq − frames.
+        let base = self.seq - outcome.frames.len() as u64;
+        let covered = self.retire_floor;
+        let mut last_in_segment: HashMap<PathBuf, u64> = HashMap::new();
+        for (pos, frame) in outcome.frames.iter().enumerate() {
+            last_in_segment.insert(frame.segment.clone(), base + pos as u64);
+        }
+        let mut retired = 0usize;
+        for (_, path) in segs.iter().take(segs.len() - 1) {
+            let retirable = match last_in_segment.get(path) {
+                Some(&last) => last < covered,
+                // A header-only segment holds no records.
+                None => true,
+            };
+            if !retirable {
+                break;
+            }
+            wal::retire_segment(&self.dir, path)?;
+            retired += 1;
+        }
+        Ok(retired)
     }
 }
 
@@ -313,8 +419,10 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
         }
         wal::repair(dir, damage)?;
     }
-    // Clean up any half-written snapshot temp file.
+    // Clean up any half-written snapshot temp file and any segment
+    // tombstone left by a crash mid-retirement.
     snapshot::sweep_tmp(dir)?;
+    wal::sweep_retired(dir)?;
 
     // Second: decode the verified frames. A frame that passes its CRC
     // but does not decode is corruption at the record layer (e.g. a
@@ -335,10 +443,32 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
         }
     }
 
-    // Third: find a starting state. Prefer the newest valid snapshot
-    // covering no more records than survived; otherwise replay from the
+    // Third: re-anchor scan positions to record indices. A compacted
+    // journal no longer starts at record 0 — its leading segments were
+    // retired under a snapshot — but any surviving `SnapshotRef` pins
+    // the alignment: a ref carrying `seq` at scan position `p` means the
+    // first surviving frame is record `seq − p`. All anchors agree,
+    // because compaction only ever removes whole leading segments, so
+    // the surviving frames are a contiguous suffix of the record
+    // sequence. A journal opening with its `Open` record is anchored at
+    // zero by construction.
+    let open_first = matches!(records.first(), Some(Record::Open { .. }));
+    let base: Option<u64> = if open_first {
+        Some(0)
+    } else {
+        records.iter().enumerate().rev().find_map(|(p, r)| match r {
+            Record::SnapshotRef { seq, .. } if *seq >= p as u64 => Some(*seq - p as u64),
+            _ => None,
+        })
+    };
+    // How many records the journal provably held, counting the retired
+    // prefix (falls back to the surviving count when unanchored).
+    let known_total = base.map_or(records.len() as u64, |b| b + records.len() as u64);
+
+    // Find a starting state. Prefer the newest valid snapshot covering
+    // no more records than the journal held; otherwise replay from the
     // Open record.
-    let usable_snapshot = best_snapshot(dir, records.len() as u64);
+    let usable_snapshot = best_snapshot(dir, known_total);
 
     // In Degrade mode, a verified snapshot *ahead* of the surviving log
     // is the Section 5 degradation target: the records between the
@@ -350,7 +480,7 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
     // rebases onto a fresh journal.
     if mode == RecoveryMode::Degrade {
         let ahead = best_snapshot(dir, u64::MAX)
-            .filter(|s| s.seq > records.len() as u64)
+            .filter(|s| s.seq > known_total)
             // When the Open record survived, only trust a snapshot that
             // agrees with it on the alphabet.
             .filter(|s| match records.first() {
@@ -370,7 +500,7 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
             // snapshot were destroyed; the damage-derived count may
             // undercount them (stranded frames beyond the first bad
             // byte are estimated, destroyed ones are not).
-            let destroyed = (s.seq as usize).saturating_sub(records.len());
+            let destroyed = (s.seq as usize).saturating_sub(known_total as usize);
             return Ok(Recovered {
                 journal: None,
                 alpha,
@@ -386,6 +516,117 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
                     dropped_records: dropped.max(destroyed).max(1),
                 },
             });
+        }
+    }
+
+    // Anchored continuation: a compacted journal (no Open record, but a
+    // SnapshotRef anchor) seeds from the snapshot the compaction was
+    // taken under — which, since v2, carries the initial knowledge so
+    // quarantine and source-update resets in the tail still replay —
+    // then replays the surviving tail. Undamaged compacted journals
+    // recover `Clean` this way in both modes: a retired prefix is GC,
+    // not loss.
+    if !open_first {
+        if let Some(b) = base.filter(|&b| b > 0) {
+            let seed = usable_snapshot
+                .as_ref()
+                .filter(|s| s.seq >= b && s.initial.is_some());
+            if let Some(s) = seed {
+                let alpha = Alphabet::from_names(s.alpha.iter().map(String::as_str));
+                let mut parse_alpha = alpha.clone();
+                let snap_path = dir.join(Snapshot::file_name(s.seq));
+                let initial_xml = s.initial.clone().unwrap_or_default();
+                let initial =
+                    parse_incomplete_xml(&initial_xml, &mut parse_alpha).map_err(|e| {
+                        StoreError::SnapshotCorrupt {
+                            path: snap_path.clone(),
+                            reason: format!("initial knowledge does not parse: {e}"),
+                        }
+                    })?;
+                let state = parse_incomplete_xml(&s.knowledge, &mut parse_alpha).map_err(|e| {
+                    StoreError::SnapshotCorrupt {
+                        path: snap_path,
+                        reason: format!("knowledge does not parse: {e}"),
+                    }
+                })?;
+                let mut refiner = Refiner::from_tree(state);
+                let mut refines = 0usize;
+                let mut quarantines = 0usize;
+                let mut source_updates = 0usize;
+                // Scan position of the first record past the snapshot
+                // (its own SnapshotRef — a replay noop).
+                let start_pos = (s.seq - b) as usize;
+                let mut applied = s.seq as usize;
+                for (i, rec) in records.iter().enumerate().skip(start_pos) {
+                    let index = b as usize + i;
+                    let result =
+                        replay_one(rec, &alpha, &mut parse_alpha, &mut refiner, &initial, index);
+                    match result {
+                        Ok(kind) => {
+                            match kind {
+                                ReplayKind::Refine => refines += 1,
+                                ReplayKind::Quarantine => quarantines += 1,
+                                ReplayKind::SourceUpdate => source_updates += 1,
+                                ReplayKind::Noop => {}
+                            }
+                            applied = index + 1;
+                            OBS_REPLAYED.incr();
+                        }
+                        Err(e) => match mode {
+                            RecoveryMode::Strict => return Err(e),
+                            RecoveryMode::Degrade => {
+                                dropped += records.len() - i;
+                                let frame = &outcome.frames[i];
+                                wal::truncate_at(dir, &frame.segment, frame.offset)?;
+                                break;
+                            }
+                        },
+                    }
+                }
+                // Counters cover what is visible: the surviving records
+                // below the snapshot plus the replayed tail (records
+                // retired with their segments are gone entirely).
+                for rec in records.iter().take(start_pos) {
+                    match rec {
+                        Record::Refine { .. } => refines += 1,
+                        Record::Quarantine => quarantines += 1,
+                        Record::SourceUpdate => source_updates += 1,
+                        _ => {}
+                    }
+                }
+                let writer = GroupCommit::new(Wal::open_append(dir)?, FlushPolicy::from_env());
+                let journal = SessionJournal {
+                    dir: dir.to_path_buf(),
+                    writer,
+                    seq: applied as u64,
+                    snapshot_every: Some(SessionJournal::DEFAULT_SNAPSHOT_EVERY),
+                    last_snapshot_seq: s.seq,
+                    retire_floor: 0,
+                    initial_xml: Some(initial_xml),
+                };
+                return Ok(Recovered {
+                    journal: Some(journal),
+                    alpha,
+                    initial: Some(initial),
+                    refiner,
+                    replayed: applied,
+                    refines,
+                    quarantines,
+                    source_updates,
+                    from_snapshot: Some(s.seq),
+                    torn_tail,
+                    status: if dropped > 0 {
+                        RecoveryStatus::Recovered {
+                            dropped_records: dropped,
+                        }
+                    } else {
+                        RecoveryStatus::Clean
+                    },
+                });
+            }
+            // No usable anchored seed (snapshot files destroyed): fall
+            // through — Degrade's snapshot-only fallback may still
+            // apply; Strict surfaces the headless log below.
         }
     }
 
@@ -518,13 +759,15 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
     }
 
     // Reopen for appends after the surviving prefix.
-    let wal = Wal::open_append(dir)?;
+    let writer = GroupCommit::new(Wal::open_append(dir)?, FlushPolicy::from_env());
     let journal = SessionJournal {
         dir: dir.to_path_buf(),
-        wal,
+        writer,
         seq: applied as u64,
         snapshot_every: Some(SessionJournal::DEFAULT_SNAPSHOT_EVERY),
         last_snapshot_seq: from_snapshot.unwrap_or(0),
+        retire_floor: 0,
+        initial_xml: open.as_ref().map(|(_, xml)| xml.clone()),
     };
     // Session-level counters want totals over the whole journal, not
     // just the replayed tail: count the snapshot-covered prefix too.

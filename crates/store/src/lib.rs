@@ -43,3 +43,4 @@ pub use inject::{Corruptor, Injury};
 pub use journal::{recover, Recovered, RecoveryMode, RecoveryStatus, SessionJournal};
 pub use record::Record;
 pub use snapshot::Snapshot;
+pub use wal::{FlushPolicy, GroupCommit};

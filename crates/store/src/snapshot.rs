@@ -15,9 +15,13 @@
 //! +---------+---------+--------------+---------+
 //! ```
 //!
-//! The payload is the record count (`u64` LE), the alphabet (count plus
-//! length-prefixed names in interning order), and the knowledge XML —
-//! everything needed to rebuild a `Refiner` without the journal prefix.
+//! The payload (version 2) is the record count (`u64` LE), the alphabet
+//! (count plus length-prefixed names in interning order), the initial
+//! knowledge (presence byte plus length-prefixed XML), and the current
+//! knowledge XML — everything needed to rebuild a `Refiner`, and to
+//! replay quarantine/source-update resets in the tail, without the
+//! journal prefix. Version-1 files (no initial field) still decode;
+//! see CONTRIBUTING.md's versioning policy.
 //!
 //! Writes are atomic: the bytes go to a `.tmp` file, are synced, and the
 //! file is renamed into place (then the directory is synced). A crash
@@ -35,7 +39,7 @@ use std::path::{Path, PathBuf};
 /// Snapshot payload sizes, in bytes.
 static OBS_SNAPSHOT_BYTES: LazyHistogram = LazyHistogram::new(keys::STORE_SNAPSHOT_BYTES);
 
-pub use crate::format::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use crate::format::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V1};
 
 use crate::format::SNAPSHOT_HEADER_LEN as HEADER_LEN;
 
@@ -46,6 +50,10 @@ pub struct Snapshot {
     pub seq: u64,
     /// Alphabet names in interning order.
     pub alpha: Vec<String>,
+    /// The session's initial knowledge (`core::io` XML form), so a
+    /// journal whose `Open` record was compacted away can still replay
+    /// reset records. `None` when decoded from a version-1 file.
+    pub initial: Option<String>,
     /// The knowledge (incomplete tree), `core::io` XML form.
     pub knowledge: String,
 }
@@ -63,6 +71,14 @@ impl Snapshot {
         for name in &self.alpha {
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
+        }
+        match &self.initial {
+            None => out.push(0),
+            Some(initial) => {
+                out.push(1);
+                out.extend_from_slice(&(initial.len() as u32).to_le_bytes());
+                out.extend_from_slice(initial.as_bytes());
+            }
         }
         out.extend_from_slice(&(self.knowledge.len() as u32).to_le_bytes());
         out.extend_from_slice(self.knowledge.as_bytes());
@@ -123,9 +139,10 @@ impl Snapshot {
         if bytes[..7] != SNAPSHOT_MAGIC {
             return Err(corrupt("bad magic"));
         }
-        if bytes[7] != SNAPSHOT_VERSION {
+        let version = bytes[7];
+        if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
             return Err(StoreError::VersionMismatch {
-                found: bytes[7],
+                found: version,
                 supported: SNAPSHOT_VERSION,
             });
         }
@@ -162,6 +179,25 @@ impl Snapshot {
                 String::from_utf8(s.to_vec()).map_err(|_| corrupt("alphabet name not utf-8"))?,
             );
         }
+        // Version 1 has no initial-knowledge field; version 2 carries a
+        // presence byte followed by the length-prefixed XML.
+        let initial = if version == SNAPSHOT_VERSION_V1 {
+            None
+        } else {
+            match take(&mut pos, 1)? {
+                [0] => None,
+                [1] => {
+                    let b = take(&mut pos, 4)?;
+                    let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+                    let s = take(&mut pos, len)?;
+                    Some(
+                        String::from_utf8(s.to_vec())
+                            .map_err(|_| corrupt("initial knowledge not utf-8"))?,
+                    )
+                }
+                _ => return Err(corrupt("bad initial-knowledge presence byte")),
+            }
+        };
         let b = take(&mut pos, 4)?;
         let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
         let s = take(&mut pos, len)?;
@@ -173,6 +209,7 @@ impl Snapshot {
         Ok(Snapshot {
             seq,
             alpha,
+            initial,
             knowledge,
         })
     }
@@ -228,6 +265,7 @@ mod tests {
         Snapshot {
             seq: 17,
             alpha: vec!["catalog".into(), "product".into(), "priçe".into()],
+            initial: Some("<incomplete>\n</incomplete>\n".into()),
             knowledge: "<incomplete>\n  <data-node nid=\"0\" label=\"catalog\"/>\n</incomplete>\n"
                 .into(),
         }
@@ -262,6 +300,43 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(Snapshot::load(&path).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absent_initial_roundtrips() {
+        let dir = tmp("noinit");
+        let snap = Snapshot {
+            initial: None,
+            ..sample()
+        };
+        let (name, _) = snap.write(&dir).unwrap();
+        assert_eq!(Snapshot::load(&dir.join(&name)).unwrap(), snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The pinned version-1 bytes (CONTRIBUTING.md: readers keep every
+    /// version they ever shipped). Layout: magic, version 1, payload
+    /// CRC, then seq / alphabet / knowledge — no initial field.
+    #[test]
+    fn version_1_files_still_decode() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        payload.extend_from_slice(b"catalog");
+        let knowledge = b"<incomplete>\n</incomplete>\n";
+        payload.extend_from_slice(&(knowledge.len() as u32).to_le_bytes());
+        payload.extend_from_slice(knowledge);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.push(SNAPSHOT_VERSION_V1);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let snap = Snapshot::decode(Path::new("pinned-v1.snap"), &bytes).unwrap();
+        assert_eq!(snap.seq, 3);
+        assert_eq!(snap.alpha, vec!["catalog".to_string()]);
+        assert_eq!(snap.initial, None);
+        assert_eq!(snap.knowledge, String::from_utf8_lossy(knowledge));
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub(crate) static OBS_FSYNCS: LazyCounter = LazyCounter::new(keys::STORE_FSYNCS)
 pub(crate) static OBS_CRC_REJECTS: LazyCounter = LazyCounter::new(keys::STORE_CRC_REJECTS);
 /// Torn tails truncated during recovery.
 static OBS_TORN_TAILS: LazyCounter = LazyCounter::new(keys::STORE_TORN_TAILS);
+/// Records accepted into a group-commit buffer.
+static OBS_BATCHED_APPENDS: LazyCounter = LazyCounter::new(keys::STORE_BATCHED_APPENDS);
+/// Group-commit buffer flushes (each is one write + one fsync).
+static OBS_BATCH_FLUSHES: LazyCounter = LazyCounter::new(keys::STORE_BATCH_FLUSHES);
+/// Segments retired by compaction.
+static OBS_SEGMENTS_RETIRED: LazyCounter = LazyCounter::new(keys::STORE_SEGMENTS_RETIRED);
 
 pub use crate::format::{FORMAT_VERSION, FRAME_MAGIC, SEGMENT_MAGIC};
 
@@ -150,17 +156,23 @@ impl Wal {
 
     /// Appends one frame and (by default) syncs it to disk.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        encode_frame_into(&mut frame, payload);
+        self.write_batch(&frame, 1)
+    }
+
+    /// Writes `records` already-encoded frames in one `write_all` and
+    /// (when `sync` is on) one `sync_data`. The roll check happens once,
+    /// before the write, so a whole batch always lands in a single
+    /// segment — segments may overshoot `segment_bytes` by up to one
+    /// batch, which scans and compaction are indifferent to.
+    fn write_batch(&mut self, bytes: &[u8], records: u64) -> Result<(), StoreError> {
         if self.seg_len >= self.segment_bytes {
             self.roll()?;
         }
         let path = Wal::seg_path(&self.dir, self.seg_index);
-        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-        frame.extend_from_slice(&FRAME_MAGIC);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
         self.file
-            .write_all(&frame)
+            .write_all(bytes)
             .map_err(|e| StoreError::io(&path, e))?;
         if self.sync {
             self.file
@@ -168,8 +180,8 @@ impl Wal {
                 .map_err(|e| StoreError::io(&path, e))?;
             OBS_FSYNCS.incr();
         }
-        self.seg_len += frame.len() as u64;
-        OBS_APPENDS.incr();
+        self.seg_len += bytes.len() as u64;
+        OBS_APPENDS.add(records);
         Ok(())
     }
 
@@ -180,6 +192,242 @@ impl Wal {
         self.seg_len = SEGMENT_HEADER_LEN as u64;
         Ok(())
     }
+}
+
+/// Encodes one `REC!` frame (header + payload) onto the end of `buf`.
+fn encode_frame_into(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.reserve(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// When a group-commit buffer is forced to disk.
+///
+/// The linger bound counts *logical ticks*, not wall-clock time: the
+/// clock advances once per [`GroupCommit::append`] or
+/// [`GroupCommit::tick`] call, so byte-for-byte reproducible runs stay
+/// reproducible (iixml-vet's determinism rule bans wall-clock reads on
+/// these paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush once the buffered frames reach this many bytes.
+    pub max_batch_bytes: u64,
+    /// Flush once this many records are buffered.
+    pub max_batch_records: u64,
+    /// Flush once the oldest buffered record has waited this many ticks.
+    pub max_linger_ticks: u64,
+}
+
+impl Default for FlushPolicy {
+    /// Durable-every-record: byte-compatible with the pre-group-commit
+    /// writer. Every append flushes (and fsyncs) immediately, so an
+    /// acknowledged record is always on disk — the assumption the
+    /// existing crash tests and `Session::open_journaled` callers make.
+    fn default() -> FlushPolicy {
+        FlushPolicy {
+            max_batch_bytes: Wal::DEFAULT_SEGMENT_BYTES,
+            max_batch_records: 1,
+            max_linger_ticks: 0,
+        }
+    }
+}
+
+impl FlushPolicy {
+    /// A throughput-oriented policy: up to 64 records (or a segment's
+    /// worth of bytes) per fsync, with a 64-tick linger bound.
+    pub fn batched() -> FlushPolicy {
+        FlushPolicy {
+            max_batch_bytes: Wal::DEFAULT_SEGMENT_BYTES,
+            max_batch_records: 64,
+            max_linger_ticks: 64,
+        }
+    }
+
+    /// The default policy overridden by the `IIXML_STORE_BATCH_BYTES`,
+    /// `IIXML_STORE_BATCH_RECS` and `IIXML_STORE_LINGER` environment
+    /// knobs (unset or unparsable values keep the default).
+    pub fn from_env() -> FlushPolicy {
+        fn read(key: &str) -> Option<u64> {
+            std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+        }
+        let mut policy = FlushPolicy::default();
+        if let Some(v) = read(keys::ENV_STORE_BATCH_BYTES) {
+            policy.max_batch_bytes = v.max(1);
+        }
+        if let Some(v) = read(keys::ENV_STORE_BATCH_RECS) {
+            policy.max_batch_records = v.max(1);
+        }
+        if let Some(v) = read(keys::ENV_STORE_LINGER) {
+            policy.max_linger_ticks = v;
+        }
+        policy
+    }
+}
+
+/// A group-commit writer over a [`Wal`]: appends buffer encoded frames
+/// in memory and a *flush* moves the whole batch to disk with a single
+/// `write_all` + `sync_data`, amortizing the fsync that dominates
+/// per-record append cost.
+///
+/// Durability contract: a record is durable only once its batch has
+/// flushed. [`GroupCommit::sync`] is the explicit barrier — after it
+/// returns, every accepted record is on disk (read-your-writes at
+/// commit points). A crash mid-batch tears the batch's frames at some
+/// byte; the scan classifies that as a torn tail and recovery resumes
+/// from the last fully-fsynced batch. Records never reorder: the
+/// buffer preserves append order and flushes are sequential.
+///
+/// Dropping a `GroupCommit` flushes best-effort (errors are swallowed);
+/// callers that need the guarantee call [`GroupCommit::sync`].
+pub struct GroupCommit {
+    wal: Wal,
+    policy: FlushPolicy,
+    buf: Vec<u8>,
+    buffered: u64,
+    tick: u64,
+    oldest_tick: u64,
+}
+
+impl GroupCommit {
+    /// Wraps `wal` with the given flush policy. The inner WAL's `sync`
+    /// flag is forced on: the batch write is the one sync point.
+    pub fn new(mut wal: Wal, policy: FlushPolicy) -> GroupCommit {
+        wal.sync = true;
+        GroupCommit {
+            wal,
+            policy,
+            buf: Vec::new(),
+            buffered: 0,
+            tick: 0,
+            oldest_tick: 0,
+        }
+    }
+
+    /// The active flush policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Replaces the flush policy, flushing immediately if the buffered
+    /// batch already exceeds the new bounds.
+    pub fn set_policy(&mut self, policy: FlushPolicy) -> Result<(), StoreError> {
+        self.policy = policy;
+        self.flush_if_due()
+    }
+
+    /// Sets the segment roll threshold on the inner WAL.
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.wal.segment_bytes = bytes.max(SEGMENT_HEADER_LEN as u64 + 1);
+    }
+
+    /// Records accepted but not yet flushed to disk.
+    pub fn pending_records(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Accepts one record into the batch, flushing when the policy says
+    /// the batch is due. Advances the logical clock by one tick.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        self.tick += 1;
+        if self.buffered == 0 {
+            self.oldest_tick = self.tick;
+        }
+        encode_frame_into(&mut self.buf, payload);
+        self.buffered += 1;
+        OBS_BATCHED_APPENDS.incr();
+        self.flush_if_due()
+    }
+
+    /// Advances the logical clock without appending, flushing when the
+    /// oldest buffered record has lingered past the policy bound. Call
+    /// this from externally-driven step loops so a lightly-loaded
+    /// session cannot hold records in memory indefinitely.
+    pub fn tick(&mut self) -> Result<(), StoreError> {
+        self.tick += 1;
+        self.flush_if_due()
+    }
+
+    fn flush_if_due(&mut self) -> Result<(), StoreError> {
+        if self.buffered == 0 {
+            return Ok(());
+        }
+        let due = self.buffered >= self.policy.max_batch_records
+            || self.buf.len() as u64 >= self.policy.max_batch_bytes
+            || self.tick.saturating_sub(self.oldest_tick) >= self.policy.max_linger_ticks;
+        if due {
+            self.sync()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The durability barrier: flushes any buffered records (one write,
+    /// one fsync). After `sync()` returns `Ok`, every accepted record is
+    /// on disk. A no-op when nothing is buffered.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.buffered == 0 {
+            return Ok(());
+        }
+        self.wal.write_batch(&self.buf, self.buffered)?;
+        self.buf.clear();
+        self.buffered = 0;
+        OBS_BATCH_FLUSHES.incr();
+        Ok(())
+    }
+}
+
+impl Drop for GroupCommit {
+    fn drop(&mut self) {
+        // Best-effort: a failed flush here has no caller to report to.
+        // Callers that need the guarantee call `sync()` first.
+        let _ = self.sync();
+    }
+}
+
+/// Atomically retires a snapshot-covered segment: rename to a
+/// `.retired` name — invisible to [`Wal::segments`], so scans and
+/// appends already behave as if it were gone — then best-effort
+/// directory sync, then delete. A crash between the steps leaves
+/// either the live segment (retirement simply did not happen) or a
+/// `.retired` tombstone, which [`sweep_retired`] removes at recovery.
+pub(crate) fn retire_segment(dir: &Path, segment: &Path) -> Result<(), StoreError> {
+    let Some(name) = segment.file_name() else {
+        return Err(StoreError::Io {
+            path: segment.to_path_buf(),
+            message: "segment path has no file name".into(),
+        });
+    };
+    let mut tomb = name.to_os_string();
+    tomb.push(".retired");
+    let tomb = dir.join(tomb);
+    std::fs::rename(segment, &tomb).map_err(|e| StoreError::io(segment, e))?;
+    if let Ok(d) = File::open(dir) {
+        // Directory sync is best-effort: not all platforms allow it.
+        if d.sync_data().is_ok() {
+            OBS_FSYNCS.incr();
+        }
+    }
+    std::fs::remove_file(&tomb).map_err(|e| StoreError::io(&tomb, e))?;
+    OBS_SEGMENTS_RETIRED.incr();
+    Ok(())
+}
+
+/// Removes `.retired` tombstones left by a crash mid-retirement (the
+/// counterpart of [`crate::snapshot::sweep_tmp`] for segments).
+pub(crate) fn sweep_retired(dir: &Path) -> Result<(), StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("seg-") && name.ends_with(".retired") {
+            let path = entry.path();
+            std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+        }
+    }
+    Ok(())
 }
 
 /// How a scan's first bad byte was classified.
@@ -558,6 +806,191 @@ mod tests {
         assert!(!damage.is_torn_tail());
         assert_eq!(damage.stranded, 3, "three records stranded beyond the flip");
         assert_eq!(damage.records_lost(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_default_policy_is_durable_every_record() {
+        let dir = tmp("gc-default");
+        let mut gc = GroupCommit::new(Wal::create(&dir).unwrap(), FlushPolicy::default());
+        gc.append(b"rec-0").unwrap();
+        assert_eq!(
+            gc.pending_records(),
+            0,
+            "default policy flushes each append"
+        );
+        assert_eq!(scan(&dir).unwrap().frames.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_buffers_until_record_threshold() {
+        let dir = tmp("gc-records");
+        let policy = FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: 4,
+            max_linger_ticks: u64::MAX,
+        };
+        let mut gc = GroupCommit::new(Wal::create(&dir).unwrap(), policy);
+        for i in 0..3u32 {
+            gc.append(format!("rec-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(gc.pending_records(), 3);
+        assert_eq!(scan(&dir).unwrap().frames.len(), 0, "batch still in memory");
+        gc.append(b"rec-3").unwrap();
+        assert_eq!(gc.pending_records(), 0);
+        let out = scan(&dir).unwrap();
+        assert!(out.damage.is_none());
+        assert_eq!(out.frames.len(), 4);
+        assert_eq!(out.frames[2].payload, b"rec-2");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_sync_is_the_read_your_writes_barrier() {
+        let dir = tmp("gc-sync");
+        let policy = FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: u64::MAX,
+            max_linger_ticks: u64::MAX,
+        };
+        let mut gc = GroupCommit::new(Wal::create(&dir).unwrap(), policy);
+        for i in 0..5u32 {
+            gc.append(format!("rec-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(scan(&dir).unwrap().frames.len(), 0);
+        gc.sync().unwrap();
+        assert_eq!(gc.pending_records(), 0);
+        assert_eq!(scan(&dir).unwrap().frames.len(), 5);
+        // Idempotent.
+        gc.sync().unwrap();
+        assert_eq!(scan(&dir).unwrap().frames.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_linger_bound_flushes_on_ticks() {
+        let dir = tmp("gc-linger");
+        let policy = FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: u64::MAX,
+            max_linger_ticks: 4,
+        };
+        let mut gc = GroupCommit::new(Wal::create(&dir).unwrap(), policy);
+        gc.append(b"lonely").unwrap();
+        for _ in 0..2 {
+            gc.tick().unwrap();
+            assert_eq!(gc.pending_records(), 1, "still within the linger bound");
+        }
+        for _ in 0..2 {
+            gc.tick().unwrap();
+        }
+        assert_eq!(gc.pending_records(), 0, "linger bound reached");
+        assert_eq!(scan(&dir).unwrap().frames.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_drop_flushes_best_effort() {
+        let dir = tmp("gc-drop");
+        let policy = FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: u64::MAX,
+            max_linger_ticks: u64::MAX,
+        };
+        let mut gc = GroupCommit::new(Wal::create(&dir).unwrap(), policy);
+        gc.append(b"rec-0").unwrap();
+        gc.append(b"rec-1").unwrap();
+        drop(gc);
+        assert_eq!(scan(&dir).unwrap().frames.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_batch_recovers_to_last_flushed_batch() {
+        let dir = tmp("gc-torn");
+        let policy = FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: 3,
+            max_linger_ticks: u64::MAX,
+        };
+        let mut gc = GroupCommit::new(Wal::create(&dir).unwrap(), policy);
+        for i in 0..3u32 {
+            gc.append(format!("first-batch-{i}").as_bytes()).unwrap();
+        }
+        let (_, path) = Wal::segments(&dir).unwrap().pop().unwrap();
+        let flushed_len = std::fs::metadata(&path).unwrap().len();
+        for i in 0..3u32 {
+            gc.append(format!("second-batch-{i}").as_bytes()).unwrap();
+        }
+        drop(gc);
+        // Tear the second batch mid-write: keep its first frame plus a
+        // few bytes of the second, as an interrupted write would.
+        let torn = flushed_len + (FRAME_HEADER_LEN + b"second-batch-0".len()) as u64 + 5;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(torn)
+            .unwrap();
+        let out = scan(&dir).unwrap();
+        assert_eq!(out.frames.len(), 4, "first batch plus the intact frame");
+        let damage = out.damage.unwrap();
+        assert!(
+            damage.is_torn_tail(),
+            "torn batch is the benign crash shape"
+        );
+        assert_eq!(damage.records_lost(), 0);
+        repair(&dir, &damage).unwrap();
+        let out = scan(&dir).unwrap();
+        assert!(out.damage.is_none());
+        assert_eq!(out.frames.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retired_segments_vanish_and_scans_continue() {
+        let dir = tmp("retire");
+        let mut wal = Wal::create(&dir).unwrap();
+        wal.segment_bytes = 64; // force rolls
+        for i in 0..20u32 {
+            wal.append(format!("record number {i} with some padding").as_bytes())
+                .unwrap();
+        }
+        let segs = Wal::segments(&dir).unwrap();
+        assert!(segs.len() > 2);
+        let before = scan(&dir).unwrap().frames.len();
+        let dropped = {
+            let first = &segs[0].1;
+            let bytes = std::fs::read(first).unwrap();
+            let count = scan(&dir)
+                .unwrap()
+                .frames
+                .iter()
+                .filter(|f| &f.segment == first)
+                .count();
+            assert!(bytes.len() > SEGMENT_HEADER_LEN);
+            retire_segment(&dir, first).unwrap();
+            count
+        };
+        let after = Wal::segments(&dir).unwrap();
+        assert_eq!(after.len(), segs.len() - 1);
+        assert!(after[0].0 > 0, "first index retired");
+        let out = scan(&dir).unwrap();
+        assert!(out.damage.is_none(), "scan tolerates a retired prefix");
+        assert_eq!(out.frames.len(), before - dropped);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_retired_removes_tombstones() {
+        let dir = tmp("sweep-retired");
+        let mut wal = Wal::create(&dir).unwrap();
+        wal.append(b"live").unwrap();
+        std::fs::write(dir.join("seg-000099.wal.retired"), b"junk").unwrap();
+        sweep_retired(&dir).unwrap();
+        assert!(!dir.join("seg-000099.wal.retired").exists());
+        assert_eq!(scan(&dir).unwrap().frames.len(), 1, "live data untouched");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

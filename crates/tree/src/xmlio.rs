@@ -22,12 +22,20 @@ use std::fmt;
 
 /// Serializes a tree to the XML-ish syntax.
 pub fn write_tree(t: &DataTree, alpha: &Alphabet) -> String {
+    use std::fmt::Write;
     let mut out = String::new();
+    // Writes straight into `out` — this sits on the journal's append
+    // hot path (every logged refine spells its answer tree), so no
+    // per-node temporaries.
+    fn pad(out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
     fn go(t: &DataTree, alpha: &Alphabet, n: NodeRef, depth: usize, out: &mut String) {
-        let pad = "  ".repeat(depth);
+        pad(out, depth);
         let name = alpha.name(t.label(n));
-        let head = format!("{pad}<{name} nid=\"{}\" val=\"{}\"", t.nid(n).0, t.value(n));
-        out.push_str(&head);
+        let _ = write!(out, "<{name} nid=\"{}\" val=\"{}\"", t.nid(n).0, t.value(n));
         if t.children(n).is_empty() {
             out.push_str("/>\n");
         } else {
@@ -35,7 +43,8 @@ pub fn write_tree(t: &DataTree, alpha: &Alphabet) -> String {
             for &c in t.children(n) {
                 go(t, alpha, c, depth + 1, out);
             }
-            out.push_str(&format!("{pad}</{name}>\n"));
+            pad(out, depth);
+            let _ = writeln!(out, "</{name}>");
         }
     }
     go(t, alpha, t.root(), 0, &mut out);

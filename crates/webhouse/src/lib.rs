@@ -50,7 +50,7 @@ pub mod validate;
 
 pub use endpoint::{FaultCounts, FaultPlan, FaultySource, LatentSource, Source, SourceEndpoint};
 pub use error::{SourceError, ValidationError, WebhouseError};
-pub use iixml_store::{RecoveryStatus, StoreError};
+pub use iixml_store::{FlushPolicy, RecoveryStatus, StoreError};
 pub use retry::RetryPolicy;
 
 use iixml_core::{IncompleteTree, QueryOnIncomplete, Refiner};
@@ -62,7 +62,7 @@ use iixml_store::{RecoveryMode, SessionJournal};
 use iixml_tree::{Alphabet, DataTree, Nid};
 use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Source queries retried after a retryable failure.
 static OBS_RETRIES: LazyCounter = LazyCounter::new(keys::WEBHOUSE_RETRIES);
@@ -290,6 +290,30 @@ impl<E: SourceEndpoint> Session<E> {
         Ok((session, report))
     }
 
+    /// The durability barrier for batched journaling: flushes any
+    /// group-committed records still in memory. After this returns
+    /// `Ok`, every journaled event is on disk — call it at commit
+    /// points when a batched [`FlushPolicy`] is active (the default
+    /// policy flushes every record, making this a no-op).
+    pub fn sync_journal(&mut self) -> Result<(), WebhouseError> {
+        self.take_journal_fault()?;
+        match &mut self.journal {
+            Some(journal) => journal.sync().map_err(WebhouseError::Store),
+            None => Ok(()),
+        }
+    }
+
+    /// Replaces the journal's group-commit flush policy (see
+    /// [`FlushPolicy`]). No-op on un-journaled sessions.
+    pub fn set_journal_flush_policy(&mut self, policy: FlushPolicy) -> Result<(), WebhouseError> {
+        match &mut self.journal {
+            Some(journal) => journal
+                .set_flush_policy(policy)
+                .map_err(WebhouseError::Store),
+            None => Ok(()),
+        }
+    }
+
     /// The durability fault that stopped journaling, if any. Once set,
     /// the session keeps operating un-journaled (availability over
     /// durability); the next fallible operation also returns the fault.
@@ -360,6 +384,11 @@ impl<E: SourceEndpoint> Session<E> {
     /// answer cost in exchange for a coarser description.
     pub fn set_relax_target(&mut self, target: Option<usize>) {
         self.relax_target = target;
+    }
+
+    /// The session's frozen alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alpha
     }
 
     /// The accumulated incomplete tree.
@@ -778,6 +807,40 @@ impl<E: SourceEndpoint> Webhouse<E> {
         session.set_obs_label(&name);
         self.sessions.insert(name, session);
         Ok(report)
+    }
+
+    /// Recovers many crashed journaled sessions concurrently on the
+    /// `iixml-par` pool, one task per journal — a webhouse with N
+    /// independent sessions restarts in roughly 1/min(N, threads) of
+    /// the sequential time. Recovery order is irrelevant (journals are
+    /// independent) but results come back in session-name order and are
+    /// byte-identical at any pool width, width 1 included. All-or-
+    /// nothing: if any journal fails to recover, the first error (in
+    /// name order) is returned and no session is registered.
+    pub fn recover_sessions(
+        &mut self,
+        journals: Vec<(String, PathBuf, E)>,
+    ) -> Result<Vec<(String, RecoveryReport)>, WebhouseError>
+    where
+        E: Send,
+    {
+        let mut journals = journals;
+        journals.sort_by(|a, b| a.0.cmp(&b.0));
+        let recovered = iixml_par::par_map(journals, 1, |(name, dir, source)| {
+            (name, Session::recover(&dir, source))
+        });
+        let mut reports = Vec::with_capacity(recovered.len());
+        let mut sessions = Vec::with_capacity(recovered.len());
+        for (name, result) in recovered {
+            let (mut session, report) = result?;
+            session.set_obs_label(&name);
+            reports.push((name.clone(), report));
+            sessions.push((name, session));
+        }
+        for (name, session) in sessions {
+            self.sessions.insert(name, session);
+        }
+        Ok(reports)
     }
 
     /// Accesses a session.

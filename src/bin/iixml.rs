@@ -17,7 +17,10 @@
 //! `dir`, and reopening the same directory recovers the session by
 //! snapshot load plus tail replay. For `walkthrough` it appends a
 //! durability stage; `--crash-at <n>` additionally kills the journaled
-//! session after `n` fetches and recovers it mid-run.
+//! session after `n` fetches and recovers it mid-run, and
+//! `--crash-in-batch` runs the same crash under a batched flush policy,
+//! tearing the WAL mid-batch and resuming from the last `sync()`
+//! barrier.
 //!
 //! Documents use the XML-ish syntax of `iixml_tree::xmlio` (elements with
 //! `nid`/`val` attributes — see `iixml demo`); queries use the text
@@ -72,7 +75,7 @@ fn main() {
         Some("walkthrough") => cmd_walkthrough(&args[2..], journal.as_deref()),
         _ => {
             eprintln!(
-                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>]"
+                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>] [--crash-in-batch]"
             );
             std::process::exit(2);
         }
@@ -111,6 +114,7 @@ fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String>
     let mut chaos_rate = 0.15f64;
     let mut chaos_seed = 0xA5EEDu64;
     let mut crash_at: Option<usize> = None;
+    let mut crash_in_batch = false;
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
         match opt.as_str() {
@@ -137,11 +141,15 @@ fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String>
                         .ok_or("--crash-at needs a step number")?,
                 );
             }
+            "--crash-in-batch" => crash_in_batch = true,
             other => return Err(format!("unknown walkthrough option: {other}")),
         }
     }
-    if crash_at.is_some() && journal.is_none() {
-        return Err("--crash-at needs --journal <dir>".into());
+    if (crash_at.is_some() || crash_in_batch) && journal.is_none() {
+        return Err("--crash-at / --crash-in-batch need --journal <dir>".into());
+    }
+    if crash_at.is_some() && crash_in_batch {
+        return Err("--crash-at and --crash-in-batch are mutually exclusive".into());
     }
 
     // 1. Answering with views: refine knowledge from a price view.
@@ -246,7 +254,11 @@ fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String>
     // 6. (--journal) Durability: journal a fresh session's events,
     //    optionally crash partway through, recover, and finish.
     if let Some(dir) = journal {
-        walkthrough_durability(dir, crash_at, &mut cat)?;
+        if crash_in_batch {
+            walkthrough_torn_batch(dir, &mut cat)?;
+        } else {
+            walkthrough_durability(dir, crash_at, &mut cat)?;
+        }
     }
     Ok(())
 }
@@ -343,6 +355,116 @@ fn walkthrough_durability(
         "durability stage: {} fetches journaled to {}; knowledge matches uncrashed run: {}",
         queries.len(),
         dir.display(),
+        got == want
+    );
+    if got != want {
+        return Err("recovered knowledge diverged from the uncrashed run".into());
+    }
+    Ok(())
+}
+
+/// The walkthrough's torn-batch stage (`--crash-in-batch`): the same
+/// fetch sequence under a *batched* flush policy with an explicit
+/// `sync()` barrier partway through, then a crash that tears the WAL
+/// mid-batch. The group-commit contract says exactly this: fetches
+/// acknowledged before the barrier survive; buffered ones after it may
+/// be lost, and recovery reports how far the log got so the session
+/// re-asks the rest. The final knowledge must still be byte-identical
+/// to an uncrashed run.
+fn walkthrough_torn_batch(dir: &str, cat: &mut iixml_gen::Catalog) -> Result<(), String> {
+    use iixml_store::wal::Wal;
+    use iixml_store::FlushPolicy;
+    use iixml_webhouse::RecoveryStatus;
+
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if !Wal::segments(&dir).map_err(|e| e.to_string())?.is_empty() {
+        return Err(format!(
+            "{} already holds a journal; pass an empty directory",
+            dir.display()
+        ));
+    }
+    let queries: Vec<_> = [150i64, 200, 250, 300, 350, 400, 450, 500]
+        .iter()
+        .map(|&b| iixml_gen::catalog_query_price_below(&mut cat.alpha, b))
+        .collect();
+    let alpha = cat.alpha.clone();
+    let source = || Source::new(cat.doc.clone(), Some(cat.ty.clone()));
+
+    // Reference: the same fetches, no journal, no crash.
+    let mut reference = Session::open(alpha.clone(), source());
+    for q in &queries {
+        reference.fetch(q).map_err(|e| e.to_string())?;
+    }
+    let want = write_incomplete_xml(reference.knowledge(), &alpha);
+
+    let mut session =
+        Session::open_journaled(alpha.clone(), source(), &dir).map_err(|e| e.to_string())?;
+    session
+        .set_journal_flush_policy(FlushPolicy::batched())
+        .map_err(|e| e.to_string())?;
+    let barrier = 4usize;
+    for q in &queries[..barrier] {
+        session.fetch(q).map_err(|e| e.to_string())?;
+    }
+    // The read-your-writes barrier: everything up to here is durable.
+    session.sync_journal().map_err(|e| e.to_string())?;
+    let (_, last_seg) = Wal::segments(&dir)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .next_back()
+        .ok_or("journal vanished")?;
+    let synced_len = std::fs::metadata(&last_seg)
+        .map_err(|e| format!("{}: {e}", last_seg.display()))?
+        .len();
+    for q in &queries[barrier..] {
+        session.fetch(q).map_err(|e| e.to_string())?;
+    }
+    // Crash: the drop flushes the buffered tail batch in one write;
+    // truncating partway back into it models the power cut landing
+    // mid-write — a prefix of the batch reached disk, the rest didn't.
+    drop(session);
+    let full_len = std::fs::metadata(&last_seg)
+        .map_err(|e| format!("{}: {e}", last_seg.display()))?
+        .len();
+    let tear = synced_len + (full_len - synced_len) / 2;
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&last_seg)
+        .and_then(|f| f.set_len(tear))
+        .map_err(|e| format!("{}: {e}", last_seg.display()))?;
+
+    let (mut session, report) = Session::recover(&dir, source()).map_err(|e| e.to_string())?;
+    println!(
+        "torn-batch stage: barrier after {barrier} of {} fetches, WAL torn mid-batch \
+         ({} of {} post-barrier bytes survived); recovery replayed {} records \
+         ({} refines), torn tail: {}, status: {}",
+        queries.len(),
+        tear - synced_len,
+        full_len - synced_len,
+        report.replayed,
+        report.refines,
+        report.torn_tail,
+        match report.status {
+            RecoveryStatus::Clean => "clean".to_string(),
+            RecoveryStatus::Recovered { dropped_records } =>
+                format!("recovered ({dropped_records} records dropped)"),
+        },
+    );
+    if report.refines < barrier {
+        return Err(format!(
+            "recovery lost a fetch acknowledged before the sync() barrier \
+             ({} refines < {barrier})",
+            report.refines
+        ));
+    }
+    let resume = report.refines.min(queries.len());
+    for q in &queries[resume..] {
+        session.fetch(q).map_err(|e| e.to_string())?;
+    }
+    let got = write_incomplete_xml(session.knowledge(), &alpha);
+    println!(
+        "torn-batch stage: resumed at fetch {resume}; knowledge matches uncrashed run: {}",
         got == want
     );
     if got != want {

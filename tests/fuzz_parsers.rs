@@ -250,6 +250,11 @@ fn snapshot_decoder_never_panics() {
                 alpha: (0..rng.range_usize(0, 3))
                     .map(|_| arb_string(rng, 6))
                     .collect(),
+                initial: if rng.bool(0.5) {
+                    Some(arb_string(rng, 40))
+                } else {
+                    None
+                },
                 knowledge: arb_string(rng, 60),
             };
             let payload_roundtrip = Snapshot::decode(path, &snap_bytes(&snap));

@@ -223,6 +223,278 @@ fn recovery_never_diverges_under_seeded_injection() {
     );
 }
 
+/// Group-commit crash matrix: torn tails landing *inside* a batched
+/// flush must recover to (at least) the last fully-fsynced batch, and
+/// concurrent recovery of the whole case set through
+/// `Webhouse::recover_sessions` must be byte-identical at par widths 1
+/// and 4.
+#[test]
+fn torn_group_commit_batches_recover_to_last_synced_batch() {
+    use iixml_store::FlushPolicy;
+    use iixml_webhouse::{Source, Webhouse};
+
+    const CASES: usize = 24;
+    let base = testkit::base_seed();
+
+    // Build the case set once: each case is a journaled history written
+    // under a batch-everything policy, with one explicit sync() barrier
+    // at a seeded point, then a crash tearing the final batch at a
+    // seeded byte — the exact artifact of a process killed mid-flush.
+    struct Case {
+        name: String,
+        dir: PathBuf,
+        doc: iixml_tree::DataTree,
+        states: Vec<String>,
+        synced: usize,
+        total: usize,
+    }
+    let mut cases: Vec<Case> = Vec::with_capacity(CASES);
+    for c in 0..CASES {
+        let seed = DetRng::new(base ^ 0xBA7C).fork(c as u64).next_u64();
+        let mut rng = DetRng::new(seed);
+        let mut cat = iixml_gen::catalog(2, rng.next_u64());
+        let queries: Vec<PsQuery> = (0..5)
+            .map(|_| iixml_gen::catalog_query_price_below(&mut cat.alpha, rng.range_i64(50, 500)))
+            .collect();
+        let alpha = cat.alpha.clone();
+
+        let dir = scratch(&format!("gcm-c{c}"));
+        let mut journal = SessionJournal::create(&dir).unwrap();
+        journal.set_snapshot_every(None);
+        journal
+            .set_flush_policy(FlushPolicy {
+                max_batch_bytes: u64::MAX,
+                max_batch_records: u64::MAX,
+                max_linger_ticks: u64::MAX,
+            })
+            .unwrap();
+        let mut refiner = Refiner::new(&alpha);
+        let initial: IncompleteTree = refiner.current().clone();
+        journal.log_open(&alpha, &initial).unwrap();
+        let mut states = vec![String::new(), ser(&refiner, &alpha)];
+
+        let steps = rng.range_usize(4, 8);
+        let sync_after = rng.range_usize(1, steps); // refines durable at the barrier
+        let mut synced_len = 0u64;
+        for i in 0..steps {
+            let q = rng.choose(&queries).clone();
+            let ans = q.eval(&cat.doc);
+            refiner.refine(&alpha, &q, &ans).unwrap();
+            journal.log_refine(&alpha, &q, &ans).unwrap();
+            states.push(ser(&refiner, &alpha));
+            if i + 1 == sync_after {
+                journal.sync().unwrap();
+                let (_, seg) = iixml_store::wal::Wal::segments(&dir)
+                    .unwrap()
+                    .pop()
+                    .unwrap();
+                synced_len = std::fs::metadata(seg).unwrap().len();
+            }
+        }
+        let synced = 1 + sync_after; // open + synced refines
+        let total = 1 + steps;
+        assert!(
+            journal.pending_records() > 0,
+            "case {c}: nothing left buffered — the tear would not land in a batch"
+        );
+        drop(journal); // drop flushes the rest; the tear below undoes part of it
+        let (_, seg) = iixml_store::wal::Wal::segments(&dir)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let full_len = std::fs::metadata(&seg).unwrap().len();
+        assert!(full_len > synced_len, "case {c}: final batch wrote nothing");
+        // Tear inside the final (unsynced) batch.
+        let cut = synced_len + 1 + (rng.next_u64() % (full_len - synced_len));
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        cases.push(Case {
+            name: format!("case-{c:02}"),
+            dir,
+            doc: cat.doc.clone(),
+            states,
+            synced,
+            total,
+        });
+    }
+
+    // Recover the whole fleet concurrently at widths 1 and 4. The first
+    // pass repairs the torn tails; the invariant (and the bytes) must
+    // hold on every pass at every width.
+    let mut per_width: Vec<Vec<String>> = Vec::new();
+    for &width in &[1usize, 4] {
+        iixml_par::set_threads(Some(width));
+        let mut house: Webhouse<Source> = Webhouse::new();
+        let journals: Vec<(String, PathBuf, Source)> = cases
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    c.dir.clone(),
+                    Source::new(c.doc.clone(), None),
+                )
+            })
+            .collect();
+        let reports = house
+            .recover_sessions(journals)
+            .expect("torn batches are benign; recovery must not error");
+        assert_eq!(reports.len(), CASES);
+        let mut knowledge = Vec::with_capacity(CASES);
+        for (case, (name, report)) in cases.iter().zip(&reports) {
+            assert_eq!(&case.name, name, "name order broke");
+            assert_eq!(
+                report.status,
+                RecoveryStatus::Clean,
+                "{name} width {width}: a torn batch is the benign crash shape"
+            );
+            assert!(
+                report.replayed >= case.synced,
+                "{name} width {width}: lost a record acknowledged by sync() \
+                 (replayed {} < {} synced)",
+                report.replayed,
+                case.synced
+            );
+            assert!(report.replayed <= case.total, "{name}: replayed too much");
+            let session = house.session(name).unwrap();
+            let alpha = session.alphabet().clone();
+            let got = write_incomplete_xml(session.knowledge(), &alpha);
+            assert_eq!(
+                got, case.states[report.replayed],
+                "{name} width {width}: state is not the state after {} records",
+                report.replayed
+            );
+            knowledge.push(got);
+        }
+        per_width.push(knowledge);
+    }
+    iixml_par::set_threads(None);
+    assert_eq!(
+        per_width[0], per_width[1],
+        "recovery width changed the recovered bytes"
+    );
+    for case in &cases {
+        let _ = std::fs::remove_dir_all(&case.dir);
+    }
+}
+
+/// Segment compaction: once snapshots cover the old segments they are
+/// retired (file-level GC), and recovery of the compacted journal —
+/// which no longer starts with its Open record — re-anchors on a
+/// SnapshotRef and comes back `Clean` in both modes, byte-identical to
+/// the uncompacted history.
+#[test]
+fn compacted_journals_recover_clean_from_the_anchor() {
+    let base = testkit::base_seed();
+    let mut rng = DetRng::new(base ^ 0xC0DA);
+    let mut cat = iixml_gen::catalog(2, rng.next_u64());
+    let queries: Vec<PsQuery> = (0..6)
+        .map(|_| iixml_gen::catalog_query_price_below(&mut cat.alpha, rng.range_i64(50, 500)))
+        .collect();
+    let alpha = cat.alpha.clone();
+
+    let dir = scratch("compact");
+    let mut journal = SessionJournal::create(&dir).unwrap();
+    journal.set_segment_bytes(512); // roll often so compaction has prey
+    journal.set_snapshot_every(Some(4));
+    let mut refiner = Refiner::new(&alpha);
+    let initial: IncompleteTree = refiner.current().clone();
+    journal.log_open(&alpha, &initial).unwrap();
+    let mut states = vec![String::new(), ser(&refiner, &alpha)];
+    for _ in 0..24 {
+        match rng.below(8) {
+            0 => {
+                refiner = Refiner::from_tree(initial.clone());
+                journal.log_quarantine().unwrap();
+            }
+            _ => {
+                let q = rng.choose(&queries).clone();
+                let ans = q.eval(&cat.doc);
+                refiner.refine(&alpha, &q, &ans).unwrap();
+                journal.log_refine(&alpha, &q, &ans).unwrap();
+            }
+        }
+        states.push(ser(&refiner, &alpha));
+        if journal.maybe_snapshot(&alpha, refiner.current()).unwrap() {
+            states.push(ser(&refiner, &alpha));
+        }
+    }
+    let total = journal.seq() as usize;
+    assert_eq!(total, states.len() - 1);
+    drop(journal);
+
+    let segs = iixml_store::wal::Wal::segments(&dir).unwrap();
+    assert!(
+        segs[0].0 > 0,
+        "no segment was retired — compaction never ran (segments: {segs:?})"
+    );
+    assert!(
+        std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".retired")),
+        "a retirement tombstone survived"
+    );
+
+    for mode in [RecoveryMode::Strict, RecoveryMode::Degrade] {
+        let rec = recover(&dir, mode).expect("compacted journal must recover");
+        assert_eq!(
+            rec.status,
+            RecoveryStatus::Clean,
+            "{mode:?}: a retired prefix is GC, not loss"
+        );
+        assert_eq!(rec.replayed, total, "{mode:?}: replayed the wrong count");
+        assert!(rec.from_snapshot.is_some(), "{mode:?}: did not re-anchor");
+        assert!(rec.journal.is_some(), "{mode:?}: journal not continuable");
+        assert_eq!(
+            ser(&rec.refiner, &rec.alpha),
+            states[total],
+            "{mode:?}: compacted recovery diverged"
+        );
+        assert!(
+            rec.initial.is_some(),
+            "{mode:?}: initial knowledge lost (quarantine replay would break)"
+        );
+    }
+
+    // A torn tail on top of the compacted journal stays benign.
+    let (_, seg) = iixml_store::wal::Wal::segments(&dir)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let len = std::fs::metadata(&seg).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+    let rec = recover(&dir, RecoveryMode::Degrade).expect("torn compacted journal");
+    assert_eq!(rec.status, RecoveryStatus::Clean);
+    assert!(rec.torn_tail);
+    assert!(rec.replayed < total && rec.replayed >= 1);
+    assert_eq!(ser(&rec.refiner, &rec.alpha), states[rec.replayed]);
+    // And the repaired journal continues: append + snapshot + compact
+    // again, then one more clean recovery.
+    let mut journal = rec.journal.expect("continuable");
+    journal.log_quarantine().unwrap();
+    let refiner = Refiner::from_tree(rec.initial.clone().unwrap());
+    let after = ser(&refiner, &rec.alpha);
+    journal.snapshot_now(&rec.alpha, refiner.current()).unwrap();
+    let reseq = journal.seq() as usize;
+    drop(journal);
+    drop(refiner);
+    let again = recover(&dir, RecoveryMode::Strict).expect("recovery after continuation");
+    assert_eq!(again.status, RecoveryStatus::Clean);
+    assert_eq!(again.replayed, reseq);
+    assert_eq!(ser(&again.refiner, &again.alpha), after);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A chaos storm (PR 2's unreliable source) on a journaled session,
 /// crashed at a seeded step and recovered: the recovered knowledge must
 /// be byte-identical to the uncrashed run at the crash point, at
