@@ -18,7 +18,13 @@
 //! `--quick` to any of these for the CI smoke configuration);
 //! `--diff-store2 OLD NEW` compares two `BENCH_store2.json` files and
 //! fails on a >20% regression of appends/sec or the recovery ratios —
-//! the CI `bench-trajectory` gate.
+//! the CI `bench-trajectory` gate; `--bench-serve` runs the
+//! server/chaos/restart workloads of [`iixml_bench::servebench`],
+//! writes `BENCH_serve.json`, and gates on liveness, honest-load
+//! cleanliness, and full restart recovery; `--diff-serve OLD NEW`
+//! compares two `BENCH_serve.json` files with the same floor-clamped
+//! trajectory rule (p99 is lower-is-better and gated from the other
+//! side).
 
 use iixml_bench::{
     auxiliary_chain_size, conjunctive_blowup_sizes, linear_chain_sizes, refine_blowup_sizes,
@@ -105,6 +111,70 @@ fn diff_store2(old_path: &str, new_path: &str) {
         std::process::exit(1);
     }
     println!("\ntrajectory ok: no metric regressed by more than 20% of its blessed baseline");
+}
+
+/// `--diff-serve OLD NEW`: the serve trajectory gate, same
+/// floor-clamp rule as [`diff_store2`]. Throughput metrics are
+/// higher-is-better with pass line `0.8 × min(committed, floor/0.8)`;
+/// honest p99 is lower-is-better with pass line
+/// `1.25 × max(committed, ceiling/1.25)` — a committed run on a fast
+/// machine must not make a healthy CI host fail on latency noise.
+fn diff_serve(old_path: &str, new_path: &str) {
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("FAIL: cannot read {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let old = read(old_path);
+    let new = read(new_path);
+    // (metric, floor/0.8): the blessed floors are deliberately loose —
+    // an order of magnitude under the committed run — because the gate
+    // exists to catch the server falling over, not scheduler jitter.
+    let higher_better = [
+        ("requests_per_sec", 500.0 / 0.8),
+        ("sessions_per_sec", 8.0 / 0.8),
+    ];
+    // (metric, ceiling/1.25): honest p99 in µs, quiet server.
+    let lower_better = [("p99_us", 50_000.0 / 1.25)];
+    let mut failed = false;
+    println!("| metric | committed | this run | pass line | verdict |");
+    println!("|---|---|---|---|---|");
+    for (key, cap) in higher_better {
+        let (Some(o), Some(n)) = (json_number(&old, key), json_number(&new, key)) else {
+            eprintln!("FAIL: metric {key} missing from one of the files");
+            failed = true;
+            continue;
+        };
+        let pass_line = 0.8 * o.min(cap);
+        let verdict = if n < pass_line {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("| {key} | {o:.2} | {n:.2} | >= {pass_line:.2} | {verdict} |");
+    }
+    for (key, cap) in lower_better {
+        let (Some(o), Some(n)) = (json_number(&old, key), json_number(&new, key)) else {
+            eprintln!("FAIL: metric {key} missing from one of the files");
+            failed = true;
+            continue;
+        };
+        let pass_line = 1.25 * o.max(cap);
+        let verdict = if n > pass_line {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("| {key} | {o:.2} | {n:.2} | <= {pass_line:.2} | {verdict} |");
+    }
+    if failed {
+        eprintln!("FAIL: BENCH_serve trajectory regressed past its blessed baseline");
+        std::process::exit(1);
+    }
+    println!("\ntrajectory ok: server throughput and latency within the blessed envelope");
 }
 
 fn time_ms<T>(f: impl Fn() -> T) -> (T, f64) {
@@ -259,6 +329,55 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
+        return;
+    }
+    if std::env::args().any(|a| a == "--bench-serve") {
+        let quick = std::env::args().any(|a| a == "--quick");
+        iixml_obs::set_enabled(true);
+        let report = iixml_bench::servebench::run(quick);
+        report.print_table();
+        match report.write_json() {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_serve.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        // The CI smoke gates hold on any host speed: the server must
+        // survive the storm, the honest load must see zero transport
+        // errors and zero sheds (quotas are sized for it), and restart
+        // must recover every journaled session.
+        let mut failed = false;
+        if !report.chaos.server_alive {
+            eprintln!("FAIL: server not answering after the chaos storm");
+            failed = true;
+        }
+        if report.honest.errors > 0 || report.honest.shed > 0 {
+            eprintln!(
+                "FAIL: honest load degraded on a quiet server ({} errors, {} shed)",
+                report.honest.errors, report.honest.shed
+            );
+            failed = true;
+        }
+        if (report.recovered_sessions as u64) < report.honest.sessions_done {
+            eprintln!(
+                "FAIL: restart recovered {} sessions, expected at least {}",
+                report.recovered_sessions, report.honest.sessions_done
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(at) = std::env::args().position(|a| a == "--diff-serve") {
+        let args: Vec<String> = std::env::args().collect();
+        let (Some(old_path), Some(new_path)) = (args.get(at + 1), args.get(at + 2)) else {
+            eprintln!("usage: report --diff-serve OLD.json NEW.json");
+            std::process::exit(1);
+        };
+        diff_serve(old_path, new_path);
         return;
     }
     if let Some(at) = std::env::args().position(|a| a == "--diff-store2") {

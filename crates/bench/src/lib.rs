@@ -7,7 +7,9 @@
 //! the size/count tables.
 
 pub mod harness;
+pub mod loadgen;
 pub mod parbench;
+pub mod servebench;
 pub mod store2bench;
 pub mod storebench;
 

@@ -1,0 +1,450 @@
+//! Seeded load generation against an `iixml-serve` server: honest
+//! query-mix clients with per-request latency capture, plus a
+//! chaos-client mode replaying the misbehaving-client matrix (garbage
+//! frames, partial frames, bad CRCs, slow-loris trickle, half-close,
+//! disconnect mid-request, over-quota floods).
+//!
+//! Lives in the bench crate because latency measurement needs the wall
+//! clock (`Instant`), which the determinism vet rule confines here.
+//! The generator itself is deterministic given its seed: the query mix
+//! and chaos modes come from forked [`DetRng`] streams, so a storm is
+//! replayable; only the measured latencies vary run to run.
+
+use iixml_gen::rng::DetRng;
+use iixml_obs::json::Json;
+use iixml_serve::proto::{self, Request};
+use iixml_serve::{Client, RespOp};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Price bounds the honest query mix cycles through.
+const BOUNDS: [i64; 6] = [150, 200, 250, 300, 400, 500];
+
+/// Honest-load shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server port on 127.0.0.1.
+    pub port: u16,
+    /// Distinct tenants the sessions spread across.
+    pub tenants: usize,
+    /// Total sessions (each driven over its own connection).
+    pub sessions: usize,
+    /// Requests per session (after the open).
+    pub requests_per_session: usize,
+    /// Catalog size per session source.
+    pub products: usize,
+    /// Base seed; each session forks its own stream.
+    pub seed: u64,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Client-side read deadline (ms).
+    pub read_timeout_ms: u64,
+    /// Client-side write deadline (ms).
+    pub write_timeout_ms: u64,
+    /// Issue a `Sync` barrier before finishing each session.
+    pub sync_at_end: bool,
+    /// Close (discard) each session when its requests are done.
+    pub close_at_end: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            port: 0,
+            tenants: 4,
+            sessions: 32,
+            requests_per_session: 32,
+            products: 3,
+            seed: 0x10AD,
+            concurrency: 8,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            sync_at_end: true,
+            close_at_end: false,
+        }
+    }
+}
+
+/// The tenant name for session index `i` under `cfg`.
+pub fn tenant_of(cfg: &LoadConfig, i: usize) -> String {
+    format!("t{:02}", i % cfg.tenants.max(1))
+}
+
+/// The session name for session index `i`.
+pub fn session_of(i: usize) -> String {
+    format!("s{i:03}")
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    latencies_ns: Vec<u64>,
+    requests: u64,
+    shed: u64,
+    errors: u64,
+    sessions_done: u64,
+    degraded_durability: u64,
+}
+
+/// One honest session's whole life over one connection. Returns what
+/// happened; never panics on server refusal (sheds are part of the
+/// protocol, not failures).
+fn drive_session(cfg: &LoadConfig, i: usize, out: &mut WorkerOut) {
+    let tenant = tenant_of(cfg, i);
+    let session = session_of(i);
+    let mut rng = DetRng::new(cfg.seed).fork(i as u64);
+    let Ok(mut client) =
+        Client::connect(cfg.port, &tenant, cfg.read_timeout_ms, cfg.write_timeout_ms)
+    else {
+        out.errors += 1;
+        return;
+    };
+    let seed = cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    match client.open(&session, cfg.products, seed) {
+        Ok(r) if r.op == RespOp::Opened => {}
+        Ok(r) if r.is_shed() => {
+            out.shed += 1;
+            return;
+        }
+        _ => {
+            out.errors += 1;
+            return;
+        }
+    }
+    let mut done = 0usize;
+    while done < cfg.requests_per_session {
+        let bound = BOUNDS[rng.below(BOUNDS.len() as u64) as usize];
+        let kind = rng.below(4);
+        let t0 = Instant::now();
+        let resp = match kind {
+            0 | 1 => client.fetch(
+                &session,
+                &format!("catalog/product{{name, price[< {bound}]}}"),
+            ),
+            2 => client.ask(&session, "catalog/product{name}"),
+            _ => client.mediate(
+                &session,
+                &format!("catalog/product{{name, price[< {bound}], cat[= 1]/subcat}}"),
+            ),
+        };
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        match resp {
+            Ok(r) if r.is_shed() => {
+                out.shed += 1;
+                // Honor the retry hint (bounded so floods finish).
+                let hint: u64 = r
+                    .lines()
+                    .get(1)
+                    .and_then(|l| l.parse().ok())
+                    .unwrap_or(10)
+                    .min(50);
+                std::thread::sleep(Duration::from_millis(hint));
+            }
+            Ok(r)
+                if matches!(
+                    r.op,
+                    RespOp::Answer | RespOp::Partial | RespOp::Degraded | RespOp::Err
+                ) =>
+            {
+                out.latencies_ns.push(elapsed);
+                out.requests += 1;
+                if r.marker().is_some_and(|m| m.starts_with("fault:")) {
+                    out.degraded_durability += 1;
+                }
+                done += 1;
+            }
+            _ => {
+                out.errors += 1;
+                return;
+            }
+        }
+    }
+    if cfg.sync_at_end && client.sync(&session).is_err() {
+        out.errors += 1;
+    }
+    if cfg.close_at_end && client.close(&session).is_err() {
+        out.errors += 1;
+    }
+    out.sessions_done += 1;
+}
+
+/// Honest-load outcome.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests answered (sheds excluded).
+    pub requests: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Transport/protocol failures.
+    pub errors: u64,
+    /// Sessions driven to completion.
+    pub sessions_done: u64,
+    /// Answers carrying a `fault:` durability marker.
+    pub degraded_durability: u64,
+    /// Median request latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: f64,
+    /// Whole-load wall time (ms).
+    pub wall_ms: f64,
+    /// Answered requests per second.
+    pub requests_per_sec: f64,
+    /// Completed sessions per second.
+    pub sessions_per_sec: f64,
+}
+
+/// Percentile over an unsorted latency sample (ns), by rank.
+pub fn percentile_ns(latencies: &mut [u64], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let rank = ((latencies.len() - 1) as f64 * p).round() as usize;
+    latencies[rank.min(latencies.len() - 1)] as f64
+}
+
+/// Runs the honest load and aggregates latency/throughput.
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let t0 = Instant::now();
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.concurrency.max(1))
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out = WorkerOut::default();
+                    let mut i = w;
+                    while i < cfg.sessions {
+                        drive_session(cfg, i, &mut out);
+                        i += cfg.concurrency.max(1);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut requests = 0;
+    let mut shed = 0;
+    let mut errors = 0;
+    let mut sessions_done = 0;
+    let mut degraded = 0;
+    for mut out in outs {
+        latencies.append(&mut out.latencies_ns);
+        requests += out.requests;
+        shed += out.shed;
+        errors += out.errors;
+        sessions_done += out.sessions_done;
+        degraded += out.degraded_durability;
+    }
+    let p50 = percentile_ns(&mut latencies, 0.50) / 1e3;
+    let p99 = percentile_ns(&mut latencies, 0.99) / 1e3;
+    let wall_s = (wall_ms / 1e3).max(1e-9);
+    LoadReport {
+        requests,
+        shed,
+        errors,
+        sessions_done,
+        degraded_durability: degraded,
+        p50_us: p50,
+        p99_us: p99,
+        wall_ms,
+        requests_per_sec: requests as f64 / wall_s,
+        sessions_per_sec: sessions_done as f64 / wall_s,
+    }
+}
+
+impl LoadReport {
+    /// Machine-readable form (the loadgen binary's `--json` output).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("requests", self.requests)
+            .set("shed", self.shed)
+            .set("errors", self.errors)
+            .set("sessions_done", self.sessions_done)
+            .set("degraded_durability", self.degraded_durability)
+            .set("p50_us", self.p50_us)
+            .set("p99_us", self.p99_us)
+            .set("wall_ms", self.wall_ms)
+            .set("requests_per_sec", self.requests_per_sec)
+            .set("sessions_per_sec", self.sessions_per_sec)
+    }
+}
+
+/// The misbehaving-client matrix. Every mode is connection-local on
+/// the server by contract; none should disturb other tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Random bytes instead of a frame.
+    Garbage,
+    /// A valid frame cut mid-body, then disconnect.
+    PartialFrame,
+    /// A valid frame with a flipped body bit (CRC mismatch).
+    BadCrc,
+    /// One byte per write with pauses (read-budget exhaustion).
+    SlowLoris,
+    /// Immediate write-side shutdown (half-close).
+    HalfClose,
+    /// A valid request, then disconnect without reading the answer.
+    DisconnectMidRequest,
+    /// A frame claiming a future protocol version.
+    BadVersion,
+    /// An honest-protocol burst far past any sane quota.
+    QuotaFlood,
+}
+
+/// All modes, in rotation order.
+pub const CHAOS_MODES: [ChaosMode; 8] = [
+    ChaosMode::Garbage,
+    ChaosMode::PartialFrame,
+    ChaosMode::BadCrc,
+    ChaosMode::SlowLoris,
+    ChaosMode::HalfClose,
+    ChaosMode::DisconnectMidRequest,
+    ChaosMode::BadVersion,
+    ChaosMode::QuotaFlood,
+];
+
+/// One chaos connection. Returns the number of protocol-level
+/// requests it managed to issue (floods issue many; most modes 0-1).
+pub fn chaos_conn(port: u16, mode: ChaosMode, rng: &mut DetRng) -> u64 {
+    let Ok(mut s) = TcpStream::connect(("127.0.0.1", port)) else {
+        return 0;
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = s.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 256];
+    match mode {
+        ChaosMode::Garbage => {
+            let n = 8 + rng.below(64) as usize;
+            let buf: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+            let _ = s.write_all(&buf);
+            let _ = s.read(&mut sink);
+            0
+        }
+        ChaosMode::PartialFrame => {
+            let frame = proto::encode_request(&Request::Hello {
+                tenant: "chaos".into(),
+            });
+            let cut = 1 + rng.below(frame.len() as u64 - 1) as usize;
+            let _ = s.write_all(&frame[..cut]);
+            // Drop: the server sees EOF mid-frame.
+            0
+        }
+        ChaosMode::BadCrc => {
+            let mut frame = proto::encode_request(&Request::Ping);
+            let last = frame.len() - 1;
+            frame[last] ^= 0xFF;
+            let _ = s.write_all(&frame);
+            let _ = s.read(&mut sink);
+            0
+        }
+        ChaosMode::SlowLoris => {
+            let frame = proto::encode_request(&Request::Hello {
+                tenant: "chaos".into(),
+            });
+            for b in frame {
+                if s.write_all(&[b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _ = s.read(&mut sink);
+            0
+        }
+        ChaosMode::HalfClose => {
+            let _ = s.shutdown(Shutdown::Write);
+            let _ = s.read(&mut sink);
+            0
+        }
+        ChaosMode::DisconnectMidRequest => {
+            let _ = s.write_all(&proto::encode_request(&Request::Hello {
+                tenant: "chaos".into(),
+            }));
+            let _ = s.write_all(&proto::encode_request(&Request::Open {
+                session: "never".into(),
+                products: 2,
+                seed: rng.next_u64(),
+            }));
+            // Drop without reading either response.
+            1
+        }
+        ChaosMode::BadVersion => {
+            let mut frame = proto::encode_request(&Request::Ping);
+            frame[4] = proto::PROTO_VERSION.wrapping_add(9);
+            let _ = s.write_all(&frame);
+            let _ = s.read(&mut sink);
+            0
+        }
+        ChaosMode::QuotaFlood => {
+            // Honest frames, dishonest volume: hammer Ask on a session
+            // that does not exist. Every frame is admission-checked, so
+            // past the burst the server sheds instead of queueing.
+            let _ = s.write_all(&proto::encode_request(&Request::Hello {
+                tenant: "flood".into(),
+            }));
+            let _ = s.read(&mut sink);
+            let burst = 64 + rng.below(64);
+            let mut sent = 0;
+            for _ in 0..burst {
+                let frame = proto::encode_request(&Request::Ask {
+                    session: "missing".into(),
+                    query: "catalog/product{name}".into(),
+                });
+                if s.write_all(&frame).is_err() {
+                    break;
+                }
+                sent += 1;
+                let _ = s.read(&mut sink);
+            }
+            sent
+        }
+    }
+}
+
+/// Chaos storm outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Connections attempted.
+    pub connections: u64,
+    /// Protocol requests the storm managed to issue.
+    pub requests_issued: u64,
+    /// Whether the server still answered a `Ping` after the storm.
+    pub server_alive: bool,
+}
+
+/// Runs `conns` seeded chaos connections across `concurrency` threads
+/// and probes server liveness afterwards.
+pub fn run_chaos(port: u16, conns: usize, seed: u64, concurrency: usize) -> ChaosReport {
+    let width = concurrency.clamp(1, 32);
+    let issued: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..width)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut rng = DetRng::new(seed).fork(w as u64);
+                    let mut issued = 0;
+                    let mut i = w;
+                    while i < conns {
+                        let mode = CHAOS_MODES[rng.below(CHAOS_MODES.len() as u64) as usize];
+                        issued += chaos_conn(port, mode, &mut rng);
+                        i += width;
+                    }
+                    issued
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    });
+    let alive = Client::connect(port, "probe", 2000, 2000)
+        .and_then(|mut c| c.ping())
+        .map(|r| r.op == RespOp::Pong)
+        .unwrap_or(false);
+    ChaosReport {
+        connections: conns as u64,
+        requests_issued: issued,
+        server_alive: alive,
+    }
+}

@@ -139,6 +139,28 @@ pub const STORE_BATCH_FLUSHES: &str = "store.batch_flushes";
 pub const STORE_SEGMENTS_RETIRED: &str = "store.segments_retired";
 
 // ---------------------------------------------------------------------
+// serve — the multi-tenant TCP session server (DESIGN.md §12).
+
+/// Connections accepted.
+pub const SERVE_ACCEPTED: &str = "serve.conn.accepted";
+/// Requests admitted and executed.
+pub const SERVE_REQUESTS: &str = "serve.req.admitted";
+/// Requests refused by admission control (backpressure).
+pub const SERVE_SHED: &str = "serve.req.shed";
+/// Connections degraded by a frame fault (garbage, bad CRC, version).
+pub const SERVE_FRAME_ERRORS: &str = "serve.conn.frame_errors";
+/// Connections degraded by a deadline miss or slow-loris budget.
+pub const SERVE_CONN_TIMEOUTS: &str = "serve.conn.timeouts";
+/// Sessions opened fresh.
+pub const SERVE_SESSIONS_OPENED: &str = "serve.session.opened";
+/// Sessions recovered from their journal at restart.
+pub const SERVE_SESSIONS_RECOVERED: &str = "serve.session.recovered";
+/// Sessions closed (synced and discarded) on client request.
+pub const SERVE_SESSIONS_CLOSED: &str = "serve.session.closed";
+/// Request frame body sizes (bytes).
+pub const SERVE_FRAME_BYTES: &str = "serve.req.frame_bytes";
+
+// ---------------------------------------------------------------------
 // The iterable registry.
 
 /// Every registered counter key.
@@ -167,6 +189,14 @@ pub const COUNTERS: &[&str] = &[
     STORE_BATCHED_APPENDS,
     STORE_BATCH_FLUSHES,
     STORE_SEGMENTS_RETIRED,
+    SERVE_ACCEPTED,
+    SERVE_REQUESTS,
+    SERVE_SHED,
+    SERVE_FRAME_ERRORS,
+    SERVE_CONN_TIMEOUTS,
+    SERVE_SESSIONS_OPENED,
+    SERVE_SESSIONS_RECOVERED,
+    SERVE_SESSIONS_CLOSED,
 ];
 
 /// Every registered fixed-name histogram key.
@@ -189,6 +219,7 @@ pub const HISTOGRAMS: &[&str] = &[
     WEBHOUSE_BACKOFF_NS,
     PAR_THREADS,
     STORE_SNAPSHOT_BYTES,
+    SERVE_FRAME_BYTES,
 ];
 
 /// Prefixes of dynamic (per-label) metric families.
@@ -222,6 +253,22 @@ pub const ENV_STORE_BATCH_RECS: &str = "IIXML_STORE_BATCH_RECS";
 /// Group-commit flush threshold: logical-clock ticks a record may
 /// linger unflushed (one tick per append).
 pub const ENV_STORE_LINGER: &str = "IIXML_STORE_LINGER";
+/// TCP port `iixml serve` binds (0 = ephemeral).
+pub const ENV_SERVE_PORT: &str = "IIXML_SERVE_PORT";
+/// Session-map shard count for `iixml serve`.
+pub const ENV_SERVE_SHARDS: &str = "IIXML_SERVE_SHARDS";
+/// Acceptor/worker thread count for `iixml serve`.
+pub const ENV_SERVE_WORKERS: &str = "IIXML_SERVE_WORKERS";
+/// Per-tenant open-session cap.
+pub const ENV_SERVE_MAX_SESSIONS: &str = "IIXML_SERVE_MAX_SESSIONS";
+/// Per-tenant in-flight request cap.
+pub const ENV_SERVE_MAX_INFLIGHT: &str = "IIXML_SERVE_MAX_INFLIGHT";
+/// Per-tenant token-bucket burst (refilled every refill tick).
+pub const ENV_SERVE_QUOTA: &str = "IIXML_SERVE_QUOTA";
+/// Per-connection read deadline in milliseconds.
+pub const ENV_SERVE_READ_TIMEOUT_MS: &str = "IIXML_SERVE_READ_TIMEOUT_MS";
+/// Per-connection write deadline in milliseconds.
+pub const ENV_SERVE_WRITE_TIMEOUT_MS: &str = "IIXML_SERVE_WRITE_TIMEOUT_MS";
 
 /// Every `IIXML_*` environment variable the workspace reads, with a
 /// one-line purpose. `iixml-vet`'s `env` rule checks that no other
@@ -243,6 +290,20 @@ pub const ENV_VARS: &[(&str, &str)] = &[
     (
         ENV_STORE_LINGER,
         "max linger ticks before a group-commit flush",
+    ),
+    (ENV_SERVE_PORT, "TCP port for iixml serve (0 = ephemeral)"),
+    (ENV_SERVE_SHARDS, "session-map shard count"),
+    (ENV_SERVE_WORKERS, "server worker thread count"),
+    (ENV_SERVE_MAX_SESSIONS, "per-tenant open-session cap"),
+    (ENV_SERVE_MAX_INFLIGHT, "per-tenant in-flight request cap"),
+    (ENV_SERVE_QUOTA, "per-tenant token-bucket burst"),
+    (
+        ENV_SERVE_READ_TIMEOUT_MS,
+        "per-connection read deadline (ms)",
+    ),
+    (
+        ENV_SERVE_WRITE_TIMEOUT_MS,
+        "per-connection write deadline (ms)",
     ),
 ];
 

@@ -1,0 +1,191 @@
+//! A well-behaved protocol client, used by the CLI, the load
+//! generator, and the tests. (Misbehaving clients are hand-rolled in
+//! the chaos tests on raw sockets — by design this type cannot emit a
+//! malformed frame.)
+
+use std::net::TcpStream;
+
+use crate::conn::{ConnError, DeadlineStream};
+use crate::proto::{self, Request, RespOp};
+
+/// Read budget per response frame; responses (stats JSON included)
+/// arrive in few large reads, so this is never the binding limit for
+/// an honest server.
+const CLIENT_READ_BUDGET: u32 = 4096;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Conn(ConnError),
+    /// The server closed the connection (shed at the door, drained,
+    /// or degraded us).
+    Closed,
+    /// The server spoke something that is not a response frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Conn(e) => write!(f, "{e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+/// One decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resp {
+    /// The response opcode.
+    pub op: RespOp,
+    /// The UTF-8 body (newline-separated fields).
+    pub body: String,
+}
+
+impl Resp {
+    /// Body lines (empty body = no lines).
+    pub fn lines(&self) -> Vec<&str> {
+        if self.body.is_empty() {
+            Vec::new()
+        } else {
+            self.body.split('\n').collect()
+        }
+    }
+
+    /// The durability marker line answers carry first (`ok`,
+    /// `recovered:<n>`, `fault:<err>`), when present.
+    pub fn marker(&self) -> Option<&str> {
+        match self.op {
+            RespOp::Answer | RespOp::Partial | RespOp::Degraded | RespOp::Opened => {
+                self.lines().get(self.marker_index()).copied()
+            }
+            _ => None,
+        }
+    }
+
+    fn marker_index(&self) -> usize {
+        // Opened bodies are `status\nmarker`; answers lead with it.
+        match self.op {
+            RespOp::Opened => 1,
+            _ => 0,
+        }
+    }
+
+    /// Was this request shed by admission control?
+    pub fn is_shed(&self) -> bool {
+        self.op == RespOp::Shed
+    }
+}
+
+/// A connected, tenant-bound client.
+pub struct Client {
+    ds: DeadlineStream,
+}
+
+impl Client {
+    /// Connects to `127.0.0.1:port`, performs the `Hello` handshake
+    /// for `tenant`, and returns the bound client.
+    pub fn connect(
+        port: u16,
+        tenant: &str,
+        read_timeout_ms: u64,
+        write_timeout_ms: u64,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(("127.0.0.1", port))
+            .map_err(|e| ClientError::Protocol(format!("connect: {e}")))?;
+        let ds = DeadlineStream::new(
+            stream,
+            read_timeout_ms,
+            write_timeout_ms,
+            CLIENT_READ_BUDGET,
+        )
+        .map_err(ClientError::Conn)?;
+        let mut client = Client { ds };
+        let resp = client.call(&Request::Hello {
+            tenant: tenant.to_string(),
+        })?;
+        if resp.op != RespOp::Ok {
+            return Err(ClientError::Protocol(format!(
+                "hello refused: {:?} {}",
+                resp.op, resp.body
+            )));
+        }
+        Ok(client)
+    }
+
+    /// Sends one request and reads its response.
+    pub fn call(&mut self, req: &Request) -> Result<Resp, ClientError> {
+        self.ds
+            .write_frame(&proto::encode_request(req))
+            .map_err(ClientError::Conn)?;
+        let (op, body) = self
+            .ds
+            .read_frame()
+            .map_err(ClientError::Conn)?
+            .ok_or(ClientError::Closed)?;
+        let op = RespOp::from_byte(op)
+            .ok_or_else(|| ClientError::Protocol(format!("unknown response opcode {op:#04x}")))?;
+        let body =
+            String::from_utf8(body).map_err(|_| ClientError::Protocol("non-UTF-8 body".into()))?;
+        Ok(Resp { op, body })
+    }
+
+    /// Opens (or attaches to) a session.
+    pub fn open(&mut self, session: &str, products: usize, seed: u64) -> Result<Resp, ClientError> {
+        self.call(&Request::Open {
+            session: session.to_string(),
+            products,
+            seed,
+        })
+    }
+
+    /// Fetches from the source and refines.
+    pub fn fetch(&mut self, session: &str, query: &str) -> Result<Resp, ClientError> {
+        self.call(&Request::Fetch {
+            session: session.to_string(),
+            query: query.to_string(),
+        })
+    }
+
+    /// Answers from local knowledge only.
+    pub fn ask(&mut self, session: &str, query: &str) -> Result<Resp, ClientError> {
+        self.call(&Request::Ask {
+            session: session.to_string(),
+            query: query.to_string(),
+        })
+    }
+
+    /// Answers exactly through the mediator (resilient path).
+    pub fn mediate(&mut self, session: &str, query: &str) -> Result<Resp, ClientError> {
+        self.call(&Request::Mediate {
+            session: session.to_string(),
+            query: query.to_string(),
+        })
+    }
+
+    /// Durability barrier for the session's journal.
+    pub fn sync(&mut self, session: &str) -> Result<Resp, ClientError> {
+        self.call(&Request::Sync {
+            session: session.to_string(),
+        })
+    }
+
+    /// Syncs and discards the session.
+    pub fn close(&mut self, session: &str) -> Result<Resp, ClientError> {
+        self.call(&Request::Close {
+            session: session.to_string(),
+        })
+    }
+
+    /// Server stats JSON.
+    pub fn stats(&mut self) -> Result<Resp, ClientError> {
+        self.call(&Request::Stats)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Resp, ClientError> {
+        self.call(&Request::Ping)
+    }
+}

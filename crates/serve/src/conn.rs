@@ -1,0 +1,151 @@
+//! Deadline-enforced framed connection I/O.
+//!
+//! Every read and write on the underlying [`TcpStream`] goes through
+//! [`DeadlineStream`], which (re)arms `set_read_timeout` /
+//! `set_write_timeout` immediately before the matching syscall — the
+//! `net-timeout` vet rule pins that discipline. On top of the OS
+//! deadline, [`DeadlineStream::read_frame`] budgets the *number* of
+//! `read` invocations a single frame may consume: a slow-loris client
+//! trickling one byte per timeout window exhausts the budget and is
+//! disconnected without ever tying up a worker past
+//! `budget × read_timeout`.
+//!
+//! All failures are per-connection: a [`ConnError`] degrades exactly
+//! the connection that produced it. The caller drops the socket; the
+//! tenant's sessions and the rest of the fleet are untouched.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{self, FrameError, HEADER_LEN, TRAILER_LEN};
+
+/// Why a connection was degraded. Every variant closes only the one
+/// connection it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// The peer closed (or half-closed) mid-frame.
+    ClosedMidFrame,
+    /// A read or write missed its deadline.
+    Timeout,
+    /// The per-frame read budget ran out (slow-loris trickle).
+    SlowLoris,
+    /// The frame failed to decode (garbage, bad CRC, wrong version…).
+    Frame(FrameError),
+    /// Any other socket error (reset, broken pipe, …).
+    Io(ErrorKind),
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::ClosedMidFrame => write!(f, "peer closed mid-frame"),
+            ConnError::Timeout => write!(f, "connection deadline exceeded"),
+            ConnError::SlowLoris => write!(f, "per-frame read budget exhausted"),
+            ConnError::Frame(e) => write!(f, "{e}"),
+            ConnError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> ConnError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ConnError::Timeout,
+        kind => ConnError::Io(kind),
+    }
+}
+
+/// A [`TcpStream`] whose every I/O call is covered by a deadline and
+/// whose frame reads are invocation-budgeted.
+pub struct DeadlineStream {
+    stream: TcpStream,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    /// Max `read` syscalls a single frame may take (header + body).
+    read_budget: u32,
+}
+
+impl DeadlineStream {
+    /// Wraps `stream` with the given deadlines (milliseconds) and
+    /// per-frame read budget. The stream is switched to blocking mode
+    /// (deadlines come from the socket timeouts, not nonblocking
+    /// polling).
+    pub fn new(
+        stream: TcpStream,
+        read_timeout_ms: u64,
+        write_timeout_ms: u64,
+        read_budget: u32,
+    ) -> Result<DeadlineStream, ConnError> {
+        stream.set_nonblocking(false).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(DeadlineStream {
+            stream,
+            read_timeout: Duration::from_millis(read_timeout_ms.max(1)),
+            write_timeout: Duration::from_millis(write_timeout_ms.max(1)),
+            read_budget: read_budget.max(4),
+        })
+    }
+
+    /// Fills `buf`, spending at most `*budget` reads, each covered by
+    /// the read deadline. `eof_ok_at_start` makes a clean EOF on the
+    /// very first byte report `Ok(false)` (frame-boundary close)
+    /// instead of an error.
+    fn read_exact_budgeted(
+        &mut self,
+        buf: &mut [u8],
+        budget: &mut u32,
+        eof_ok_at_start: bool,
+    ) -> Result<bool, ConnError> {
+        self.stream
+            .set_read_timeout(Some(self.read_timeout))
+            .map_err(io_err)?;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            if *budget == 0 {
+                return Err(ConnError::SlowLoris);
+            }
+            *budget -= 1;
+            let rest = buf
+                .get_mut(filled..)
+                .ok_or(ConnError::Io(ErrorKind::Other))?;
+            match self.stream.read(rest) {
+                Ok(0) if filled == 0 && eof_ok_at_start => return Ok(false),
+                Ok(0) => return Err(ConnError::ClosedMidFrame),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Reads one full frame. Returns `Ok(None)` on a clean close at a
+    /// frame boundary (including half-close: the peer shut down its
+    /// write side and we see EOF before any header byte).
+    pub fn read_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, ConnError> {
+        let mut budget = self.read_budget;
+        let mut header = [0u8; HEADER_LEN];
+        if !self.read_exact_budgeted(&mut header, &mut budget, true)? {
+            return Ok(None);
+        }
+        let (op, body_len) = proto::decode_header(&header).map_err(ConnError::Frame)?;
+        let mut tail = vec![0u8; body_len + TRAILER_LEN];
+        self.read_exact_budgeted(&mut tail, &mut budget, false)?;
+        let body = proto::check_body(op, &tail, body_len).map_err(ConnError::Frame)?;
+        Ok(Some((op, body.to_vec())))
+    }
+
+    /// Writes one pre-encoded frame under the write deadline.
+    pub fn write_frame(&mut self, frame: &[u8]) -> Result<(), ConnError> {
+        self.stream
+            .set_write_timeout(Some(self.write_timeout))
+            .map_err(io_err)?;
+        self.stream.write_all(frame).map_err(io_err)
+    }
+
+    /// Shuts down both directions (best effort; used after a fault so
+    /// the peer sees the close promptly).
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}

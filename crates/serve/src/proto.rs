@@ -1,0 +1,511 @@
+//! The `iixml-serve` wire protocol: small length-prefixed frames,
+//! versioned like the WAL formats (DESIGN.md §12).
+//!
+//! A frame is
+//!
+//! ```text
+//! +--------+---------+--------+------------+---------+------------+
+//! | "IIXQ" | version | opcode | body_len   | body    | crc32      |
+//! | 4 B    | 1 B     | 1 B    | 4 B LE     | len B   | 4 B LE     |
+//! +--------+---------+--------+------------+---------+------------+
+//! ```
+//!
+//! with the CRC computed over `opcode ++ body` using the same
+//! slicing-by-8 CRC-32 as the WAL (`iixml_store::crc`). Bodies are
+//! UTF-8, newline-separated fields — human-inspectable, like the
+//! journal's record payloads.
+//!
+//! # Version policy
+//!
+//! [`PROTO_VERSION`] follows the store's format discipline: additive
+//! changes (new opcodes, new trailing body fields) keep the version;
+//! any change to the frame layout or the meaning of an existing field
+//! bumps it. A server speaks exactly one version and answers frames
+//! carrying any other with [`RespOp::Err`] code `version` before
+//! closing the connection — clients never see silent misparses.
+//!
+//! # Robustness contract
+//!
+//! Decoding never panics and never trusts a length: the header is
+//! validated against [`MAX_BODY`] before any allocation, the CRC is
+//! checked before the body is interpreted, and tenant/session names
+//! are restricted to `[A-Za-z0-9_-]{1,64}` (they become journal
+//! directory names — no traversal, no separators).
+
+use iixml_store::crc::crc32;
+
+/// Frame magic; a connection sending anything else is degraded as a
+/// misbehaving client (the garbage-frame fault).
+pub const PROTO_MAGIC: [u8; 4] = *b"IIXQ";
+/// The one protocol version this build speaks (see the version policy
+/// above).
+pub const PROTO_VERSION: u8 = 1;
+/// Fixed frame header length: magic, version, opcode, body length.
+pub const HEADER_LEN: usize = 10;
+/// Frame trailer length (CRC-32 of opcode ++ body).
+pub const TRAILER_LEN: usize = 4;
+/// Hard cap on a frame body; oversized headers are rejected before
+/// any allocation (a 4 GiB `body_len` must not reserve 4 GiB).
+pub const MAX_BODY: usize = 1 << 20;
+/// Longest accepted tenant or session name.
+pub const MAX_NAME: usize = 64;
+/// Cap on the per-session catalog size a client may request at open
+/// (bounds server memory per session).
+pub const MAX_PRODUCTS: usize = 64;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqOp {
+    /// First frame on every connection: binds it to a tenant.
+    Hello,
+    /// Open (or re-attach to) a named session.
+    Open,
+    /// Ask the source and refine local knowledge (journaled).
+    Fetch,
+    /// Answer from local knowledge only.
+    Ask,
+    /// Answer exactly, fetching only the missing pieces.
+    Mediate,
+    /// Group-commit durability barrier for the session's journal.
+    Sync,
+    /// Sync and discard the session (journal directory included).
+    Close,
+    /// Server-wide stats snapshot (admission, durability, sessions).
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+impl ReqOp {
+    /// The opcode byte (frozen; new ops append, existing bytes never
+    /// change meaning within a version).
+    pub fn byte(self) -> u8 {
+        match self {
+            ReqOp::Hello => 0x01,
+            ReqOp::Open => 0x02,
+            ReqOp::Fetch => 0x03,
+            ReqOp::Ask => 0x04,
+            ReqOp::Mediate => 0x05,
+            ReqOp::Sync => 0x06,
+            ReqOp::Close => 0x07,
+            ReqOp::Stats => 0x08,
+            ReqOp::Ping => 0x09,
+        }
+    }
+
+    /// Decodes a request opcode byte.
+    pub fn from_byte(b: u8) -> Option<ReqOp> {
+        match b {
+            0x01 => Some(ReqOp::Hello),
+            0x02 => Some(ReqOp::Open),
+            0x03 => Some(ReqOp::Fetch),
+            0x04 => Some(ReqOp::Ask),
+            0x05 => Some(ReqOp::Mediate),
+            0x06 => Some(ReqOp::Sync),
+            0x07 => Some(ReqOp::Close),
+            0x08 => Some(ReqOp::Stats),
+            0x09 => Some(ReqOp::Ping),
+            _ => None,
+        }
+    }
+}
+
+/// Response opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespOp {
+    /// Generic success (hello, sync, close).
+    Ok,
+    /// A complete answer; body starts with the durability marker line.
+    Answer,
+    /// A partial (not fully answerable) local answer.
+    Partial,
+    /// A degraded answer (fault-model outcome) with its cause.
+    Degraded,
+    /// Open outcome: `created`, `attached`, or `recovered` plus the
+    /// recovery report fields.
+    Opened,
+    /// Stats JSON.
+    StatsBody,
+    /// Liveness reply.
+    Pong,
+    /// Request-level failure (bad query, unknown session, version…).
+    Err,
+    /// Admission control / backpressure: the request was not run;
+    /// body = `reason \n retry_after_ms`.
+    Shed,
+}
+
+impl RespOp {
+    /// The opcode byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            RespOp::Ok => 0x81,
+            RespOp::Answer => 0x82,
+            RespOp::Partial => 0x83,
+            RespOp::Degraded => 0x84,
+            RespOp::Opened => 0x85,
+            RespOp::StatsBody => 0x86,
+            RespOp::Pong => 0x87,
+            RespOp::Err => 0x90,
+            RespOp::Shed => 0x91,
+        }
+    }
+
+    /// Decodes a response opcode byte.
+    pub fn from_byte(b: u8) -> Option<RespOp> {
+        match b {
+            0x81 => Some(RespOp::Ok),
+            0x82 => Some(RespOp::Answer),
+            0x83 => Some(RespOp::Partial),
+            0x84 => Some(RespOp::Degraded),
+            0x85 => Some(RespOp::Opened),
+            0x86 => Some(RespOp::StatsBody),
+            0x87 => Some(RespOp::Pong),
+            0x90 => Some(RespOp::Err),
+            0x91 => Some(RespOp::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame could not be decoded. Every variant is a *connection*
+/// fault: the server answers (when it still can) and closes that
+/// connection, leaving the tenant and its sessions untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`PROTO_MAGIC`].
+    BadMagic,
+    /// The version byte differs from [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// Unknown opcode byte for this direction.
+    BadOp(u8),
+    /// `body_len` exceeded [`MAX_BODY`].
+    TooLarge(usize),
+    /// The trailer CRC did not match the received bytes.
+    BadCrc,
+    /// The body was not UTF-8 or missed required fields.
+    BadBody(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadOp(b) => write!(f, "unknown opcode {b:#04x}"),
+            FrameError::TooLarge(n) => write!(f, "frame body {n} B exceeds {MAX_BODY} B"),
+            FrameError::BadCrc => write!(f, "frame checksum mismatch"),
+            FrameError::BadBody(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+/// Encodes one frame (either direction — the layout is symmetric).
+pub fn encode_frame(op_byte: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(&PROTO_MAGIC);
+    out.push(PROTO_VERSION);
+    out.push(op_byte);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    let mut crc_input = Vec::with_capacity(1 + body.len());
+    crc_input.push(op_byte);
+    crc_input.extend_from_slice(body);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out
+}
+
+/// Decodes a frame header, returning `(opcode_byte, body_len)`. The
+/// caller reads exactly `body_len + TRAILER_LEN` further bytes and
+/// passes them to [`check_body`].
+pub fn decode_header(h: &[u8; HEADER_LEN]) -> Result<(u8, usize), FrameError> {
+    if h.get(..4) != Some(PROTO_MAGIC.as_slice()) {
+        return Err(FrameError::BadMagic);
+    }
+    let ver = h.get(4).copied().unwrap_or(0);
+    if ver != PROTO_VERSION {
+        return Err(FrameError::BadVersion(ver));
+    }
+    let op = h.get(5).copied().unwrap_or(0);
+    let len = match h.get(6..10) {
+        Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]) as usize,
+        _ => return Err(FrameError::BadBody("short header")),
+    };
+    if len > MAX_BODY {
+        return Err(FrameError::TooLarge(len));
+    }
+    Ok((op, len))
+}
+
+/// Verifies the CRC trailer over `op ++ body`; `tail` is the
+/// `body ++ crc` byte run that followed the header.
+pub fn check_body(op: u8, tail: &[u8], body_len: usize) -> Result<&[u8], FrameError> {
+    let body = tail
+        .get(..body_len)
+        .ok_or(FrameError::BadBody("short body"))?;
+    let trailer = tail
+        .get(body_len..body_len + TRAILER_LEN)
+        .ok_or(FrameError::BadBody("short trailer"))?;
+    let want = match trailer {
+        &[a, b, c, d] => u32::from_le_bytes([a, b, c, d]),
+        _ => return Err(FrameError::BadBody("short trailer")),
+    };
+    let mut crc_input = Vec::with_capacity(1 + body.len());
+    crc_input.push(op);
+    crc_input.extend_from_slice(body);
+    if crc32(&crc_input) != want {
+        return Err(FrameError::BadCrc);
+    }
+    Ok(body)
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Bind the connection to `tenant`.
+    Hello {
+        /// Tenant name (validated by [`name_ok`]).
+        tenant: String,
+    },
+    /// Open (or re-attach to) session `session` over a generated
+    /// catalog source of `products` products seeded with `seed`.
+    Open {
+        /// Session name (validated by [`name_ok`]).
+        session: String,
+        /// Catalog size, `1..=MAX_PRODUCTS`.
+        products: usize,
+        /// Catalog generator seed (the "source address": the same pair
+        /// regenerates the same remote document after a restart).
+        seed: u64,
+    },
+    /// Fetch `query` from the source and refine.
+    Fetch {
+        /// Target session.
+        session: String,
+        /// ps-query text (`iixml_query::parse` syntax).
+        query: String,
+    },
+    /// Answer `query` from local knowledge.
+    Ask {
+        /// Target session.
+        session: String,
+        /// ps-query text.
+        query: String,
+    },
+    /// Answer `query` exactly through the mediator.
+    Mediate {
+        /// Target session.
+        session: String,
+        /// ps-query text.
+        query: String,
+    },
+    /// Journal durability barrier.
+    Sync {
+        /// Target session.
+        session: String,
+    },
+    /// Sync, close, and discard the session.
+    Close {
+        /// Target session.
+        session: String,
+    },
+    /// Server stats snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Is `s` a valid tenant/session name? Names become journal directory
+/// components, so the alphabet is closed: `[A-Za-z0-9_-]`, 1 to
+/// [`MAX_NAME`] characters.
+pub fn name_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= MAX_NAME
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn two_lines(body: &str) -> Result<(&str, &str), FrameError> {
+    let (a, b) = body
+        .split_once('\n')
+        .ok_or(FrameError::BadBody("missing field separator"))?;
+    Ok((a, b))
+}
+
+/// Parses a request frame body for `op`.
+pub fn parse_request(op: ReqOp, body: &[u8]) -> Result<Request, FrameError> {
+    let text = std::str::from_utf8(body).map_err(|_| FrameError::BadBody("not UTF-8"))?;
+    let named = |session: &str| -> Result<String, FrameError> {
+        if name_ok(session) {
+            Ok(session.to_string())
+        } else {
+            Err(FrameError::BadBody("bad session name"))
+        }
+    };
+    match op {
+        ReqOp::Hello => {
+            if name_ok(text) {
+                Ok(Request::Hello {
+                    tenant: text.to_string(),
+                })
+            } else {
+                Err(FrameError::BadBody("bad tenant name"))
+            }
+        }
+        ReqOp::Open => {
+            let (session, rest) = two_lines(text)?;
+            let (products, seed) = two_lines(rest)?;
+            let products: usize = products
+                .parse()
+                .map_err(|_| FrameError::BadBody("bad product count"))?;
+            if products == 0 || products > MAX_PRODUCTS {
+                return Err(FrameError::BadBody("product count out of range"));
+            }
+            let seed: u64 = seed.parse().map_err(|_| FrameError::BadBody("bad seed"))?;
+            Ok(Request::Open {
+                session: named(session)?,
+                products,
+                seed,
+            })
+        }
+        ReqOp::Fetch | ReqOp::Ask | ReqOp::Mediate => {
+            let (session, query) = two_lines(text)?;
+            let session = named(session)?;
+            let query = query.to_string();
+            Ok(match op {
+                ReqOp::Fetch => Request::Fetch { session, query },
+                ReqOp::Ask => Request::Ask { session, query },
+                _ => Request::Mediate { session, query },
+            })
+        }
+        ReqOp::Sync => Ok(Request::Sync {
+            session: named(text)?,
+        }),
+        ReqOp::Close => Ok(Request::Close {
+            session: named(text)?,
+        }),
+        ReqOp::Stats => Ok(Request::Stats),
+        ReqOp::Ping => Ok(Request::Ping),
+    }
+}
+
+/// Encodes a request frame (the client side of [`parse_request`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let (op, body) = match req {
+        Request::Hello { tenant } => (ReqOp::Hello, tenant.clone()),
+        Request::Open {
+            session,
+            products,
+            seed,
+        } => (ReqOp::Open, format!("{session}\n{products}\n{seed}")),
+        Request::Fetch { session, query } => (ReqOp::Fetch, format!("{session}\n{query}")),
+        Request::Ask { session, query } => (ReqOp::Ask, format!("{session}\n{query}")),
+        Request::Mediate { session, query } => (ReqOp::Mediate, format!("{session}\n{query}")),
+        Request::Sync { session } => (ReqOp::Sync, session.clone()),
+        Request::Close { session } => (ReqOp::Close, session.clone()),
+        Request::Stats => (ReqOp::Stats, String::new()),
+        Request::Ping => (ReqOp::Ping, String::new()),
+    };
+    encode_frame(op.byte(), body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(req: Request) {
+        let bytes = encode_request(&req);
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&bytes[..HEADER_LEN]);
+        let (op, len) = decode_header(&header).unwrap();
+        let body = check_body(op, &bytes[HEADER_LEN..], len).unwrap();
+        let parsed = parse_request(ReqOp::from_byte(op).unwrap(), body).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(Request::Hello {
+            tenant: "acme".into(),
+        });
+        round_trip(Request::Open {
+            session: "s-1".into(),
+            products: 8,
+            seed: 42,
+        });
+        round_trip(Request::Fetch {
+            session: "s-1".into(),
+            query: "catalog/product{name, price[< 200]}".into(),
+        });
+        round_trip(Request::Ask {
+            session: "s-1".into(),
+            query: "catalog/product{name}".into(),
+        });
+        round_trip(Request::Mediate {
+            session: "s_2".into(),
+            query: "catalog/product{picture}".into(),
+        });
+        round_trip(Request::Sync {
+            session: "s-1".into(),
+        });
+        round_trip(Request::Close {
+            session: "s-1".into(),
+        });
+        round_trip(Request::Stats);
+        round_trip(Request::Ping);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert_eq!(
+            decode_header(b"NOPE\x01\x01\x00\x00\x00\x00"),
+            Err(FrameError::BadMagic)
+        );
+        let mut h = [0u8; HEADER_LEN];
+        h[..4].copy_from_slice(&PROTO_MAGIC);
+        h[4] = 9; // future version
+        assert_eq!(decode_header(&h), Err(FrameError::BadVersion(9)));
+        h[4] = PROTO_VERSION;
+        h[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_header(&h), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn crc_tampering_is_caught() {
+        let bytes = encode_request(&Request::Ping);
+        let mut tampered = bytes.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xFF;
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&tampered[..HEADER_LEN]);
+        let (op, len) = decode_header(&header).unwrap();
+        assert_eq!(
+            check_body(op, &tampered[HEADER_LEN..], len),
+            Err(FrameError::BadCrc)
+        );
+        // Flipping a body bit is caught too.
+        let bytes = encode_request(&Request::Hello {
+            tenant: "acme".into(),
+        });
+        let mut tampered = bytes.clone();
+        tampered[HEADER_LEN] ^= 0x01;
+        let (op, len) = decode_header(&header.clone()).unwrap();
+        let _ = (op, len);
+        let mut h2 = [0u8; HEADER_LEN];
+        h2.copy_from_slice(&tampered[..HEADER_LEN]);
+        let (op2, len2) = decode_header(&h2).unwrap();
+        assert_eq!(
+            check_body(op2, &tampered[HEADER_LEN..], len2),
+            Err(FrameError::BadCrc)
+        );
+    }
+
+    #[test]
+    fn names_are_closed_alphabet() {
+        assert!(name_ok("tenant-1_A"));
+        assert!(!name_ok(""));
+        assert!(!name_ok("a/b"));
+        assert!(!name_ok("../escape"));
+        assert!(!name_ok(&"x".repeat(MAX_NAME + 1)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Negative fixture for the `net-timeout` rule: parsed as an
+//! `iixml-serve` crate file, nothing below may be flagged.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn armed_read(s: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    s.set_read_timeout(Some(Duration::from_millis(100)))?;
+    s.read(buf)
+}
+
+fn armed_both(s: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    s.set_read_timeout(Some(Duration::from_millis(100)))?;
+    s.set_write_timeout(Some(Duration::from_millis(100)))?;
+    s.read_exact(buf)?;
+    s.write_all(buf)
+}
+
+fn write_macro_is_not_a_socket_write(out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "not a syscall");
+}
+
+fn read_as_a_field_is_fine(counts: &Counts) -> u64 {
+    // `.read` without a call is member access, not a syscall.
+    counts.read
+}
+
+pub struct Counts {
+    pub read: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_read_bare() {
+        let mut s = TcpStream::connect("127.0.0.1:1").unwrap();
+        let mut buf = [0u8; 4];
+        use std::io::Read;
+        let _ = s.read(&mut buf);
+    }
+}

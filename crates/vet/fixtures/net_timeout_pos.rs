@@ -1,0 +1,35 @@
+//! Positive fixture for the `net-timeout` rule: parsed as an
+//! `iixml-serve` crate file, every unarmed socket call below must be
+//! flagged.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn unarmed_read(s: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    s.read(buf)
+}
+
+fn unarmed_read_exact(s: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    s.read_exact(buf)
+}
+
+fn unarmed_write(s: &mut TcpStream, buf: &[u8]) -> std::io::Result<()> {
+    s.write_all(buf)
+}
+
+fn armed_for_reads_only(s: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    s.set_read_timeout(Some(Duration::from_millis(100)))?;
+    s.read_exact(buf)?;
+    // Read deadline armed, write deadline not: still a finding.
+    s.write_all(buf)
+}
+
+fn arming_does_not_leak_across_fns(s: &mut TcpStream) -> std::io::Result<()> {
+    s.set_read_timeout(Some(Duration::from_millis(100)))?;
+    s.set_write_timeout(Some(Duration::from_millis(100)))
+}
+
+fn next_fn_starts_unarmed(s: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    s.read(buf)
+}

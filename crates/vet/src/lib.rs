@@ -12,6 +12,10 @@
 //!
 //! * `panic` — no `unwrap`/`expect`/`panic!`-family/indexing in
 //!   non-test code of the data-path crates;
+//! * `net-timeout` — in `iixml-serve`, every socket read/write is
+//!   preceded by the matching `set_read_timeout`/`set_write_timeout`
+//!   in the same fn (a slow client must hit a deadline, not pin a
+//!   thread);
 //! * `determinism` — no wall clock, no `Instant::now` outside
 //!   obs/bench, no `RandomState`-ordered containers in
 //!   byte-reproducible crates, no unseeded randomness;
@@ -40,8 +44,8 @@ use std::path::{Path, PathBuf};
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`panic`, `panic-index`, `determinism`, `format`,
-    /// `metrics`, `env`, `allow`).
+    /// Rule id (`panic`, `panic-index`, `net-timeout`, `determinism`,
+    /// `format`, `metrics`, `env`, `allow`).
     pub rule: &'static str,
     /// Workspace-relative path, forward slashes.
     pub file: String,
@@ -98,6 +102,7 @@ pub fn check_sources(files: &[SourceFile], allowlist: &Allowlist, readme: Option
     let mut raw: Vec<Finding> = Vec::new();
     for f in files {
         rules::panic_freedom(f, &mut raw);
+        rules::net_timeout(f, &mut raw);
         rules::determinism(f, &mut raw);
         rules::frozen_format(f, &mut raw);
         rules::metric_keys(f, &mut raw);

@@ -9,12 +9,13 @@ use crate::Finding;
 
 /// Crates whose non-test code must be panic-free (plus root `src/`):
 /// these sit on the `rep(T)` data path, where a panic loses session
-/// knowledge mid-refine.
-const PANIC_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store"];
+/// knowledge mid-refine — and in the server, takes every tenant's
+/// connection down with it.
+const PANIC_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store", "serve"];
 
 /// Crates whose outputs are compared byte-for-byte across runs and
 /// thread widths; `RandomState`-ordered containers are banned here.
-const HASH_ORDER_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store"];
+const HASH_ORDER_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store", "serve"];
 
 /// The frozen on-disk alphabet (see `crates/store/src/format.rs`).
 /// Spelled here *independently* so an edit to the registry trips the
@@ -141,6 +142,76 @@ pub fn panic_freedom(f: &SourceFile, out: &mut Vec<Finding>) {
                     "index expression can panic (prefer .get()/ranges checked upstream, or add a vet.allow entry citing the bounds guarantee)".into(),
                 ));
             }
+        }
+    }
+}
+
+/// `net-timeout`: in `iixml-serve`'s non-test code, every socket
+/// read/write method call must be preceded — in the same `fn` — by the
+/// matching deadline-arming call (`set_read_timeout` /
+/// `set_write_timeout`). An unarmed blocking read lets one slow-loris
+/// client pin a connection thread forever; the rule makes "the deadline
+/// is visibly armed next to the syscall" a mechanical invariant rather
+/// than a review convention. Token-level, so any `.read(…)`-shaped call
+/// counts regardless of receiver type: file and buffer I/O in the serve
+/// crate must route through helpers armed the same way or live outside
+/// the crate.
+pub fn net_timeout(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.crate_name.as_deref() != Some("serve") || f.kind != FileKind::CrateSrc {
+        return;
+    }
+    const READS: &[&str] = &["read", "read_exact", "read_to_end", "read_to_string"];
+    const WRITES: &[&str] = &["write", "write_all"];
+    let toks = &f.tokens;
+    let (mut armed_read, mut armed_write) = (false, false);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // Each fn starts with its deadlines unarmed; arming in one
+        // function never licenses a read in another.
+        if t.is_ident("fn") {
+            armed_read = false;
+            armed_write = false;
+        }
+        if f.skip(i) {
+            continue;
+        }
+        if t.is_ident("set_read_timeout") {
+            armed_read = true;
+        }
+        if t.is_ident("set_write_timeout") {
+            armed_write = true;
+        }
+        // Method-call position only: `.name(`.
+        if t.kind != TokKind::Punct('.')
+            || toks.get(i + 2).map(|t| t.kind) != Some(TokKind::Punct('('))
+        {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if m.kind != TokKind::Ident {
+            continue;
+        }
+        if READS.contains(&m.text.as_str()) && !armed_read {
+            out.push(finding(
+                f,
+                "net-timeout",
+                m.line,
+                format!(
+                    ".{}() with no earlier set_read_timeout in the same fn — an unarmed socket read blocks a connection thread forever (slow-loris)",
+                    m.text
+                ),
+            ));
+        }
+        if WRITES.contains(&m.text.as_str()) && !armed_write {
+            out.push(finding(
+                f,
+                "net-timeout",
+                m.line,
+                format!(
+                    ".{}() with no earlier set_write_timeout in the same fn — an unarmed socket write blocks on a stalled peer",
+                    m.text
+                ),
+            ));
         }
     }
 }

@@ -91,6 +91,43 @@ fn panic_rule_is_scoped_to_data_path_crates() {
 }
 
 #[test]
+fn net_timeout_positive_fixture_is_fully_flagged() {
+    let path = "crates/serve/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/net_timeout_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    // Three fully unarmed calls, a write with only the read deadline
+    // armed, and a read in the fn after the one that armed.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "net-timeout").count(),
+        5,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn net_timeout_negative_fixture_is_clean() {
+    let path = "crates/serve/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/net_timeout_neg.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn net_timeout_rule_is_scoped_to_the_serve_crate() {
+    // The same unarmed reads in another crate's src or in a test file
+    // are out of scope.
+    for path in [
+        "crates/webhouse/src/fixture.rs",
+        "crates/serve/tests/fixture.rs",
+    ] {
+        let findings = run_on(path, include_str!("../fixtures/net_timeout_pos.rs"));
+        assert!(
+            !rules_hit(&findings, path).contains(&"net-timeout"),
+            "{path}: {findings:?}"
+        );
+    }
+}
+
+#[test]
 fn determinism_positive_fixture_is_fully_flagged() {
     let path = "crates/store/src/fixture.rs";
     let findings = run_on(path, include_str!("../fixtures/determinism_pos.rs"));

@@ -95,6 +95,12 @@ fn cli_exits_nonzero_on_each_rules_positive_fixture() {
             include_str!("../fixtures/env_pos.rs"),
             "env",
         ),
+        (
+            "net",
+            "crates/serve/src/lib.rs",
+            include_str!("../fixtures/net_timeout_pos.rs"),
+            "net-timeout",
+        ),
     ];
     for (tag, path, src, rule) in cases {
         let root = mini_workspace(tag, &[(path, src)]);

@@ -391,6 +391,13 @@ impl<E: SourceEndpoint> Session<E> {
         &self.alpha
     }
 
+    /// Mutable alphabet access, for callers that parse query text
+    /// against this session (parsing may intern labels the session has
+    /// not seen; unknown labels simply never match existing symbols).
+    pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        &mut self.alpha
+    }
+
     /// The accumulated incomplete tree.
     pub fn knowledge(&self) -> &IncompleteTree {
         self.refiner.current()
@@ -851,6 +858,20 @@ impl<E: SourceEndpoint> Webhouse<E> {
     /// Iterates over (name, session).
     pub fn sessions(&self) -> impl Iterator<Item = (&String, &Session<E>)> {
         self.sessions.iter()
+    }
+
+    /// Iterates mutably over (name, session) — for callers that need to
+    /// sync or reconfigure every session (e.g. a server draining at
+    /// shutdown). Iteration order is unspecified; order-sensitive
+    /// callers must sort by name.
+    pub fn sessions_mut(&mut self) -> impl Iterator<Item = (&String, &mut Session<E>)> {
+        self.sessions.iter_mut()
+    }
+
+    /// Unregisters and returns a session (e.g. a server closing it on
+    /// client request). The caller decides what happens to its journal.
+    pub fn remove_session(&mut self, name: &str) -> Option<Session<E>> {
+        self.sessions.remove(name)
     }
 
     /// Answers `q` on every registered session, one task per source, so

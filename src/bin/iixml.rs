@@ -5,6 +5,8 @@
 //! iixml demo                          generate a demo catalog to stdout
 //! iixml session <doc.xml>             interactive incomplete-information session
 //! iixml walkthrough                   run the paper's pipeline end to end
+//! iixml serve                         multi-tenant session server (see iixml-serve)
+//! iixml loadgen --port <p>            drive a running server, print a load report
 //! ```
 //!
 //! The global `--stats` flag enables the observability layer
@@ -73,9 +75,11 @@ fn main() {
         Some("demo") => cmd_demo(),
         Some("session") if args.len() == 3 => cmd_session(&args[2], journal.as_deref()),
         Some("walkthrough") => cmd_walkthrough(&args[2..], journal.as_deref()),
+        Some("serve") => cmd_serve(journal.as_deref(), stats),
+        Some("loadgen") => cmd_loadgen(&args[2..]),
         _ => {
             eprintln!(
-                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>] [--crash-in-batch]"
+                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>] [--crash-in-batch]\n  iixml [--stats] [--journal <dir>] serve\n  iixml loadgen --port <p> [--tenants <n>] [--sessions <n>] [--requests <n>] [--products <n>] [--seed <n>] [--concurrency <n>] [--close] [--chaos <conns>] [--chaos-seed <n>]"
             );
             std::process::exit(2);
         }
@@ -469,6 +473,119 @@ fn walkthrough_torn_batch(dir: &str, cat: &mut iixml_gen::Catalog) -> Result<(),
     );
     if got != want {
         return Err("recovered knowledge diverged from the uncrashed run".into());
+    }
+    Ok(())
+}
+
+/// `iixml serve`: starts the multi-tenant session server (configured
+/// from the `IIXML_SERVE_*` environment, see README) and serves until
+/// stdin reaches EOF, then drains: every journaled session is synced to
+/// its durability barrier before the process exits. `--journal <dir>`
+/// sets the journal root and recovers any sessions already journaled
+/// there; `--stats` prints the server's stats JSON (per-tenant
+/// admission state, per-session durability markers) before draining.
+fn cmd_serve(journal: Option<&str>, stats: bool) -> Result<(), String> {
+    let mut cfg = iixml_serve::ServeConfig::from_env();
+    if let Some(dir) = journal {
+        cfg.journal_root = Some(std::path::PathBuf::from(dir));
+    }
+    let server = iixml_serve::Server::start(cfg).map_err(|e| e.to_string())?;
+    let recovered = server.session_names();
+    if !recovered.is_empty() {
+        println!(
+            "recovered {} journaled session(s): {}",
+            recovered.len(),
+            recovered.join(" ")
+        );
+    }
+    println!("listening on 127.0.0.1:{}", server.port());
+    let _ = std::io::stdout().flush();
+    // Serve until stdin closes: `iixml serve </dev/null` drains
+    // immediately after startup (the CI restart walkthrough uses this),
+    // while piping a long-lived stdin keeps the server up until EOF or
+    // a kill.
+    let mut sink = String::new();
+    let stdin = std::io::stdin();
+    loop {
+        sink.clear();
+        match stdin.lock().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    if stats {
+        println!("{}", server.stats_json());
+    }
+    let drain = server.shutdown();
+    println!(
+        "drained: {} session(s) synced, {} fault(s)",
+        drain.synced,
+        drain.faults.len()
+    );
+    for (name, fault) in &drain.faults {
+        println!("drain fault {name}: {fault}");
+    }
+    if drain.faults.is_empty() {
+        Ok(())
+    } else {
+        Err("drain left sessions unsynced".into())
+    }
+}
+
+/// `iixml loadgen`: drives a running `iixml serve` with the seeded
+/// honest workload of `iixml_bench::loadgen` and prints the load report
+/// as JSON (p50/p99 latency, requests/sec, sessions/sec, sheds).
+/// `--chaos <conns>` additionally runs the misbehaving-client storm and
+/// reports whether the server survived it.
+fn cmd_loadgen(opts: &[String]) -> Result<(), String> {
+    use iixml_bench::loadgen::{run_chaos, run_load, LoadConfig};
+    let mut cfg = LoadConfig {
+        port: 0,
+        ..LoadConfig::default()
+    };
+    let mut chaos_conns = 0usize;
+    let mut chaos_seed = 0x57ABu64;
+    let mut it = opts.iter();
+    fn num<T: std::str::FromStr>(
+        it: &mut std::slice::Iter<String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(format!("{flag} needs a number"))
+    }
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--port" => cfg.port = num(&mut it, "--port")?,
+            "--tenants" => cfg.tenants = num(&mut it, "--tenants")?,
+            "--sessions" => cfg.sessions = num(&mut it, "--sessions")?,
+            "--requests" => cfg.requests_per_session = num(&mut it, "--requests")?,
+            "--products" => cfg.products = num(&mut it, "--products")?,
+            "--seed" => cfg.seed = num(&mut it, "--seed")?,
+            "--concurrency" => cfg.concurrency = num(&mut it, "--concurrency")?,
+            "--close" => cfg.close_at_end = true,
+            "--chaos" => chaos_conns = num(&mut it, "--chaos")?,
+            "--chaos-seed" => chaos_seed = num(&mut it, "--chaos-seed")?,
+            other => return Err(format!("unknown loadgen option: {other}")),
+        }
+    }
+    if cfg.port == 0 {
+        return Err("loadgen needs --port <p> (the port `iixml serve` printed)".into());
+    }
+    let report = run_load(&cfg);
+    println!("{}", report.to_json().render_pretty());
+    if chaos_conns > 0 {
+        let storm = run_chaos(cfg.port, chaos_conns, chaos_seed, 16);
+        println!(
+            "chaos: {} connections, {} requests issued, server alive: {}",
+            storm.connections, storm.requests_issued, storm.server_alive
+        );
+        if !storm.server_alive {
+            return Err("server stopped answering during the chaos storm".into());
+        }
+    }
+    if report.errors > 0 {
+        return Err(format!("{} request(s) failed in transport", report.errors));
     }
     Ok(())
 }
