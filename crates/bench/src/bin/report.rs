@@ -24,7 +24,12 @@
 //! cleanliness, and full restart recovery; `--diff-serve OLD NEW`
 //! compares two `BENCH_serve.json` files with the same floor-clamped
 //! trajectory rule (p99 is lower-is-better and gated from the other
-//! side).
+//! side); `--bench-cpu` runs the pre/post-interning CPU kernels of
+//! [`iixml_bench::cpubench`], writes `BENCH_cpu.json`, and gates on the
+//! sequential speedup row (plus 4-thread scaling on multi-core hosts);
+//! `--diff-cpu OLD NEW` compares two `BENCH_cpu.json` files under the
+//! floor-clamped rule; `--trajectory` prints one summary table over
+//! every committed `BENCH_*.json`.
 
 use iixml_bench::{
     auxiliary_chain_size, conjunctive_blowup_sizes, linear_chain_sizes, refine_blowup_sizes,
@@ -175,6 +180,118 @@ fn diff_serve(old_path: &str, new_path: &str) {
         std::process::exit(1);
     }
     println!("\ntrajectory ok: server throughput and latency within the blessed envelope");
+}
+
+/// `--diff-cpu OLD NEW`: the CPU-kernel trajectory gate, same
+/// floor-clamp rule as [`diff_store2`]. The compared metrics are the
+/// sequential speedup rows (pre-interning ÷ post-interning at one
+/// thread) — the headline that holds on any host, single-core CI
+/// runners included. The blessed floor is the 1.3x acceptance line, so
+/// a lucky committed run cannot ratchet the gate above what the PR
+/// actually claimed.
+fn diff_cpu(old_path: &str, new_path: &str) {
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("FAIL: cannot read {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let old = read(old_path);
+    let new = read(new_path);
+    // (metric, floor/0.8): pass line 0.8 × min(committed, floor/0.8),
+    // i.e. never above the 1.3x the acceptance criteria blessed.
+    let metrics = [
+        ("intersect_seq_speedup", 1.3 / 0.8),
+        ("minimize_seq_speedup", 1.3 / 0.8),
+    ];
+    let mut failed = false;
+    println!("| metric | committed | this run | pass line | verdict |");
+    println!("|---|---|---|---|---|");
+    for (key, cap) in metrics {
+        let (Some(o), Some(n)) = (json_number(&old, key), json_number(&new, key)) else {
+            eprintln!("FAIL: metric {key} missing from one of the files");
+            failed = true;
+            continue;
+        };
+        let pass_line = 0.8 * o.min(cap);
+        let verdict = if n < pass_line {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("| {key} | {o:.2} | {n:.2} | >= {pass_line:.2} | {verdict} |");
+    }
+    if failed {
+        eprintln!("FAIL: BENCH_cpu trajectory regressed past its blessed baseline");
+        std::process::exit(1);
+    }
+    println!("\ntrajectory ok: both kernels kept their sequential speedup over the PR 3 code");
+}
+
+/// `--trajectory`: one summary table over every committed
+/// `BENCH_*.json` at the repo root — the headline metric(s) each bench
+/// PR blessed, read with the same line-level scan the diff gates use.
+/// Missing files are reported, not fatal: the table documents how much
+/// of the trajectory this checkout carries.
+fn trajectory() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    // (file, [(key, what it claims)]): first-occurrence keys, chosen to
+    // be unique within their file.
+    let headline: [(&str, &[(&str, &str)]); 5] = [
+        (
+            "BENCH_pr3.json",
+            &[("speedup", "interned vs string partition keys")],
+        ),
+        ("BENCH_pr4.json", &[("appends_per_sec", "WAL appends/sec")]),
+        (
+            "BENCH_store2.json",
+            &[
+                ("batched_appends_per_sec", "group-commit appends/sec"),
+                ("batch_speedup", "group-commit vs per-record fsync"),
+                ("recovery_par_ratio", "width-4 fleet recovery vs width 1"),
+            ],
+        ),
+        (
+            "BENCH_serve.json",
+            &[
+                ("requests_per_sec", "honest-load requests/sec"),
+                ("p99_us", "honest-load p99 latency (µs)"),
+            ],
+        ),
+        (
+            "BENCH_cpu.json",
+            &[
+                (
+                    "intersect_seq_speedup",
+                    "interned intersect vs PR 3 path, 1 thread",
+                ),
+                (
+                    "minimize_seq_speedup",
+                    "interned minimize vs PR 3 path, 1 thread",
+                ),
+            ],
+        ),
+    ];
+    println!("# Bench trajectory (committed BENCH_*.json headlines)\n");
+    println!("| file | metric | value | claim |");
+    println!("|---|---|---|---|");
+    let mut missing = Vec::new();
+    for (file, metrics) in headline {
+        let Ok(text) = std::fs::read_to_string(root.join(file)) else {
+            missing.push(file);
+            continue;
+        };
+        for &(key, claim) in metrics {
+            match json_number(&text, key) {
+                Some(v) => println!("| {file} | {key} | {v:.2} | {claim} |"),
+                None => println!("| {file} | {key} | (missing) | {claim} |"),
+            }
+        }
+    }
+    for file in missing {
+        println!("| {file} | — | (file not committed) | — |");
+    }
 }
 
 fn time_ms<T>(f: impl Fn() -> T) -> (T, f64) {
@@ -369,6 +486,69 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
+        return;
+    }
+    if std::env::args().any(|a| a == "--bench-cpu") {
+        let quick = std::env::args().any(|a| a == "--quick");
+        iixml_obs::set_enabled(true);
+        let report = iixml_bench::cpubench::run(quick);
+        report.print_table();
+        match report.write_json() {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_cpu.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        // The in-run gates. The sequential speedup row holds on any
+        // host: both interned kernels must beat the preserved PR 3
+        // paths by 1.3x at one thread. The 4-thread scaling gate only
+        // means something when the host actually has cores to scale
+        // onto, so it relaxes to the sequential row on single-core
+        // runners.
+        let iseq = report.intersect_seq_speedup();
+        let mseq = report.minimize_seq_speedup();
+        println!("\nsequential speedup: intersect {iseq:.2}x, minimize {mseq:.2}x");
+        let mut failed = false;
+        if iseq < 1.3 {
+            eprintln!("FAIL: interned intersect only {iseq:.2}x over the PR 3 path (< 1.3x)");
+            failed = true;
+        }
+        if mseq < 1.3 {
+            eprintln!("FAIL: interned minimize only {mseq:.2}x over the PR 3 path (< 1.3x)");
+            failed = true;
+        }
+        if report.threads_available > 1 {
+            let i4 = report.post_speedup("intersect_product", 4);
+            let m4 = report.post_speedup("minimize_product", 4);
+            println!("4-thread speedup: intersect {i4:.2}x, minimize {m4:.2}x");
+            if i4 < 1.5 {
+                eprintln!("FAIL: 4-thread intersect speedup {i4:.2}x < 1.5x on a multi-core host");
+                failed = true;
+            }
+            if m4 < 1.5 {
+                eprintln!("FAIL: 4-thread minimize speedup {m4:.2}x < 1.5x on a multi-core host");
+                failed = true;
+            }
+        } else {
+            println!("single hardware thread: 4-thread gate relaxed to the sequential row");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(at) = std::env::args().position(|a| a == "--diff-cpu") {
+        let args: Vec<String> = std::env::args().collect();
+        let (Some(old_path), Some(new_path)) = (args.get(at + 1), args.get(at + 2)) else {
+            eprintln!("usage: report --diff-cpu OLD.json NEW.json");
+            std::process::exit(1);
+        };
+        diff_cpu(old_path, new_path);
+        return;
+    }
+    if std::env::args().any(|a| a == "--trajectory") {
+        trajectory();
         return;
     }
     if let Some(at) = std::env::args().position(|a| a == "--diff-serve") {

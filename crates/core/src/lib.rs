@@ -24,6 +24,7 @@
 pub mod answer;
 pub mod conjunctive;
 pub mod ctt;
+pub mod intern;
 pub mod io;
 pub mod itree;
 pub mod minimize;

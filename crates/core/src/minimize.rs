@@ -22,10 +22,12 @@
 //! chains (in particular Proposition 3.13's) polynomial.
 
 use crate::ctt::{ConditionalTreeType, Disjunction, SAtom, Sym, SymTarget};
+use crate::intern::{AtomId, InternedType, SliceInterner};
 use crate::itree::IncompleteTree;
 use iixml_obs::{keys, LazyCounter, LazyHistogram};
 use iixml_tree::Mult;
 use iixml_values::IntervalSet;
+use std::collections::BTreeSet;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Wall time of each `minimize()` call.
@@ -36,8 +38,16 @@ static OBS_MERGED: LazyCounter = LazyCounter::new(keys::CORE_MINIMIZE_SYMBOLS_ME
 static OBS_INTERNED: LazyCounter = LazyCounter::new(keys::CORE_MINIMIZE_INTERNED_SIGS);
 
 /// Minimum symbols per worker before a partition-refinement round
-/// spreads signature computation over threads.
+/// spreads signature computation over threads (reference path only).
 const SIG_GRAIN: usize = 64;
+
+/// Distinct atoms per chunk when a refinement round canonicalizes atoms
+/// in parallel (`IIXML_PAR_CHUNK` overrides).
+const SIG_CHUNK: usize = 128;
+
+/// Atom-table size at or below which a refinement round stays inline
+/// (`IIXML_PAR_CUTOFF` overrides).
+const SIG_CUTOFF: usize = 512;
 
 fn bounds(m: Mult) -> (u8, bool) {
     // (lower bound, unbounded?)
@@ -78,42 +88,68 @@ impl IncompleteTree {
         if n == 0 {
             return self.clone();
         }
+        // Lower every µ onto the interned kernel store once per call:
+        // the freeze loop and every partition round below walk flat
+        // id slices instead of nested atom structures, and an atom
+        // shared by many symbols (the `all_star` µ of `T_{q,A}`, the
+        // product atoms duplicated across specializations) is visited
+        // exactly once per pass.
+        let interned = InternedType::build(ty);
         // Frozen symbols are never merged with anything.
         let mut frozen: HashSet<Sym> = HashSet::new();
+        let mut ent: Vec<(usize, Mult)> = Vec::new();
+        let mut ms: Vec<Mult> = Vec::new();
         loop {
-            let block_of = self.partition(&frozen);
-            // Check expressibility of every within-atom merge.
-            let mut violated = false;
-            for s in ty.syms() {
-                for atom in ty.mu(s).atoms() {
-                    let mut groups: BTreeMap<usize, Vec<Mult>> = BTreeMap::new();
-                    for &(c, m) in atom.entries() {
-                        groups.entry(block_of[c.ix()]).or_default().push(m);
+            let block_of = self.partition(&interned, &frozen);
+            // Check expressibility of every within-atom merge, per
+            // *distinct* atom. Identical to the per-symbol walk (an
+            // atom violates independently of which µ references it)
+            // but without revisiting shared atoms.
+            let mut violated: BTreeSet<usize> = BTreeSet::new();
+            for a in 0..interned.table.atom_count() {
+                ent.clear();
+                for &(c, m) in interned.table.atom(AtomId(a as u32)) {
+                    ent.push((block_of[c.ix()], m));
+                }
+                ent.sort_unstable_by_key(|e| e.0);
+                let mut i = 0;
+                while i < ent.len() {
+                    let block = ent[i].0;
+                    ms.clear();
+                    while i < ent.len() && ent[i].0 == block {
+                        ms.push(ent[i].1);
+                        i += 1;
                     }
-                    for (block, ms) in groups {
-                        if combine(&ms).is_none() {
-                            // Freeze every member of the offending block.
-                            for c in ty.syms() {
-                                if block_of[c.ix()] == block {
-                                    frozen.insert(c);
-                                }
-                            }
-                            violated = true;
-                        }
+                    if combine(&ms).is_none() {
+                        violated.insert(block);
                     }
                 }
             }
-            if !violated {
+            if violated.is_empty() {
                 let out = self.rebuild(&block_of);
                 OBS_MERGED.add((n - out.ty().sym_count().min(n)) as u64);
                 return out;
+            }
+            // Freeze every member of each offending block.
+            for c in ty.syms() {
+                if violated.contains(&block_of[c.ix()]) {
+                    frozen.insert(c);
+                }
             }
         }
     }
 
     /// Coarsest partition compatible with (target, cond, frozen-ness)
-    /// refined by µ signatures.
-    fn partition(&self, frozen: &HashSet<Sym>) -> Vec<usize> {
+    /// refined by µ signatures, computed over the interned kernel
+    /// representation: each round canonicalizes every *distinct* atom
+    /// once (entries mapped to current blocks, sorted — parallel in
+    /// chunks with per-worker scratch), then interns per-symbol
+    /// signatures as flat `u32` slices. Interning stays sequential in
+    /// symbol order and canon ids are assigned in atom-id order, so
+    /// block numbering is first-encounter order — byte-identical to the
+    /// structural reference path at any worker width (pinned by
+    /// `tests/intern_equiv.rs`).
+    fn partition(&self, interned: &InternedType, frozen: &HashSet<Sym>) -> Vec<usize> {
         let ty = self.ty();
         let n = ty.sym_count();
         // Initial blocks: by (target, cond), frozen symbols isolated.
@@ -146,42 +182,59 @@ impl IncompleteTree {
                 block_of[s.ix()] = b;
             }
         }
-        // Refine until stable.
-        // Signature: (current block, canonical atom list over blocks).
-        type Signature = (usize, Vec<Vec<(usize, Mult)>>);
-        let syms: Vec<Sym> = ty.syms().collect();
+        // Refine until stable. A round is two stages:
+        //
+        // 1. Canonicalize every distinct atom under the current
+        //    partition: entries mapped to `(block, mult)`, sorted. A
+        //    canonical form is a pure function of the atom and the
+        //    previous round's blocks, so this stage fans out in chunks
+        //    with a reusable per-worker scratch vector; results merge
+        //    in atom-id order. Equal forms then intern to equal
+        //    `canon` ids (assigned in atom-id order — deterministic).
+        // 2. Per symbol, the signature is its current block plus the
+        //    sorted-deduped canon ids of its µ's atoms — a flat `u32`
+        //    slice. Interning it yields the next-round block directly,
+        //    since `SliceInterner` numbers fresh slices in
+        //    first-encounter order, exactly like the HashMap-with-
+        //    running-counter it replaces.
+        let atom_ids: Vec<u32> = (0..interned.table.atom_count() as u32).collect();
         loop {
-            // A symbol's signature is a pure function of its µ and the
-            // previous round's partition, so each round fans out across
-            // symbols. Interning stays sequential (in symbol order), so
-            // block numbering is identical to the width-1 run.
-            let sigs: Vec<Signature> = iixml_par::par_map_ref(&syms, SIG_GRAIN, |&s| {
-                let mut atoms: Vec<Vec<(usize, Mult)>> = ty
-                    .mu(s)
-                    .atoms()
-                    .iter()
-                    .map(|a| {
-                        let mut v: Vec<(usize, Mult)> = a
-                            .entries()
-                            .iter()
-                            .map(|&(c, m)| (block_of[c.ix()], m))
-                            .collect();
-                        v.sort();
-                        v
-                    })
-                    .collect();
-                atoms.sort();
-                atoms.dedup();
-                (block_of[s.ix()], atoms)
-            });
-            let mut sig_to_block: HashMap<Signature, usize> = HashMap::with_capacity(n);
-            let mut next_block: Vec<usize> = vec![0; n];
-            for (s, key) in syms.iter().zip(sigs) {
-                let fresh = sig_to_block.len();
-                let b = *sig_to_block.entry(key).or_insert(fresh);
-                next_block[s.ix()] = b;
+            let forms: Vec<Vec<(u32, Mult)>> = iixml_par::par_map_chunks(
+                &atom_ids,
+                SIG_CHUNK,
+                SIG_CUTOFF,
+                Vec::new,
+                |scratch: &mut Vec<(u32, Mult)>, &a, _| {
+                    scratch.clear();
+                    for &(c, m) in interned.table.atom(AtomId(a)) {
+                        scratch.push((block_of[c.ix()] as u32, m));
+                    }
+                    scratch.sort_unstable();
+                    scratch.clone()
+                },
+            );
+            let mut canon_of: Vec<u32> = Vec::with_capacity(forms.len());
+            let mut canon: SliceInterner<(u32, Mult)> = SliceInterner::new();
+            for form in &forms {
+                canon_of.push(canon.intern(form));
             }
-            OBS_INTERNED.add(sig_to_block.len() as u64);
+            let mut sig: SliceInterner<u32> = SliceInterner::new();
+            let mut next_block: Vec<usize> = vec![0; n];
+            let mut ids: Vec<u32> = Vec::new();
+            let mut buf: Vec<u32> = Vec::new();
+            for s in ty.syms() {
+                ids.clear();
+                for &a in interned.table.disj(interned.mu_of(s)) {
+                    ids.push(canon_of[a.ix()]);
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                buf.clear();
+                buf.push(block_of[s.ix()] as u32);
+                buf.extend_from_slice(&ids);
+                next_block[s.ix()] = sig.intern(&buf) as usize;
+            }
+            OBS_INTERNED.add(sig.len() as u64);
             if next_block == block_of {
                 return block_of;
             }
@@ -246,6 +299,114 @@ impl IncompleteTree {
         IncompleteTree::new(self.nodes().clone(), out)
             .expect("nodes unchanged")
             .trim()
+    }
+
+    /// The pre-interning structural minimization, preserved verbatim:
+    /// nested-structure signatures hashed through a `HashMap` with a
+    /// running block counter. Kept as (a) the equivalence oracle for
+    /// `tests/intern_equiv.rs` — the interned path must serialize
+    /// byte-identically to this one — and (b) the "pre" row of the
+    /// `cpubench` group, so the committed speedup is measured against
+    /// the real old code, not a remembered number.
+    pub fn minimize_reference(&self) -> IncompleteTree {
+        let _span = OBS_MINIMIZE_NS.time();
+        let ty = self.ty();
+        let n = ty.sym_count();
+        if n == 0 {
+            return self.clone();
+        }
+        let mut frozen: HashSet<Sym> = HashSet::new();
+        loop {
+            let block_of = self.partition_reference(&frozen);
+            let mut violated = false;
+            for s in ty.syms() {
+                for atom in ty.mu(s).atoms() {
+                    let mut groups: BTreeMap<usize, Vec<Mult>> = BTreeMap::new();
+                    for &(c, m) in atom.entries() {
+                        groups.entry(block_of[c.ix()]).or_default().push(m);
+                    }
+                    for (block, ms) in groups {
+                        if combine(&ms).is_none() {
+                            for c in ty.syms() {
+                                if block_of[c.ix()] == block {
+                                    frozen.insert(c);
+                                }
+                            }
+                            violated = true;
+                        }
+                    }
+                }
+            }
+            if !violated {
+                let out = self.rebuild(&block_of);
+                OBS_MERGED.add((n - out.ty().sym_count().min(n)) as u64);
+                return out;
+            }
+        }
+    }
+
+    /// The structural partition behind [`IncompleteTree::minimize_reference`].
+    fn partition_reference(&self, frozen: &HashSet<Sym>) -> Vec<usize> {
+        let ty = self.ty();
+        let n = ty.sym_count();
+        let mut block_of: Vec<usize> = vec![0; n];
+        {
+            let mut key_to_block: HashMap<(SymTarget, &IntervalSet), usize> = HashMap::new();
+            let mut next = 0usize;
+            for s in ty.syms() {
+                let info = ty.info(s);
+                let b = if frozen.contains(&s) {
+                    let b = next;
+                    next += 1;
+                    b
+                } else {
+                    *key_to_block
+                        .entry((info.target, &info.cond))
+                        .or_insert_with(|| {
+                            let b = next;
+                            next += 1;
+                            b
+                        })
+                };
+                block_of[s.ix()] = b;
+            }
+        }
+        // Signature: (current block, canonical atom list over blocks).
+        type Signature = (usize, Vec<Vec<(usize, Mult)>>);
+        let syms: Vec<Sym> = ty.syms().collect();
+        loop {
+            let sigs: Vec<Signature> = iixml_par::par_map_ref(&syms, SIG_GRAIN, |&s| {
+                let mut atoms: Vec<Vec<(usize, Mult)>> = ty
+                    .mu(s)
+                    .atoms()
+                    .iter()
+                    .map(|a| {
+                        let mut v: Vec<(usize, Mult)> = a
+                            .entries()
+                            .iter()
+                            .map(|&(c, m)| (block_of[c.ix()], m))
+                            .collect();
+                        v.sort();
+                        v
+                    })
+                    .collect();
+                atoms.sort();
+                atoms.dedup();
+                (block_of[s.ix()], atoms)
+            });
+            let mut sig_to_block: HashMap<Signature, usize> = HashMap::with_capacity(n);
+            let mut next_block: Vec<usize> = vec![0; n];
+            for (s, key) in syms.iter().zip(sigs) {
+                let fresh = sig_to_block.len();
+                let b = *sig_to_block.entry(key).or_insert(fresh);
+                next_block[s.ix()] = b;
+            }
+            OBS_INTERNED.add(sig_to_block.len() as u64);
+            if next_block == block_of {
+                return block_of;
+            }
+            block_of = next_block;
+        }
     }
 }
 
@@ -403,6 +564,39 @@ mod tests {
         assert_eq!(combine(&[Mult::Opt, Mult::Opt]), None);
         assert_eq!(combine(&[Mult::Plus, Mult::Plus]), None);
         assert_eq!(combine(&[Mult::One]), Some(Mult::One));
+    }
+
+    /// The interned partition must reproduce the structural reference
+    /// exactly — same blocks, same numbering, same rebuilt type
+    /// (the full-pipeline property lives in `tests/intern_equiv.rs`).
+    #[test]
+    fn interned_path_matches_reference() {
+        let mut ty = ConditionalTreeType::new();
+        let r = ty.add_symbol("r", SymTarget::Lab(Label(0)), IntervalSet::all());
+        let a1 = ty.add_symbol("a1", SymTarget::Lab(Label(1)), IntervalSet::all());
+        let a2 = ty.add_symbol("a2", SymTarget::Lab(Label(1)), IntervalSet::all());
+        let b = ty.add_symbol("b", SymTarget::Lab(Label(2)), IntervalSet::all());
+        let c1 = ty.add_symbol("c1", SymTarget::Lab(Label(1)), IntervalSet::all());
+        ty.set_mu(
+            r,
+            Disjunction(vec![
+                SAtom::new(vec![(a1, Mult::Star), (b, Mult::One)]),
+                SAtom::new(vec![(a2, Mult::Star), (c1, Mult::Opt)]),
+            ]),
+        );
+        ty.set_mu(a1, Disjunction::single(SAtom::new(vec![(b, Mult::One)])));
+        ty.set_mu(a2, Disjunction::single(SAtom::new(vec![(b, Mult::One)])));
+        ty.set_mu(b, Disjunction::leaf());
+        ty.set_mu(c1, Disjunction::single(SAtom::new(vec![(b, Mult::Plus)])));
+        ty.add_root(r);
+        let it = IncompleteTree::new(std::collections::BTreeMap::new(), ty).unwrap();
+        let interned = it.minimize();
+        let reference = it.minimize_reference();
+        assert_eq!(
+            format!("{:?}", interned.ty()),
+            format!("{:?}", reference.ty())
+        );
+        assert_eq!(interned.size(), reference.size());
     }
 
     /// Minimization is idempotent.

@@ -32,9 +32,21 @@ use iixml_values::IntervalSet;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-/// Minimum symbol pairs per worker before `intersect` spreads the ⋊⋉
-/// product over threads (below this, spawn overhead dominates).
+/// Minimum symbol pairs per worker before `intersect_reference` spreads
+/// the ⋊⋉ product over threads (below this, spawn overhead dominates).
 const INTERSECT_GRAIN: usize = 16;
+
+/// Symbol pairs per chunk when `intersect` fans the ⋊⋉ product out
+/// (`IIXML_PAR_CHUNK` overrides).
+const INTERSECT_CHUNK: usize = 16;
+
+/// Pair count at or below which `intersect` computes µ's inline on the
+/// calling thread (`IIXML_PAR_CUTOFF` overrides).
+const INTERSECT_CUTOFF: usize = 64;
+
+/// Maximum `n1 * n2` for the dense pair table; larger products fall
+/// back to the hash table (4M entries = 16 MiB of `u32`).
+const DENSE_PAIR_LIMIT: usize = 1 << 22;
 
 /// Refinement steps performed (all chains).
 static OBS_STEPS: LazyCounter = LazyCounter::new(keys::CORE_REFINE_STEPS);
@@ -248,6 +260,71 @@ fn mult_from(mandatory: bool, bounded: bool) -> Mult {
     }
 }
 
+/// The product-symbol table of one `intersect` call: maps `(s1, s2)`
+/// to the product symbol. Dense (one flat `u32` vector indexed by
+/// `s1.ix() * n2 + s2.ix()`) whenever the pair space fits
+/// [`DENSE_PAIR_LIMIT`] — the ⋊⋉ join probes this table for every
+/// entry pair of every atom pair, and an array load beats a hash per
+/// probe by an order of magnitude. Oversized products fall back to the
+/// hash map (keyed lookups only; iteration always goes through the
+/// in-order `keys` vector).
+enum PairTable {
+    Dense { n2: usize, slots: Vec<u32> },
+    Sparse(HashMap<(Sym, Sym), Sym>),
+}
+
+impl PairTable {
+    fn for_sizes(n1: usize, n2: usize) -> PairTable {
+        if n1.saturating_mul(n2) <= DENSE_PAIR_LIMIT {
+            PairTable::Dense {
+                n2: n2.max(1),
+                slots: vec![u32::MAX; n1 * n2],
+            }
+        } else {
+            PairTable::Sparse(HashMap::new())
+        }
+    }
+
+    fn insert(&mut self, s1: Sym, s2: Sym, p: Sym) {
+        match self {
+            PairTable::Dense { n2, slots } => {
+                if let Some(slot) = slots.get_mut(s1.ix() * *n2 + s2.ix()) {
+                    *slot = p.0;
+                }
+            }
+            PairTable::Sparse(map) => {
+                map.insert((s1, s2), p);
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, s1: Sym, s2: Sym) -> Option<Sym> {
+        match self {
+            PairTable::Dense { n2, slots } => slots
+                .get(s1.ix() * *n2 + s2.ix())
+                .copied()
+                .filter(|&id| id != u32::MAX)
+                .map(Sym),
+            PairTable::Sparse(map) => map.get(&(s1, s2)).copied(),
+        }
+    }
+}
+
+/// Per-worker scratch arena for the ⋊⋉ join: every buffer the join
+/// needs per atom pair (and per emitted combination), allocated once
+/// per worker and reused across the whole chunk. The buffers carry no
+/// state between items — each use starts with `clear()` — so reuse
+/// cannot affect results, only allocator traffic.
+#[derive(Default)]
+struct JoinScratch {
+    pairs: Vec<(usize, usize, Sym)>,
+    constraints: Vec<Constraint>,
+    included: Vec<bool>,
+    designated: Vec<bool>,
+    choice: Vec<Option<usize>>,
+}
+
 /// Intersection of two incomplete trees (Lemma 3.3):
 /// `rep(result) = rep(t1) ∩ rep(t2)`.
 ///
@@ -276,11 +353,17 @@ pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteT
 
     let (ty1, ty2) = (t1.ty(), t2.ty());
     let mut ty = ConditionalTreeType::new();
-    let mut pair_of: HashMap<(Sym, Sym), Sym> = HashMap::new();
+    let mut pair_of = PairTable::for_sizes(ty1.sym_count(), ty2.sym_count());
+    // Pairs are discovered by ascending (s1, s2) loops, so `keys` is
+    // born sorted — every later pass (roots, µ scheduling, set_mu)
+    // walks it in that deterministic order and nothing ever iterates
+    // the pair table itself.
+    let mut keys: Vec<(Sym, Sym, Sym)> = Vec::new();
 
     for s1 in ty1.syms() {
+        let i1 = ty1.info(s1);
+        let n1 = truncate(&i1.name);
         for s2 in ty2.syms() {
-            let i1 = ty1.info(s1);
             let i2 = ty2.info(s2);
             let target = match (i1.target, i2.target) {
                 (SymTarget::Lab(a), SymTarget::Lab(b)) if a == b => SymTarget::Lab(a),
@@ -306,6 +389,133 @@ pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteT
             if cond.is_empty() {
                 continue; // unsatisfiable pair can never type a node
             }
+            // Same "{n1}&{n2}" string as the reference path, built by
+            // plain pushes: the formatting machinery was a visible
+            // fraction of symbol construction at ~30k product symbols.
+            let n2 = truncate(&i2.name);
+            let mut name = String::with_capacity(n1.len() + 1 + n2.len());
+            name.push_str(n1);
+            name.push('&');
+            name.push_str(n2);
+            let p = ty.add_symbol(name, target, cond);
+            pair_of.insert(s1, s2, p);
+            keys.push((s1, s2, p));
+        }
+    }
+
+    // Roots.
+    for &(s1, s2, p) in &keys {
+        if ty1.roots().contains(&s1) && ty2.roots().contains(&s2) {
+            ty.add_root(p);
+        }
+    }
+
+    // µ of each pair: union over disjunct pairs of the joined atoms.
+    // Each pair's µ depends only on the (frozen) input types and the
+    // complete pair table, so the ⋊⋉ expansion — the hot inner loop of
+    // Algorithm Refine — parallelizes per chunk of pairs,
+    // order-preserving by construction.
+    if iixml_par::threads() == 1 || keys.len() <= iixml_par::cutoff(INTERSECT_CUTOFF) {
+        // Width-1 / small products: compute and assign each µ directly.
+        // No task vector, no intermediate µ buffer — that bookkeeping
+        // was pure overhead in BENCH_pr3's 1-thread column.
+        let mut scratch = JoinScratch::default();
+        for &(s1, s2, p) in &keys {
+            let mu = pair_mu(ty1, ty2, s1, s2, &pair_of, &mut scratch);
+            ty.set_mu(p, mu);
+        }
+    } else {
+        let mus: Vec<Disjunction> = iixml_par::par_map_chunks(
+            &keys,
+            INTERSECT_CHUNK,
+            0,
+            JoinScratch::default,
+            |scratch, &(s1, s2, _), _| pair_mu(ty1, ty2, s1, s2, &pair_of, scratch),
+        );
+        for (&(_, _, p), mu) in keys.iter().zip(mus) {
+            ty.set_mu(p, mu);
+        }
+    }
+
+    IncompleteTree::new(nodes, ty)
+}
+
+/// µ of one product symbol: the ⋊⋉ join over all atom pairs of the two
+/// input µ's, deduplicated.
+fn pair_mu(
+    ty1: &ConditionalTreeType,
+    ty2: &ConditionalTreeType,
+    s1: Sym,
+    s2: Sym,
+    pair_of: &PairTable,
+    scratch: &mut JoinScratch,
+) -> Disjunction {
+    let mut atoms: Vec<SAtom> = Vec::new();
+    for a1 in ty1.mu(s1).atoms() {
+        for a2 in ty2.mu(s2).atoms() {
+            join_atoms(a1, a2, pair_of, scratch, &mut atoms);
+        }
+    }
+    atoms.sort_by(|x, y| x.entries().iter().cmp(y.entries().iter()));
+    atoms.dedup();
+    Disjunction(atoms)
+}
+
+/// The pre-interning structural intersection, preserved verbatim:
+/// hash-table pair lookups, per-pair task scheduling, per-call
+/// allocation of every join buffer. Kept as (a) the equivalence oracle
+/// for `tests/intern_equiv.rs` — the table-driven path must serialize
+/// byte-identically to this one — and (b) the "pre" row of the
+/// `cpubench` group, so the committed speedup is measured against the
+/// real old code.
+pub fn intersect_reference(
+    t1: &IncompleteTree,
+    t2: &IncompleteTree,
+) -> Result<IncompleteTree, ItreeError> {
+    let (base, other) = if t1.nodes().len() >= t2.nodes().len() {
+        (t1, t2)
+    } else {
+        (t2, t1)
+    };
+    let mut nodes = base.nodes().clone();
+    for (&n, &info) in other.nodes() {
+        match nodes.get(&n) {
+            Some(&prev) if prev != info => return Err(ItreeError::IncompatibleNode(n)),
+            _ => {
+                nodes.insert(n, info);
+            }
+        }
+    }
+
+    let (ty1, ty2) = (t1.ty(), t2.ty());
+    let mut ty = ConditionalTreeType::new();
+    let mut pair_of: HashMap<(Sym, Sym), Sym> = HashMap::new();
+
+    for s1 in ty1.syms() {
+        for s2 in ty2.syms() {
+            let i1 = ty1.info(s1);
+            let i2 = ty2.info(s2);
+            let target = match (i1.target, i2.target) {
+                (SymTarget::Lab(a), SymTarget::Lab(b)) if a == b => SymTarget::Lab(a),
+                (SymTarget::Node(n), SymTarget::Node(m)) if n == m => SymTarget::Node(n),
+                (SymTarget::Node(n), SymTarget::Lab(b)) => {
+                    if t2.nodes().contains_key(&n) || t1.node_info(n).map(|i| i.label) != Some(b) {
+                        continue;
+                    }
+                    SymTarget::Node(n)
+                }
+                (SymTarget::Lab(a), SymTarget::Node(m)) => {
+                    if t1.nodes().contains_key(&m) || t2.node_info(m).map(|i| i.label) != Some(a) {
+                        continue;
+                    }
+                    SymTarget::Node(m)
+                }
+                _ => continue,
+            };
+            let cond = i1.cond.intersect(&i2.cond);
+            if cond.is_empty() {
+                continue;
+            }
             let name = format!("{}&{}", truncate(&i1.name), truncate(&i2.name));
             let p = ty.add_symbol(name, target, cond);
             pair_of.insert((s1, s2), p);
@@ -313,29 +523,22 @@ pub fn intersect(t1: &IncompleteTree, t2: &IncompleteTree) -> Result<IncompleteT
     }
 
     // The pair table is a HashMap, so never iterate it directly: sort
-    // the keys once and drive every pass off that, keeping the root
-    // list, the task list, and the scheduling metrics deterministic.
+    // the keys once and drive every pass off that.
     let mut keys: Vec<(Sym, Sym)> = Vec::with_capacity(pair_of.len());
     keys.extend(pair_of.keys().copied());
     keys.sort_unstable();
 
-    // Roots.
     for &(s1, s2) in &keys {
         if ty1.roots().contains(&s1) && ty2.roots().contains(&s2) {
             ty.add_root(pair_of[&(s1, s2)]);
         }
     }
 
-    // µ of each pair: union over disjunct pairs of the joined atoms.
-    // Each pair's µ depends only on the (frozen) input types and the
-    // complete `pair_of` table, so the ⋊⋉ expansion — the hot inner loop
-    // of Algorithm Refine — parallelizes per pair, order-preserving by
-    // construction.
     let mus: Vec<Disjunction> = iixml_par::par_map_ref(&keys, INTERSECT_GRAIN, |&(s1, s2)| {
         let mut atoms: Vec<SAtom> = Vec::new();
         for a1 in ty1.mu(s1).atoms() {
             for a2 in ty2.mu(s2).atoms() {
-                join_atoms(a1, a2, &pair_of, &mut atoms);
+                join_atoms_reference(a1, a2, &pair_of, &mut atoms);
             }
         }
         atoms.sort_by(|x, y| x.entries().iter().cmp(y.entries().iter()));
@@ -362,6 +565,73 @@ fn truncate(s: &str) -> &str {
     }
 }
 
+/// One constrained entry of a ⋊⋉ join: bounded (`1`/`?`) or mandatory
+/// (`1`/`+`) on one side, constraining the total count across all pairs
+/// containing that entry.
+#[derive(Clone, Copy)]
+struct Constraint {
+    side1: bool,
+    idx: usize,
+    mandatory: bool,
+    bounded: bool,
+}
+
+/// An entry pair of the ⋊⋉ join, viewed by its two entry indices. The
+/// shipping path carries the cached product symbol alongside; the
+/// preserved reference path carries the bare indices.
+trait PairIj: Copy {
+    fn ij(self) -> (usize, usize);
+}
+
+impl PairIj for (usize, usize) {
+    fn ij(self) -> (usize, usize) {
+        self
+    }
+}
+
+impl PairIj for (usize, usize, Sym) {
+    fn ij(self) -> (usize, usize) {
+        (self.0, self.1)
+    }
+}
+
+/// choice[c] = Some(pair index) designated for constraint c, or None
+/// (allowed only for non-mandatory constraints).
+fn join_recurse<P: PairIj>(
+    cs: &[Constraint],
+    k: usize,
+    pairs: &[P],
+    choice: &mut Vec<Option<usize>>,
+    emit: &mut dyn FnMut(&[Option<usize>]),
+) {
+    if k == cs.len() {
+        emit(choice);
+        return;
+    }
+    let c = cs[k];
+    let mut any = false;
+    for (pi, p) in pairs.iter().enumerate() {
+        let (i, j) = p.ij();
+        let on_entry = if c.side1 { i == c.idx } else { j == c.idx };
+        if on_entry {
+            any = true;
+            choice.push(Some(pi));
+            join_recurse(cs, k + 1, pairs, choice, emit);
+            choice.pop();
+        }
+    }
+    if !c.mandatory || !any {
+        // A bounded-but-optional entry may host no child at all; a
+        // mandatory entry with no partner makes the join empty (we
+        // simply emit nothing down this branch).
+        if !c.mandatory {
+            choice.push(None);
+            join_recurse(cs, k + 1, pairs, choice, emit);
+            choice.pop();
+        }
+    }
+}
+
 /// Joins two multiplicity atoms (the `⋊⋉` of Lemma 3.3), appending the
 /// resulting atoms (possibly several, possibly none) to `out`.
 ///
@@ -373,8 +643,128 @@ fn truncate(s: &str) -> &str {
 /// therefore expand disjunctively over the choice of partner. On
 /// unambiguous trees every choice set is a singleton and the expansion
 /// degenerates to the paper's single joined atom.
-fn join_atoms(a1: &SAtom, a2: &SAtom, pair_of: &HashMap<(Sym, Sym), Sym>, out: &mut Vec<SAtom>) {
-    // All compatible pairs, with partner lists per side entry.
+///
+/// All working buffers live in `scratch` so a worker joining thousands
+/// of atom pairs allocates each of them once; every use starts from
+/// `clear()`, so reuse is invisible in the output.
+fn join_atoms(
+    a1: &SAtom,
+    a2: &SAtom,
+    pair_of: &PairTable,
+    scratch: &mut JoinScratch,
+    out: &mut Vec<SAtom>,
+) {
+    let JoinScratch {
+        pairs,
+        constraints,
+        included,
+        designated,
+        choice,
+    } = scratch;
+    // All compatible pairs, with partner lists per side entry. The
+    // product symbol is probed once here and carried along, so the emit
+    // pass never touches the table again.
+    pairs.clear();
+    for (i, &(c1, _)) in a1.entries().iter().enumerate() {
+        for (j, &(c2, _)) in a2.entries().iter().enumerate() {
+            if let Some(p) = pair_of.get(c1, c2) {
+                pairs.push((i, j, p));
+            }
+        }
+    }
+    // Constrained entries: bounded or mandatory on either side.
+    constraints.clear();
+    for (i, &(_, m)) in a1.entries().iter().enumerate() {
+        if m.mandatory() || !m.repeatable() {
+            constraints.push(Constraint {
+                side1: true,
+                idx: i,
+                mandatory: m.mandatory(),
+                bounded: !m.repeatable(),
+            });
+        }
+    }
+    for (j, &(_, m)) in a2.entries().iter().enumerate() {
+        if m.mandatory() || !m.repeatable() {
+            constraints.push(Constraint {
+                side1: false,
+                idx: j,
+                mandatory: m.mandatory(),
+                bounded: !m.repeatable(),
+            });
+        }
+    }
+
+    let a1e = a1.entries();
+    let a2e = a2.entries();
+    let before = out.len();
+    // Reborrow immutably so the emit closure can capture the flag
+    // buffers mutably alongside them.
+    let pairs: &[(usize, usize, Sym)] = pairs;
+    let constraints: &[Constraint] = constraints;
+    let mut emit = |choice: &[Option<usize>]| {
+        // Build the atom for this combination.
+        // included[p]: pair participates; designated[p]: lower bound 1.
+        included.clear();
+        included.resize(pairs.len(), true);
+        designated.clear();
+        designated.resize(pairs.len(), false);
+        for (c, &ch) in constraints.iter().zip(choice) {
+            if c.bounded {
+                // Only the chosen partner (if any) survives for this
+                // entry.
+                for (pi, &(i, j, _)) in pairs.iter().enumerate() {
+                    let on_entry = if c.side1 { i == c.idx } else { j == c.idx };
+                    if on_entry && Some(pi) != ch {
+                        included[pi] = false;
+                    }
+                }
+            }
+            if c.mandatory {
+                if let Some(pi) = ch {
+                    designated[pi] = true;
+                }
+            }
+        }
+        // Consistency: every designated pair must still be included
+        // (a partner excluded by the other side's bounded choice is a
+        // contradiction).
+        for pi in 0..pairs.len() {
+            if designated[pi] && !included[pi] {
+                return;
+            }
+        }
+        let mut entries: Vec<(Sym, Mult)> = Vec::with_capacity(pairs.len());
+        for (pi, &(i, j, p)) in pairs.iter().enumerate() {
+            if !included[pi] {
+                continue;
+            }
+            let (_, m1) = a1e[i];
+            let (_, m2) = a2e[j];
+            let (_, bounded) = meet_bounds(m1, m2);
+            let mandatory = designated[pi];
+            entries.push((p, mult_from(mandatory, bounded)));
+        }
+        out.push(SAtom::new(entries));
+    };
+    choice.clear();
+    join_recurse(constraints, 0, pairs, choice, &mut emit);
+    let fanout = (out.len() - before) as u64;
+    OBS_JOIN_FANOUT.observe(fanout);
+    if fanout > 1 {
+        OBS_EXPANSIONS.incr();
+    }
+}
+
+/// The pre-scratch ⋊⋉ join, preserved verbatim for
+/// [`intersect_reference`]: hash-table probes and fresh buffer
+/// allocations per emitted combination.
+fn join_atoms_reference(
+    a1: &SAtom,
+    a2: &SAtom,
+    pair_of: &HashMap<(Sym, Sym), Sym>,
+    out: &mut Vec<SAtom>,
+) {
     let mut pairs: Vec<(usize, usize)> = Vec::new(); // (idx in a1, idx in a2)
     for (i, &(c1, _)) in a1.entries().iter().enumerate() {
         for (j, &(c2, _)) in a2.entries().iter().enumerate() {
@@ -382,14 +772,6 @@ fn join_atoms(a1: &SAtom, a2: &SAtom, pair_of: &HashMap<(Sym, Sym), Sym>, out: &
                 pairs.push((i, j));
             }
         }
-    }
-    // Constrained entries: bounded or mandatory on either side.
-    #[derive(Clone, Copy)]
-    struct Constraint {
-        side1: bool,
-        idx: usize,
-        mandatory: bool,
-        bounded: bool,
     }
     let mut constraints: Vec<Constraint> = Vec::new();
     for (i, &(_, m)) in a1.entries().iter().enumerate() {
@@ -413,54 +795,14 @@ fn join_atoms(a1: &SAtom, a2: &SAtom, pair_of: &HashMap<(Sym, Sym), Sym>, out: &
         }
     }
 
-    // choice[c] = Some(pair index) designated for constraint c, or None
-    // (allowed only for non-mandatory constraints).
-    fn recurse(
-        cs: &[Constraint],
-        k: usize,
-        pairs: &[(usize, usize)],
-        choice: &mut Vec<Option<usize>>,
-        emit: &mut dyn FnMut(&[Option<usize>]),
-    ) {
-        if k == cs.len() {
-            emit(choice);
-            return;
-        }
-        let c = cs[k];
-        let mut any = false;
-        for (pi, &(i, j)) in pairs.iter().enumerate() {
-            let on_entry = if c.side1 { i == c.idx } else { j == c.idx };
-            if on_entry {
-                any = true;
-                choice.push(Some(pi));
-                recurse(cs, k + 1, pairs, choice, emit);
-                choice.pop();
-            }
-        }
-        if !c.mandatory || !any {
-            // A bounded-but-optional entry may host no child at all; a
-            // mandatory entry with no partner makes the join empty (we
-            // simply emit nothing down this branch).
-            if !c.mandatory {
-                choice.push(None);
-                recurse(cs, k + 1, pairs, choice, emit);
-                choice.pop();
-            }
-        }
-    }
-
     let a1e = a1.entries();
     let a2e = a2.entries();
     let before = out.len();
     let mut emit = |choice: &[Option<usize>]| {
-        // Build the atom for this combination.
-        // included[p]: pair participates; designated[p]: lower bound 1.
         let mut included = vec![true; pairs.len()];
         let mut designated = vec![false; pairs.len()];
         for (c, &ch) in constraints.iter().zip(choice) {
             if c.bounded {
-                // Only the chosen partner (if any) survives for this
-                // entry.
                 for (pi, &(i, j)) in pairs.iter().enumerate() {
                     let on_entry = if c.side1 { i == c.idx } else { j == c.idx };
                     if on_entry && Some(pi) != ch {
@@ -474,9 +816,6 @@ fn join_atoms(a1: &SAtom, a2: &SAtom, pair_of: &HashMap<(Sym, Sym), Sym>, out: &
                 }
             }
         }
-        // Consistency: every designated pair must still be included
-        // (a partner excluded by the other side's bounded choice is a
-        // contradiction).
         for pi in 0..pairs.len() {
             if designated[pi] && !included[pi] {
                 return;
@@ -496,7 +835,7 @@ fn join_atoms(a1: &SAtom, a2: &SAtom, pair_of: &HashMap<(Sym, Sym), Sym>, out: &
         out.push(SAtom::new(entries));
     };
     let mut choice = Vec::new();
-    recurse(&constraints, 0, &pairs, &mut choice, &mut emit);
+    join_recurse(&constraints, 0, &pairs, &mut choice, &mut emit);
     let fanout = (out.len() - before) as u64;
     OBS_JOIN_FANOUT.observe(fanout);
     if fanout > 1 {
@@ -782,6 +1121,23 @@ mod tests {
             .add_child(other.root(), Nid(99), zzz, Rat::ZERO)
             .unwrap();
         assert!(!refiner.current().contains(&other));
+    }
+
+    #[test]
+    fn table_driven_intersect_matches_reference() {
+        // The dense pair table + scratch-arena join must produce a
+        // structurally identical tree to the preserved legacy path,
+        // symbol ids and µ atom order included.
+        let mut alpha = Alphabet::new();
+        let t = source(&mut alpha);
+        let q1 = q_a_lt(&mut alpha, 3);
+        let q2 = q_a_lt(&mut alpha, 10);
+        let t1 = query_answer_tree(&q1, &q1.eval(&t), &alpha).unwrap();
+        let t2 = query_answer_tree(&q2, &q2.eval(&t), &alpha).unwrap();
+        let fast = intersect(&t1, &t2).unwrap();
+        let slow = intersect_reference(&t1, &t2).unwrap();
+        assert_eq!(format!("{:?}", fast.ty()), format!("{:?}", slow.ty()));
+        assert_eq!(fast.nodes(), slow.nodes());
     }
 
     #[test]

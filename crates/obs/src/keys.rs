@@ -34,6 +34,10 @@ pub const CORE_REFINE_INTERSECT_NS: &str = "core.refine.intersect_ns";
 pub const CORE_REFINE_TRIM_NS: &str = "core.refine.trim_ns";
 /// Time in per-step minimization.
 pub const CORE_REFINE_MINIMIZE_NS: &str = "core.refine.minimize_ns";
+/// Distinct atoms interned per kernel-table build.
+pub const CORE_INTERN_ATOMS: &str = "core.intern.atoms";
+/// Distinct disjunctions interned per kernel-table build.
+pub const CORE_INTERN_DISJS: &str = "core.intern.disjs";
 /// Knowledge size after each step (post-minimization).
 pub const CORE_REFINE_STEP_SIZE: &str = "core.refine.step_size";
 /// Time restricting to a declared type (Theorem 3.5).
@@ -115,6 +119,8 @@ pub const PAR_TASKS: &str = "par.tasks";
 pub const PAR_STEALS: &str = "par.steals";
 /// Worker width per `par_map` invocation.
 pub const PAR_THREADS: &str = "par.threads";
+/// Chunks dispatched through `par_map_chunks` (parallel path only).
+pub const PAR_CHUNKS: &str = "par.chunks";
 
 // ---------------------------------------------------------------------
 // store — the durable session journal (DESIGN.md §9).
@@ -170,6 +176,8 @@ pub const COUNTERS: &[&str] = &[
     CORE_TYPE_INTERSECT_CONTRADICTIONS,
     CORE_MINIMIZE_SYMBOLS_MERGED,
     CORE_MINIMIZE_INTERNED_SIGS,
+    CORE_INTERN_ATOMS,
+    CORE_INTERN_DISJS,
     QUERY_EVAL_CALLS,
     ORACLE_ENUMERATE_TRUNCATIONS,
     MEDIATOR_LOCAL_QUERIES,
@@ -181,6 +189,7 @@ pub const COUNTERS: &[&str] = &[
     WEBHOUSE_QUARANTINES,
     PAR_TASKS,
     PAR_STEALS,
+    PAR_CHUNKS,
     STORE_APPENDS,
     STORE_FSYNCS,
     STORE_CRC_REJECTS,
@@ -242,6 +251,10 @@ pub fn is_registered(name: &str) -> bool {
 pub const ENV_OBS: &str = "IIXML_OBS";
 /// Worker width for `iixml-par` (`1` = sequential).
 pub const ENV_PAR_THREADS: &str = "IIXML_PAR_THREADS";
+/// Items per chunk for `par_map_chunks` (overrides caller defaults).
+pub const ENV_PAR_CHUNK: &str = "IIXML_PAR_CHUNK";
+/// Input size at or below which `par_map_chunks` runs sequentially.
+pub const ENV_PAR_CUTOFF: &str = "IIXML_PAR_CUTOFF";
 /// Base seed for deterministic property/chaos tests.
 pub const ENV_TEST_SEED: &str = "IIXML_TEST_SEED";
 /// Cases per property in the in-tree property-test harness.
@@ -277,6 +290,11 @@ pub const ENV_SERVE_WRITE_TIMEOUT_MS: &str = "IIXML_SERVE_WRITE_TIMEOUT_MS";
 pub const ENV_VARS: &[(&str, &str)] = &[
     (ENV_OBS, "enable metric collection"),
     (ENV_PAR_THREADS, "worker width for parallel maps"),
+    (ENV_PAR_CHUNK, "items per chunk for chunked parallel maps"),
+    (
+        ENV_PAR_CUTOFF,
+        "input size at or below which chunked maps run inline",
+    ),
     (ENV_TEST_SEED, "base seed for deterministic tests"),
     (ENV_PROPTEST_CASES, "cases per property test"),
     (

@@ -62,6 +62,46 @@ impl Answer {
     }
 }
 
+/// Dense sat-memo: one byte per (pattern node, data node) valuation.
+/// Pattern and tree nodes are both dense `u32` ids, so the memo the
+/// `sat` recursion probes on every call is a flat array load instead of
+/// a hash — the same IDs-not-hashes discipline as the core kernels.
+/// `0` = not yet computed, `1` = unsat, `2` = sat.
+struct SatMemo {
+    tn: usize,
+    slots: Vec<u8>,
+    filled: u64,
+}
+
+impl SatMemo {
+    fn new(qn: usize, tn: usize) -> SatMemo {
+        SatMemo {
+            tn: tn.max(1),
+            slots: vec![0u8; qn * tn],
+            filled: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, m: QNodeRef, n: NodeRef) -> Option<bool> {
+        match self.slots.get(m.0 as usize * self.tn + n.0 as usize) {
+            Some(&2) => Some(true),
+            Some(&1) => Some(false),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, m: QNodeRef, n: NodeRef, v: bool) {
+        if let Some(slot) = self.slots.get_mut(m.0 as usize * self.tn + n.0 as usize) {
+            if *slot == 0 {
+                self.filled += 1;
+            }
+            *slot = if v { 2 } else { 1 };
+        }
+    }
+}
+
 impl PsQuery {
     /// Does the subquery rooted at `m` fully match at node `n` of `t`?
     ///
@@ -69,14 +109,8 @@ impl PsQuery {
     /// match `m`'s label and condition, and every pattern child of `m`
     /// must match at some child of `n` (children of `m` carry distinct
     /// labels, so their matches never compete).
-    fn sat(
-        &self,
-        t: &DataTree,
-        m: QNodeRef,
-        n: NodeRef,
-        memo: &mut HashMap<(QNodeRef, NodeRef), bool>,
-    ) -> bool {
-        if let Some(&r) = memo.get(&(m, n)) {
+    fn sat(&self, t: &DataTree, m: QNodeRef, n: NodeRef, memo: &mut SatMemo) -> bool {
+        if let Some(r) = memo.get(m, n) {
             return r;
         }
         let ok = self.label(m) == t.label(n)
@@ -85,16 +119,16 @@ impl PsQuery {
                 .children(m)
                 .iter()
                 .all(|&mc| t.children(n).iter().any(|&nc| self.sat(t, mc, nc, memo)));
-        memo.insert((m, n), ok);
+        memo.set(m, n, ok);
         ok
     }
 
     /// Evaluates the query, returning the answer prefix with provenance.
     pub fn eval(&self, t: &DataTree) -> Answer {
         OBS_EVALS.incr();
-        let mut memo = HashMap::new();
+        let mut memo = SatMemo::new(self.len(), t.len());
         if !self.sat(t, self.root(), t.root(), &mut memo) {
-            OBS_VALUATIONS.observe(memo.len() as u64);
+            OBS_VALUATIONS.observe(memo.filled);
             OBS_ANSWER_NODES.observe(0);
             return Answer::empty();
         }
@@ -114,7 +148,7 @@ impl PsQuery {
             &mut provenance,
             &mut memo,
         );
-        OBS_VALUATIONS.observe(memo.len() as u64);
+        OBS_VALUATIONS.observe(memo.filled);
         OBS_ANSWER_NODES.observe(answer.len() as u64);
         Answer {
             tree: Some(answer),
@@ -131,7 +165,7 @@ impl PsQuery {
         out: &mut DataTree,
         out_n: NodeRef,
         provenance: &mut HashMap<Nid, MatchKind>,
-        memo: &mut HashMap<(QNodeRef, NodeRef), bool>,
+        memo: &mut SatMemo,
     ) {
         for &mc in self.children(m) {
             for &nc in t.children(n) {
