@@ -435,6 +435,17 @@ fn main() {
             );
             failed = true;
         }
+        // The StoreIo seam (PR 9's fault-injection indirection) must
+        // stay free on the batched hot path: within 3% of the
+        // handwritten loop, measured in-run on interleaved samples.
+        let io_overhead = report.io_overhead_ratio();
+        println!("storeio seam overhead: {io_overhead:.3}x");
+        if io_overhead > 1.03 {
+            eprintln!(
+                "FAIL: StoreIo dispatch costs {io_overhead:.3}x the raw append loop (> 1.03x)"
+            );
+            failed = true;
+        }
         if par < 0.5 {
             eprintln!("FAIL: width-4 fleet recovery slowed the fleet to {par:.2}x of width 1");
             failed = true;

@@ -143,6 +143,11 @@ pub const STORE_BATCHED_APPENDS: &str = "store.batched_appends";
 pub const STORE_BATCH_FLUSHES: &str = "store.batch_flushes";
 /// WAL segments retired by compaction (fully snapshot-covered).
 pub const STORE_SEGMENTS_RETIRED: &str = "store.segments_retired";
+/// Write-path I/O failures (write/fsync/rename/remove) that poisoned a
+/// writer or aborted a snapshot.
+pub const STORE_IO_FAULTS: &str = "store.io_faults";
+/// Directory-fsync failures propagated from retire/snapshot install.
+pub const STORE_DIR_SYNC_FAILS: &str = "store.dir_sync_fails";
 
 // ---------------------------------------------------------------------
 // serve — the multi-tenant TCP session server (DESIGN.md §12).
@@ -198,6 +203,8 @@ pub const COUNTERS: &[&str] = &[
     STORE_BATCHED_APPENDS,
     STORE_BATCH_FLUSHES,
     STORE_SEGMENTS_RETIRED,
+    STORE_IO_FAULTS,
+    STORE_DIR_SYNC_FAILS,
     SERVE_ACCEPTED,
     SERVE_REQUESTS,
     SERVE_SHED,
@@ -282,6 +289,12 @@ pub const ENV_SERVE_QUOTA: &str = "IIXML_SERVE_QUOTA";
 pub const ENV_SERVE_READ_TIMEOUT_MS: &str = "IIXML_SERVE_READ_TIMEOUT_MS";
 /// Per-connection write deadline in milliseconds.
 pub const ENV_SERVE_WRITE_TIMEOUT_MS: &str = "IIXML_SERVE_WRITE_TIMEOUT_MS";
+/// Seed for the store's deterministic write-path fault injector.
+pub const ENV_STORE_FAULT_SEED: &str = "IIXML_STORE_FAULT_SEED";
+/// Per-operation fault probability for the store injector (0.0–1.0).
+pub const ENV_STORE_FAULT_RATE: &str = "IIXML_STORE_FAULT_RATE";
+/// Fail exactly the Nth store I/O operation (1-based).
+pub const ENV_STORE_FAULT_AT: &str = "IIXML_STORE_FAULT_AT";
 
 /// Every `IIXML_*` environment variable the workspace reads, with a
 /// one-line purpose. `iixml-vet`'s `env` rule checks that no other
@@ -322,6 +335,18 @@ pub const ENV_VARS: &[(&str, &str)] = &[
     (
         ENV_SERVE_WRITE_TIMEOUT_MS,
         "per-connection write deadline (ms)",
+    ),
+    (
+        ENV_STORE_FAULT_SEED,
+        "seed for the store write-path fault injector",
+    ),
+    (
+        ENV_STORE_FAULT_RATE,
+        "per-operation store fault probability",
+    ),
+    (
+        ENV_STORE_FAULT_AT,
+        "fail exactly the Nth store I/O operation",
     ),
 ];
 

@@ -29,6 +29,7 @@
 //! [`StoreError::Unjournalable`] before it is applied.
 
 use crate::error::StoreError;
+use crate::io::StoreIo;
 use crate::record::Record;
 use crate::snapshot::{self, Snapshot};
 use crate::wal::{self, FlushPolicy, GroupCommit, Wal};
@@ -71,8 +72,16 @@ impl SessionJournal {
     /// Creates a fresh journal in `dir` (which must not already hold
     /// one). The flush policy comes from the environment knobs
     /// ([`FlushPolicy::from_env`]); the default is durable-every-record.
+    /// The I/O backend also comes from the environment
+    /// ([`StoreIo::from_env`], real unless a fault knob is set).
     pub fn create(dir: &Path) -> Result<SessionJournal, StoreError> {
-        let writer = GroupCommit::new(Wal::create(dir)?, FlushPolicy::from_env());
+        SessionJournal::create_with_io(dir, StoreIo::from_env())
+    }
+
+    /// [`SessionJournal::create`] through an explicit I/O backend (tests
+    /// and chaos harnesses inject faults here).
+    pub fn create_with_io(dir: &Path, io: StoreIo) -> Result<SessionJournal, StoreError> {
+        let writer = GroupCommit::new(Wal::create_with(dir, io)?, FlushPolicy::from_env());
         Ok(SessionJournal {
             dir: dir.to_path_buf(),
             writer,
@@ -123,6 +132,18 @@ impl SessionJournal {
     /// Records accepted but not yet flushed to disk.
     pub fn pending_records(&self) -> u64 {
         self.writer.pending_records()
+    }
+
+    /// The sticky write-path fault that poisoned this journal's writer,
+    /// if any. Once set, every further append/sync returns it: the
+    /// journal fails safe instead of retrying-and-pretending.
+    pub fn fault(&self) -> Option<&StoreError> {
+        self.writer.fault()
+    }
+
+    /// The I/O backend this journal writes through.
+    pub fn io(&self) -> &StoreIo {
+        self.writer.io()
     }
 
     /// The active group-commit flush policy.
@@ -262,7 +283,7 @@ impl SessionJournal {
             initial: self.initial_xml.clone(),
             knowledge: write_incomplete_xml(knowledge, alpha),
         };
-        let (file, crc) = snap.write(&self.dir)?;
+        let (file, crc) = snap.write_with(&self.dir, self.writer.io())?;
         let seq = self.seq;
         self.append(&Record::SnapshotRef { seq, file, crc })?;
         self.sync()?;
@@ -315,7 +336,7 @@ impl SessionJournal {
             if !retirable {
                 break;
             }
-            wal::retire_segment(&self.dir, path)?;
+            wal::retire_segment(&self.dir, self.writer.io(), path)?;
             retired += 1;
         }
         Ok(retired)
@@ -382,8 +403,20 @@ pub struct Recovered {
 /// tail, replays surviving records through Refine, and — per `mode` —
 /// either surfaces mid-log corruption as a typed error or degrades to
 /// the longest verified prefix. Never panics on arbitrary directory
-/// contents.
+/// contents. The reopened writer goes through [`StoreIo::from_env`].
 pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> {
+    recover_with_io(dir, mode, StoreIo::from_env())
+}
+
+/// [`recover`] with an explicit I/O backend for the reopened writer.
+/// The read/repair side (scan, truncate, sweep) always uses real I/O:
+/// recovery itself must make progress even under an injector, and the
+/// contract under test is the *write* path.
+pub fn recover_with_io(
+    dir: &Path,
+    mode: RecoveryMode,
+    io: StoreIo,
+) -> Result<Recovered, StoreError> {
     // A directory with no segments left (a prior repair may have removed
     // them all) is an empty log, not a dead end: a surviving snapshot
     // can still supply the state. `Missing` resurfaces below only when
@@ -594,7 +627,8 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
                         _ => {}
                     }
                 }
-                let writer = GroupCommit::new(Wal::open_append(dir)?, FlushPolicy::from_env());
+                let writer =
+                    GroupCommit::new(Wal::open_append_with(dir, io)?, FlushPolicy::from_env());
                 let journal = SessionJournal {
                     dir: dir.to_path_buf(),
                     writer,
@@ -759,7 +793,7 @@ pub fn recover(dir: &Path, mode: RecoveryMode) -> Result<Recovered, StoreError> 
     }
 
     // Reopen for appends after the surviving prefix.
-    let writer = GroupCommit::new(Wal::open_append(dir)?, FlushPolicy::from_env());
+    let writer = GroupCommit::new(Wal::open_append_with(dir, io)?, FlushPolicy::from_env());
     let journal = SessionJournal {
         dir: dir.to_path_buf(),
         writer,

@@ -24,15 +24,25 @@
 //!   reproducible torn writes and bit flips, so the recovery invariant
 //!   is continuously exercised (see `tests/store_recovery.rs` and the
 //!   CI crash matrix).
+//! * **Fault-injectable I/O** ([`io`]) — every durability-bearing
+//!   syscall goes through a [`StoreIo`] handle: `real()` in production,
+//!   or a seeded injector (`faulty`/`fail_at`, also reachable via the
+//!   `IIXML_STORE_FAULT_*` env knobs) that models EIO, ENOSPC, short
+//!   writes, and fsync-failure-drops-buffered-pages. The fail-safe
+//!   contract: a failed write or fsync permanently poisons the writer
+//!   (sticky fault, no retry-and-pretend), so every lost record
+//!   corresponds to a reported fault — never a silent drop.
 //!
 //! Observability: `store.appends`, `store.fsyncs`, `store.replayed`,
-//! `store.torn_tails`, `store.crc_rejects`, and `store.snapshot_bytes`
-//! flow through `iixml-obs` like every other subsystem.
+//! `store.torn_tails`, `store.crc_rejects`, `store.snapshot_bytes`,
+//! `store.io_faults`, and `store.dir_sync_fails` flow through
+//! `iixml-obs` like every other subsystem.
 
 pub mod crc;
 pub mod error;
 pub mod format;
 pub mod inject;
+pub mod io;
 pub mod journal;
 pub mod record;
 pub mod snapshot;
@@ -40,7 +50,8 @@ pub mod wal;
 
 pub use error::StoreError;
 pub use inject::{Corruptor, Injury};
+pub use io::{Fault, IoOp, StoreIo};
 pub use journal::{recover, Recovered, RecoveryMode, RecoveryStatus, SessionJournal};
 pub use record::Record;
 pub use snapshot::Snapshot;
-pub use wal::{FlushPolicy, GroupCommit};
+pub use wal::{take_drop_fault, FlushPolicy, GroupCommit};

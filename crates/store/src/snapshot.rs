@@ -30,10 +30,11 @@
 
 use crate::crc::crc32;
 use crate::error::StoreError;
-use crate::wal::OBS_FSYNCS;
+use crate::io::StoreIo;
+use crate::wal::{OBS_DIR_SYNC_FAILS, OBS_FSYNCS, OBS_IO_FAULTS};
 use iixml_obs::{keys, LazyHistogram};
 use std::fs::File;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
 /// Snapshot payload sizes, in bytes.
@@ -88,32 +89,43 @@ impl Snapshot {
     /// Writes the snapshot into `dir` atomically. Returns the file name
     /// and payload CRC (recorded in the journal's `SnapshotRef`).
     pub fn write(&self, dir: &Path) -> Result<(String, u32), StoreError> {
+        self.write_with(dir, &StoreIo::real())
+    }
+
+    /// [`Snapshot::write`] through an explicit [`StoreIo`] handle.
+    ///
+    /// Fail-safe: any step's failure aborts cleanly — the `.tmp` file is
+    /// removed, the previously installed snapshot (if any) is untouched,
+    /// and the error is returned with `store.io_faults` bumped. A
+    /// dir-fsync failure *after* the rename still fails the call (the
+    /// install may not survive a power cut), but leaves the complete,
+    /// checksummed file in place; the caller never records a
+    /// `SnapshotRef` for it, so recovery treats it as a bonus anchor at
+    /// best.
+    pub fn write_with(&self, dir: &Path, io: &StoreIo) -> Result<(String, u32), StoreError> {
         let payload = self.payload();
         let crc = crc32(&payload);
         let name = Snapshot::file_name(self.seq);
         let tmp = dir.join(format!("{name}.tmp"));
         let dest = dir.join(&name);
-        {
-            let mut f = File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
-            f.write_all(&SNAPSHOT_MAGIC)
-                .map_err(|e| StoreError::io(&tmp, e))?;
-            f.write_all(&[SNAPSHOT_VERSION])
-                .map_err(|e| StoreError::io(&tmp, e))?;
-            f.write_all(&crc.to_le_bytes())
-                .map_err(|e| StoreError::io(&tmp, e))?;
-            f.write_all(&payload).map_err(|e| StoreError::io(&tmp, e))?;
-            f.sync_data().map_err(|e| StoreError::io(&tmp, e))?;
-            OBS_FSYNCS.incr();
-        }
-        std::fs::rename(&tmp, &dest).map_err(|e| StoreError::io(&dest, e))?;
-        if let Ok(d) = File::open(dir) {
-            // Directory sync is best-effort: not all platforms allow it.
-            if d.sync_data().is_ok() {
-                OBS_FSYNCS.incr();
+        match write_steps(&payload, crc, io, &tmp, &dest, dir) {
+            Ok(()) => {
+                OBS_SNAPSHOT_BYTES.observe(payload.len() as u64);
+                Ok((name, crc))
+            }
+            Err(e) => {
+                OBS_IO_FAULTS.incr();
+                if tmp.exists() {
+                    match io.remove_file(&tmp) {
+                        Ok(()) => {}
+                        // The stale tmp is swept at the next recovery;
+                        // the original fault is the one worth reporting.
+                        Err(_) => OBS_IO_FAULTS.incr(),
+                    }
+                }
+                Err(e)
             }
         }
-        OBS_SNAPSHOT_BYTES.observe(payload.len() as u64);
-        Ok((name, crc))
     }
 
     /// Loads and verifies a snapshot file. Total over arbitrary bytes:
@@ -212,6 +224,40 @@ impl Snapshot {
             initial,
             knowledge,
         })
+    }
+}
+
+/// The fallible step sequence of an atomic snapshot install:
+/// create tmp → write header + payload → fsync → rename → dir-fsync.
+/// Dir-fsync failures are propagated, not `.is_ok()`-swallowed — only a
+/// platform that cannot sync directories at all (`Unsupported`) is
+/// excused, inside [`StoreIo::dir_sync`].
+fn write_steps(
+    payload: &[u8],
+    crc: u32,
+    io: &StoreIo,
+    tmp: &Path,
+    dest: &Path,
+    dir: &Path,
+) -> Result<(), StoreError> {
+    let mut f = io.create(tmp)?;
+    f.write_all(&SNAPSHOT_MAGIC)?;
+    f.write_all(&[SNAPSHOT_VERSION])?;
+    f.write_all(&crc.to_le_bytes())?;
+    f.write_all(payload)?;
+    f.sync_data()?;
+    OBS_FSYNCS.incr();
+    drop(f);
+    io.rename(tmp, dest)?;
+    match io.dir_sync(dir) {
+        Ok(()) => {
+            OBS_FSYNCS.incr();
+            Ok(())
+        }
+        Err(e) => {
+            OBS_DIR_SYNC_FAILS.incr();
+            Err(e)
+        }
     }
 }
 
@@ -352,6 +398,51 @@ mod tests {
             std::fs::write(&path, junk).unwrap();
             assert!(Snapshot::load(&path).is_err());
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_aborts_cleanly_and_keeps_the_old_snapshot() {
+        use crate::io::{Fault, IoOp};
+        let dir = tmp("abort");
+        let old = Snapshot { seq: 5, ..sample() };
+        old.write(&dir).unwrap();
+        let io = StoreIo::faulty(23, 0.0);
+        for fault in [
+            (IoOp::Write, Fault::Enospc),
+            (IoOp::Write, Fault::ShortWrite),
+            (IoOp::Sync, Fault::Eio),
+            (IoOp::Rename, Fault::Eio),
+        ] {
+            io.inject_once(fault.0, fault.1);
+            let next = Snapshot { seq: 9, ..sample() };
+            assert!(next.write_with(&dir, &io).is_err());
+            assert!(
+                !dir.join("snap-000009.snap.tmp").exists(),
+                "tmp removed after {fault:?}"
+            );
+            assert!(!dir.join("snap-000009.snap").exists());
+            // The previously installed snapshot is intact.
+            let survivor = Snapshot::load(&dir.join(Snapshot::file_name(5))).unwrap();
+            assert_eq!(survivor, old);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn post_rename_dir_sync_failure_still_fails_the_call() {
+        use crate::io::{Fault, IoOp};
+        let dir = tmp("dirsync");
+        let io = StoreIo::faulty(29, 0.0);
+        io.inject_once(IoOp::DirSync, Fault::Eio);
+        let snap = sample();
+        assert!(snap.write_with(&dir, &io).is_err());
+        // The install happened (complete, checksummed file) but was not
+        // acknowledged; the caller writes no SnapshotRef for it.
+        assert!(Snapshot::load(&dir.join(Snapshot::file_name(17))).is_ok());
+        assert!(!dir
+            .join(format!("{}.tmp", Snapshot::file_name(17)))
+            .exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

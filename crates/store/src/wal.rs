@@ -25,10 +25,12 @@
 
 use crate::crc::crc32;
 use crate::error::StoreError;
+use crate::io::{StoreFile, StoreIo};
 use iixml_obs::{keys, LazyCounter};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Frames appended to the WAL.
 static OBS_APPENDS: LazyCounter = LazyCounter::new(keys::STORE_APPENDS);
@@ -44,6 +46,37 @@ static OBS_BATCHED_APPENDS: LazyCounter = LazyCounter::new(keys::STORE_BATCHED_A
 static OBS_BATCH_FLUSHES: LazyCounter = LazyCounter::new(keys::STORE_BATCH_FLUSHES);
 /// Segments retired by compaction.
 static OBS_SEGMENTS_RETIRED: LazyCounter = LazyCounter::new(keys::STORE_SEGMENTS_RETIRED);
+/// Write-path I/O faults observed (each poisons its writer or aborts
+/// its snapshot; see DESIGN.md §14).
+pub(crate) static OBS_IO_FAULTS: LazyCounter = LazyCounter::new(keys::STORE_IO_FAULTS);
+/// Directory-fsync failures (propagated to the caller and counted,
+/// never `.is_ok()`-swallowed).
+pub(crate) static OBS_DIR_SYNC_FAILS: LazyCounter = LazyCounter::new(keys::STORE_DIR_SYNC_FAILS);
+
+/// The most recent flush failure recorded by a [`GroupCommit`] drop — a
+/// crash-path fault with no caller left to report to. Held here so it
+/// is *recorded*, never silently discarded; [`take_drop_fault`] hands
+/// it to whoever inspects the wreckage next (webhouse surfaces it as a
+/// sticky `journal_fault`).
+static DROP_FAULT: Mutex<Option<StoreError>> = Mutex::new(None);
+
+fn note_drop_fault(e: StoreError) {
+    // The io-faults counter was already bumped when the WAL poisoned
+    // itself; this slot only keeps the error itself reachable.
+    match DROP_FAULT.lock() {
+        Ok(mut slot) => *slot = Some(e),
+        Err(poisoned) => *poisoned.into_inner() = Some(e),
+    }
+}
+
+/// Takes (and clears) the most recent drop-time flush failure. `None`
+/// means every dropped writer flushed cleanly since the last call.
+pub fn take_drop_fault() -> Option<StoreError> {
+    match DROP_FAULT.lock() {
+        Ok(mut slot) => slot.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    }
+}
 
 pub use crate::format::{FORMAT_VERSION, FRAME_MAGIC, SEGMENT_MAGIC};
 
@@ -51,16 +84,29 @@ use crate::format::{FRAME_HEADER_LEN, SEGMENT_HEADER_LEN};
 
 /// An open WAL, positioned for appends at the tail of the newest
 /// segment.
+///
+/// ## Fail-safe poisoning
+///
+/// The first failed write, fsync, or roll permanently poisons the
+/// writer: the fault is held sticky and every later append returns it.
+/// After a write-path failure the on-disk suffix is unknown — a short
+/// write may have torn a frame — and appending past it could bury the
+/// tear under valid-looking bytes, turning a benign torn tail into
+/// mid-log corruption. The writer stays down; recovery owns the
+/// directory (DESIGN.md §14).
 pub struct Wal {
     dir: PathBuf,
+    io: StoreIo,
     seg_index: u64,
-    file: File,
+    file: StoreFile,
     seg_len: u64,
     /// Roll to a new segment once the current one exceeds this size.
     pub segment_bytes: u64,
     /// Issue `sync_data` after every append (on by default; benches may
     /// turn it off to measure the in-memory cost separately).
     pub sync: bool,
+    /// The sticky fault, once a write-path operation has failed.
+    fault: Option<StoreError>,
 }
 
 impl Wal {
@@ -91,24 +137,27 @@ impl Wal {
         Ok(out)
     }
 
-    fn write_header(path: &Path) -> Result<File, StoreError> {
-        let mut file = OpenOptions::new()
-            .create_new(true)
-            .write(true)
-            .open(path)
-            .map_err(|e| StoreError::io(path, e))?;
+    fn write_header(io: &StoreIo, path: &Path) -> Result<StoreFile, StoreError> {
+        let mut file = io.create_new(path)?;
         let mut header = [0u8; SEGMENT_HEADER_LEN];
         header[..7].copy_from_slice(&SEGMENT_MAGIC);
         header[7] = FORMAT_VERSION;
-        file.write_all(&header)
-            .map_err(|e| StoreError::io(path, e))?;
+        file.write_all(&header)?;
         Ok(file)
     }
 
-    /// Creates a fresh WAL in `dir` (creating the directory if needed).
-    /// Fails if segments already exist — recovery, not blind appending,
-    /// is the way into an existing journal.
+    /// Creates a fresh WAL in `dir` (creating the directory if needed),
+    /// on the I/O implementation the `IIXML_STORE_FAULT_*` environment
+    /// selects (real unless the knobs are set). Fails if segments
+    /// already exist — recovery, not blind appending, is the way into
+    /// an existing journal.
     pub fn create(dir: &Path) -> Result<Wal, StoreError> {
+        Wal::create_with(dir, StoreIo::from_env())
+    }
+
+    /// [`Wal::create`] on an explicit I/O implementation (tests and the
+    /// CLI's disk-fault stage thread a faulty one here).
+    pub fn create_with(dir: &Path, io: StoreIo) -> Result<Wal, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
         if !Wal::segments(dir)?.is_empty() {
             return Err(StoreError::Io {
@@ -117,14 +166,16 @@ impl Wal {
             });
         }
         let path = Wal::seg_path(dir, 0);
-        let file = Wal::write_header(&path)?;
+        let file = Wal::write_header(&io, &path)?;
         Ok(Wal {
             dir: dir.to_path_buf(),
+            io,
             seg_index: 0,
             file,
             seg_len: SEGMENT_HEADER_LEN as u64,
             segment_bytes: Wal::DEFAULT_SEGMENT_BYTES,
             sync: true,
+            fault: None,
         })
     }
 
@@ -133,28 +184,43 @@ impl Wal {
     /// repaired) the log first — appending after unverified bytes would
     /// bury them.
     pub fn open_append(dir: &Path) -> Result<Wal, StoreError> {
+        Wal::open_append_with(dir, StoreIo::from_env())
+    }
+
+    /// [`Wal::open_append`] on an explicit I/O implementation.
+    pub fn open_append_with(dir: &Path, io: StoreIo) -> Result<Wal, StoreError> {
         let segs = Wal::segments(dir)?;
         let Some(&(seg_index, ref path)) = segs.last() else {
             return Err(StoreError::Missing {
                 dir: dir.to_path_buf(),
             });
         };
-        let meta = std::fs::metadata(path).map_err(|e| StoreError::io(path, e))?;
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
-            .map_err(|e| StoreError::io(path, e))?;
+        let file = io.open_append(path)?;
+        let seg_len = file.len();
         Ok(Wal {
             dir: dir.to_path_buf(),
+            io,
             seg_index,
             file,
-            seg_len: meta.len(),
+            seg_len,
             segment_bytes: Wal::DEFAULT_SEGMENT_BYTES,
             sync: true,
+            fault: None,
         })
     }
 
+    /// The I/O implementation this writer runs on.
+    pub fn io(&self) -> &StoreIo {
+        &self.io
+    }
+
+    /// The sticky write-path fault, if this writer is poisoned.
+    pub fn fault(&self) -> Option<&StoreError> {
+        self.fault.as_ref()
+    }
+
     /// Appends one frame and (by default) syncs it to disk.
+    #[inline]
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
         encode_frame_into(&mut frame, payload);
@@ -166,18 +232,31 @@ impl Wal {
     /// before the write, so a whole batch always lands in a single
     /// segment — segments may overshoot `segment_bytes` by up to one
     /// batch, which scans and compaction are indifferent to.
-    fn write_batch(&mut self, bytes: &[u8], records: u64) -> Result<(), StoreError> {
+    ///
+    /// The first failure poisons the writer permanently (see the type
+    /// docs); later calls return a clone of the same fault without
+    /// touching the disk.
+    #[inline]
+    pub(crate) fn write_batch(&mut self, bytes: &[u8], records: u64) -> Result<(), StoreError> {
+        if let Some(f) = &self.fault {
+            return Err(f.clone());
+        }
+        let result = self.try_write_batch(bytes, records);
+        if let Err(e) = &result {
+            self.fault = Some(e.clone());
+            OBS_IO_FAULTS.incr();
+        }
+        result
+    }
+
+    #[inline]
+    fn try_write_batch(&mut self, bytes: &[u8], records: u64) -> Result<(), StoreError> {
         if self.seg_len >= self.segment_bytes {
             self.roll()?;
         }
-        let path = Wal::seg_path(&self.dir, self.seg_index);
-        self.file
-            .write_all(bytes)
-            .map_err(|e| StoreError::io(&path, e))?;
+        self.file.write_all(bytes)?;
         if self.sync {
-            self.file
-                .sync_data()
-                .map_err(|e| StoreError::io(&path, e))?;
+            self.file.sync_data()?;
             OBS_FSYNCS.incr();
         }
         self.seg_len += bytes.len() as u64;
@@ -186,16 +265,18 @@ impl Wal {
     }
 
     fn roll(&mut self) -> Result<(), StoreError> {
+        let path = Wal::seg_path(&self.dir, self.seg_index + 1);
+        self.file = Wal::write_header(&self.io, &path)?;
         self.seg_index += 1;
-        let path = Wal::seg_path(&self.dir, self.seg_index);
-        self.file = Wal::write_header(&path)?;
         self.seg_len = SEGMENT_HEADER_LEN as u64;
         Ok(())
     }
 }
 
 /// Encodes one `REC!` frame (header + payload) onto the end of `buf`.
-fn encode_frame_into(buf: &mut Vec<u8>, payload: &[u8]) {
+/// Public so the bench's raw-syscall baseline can produce byte-identical
+/// frames without going through a writer.
+pub fn encode_frame_into(buf: &mut Vec<u8>, payload: &[u8]) {
     buf.reserve(FRAME_HEADER_LEN + payload.len());
     buf.extend_from_slice(&FRAME_MAGIC);
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -279,8 +360,14 @@ impl FlushPolicy {
 /// from the last fully-fsynced batch. Records never reorder: the
 /// buffer preserves append order and flushes are sequential.
 ///
-/// Dropping a `GroupCommit` flushes best-effort (errors are swallowed);
-/// callers that need the guarantee call [`GroupCommit::sync`].
+/// Fail-safe: the first failed flush poisons the underlying [`Wal`];
+/// from then on `append`, `tick`, and `sync` all return the sticky
+/// fault and nothing more reaches the disk — no retry-and-pretend over
+/// an unknown on-disk suffix. Dropping a `GroupCommit` still flushes,
+/// but a failure there is *recorded* (the drop-fault slot and the
+/// `store.io_faults` counter — see [`take_drop_fault`]), never
+/// silently discarded; callers that need the guarantee synchronously
+/// call [`GroupCommit::sync`].
 pub struct GroupCommit {
     wal: Wal,
     policy: FlushPolicy,
@@ -327,9 +414,23 @@ impl GroupCommit {
         self.buffered
     }
 
+    /// The I/O implementation the inner WAL runs on.
+    pub fn io(&self) -> &StoreIo {
+        self.wal.io()
+    }
+
+    /// The sticky write-path fault, if this writer is poisoned.
+    pub fn fault(&self) -> Option<&StoreError> {
+        self.wal.fault()
+    }
+
     /// Accepts one record into the batch, flushing when the policy says
     /// the batch is due. Advances the logical clock by one tick.
+    /// A poisoned writer accepts nothing and returns its sticky fault.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        if let Some(f) = self.wal.fault() {
+            return Err(f.clone());
+        }
         self.tick += 1;
         if self.buffered == 0 {
             self.oldest_tick = self.tick;
@@ -365,11 +466,19 @@ impl GroupCommit {
 
     /// The durability barrier: flushes any buffered records (one write,
     /// one fsync). After `sync()` returns `Ok`, every accepted record is
-    /// on disk. A no-op when nothing is buffered.
+    /// on disk. A no-op when nothing is buffered and the writer is
+    /// healthy; a poisoned writer returns its sticky fault — it cannot
+    /// promise durability for anything, buffered or not.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(f) = self.wal.fault() {
+            return Err(f.clone());
+        }
         if self.buffered == 0 {
             return Ok(());
         }
+        // On failure the batch stays buffered: the records were never
+        // acknowledged as durable, and the poisoned WAL refuses them
+        // anyway — recovery reports them as lost *with* the fault.
         self.wal.write_batch(&self.buf, self.buffered)?;
         self.buf.clear();
         self.buffered = 0;
@@ -380,19 +489,28 @@ impl GroupCommit {
 
 impl Drop for GroupCommit {
     fn drop(&mut self) {
-        // Best-effort: a failed flush here has no caller to report to.
-        // Callers that need the guarantee call `sync()` first.
-        let _ = self.sync();
+        // A failed flush here has no caller to report to, but it must
+        // not vanish: record it in the drop-fault slot and the
+        // io-faults counter. An already-poisoned writer reported its
+        // fault when it happened — drop stays quiet then.
+        if self.wal.fault().is_some() {
+            return;
+        }
+        if let Err(e) = self.sync() {
+            note_drop_fault(e);
+        }
     }
 }
 
 /// Atomically retires a snapshot-covered segment: rename to a
 /// `.retired` name — invisible to [`Wal::segments`], so scans and
-/// appends already behave as if it were gone — then best-effort
-/// directory sync, then delete. A crash between the steps leaves
-/// either the live segment (retirement simply did not happen) or a
-/// `.retired` tombstone, which [`sweep_retired`] removes at recovery.
-pub(crate) fn retire_segment(dir: &Path, segment: &Path) -> Result<(), StoreError> {
+/// appends already behave as if it were gone — then directory sync,
+/// then delete. A crash *or failure* between the steps leaves either
+/// the live segment (retirement simply did not happen) or a `.retired`
+/// tombstone, which [`sweep_retired`] removes at recovery; a failed
+/// directory sync propagates (counted in `store.dir_sync_fails`)
+/// instead of letting an unsynced rename masquerade as durable.
+pub(crate) fn retire_segment(dir: &Path, io: &StoreIo, segment: &Path) -> Result<(), StoreError> {
     let Some(name) = segment.file_name() else {
         return Err(StoreError::Io {
             path: segment.to_path_buf(),
@@ -402,14 +520,17 @@ pub(crate) fn retire_segment(dir: &Path, segment: &Path) -> Result<(), StoreErro
     let mut tomb = name.to_os_string();
     tomb.push(".retired");
     let tomb = dir.join(tomb);
-    std::fs::rename(segment, &tomb).map_err(|e| StoreError::io(segment, e))?;
-    if let Ok(d) = File::open(dir) {
-        // Directory sync is best-effort: not all platforms allow it.
-        if d.sync_data().is_ok() {
-            OBS_FSYNCS.incr();
+    io.rename(segment, &tomb)?;
+    match io.dir_sync(dir) {
+        Ok(()) => OBS_FSYNCS.incr(),
+        Err(e) => {
+            // The tombstone stays behind; sweep_retired removes it the
+            // next time recovery visits the directory.
+            OBS_DIR_SYNC_FAILS.incr();
+            return Err(e);
         }
     }
-    std::fs::remove_file(&tomb).map_err(|e| StoreError::io(&tomb, e))?;
+    io.remove_file(&tomb)?;
     OBS_SEGMENTS_RETIRED.incr();
     Ok(())
 }
@@ -970,7 +1091,7 @@ mod tests {
                 .filter(|f| &f.segment == first)
                 .count();
             assert!(bytes.len() > SEGMENT_HEADER_LEN);
-            retire_segment(&dir, first).unwrap();
+            retire_segment(&dir, &StoreIo::real(), first).unwrap();
             count
         };
         let after = Wal::segments(&dir).unwrap();
@@ -991,6 +1112,112 @@ mod tests {
         sweep_retired(&dir).unwrap();
         assert!(!dir.join("seg-000099.wal.retired").exists());
         assert_eq!(scan(&dir).unwrap().frames.len(), 1, "live data untouched");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_flush_poisons_the_writer_permanently() {
+        use crate::io::{Fault, IoOp};
+        let dir = tmp("poison");
+        let io = StoreIo::faulty(11, 0.0);
+        let mut gc = GroupCommit::new(
+            Wal::create_with(&dir, io.clone()).unwrap(),
+            FlushPolicy::default(),
+        );
+        gc.append(b"durable").unwrap();
+        io.inject_once(IoOp::Sync, Fault::Eio);
+        let first = gc.append(b"doomed").unwrap_err();
+        // Sticky: every later operation returns the same fault without
+        // touching the disk, and nothing pretends to be durable.
+        assert_eq!(gc.append(b"after").unwrap_err(), first);
+        assert_eq!(gc.sync().unwrap_err(), first);
+        assert_eq!(gc.tick().unwrap_err(), first);
+        assert_eq!(gc.fault(), Some(&first));
+        drop(gc);
+        assert_eq!(
+            take_drop_fault(),
+            None,
+            "an already-reported fault is not re-reported at drop"
+        );
+        // The acknowledged record survives. (The unacknowledged one may
+        // too — a failed fsync leaves page-cache fate undefined, and
+        // EIO without page loss keeps the bytes; that is not a *loss*.)
+        let out = scan(&dir).unwrap();
+        assert_eq!(out.frames[0].payload, b"durable");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_time_flush_failure_is_recorded_not_swallowed() {
+        use crate::io::{Fault, IoOp};
+        let dir = tmp("drop-fault");
+        let io = StoreIo::faulty(13, 0.0);
+        let policy = FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: u64::MAX,
+            max_linger_ticks: u64::MAX,
+        };
+        let mut gc = GroupCommit::new(Wal::create_with(&dir, io.clone()).unwrap(), policy);
+        let _ = take_drop_fault();
+        gc.append(b"buffered").unwrap();
+        io.inject_once(IoOp::Write, Fault::Enospc);
+        drop(gc);
+        let fault = take_drop_fault().expect("drop-time failure must be recorded");
+        assert!(matches!(fault, StoreError::Io { .. }));
+        assert_eq!(take_drop_fault(), None, "the slot is take-once");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_loss_rolls_back_to_the_sync_barrier() {
+        use crate::io::{Fault, IoOp};
+        let dir = tmp("fsyncgate");
+        let io = StoreIo::faulty(17, 0.0);
+        let policy = FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: 2,
+            max_linger_ticks: u64::MAX,
+        };
+        let mut gc = GroupCommit::new(Wal::create_with(&dir, io.clone()).unwrap(), policy);
+        gc.append(b"acked-0").unwrap();
+        gc.append(b"acked-1").unwrap(); // flush: both durable
+        io.inject_once(IoOp::Sync, Fault::FsyncLoss);
+        gc.append(b"lost-0").unwrap();
+        assert!(gc.append(b"lost-1").is_err(), "second flush fails");
+        drop(gc);
+        // The unsynced batch vanished with the failed fsync; the log is
+        // clean up to the last acknowledged barrier.
+        let out = scan(&dir).unwrap();
+        assert!(out.damage.is_none());
+        assert_eq!(out.frames.len(), 2);
+        assert_eq!(out.frames[1].payload, b"acked-1");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retire_dir_sync_failure_propagates_and_leaves_the_tombstone() {
+        use crate::io::{Fault, IoOp};
+        let dir = tmp("retire-fault");
+        let io = StoreIo::faulty(19, 0.0);
+        let mut wal = Wal::create_with(&dir, io.clone()).unwrap();
+        wal.segment_bytes = 64;
+        for i in 0..20u32 {
+            wal.append(format!("record number {i} with some padding").as_bytes())
+                .unwrap();
+        }
+        let segs = Wal::segments(&dir).unwrap();
+        let first = segs[0].1.clone();
+        io.inject_once(IoOp::DirSync, Fault::Eio);
+        assert!(retire_segment(&dir, &io, &first).is_err());
+        let tomb = dir.join(format!(
+            "{}.retired",
+            first.file_name().unwrap().to_str().unwrap()
+        ));
+        assert!(tomb.exists(), "tombstone left for sweep_retired");
+        assert!(!first.exists());
+        sweep_retired(&dir).unwrap();
+        assert!(!tomb.exists());
+        assert!(scan(&dir).unwrap().damage.is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,45 @@
+//! io-ack negative fixture: every durability Result below is
+//! acknowledged — propagated with `?`, matched, turned into an explicit
+//! failure branch, or mapped into a value. Nothing may be flagged.
+//! Fixtures are lexed, never compiled.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// A struct whose `sync` *field* must not be mistaken for a call.
+pub struct Policy {
+    pub sync: bool,
+}
+
+pub fn acknowledged(mut f: File, dir: &Path) -> std::io::Result<()> {
+    f.write_all(b"bytes")?;
+    f.sync_data()?;
+    match std::fs::rename(dir, dir) {
+        Ok(()) => {}
+        Err(e) => return Err(e),
+    }
+    // `.is_err()` reads as explicit failure handling, not discard.
+    if f.sync_all().is_err() {
+        return Err(std::io::Error::other("sync failed"));
+    }
+    // Acknowledged through a mapping: the error becomes a value.
+    let landed = f.write_all(b"x").map(|()| 1u64).unwrap_or(0);
+    let policy = Policy { sync: landed > 0 };
+    if policy.sync {
+        std::fs::remove_file(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let mut f = File::create("scratch").unwrap();
+        let _ = f.sync_data();
+        let _ = std::fs::remove_file("scratch");
+    }
+}

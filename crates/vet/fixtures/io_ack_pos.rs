@@ -1,0 +1,17 @@
+//! io-ack positive fixture: every durability-Result discard below must
+//! be flagged when this file sits in `crates/store/src` non-test code.
+//! Fixtures are lexed, never compiled.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub fn swallowed(mut f: File, dir: &Path) -> std::io::Result<()> {
+    let _ = f.write_all(b"bytes"); // flagged: let _ = on a write
+    let _ = f.sync_data(); // flagged: let _ = on an fsync
+    let _ = std::fs::rename(dir, dir); // flagged: let _ = on a rename
+    f.sync_all().ok(); // flagged: bare .ok()
+    if f.sync_data().is_ok() {} // flagged: bare .is_ok()
+    std::fs::remove_file(dir).ok(); // flagged: bare .ok()
+    Ok(())
+}

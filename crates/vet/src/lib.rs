@@ -25,7 +25,11 @@
 //! * `metrics` — metric keys come from `iixml_obs::keys`, never
 //!   literals (a typo would silently mint a new metric);
 //! * `env` — `IIXML_*` variables come from the same registry and are
-//!   documented in README.md.
+//!   documented in README.md;
+//! * `io-ack` — in `iixml-store`, durability-bearing Results
+//!   (write/sync/rename/remove) are never discarded with `let _ =` or
+//!   a bare `.ok()`/`.is_ok()` (a swallowed write error is a silent
+//!   data loss waiting for the crash to reveal it).
 //!
 //! Justified survivors live in `vet.allow` with a mandatory written
 //! reason; stale or reasonless entries are findings themselves. See
@@ -45,7 +49,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`panic`, `panic-index`, `net-timeout`, `determinism`,
-    /// `format`, `metrics`, `env`, `allow`).
+    /// `format`, `metrics`, `env`, `io-ack`, `allow`).
     pub rule: &'static str,
     /// Workspace-relative path, forward slashes.
     pub file: String,
@@ -107,6 +111,7 @@ pub fn check_sources(files: &[SourceFile], allowlist: &Allowlist, readme: Option
         rules::frozen_format(f, &mut raw);
         rules::metric_keys(f, &mut raw);
         rules::env_vars(f, &mut raw);
+        rules::io_ack(f, &mut raw);
     }
     rules::frozen_format_registry(files, &mut raw);
     rules::env_registry(readme, &mut raw);

@@ -216,6 +216,90 @@ pub fn net_timeout(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Durability-bearing operations whose `Result` must be acknowledged
+/// in `iixml-store` (see `io-ack`): the write path's syscall surface.
+const IO_ACK_OPS: &[&str] = &[
+    "write_all",
+    "write_batch",
+    "sync",
+    "sync_data",
+    "sync_all",
+    "dir_sync",
+    "rename",
+    "remove_file",
+    "set_len",
+];
+
+/// `io-ack`: in `iixml-store`'s non-test code, the `Result` of a
+/// durability-bearing operation (write/sync/rename/remove and friends)
+/// must not be discarded with `let _ =` or collapsed to a bare
+/// `.ok()`/`.is_ok()`. A swallowed write error is the worst storage bug
+/// class: the caller believes the bytes are durable and the loss
+/// surfaces only after the crash (the "fsyncgate" pattern). Handle the
+/// error — poison the writer, bump `store.io_faults`, propagate — or
+/// don't make the call. `.is_err()` is deliberately allowed: it reads
+/// as explicit failure-handling, not discard.
+pub fn io_ack(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.crate_name.as_deref() != Some("store") || f.kind != FileKind::CrateSrc {
+        return;
+    }
+    let toks = &f.tokens;
+    let is_op_call = |i: usize| -> bool {
+        toks[i].kind == TokKind::Ident
+            && IO_ACK_OPS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct('('))
+    };
+    for i in 0..toks.len() {
+        if f.skip(i) {
+            continue;
+        }
+        // `let _ = <expr with a durability call> ;`
+        if toks[i].is_ident("let")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("_"))
+            && toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Punct('='))
+        {
+            let mut j = i + 3;
+            while j < toks.len() && toks[j].kind != TokKind::Punct(';') {
+                if is_op_call(j) {
+                    out.push(finding(
+                        f,
+                        "io-ack",
+                        toks[j].line,
+                        format!(
+                            "`let _ =` discards the Result of {}() — a failed durability operation must poison the writer or propagate, never vanish",
+                            toks[j].text
+                        ),
+                    ));
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // `.op(…).ok()` / `.op(…).is_ok()` — the error is melted into a
+        // boolean or dropped; nothing records that durability failed.
+        if is_op_call(i) {
+            let bare = balanced(toks, i + 1, '(', ')').is_some_and(|close| {
+                toks.get(close + 1).map(|t| t.kind) == Some(TokKind::Punct('.'))
+                    && toks
+                        .get(close + 2)
+                        .is_some_and(|n| n.is_ident("ok") || n.is_ident("is_ok"))
+                    && toks.get(close + 3).map(|t| t.kind) == Some(TokKind::Punct('('))
+            });
+            if bare {
+                out.push(finding(
+                    f,
+                    "io-ack",
+                    toks[i].line,
+                    format!(
+                        "bare .ok()/.is_ok() on {}() swallows a durability failure — record a sticky fault (store.io_faults) or propagate the error",
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// `determinism`: no wall clock, no monotonic clock outside
 /// timing-infrastructure crates, no `RandomState`-ordered containers
 /// in byte-reproducible crates, no unseeded randomness anywhere.

@@ -254,6 +254,40 @@ fn env_registry_requires_readme_documentation() {
 }
 
 #[test]
+fn io_ack_positive_fixture_is_fully_flagged() {
+    let path = "crates/store/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/io_ack_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    // Three `let _ =` discards plus three bare .ok()/.is_ok() collapses.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "io-ack").count(),
+        6,
+        "{findings:?}"
+    );
+    assert!(rules.iter().all(|r| *r == "io-ack"), "{findings:?}");
+}
+
+#[test]
+fn io_ack_negative_fixture_is_clean() {
+    let path = "crates/store/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/io_ack_neg.rs"));
+    assert!(rules_hit(&findings, path).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn io_ack_rule_is_scoped_to_store_non_test_code() {
+    // The same discards in another crate's src or in a store test file
+    // are out of scope (tests tear down scratch dirs best-effort).
+    for path in ["crates/gen/src/fixture.rs", "crates/store/tests/fixture.rs"] {
+        let findings = run_on(path, include_str!("../fixtures/io_ack_pos.rs"));
+        assert!(
+            !rules_hit(&findings, path).contains(&"io-ack"),
+            "{path}: {findings:?}"
+        );
+    }
+}
+
+#[test]
 fn lexer_torture_fixture_produces_no_findings() {
     let path = "crates/core/src/fixture.rs";
     let findings = run_on(path, include_str!("../fixtures/lexer_torture.rs"));

@@ -222,8 +222,23 @@ impl<E: SourceEndpoint> Session<E> {
         source: E,
         dir: &Path,
     ) -> Result<Session<E>, WebhouseError> {
+        Session::open_journaled_with_io(alpha, source, dir, iixml_store::StoreIo::from_env())
+    }
+
+    /// [`Session::open_journaled`] through an explicit store I/O
+    /// backend — chaos tests and the CLI's `--disk-fault-at`
+    /// walkthrough inject write-path faults here. A fault poisons the
+    /// journal writer; the session then degrades explicitly
+    /// ([`DegradeCause::Durability`], sticky [`Session::journal_fault`])
+    /// instead of silently losing records.
+    pub fn open_journaled_with_io(
+        alpha: Alphabet,
+        source: E,
+        dir: &Path,
+        io: iixml_store::StoreIo,
+    ) -> Result<Session<E>, WebhouseError> {
         let mut session = Session::open(alpha, source);
-        let mut journal = SessionJournal::create(dir)?;
+        let mut journal = SessionJournal::create_with_io(dir, io)?;
         journal.log_open(&session.alpha, session.refiner.current())?;
         session.journal = Some(journal);
         Ok(session)

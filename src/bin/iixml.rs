@@ -79,7 +79,7 @@ fn main() {
         Some("loadgen") => cmd_loadgen(&args[2..]),
         _ => {
             eprintln!(
-                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>] [--crash-in-batch]\n  iixml [--stats] [--journal <dir>] serve\n  iixml loadgen --port <p> [--tenants <n>] [--sessions <n>] [--requests <n>] [--products <n>] [--seed <n>] [--concurrency <n>] [--close] [--chaos <conns>] [--chaos-seed <n>]"
+                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>] [--crash-in-batch] [--disk-fault-at <n>]\n  iixml [--stats] [--journal <dir>] serve\n  iixml loadgen --port <p> [--tenants <n>] [--sessions <n>] [--requests <n>] [--products <n>] [--seed <n>] [--concurrency <n>] [--close] [--chaos <conns>] [--chaos-seed <n>]"
             );
             std::process::exit(2);
         }
@@ -119,6 +119,7 @@ fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String>
     let mut chaos_seed = 0xA5EEDu64;
     let mut crash_at: Option<usize> = None;
     let mut crash_in_batch = false;
+    let mut disk_fault_at: Option<u64> = None;
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
         match opt.as_str() {
@@ -146,14 +147,29 @@ fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String>
                 );
             }
             "--crash-in-batch" => crash_in_batch = true,
+            "--disk-fault-at" => {
+                disk_fault_at = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--disk-fault-at needs an operation number >= 1")?,
+                );
+            }
             other => return Err(format!("unknown walkthrough option: {other}")),
         }
     }
-    if (crash_at.is_some() || crash_in_batch) && journal.is_none() {
-        return Err("--crash-at / --crash-in-batch need --journal <dir>".into());
+    if (crash_at.is_some() || crash_in_batch || disk_fault_at.is_some()) && journal.is_none() {
+        return Err("--crash-at / --crash-in-batch / --disk-fault-at need --journal <dir>".into());
     }
-    if crash_at.is_some() && crash_in_batch {
-        return Err("--crash-at and --crash-in-batch are mutually exclusive".into());
+    if [crash_at.is_some(), crash_in_batch, disk_fault_at.is_some()]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+        > 1
+    {
+        return Err(
+            "--crash-at, --crash-in-batch, and --disk-fault-at are mutually exclusive".into(),
+        );
     }
 
     // 1. Answering with views: refine knowledge from a price view.
@@ -258,7 +274,9 @@ fn cmd_walkthrough(opts: &[String], journal: Option<&str>) -> Result<(), String>
     // 6. (--journal) Durability: journal a fresh session's events,
     //    optionally crash partway through, recover, and finish.
     if let Some(dir) = journal {
-        if crash_in_batch {
+        if let Some(n) = disk_fault_at {
+            walkthrough_disk_fault(dir, n, &mut cat)?;
+        } else if crash_in_batch {
             walkthrough_torn_batch(dir, &mut cat)?;
         } else {
             walkthrough_durability(dir, crash_at, &mut cat)?;
@@ -363,6 +381,115 @@ fn walkthrough_durability(
     );
     if got != want {
         return Err("recovered knowledge diverged from the uncrashed run".into());
+    }
+    Ok(())
+}
+
+/// The walkthrough's disk-fault stage (`--disk-fault-at <n>`): the same
+/// journaled fetch sequence, but the journal writes through a seeded
+/// fault injector that fails the Nth I/O operation. The fail-safe
+/// contract on display: the fault surfaces as an *explicit* error (the
+/// poisoned writer never retries-and-pretends), the session degrades
+/// visibly, and recovery with honest I/O replays exactly the records
+/// that were acknowledged as durable — re-asking the rest reconverges
+/// to the uncrashed run, byte for byte. No silent loss at any N.
+fn walkthrough_disk_fault(dir: &str, n: u64, cat: &mut iixml_gen::Catalog) -> Result<(), String> {
+    use iixml_store::wal::Wal;
+    use iixml_store::StoreIo;
+    use iixml_webhouse::RecoveryStatus;
+
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if !Wal::segments(&dir).map_err(|e| e.to_string())?.is_empty() {
+        return Err(format!(
+            "{} already holds a journal; pass an empty directory",
+            dir.display()
+        ));
+    }
+    let queries: Vec<_> = [150i64, 200, 250, 300, 350, 400, 450, 500]
+        .iter()
+        .map(|&b| iixml_gen::catalog_query_price_below(&mut cat.alpha, b))
+        .collect();
+    let alpha = cat.alpha.clone();
+    let source = || Source::new(cat.doc.clone(), Some(cat.ty.clone()));
+
+    // Reference: the same fetches, no journal, no faults.
+    let mut reference = Session::open(alpha.clone(), source());
+    for q in &queries {
+        reference.fetch(q).map_err(|e| e.to_string())?;
+    }
+    let want = write_incomplete_xml(reference.knowledge(), &alpha);
+
+    // The faulty run: the Nth store I/O operation fails.
+    let io = StoreIo::fail_at(0xD15C, n);
+    let mut session = match Session::open_journaled_with_io(alpha.clone(), source(), &dir, io) {
+        Ok(s) => s,
+        Err(e) => {
+            // The fault hit before even the open record was durable:
+            // nothing was acknowledged, nothing can be lost.
+            println!(
+                "disk-fault stage: operation {n} failed during open — \
+                 explicit error, no journal, nothing acknowledged: {e}"
+            );
+            return Ok(());
+        }
+    };
+    let mut fetched = 0usize;
+    let mut fault: Option<String> = None;
+    for q in &queries {
+        match session.fetch(q) {
+            Ok(_) => fetched += 1,
+            Err(e) => {
+                fault = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    match &fault {
+        Some(e) => println!(
+            "disk-fault stage: operation {n} failed after {fetched} of {} fetches — \
+             journaling stopped with an explicit fault: {e}",
+            queries.len()
+        ),
+        None => println!(
+            "disk-fault stage: operation {n} fell beyond the run \
+             ({} fetches journaled cleanly)",
+            queries.len()
+        ),
+    }
+
+    // Crash, then recover with honest I/O. The journal replays exactly
+    // the acknowledged records; the session re-asks the rest.
+    drop(session);
+    let _ = iixml_store::take_drop_fault();
+    let (mut session, report) = Session::recover(&dir, source()).map_err(|e| e.to_string())?;
+    println!(
+        "disk-fault stage: recovery replayed {} records ({} refines), status: {}",
+        report.replayed,
+        report.refines,
+        match report.status {
+            RecoveryStatus::Clean => "clean".to_string(),
+            RecoveryStatus::Recovered { dropped_records } =>
+                format!("recovered ({dropped_records} records dropped)"),
+        },
+    );
+    if fault.is_none() && report.refines < queries.len() {
+        return Err(format!(
+            "silent loss: {} fetches acknowledged but only {} recovered",
+            queries.len(),
+            report.refines
+        ));
+    }
+    for q in &queries[report.refines.min(queries.len())..] {
+        session.fetch(q).map_err(|e| e.to_string())?;
+    }
+    let got = write_incomplete_xml(session.knowledge(), &alpha);
+    println!(
+        "disk-fault stage: knowledge matches the un-faulted run: {}",
+        got == want
+    );
+    if got != want {
+        return Err("recovered knowledge diverged from the un-faulted run".into());
     }
     Ok(())
 }

@@ -581,3 +581,196 @@ fn chaos_storm_crash_recovery_is_byte_identical_across_widths() {
         "thread width changed the session trajectory"
     );
 }
+
+/// ENOSPC mid-compaction: the fault strikes while retirement is
+/// tearing down a snapshot-covered segment. The error must propagate
+/// (never `.ok()`-swallowed), the `.retired` tombstone stays behind for
+/// the sweep, the journal is *not* poisoned (only write-path faults
+/// are), and recovery comes back `Clean` with every record — then
+/// sweeps the tombstone.
+#[test]
+fn enospc_mid_compaction_propagates_and_recovery_sweeps_the_tombstone() {
+    use iixml_store::{Fault, IoOp, StoreIo};
+
+    let base = testkit::base_seed();
+    let mut rng = DetRng::new(base ^ 0xE05C);
+    let mut cat = iixml_gen::catalog(2, rng.next_u64());
+    let queries: Vec<PsQuery> = (0..6)
+        .map(|_| iixml_gen::catalog_query_price_below(&mut cat.alpha, rng.range_i64(50, 500)))
+        .collect();
+    let alpha = cat.alpha.clone();
+
+    let dir = scratch("enospc-compact");
+    let io = StoreIo::faulty(base, 0.0); // injector with no random faults
+    let mut journal = SessionJournal::create_with_io(&dir, io.clone()).unwrap();
+    journal.set_segment_bytes(512); // roll often so compaction has prey
+    journal.set_snapshot_every(Some(4));
+    // The only Remove the store issues on a healthy run is retirement's
+    // final unlink, so this one-shot waits for compaction to reach it.
+    io.inject_once(IoOp::Remove, Fault::Enospc);
+
+    let mut refiner = Refiner::new(&alpha);
+    journal.log_open(&alpha, refiner.current()).unwrap();
+    let mut states = vec![String::new(), ser(&refiner, &alpha)];
+    let mut struck = false;
+    for _ in 0..24 {
+        let q = rng.choose(&queries).clone();
+        let ans = q.eval(&cat.doc);
+        refiner.refine(&alpha, &q, &ans).unwrap();
+        journal.log_refine(&alpha, &q, &ans).unwrap();
+        states.push(ser(&refiner, &alpha));
+        match journal.maybe_snapshot(&alpha, refiner.current()) {
+            Ok(true) => states.push(ser(&refiner, &alpha)),
+            Ok(false) => {}
+            Err(e) => {
+                // snapshot_now appends the SnapshotRef (and syncs it)
+                // before compaction runs, so the ref is in the log.
+                assert!(
+                    e.to_string().contains("No space left"),
+                    "unexpected error mid-compaction: {e}"
+                );
+                states.push(ser(&refiner, &alpha));
+                struck = true;
+                break;
+            }
+        }
+    }
+    assert!(struck, "compaction never reached a retirement");
+    let tombstones = || {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".retired")
+            })
+            .count()
+    };
+    assert!(tombstones() > 0, "retirement failed without a tombstone");
+    // A compaction fault is not a write-path fault: the journal is not
+    // poisoned and keeps accepting records.
+    assert!(
+        journal.fault().is_none(),
+        "compaction fault poisoned the writer"
+    );
+    let q = rng.choose(&queries).clone();
+    let ans = q.eval(&cat.doc);
+    refiner.refine(&alpha, &q, &ans).unwrap();
+    journal.log_refine(&alpha, &q, &ans).unwrap();
+    states.push(ser(&refiner, &alpha));
+    let total = journal.seq() as usize;
+    assert_eq!(total, states.len() - 1);
+    drop(journal);
+
+    for mode in [RecoveryMode::Strict, RecoveryMode::Degrade] {
+        let rec = recover(&dir, mode).expect("journal with a stuck tombstone must recover");
+        assert_eq!(
+            rec.status,
+            RecoveryStatus::Clean,
+            "{mode:?}: GC debris is not loss"
+        );
+        assert_eq!(rec.replayed, total, "{mode:?}: replayed the wrong count");
+        assert_eq!(
+            ser(&rec.refiner, &rec.alpha),
+            states[total],
+            "{mode:?}: recovery diverged"
+        );
+    }
+    assert_eq!(tombstones(), 0, "recovery did not sweep the tombstone");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fsync-failure-then-crash: a batched journal hits the fsyncgate
+/// shape — the flush's fsync fails and the kernel drops the unsynced
+/// pages. The sync must report the fault, the writer must stay
+/// poisoned, and recovery must land exactly on the last acknowledged
+/// barrier: nothing synced is lost, nothing unsynced is resurrected.
+#[test]
+fn fsync_failure_then_crash_recovers_exactly_the_acknowledged_barrier() {
+    use iixml_store::{take_drop_fault, Fault, FlushPolicy, IoOp, StoreIo};
+
+    let base = testkit::base_seed();
+    let mut rng = DetRng::new(base ^ 0xF5BC);
+    let mut cat = iixml_gen::catalog(2, rng.next_u64());
+    let queries: Vec<PsQuery> = (0..6)
+        .map(|_| iixml_gen::catalog_query_price_below(&mut cat.alpha, rng.range_i64(50, 500)))
+        .collect();
+    let alpha = cat.alpha.clone();
+
+    let dir = scratch("fsyncgate");
+    let io = StoreIo::faulty(base, 0.0);
+    let mut journal = SessionJournal::create_with_io(&dir, io.clone()).unwrap();
+    journal.set_snapshot_every(None);
+    journal
+        .set_flush_policy(FlushPolicy {
+            max_batch_bytes: u64::MAX,
+            max_batch_records: u64::MAX,
+            max_linger_ticks: u64::MAX,
+        })
+        .unwrap();
+    let mut refiner = Refiner::new(&alpha);
+    journal.log_open(&alpha, refiner.current()).unwrap();
+    let mut states = vec![String::new(), ser(&refiner, &alpha)];
+    for _ in 0..3 {
+        let q = rng.choose(&queries).clone();
+        let ans = q.eval(&cat.doc);
+        refiner.refine(&alpha, &q, &ans).unwrap();
+        journal.log_refine(&alpha, &q, &ans).unwrap();
+        states.push(ser(&refiner, &alpha));
+    }
+    journal.sync().unwrap(); // the barrier: open + 3 refines durable
+    let barrier = journal.seq() as usize;
+    assert_eq!(barrier, 4);
+
+    for _ in 0..3 {
+        let q = rng.choose(&queries).clone();
+        let ans = q.eval(&cat.doc);
+        refiner.refine(&alpha, &q, &ans).unwrap();
+        journal.log_refine(&alpha, &q, &ans).unwrap();
+    }
+    io.inject_once(IoOp::Sync, Fault::FsyncLoss);
+    let err = journal.sync().expect_err("the injected fsync must fail");
+    assert!(
+        journal.fault().is_some(),
+        "a failed fsync must poison the writer"
+    );
+    // Sticky: the journal refuses further records with the same fault.
+    let q = rng.choose(&queries).clone();
+    let ans = q.eval(&cat.doc);
+    let again = journal
+        .log_refine(&alpha, &q, &ans)
+        .expect_err("poisoned journal accepted a record");
+    assert_eq!(
+        again.to_string(),
+        err.to_string(),
+        "the sticky fault drifted"
+    );
+    drop(journal); // crash; an already-poisoned writer drops quietly
+    assert!(
+        take_drop_fault().is_none(),
+        "a poisoned writer re-reported its fault at drop"
+    );
+
+    let rec = recover(&dir, RecoveryMode::Strict).expect("the barrier prefix must recover");
+    assert_eq!(
+        rec.status,
+        RecoveryStatus::Clean,
+        "fsyncgate left no damage"
+    );
+    assert_eq!(
+        rec.replayed, barrier,
+        "recovery must land exactly on the acknowledged barrier"
+    );
+    assert_eq!(
+        ser(&rec.refiner, &rec.alpha),
+        states[barrier],
+        "recovered state is not the barrier state"
+    );
+    assert!(
+        rec.journal.is_some(),
+        "journal not continuable after fsyncgate"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
