@@ -229,6 +229,89 @@ fn diff_cpu(old_path: &str, new_path: &str) {
     println!("\ntrajectory ok: both kernels kept their sequential speedup over the PR 3 code");
 }
 
+/// `--diff-contain OLD NEW`: the containment-cache trajectory gate.
+/// `fetch_reduction` is higher-is-better under the floor-clamp rule
+/// (blessed floor = the 0.30 acceptance line); `check_overhead_ratio`
+/// is lower-is-better and gated from the other side, ceiling-clamped
+/// at the 0.05 acceptance line so a lucky committed run cannot
+/// tighten the gate below what the PR claimed; `bytes_identical` must
+/// simply stay 1.
+fn diff_contain(old_path: &str, new_path: &str) {
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("FAIL: cannot read {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let old = read(old_path);
+    let new = read(new_path);
+    let mut failed = false;
+    println!("| metric | committed | this run | pass line | verdict |");
+    println!("|---|---|---|---|---|");
+    // Higher is better: pass at 0.8 × min(committed, 0.30/0.8).
+    {
+        let key = "fetch_reduction";
+        match (json_number(&old, key), json_number(&new, key)) {
+            (Some(o), Some(n)) => {
+                let pass_line = 0.8 * o.min(0.30 / 0.8);
+                let verdict = if n < pass_line {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!("| {key} | {o:.2} | {n:.2} | >= {pass_line:.2} | {verdict} |");
+            }
+            _ => {
+                eprintln!("FAIL: metric {key} missing from one of the files");
+                failed = true;
+            }
+        }
+    }
+    // Lower is better: pass at 1.25 × max(committed, 0.05/1.25).
+    {
+        let key = "check_overhead_ratio";
+        match (json_number(&old, key), json_number(&new, key)) {
+            (Some(o), Some(n)) => {
+                let pass_line = 1.25 * o.max(0.05 / 1.25);
+                let verdict = if n > pass_line {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!("| {key} | {o:.4} | {n:.4} | <= {pass_line:.4} | {verdict} |");
+            }
+            _ => {
+                eprintln!("FAIL: metric {key} missing from one of the files");
+                failed = true;
+            }
+        }
+    }
+    // Invariant: byte identity can never regress.
+    {
+        let key = "bytes_identical";
+        match json_number(&new, key) {
+            Some(n) if n >= 1.0 => {
+                println!("| {key} | 1 | {n:.0} | == 1 | ok |");
+            }
+            Some(n) => {
+                println!("| {key} | 1 | {n:.0} | == 1 | REGRESSED |");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: metric {key} missing from the new file");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("FAIL: BENCH_contain trajectory regressed past its blessed baseline");
+        std::process::exit(1);
+    }
+    println!("\ntrajectory ok: the containment cache kept its fetch reduction, byte identity, and overhead envelope");
+}
+
 /// `--trajectory`: one summary table over every committed
 /// `BENCH_*.json` at the repo root — the headline metric(s) each bench
 /// PR blessed, read with the same line-level scan the diff gates use.
@@ -238,7 +321,7 @@ fn trajectory() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     // (file, [(key, what it claims)]): first-occurrence keys, chosen to
     // be unique within their file.
-    let headline: [(&str, &[(&str, &str)]); 5] = [
+    let headline: [(&str, &[(&str, &str)]); 6] = [
         (
             "BENCH_pr3.json",
             &[("speedup", "interned vs string partition keys")],
@@ -269,6 +352,19 @@ fn trajectory() {
                 (
                     "minimize_seq_speedup",
                     "interned minimize vs PR 3 path, 1 thread",
+                ),
+            ],
+        ),
+        (
+            "BENCH_contain.json",
+            &[
+                (
+                    "fetch_reduction",
+                    "source round-trips removed by the containment cache",
+                ),
+                (
+                    "check_overhead_ratio",
+                    "containment lookup cost vs a cache-miss fetch",
                 ),
             ],
         ),
@@ -547,6 +643,53 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
+        return;
+    }
+    if std::env::args().any(|a| a == "--bench-contain") {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let report = iixml_bench::containbench::run(quick);
+        report.print_table();
+        match report.write_json() {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_contain.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        // The in-run gates: the cache must remove at least 30% of the
+        // source round-trips on the subsumption-heavy mix, stay
+        // byte-invisible in answers and knowledge, and cost under 5%
+        // of a cache-miss fetch per lookup.
+        let red = report.fetch_reduction();
+        let overhead = report.check_overhead_ratio();
+        let mut failed = false;
+        if red < 0.30 {
+            eprintln!("FAIL: fetch reduction {red:.2} below the 0.30 line");
+            failed = true;
+        }
+        if !report.bytes_identical {
+            eprintln!("FAIL: cache on/off transcripts diverged — the cache is not byte-invisible");
+            failed = true;
+        }
+        if overhead >= 0.05 {
+            eprintln!(
+                "FAIL: containment lookup costs {:.1}% of a cache-miss fetch (>= 5%)",
+                100.0 * overhead
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(at) = std::env::args().position(|a| a == "--diff-contain") {
+        let args: Vec<String> = std::env::args().collect();
+        let (Some(old_path), Some(new_path)) = (args.get(at + 1), args.get(at + 2)) else {
+            eprintln!("usage: report --diff-contain OLD.json NEW.json");
+            std::process::exit(1);
+        };
+        diff_contain(old_path, new_path);
         return;
     }
     if let Some(at) = std::env::args().position(|a| a == "--diff-cpu") {

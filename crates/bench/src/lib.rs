@@ -6,6 +6,7 @@
 //! measure times on these workloads, while `src/bin/report.rs` prints
 //! the size/count tables.
 
+pub mod containbench;
 pub mod cpubench;
 pub mod harness;
 pub mod loadgen;

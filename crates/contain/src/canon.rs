@@ -1,0 +1,95 @@
+//! Canonicalization of ps-queries for containment checking.
+//!
+//! A ps-query's *canonical form* is its label-sorted traversal: the
+//! same pattern built in any child order yields the same canonical
+//! order, interval-normalized conditions (`cond_set`, already
+//! maintained by the builder) and the same barred-leaf placement. The
+//! signature pass ([`crate::sig`]) and the containment descent both
+//! consume queries through this module, so structurally equal queries
+//! are indistinguishable to them regardless of construction order.
+
+use iixml_query::{PsQuery, QNodeRef};
+use iixml_tree::Label;
+
+/// Does the query evaluate to the empty answer on *every* document?
+///
+/// Every pattern node is mandatory (a valuation must map all of them),
+/// so one node with an unsatisfiable interval-normal condition voids
+/// the whole query. Barred-node simplification falls out of the same
+/// rule: a barred leaf with an empty condition voids the query rather
+/// than extracting an empty subtree.
+pub fn is_unsatisfiable(q: &PsQuery) -> bool {
+    q.preorder().iter().any(|&m| q.cond_set(m).is_empty())
+}
+
+/// The children of `m` in canonical (ascending label id) order.
+///
+/// Sibling labels are unique, so this order is strict and total.
+pub fn sorted_children(q: &PsQuery, m: QNodeRef) -> Vec<QNodeRef> {
+    let mut kids = q.children(m).to_vec();
+    kids.sort_by_key(|&c| q.label(c).0);
+    kids
+}
+
+/// Looks up the unique child of `m` carrying label `l`, if any.
+pub fn child_by_label(q: &PsQuery, m: QNodeRef, l: Label) -> Option<QNodeRef> {
+    q.children(m).iter().copied().find(|&c| q.label(c) == l)
+}
+
+/// All pattern nodes in canonical order: preorder with children
+/// visited label-ascending. Two queries with equal skeletons visit
+/// corresponding nodes at the same positions.
+pub fn canonical_order(q: &PsQuery) -> Vec<QNodeRef> {
+    let mut out = Vec::with_capacity(q.len());
+    let mut stack = vec![q.root()];
+    while let Some(m) = stack.pop() {
+        out.push(m);
+        let mut kids = sorted_children(q, m);
+        kids.reverse();
+        stack.append(&mut kids);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_query::parse_ps_query;
+    use iixml_tree::Alphabet;
+
+    #[test]
+    fn canonical_order_ignores_construction_order() {
+        let mut alpha = Alphabet::new();
+        // Intern in a fixed order first so both spellings share ids.
+        for n in ["catalog", "product", "name", "price", "cat"] {
+            alpha.intern(n);
+        }
+        let a = parse_ps_query("catalog/product{name, price, cat}", &mut alpha).unwrap();
+        let b = parse_ps_query("catalog/product{cat, price, name}", &mut alpha).unwrap();
+        let la: Vec<_> = canonical_order(&a).iter().map(|&m| a.label(m)).collect();
+        let lb: Vec<_> = canonical_order(&b).iter().map(|&m| b.label(m)).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn unsatisfiable_detection() {
+        let mut alpha = Alphabet::new();
+        let sat = parse_ps_query("a/b[< 10]", &mut alpha).unwrap();
+        assert!(!is_unsatisfiable(&sat));
+        let unsat = parse_ps_query("a/b[< 10 & > 10]", &mut alpha).unwrap();
+        assert!(is_unsatisfiable(&unsat));
+        let unsat_root = parse_ps_query("a[false]/b", &mut alpha).unwrap();
+        assert!(is_unsatisfiable(&unsat_root));
+    }
+
+    #[test]
+    fn child_lookup() {
+        let mut alpha = Alphabet::new();
+        let q = parse_ps_query("r{a, b}", &mut alpha).unwrap();
+        let b_lab = alpha.get("b").unwrap();
+        let c = child_by_label(&q, q.root(), b_lab).unwrap();
+        assert_eq!(q.label(c), b_lab);
+        let missing = alpha.intern("zzz");
+        assert!(child_by_label(&q, q.root(), missing).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Hash-consed query signatures: the sound-but-incomplete fast path.
+//!
+//! Signatures reuse the id-interning discipline of
+//! [`iixml_core::intern`]: every canonical per-node encoding is
+//! interned into a [`SliceInterner`], so structurally equal (sub)trees
+//! share one `u32` id and a whole-query comparison is one integer
+//! compare. Two signatures per query:
+//!
+//! - the **skeleton** signature covers labels and child structure
+//!   only. Equal skeletons are *necessary* for containment of a
+//!   satisfiable query (the embedding must be a label bijection), so
+//!   a skeleton mismatch is an exact fast reject.
+//! - the **full** signature additionally covers bar marks and the
+//!   interval-normalized conditions. Equal full signatures mean the
+//!   queries are canonically identical, hence mutually contained — an
+//!   exact fast accept.
+//!
+//! Neither signature ever *decides* containment on its own in the
+//! remaining cases; the deterministic descent in the crate root stays
+//! the source of truth.
+
+use crate::canon;
+use iixml_core::intern::SliceInterner;
+use iixml_query::{PsQuery, QNodeRef};
+use iixml_values::{Cut, IntervalSet, Rat};
+
+/// The pair of interned signatures for one query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QuerySig {
+    /// Labels + child structure only.
+    pub skeleton: u32,
+    /// Skeleton + bar marks + interval-normal conditions.
+    pub full: u32,
+}
+
+/// Computes and interns query signatures. One signer should be reused
+/// across checks so equal subtrees keep hitting the same ids.
+#[derive(Default)]
+pub struct Signer {
+    ids: SliceInterner<u32>,
+}
+
+/// Word tags keeping skeleton and full encodings in disjoint prefixes
+/// of the shared id space.
+const TAG_SKELETON: u32 = 0;
+const TAG_FULL: u32 = 1;
+
+impl Signer {
+    /// A fresh signer with an empty id space.
+    pub fn new() -> Signer {
+        Signer {
+            ids: SliceInterner::new(),
+        }
+    }
+
+    /// Signs a query; equal canonical forms get equal signatures.
+    pub fn sign(&mut self, q: &PsQuery) -> QuerySig {
+        let (skeleton, full) = self.sign_node(q, q.root());
+        QuerySig { skeleton, full }
+    }
+
+    /// Number of distinct interned encodings so far.
+    pub fn interned(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn sign_node(&mut self, q: &PsQuery, m: QNodeRef) -> (u32, u32) {
+        let kids = canon::sorted_children(q, m);
+        let mut kid_sigs = Vec::with_capacity(kids.len());
+        for &c in &kids {
+            kid_sigs.push(self.sign_node(q, c));
+        }
+        let mut skel = Vec::with_capacity(2 + kids.len());
+        skel.push(TAG_SKELETON);
+        skel.push(q.label(m).0);
+        skel.extend(kid_sigs.iter().map(|&(s, _)| s));
+
+        let mut full = Vec::with_capacity(8 + kids.len());
+        full.push(TAG_FULL);
+        full.push(q.label(m).0);
+        full.push(u32::from(q.barred(m)));
+        push_intervals(&mut full, q.cond_set(m));
+        full.extend(kid_sigs.iter().map(|&(_, f)| f));
+
+        (self.ids.intern(&skel), self.ids.intern(&full))
+    }
+}
+
+/// Encodes an interval set as a self-delimiting word sequence.
+fn push_intervals(buf: &mut Vec<u32>, set: &IntervalSet) {
+    let ivs = set.intervals();
+    buf.push(ivs.len() as u32);
+    for iv in ivs {
+        push_cut(buf, iv.lo());
+        push_cut(buf, iv.hi());
+    }
+}
+
+fn push_cut(buf: &mut Vec<u32>, c: Cut) {
+    match c {
+        Cut::NegInf => buf.push(0),
+        Cut::PosInf => buf.push(1),
+        Cut::Below(v) => {
+            buf.push(2);
+            push_rat(buf, v);
+        }
+        Cut::Above(v) => {
+            buf.push(3);
+            push_rat(buf, v);
+        }
+    }
+}
+
+fn push_rat(buf: &mut Vec<u32>, v: Rat) {
+    for part in [v.numer(), v.denom()] {
+        let bits = part as u64;
+        buf.push((bits >> 32) as u32);
+        buf.push(bits as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iixml_query::parse_ps_query;
+    use iixml_tree::Alphabet;
+
+    #[test]
+    fn equal_queries_share_both_signatures() {
+        let mut alpha = Alphabet::new();
+        for n in ["catalog", "product", "name", "price"] {
+            alpha.intern(n);
+        }
+        let a = parse_ps_query("catalog/product{name, price[< 200]}", &mut alpha).unwrap();
+        let b = parse_ps_query("catalog/product{price[< 200], name}", &mut alpha).unwrap();
+        let mut s = Signer::new();
+        let sa = s.sign(&a);
+        let sb = s.sign(&b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn condition_changes_full_but_not_skeleton() {
+        let mut alpha = Alphabet::new();
+        let a = parse_ps_query("catalog/product/price[< 100]", &mut alpha).unwrap();
+        let b = parse_ps_query("catalog/product/price[< 200]", &mut alpha).unwrap();
+        let mut s = Signer::new();
+        let (sa, sb) = (s.sign(&a), s.sign(&b));
+        assert_eq!(sa.skeleton, sb.skeleton);
+        assert_ne!(sa.full, sb.full);
+    }
+
+    #[test]
+    fn bar_changes_full_but_not_skeleton() {
+        let mut alpha = Alphabet::new();
+        let a = parse_ps_query("catalog/product/picture", &mut alpha).unwrap();
+        let b = parse_ps_query("catalog/product/picture!", &mut alpha).unwrap();
+        let mut s = Signer::new();
+        let (sa, sb) = (s.sign(&a), s.sign(&b));
+        assert_eq!(sa.skeleton, sb.skeleton);
+        assert_ne!(sa.full, sb.full);
+    }
+
+    #[test]
+    fn skeleton_changes_with_structure() {
+        let mut alpha = Alphabet::new();
+        let a = parse_ps_query("catalog/product{name, price}", &mut alpha).unwrap();
+        let b = parse_ps_query("catalog/product/price", &mut alpha).unwrap();
+        let mut s = Signer::new();
+        assert_ne!(s.sign(&a).skeleton, s.sign(&b).skeleton);
+    }
+
+    #[test]
+    fn signer_reuse_is_stable() {
+        let mut alpha = Alphabet::new();
+        let a = parse_ps_query("r{a, b[= 3]}", &mut alpha).unwrap();
+        let mut s = Signer::new();
+        let first = s.sign(&a);
+        let before = s.interned();
+        let second = s.sign(&a);
+        assert_eq!(first, second);
+        assert_eq!(s.interned(), before, "re-signing interns nothing new");
+    }
+}

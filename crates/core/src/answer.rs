@@ -71,9 +71,8 @@ pub fn match_sets(it: &IncompleteTree, q: &PsQuery) -> MatchSets {
         poss: HashMap::new(),
         cert: HashMap::new(),
     };
-    let mut order = q.preorder();
-    order.reverse(); // children before parents
-    for m in order {
+    // Reversed preorder visits children before parents.
+    for &m in q.preorder().iter().rev() {
         let kids = q.children(m).to_vec();
         let mut poss = vec![false; ty.sym_count()];
         let mut cert = vec![false; ty.sym_count()];

@@ -111,7 +111,7 @@ pub fn query_answer_tree(
     let qnodes = q.preorder();
     let mut bar: HashMap<QNodeRef, Sym> = HashMap::new();
     let mut hat: HashMap<QNodeRef, Sym> = HashMap::new();
-    for &m in &qnodes {
+    for &m in qnodes {
         let b = ty.add_symbol(
             format!("viol:q{}", m.0),
             SymTarget::Lab(q.label(m)),

@@ -302,7 +302,7 @@ impl<'a> Mediator<'a> {
 /// sequence (all answer nodes become instantiated, so no `τ̄`/`τ̂`
 /// case analysis accumulates).
 pub fn auxiliary_queries(q: &PsQuery) -> Vec<PsQuery> {
-    q.preorder().into_iter().map(|m| q.path_to(m)).collect()
+    q.preorder().iter().map(|&m| q.path_to(m)).collect()
 }
 
 /// Merges all label-targeted specializations of `label` into a single
@@ -591,7 +591,7 @@ mod tests {
         assert_eq!(aux.len(), q.len());
         for a in &aux {
             assert!(a.is_linear());
-            for m in a.preorder() {
+            for &m in a.preorder() {
                 assert_eq!(*a.cond(m), Cond::True);
             }
         }

@@ -84,6 +84,12 @@ pub const MEDIATOR_COMPLETE_NS: &str = "mediator.complete_ns";
 pub const MEDIATOR_LOCAL_QUERIES: &str = "mediator.local_queries";
 /// Answer nodes shipped back from sources.
 pub const MEDIATOR_SHIPPED_NODES: &str = "mediator.shipped_nodes";
+/// Containment-cache lookups performed before fetch/mediation.
+pub const MEDIATOR_CONTAINMENT_CHECKS: &str = "mediator.containment_checks";
+/// Containment-cache lookups answered from recorded knowledge.
+pub const MEDIATOR_CONTAINMENT_HITS: &str = "mediator.containment_hits";
+/// Candidate cache entries pruned on skeleton signature alone.
+pub const MEDIATOR_CONTAINMENT_FAST_REJECTS: &str = "mediator.containment_fast_rejects";
 
 // ---------------------------------------------------------------------
 // webhouse — sessions over unreliable sources (DESIGN.md §7).
@@ -187,6 +193,9 @@ pub const COUNTERS: &[&str] = &[
     ORACLE_ENUMERATE_TRUNCATIONS,
     MEDIATOR_LOCAL_QUERIES,
     MEDIATOR_SHIPPED_NODES,
+    MEDIATOR_CONTAINMENT_CHECKS,
+    MEDIATOR_CONTAINMENT_HITS,
+    MEDIATOR_CONTAINMENT_FAST_REJECTS,
     WEBHOUSE_RETRIES,
     WEBHOUSE_SOURCE_ERRORS,
     WEBHOUSE_VALIDATION_REJECTS,
@@ -295,6 +304,9 @@ pub const ENV_STORE_FAULT_SEED: &str = "IIXML_STORE_FAULT_SEED";
 pub const ENV_STORE_FAULT_RATE: &str = "IIXML_STORE_FAULT_RATE";
 /// Fail exactly the Nth store I/O operation (1-based).
 pub const ENV_STORE_FAULT_AT: &str = "IIXML_STORE_FAULT_AT";
+/// Toggle for the webhouse containment-keyed answer cache (default on;
+/// `0`/`false`/`off`/`no` disable it).
+pub const ENV_CONTAIN_CACHE: &str = "IIXML_CONTAIN_CACHE";
 
 /// Every `IIXML_*` environment variable the workspace reads, with a
 /// one-line purpose. `iixml-vet`'s `env` rule checks that no other
@@ -347,6 +359,10 @@ pub const ENV_VARS: &[(&str, &str)] = &[
     (
         ENV_STORE_FAULT_AT,
         "fail exactly the Nth store I/O operation",
+    ),
+    (
+        ENV_CONTAIN_CACHE,
+        "toggle the containment-keyed answer cache (default on)",
     ),
 ];
 

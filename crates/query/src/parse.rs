@@ -252,7 +252,8 @@ mod tests {
         let price = alpha.get("price").unwrap();
         let m = q
             .preorder()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|&m| q.label(m) == price)
             .unwrap();
         assert!(q.cond(m).equivalent(&Cond::lt(Rat::from(200))));
@@ -266,7 +267,8 @@ mod tests {
         let pic = alpha.get("picture").unwrap();
         let m = q
             .preorder()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|&m| q.label(m) == pic)
             .unwrap();
         assert!(q.barred(m));

@@ -78,9 +78,27 @@ impl std::error::Error for QueryError {}
 #[derive(Clone, Debug)]
 pub struct PsQuery {
     nodes: Vec<QNode>,
+    /// Preorder over `nodes`, computed once at construction so hot
+    /// traversal loops (eval, refine, containment) never re-allocate.
+    order: Vec<QNodeRef>,
 }
 
 impl PsQuery {
+    /// Seals a node arena into a query, computing the preorder cache.
+    /// Builder insertion order is not preorder in general (siblings may
+    /// gain children after later siblings exist), so we walk the tree.
+    fn from_nodes(nodes: Vec<QNode>) -> PsQuery {
+        let mut order = Vec::with_capacity(nodes.len());
+        let mut stack = vec![QNodeRef(0)];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            if let Some(node) = nodes.get(n.ix()) {
+                stack.extend(node.children.iter().rev());
+            }
+        }
+        PsQuery { nodes, order }
+    }
+
     /// The root pattern node.
     pub fn root(&self) -> QNodeRef {
         QNodeRef(0)
@@ -126,15 +144,10 @@ impl PsQuery {
         &self.nodes[n.ix()].children
     }
 
-    /// All pattern nodes in preorder.
-    pub fn preorder(&self) -> Vec<QNodeRef> {
-        let mut out = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![self.root()];
-        while let Some(n) = stack.pop() {
-            out.push(n);
-            stack.extend(self.children(n).iter().rev());
-        }
-        out
+    /// All pattern nodes in preorder. The order is computed once when
+    /// the query is built; callers borrow it instead of re-walking.
+    pub fn preorder(&self) -> &[QNodeRef] {
+        &self.order
     }
 
     /// Depth of a node below the root (root = 0).
@@ -181,7 +194,7 @@ impl PsQuery {
             me
         }
         copy(self, m, None, &mut nodes);
-        PsQuery { nodes }
+        PsQuery::from_nodes(nodes)
     }
 
     /// Like [`PsQuery::subquery`], but keeping only the subtrees rooted
@@ -218,7 +231,7 @@ impl PsQuery {
                 nodes[0].children.push(cc);
             }
         }
-        PsQuery { nodes }
+        PsQuery::from_nodes(nodes)
     }
 
     /// The query consisting of the path from the root to `m`, with all
@@ -251,7 +264,7 @@ impl PsQuery {
                 },
             });
         }
-        PsQuery { nodes }
+        PsQuery::from_nodes(nodes)
     }
 
     /// Builds a linear query from a label path with conditions.
@@ -277,7 +290,7 @@ impl PsQuery {
                 },
             })
             .collect();
-        PsQuery { nodes }
+        PsQuery::from_nodes(nodes)
     }
 
     /// Pretty-prints the pattern with names from `alpha`.
@@ -408,7 +421,7 @@ impl<'a> PsQueryBuilder<'a> {
 
     /// Finishes the query.
     pub fn build(self) -> PsQuery {
-        PsQuery { nodes: self.nodes }
+        PsQuery::from_nodes(self.nodes)
     }
 }
 
@@ -476,7 +489,7 @@ mod tests {
         assert!(path.is_linear());
         assert_eq!(path.len(), 3);
         // Conditions are cleared on auxiliary path queries.
-        for n in path.preorder() {
+        for &n in path.preorder() {
             assert_eq!(*path.cond(n), Cond::True);
         }
     }

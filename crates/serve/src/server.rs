@@ -205,6 +205,9 @@ struct Counters {
     opened: AtomicU64,
     recovered: AtomicU64,
     closed: AtomicU64,
+    contain_checks: AtomicU64,
+    contain_hits: AtomicU64,
+    contain_fast_rejects: AtomicU64,
 }
 
 struct Inner {
@@ -709,12 +712,19 @@ fn handle_session_request(
                 Ok(q) => q,
                 Err(e) => return err_frame("bad-query", &e.to_string()),
             };
+            let before = contain_snapshot(sess);
             let res = sess.fetch(&q);
             note_fault(sess, meta, res.as_ref().err());
+            let hit = note_containment(inner, sess, before);
             match res {
                 Ok(ans) => resp_frame(
                     RespOp::Answer,
-                    &format!("{}\nnodes={}", meta.marker(), ans.len()),
+                    &format!(
+                        "{}\nnodes={}\ncontain={}",
+                        meta.marker(),
+                        ans.len(),
+                        hit_word(hit)
+                    ),
                 ),
                 Err(e) => err_frame("session", &e.to_string()),
             }
@@ -726,7 +736,7 @@ fn handle_session_request(
             };
             let ans = sess.answer_locally(&q);
             note_fault(sess, meta, None);
-            local_answer_frame(&ans, &meta.marker())
+            local_answer_frame(&ans, &meta.marker(), None)
         }),
         Request::Mediate { session, query } => {
             with_session(inner, tenant, &session, |sess, meta| {
@@ -734,9 +744,11 @@ fn handle_session_request(
                     Ok(q) => q,
                     Err(e) => return err_frame("bad-query", &e.to_string()),
                 };
+                let before = contain_snapshot(sess);
                 let ans = sess.answer_resilient(&q);
                 note_fault(sess, meta, None);
-                local_answer_frame(&ans, &meta.marker())
+                let hit = note_containment(inner, sess, before);
+                local_answer_frame(&ans, &meta.marker(), Some(hit))
             })
         }
         Request::Sync { session } => with_session(inner, tenant, &session, |sess, meta| {
@@ -765,20 +777,72 @@ fn note_fault(sess: &Session<Source>, meta: &mut SessionMeta, err: Option<&Webho
     }
 }
 
-fn local_answer_frame(ans: &LocalAnswer, marker: &str) -> Vec<u8> {
+fn hit_word(hit: bool) -> &'static str {
+    if hit {
+        "hit"
+    } else {
+        "miss"
+    }
+}
+
+/// Per-session containment counters before a call, for delta
+/// accounting afterwards.
+#[derive(Clone, Copy)]
+struct ContainSnapshot {
+    checks: u64,
+    hits: u64,
+    fast_rejects: u64,
+}
+
+fn contain_snapshot(sess: &Session<Source>) -> ContainSnapshot {
+    ContainSnapshot {
+        checks: sess.containment_checks(),
+        hits: sess.containment_hits(),
+        fast_rejects: sess.containment_fast_rejects(),
+    }
+}
+
+/// Folds a call's containment-counter deltas into the fleet counters;
+/// returns whether the call was answered from the cache.
+fn note_containment(inner: &Arc<Inner>, sess: &Session<Source>, before: ContainSnapshot) -> bool {
+    let after = contain_snapshot(sess);
+    let c = &inner.counters;
+    c.contain_checks.fetch_add(
+        after.checks.saturating_sub(before.checks),
+        Ordering::Relaxed,
+    );
+    c.contain_hits
+        .fetch_add(after.hits.saturating_sub(before.hits), Ordering::Relaxed);
+    c.contain_fast_rejects.fetch_add(
+        after.fast_rejects.saturating_sub(before.fast_rejects),
+        Ordering::Relaxed,
+    );
+    after.hits > before.hits
+}
+
+fn local_answer_frame(ans: &LocalAnswer, marker: &str, contain: Option<bool>) -> Vec<u8> {
+    let contain_line = match contain {
+        Some(hit) => format!("\ncontain={}", hit_word(hit)),
+        None => String::new(),
+    };
     match ans {
         LocalAnswer::Complete(t) => {
             let nodes = t.as_ref().map_or(0, |t| t.len());
-            resp_frame(RespOp::Answer, &format!("{marker}\nnodes={nodes}"))
+            resp_frame(
+                RespOp::Answer,
+                &format!("{marker}\nnodes={nodes}{contain_line}"),
+            )
         }
-        LocalAnswer::Partial(_) => resp_frame(RespOp::Partial, &format!("{marker}\npartial")),
+        LocalAnswer::Partial(_) => {
+            resp_frame(RespOp::Partial, &format!("{marker}\npartial{contain_line}"))
+        }
         LocalAnswer::Degraded { cause, .. } => {
             let word = match cause {
                 DegradeCause::SourceUnavailable(_) => "source-unavailable",
                 DegradeCause::Quarantined(_) => "quarantined",
                 DegradeCause::Durability(_) => "durability",
             };
-            resp_frame(RespOp::Degraded, &format!("{marker}\n{word}"))
+            resp_frame(RespOp::Degraded, &format!("{marker}\n{word}{contain_line}"))
         }
     }
 }
@@ -931,7 +995,16 @@ fn stats_json(inner: &Arc<Inner>) -> String {
         .set("conn_timeouts", c.timeouts.load(Ordering::Relaxed))
         .set("sessions_opened", c.opened.load(Ordering::Relaxed))
         .set("sessions_recovered", c.recovered.load(Ordering::Relaxed))
-        .set("sessions_closed", c.closed.load(Ordering::Relaxed));
+        .set("sessions_closed", c.closed.load(Ordering::Relaxed))
+        .set(
+            "containment_checks",
+            c.contain_checks.load(Ordering::Relaxed),
+        )
+        .set("containment_hits", c.contain_hits.load(Ordering::Relaxed))
+        .set(
+            "containment_fast_rejects",
+            c.contain_fast_rejects.load(Ordering::Relaxed),
+        );
     let tenants: Vec<Json> = inner
         .admission
         .snapshot()

@@ -216,7 +216,7 @@ impl SessionJournal {
         ans: &Answer,
     ) -> Result<(), StoreError> {
         let named = alpha.len() as u32;
-        for m in q.preorder() {
+        for &m in q.preorder() {
             if q.label(m).0 >= named {
                 return Err(StoreError::Unjournalable {
                     reason: format!(

@@ -24,5 +24,5 @@ pub mod parse;
 pub mod rat;
 
 pub use cond::{CmpOp, Cond};
-pub use interval::{Bound, Interval, IntervalSet};
+pub use interval::{Bound, Cut, Interval, IntervalSet};
 pub use rat::Rat;

@@ -11,11 +11,15 @@ use crate::Finding;
 /// these sit on the `rep(T)` data path, where a panic loses session
 /// knowledge mid-refine — and in the server, takes every tenant's
 /// connection down with it.
-const PANIC_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store", "serve"];
+const PANIC_CRATES: &[&str] = &[
+    "core", "query", "mediator", "webhouse", "store", "serve", "contain",
+];
 
 /// Crates whose outputs are compared byte-for-byte across runs and
 /// thread widths; `RandomState`-ordered containers are banned here.
-const HASH_ORDER_CRATES: &[&str] = &["core", "query", "mediator", "webhouse", "store", "serve"];
+const HASH_ORDER_CRATES: &[&str] = &[
+    "core", "query", "mediator", "webhouse", "store", "serve", "contain",
+];
 
 /// The frozen on-disk alphabet (see `crates/store/src/format.rs`).
 /// Spelled here *independently* so an edit to the registry trips the

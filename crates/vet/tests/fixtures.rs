@@ -91,6 +91,46 @@ fn panic_rule_is_scoped_to_data_path_crates() {
 }
 
 #[test]
+fn panic_and_determinism_rules_cover_the_contain_crate() {
+    // The containment analyzer feeds the byte-identity cache path, so
+    // it joins the panic-free and hash-order crate sets: the positive
+    // fixtures placed under crates/contain/src are fully flagged…
+    let path = "crates/contain/src/fixture.rs";
+    let findings = run_on(path, include_str!("../fixtures/panic_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "panic").count(),
+        6,
+        "{findings:?}"
+    );
+    let findings = run_on(path, include_str!("../fixtures/determinism_pos.rs"));
+    let rules = rules_hit(&findings, path);
+    assert!(
+        rules.iter().filter(|r| **r == "determinism").count() >= 6,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn contain_crate_test_code_stays_out_of_panic_scope() {
+    // …while the same sources in contain's test tree stay out of scope
+    // (tests unwrap freely), matching every other data-path crate.
+    let path = "crates/contain/tests/fixture.rs";
+    for src in [
+        include_str!("../fixtures/panic_pos.rs"),
+        include_str!("../fixtures/determinism_pos.rs"),
+    ] {
+        let findings = run_on(path, src);
+        assert!(
+            !rules_hit(&findings, path)
+                .iter()
+                .any(|r| r.starts_with("panic") || *r == "determinism"),
+            "{findings:?}"
+        );
+    }
+}
+
+#[test]
 fn net_timeout_positive_fixture_is_fully_flagged() {
     let path = "crates/serve/src/fixture.rs";
     let findings = run_on(path, include_str!("../fixtures/net_timeout_pos.rs"));

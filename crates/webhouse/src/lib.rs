@@ -84,6 +84,25 @@ static OBS_EXECUTE_NS: LazyHistogram = LazyHistogram::new(keys::MEDIATOR_EXECUTE
 static OBS_LOCAL_QUERIES: LazyCounter = LazyCounter::new(keys::MEDIATOR_LOCAL_QUERIES);
 /// Answer nodes shipped by sources (shared key, as above).
 static OBS_SHIPPED: LazyCounter = LazyCounter::new(keys::MEDIATOR_SHIPPED_NODES);
+/// Containment-cache lookups before fetch/mediation.
+static OBS_CONTAIN_CHECKS: LazyCounter = LazyCounter::new(keys::MEDIATOR_CONTAINMENT_CHECKS);
+/// Containment-cache lookups answered from recorded knowledge.
+static OBS_CONTAIN_HITS: LazyCounter = LazyCounter::new(keys::MEDIATOR_CONTAINMENT_HITS);
+/// Cache candidates pruned on skeleton signature alone.
+static OBS_CONTAIN_FAST_REJECTS: LazyCounter =
+    LazyCounter::new(keys::MEDIATOR_CONTAINMENT_FAST_REJECTS);
+
+/// Reads the containment-cache toggle from the environment: on unless
+/// [`keys::ENV_CONTAIN_CACHE`] is set to an off value.
+fn contain_cache_enabled_from_env() -> bool {
+    match std::env::var(keys::ENV_CONTAIN_CACHE) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    }
+}
 
 /// Why a query was answered from degraded local knowledge instead of
 /// exactly via mediation.
@@ -163,6 +182,13 @@ pub struct Session<E: SourceEndpoint = Source> {
     /// it (quarantine inside `answer_resilient`); journaling stops and
     /// the fault is surfaced by the next fallible operation.
     journal_fault: Option<StoreError>,
+    /// Containment-keyed answer cache: exact answers already obtained,
+    /// replayed for queries they provably subsume (DESIGN.md §15).
+    contain_cache: iixml_contain::AnswerCache,
+    /// Toggle for the cache ([`keys::ENV_CONTAIN_CACHE`],
+    /// [`Session::set_contain_cache`]). Off = every query pays the
+    /// full reference path.
+    contain_enabled: bool,
 }
 
 /// What [`Session::recover`] found in the journal.
@@ -210,6 +236,8 @@ impl<E: SourceEndpoint> Session<E> {
             obs_label: "anon".to_string(),
             journal: None,
             journal_fault: None,
+            contain_cache: iixml_contain::AnswerCache::new(),
+            contain_enabled: contain_cache_enabled_from_env(),
         }
     }
 
@@ -279,6 +307,10 @@ impl<E: SourceEndpoint> Session<E> {
             obs_label: "anon".to_string(),
             journal: None,
             journal_fault: None,
+            // Recovery starts with a cold cache: answers are not
+            // journaled, and a miss is always sound.
+            contain_cache: iixml_contain::AnswerCache::new(),
+            contain_enabled: contain_cache_enabled_from_env(),
         };
         match rec.journal {
             Some(journal) => session.journal = Some(journal),
@@ -379,6 +411,51 @@ impl<E: SourceEndpoint> Session<E> {
     /// metrics (`webhouse.fetch_ns.<label>`).
     pub fn set_obs_label(&mut self, label: impl Into<String>) {
         self.obs_label = label.into();
+    }
+
+    /// Enables or disables the containment-keyed answer cache at
+    /// runtime (overriding [`keys::ENV_CONTAIN_CACHE`]). Disabling
+    /// does not drop recorded entries; re-enabling resumes with them.
+    pub fn set_contain_cache(&mut self, enabled: bool) {
+        self.contain_enabled = enabled;
+    }
+
+    /// Containment-cache lookups performed by this session.
+    pub fn containment_checks(&self) -> u64 {
+        self.contain_cache.checks()
+    }
+
+    /// Containment-cache lookups answered from recorded knowledge.
+    pub fn containment_hits(&self) -> u64 {
+        self.contain_cache.hits()
+    }
+
+    /// Cache candidates pruned on skeleton signature alone.
+    pub fn containment_fast_rejects(&self) -> u64 {
+        self.contain_cache.fast_rejects()
+    }
+
+    /// Tries the containment cache; the returned answer (if any) is
+    /// byte-identical to what the source would ship for `q` right now.
+    fn cache_lookup(&mut self, q: &PsQuery) -> Option<Answer> {
+        if !self.contain_enabled {
+            return None;
+        }
+        let rejects_before = self.contain_cache.fast_rejects();
+        OBS_CONTAIN_CHECKS.incr();
+        let hit = self.contain_cache.lookup(q);
+        OBS_CONTAIN_FAST_REJECTS.add(self.contain_cache.fast_rejects() - rejects_before);
+        if hit.is_some() {
+            OBS_CONTAIN_HITS.incr();
+        }
+        hit
+    }
+
+    /// Records an exact source answer for future containment hits.
+    fn cache_record(&mut self, q: &PsQuery, ans: &Answer) {
+        if self.contain_enabled {
+            self.contain_cache.record(q, ans);
+        }
     }
 
     /// Sets how source failures are retried (default:
@@ -489,8 +566,16 @@ impl<E: SourceEndpoint> Session<E> {
         } else {
             None
         };
+        // A containment hit replays the recorded answer instead of
+        // contacting the source; the refine input — and therefore the
+        // knowledge and journal bytes — are identical either way.
+        if let Some(ans) = self.cache_lookup(q) {
+            self.apply_refine(q, &ans)?;
+            return Ok(ans);
+        }
         let ans = self.ask_source(q, None)?;
         self.apply_refine(q, &ans)?;
+        self.cache_record(q, &ans);
         Ok(ans)
     }
 
@@ -501,8 +586,14 @@ impl<E: SourceEndpoint> Session<E> {
     /// — the paper's standing size-control strategy.
     pub fn fetch_with_auxiliaries(&mut self, q: &PsQuery) -> Result<Answer, WebhouseError> {
         for aux in iixml_mediator::auxiliary_queries(q) {
-            let a = self.ask_source(&aux, None)?;
-            self.apply_refine(&aux, &a)?;
+            match self.cache_lookup(&aux) {
+                Some(a) => self.apply_refine(&aux, &a)?,
+                None => {
+                    let a = self.ask_source(&aux, None)?;
+                    self.apply_refine(&aux, &a)?;
+                    self.cache_record(&aux, &a);
+                }
+            }
         }
         self.fetch(q)
     }
@@ -530,6 +621,16 @@ impl<E: SourceEndpoint> Session<E> {
         q: &PsQuery,
     ) -> Result<Option<DataTree>, WebhouseError> {
         self.take_journal_fault()?;
+        // A containment hit proves the knowledge already determines
+        // `q` exactly (a recorded query subsuming `q` was refined in),
+        // so the reference path below would answer locally without
+        // refining; replaying the recorded answer skips the local
+        // incomplete-tree evaluation too. Byte-identical knowledge is
+        // pinned by tests/containment_props.rs.
+        if let Some(ans) = self.cache_lookup(q) {
+            self.answered_locally += 1;
+            return Ok(ans.tree);
+        }
         if let LocalAnswer::Complete(a) = self.answer_locally(q) {
             return Ok(a);
         }
@@ -564,6 +665,7 @@ impl<E: SourceEndpoint> Session<E> {
         };
         // The answer is now exact; fold it back into the knowledge.
         self.apply_refine(q, &answer)?;
+        self.cache_record(q, &answer);
         Ok(answer.tree)
     }
 
@@ -670,6 +772,10 @@ impl<E: SourceEndpoint> Session<E> {
         self.refiner = refiner;
         self.answered_locally = 0;
         self.mediator_queries = 0;
+        // Cache invalidation rule (DESIGN.md §15): recorded answers
+        // describe the *old* document/knowledge; drop them whenever
+        // the knowledge restarts (quarantine, source update).
+        self.contain_cache.clear();
     }
 }
 
@@ -1272,8 +1378,9 @@ mod tests {
             transient: 0.3,
             ..FaultPlan::none()
         });
-        // `fetch` always contacts the source (unlike resilient answers,
-        // which go local once knowledge suffices).
+        // Cache off so every fetch of the repeated query re-contacts
+        // the source and exercises the retry loop.
+        session.set_contain_cache(false);
         let mut completed = 0;
         for _ in 0..20 {
             if session.fetch(&q1).is_ok() {

@@ -7,6 +7,7 @@
 //! iixml walkthrough                   run the paper's pipeline end to end
 //! iixml serve                         multi-tenant session server (see iixml-serve)
 //! iixml loadgen --port <p>            drive a running server, print a load report
+//! iixml contain <q1> <q2>             decide query containment q1 ⊑ q2
 //! ```
 //!
 //! The global `--stats` flag enables the observability layer
@@ -77,9 +78,10 @@ fn main() {
         Some("walkthrough") => cmd_walkthrough(&args[2..], journal.as_deref()),
         Some("serve") => cmd_serve(journal.as_deref(), stats),
         Some("loadgen") => cmd_loadgen(&args[2..]),
+        Some("contain") if args.len() == 4 => cmd_contain(&args[2], &args[3]),
         _ => {
             eprintln!(
-                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>] [--crash-in-batch] [--disk-fault-at <n>]\n  iixml [--stats] [--journal <dir>] serve\n  iixml loadgen --port <p> [--tenants <n>] [--sessions <n>] [--requests <n>] [--products <n>] [--seed <n>] [--concurrency <n>] [--close] [--chaos <conns>] [--chaos-seed <n>]"
+                "usage:\n  iixml [--stats] eval <doc.xml> <query>\n  iixml [--stats] demo\n  iixml [--stats] [--journal <dir>] session <doc.xml>\n  iixml [--stats] [--journal <dir>] walkthrough [--chaos] [--chaos-rate <0..1>] [--chaos-seed <n>] [--crash-at <n>] [--crash-in-batch] [--disk-fault-at <n>]\n  iixml [--stats] [--journal <dir>] serve\n  iixml loadgen --port <p> [--tenants <n>] [--sessions <n>] [--requests <n>] [--products <n>] [--seed <n>] [--concurrency <n>] [--close] [--chaos <conns>] [--chaos-seed <n>]\n  iixml contain <query1> <query2>"
             );
             std::process::exit(2);
         }
@@ -720,6 +722,68 @@ fn cmd_loadgen(opts: &[String]) -> Result<(), String> {
 fn load_doc(path: &str, alpha: &mut Alphabet) -> Result<DataTree, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse_tree(&text, alpha).map_err(|e| e.to_string())
+}
+
+/// `iixml contain <q1> <q2>`: decides `q1 ⊑ q2` with the DESIGN §15
+/// procedure over a shared alphabet. Exit code 0 when contained (the
+/// witness embedding is printed), 3 when not (the refusal reason is
+/// printed), 2 on a query parse error.
+fn cmd_contain(q1_text: &str, q2_text: &str) -> Result<(), String> {
+    let mut alpha = Alphabet::new();
+    let parse = |text: &str, which: &str, alpha: &mut Alphabet| match parse_ps_query(text, alpha) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {which} query: {e}");
+            std::process::exit(2);
+        }
+    };
+    let q1 = parse(q1_text, "first", &mut alpha);
+    let q2 = parse(q2_text, "second", &mut alpha);
+    match iixml_contain::contained_in(&q1, &q2) {
+        iixml_contain::Verdict::ContainedEmpty => {
+            println!("contained (the first query is unsatisfiable: empty on every document)");
+        }
+        iixml_contain::Verdict::Contained(witness) => {
+            println!("contained: every answer to the first query is an answer to the second");
+            println!("witness embedding (first-query node -> second-query node):");
+            for (m, w) in witness {
+                println!(
+                    "  {} #{} -> {} #{}",
+                    alpha.name(q1.label(m)),
+                    m.0,
+                    alpha.name(q2.label(w)),
+                    w.0
+                );
+            }
+        }
+        iixml_contain::Verdict::NotContained(why) => {
+            match why {
+                iixml_contain::Mismatch::Skeleton => {
+                    println!("not contained: the label skeletons differ");
+                }
+                iixml_contain::Mismatch::Condition { sub, sup } => {
+                    println!(
+                        "not contained: condition on {} #{} does not imply the one on {} #{}",
+                        alpha.name(q1.label(sub)),
+                        sub.0,
+                        alpha.name(q2.label(sup)),
+                        sup.0
+                    );
+                }
+                iixml_contain::Mismatch::Bar { sub, sup } => {
+                    println!(
+                        "not contained: {} #{} extracts a whole subtree but {} #{} does not",
+                        alpha.name(q1.label(sub)),
+                        sub.0,
+                        alpha.name(q2.label(sup)),
+                        sup.0
+                    );
+                }
+            }
+            std::process::exit(3);
+        }
+    }
+    Ok(())
 }
 
 fn cmd_eval(path: &str, query: &str) -> Result<(), String> {
